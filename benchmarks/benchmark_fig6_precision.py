@@ -1,0 +1,30 @@
+"""Figure 6 — Average Precision, semantic vs RIC-based.
+
+Regenerates the per-domain average-precision series and asserts the
+paper's shape (semantic ≥ RIC everywhere); the benchmark times the full
+two-method evaluation of one representative domain.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.harness import RIC, SEMANTIC, run_dataset
+from repro.evaluation.report import render_figure6
+
+
+def test_figure6_shape_and_render(evaluation_results, results_dir, benchmark):
+    results = list(evaluation_results.values())
+    for result in results:
+        assert result.average_precision(SEMANTIC) >= result.average_precision(
+            RIC
+        ), result.pair.name
+    text = benchmark(render_figure6, results)
+    (results_dir / "figure6_precision.txt").write_text(text + "\n")
+    assert "Average Precision" in text
+
+
+def test_precision_evaluation_runtime(benchmark, dataset_pairs):
+    """Time a full both-methods precision evaluation (Hotel domain)."""
+    pair = dataset_pairs["Hotel"]
+    result = benchmark.pedantic(run_dataset, args=(pair,), rounds=2, iterations=1)
+    assert result.average_precision(SEMANTIC) == 1.0
+    assert result.average_precision(RIC) < 1.0

@@ -1,0 +1,34 @@
+"""Figure 7 — Average Recall, semantic vs RIC-based.
+
+Regenerates the per-domain average-recall series and asserts the paper's
+headline (semantic recall 1.0 on every domain); the benchmark times the
+recall-critical composition discovery of the bookstore-style case.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.registry import load_dataset
+from repro.evaluation.harness import RIC, SEMANTIC, run_case
+from repro.evaluation.report import render_figure7
+
+
+def test_figure7_shape_and_render(evaluation_results, results_dir, benchmark):
+    results = list(evaluation_results.values())
+    for result in results:
+        assert result.average_recall(SEMANTIC) == 1.0, result.pair.name
+        assert result.average_recall(SEMANTIC) >= result.average_recall(RIC)
+    text = benchmark(render_figure7, results)
+    (results_dir / "figure7_recall.txt").write_text(text + "\n")
+    assert "Average Recall" in text
+
+
+def test_composition_case_runtime(benchmark, dataset_pairs):
+    """Time the semantic method on a lossy-composition case RIC misses."""
+    pair = dataset_pairs["3Sdb"]
+    composition_case = pair.cases[2]  # sdb-sample-gene
+
+    result = benchmark.pedantic(run_case, args=(pair, composition_case, SEMANTIC), rounds=3, iterations=1)
+    assert result.measures.recall == 1.0
+
+    ric_result = run_case(pair, composition_case, RIC)
+    assert ric_result.measures.recall == 0.0

@@ -1,0 +1,62 @@
+"""Scalability sweep: discovery time vs conceptual-model size.
+
+Not a paper exhibit, but the natural question behind Table 1's timing
+column: how does mapping generation scale as the CM graph grows? The
+sweep builds chain-shaped models of increasing size (entity chains
+joined by functional relationships, with the marked classes at the two
+ends — the worst case for the Steiner search) and times discovery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cm import ConceptualModel
+from repro.correspondences import CorrespondenceSet
+from repro.discovery import SemanticMapper
+from repro.semantics import design_schema
+
+
+def chain_model(name: str, length: int) -> ConceptualModel:
+    """``C0 →f0→ C1 →f1→ ... →f(n-1)→ Cn`` plus one pendant per class."""
+    cm = ConceptualModel(name)
+    for index in range(length + 1):
+        cm.add_class(
+            f"C{index}", attributes=[f"k{index}", f"a{index}"], key=[f"k{index}"]
+        )
+        cm.add_class(f"P{index}", attributes=[f"pk{index}"], key=[f"pk{index}"])
+        cm.add_relationship(
+            f"pend{index}", f"C{index}", f"P{index}", "0..1", "0..*"
+        )
+    for index in range(length):
+        cm.add_relationship(
+            f"f{index}", f"C{index}", f"C{index + 1}", "1..1", "0..*"
+        )
+    return cm
+
+
+def build_scenario(length: int):
+    source = design_schema(chain_model("chain_src", length), "src")
+    target = design_schema(chain_model("chain_tgt", length), "tgt")
+    correspondences = CorrespondenceSet.parse(
+        [
+            "c0.a0 <-> c0.a0",
+            f"c{length}.a{length} <-> c{length}.a{length}",
+        ]
+    )
+    return source.semantics, target.semantics, correspondences
+
+
+@pytest.mark.parametrize("length", [2, 4, 8, 12])
+def test_chain_discovery_scales(benchmark, length):
+    source, target, correspondences = build_scenario(length)
+
+    def run():
+        return SemanticMapper(source, target, correspondences).discover()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result) >= 1
+    # The end-to-end chain join must be discovered at every size.
+    best = result.best()
+    tables = {atom.bare_predicate for atom in best.source_query.body}
+    assert "c0" in tables and f"c{length}" in tables

@@ -1,0 +1,53 @@
+"""Data exchange over a reconstructed benchmark pair.
+
+Generates a consistent synthetic instance of the Hotel source schema,
+discovers the mappings for every benchmark case, executes them as
+source-to-target tgds, and materializes the target database — the "data
+exchange" application that motivates mapping discovery in the paper's
+introduction.
+
+Run:  python examples/data_exchange_demo.py
+"""
+
+from repro.datasets.instances import generate_instance
+from repro.datasets.registry import load_dataset
+from repro.discovery import discover_mappings
+from repro.mappings import certain_rows, exchange
+
+
+def main() -> None:
+    pair = load_dataset("Hotel")
+    source_instance = generate_instance(pair.source.schema, rows_per_table=4)
+    print(
+        f"Synthetic source instance: {source_instance.size()} rows over "
+        f"{len(pair.source.schema)} tables (consistent: "
+        f"{source_instance.is_consistent()})"
+    )
+
+    tgds = []
+    for mapping_case in pair.cases:
+        result = discover_mappings(
+            pair.source, pair.target, mapping_case.correspondences
+        )
+        best = result.best()
+        tgds.append(best.to_tgd(mapping_case.case_id))
+        print(f"\n[{mapping_case.case_id}]")
+        print(f"  {tgds[-1]}")
+
+    target_instance = exchange(tgds, source_instance, pair.target.schema)
+    print("\nExchanged target instance:")
+    for table in pair.target.schema:
+        total = target_instance.size(table.name)
+        complete = len(certain_rows(target_instance, table.name))
+        if total:
+            print(
+                f"  {table.name:<12} {total:>3} rows "
+                f"({complete} without labeled nulls)"
+            )
+    print("\nSample of the 'property' table:")
+    for row in target_instance.rows("property")[:5]:
+        print(f"  {row}")
+
+
+if __name__ == "__main__":
+    main()

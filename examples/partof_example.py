@@ -1,0 +1,40 @@
+"""The paper's Example 1.3 — partOf semantics prioritize candidates.
+
+The source has two indistinguishable functional relationships between
+Faculty and Department — ``chairOf`` (a **partOf** relationship) and
+``deanOf`` (plain). The target's ``foo`` is partOf. Cardinality alone
+cannot tell the two candidates apart; the semantic type can.
+
+Run:  python examples/partof_example.py
+"""
+
+from repro.datasets.paper_examples import partof_example
+from repro.discovery import discover_mappings
+
+
+def source_tables(candidate):
+    return sorted({atom.bare_predicate for atom in candidate.source_query.body})
+
+
+def main() -> None:
+    scenario = partof_example(target_is_partof=True)
+    print("Target relationship 'foo' is partOf.")
+    result = discover_mappings(
+        scenario.source, scenario.target, scenario.correspondences
+    )
+    print(f"Candidates: {len(result)}")
+    for candidate in result:
+        print(f"  {candidate.to_tgd('M')}")
+    print("  → ⟨deanOf, foo⟩ was eliminated; only ⟨chairOf, foo⟩ remains.\n")
+
+    plain = partof_example(target_is_partof=False)
+    result = discover_mappings(
+        plain.source, plain.target, plain.correspondences
+    )
+    print("With a plain target relationship, both candidates are plausible:")
+    for candidate in result:
+        print(f"  {candidate.to_tgd('M')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: discover a schema mapping from conceptual models.
+
+Builds two tiny independently designed schemas (a publisher's catalog vs
+a retailer's inventory), derives each schema *and its table semantics*
+from its conceptual model with er2rel, states two column
+correspondences, and lets the semantic mapper discover the GLAV mapping.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cm import ConceptualModel
+from repro.correspondences import CorrespondenceSet
+from repro.discovery import discover_mappings
+from repro.semantics import design_schema
+
+
+def main() -> None:
+    # -- Source: the publisher's catalog ---------------------------------
+    publisher_cm = ConceptualModel("catalog")
+    publisher_cm.add_class("Title", attributes=["isbn", "name"], key=["isbn"])
+    publisher_cm.add_class("Imprint", attributes=["label"], key=["label"])
+    publisher_cm.add_relationship(
+        "releasedUnder", "Title", "Imprint", "1..1", "0..*"
+    )
+    source = design_schema(publisher_cm, "catalog")
+    print("SOURCE SCHEMA")
+    print(source.schema.describe())
+    print()
+
+    # -- Target: the retailer's inventory --------------------------------
+    retailer_cm = ConceptualModel("inventory")
+    retailer_cm.add_class("Product", attributes=["sku", "descr"], key=["sku"])
+    retailer_cm.add_class("Brand", attributes=["bname"], key=["bname"])
+    retailer_cm.add_relationship("soldAs", "Product", "Brand", "1..1", "0..*")
+    target = design_schema(retailer_cm, "inventory")
+    print("TARGET SCHEMA")
+    print(target.schema.describe())
+    print()
+
+    # -- Correspondences: what a matcher would give us -------------------
+    correspondences = CorrespondenceSet.parse(
+        [
+            "title.name <-> product.descr",
+            "imprint.label <-> brand.bname",
+        ]
+    )
+    print("CORRESPONDENCES")
+    for correspondence in correspondences:
+        print(f"  {correspondence}")
+    print()
+
+    # -- Discovery --------------------------------------------------------
+    result = discover_mappings(source.semantics, target.semantics, correspondences)
+    print(
+        f"DISCOVERED {len(result)} MAPPING CANDIDATE(S) "
+        f"in {result.elapsed_seconds * 1000:.1f} ms"
+    )
+    for index, candidate in enumerate(result, start=1):
+        print(f"  {candidate.to_tgd(f'M{index}')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Rerun the paper's full evaluation: Table 1, Figure 6, Figure 7.
+
+Loads all seven reconstructed dataset pairs, runs both the semantic
+approach and the RIC-based baseline on every benchmark mapping case, and
+prints the regenerated exhibits. Equivalent to
+``python -m repro.evaluation.harness --details``.
+
+Run:  python examples/run_evaluation.py
+"""
+
+from repro.evaluation import (
+    render_case_details,
+    render_figure6,
+    render_figure7,
+    render_table1,
+    run_all,
+)
+
+
+def main() -> None:
+    results = run_all()
+    print(render_table1(results))
+    print()
+    print(render_figure6(results))
+    print()
+    print(render_figure7(results))
+    print()
+    print(render_case_details(results))
+
+
+if __name__ == "__main__":
+    main()

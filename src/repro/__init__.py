@@ -1,0 +1,108 @@
+"""repro — semantic schema-mapping discovery.
+
+A from-scratch reproduction of *"A Semantic Approach to Discovering
+Schema Mapping Expressions"* (An, Borgida, Miller, Mylopoulos — ICDE
+2007): given a source and a target relational schema, a conceptual model
+with table semantics for each, and simple column correspondences, the
+library discovers GLAV schema mappings (source-to-target tgds), compares
+them against the Clio-style RIC-based baseline, and reruns the paper's
+whole evaluation.
+
+Typical usage::
+
+    from repro import (
+        ConceptualModel, CorrespondenceSet, design_schema, discover_mappings,
+    )
+
+    cm = ConceptualModel("books")
+    cm.add_class("Person", attributes=["pname"], key=["pname"])
+    ...
+    source = design_schema(cm, "source")
+    target = design_schema(other_cm, "target")
+    corrs = CorrespondenceSet.parse(["person.pname <-> author.aname"])
+    result = discover_mappings(source.semantics, target.semantics, corrs)
+    print(result.best().to_tgd("M"))
+"""
+
+from repro.cm import (
+    Cardinality,
+    CMGraph,
+    CMReasoner,
+    ConceptualModel,
+    ConnectionCategory,
+    SemanticType,
+    model_from_dict,
+    model_to_dict,
+)
+from repro.correspondences import Correspondence, CorrespondenceSet
+from repro.matching import as_correspondence_set, suggest_correspondences
+from repro.baseline import RICBasedMapper, discover_ric_mappings
+from repro.discovery import (
+    DiscoveryResult,
+    SemanticMapper,
+    discover_mappings,
+)
+from repro.exceptions import ReproError
+from repro.mappings import (
+    MappingCandidate,
+    SourceToTargetTGD,
+    exchange,
+    query_to_algebra,
+)
+from repro.relational import (
+    Column,
+    Instance,
+    ReferentialConstraint,
+    RelationalSchema,
+    Table,
+)
+from repro.semantics import (
+    SchemaSemantics,
+    SemanticTree,
+    design_schema,
+    recover_semantics,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # Conceptual models
+    "Cardinality",
+    "CMGraph",
+    "CMReasoner",
+    "ConceptualModel",
+    "ConnectionCategory",
+    "SemanticType",
+    "model_from_dict",
+    "model_to_dict",
+    # Relational
+    "Column",
+    "Instance",
+    "ReferentialConstraint",
+    "RelationalSchema",
+    "Table",
+    # Semantics
+    "SchemaSemantics",
+    "SemanticTree",
+    "design_schema",
+    "recover_semantics",
+    # Correspondences
+    "Correspondence",
+    "CorrespondenceSet",
+    "suggest_correspondences",
+    "as_correspondence_set",
+    # Discovery
+    "DiscoveryResult",
+    "SemanticMapper",
+    "discover_mappings",
+    # Baseline
+    "RICBasedMapper",
+    "discover_ric_mappings",
+    # Mappings
+    "MappingCandidate",
+    "SourceToTargetTGD",
+    "exchange",
+    "query_to_algebra",
+]

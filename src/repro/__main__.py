@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``evaluate``            rerun the paper's evaluation (Table 1, Figs 6–7)
+``datasets``            list the reconstructed dataset pairs
+``describe NAME``       print a pair's schemas and benchmark cases
+``map NAME CASE``       run one benchmark case and print the candidates
+``ddl NAME``            emit SQL DDL for a pair's schemas
+``dot NAME``            emit GraphViz DOT for a pair's CM graphs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baseline.clio import RICBasedMapper
+from repro.cm.dot import cm_graph_to_dot
+from repro.datasets.registry import dataset_names, load_dataset
+from repro.discovery.mapper import SemanticMapper
+from repro.relational.ddl import emit_ddl
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.evaluation.harness import main as harness_main
+
+    return harness_main(["--details"] if args.details else [])
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    header = f"{'name':<10} {'source':<10} {'target':<10} {'tables':<9} {'CM nodes':<10} cases"
+    print(header)
+    print("-" * len(header))
+    for name in dataset_names():
+        pair = load_dataset(name)
+        print(
+            f"{pair.name:<10} {pair.source_label:<10} {pair.target_label:<10} "
+            f"{pair.source_table_count()}/{pair.target_table_count():<7} "
+            f"{pair.source_cm_node_count()}/{pair.target_cm_node_count():<8} "
+            f"{pair.mapping_count()}"
+        )
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    pair = load_dataset(args.name)
+    print(pair.source.schema.describe())
+    print()
+    print(pair.target.schema.describe())
+    print("\nBenchmark cases:")
+    for mapping_case in pair.cases:
+        print(f"  {mapping_case.case_id}: {mapping_case.description}")
+        for correspondence in mapping_case.correspondences:
+            print(f"      {correspondence}")
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    pair = load_dataset(args.name)
+    matching = [c for c in pair.cases if c.case_id == args.case]
+    if not matching:
+        print(
+            f"unknown case {args.case!r}; have "
+            f"{[c.case_id for c in pair.cases]}",
+            file=sys.stderr,
+        )
+        return 2
+    (mapping_case,) = matching
+    if args.method == "semantic":
+        result = SemanticMapper(
+            pair.source, pair.target, mapping_case.correspondences
+        ).discover()
+    else:
+        result = RICBasedMapper(
+            pair.source.schema,
+            pair.target.schema,
+            mapping_case.correspondences,
+        ).discover()
+    print(
+        f"{len(result)} candidate(s) in {result.elapsed_seconds * 1000:.1f} ms"
+    )
+    for index, candidate in enumerate(result, start=1):
+        print(f"  {candidate.to_tgd(f'M{index}')}")
+    return 0
+
+
+def _cmd_ddl(args: argparse.Namespace) -> int:
+    pair = load_dataset(args.name)
+    semantics = pair.source if args.side == "source" else pair.target
+    print(emit_ddl(semantics.schema), end="")
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    pair = load_dataset(args.name)
+    semantics = pair.source if args.side == "source" else pair.target
+    print(cm_graph_to_dot(semantics.graph, semantics.model.name))
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    from repro.matching import suggest_correspondences
+
+    pair = load_dataset(args.name)
+    suggestions = suggest_correspondences(
+        pair.source, pair.target, threshold=args.threshold
+    )
+    print(f"{len(suggestions)} suggestion(s):")
+    for suggestion in suggestions:
+        print(f"  {suggestion}")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.semantics.recover import recover_semantics
+
+    pair = load_dataset(args.name)
+    semantics = pair.source if args.side == "source" else pair.target
+    report = recover_semantics(semantics.schema, semantics.model)
+    print(
+        f"coverage: {report.coverage():.0%} "
+        f"({len(report.semantics.tables_with_semantics())}/"
+        f"{len(semantics.schema)} tables)"
+    )
+    for text in report.skipped_tables:
+        print(f"  skipped: {text}")
+    for text in report.unmapped_columns:
+        print(f"  unmapped column: {text}")
+    if args.table:
+        print()
+        print(report.semantics.tree(args.table).describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    evaluate = commands.add_parser("evaluate", help="rerun the evaluation")
+    evaluate.add_argument("--details", action="store_true")
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    datasets = commands.add_parser("datasets", help="list dataset pairs")
+    datasets.set_defaults(handler=_cmd_datasets)
+
+    describe = commands.add_parser("describe", help="describe one pair")
+    describe.add_argument("name")
+    describe.set_defaults(handler=_cmd_describe)
+
+    run_map = commands.add_parser("map", help="run one benchmark case")
+    run_map.add_argument("name")
+    run_map.add_argument("case")
+    run_map.add_argument(
+        "--method", choices=["semantic", "ric"], default="semantic"
+    )
+    run_map.set_defaults(handler=_cmd_map)
+
+    ddl = commands.add_parser("ddl", help="emit SQL DDL")
+    ddl.add_argument("name")
+    ddl.add_argument("--side", choices=["source", "target"], default="source")
+    ddl.set_defaults(handler=_cmd_ddl)
+
+    dot = commands.add_parser("dot", help="emit GraphViz DOT")
+    dot.add_argument("name")
+    dot.add_argument("--side", choices=["source", "target"], default="source")
+    dot.set_defaults(handler=_cmd_dot)
+
+    match = commands.add_parser(
+        "match", help="suggest correspondences with the name matcher"
+    )
+    match.add_argument("name")
+    match.add_argument("--threshold", type=float, default=0.9)
+    match.set_defaults(handler=_cmd_match)
+
+    recover = commands.add_parser(
+        "recover", help="recover table semantics from schema + CM"
+    )
+    recover.add_argument("name")
+    recover.add_argument(
+        "--side", choices=["source", "target"], default="source"
+    )
+    recover.add_argument("--table", help="also print this table's s-tree")
+    recover.set_defaults(handler=_cmd_recover)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

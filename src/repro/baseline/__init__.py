@@ -1,0 +1,19 @@
+"""The RIC-based baseline technique (Clio-style)."""
+
+from repro.baseline.logical_relations import (
+    LogicalRelation,
+    compute_logical_relations,
+)
+from repro.baseline.clio import (
+    RICBasedMapper,
+    discover_ric_mappings,
+    trim_unnecessary_joins,
+)
+
+__all__ = [
+    "LogicalRelation",
+    "compute_logical_relations",
+    "RICBasedMapper",
+    "discover_ric_mappings",
+    "trim_unnecessary_joins",
+]

@@ -1,0 +1,157 @@
+"""The RIC-based mapping technique (the paper's baseline, Section 4).
+
+For each pair of one source and one target logical relation, the
+correspondences whose source column occurs in the source relation and
+whose target column occurs in the target relation are *covered*; every
+pair covering at least one correspondence yields a mapping candidate
+⟨S, T, 𝓛⟩ — exactly how Example 1.1 derives ``M1``–``M4``.
+
+Per the paper's methodology, a trimming heuristic first removes
+unnecessary joins: atoms that neither carry a corresponded column nor are
+needed to keep the join connected (also described in Fuxman et al.,
+VLDB'06).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+from repro.correspondences import Correspondence, CorrespondenceSet
+from repro.baseline.logical_relations import (
+    LogicalRelation,
+    compute_logical_relations,
+)
+from repro.discovery.mapper import DiscoveryResult
+from repro.mappings.expression import (
+    MappingCandidate,
+    deduplicate_candidates,
+)
+from repro.queries.conjunctive import (
+    Atom,
+    ConjunctiveQuery,
+    Term,
+    Variable,
+)
+from repro.relational.schema import RelationalSchema
+
+
+def trim_unnecessary_joins(
+    atoms: tuple[Atom, ...], needed_terms: frozenset[Term]
+) -> tuple[Atom, ...]:
+    """Drop leaf atoms that add no corresponded attributes.
+
+    An atom is removable when it carries no needed term and shares
+    variables with at most one other remaining atom (so removing it never
+    disconnects the join). Applied to fixpoint.
+    """
+    remaining = list(atoms)
+    changed = True
+    while changed and len(remaining) > 1:
+        changed = False
+        for index, atom in enumerate(remaining):
+            terms = set(atom.terms)
+            if terms & needed_terms:
+                continue
+            neighbours = 0
+            for other_index, other in enumerate(remaining):
+                if other_index == index:
+                    continue
+                if terms & set(other.terms):
+                    neighbours += 1
+            if neighbours <= 1:
+                remaining.pop(index)
+                changed = True
+                break
+    return tuple(remaining)
+
+
+class RICBasedMapper:
+    """Clio-style mapping generation from schemas and constraints alone."""
+
+    def __init__(
+        self,
+        source_schema: RelationalSchema,
+        target_schema: RelationalSchema,
+        correspondences: CorrespondenceSet,
+        trim: bool = True,
+        max_depth: int = 8,
+    ) -> None:
+        correspondences.validate(source_schema, target_schema)
+        self.source_schema = source_schema
+        self.target_schema = target_schema
+        self.correspondences = correspondences
+        self.trim = trim
+        self.max_depth = max_depth
+
+    def discover(self) -> DiscoveryResult:
+        start = time.perf_counter()
+        source_relations = compute_logical_relations(
+            self.source_schema, self.max_depth
+        )
+        target_relations = compute_logical_relations(
+            self.target_schema, self.max_depth
+        )
+        candidates: list[MappingCandidate] = []
+        for source_lr, target_lr in itertools.product(
+            source_relations, target_relations
+        ):
+            candidate = self._pair(source_lr, target_lr)
+            if candidate is not None:
+                candidates.append(candidate)
+        candidates = deduplicate_candidates(candidates)
+        candidates.sort(key=lambda c: (-len(c.covered), str(c)))
+        elapsed = time.perf_counter() - start
+        return DiscoveryResult(candidates, elapsed)
+
+    # ------------------------------------------------------------------
+    # Pairing
+    # ------------------------------------------------------------------
+    def _pair(
+        self, source_lr: LogicalRelation, target_lr: LogicalRelation
+    ) -> MappingCandidate | None:
+        covered: list[Correspondence] = []
+        source_head: list[Term] = []
+        target_head: list[Term] = []
+        for correspondence in self.correspondences:
+            source_terms = source_lr.terms_for_column(
+                correspondence.source, self.source_schema
+            )
+            target_terms = target_lr.terms_for_column(
+                correspondence.target, self.target_schema
+            )
+            if not source_terms or not target_terms:
+                continue
+            covered.append(correspondence)
+            source_head.append(source_terms[0])
+            target_head.append(target_terms[0])
+        if not covered:
+            return None
+        source_atoms = source_lr.atoms
+        target_atoms = target_lr.atoms
+        if self.trim:
+            source_atoms = trim_unnecessary_joins(
+                source_atoms, frozenset(source_head)
+            )
+            target_atoms = trim_unnecessary_joins(
+                target_atoms, frozenset(target_head)
+            )
+        return MappingCandidate(
+            ConjunctiveQuery(source_head, source_atoms, "ans"),
+            ConjunctiveQuery(target_head, target_atoms, "ans"),
+            tuple(covered),
+            method="ric",
+            notes=f"{source_lr.root_table}→{target_lr.root_table}",
+        )
+
+
+def discover_ric_mappings(
+    source_schema: RelationalSchema,
+    target_schema: RelationalSchema,
+    correspondences: CorrespondenceSet,
+    trim: bool = True,
+) -> DiscoveryResult:
+    """One-shot convenience wrapper around :class:`RICBasedMapper`."""
+    return RICBasedMapper(
+        source_schema, target_schema, correspondences, trim
+    ).discover()

@@ -1,0 +1,89 @@
+"""Logical relations: the RIC-based technique's building blocks.
+
+Following the paper's description of Clio (Example 1.1 and Section 4), a
+*logical relation* is the result of chasing one table's canonical atom
+with the schema's referential integrity constraints — the maximal set of
+"logically connected elements". For the bookstore source, chasing
+``writes`` with ``r1``/``r2`` yields ``person ⋈ writes ⋈ book``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.queries.chase import (
+    ChaseEngine,
+    InclusionDependency,
+    table_seed_atom,
+)
+from repro.queries.conjunctive import (
+    Atom,
+    DB_PREFIX,
+    Term,
+    VariableFactory,
+)
+from repro.relational.schema import Column, RelationalSchema
+
+
+@dataclass(frozen=True)
+class LogicalRelation:
+    """The chased join expression rooted at one table."""
+
+    schema_name: str
+    root_table: str
+    atoms: tuple[Atom, ...]
+
+    def tables(self) -> tuple[str, ...]:
+        """Tables mentioned, in chase order (root first)."""
+        result: dict[str, None] = {}
+        for atom in self.atoms:
+            result.setdefault(atom.bare_predicate)
+        return tuple(result)
+
+    def atoms_of_table(self, table_name: str) -> tuple[Atom, ...]:
+        return tuple(
+            atom
+            for atom in self.atoms
+            if atom.bare_predicate == table_name
+        )
+
+    def covers_column(self, column: Column, schema: RelationalSchema) -> bool:
+        return bool(self.terms_for_column(column, schema))
+
+    def terms_for_column(
+        self, column: Column, schema: RelationalSchema
+    ) -> tuple[Term, ...]:
+        """The terms realizing ``column`` in each atom of its table."""
+        if not schema.has_column(column):
+            return ()
+        table = schema.table(column.table)
+        position = table.columns.index(column.name)
+        return tuple(
+            atom.terms[position] for atom in self.atoms_of_table(column.table)
+        )
+
+    def __str__(self) -> str:
+        joined = " ⋈ ".join(str(atom) for atom in self.atoms)
+        return f"LR({self.root_table}): {joined}"
+
+
+def compute_logical_relations(
+    schema: RelationalSchema, max_depth: int = 8
+) -> tuple[LogicalRelation, ...]:
+    """One logical relation per table of ``schema``, via the chase.
+
+    The chase follows every RIC as long as it is not already satisfied;
+    ``max_depth`` bounds cyclic schemas the standard way.
+    """
+    dependencies = [
+        InclusionDependency.from_ric(ric, schema, DB_PREFIX)
+        for ric in schema.rics
+    ]
+    engine = ChaseEngine(dependencies, max_depth=max_depth)
+    relations = []
+    for table_name in schema.table_names():
+        fresh = VariableFactory(prefix=f"_{table_name}_v")
+        seed = table_seed_atom(schema, table_name, DB_PREFIX)
+        atoms = engine.chase([seed], fresh)
+        relations.append(LogicalRelation(schema.name, table_name, atoms))
+    return tuple(relations)

@@ -1,0 +1,150 @@
+"""Reification transforms (Section 3.3).
+
+N-ary relationships, relationships with attributes, and — as an algorithmic
+convenience the paper adopts — many-to-many binary relationships can be
+*reified*: the relationship becomes a class tagged ``◇`` connected to its
+participants by functional roles.
+
+:func:`reify_relationship` rewrites one binary relationship of a model into
+reified form; :func:`auto_reify_many_many` applies it to every many-to-many
+binary relationship. Both return a **new** model (inputs are never
+mutated) together with a :class:`ReificationMap` that lets downstream code
+translate reified-form atoms back to the original binary predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConceptualModelError
+from repro.cm.model import ConceptualModel
+
+#: Suffixes for the two auto-generated roles of a reified binary relationship.
+DOMAIN_ROLE_SUFFIX = "#d"
+RANGE_ROLE_SUFFIX = "#r"
+
+
+@dataclass(frozen=True)
+class ReifiedBinary:
+    """Bookkeeping for one reified binary relationship."""
+
+    relationship: str
+    reified_class: str
+    domain_role: str
+    range_role: str
+    domain: str
+    range: str
+
+
+@dataclass
+class ReificationMap:
+    """Maps reified classes/roles back to their original relationships."""
+
+    entries: dict[str, ReifiedBinary] = field(default_factory=dict)
+
+    def add(self, entry: ReifiedBinary) -> None:
+        self.entries[entry.reified_class] = entry
+
+    def is_reified_class(self, name: str) -> bool:
+        return name in self.entries
+
+    def original(self, reified_class: str) -> ReifiedBinary:
+        try:
+            return self.entries[reified_class]
+        except KeyError:
+            raise ConceptualModelError(
+                f"{reified_class!r} is not a reified binary relationship"
+            ) from None
+
+    def merge(self, other: "ReificationMap") -> None:
+        self.entries.update(other.entries)
+
+
+def _copy_model(model: ConceptualModel, skip_relationships: frozenset[str]) -> ConceptualModel:
+    clone = ConceptualModel(model.name)
+    for cls in model.classes.values():
+        clone.add_class(cls.name, cls.attributes, cls.key, cls.reified)
+    for rel in model.relationships.values():
+        if rel.name in skip_relationships:
+            continue
+        clone.add_relationship(
+            rel.name,
+            rel.domain,
+            rel.range,
+            rel.to_card,
+            rel.from_card,
+            rel.semantic_type,
+            rel.is_role,
+        )
+    for sub, sup in sorted(model.isa_links):
+        clone.add_isa(sub, sup)
+    for group in model.disjointness_groups:
+        clone.add_disjointness(group)
+    for sup, subs in model.covers:
+        clone.add_cover(sup, subs)
+    return clone
+
+
+def reify_relationship(
+    model: ConceptualModel, relationship_name: str
+) -> tuple[ConceptualModel, ReificationMap]:
+    """Rewrite one binary relationship into reified form.
+
+    The relationship ``p`` from ``C1`` to ``C2`` becomes a reified class
+    ``p`` with functional roles ``p#d → C1`` and ``p#r → C2``. Role
+    inverse cardinalities carry the original participation bounds so the
+    connection category is preserved: traversing ``p#d⁻`` then ``p#r``
+    composes to exactly the original category of ``p``.
+    """
+    rel = model.relationship(relationship_name)
+    if rel.is_role:
+        raise ConceptualModelError(
+            f"role {relationship_name!r} cannot itself be reified"
+        )
+    clone = _copy_model(model, frozenset({relationship_name}))
+    reified = clone.add_reified_relationship(
+        rel.name,
+        roles={
+            rel.name + DOMAIN_ROLE_SUFFIX: rel.domain,
+            rel.name + RANGE_ROLE_SUFFIX: rel.range,
+        },
+        role_cards={
+            # Number of p-instances one domain object joins = number of
+            # range partners it has (to_card), and vice versa.
+            rel.name + DOMAIN_ROLE_SUFFIX: rel.to_card,
+            rel.name + RANGE_ROLE_SUFFIX: rel.from_card,
+        },
+        semantic_type=rel.semantic_type,
+    )
+    mapping = ReificationMap()
+    mapping.add(
+        ReifiedBinary(
+            relationship=rel.name,
+            reified_class=reified.name,
+            domain_role=rel.name + DOMAIN_ROLE_SUFFIX,
+            range_role=rel.name + RANGE_ROLE_SUFFIX,
+            domain=rel.domain,
+            range=rel.range,
+        )
+    )
+    return clone, mapping
+
+
+def auto_reify_many_many(
+    model: ConceptualModel,
+) -> tuple[ConceptualModel, ReificationMap]:
+    """Reify every many-to-many binary relationship of ``model``.
+
+    The paper chooses to "represent many-to-many binary relationships ...
+    in reified form" so the discovery algorithm can treat them uniformly
+    with n-ary relationships.
+    """
+    current = model
+    combined = ReificationMap()
+    for name in sorted(model.relationships):
+        rel = model.relationship(name)
+        if rel.is_role or not rel.is_many_many:
+            continue
+        current, mapping = reify_relationship(current, name)
+        combined.merge(mapping)
+    return current, combined

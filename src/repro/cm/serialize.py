@@ -1,0 +1,131 @@
+"""Declarative construction and serialization of conceptual models.
+
+The dataset modules define their CMs as plain dictionaries; this module
+turns such specifications into :class:`ConceptualModel` objects and back.
+
+Specification format::
+
+    {
+        "name": "books",
+        "classes": {
+            "Person": {"attributes": ["pname"], "key": ["pname"]},
+            "Book": {"attributes": ["bid"], "key": ["bid"]},
+        },
+        "relationships": [
+            {"name": "writes", "from": "Person", "to": "Book",
+             "to_card": "0..*", "from_card": "1..*"},
+        ],
+        "reified": [
+            {"name": "Sell",
+             "roles": {"seller": "Store", "buyer": "Person"},
+             "attributes": ["dateOfPurchase"],
+             "role_cards": {"seller": "0..*"}},
+        ],
+        "isa": [["Engineer", "Employee"]],
+        "disjoint": [["Faculty", "Course"]],
+        "covers": [{"super": "Employee", "subs": ["Engineer", "Programmer"]}],
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.exceptions import ConceptualModelError
+from repro.cm.model import ConceptualModel, SemanticType
+
+
+def model_from_dict(spec: Mapping[str, Any]) -> ConceptualModel:
+    """Build a :class:`ConceptualModel` from a specification dictionary."""
+    try:
+        name = spec["name"]
+    except KeyError:
+        raise ConceptualModelError("model specification needs a 'name'") from None
+    model = ConceptualModel(name)
+    for class_name, class_spec in spec.get("classes", {}).items():
+        model.add_class(
+            class_name,
+            attributes=class_spec.get("attributes", ()),
+            key=class_spec.get("key", ()),
+            reified=class_spec.get("reified", False),
+        )
+    for rel_spec in spec.get("relationships", ()):
+        model.add_relationship(
+            rel_spec["name"],
+            rel_spec["from"],
+            rel_spec["to"],
+            to_card=rel_spec.get("to_card", "0..*"),
+            from_card=rel_spec.get("from_card", "0..*"),
+            semantic_type=SemanticType(rel_spec.get("semantic_type", "plain")),
+        )
+    for reified_spec in spec.get("reified", ()):
+        model.add_reified_relationship(
+            reified_spec["name"],
+            roles=reified_spec["roles"],
+            attributes=reified_spec.get("attributes", ()),
+            role_cards=reified_spec.get("role_cards"),
+            semantic_type=SemanticType(
+                reified_spec.get("semantic_type", "plain")
+            ),
+        )
+    for sub, sup in spec.get("isa", ()):
+        model.add_isa(sub, sup)
+    for group in spec.get("disjoint", ()):
+        model.add_disjointness(group)
+    for cover_spec in spec.get("covers", ()):
+        model.add_cover(cover_spec["super"], cover_spec["subs"])
+    return model
+
+
+def model_to_dict(model: ConceptualModel) -> dict[str, Any]:
+    """Serialize a model back to the specification format.
+
+    Reified classes created via ``add_reified_relationship`` are emitted
+    under ``"reified"`` with their roles; everything else round-trips
+    through the plain sections.
+    """
+    classes: dict[str, Any] = {}
+    reified_specs = []
+    role_names: set[str] = set()
+    for cls in model.classes.values():
+        if cls.reified:
+            roles = model.roles_of(cls.name)
+            role_names.update(r.name for r in roles)
+            reified_specs.append(
+                {
+                    "name": cls.name,
+                    "roles": {r.name: r.range for r in roles},
+                    "attributes": list(cls.attributes),
+                    "role_cards": {r.name: str(r.from_card) for r in roles},
+                }
+            )
+        else:
+            classes[cls.name] = {
+                "attributes": list(cls.attributes),
+                "key": list(cls.key),
+            }
+    relationships = []
+    for rel in model.relationships.values():
+        if rel.name in role_names:
+            continue
+        entry: dict[str, Any] = {
+            "name": rel.name,
+            "from": rel.domain,
+            "to": rel.range,
+            "to_card": str(rel.to_card),
+            "from_card": str(rel.from_card),
+        }
+        if rel.semantic_type is not SemanticType.PLAIN:
+            entry["semantic_type"] = rel.semantic_type.value
+        relationships.append(entry)
+    return {
+        "name": model.name,
+        "classes": classes,
+        "relationships": relationships,
+        "reified": reified_specs,
+        "isa": [list(pair) for pair in sorted(model.isa_links)],
+        "disjoint": [sorted(group) for group in model.disjointness_groups],
+        "covers": [
+            {"super": sup, "subs": sorted(subs)} for sup, subs in model.covers
+        ],
+    }

@@ -1,0 +1,294 @@
+"""The Amalgam dataset pair (reconstruction of the paper's Amalgam1/2).
+
+The originals were bibliography schemas "developed by students ... not
+designed by professionals", used in the Clio evaluations; the paper notes
+the semantic technique fared best here. The reconstruction mirrors the
+signature student-design patterns:
+
+* **Amalgam1** (source): a flat 8-concept ER model — one denormalized
+  table per publication type (journal names, publishers, institutions
+  stored as plain text columns), one authorship table per publication
+  type, and assorted pairwise citation tables — 15 tables in all.
+* **Amalgam2** (target): a professionally normalized 26-class model with
+  a publication ISA hierarchy, reified authorship, and proper entity
+  tables for journals/publishers/institutions — 27 tables.
+
+The target-side connections routinely climb the ISA hierarchy and pass
+through the reified Authorship class, which is invisible to RIC-only
+techniques — exactly the Example 1.2 phenomenon.
+"""
+
+from __future__ import annotations
+
+from repro.cm import ConceptualModel, SemanticType
+from repro.datasets.registry import DatasetPair, case, register
+from repro.semantics.er2rel import design_schema
+
+
+def _amalgam1_er() -> ConceptualModel:
+    cm = ConceptualModel("amalgam1_er")
+    cm.add_class("Author", attributes=["aid", "aname", "email"], key=["aid"])
+    cm.add_class(
+        "ArticleP",
+        attributes=["artid", "atitle", "journal", "volume"],
+        key=["artid"],
+    )
+    cm.add_class(
+        "BookP",
+        attributes=["bkid", "btitle", "publisher", "byear"],
+        key=["bkid"],
+    )
+    cm.add_class(
+        "TechRep", attributes=["trid", "rtitle", "institution"], key=["trid"]
+    )
+    cm.add_class(
+        "InColl", attributes=["icid", "ictitle", "booktitle"], key=["icid"]
+    )
+    cm.add_class("MiscP", attributes=["mid", "mtitle", "note2"], key=["mid"])
+    # Keyless leftovers of the students' ER diagram (no tables).
+    cm.add_class("Venue1", attributes=["vdesc"])
+    cm.add_class("Publisher1", attributes=["pdesc"])
+    # One authorship relationship per publication type — the student way.
+    cm.add_relationship("wroteArt", "Author", "ArticleP", "0..*", "1..*")
+    cm.add_relationship("wroteBk", "Author", "BookP", "0..*", "1..*")
+    cm.add_relationship("wroteTr", "Author", "TechRep", "0..*", "1..*")
+    cm.add_relationship("wroteIc", "Author", "InColl", "0..*", "1..*")
+    cm.add_relationship("wroteMisc", "Author", "MiscP", "0..*", "1..*")
+    # Pairwise citation tables between some publication types.
+    cm.add_relationship("citesAA", "ArticleP", "ArticleP", "0..*", "0..*")
+    cm.add_relationship("citesAB", "ArticleP", "BookP", "0..*", "0..*")
+    cm.add_relationship("citesBB", "BookP", "BookP", "0..*", "0..*")
+    cm.add_relationship("citesTA", "TechRep", "ArticleP", "0..*", "0..*")
+    # Keyless decorations.
+    cm.add_relationship("venueOf", "MiscP", "Venue1", "0..1", "0..*")
+    cm.add_relationship("publishedBy1", "BookP", "Publisher1", "0..1", "0..*")
+    return cm
+
+
+def _amalgam2_er() -> ConceptualModel:
+    cm = ConceptualModel("amalgam2_er")
+    cm.add_class(
+        "Publication", attributes=["pubid", "title", "year"], key=["pubid"]
+    )
+    cm.add_class("Article", attributes=["pages2"])
+    cm.add_class("Book", attributes=["isbn2"])
+    cm.add_class("TechReport", attributes=["number2"])
+    cm.add_class("InCollection", attributes=["chapno"])
+    cm.add_class("Misc", attributes=["how"])
+    cm.add_class("Thesis", attributes=["degree"])
+    cm.add_class("Person", attributes=["pid", "pname2", "email2"], key=["pid"])
+    cm.add_class("Author")
+    cm.add_class("Editor")
+    cm.add_class("Journal", attributes=["jtitle2"], key=["jtitle2"])
+    cm.add_class("Publisher", attributes=["pubname3"], key=["pubname3"])
+    cm.add_class("Institution", attributes=["iname3"], key=["iname3"])
+    cm.add_class("Conference", attributes=["cname2"], key=["cname2"])
+    cm.add_class("Proceedings", attributes=["procid"], key=["procid"])
+    cm.add_class("Series", attributes=["sname3"], key=["sname3"])
+    cm.add_class("Keyword", attributes=["word"], key=["word"])
+    cm.add_class("Volume", attributes=["volno"], key=["volno"])
+    cm.add_class("Chapter", attributes=["chtitle"], key=["chtitle"])
+    cm.add_class("Topic", attributes=["tname"], key=["tname"])
+    cm.add_class("Country", attributes=["cname3"], key=["cname3"])
+    cm.add_class("Award", attributes=["awname"], key=["awname"])
+    # Keyless auxiliary concepts.
+    cm.add_class("Venue", attributes=["vdesc2"])
+    cm.add_class("Role", attributes=["rdesc"])
+    cm.add_class("Note", attributes=["ntext"])
+
+    for sub in [
+        "Article",
+        "Book",
+        "TechReport",
+        "InCollection",
+        "Misc",
+        "Thesis",
+    ]:
+        cm.add_isa(sub, "Publication")
+    cm.add_disjointness(["Article", "Book"])
+    for sub in ["Author", "Editor"]:
+        cm.add_isa(sub, "Person")
+
+    cm.add_relationship("inJournal2", "Article", "Journal", "0..1", "0..*")
+    cm.add_relationship("publishedBy3", "Book", "Publisher", "0..1", "0..*")
+    cm.add_relationship("inSeries", "Book", "Series", "0..1", "0..*")
+    cm.add_relationship(
+        "fromInstitution", "TechReport", "Institution", "0..1", "0..*"
+    )
+    cm.add_relationship(
+        "inBook",
+        "InCollection",
+        "Book",
+        "0..1",
+        "0..*",
+        semantic_type=SemanticType.PART_OF,
+    )
+    cm.add_relationship("thesisAt", "Thesis", "Institution", "0..1", "0..*")
+    cm.add_relationship("procOf", "Proceedings", "Conference", "1..1", "0..*")
+    cm.add_relationship(
+        "volumeOf",
+        "Volume",
+        "Journal",
+        "1..1",
+        "0..*",
+        semantic_type=SemanticType.PART_OF,
+    )
+    cm.add_relationship(
+        "chapterIn",
+        "Chapter",
+        "Book",
+        "1..1",
+        "0..*",
+        semantic_type=SemanticType.PART_OF,
+    )
+    cm.add_relationship("aboutTopic", "Publication", "Topic", "0..1", "0..*")
+    cm.add_relationship("locatedIn", "Institution", "Country", "0..1", "0..*")
+    cm.add_relationship("wonAward", "Publication", "Award", "0..1", "0..*")
+    cm.add_reified_relationship(
+        "Authorship",
+        roles={"auth": "Author", "pub": "Publication"},
+        attributes=["position"],
+    )
+    cm.add_relationship("cites", "Publication", "Publication", "0..*", "0..*")
+    cm.add_relationship("hasKeyword2", "Publication", "Keyword", "0..*", "0..*")
+    cm.add_relationship("edited", "Editor", "Proceedings", "0..*", "1..*")
+    cm.add_relationship("affiliated", "Person", "Institution", "0..*", "0..*")
+    # Keyless decorations.
+    cm.add_relationship("heldAt2", "Conference", "Venue", "0..1", "0..*")
+    cm.add_relationship("hasRole", "Person", "Role", "0..*", "0..*")
+    cm.add_relationship("annotatedBy", "Publication", "Note", "0..*", "0..*")
+    return cm
+
+
+@register("Amalgam")
+def build() -> DatasetPair:
+    source = design_schema(_amalgam1_er(), "amalgam1")
+    target = design_schema(_amalgam2_er(), "amalgam2")
+    cases = (
+        case(
+            "amalgam-article-basic",
+            "Article titles with their journal: the denormalized source "
+            "column vs the target's Journal entity (both methods succeed).",
+            [
+                "articlep.atitle <-> publication.title",
+                "articlep.journal <-> journal.jtitle2",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- articlep(a, v1, v2, vol)",
+                    "ans(v1, v2) :- publication(p, v1, y, tn, aw), "
+                    "article(p, pg, v2), journal(v2)",
+                )
+            ],
+        ),
+        case(
+            "amalgam-author-of-article",
+            "Authors with their article titles: per-type authorship table "
+            "vs the reified Authorship (both methods succeed).",
+            [
+                "author.aname <-> person.pname2",
+                "articlep.atitle <-> publication.title",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- author(aid, v1, em), wroteart(aid, art), "
+                    "articlep(art, v2, j, vol)",
+                    "ans(v1, v2) :- person(pid, v1, em2), "
+                    "authorship(pid, pub, pos), publication(pub, v2, y, tn, aw)",
+                )
+            ],
+        ),
+        case(
+            "amalgam-author-journal",
+            "Authors with the journals of their articles: the target "
+            "connection climbs ISA and crosses Authorship (semantic only).",
+            [
+                "author.aname <-> person.pname2",
+                "articlep.journal <-> journal.jtitle2",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- author(aid, v1, em), wroteart(aid, art), "
+                    "articlep(art, at, v2, vol)",
+                    "ans(v1, v2) :- person(pid, v1, em2), "
+                    "authorship(pid, pub, pos), article(pub, pg, v2), "
+                    "journal(v2)",
+                )
+            ],
+        ),
+        case(
+            "amalgam-techreport-institution",
+            "Tech reports with their institution (both methods succeed).",
+            [
+                "techrep.rtitle <-> publication.title",
+                "techrep.institution <-> institution.iname3",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- techrep(t, v1, v2)",
+                    "ans(v1, v2) :- publication(p, v1, y, tn, aw), "
+                    "techreport(p, n2, v2), institution(v2, co)",
+                )
+            ],
+        ),
+        case(
+            "amalgam-author-trivial",
+            "Author names and emails onto persons (single table).",
+            [
+                "author.aname <-> person.pname2",
+                "author.email <-> person.email2",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- author(a, v1, v2)",
+                    "ans(v1, v2) :- person(p, v1, v2)",
+                )
+            ],
+        ),
+        case(
+            "amalgam-author-publisher",
+            "Authors with the publishers of their books (semantic only).",
+            [
+                "author.aname <-> person.pname2",
+                "bookp.publisher <-> publisher.pubname3",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- author(aid, v1, em), wrotebk(aid, bk), "
+                    "bookp(bk, bt, v2, by)",
+                    "ans(v1, v2) :- person(pid, v1, em2), "
+                    "authorship(pid, pub, pos), book(pub, ib, sn, v2), "
+                    "publisher(v2)",
+                )
+            ],
+        ),
+        case(
+            "amalgam-author-institution",
+            "Authors with the institutions of their tech reports "
+            "(semantic only).",
+            [
+                "author.aname <-> person.pname2",
+                "techrep.institution <-> institution.iname3",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- author(aid, v1, em), wrotetr(aid, tr), "
+                    "techrep(tr, rt, v2)",
+                    "ans(v1, v2) :- person(pid, v1, em2), "
+                    "authorship(pid, pub, pos), techreport(pub, n2, v2), "
+                    "institution(v2, co)",
+                )
+            ],
+        ),
+    )
+    return DatasetPair(
+        name="Amalgam",
+        source_label="Amalgam1",
+        target_label="Amalgam2",
+        source_cm_label="amalgam1 ER",
+        target_cm_label="amalgam2 ER",
+        source=source.semantics,
+        target=target.semantics,
+        cases=cases,
+        notes="Student-designed flat schema vs normalized hierarchy.",
+    )

@@ -1,0 +1,326 @@
+"""The DBLP dataset pair (reconstruction of the paper's DBLP1/DBLP2).
+
+DBLP1 is a 22-table relational schema whose semantics live in a rich,
+75-class *Bibliographic* ontology (publication-type hierarchy, person
+roles, venues, plus many keyless ontology-only concepts: topics,
+organizations, events). DBLP2 is a compact 9-table schema whose 7-class
+ER model was reverse-engineered from it — functional relationships are
+merged into wide tables, and the subclass hierarchy is flattened away.
+"""
+
+from __future__ import annotations
+
+from repro.cm import ConceptualModel, SemanticType
+from repro.datasets.registry import DatasetPair, case, register
+from repro.semantics.er2rel import design_schema
+
+#: Keyless ontology-only concept families hung off the core classes.
+#: Each tuple is (root, subclasses, anchor class, linking relationship).
+_FILLER_FAMILIES = (
+    (
+        "Topic",
+        [
+            "ArtificialIntelligence",
+            "Databases",
+            "Theory",
+            "Systems",
+            "Networking",
+            "Graphics",
+            "HCI",
+            "Security",
+            "Bioinformatics",
+            "SoftwareEngineering",
+            "MachineLearning",
+            "InformationRetrieval",
+            "QuantumComputing",
+            "Verification",
+            "Compilers",
+        ],
+        "Publication",
+        "hasTopic",
+    ),
+    (
+        "Organization",
+        [
+            "University",
+            "ResearchLab",
+            "Company",
+            "FundingAgency",
+            "PublishingHouse",
+            "ProfessionalSociety",
+            "StandardsBody",
+            "Consortium",
+            "Library",
+        ],
+        "Conference",
+        "sponsoredBy",
+    ),
+    (
+        "Event",
+        [
+            "Workshop",
+            "Symposium",
+            "SummerSchool",
+            "Tutorial",
+            "PanelDiscussion",
+            "KeynoteSession",
+        ],
+        "Conference",
+        "colocatedWith",
+    ),
+    (
+        "Artifact",
+        [
+            "Dataset",
+            "SoftwareTool",
+            "Benchmark",
+            "ProofScript",
+            "Slides",
+            "Poster",
+            "TechReportDraft",
+            "Preprint",
+        ],
+        "Publication",
+        "accompaniedBy",
+    ),
+    (
+        "Agent",
+        [
+            "ProgramCommittee",
+            "EditorialBoard",
+            "SteeringCommittee",
+            "ReviewPanel",
+            "AwardCommittee",
+        ],
+        "Person",
+        "servesOn",
+    ),
+    (
+        "Venue",
+        [
+            "ConferenceCenter",
+            "UniversityCampus",
+            "OnlinePlatform",
+            "HotelVenue",
+        ],
+        "Conference",
+        "heldAt",
+    ),
+    (
+        "Award",
+        ["BestPaperAward", "TestOfTimeAward", "DistinguishedReview"],
+        "Publication",
+        "received",
+    ),
+)
+
+
+def _bibliographic_ontology() -> ConceptualModel:
+    """The 75-class source CM (17 keyed classes + 1 reified + fillers)."""
+    cm = ConceptualModel("bibliographic")
+    cm.add_class("Publication", attributes=["pubid", "title", "year"], key=["pubid"])
+    cm.add_class("Article", attributes=["pages"])
+    cm.add_class("InProceedings", attributes=["booktitle"])
+    cm.add_class("Book", attributes=["isbn"])
+    cm.add_class("PhDThesis", attributes=["school"])
+    cm.add_class("MastersThesis", attributes=["advisor"])
+    cm.add_class("Person", attributes=["pname", "homepage"], key=["pname"])
+    cm.add_class("Author")
+    cm.add_class("Editor")
+    cm.add_class("Reviewer")
+    cm.add_class("Journal", attributes=["jname"], key=["jname"])
+    cm.add_class("Proceedings", attributes=["prockey"], key=["prockey"])
+    cm.add_class("Conference", attributes=["confname", "cyear"], key=["confname"])
+    cm.add_class("Publisher", attributes=["pubname"], key=["pubname"])
+    cm.add_class("Series", attributes=["sname"], key=["sname"])
+    cm.add_class("Institution", attributes=["iname"], key=["iname"])
+    cm.add_class("Keyword", attributes=["kw"], key=["kw"])
+
+    for sub in ["Article", "InProceedings", "Book", "PhDThesis", "MastersThesis"]:
+        cm.add_isa(sub, "Publication")
+    for sub in ["Author", "Editor", "Reviewer"]:
+        cm.add_isa(sub, "Person")
+    cm.add_disjointness(["Article", "InProceedings"])
+    cm.add_disjointness(["PhDThesis", "MastersThesis"])
+
+    cm.add_relationship("publishedIn", "Article", "Journal", "1..1", "0..*")
+    cm.add_relationship("presentedAt", "InProceedings", "Proceedings", "1..1", "0..*")
+    cm.add_relationship("publishedBy", "Book", "Publisher", "1..1", "0..*")
+    cm.add_relationship(
+        "partOfSeries",
+        "Book",
+        "Series",
+        "0..1",
+        "0..*",
+        semantic_type=SemanticType.PART_OF,
+    )
+    cm.add_relationship("submittedTo", "PhDThesis", "Institution", "0..1", "0..*")
+    cm.add_relationship("proceedingsOf", "Proceedings", "Conference", "1..1", "0..*")
+    cm.add_relationship("memberOf", "Person", "Institution", "0..1", "0..*")
+    cm.add_relationship("writes", "Person", "Publication", "0..*", "1..*")
+    cm.add_relationship("edits", "Editor", "Proceedings", "0..*", "1..*")
+    cm.add_relationship("cites", "Publication", "Publication", "0..*", "0..*")
+    cm.add_relationship("hasKeyword", "Publication", "Keyword", "0..*", "0..*")
+    cm.add_reified_relationship(
+        "ReviewAssignment",
+        roles={"reviewer": "Reviewer", "paper": "Publication"},
+        attributes=["rdate"],
+    )
+
+    for root, subclasses, anchor, link in _FILLER_FAMILIES:
+        cm.add_class(root, attributes=["label"])
+        for sub in subclasses:
+            cm.add_class(sub)
+            cm.add_isa(sub, root)
+        cm.add_relationship(link, anchor, root, "0..*", "0..*")
+    return cm
+
+
+def _dblp2_er() -> ConceptualModel:
+    """The 7-class reverse-engineered target ER model."""
+    cm = ConceptualModel("dblp2_er")
+    cm.add_class("Publication", attributes=["pid", "title", "year"], key=["pid"])
+    cm.add_class("Person", attributes=["name", "url"], key=["name"])
+    cm.add_class("Journal", attributes=["jtitle"], key=["jtitle"])
+    cm.add_class("Conference", attributes=["cname", "cyear2"], key=["cname"])
+    cm.add_class("Publisher", attributes=["pname2"], key=["pname2"])
+    cm.add_class("Series2", attributes=["sname2"], key=["sname2"])
+    cm.add_class("Institution2", attributes=["iname2"], key=["iname2"])
+    cm.add_relationship("atConference", "Publication", "Conference", "0..1", "0..*")
+    cm.add_relationship("inJournal", "Publication", "Journal", "0..1", "0..*")
+    cm.add_relationship(
+        "partOfSeries2",
+        "Publication",
+        "Series2",
+        "0..1",
+        "0..*",
+        semantic_type=SemanticType.PART_OF,
+    )
+    cm.add_relationship("publishedBy2", "Publication", "Publisher", "0..1", "0..*")
+    cm.add_relationship("memberOf2", "Person", "Institution2", "0..1", "0..*")
+    cm.add_relationship("authored", "Person", "Publication", "0..*", "1..*")
+    cm.add_relationship("cited", "Publication", "Publication", "0..*", "0..*")
+    return cm
+
+
+@register("DBLP")
+def build() -> DatasetPair:
+    source = design_schema(_bibliographic_ontology(), "dblp1")
+    target = design_schema(_dblp2_er(), "dblp2")
+    cases = (
+        case(
+            "dblp-article-in-journal",
+            "Articles with title and journal: an anchored functional tree "
+            "through the Article subclass (both methods succeed).",
+            [
+                "publication.title <-> publication.title",
+                "article.jname <-> publication.jtitle",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- publication(p, v1, y), article(p, pg, v2)",
+                    "ans(v1, v2) :- publication(p, v1, y, c, v2, s, pb)",
+                )
+            ],
+        ),
+        case(
+            "dblp-author-of-publication",
+            "Authors with the titles they wrote: the writes/authored "
+            "many-many relationship on both sides.",
+            [
+                "person.pname <-> person.name",
+                "publication.title <-> publication.title",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- person(v1, h, i), writes(v1, p), "
+                    "publication(p, v2, y)",
+                    "ans(v1, v2) :- person(v1, u, i2), authored(v1, p), "
+                    "publication(p, v2, y, c, j, s, pb)",
+                )
+            ],
+        ),
+        case(
+            "dblp-author-in-journal",
+            "Authors paired with journals carrying their articles: a "
+            "composition across writes and publishedIn (semantic only).",
+            [
+                "person.pname <-> person.name",
+                "journal.jname <-> journal.jtitle",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- person(v1, h, i), writes(v1, p), "
+                    "article(p, pg, v2), journal(v2)",
+                    "ans(v1, v2) :- person(v1, u, i2), authored(v1, p), "
+                    "publication(p, t, y, c, v2, s, pb), journal(v2)",
+                )
+            ],
+        ),
+        case(
+            "dblp-paper-at-conference",
+            "Conference papers with their conference: a functional chain "
+            "through Proceedings (both methods succeed).",
+            [
+                "publication.title <-> publication.title",
+                "conference.confname <-> conference.cname",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- publication(p, v1, y), "
+                    "inproceedings(p, bt, pr), proceedings(pr, v2), "
+                    "conference(v2, cy)",
+                    "ans(v1, v2) :- publication(p, v1, y, v2, j, s, pb), "
+                    "conference(v2, cy2)",
+                )
+            ],
+        ),
+        case(
+            "dblp-book-publisher",
+            "Books with their publisher (functional through the Book "
+            "subclass).",
+            [
+                "publication.title <-> publication.title",
+                "publisher.pubname <-> publisher.pname2",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- publication(p, v1, y), "
+                    "book(p, isbn, s, v2), publisher(v2)",
+                    "ans(v1, v2) :- publication(p, v1, y, c, j, s2, v2), "
+                    "publisher(v2)",
+                )
+            ],
+        ),
+        case(
+            "dblp-author-at-conference",
+            "Authors, their paper titles, and the conferences the papers "
+            "appeared at: a functional tree grown by a lossy attachment "
+            "(semantic only).",
+            [
+                "person.pname <-> person.name",
+                "publication.title <-> publication.title",
+                "conference.confname <-> conference.cname",
+            ],
+            [
+                (
+                    "ans(v1, v2, v3) :- person(v1, h, i), writes(v1, p), "
+                    "publication(p, v2, y), inproceedings(p, bt, pr), "
+                    "proceedings(pr, v3), conference(v3, cy)",
+                    "ans(v1, v2, v3) :- person(v1, u, i2), authored(v1, p), "
+                    "publication(p, v2, y, v3, j, s, pb), conference(v3, cy2)",
+                )
+            ],
+        ),
+    )
+    return DatasetPair(
+        name="DBLP",
+        source_label="DBLP1",
+        target_label="DBLP2",
+        source_cm_label="Bibliographic",
+        target_cm_label="DBLP2 ER",
+        source=source.semantics,
+        target=target.semantics,
+        cases=cases,
+        notes="Reconstructed bibliographic ontology + reverse-engineered ER.",
+    )

@@ -1,0 +1,157 @@
+"""The Hotel dataset pair (reconstruction of the paper's HotelA/HotelB).
+
+The originals came from the I3CON ontology-alignment contest and were
+forward-engineered into relational schemas, "demonstrating a certain
+degree of modeling heterogeneity". The reconstruction follows suit: two
+independently designed 7-class hotel ontologies (different vocabulary,
+different keyless auxiliary classes), forward-engineered with er2rel into
+6- and 5-table schemas, matching Table 1's characteristics.
+"""
+
+from __future__ import annotations
+
+from repro.cm import ConceptualModel
+from repro.datasets.registry import DatasetPair, case, register
+from repro.semantics.er2rel import design_schema
+
+
+def _hotel_a() -> ConceptualModel:
+    cm = ConceptualModel("hotelA_onto")
+    cm.add_class("Hotel", attributes=["hid", "hname", "city"], key=["hid"])
+    cm.add_class("Room", attributes=["rno", "beds"], key=["rno"])
+    cm.add_class("Guest", attributes=["gid", "gname"], key=["gid"])
+    cm.add_class("Amenity", attributes=["aname", "adesc"], key=["aname"])
+    cm.add_class("RatePlan", attributes=["rpid", "price"], key=["rpid"])
+    # Keyless auxiliary concept: present in the ontology, no table.
+    cm.add_class("CancellationPolicy", attributes=["terms"])
+    cm.add_relationship("roomOf", "Room", "Hotel", "1..1", "0..*")
+    cm.add_relationship("mainAmenity", "Room", "Amenity", "0..1", "0..*")
+    cm.add_relationship("rateFor", "RatePlan", "Room", "1..1", "0..*")
+    cm.add_relationship(
+        "governedBy", "RatePlan", "CancellationPolicy", "0..1", "0..*"
+    )
+    cm.add_reified_relationship(
+        "Booking",
+        roles={"bookedRoom": "Room", "bookedBy": "Guest"},
+        attributes=["bdate"],
+    )
+    return cm
+
+
+def _hotel_b() -> ConceptualModel:
+    cm = ConceptualModel("hotelB_onto")
+    cm.add_class("Property", attributes=["pid", "pname", "town"], key=["pid"])
+    cm.add_class("Unit", attributes=["uno", "capacity"], key=["uno"])
+    cm.add_class("Customer", attributes=["cid", "cname"], key=["cid"])
+    cm.add_class("Tariff", attributes=["tid", "amount"], key=["tid"])
+    # Keyless auxiliary concepts (no tables).
+    cm.add_class("Feature", attributes=["fdesc"])
+    cm.add_class("LoyaltyProgram", attributes=["tier"])
+    cm.add_relationship("unitOf", "Unit", "Property", "1..1", "0..*")
+    cm.add_relationship("offers", "Unit", "Feature", "0..*", "0..*")
+    cm.add_relationship("tariffFor", "Tariff", "Unit", "1..1", "0..*")
+    cm.add_relationship(
+        "enrolledIn", "Customer", "LoyaltyProgram", "0..1", "0..*"
+    )
+    cm.add_reified_relationship(
+        "Stay",
+        roles={"stayUnit": "Unit", "stayBy": "Customer"},
+        attributes=["sdate"],
+    )
+    return cm
+
+
+@register("Hotel")
+def build() -> DatasetPair:
+    source = design_schema(_hotel_a(), "hotelA")
+    target = design_schema(_hotel_b(), "hotelB")
+    cases = (
+        case(
+            "hotel-room-of-hotel",
+            "Rooms with their hotel's name: one FK hop on both sides "
+            "(both methods should succeed).",
+            [
+                "room.rno <-> unit.uno",
+                "hotel.hname <-> property.pname",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- room(v1, b, a, h), hotel(h, v2, c)",
+                    "ans(v1, v2) :- unit(v1, cap, p), property(p, v2, t)",
+                )
+            ],
+        ),
+        case(
+            "hotel-guest-stays-at-hotel",
+            "Guests paired with the hotels they booked: a lossy "
+            "composition through the reified Booking/Stay (semantic only).",
+            [
+                "guest.gname <-> customer.cname",
+                "hotel.hname <-> property.pname",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- guest(g, v1), booking(r, g, d), "
+                    "room(r, b, a, h), hotel(h, v2, c)",
+                    "ans(v1, v2) :- customer(cu, v1), stay(u, cu, s), "
+                    "unit(u, cap, p), property(p, v2, t)",
+                )
+            ],
+        ),
+        case(
+            "hotel-rate-of-room",
+            "Rate plans with their room: functional edge on both sides.",
+            [
+                "rateplan.price <-> tariff.amount",
+                "room.rno <-> unit.uno",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- rateplan(rp, v1, v2), room(v2, b, a, h)",
+                    "ans(v1, v2) :- tariff(t, v1, v2), unit(v2, cap, p)",
+                )
+            ],
+        ),
+        case(
+            "hotel-guest-rate",
+            "Guests with the price of rooms they booked: composition "
+            "reaching across Booking and rateFor (semantic only).",
+            [
+                "guest.gname <-> customer.cname",
+                "rateplan.price <-> tariff.amount",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- guest(g, v1), booking(r, g, d), "
+                    "rateplan(rp, v2, r)",
+                    "ans(v1, v2) :- customer(cu, v1), stay(u, cu, s), "
+                    "tariff(t, v2, u)",
+                )
+            ],
+        ),
+        case(
+            "hotel-trivial-hotel-property",
+            "Hotels onto properties: a single-table mapping.",
+            [
+                "hotel.hname <-> property.pname",
+                "hotel.city <-> property.town",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- hotel(h, v1, v2)",
+                    "ans(v1, v2) :- property(p, v1, v2)",
+                )
+            ],
+        ),
+    )
+    return DatasetPair(
+        name="Hotel",
+        source_label="HotelA",
+        target_label="HotelB",
+        source_cm_label="hotelA onto.",
+        target_cm_label="hotelB onto.",
+        source=source.semantics,
+        target=target.semantics,
+        cases=cases,
+        notes="Reconstructed I3CON-style hotel ontologies.",
+    )

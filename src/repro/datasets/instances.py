@@ -1,0 +1,113 @@
+"""Deterministic synthetic instances for any relational schema.
+
+The paper's evaluation never touches data, but a reproduction should be
+able to *run* the mappings it discovers. :func:`generate_instance`
+produces a consistent instance for an arbitrary schema: tables are
+filled in referential (parents-first) order, foreign-key columns draw
+from the parent's existing key values, primary keys stay unique, and a
+seeded PRNG makes every run reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from repro.exceptions import DatasetError
+from repro.relational.instance import Instance
+from repro.relational.schema import RelationalSchema, Table
+
+
+def referential_order(schema: RelationalSchema) -> list[str]:
+    """Tables ordered so every RIC parent precedes its children.
+
+    Cycles (self-references or mutual FKs) are broken arbitrarily after
+    all acyclically placeable tables; their FK values are then drawn from
+    whatever parent rows already exist.
+    """
+    remaining = list(schema.table_names())
+    ordered: list[str] = []
+    placed: set[str] = set()
+    while remaining:
+        progressed = False
+        for name in list(remaining):
+            parents = {
+                ric.parent_table
+                for ric in schema.rics_from(name)
+                if ric.parent_table != name
+            }
+            if parents <= placed:
+                ordered.append(name)
+                placed.add(name)
+                remaining.remove(name)
+                progressed = True
+        if not progressed:
+            # Cycle: place the lexicographically first remaining table.
+            name = sorted(remaining)[0]
+            ordered.append(name)
+            placed.add(name)
+            remaining.remove(name)
+    return ordered
+
+
+def _fresh_value(table: Table, column: str, index: int) -> str:
+    return f"{table.name}_{column}_{index}"
+
+
+def generate_instance(
+    schema: RelationalSchema,
+    rows_per_table: int = 5,
+    seed: int = 7,
+) -> Instance:
+    """A consistent sample instance (keys unique, RICs satisfied).
+
+    >>> from repro.datasets.registry import load_dataset
+    >>> pair = load_dataset("Hotel")
+    >>> inst = generate_instance(pair.source.schema, rows_per_table=3)
+    >>> inst.is_consistent()
+    True
+    """
+    if rows_per_table < 1:
+        raise DatasetError("rows_per_table must be positive")
+    rng = random.Random(seed)
+    instance = Instance(schema)
+    for table_name in referential_order(schema):
+        table = schema.table(table_name)
+        rics = schema.rics_from(table_name)
+        seen_keys: set[tuple] = set()
+        attempts = 0
+        produced = 0
+        while produced < rows_per_table and attempts < rows_per_table * 10:
+            attempts += 1
+            row: dict[str, Hashable] = {}
+            feasible = True
+            for ric in rics:
+                parent_rows = instance.rows(ric.parent_table)
+                if not parent_rows:
+                    feasible = False
+                    break
+                parent = schema.table(ric.parent_table)
+                chosen = rng.choice(parent_rows)
+                for child_col, parent_col in ric.column_pairs:
+                    value = chosen[parent.columns.index(parent_col)]
+                    if child_col in row and row[child_col] != value:
+                        feasible = False
+                        break
+                    row[child_col] = value
+                if not feasible:
+                    break
+            if not feasible:
+                continue
+            for column in table.columns:
+                if column not in row:
+                    row[column] = _fresh_value(
+                        table, column, rng.randrange(rows_per_table * 3)
+                    )
+            if table.primary_key:
+                key = tuple(row[c] for c in table.primary_key)
+                if key in seen_keys:
+                    continue
+                seen_keys.add(key)
+            instance.add(table_name, tuple(row[c] for c in table.columns))
+            produced += 1
+    return instance

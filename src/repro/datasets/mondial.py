@@ -1,0 +1,297 @@
+"""The Mondial dataset pair (reconstruction of the paper's Mondial1/2).
+
+Mondial is the classic geography database. Mondial1's semantics come
+from a CIA-factbook-style ontology (52 nodes — the keyed geography core
+plus keyless concept families for climate, government, and terrain);
+Mondial2 is a reverse-engineered 26-class ER model. Both schemas carry
+reified relationship tables with descriptive attributes (language
+percentages, organization membership types).
+"""
+
+from __future__ import annotations
+
+from repro.cm import ConceptualModel
+from repro.datasets.registry import DatasetPair, case, register
+from repro.semantics.er2rel import design_schema
+
+_FACTBOOK_FILLERS = (
+    (
+        "Climate",
+        [
+            "Tropical",
+            "Arid",
+            "Temperate",
+            "Continental",
+            "Polar",
+            "Mediterranean",
+        ],
+        "Country",
+        "hasClimate",
+    ),
+    (
+        "GovernmentForm",
+        [
+            "Republic",
+            "Monarchy",
+            "Federation",
+            "Theocracy",
+            "Dictatorship",
+            "ParliamentaryDemocracy",
+        ],
+        "Country",
+        "governedAs",
+    ),
+    (
+        "Terrain",
+        ["Plain", "Plateau", "Highland", "Valley", "Steppe"],
+        "Province",
+        "dominantTerrain",
+    ),
+    (
+        "Resource",
+        ["Oil", "Gas", "Coal", "Iron", "Timber", "Fishery"],
+        "Country",
+        "richIn",
+    ),
+    ("Hazard", ["Earthquake", "Flood"], "Country", "proneTo"),
+)
+
+
+def _factbook_ontology() -> ConceptualModel:
+    cm = ConceptualModel("factbook")
+    cm.add_class(
+        "Country",
+        attributes=["ccode", "cntryname", "population", "capname"],
+        key=["ccode"],
+    )
+    cm.add_class("Province", attributes=["provname", "parea"], key=["provname"])
+    cm.add_class("City", attributes=["cityname", "citypop"], key=["cityname"])
+    cm.add_class(
+        "Organization", attributes=["orgabbr", "orgname"], key=["orgabbr"]
+    )
+    cm.add_class("River", attributes=["rivername", "length"], key=["rivername"])
+    cm.add_class("Lake", attributes=["lakename", "larea"], key=["lakename"])
+    cm.add_class("Mountain", attributes=["mtname", "height"], key=["mtname"])
+    cm.add_class("Desert", attributes=["desertname"], key=["desertname"])
+    cm.add_class("Island", attributes=["islname"], key=["islname"])
+    cm.add_class("Sea", attributes=["seaname", "depth"], key=["seaname"])
+    cm.add_class("Language", attributes=["langname"], key=["langname"])
+    cm.add_class("Religion", attributes=["relname"], key=["relname"])
+    cm.add_class("EthnicGroup", attributes=["egname"], key=["egname"])
+    cm.add_class(
+        "Continent", attributes=["contname", "carea"], key=["contname"]
+    )
+    cm.add_class("Airport", attributes=["iata"], key=["iata"])
+    cm.add_class("Port", attributes=["portname"], key=["portname"])
+    cm.add_class("Canal", attributes=["canalname"], key=["canalname"])
+    cm.add_class("Volcano", attributes=["vname", "velevation"], key=["vname"])
+    cm.add_class("Glacier", attributes=["gname"], key=["gname"])
+    cm.add_class("NationalPark", attributes=["npname"], key=["npname"])
+
+    cm.add_relationship("provinceOf", "Province", "Country", "1..1", "0..*")
+    cm.add_relationship("inProvince", "City", "Province", "1..1", "0..*")
+    cm.add_relationship("mtIn", "Mountain", "Country", "1..1", "0..*")
+    cm.add_relationship("desertIn", "Desert", "Country", "0..1", "0..*")
+    cm.add_relationship("islandIn", "Island", "Sea", "0..1", "0..*")
+    cm.add_relationship("hqIn", "Organization", "City", "0..1", "0..*")
+    cm.add_relationship("airportAt", "Airport", "City", "1..1", "0..*")
+    cm.add_relationship("portIn", "Port", "Sea", "0..1", "0..*")
+    cm.add_relationship("canalJoins", "Canal", "Sea", "0..1", "0..*")
+    cm.add_relationship("volcanoIn", "Volcano", "Country", "0..1", "0..*")
+    cm.add_relationship("glacierIn", "Glacier", "Country", "0..1", "0..*")
+    cm.add_relationship("parkIn", "NationalPark", "Country", "0..1", "0..*")
+    cm.add_relationship("riverMouth", "River", "Sea", "0..1", "0..*")
+
+    cm.add_relationship("flowsThrough", "River", "Country", "0..*", "0..*")
+    cm.add_relationship("lakeIn", "Lake", "Country", "0..*", "0..*")
+    cm.add_relationship("ethnicIn", "EthnicGroup", "Country", "0..*", "0..*")
+    cm.add_relationship("believes", "Country", "Religion", "0..*", "0..*")
+    cm.add_relationship("encompasses", "Country", "Continent", "1..*", "1..*")
+    cm.add_relationship("borders", "Country", "Country", "0..*", "0..*")
+    cm.add_reified_relationship(
+        "Membership",
+        roles={"member": "Country", "org": "Organization"},
+        attributes=["mtype"],
+    )
+    cm.add_reified_relationship(
+        "SpokenIn",
+        roles={"spCountry": "Country", "spLanguage": "Language"},
+        attributes=["percent"],
+    )
+
+    for root, subclasses, anchor, link in _FACTBOOK_FILLERS:
+        cm.add_class(root, attributes=["tag"])
+        for sub in subclasses:
+            cm.add_class(sub)
+            cm.add_isa(sub, root)
+        cm.add_relationship(link, anchor, root, "0..*", "0..*")
+    return cm
+
+
+def _mondial2_er() -> ConceptualModel:
+    cm = ConceptualModel("mondial2_er")
+    cm.add_class(
+        "Nation", attributes=["ncode", "nname", "npop", "capname2"], key=["ncode"]
+    )
+    cm.add_class("State", attributes=["sname5", "sarea"], key=["sname5"])
+    cm.add_class("Town", attributes=["tname5", "tpop"], key=["tname5"])
+    cm.add_class("Org2", attributes=["abbr2", "oname2"], key=["abbr2"])
+    cm.add_class("River2", attributes=["rname2", "rlen2"], key=["rname2"])
+    cm.add_class("Lake2", attributes=["lname3", "larea2"], key=["lname3"])
+    cm.add_class("Mountain2", attributes=["mname2", "melev2"], key=["mname2"])
+    cm.add_class("Desert2", attributes=["dname2"], key=["dname2"])
+    cm.add_class("Island2", attributes=["iname5"], key=["iname5"])
+    cm.add_class("Sea2", attributes=["sname6", "sdepth2"], key=["sname6"])
+    cm.add_class("Language2", attributes=["lname2"], key=["lname2"])
+    cm.add_class("Religion2", attributes=["rname3"], key=["rname3"])
+    cm.add_class("Ethnic2", attributes=["ename2"], key=["ename2"])
+    cm.add_class("Continent2", attributes=["cname4", "carea2"], key=["cname4"])
+    cm.add_class("Airport2", attributes=["code2"], key=["code2"])
+    cm.add_class("Port2", attributes=["pname5"], key=["pname5"])
+    cm.add_class("Canal2", attributes=["canname2"], key=["canname2"])
+    cm.add_class("Volcano2", attributes=["vname2"], key=["vname2"])
+    cm.add_class("Glacier2", attributes=["gname2"], key=["gname2"])
+    cm.add_class("Park2", attributes=["pkname2"], key=["pkname2"])
+    # Keyless auxiliary concepts.
+    cm.add_class("GovForm2", attributes=["gdesc2"])
+    cm.add_class("Climate2", attributes=["cdesc2"])
+    cm.add_class("Terrain2", attributes=["tdesc2"])
+    cm.add_class("Currency2", attributes=["curdesc"])
+
+    cm.add_relationship("stateOf", "State", "Nation", "1..1", "0..*")
+    cm.add_relationship("inState", "Town", "State", "1..1", "0..*")
+    cm.add_relationship("mtIn2", "Mountain2", "Nation", "1..1", "0..*")
+    cm.add_relationship("desertIn2", "Desert2", "Nation", "0..1", "0..*")
+    cm.add_relationship("islandIn2", "Island2", "Sea2", "0..1", "0..*")
+    cm.add_relationship("hqIn2", "Org2", "Town", "0..1", "0..*")
+    cm.add_relationship("airportAt2", "Airport2", "Town", "1..1", "0..*")
+    cm.add_relationship("portIn2", "Port2", "Sea2", "0..1", "0..*")
+    cm.add_relationship("canalJoins2", "Canal2", "Sea2", "0..1", "0..*")
+    cm.add_relationship("volcanoIn2", "Volcano2", "Nation", "0..1", "0..*")
+    cm.add_relationship("glacierIn2", "Glacier2", "Nation", "0..1", "0..*")
+    cm.add_relationship("parkIn2", "Park2", "Nation", "0..1", "0..*")
+    cm.add_relationship("riverMouth2", "River2", "Sea2", "0..1", "0..*")
+    cm.add_relationship("govAs2", "Nation", "GovForm2", "0..1", "0..*")
+    cm.add_relationship("climateOf2", "Nation", "Climate2", "0..*", "0..*")
+    cm.add_relationship("terrainOf2", "State", "Terrain2", "0..*", "0..*")
+    cm.add_relationship("paysWith2", "Nation", "Currency2", "0..1", "0..*")
+
+    cm.add_relationship("flows2", "River2", "Nation", "0..*", "0..*")
+    cm.add_relationship("lakeIn2", "Lake2", "Nation", "0..*", "0..*")
+    cm.add_relationship("believes2", "Nation", "Religion2", "0..*", "0..*")
+    cm.add_relationship("encompasses2", "Nation", "Continent2", "1..*", "1..*")
+    cm.add_reified_relationship(
+        "Membership2",
+        roles={"member2": "Nation", "org2r": "Org2"},
+        attributes=["mtype2"],
+    )
+    cm.add_reified_relationship(
+        "Spoken2",
+        roles={"spNation": "Nation", "spLang": "Language2"},
+        attributes=["percent3"],
+    )
+    return cm
+
+
+@register("Mondial")
+def build() -> DatasetPair:
+    source = design_schema(_factbook_ontology(), "mondial1")
+    target = design_schema(_mondial2_er(), "mondial2")
+    cases = (
+        case(
+            "mondial-city-in-country",
+            "Cities with their country through the province/state level "
+            "(both methods succeed).",
+            [
+                "city.cityname <-> town.tname5",
+                "country.cntryname <-> nation.nname",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- city(v1, cp, pr), province(pr, pa, cc), "
+                    "country(cc, v2, po, cap)",
+                    "ans(v1, v2) :- town(v1, tp, st), state(st, sa, nc), "
+                    "nation(nc, v2, np, cap2)",
+                )
+            ],
+        ),
+        case(
+            "mondial-river-through-country",
+            "Rivers with the countries they flow through (many-many on "
+            "both sides; both methods succeed).",
+            [
+                "river.rivername <-> river2.rname2",
+                "country.cntryname <-> nation.nname",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- river(v1, le, se), flowsthrough(v1, cc), "
+                    "country(cc, v2, po, cap)",
+                    "ans(v1, v2) :- river2(v1, rl, se2), flows2(v1, nc), "
+                    "nation(nc, v2, np, cap2)",
+                )
+            ],
+        ),
+        case(
+            "mondial-language-spoken",
+            "Languages spoken in countries with percentages: reified "
+            "relationships with attributes (both methods succeed).",
+            [
+                "language.langname <-> language2.lname2",
+                "country.cntryname <-> nation.nname",
+                "spokenin.percent <-> spoken2.percent3",
+            ],
+            [
+                (
+                    "ans(v1, v2, v3) :- language(v1), "
+                    "spokenin(cc, v1, v3), country(cc, v2, po, cap)",
+                    "ans(v1, v2, v3) :- language2(v1), "
+                    "spoken2(nc, v1, v3), nation(nc, v2, np, cap2)",
+                )
+            ],
+        ),
+        case(
+            "mondial-org-hq-city",
+            "Organizations with their headquarters city: a functional "
+            "edge on both sides (both methods succeed).",
+            [
+                "organization.orgname <-> org2.oname2",
+                "city.cityname <-> town.tname5",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- organization(oa, v1, v2), "
+                    "city(v2, cp, pr)",
+                    "ans(v1, v2) :- org2(ab, v1, v2), town(v2, tp, st)",
+                )
+            ],
+        ),
+        case(
+            "mondial-mountain-continent",
+            "Mountains with the continents of their country: a functional "
+            "edge composed with the many-many encompasses (semantic only).",
+            [
+                "mountain.mtname <-> mountain2.mname2",
+                "continent.contname <-> continent2.cname4",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- mountain(v1, he, cc), "
+                    "encompasses(cc, v2), continent(v2, ca)",
+                    "ans(v1, v2) :- mountain2(v1, me, nc), "
+                    "encompasses2(nc, v2), continent2(v2, ca2)",
+                )
+            ],
+        ),
+    )
+    return DatasetPair(
+        name="Mondial",
+        source_label="Mondial1",
+        target_label="Mondial2",
+        source_cm_label="factbook",
+        target_cm_label="mondial2 ER",
+        source=source.semantics,
+        target=target.semantics,
+        cases=cases,
+        notes="Reconstructed factbook ontology + reverse-engineered ER.",
+    )

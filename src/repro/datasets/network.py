@@ -1,0 +1,277 @@
+"""The Network dataset pair (reconstruction of the paper's NetworkA/B).
+
+The originals are I3CON ontology-alignment contest ontologies about
+computer networks, forward-engineered into relational schemas. The two
+reconstructions model the same infrastructure domain with different
+vocabularies and slightly different modeling choices, and deliberately
+carry the paper's two precision mechanisms:
+
+* NetworkA has **two** functional relationships from Interface to Device
+  — ``ifOf`` (a **partOf** role: the interface is physically part of the
+  device) and ``managedFrom`` (plain: which controller manages it) —
+  while NetworkB's ``portOf`` is partOf: Example 1.3's disambiguation;
+* both sides have device-type subclass hierarchies (router/switch/host
+  vs gateway/bridge/server), so sibling tables merge through the
+  invisible superclass: Example 1.2's phenomenon.
+"""
+
+from __future__ import annotations
+
+from repro.cm import ConceptualModel, SemanticType
+from repro.datasets.registry import DatasetPair, case, register
+from repro.semantics.er2rel import design_schema
+
+_NETA_FILLERS = (
+    ("ProtocolFamily", ["OSPF", "BGP", "ISIS", "RIP", "Spanning"]),
+    ("ServiceClass", ["VoiceService", "VideoService", "DataService"]),
+    ("PolicyKind", ["QoSPolicy", "ACLPolicy"]),
+)
+
+_NETB_FILLERS = (
+    ("RoutingScheme", ["StaticScheme", "DynamicScheme"]),
+    ("TrafficKind", ["Bulk", "Interactive", "Streaming"]),
+    ("Zone", ["DMZ", "CoreZone", "EdgeZone"]),
+)
+
+
+def _network_a() -> ConceptualModel:
+    cm = ConceptualModel("networkA_onto")
+    cm.add_class("Device", attributes=["devname", "model"], key=["devname"])
+    cm.add_class("Router", attributes=["ios"])
+    cm.add_class("Switch", attributes=["vlancount"])
+    cm.add_class("Host", attributes=["os"])
+    cm.add_class("Interface", attributes=["ifname", "speed"], key=["ifname"])
+    cm.add_class("Link", attributes=["linkid", "bandwidth"], key=["linkid"])
+    cm.add_class("Subnet", attributes=["cidr"], key=["cidr"])
+    cm.add_class("Vlan", attributes=["vlanid"], key=["vlanid"])
+    cm.add_class("Site", attributes=["sitename", "region"], key=["sitename"])
+    cm.add_class("Admin", attributes=["adminname"], key=["adminname"])
+    cm.add_class("Vendor", attributes=["vendorname"], key=["vendorname"])
+    cm.add_class("Rack", attributes=["rackid"], key=["rackid"])
+    cm.add_class("Datacenter", attributes=["dcname"], key=["dcname"])
+    cm.add_class("Circuit", attributes=["circuitid"], key=["circuitid"])
+    cm.add_class("Provider", attributes=["provname"], key=["provname"])
+    for sub in ["Router", "Switch", "Host"]:
+        cm.add_isa(sub, "Device")
+    # L3 switches exist: Router and Switch overlap; hosts are disjoint
+    # from both.
+    cm.add_disjointness(["Host", "Router"])
+    cm.add_disjointness(["Host", "Switch"])
+
+    cm.add_relationship(
+        "ifOf",
+        "Interface",
+        "Device",
+        "1..1",
+        "0..*",
+        semantic_type=SemanticType.PART_OF,
+    )
+    cm.add_relationship("managedFrom", "Interface", "Device", "0..1", "0..*")
+    cm.add_relationship("atSite", "Device", "Site", "0..1", "0..*")
+    cm.add_relationship("madeBy", "Device", "Vendor", "0..1", "0..*")
+    cm.add_relationship("inRack", "Device", "Rack", "0..1", "0..*")
+    cm.add_relationship(
+        "rackIn",
+        "Rack",
+        "Datacenter",
+        "1..1",
+        "0..*",
+        semantic_type=SemanticType.PART_OF,
+    )
+    cm.add_relationship("onSubnet", "Interface", "Subnet", "0..1", "0..*")
+    cm.add_relationship("subnetAt", "Subnet", "Site", "0..1", "0..*")
+    cm.add_relationship("onCircuit", "Link", "Circuit", "0..1", "0..*")
+    cm.add_relationship("providedBy", "Circuit", "Provider", "0..1", "0..*")
+    cm.add_relationship("inVlan", "Interface", "Vlan", "0..*", "0..*")
+    cm.add_relationship("managedBy", "Device", "Admin", "0..*", "1..*")
+    cm.add_relationship("linkEnds", "Link", "Interface", "0..*", "0..*")
+
+    for root, subclasses in _NETA_FILLERS:
+        cm.add_class(root, attributes=["pfnote"])
+        for sub in subclasses:
+            cm.add_class(sub)
+            cm.add_isa(sub, root)
+    cm.add_relationship("speaks9", "Router", "ProtocolFamily", "0..*", "0..*")
+    cm.add_relationship("carries9", "Link", "ServiceClass", "0..*", "0..*")
+    return cm
+
+
+def _network_b() -> ConceptualModel:
+    cm = ConceptualModel("networkB_onto")
+    cm.add_class("Node", attributes=["nodename", "hw"], key=["nodename"])
+    cm.add_class("Gateway", attributes=["gwproto"])
+    cm.add_class("Bridge", attributes=["brports"])
+    cm.add_class("Server", attributes=["svcos"])
+    cm.add_class("Port2", attributes=["portname", "rate"], key=["portname"])
+    cm.add_class(
+        "Connection2", attributes=["connid", "capacity"], key=["connid"]
+    )
+    cm.add_class("Net2", attributes=["prefix"], key=["prefix"])
+    cm.add_class("Lan2", attributes=["lanid"], key=["lanid"])
+    cm.add_class("Location", attributes=["locname", "zone9"], key=["locname"])
+    cm.add_class("Operator", attributes=["opname"], key=["opname"])
+    cm.add_class("Maker", attributes=["makername"], key=["makername"])
+    cm.add_class("Cabinet", attributes=["cabid"], key=["cabid"])
+    cm.add_class("Facility", attributes=["facname"], key=["facname"])
+    cm.add_class("Line2", attributes=["lineid"], key=["lineid"])
+    cm.add_class("Carrier", attributes=["carrname"], key=["carrname"])
+    cm.add_class("Tenant", attributes=["tenname"], key=["tenname"])
+    for sub in ["Gateway", "Bridge", "Server"]:
+        cm.add_isa(sub, "Node")
+    cm.add_disjointness(["Server", "Gateway"])
+
+    cm.add_relationship(
+        "portOf",
+        "Port2",
+        "Node",
+        "1..1",
+        "0..*",
+        semantic_type=SemanticType.PART_OF,
+    )
+    cm.add_relationship("sited", "Node", "Location", "0..1", "0..*")
+    cm.add_relationship("builtBy", "Node", "Maker", "0..1", "0..*")
+    cm.add_relationship("inCabinet", "Node", "Cabinet", "0..1", "0..*")
+    cm.add_relationship(
+        "cabinetIn",
+        "Cabinet",
+        "Facility",
+        "1..1",
+        "0..*",
+        semantic_type=SemanticType.PART_OF,
+    )
+    cm.add_relationship("onNet", "Port2", "Net2", "0..1", "0..*")
+    cm.add_relationship("netAt", "Net2", "Location", "0..1", "0..*")
+    cm.add_relationship("onLine", "Connection2", "Line2", "0..1", "0..*")
+    cm.add_relationship("linedBy", "Line2", "Carrier", "0..1", "0..*")
+    cm.add_relationship("ownedBy9", "Node", "Tenant", "0..1", "0..*")
+    cm.add_relationship("portLan", "Port2", "Lan2", "0..*", "0..*")
+    cm.add_relationship("operates", "Node", "Operator", "0..*", "1..*")
+    cm.add_relationship("connPorts", "Connection2", "Port2", "0..*", "0..*")
+
+    for root, subclasses in _NETB_FILLERS:
+        cm.add_class(root, attributes=["note7"])
+        for sub in subclasses:
+            cm.add_class(sub)
+            cm.add_isa(sub, root)
+    cm.add_relationship("routesVia", "Gateway", "RoutingScheme", "0..*", "0..*")
+    cm.add_relationship("shapedAs", "Connection2", "TrafficKind", "0..*", "0..*")
+    return cm
+
+
+@register("Network")
+def build() -> DatasetPair:
+    source = design_schema(_network_a(), "networkA")
+    target = design_schema(_network_b(), "networkB")
+    cases = (
+        case(
+            "network-interface-of-device",
+            "Interfaces with their device: two candidate functional "
+            "relationships in the source, disambiguated by partOf "
+            "(Example 1.3's phenomenon).",
+            [
+                "interface.ifname <-> port2.portname",
+                "device.devname <-> node.nodename",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- interface(v1, sp, v2, mf, cd), "
+                    "device(v2, mo, si, ra, ve)",
+                    "ans(v1, v2) :- port2(v1, ra2, pf, v2), "
+                    "node(v2, hw, ma, ca, te, lo)",
+                )
+            ],
+        ),
+        case(
+            "network-router-switch-merge",
+            "L3 switches: merging the router and switch tables through "
+            "the invisible Device superclass (Example 1.2; semantic only).",
+            [
+                "router.ios <-> gateway.gwproto",
+                "switch.vlancount <-> bridge.brports",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- router(d, v1), switch(d, v2)",
+                    "ans(v1, v2) :- gateway(n, v1), bridge(n, v2)",
+                )
+            ],
+        ),
+        case(
+            "network-device-at-site",
+            "Devices with their site/location (both methods succeed).",
+            [
+                "device.devname <-> node.nodename",
+                "site.sitename <-> location.locname",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- device(v1, mo, v2, ra, ve), "
+                    "site(v2, re)",
+                    "ans(v1, v2) :- node(v1, hw, ma, ca, te, v2), "
+                    "location(v2, zo)",
+                )
+            ],
+        ),
+        case(
+            "network-link-carrier",
+            "Links with the provider of their circuit: a functional chain "
+            "(both methods succeed).",
+            [
+                "link.bandwidth <-> connection2.capacity",
+                "provider.provname <-> carrier.carrname",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- link(li, v1, ci), circuit(ci, v2), "
+                    "provider(v2)",
+                    "ans(v1, v2) :- connection2(co, v1, ln), line2(ln, v2), "
+                    "carrier(v2)",
+                )
+            ],
+        ),
+        case(
+            "network-vlan-membership",
+            "Interfaces in VLANs (many-many on both sides; both methods "
+            "succeed).",
+            [
+                "interface.ifname <-> port2.portname",
+                "vlan.vlanid <-> lan2.lanid",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- interface(v1, sp, de, mf, cd), "
+                    "invlan(v1, v2), vlan(v2)",
+                    "ans(v1, v2) :- port2(v1, ra2, pf, no), "
+                    "portlan(v1, v2), lan2(v2)",
+                )
+            ],
+        ),
+        case(
+            "network-vlan-link",
+            "VLANs and the links touching their interfaces: a composition "
+            "of two many-many tables (semantic only).",
+            [
+                "vlan.vlanid <-> lan2.lanid",
+                "link.bandwidth <-> connection2.capacity",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- vlan(v1), invlan(ifc, v1), "
+                    "linkends(li, ifc), link(li, v2, ci)",
+                    "ans(v1, v2) :- lan2(v1), portlan(po, v1), "
+                    "connports(co, po), connection2(co, v2, ln)",
+                )
+            ],
+        ),
+    )
+    return DatasetPair(
+        name="Network",
+        source_label="NetworkA",
+        target_label="NetworkB",
+        source_cm_label="networkA onto.",
+        target_cm_label="networkB onto.",
+        source=source.semantics,
+        target=target.semantics,
+        cases=cases,
+        notes="Reconstructed I3CON-style network ontologies.",
+    )

@@ -1,0 +1,142 @@
+"""The 3Sdb dataset pair (reconstruction of the paper's 3Sdb1/3Sdb2).
+
+The originals are "two versions of a repository of data on biological
+samples explored during gene expression analysis" (Jiang et al., RE'06).
+The reconstruction models the same pipeline — samples, assays/tests run
+on platforms/chips within experiments/studies, probes targeting genes,
+and reified quantitative measurements — with the two versions differing
+in vocabulary and in where the sample link lives (a many-many usage
+table vs a merged foreign key).
+"""
+
+from __future__ import annotations
+
+from repro.cm import ConceptualModel
+from repro.datasets.registry import DatasetPair, case, register
+from repro.semantics.er2rel import design_schema
+
+
+def _sdb1_er() -> ConceptualModel:
+    cm = ConceptualModel("3sdb1_er")
+    cm.add_class("Sample", attributes=["sampleid", "tissue"], key=["sampleid"])
+    cm.add_class("Experiment", attributes=["expid", "edate"], key=["expid"])
+    cm.add_class("Assay", attributes=["assayid", "atype"], key=["assayid"])
+    cm.add_class("Gene", attributes=["genename"], key=["genename"])
+    cm.add_class("Probe", attributes=["probeid"], key=["probeid"])
+    cm.add_class("Researcher", attributes=["resname"], key=["resname"])
+    cm.add_class("Platform", attributes=["platname"], key=["platname"])
+    # Keyless auxiliary concept.
+    cm.add_class("Protocol", attributes=["steps"])
+
+    cm.add_relationship("runOn", "Assay", "Platform", "1..1", "0..*")
+    cm.add_relationship("partOfExp", "Assay", "Experiment", "1..1", "0..*")
+    cm.add_relationship("targets", "Probe", "Gene", "1..1", "0..*")
+    cm.add_relationship("conductedBy", "Experiment", "Researcher", "0..1", "0..*")
+    cm.add_relationship("follows", "Experiment", "Protocol", "0..1", "0..*")
+    # An assay can pool several samples: a genuine many-many.
+    cm.add_relationship("usesSample", "Assay", "Sample", "1..*", "0..*")
+    cm.add_reified_relationship(
+        "Measurement",
+        roles={"massay": "Assay", "mgene": "Gene"},
+        attributes=["level"],
+    )
+    return cm
+
+
+def _sdb2_er() -> ConceptualModel:
+    cm = ConceptualModel("3sdb2_er")
+    cm.add_class("BioSample", attributes=["bsid", "bstissue"], key=["bsid"])
+    cm.add_class("Study", attributes=["studyid", "sdate"], key=["studyid"])
+    cm.add_class("Test", attributes=["testid", "ttype"], key=["testid"])
+    cm.add_class("Gene2", attributes=["gname2"], key=["gname2"])
+    cm.add_class("Probe2", attributes=["pbid2"], key=["pbid2"])
+    cm.add_class("Scientist", attributes=["sciname"], key=["sciname"])
+    cm.add_class("Chip", attributes=["chipname"], key=["chipname"])
+    # Keyless auxiliary concepts.
+    cm.add_class("SOP", attributes=["sopsteps"])
+    cm.add_class("Reagent", attributes=["lot"])
+    cm.add_class("Facility", attributes=["room"])
+
+    cm.add_relationship("onChip", "Test", "Chip", "1..1", "0..*")
+    cm.add_relationship("inStudy", "Test", "Study", "1..1", "0..*")
+    # This version records a single sample per test: a merged FK.
+    cm.add_relationship("ofSample", "Test", "BioSample", "1..1", "0..*")
+    cm.add_relationship("detects", "Probe2", "Gene2", "1..1", "0..*")
+    cm.add_relationship("runBy2", "Study", "Scientist", "0..*", "0..*")
+    cm.add_relationship("usesSOP", "Study", "SOP", "0..1", "0..*")
+    cm.add_relationship("consumes", "Test", "Reagent", "0..*", "0..*")
+    cm.add_relationship("hostedAt", "Study", "Facility", "0..1", "0..*")
+    cm.add_reified_relationship(
+        "Quantification",
+        roles={"qtest": "Test", "qgene": "Gene2"},
+        attributes=["value2"],
+    )
+    return cm
+
+
+@register("3Sdb")
+def build() -> DatasetPair:
+    source = design_schema(_sdb1_er(), "sdb1")
+    target = design_schema(_sdb2_er(), "sdb2")
+    cases = (
+        case(
+            "sdb-assay-in-experiment",
+            "Assays with the date of their experiment/study: a functional "
+            "edge on both sides (both methods succeed).",
+            [
+                "assay.atype <-> test.ttype",
+                "experiment.edate <-> study.sdate",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- assay(a, v1, e, pl), experiment(e, v2, r)",
+                    "ans(v1, v2) :- test(t, v1, st, bs, ch), study(st, v2)",
+                )
+            ],
+        ),
+        case(
+            "sdb-measurement-levels",
+            "Measured expression levels per gene: reified relationships "
+            "with attributes on both sides (both methods succeed).",
+            [
+                "gene.genename <-> gene2.gname2",
+                "measurement.level <-> quantification.value2",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- measurement(a, v1, v2), gene(v1)",
+                    "ans(v1, v2) :- quantification(t, v1, v2), gene2(v1)",
+                )
+            ],
+        ),
+        case(
+            "sdb-sample-gene",
+            "Tissue samples with the genes measured on them: the source "
+            "crosses a many-many usage table into the reified measurement "
+            "(semantic only).",
+            [
+                "sample.tissue <-> biosample.bstissue",
+                "gene.genename <-> gene2.gname2",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- sample(s, v1), usessample(a, s), "
+                    "measurement(a, v2, le), gene(v2)",
+                    "ans(v1, v2) :- biosample(b, v1), "
+                    "test(t, ty, st, b, ch), quantification(t, v2, va), "
+                    "gene2(v2)",
+                )
+            ],
+        ),
+    )
+    return DatasetPair(
+        name="3Sdb",
+        source_label="3Sdb1",
+        target_label="3Sdb2",
+        source_cm_label="3Sdb1 ER",
+        target_cm_label="3Sdb2 ER",
+        source=source.semantics,
+        target=target.semantics,
+        cases=cases,
+        notes="Reconstructed gene-expression sample repositories.",
+    )

@@ -1,0 +1,156 @@
+"""The University dataset pair (reconstruction of the paper's UTCS/UTDB).
+
+UTCS is a small departmental database (8 tables) whose semantics were
+recovered against the large *KA* (knowledge acquisition) ontology — 105
+nodes, most of them concepts the database never touches. UTDB is the DB
+group's database (13 tables) over a 62-node CS-department ontology. Only
+two benchmark mappings were tested in the paper; the interesting part is
+that discovery stays fast despite the large CM graphs.
+"""
+
+from __future__ import annotations
+
+from repro.cm import ConceptualModel
+from repro.datasets.registry import DatasetPair, case, register
+from repro.semantics.er2rel import design_schema
+
+
+def _filler_families(prefix_count: list[tuple[str, int]]):
+    """Generate keyless concept families: (root, n) → root + n subclasses."""
+    for root, count in prefix_count:
+        yield root, [f"{root}{i}" for i in range(1, count + 1)]
+
+
+_KA_FILLERS = [
+    ("ResearchTopic", 19),
+    ("Methodology", 13),
+    ("Event", 11),
+    ("Artifact", 21),
+    ("Activity", 9),
+    ("Publication", 12),
+    ("Role", 7),
+]
+
+_CSDEPT_FILLERS = [
+    ("Facility", 9),
+    ("Committee", 8),
+    ("Degree", 7),
+    ("Award", 6),
+    ("Seminar", 19),
+]
+
+
+def _ka_ontology() -> ConceptualModel:
+    """105 classes: the small keyed core plus KA concept hierarchies."""
+    cm = ConceptualModel("ka_onto")
+    cm.add_class("Person", attributes=["email", "fullname"], key=["email"])
+    cm.add_class("Professor", attributes=["office"])
+    cm.add_class("Student", attributes=["year5"])
+    cm.add_class("Course", attributes=["courseno", "ctitle"], key=["courseno"])
+    cm.add_class("Project", attributes=["projname", "budget"], key=["projname"])
+    cm.add_class("ResearchGroup", attributes=["grpname"], key=["grpname"])
+    cm.add_isa("Professor", "Person")
+    cm.add_isa("Student", "Person")
+
+    cm.add_relationship("advisor", "Student", "Professor", "1..1", "0..*")
+    cm.add_relationship(
+        "memberOfGroup", "Professor", "ResearchGroup", "0..1", "0..*"
+    )
+    cm.add_relationship("teaches", "Professor", "Course", "0..*", "1..*")
+    cm.add_relationship("worksOn", "Person", "Project", "0..*", "0..*")
+
+    for root, subclasses in _filler_families(_KA_FILLERS):
+        cm.add_class(root, attributes=["note9"])
+        for sub in subclasses:
+            cm.add_class(sub)
+            cm.add_isa(sub, root)
+    cm.add_relationship("interestedIn", "Person", "ResearchTopic", "0..*", "0..*")
+    cm.add_relationship("produces", "Project", "Artifact", "0..*", "0..*")
+    cm.add_relationship("organizes", "ResearchGroup", "Event", "0..*", "0..*")
+    return cm
+
+
+def _csdept_ontology() -> ConceptualModel:
+    """62 classes: the DB group's keyed core plus department concepts."""
+    cm = ConceptualModel("csdept_onto")
+    cm.add_class("Person8", attributes=["pemail", "pname8"], key=["pemail"])
+    cm.add_class("Faculty", attributes=["rank8"])
+    cm.add_class("GradStudent", attributes=["year8"])
+    cm.add_class("Course8", attributes=["cno8", "cname8"], key=["cno8"])
+    cm.add_class("Project8", attributes=["pname9", "funds"], key=["pname9"])
+    cm.add_class("Group8", attributes=["gname8"], key=["gname8"])
+    cm.add_class("Publication8", attributes=["pkey8", "ptitle8"], key=["pkey8"])
+    cm.add_class("Lab", attributes=["labname"], key=["labname"])
+    cm.add_isa("Faculty", "Person8")
+    cm.add_isa("GradStudent", "Person8")
+
+    cm.add_relationship("advisor8", "GradStudent", "Faculty", "1..1", "0..*")
+    cm.add_relationship("memberOfGroup8", "Faculty", "Group8", "0..1", "0..*")
+    cm.add_relationship("groupLab", "Group8", "Lab", "0..1", "0..*")
+    cm.add_relationship("teaches8", "Faculty", "Course8", "0..*", "1..*")
+    cm.add_relationship("worksOn8", "Person8", "Project8", "0..*", "0..*")
+    cm.add_relationship("authorOf8", "Person8", "Publication8", "0..*", "1..*")
+
+    for root, subclasses in _filler_families(_CSDEPT_FILLERS):
+        cm.add_class(root, attributes=["note8"])
+        for sub in subclasses:
+            cm.add_class(sub)
+            cm.add_isa(sub, root)
+    cm.add_relationship("enrolled8", "GradStudent", "Course8", "0..*", "0..*")
+    cm.add_relationship("collab8", "Group8", "Group8", "0..*", "0..*")
+    cm.add_relationship("usesFacility", "Group8", "Facility", "0..*", "0..*")
+    cm.add_relationship("servesOn8", "Faculty", "Committee", "0..*", "0..*")
+    cm.add_relationship("pursues", "GradStudent", "Degree", "0..1", "0..*")
+    return cm
+
+
+@register("UT")
+def build() -> DatasetPair:
+    source = design_schema(_ka_ontology(), "utcs", inherit_attributes=True)
+    target = design_schema(_csdept_ontology(), "utdb", inherit_attributes=True)
+    cases = (
+        case(
+            "ut-professor-teaches-course",
+            "Professors with the courses they teach (both methods succeed).",
+            [
+                "professor.fullname <-> faculty.pname8",
+                "course.ctitle <-> course8.cname8",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- professor(pe, v1, of, gr), "
+                    "teaches(pe, cn), course(cn, v2)",
+                    "ans(v1, v2) :- faculty(fe, v1, rk, gr8), "
+                    "teaches8(fe, cn8), course8(cn8, v2)",
+                )
+            ],
+        ),
+        case(
+            "ut-course-project-of-person",
+            "Courses taught and projects worked on by the same person: a "
+            "composition across two many-many tables (semantic only).",
+            [
+                "course.ctitle <-> course8.cname8",
+                "project.projname <-> project8.pname9",
+            ],
+            [
+                (
+                    "ans(v1, v2) :- course(cn, v1), teaches(pe, cn), "
+                    "workson(pe, v2), project(v2, bu)",
+                    "ans(v1, v2) :- course8(cn8, v1), teaches8(fe, cn8), "
+                    "workson8(fe, v2), project8(v2, fu)",
+                )
+            ],
+        ),
+    )
+    return DatasetPair(
+        name="UT",
+        source_label="UTCS",
+        target_label="UTDB",
+        source_cm_label="KA onto.",
+        target_cm_label="CS dept. onto.",
+        source=source.semantics,
+        target=target.semantics,
+        cases=cases,
+        notes="Departmental databases over large recovered ontologies.",
+    )

@@ -1,0 +1,387 @@
+"""The end-to-end semantic mapping discovery pipeline (Section 3).
+
+:class:`SemanticMapper` wires together the whole algorithm:
+
+1. lift the correspondences to marked class nodes in both CM graphs;
+2. find target CSGs (Case A: a single pre-selected s-tree; Case B:
+   constructed minimal functional trees);
+3. for each target CSG, find source CSGs — Case A.1 (anchored at the
+   class corresponding to the target anchor), Case A.2 (all minimal
+   functional trees), and, when no functional tree covers the marked
+   nodes and the target connection tolerates it, the Section 3.3 lossy
+   path search; when even that fails, split the correspondences across
+   partially covering trees;
+4. filter CSG pairs by semantic compatibility (cardinality categories,
+   partOf, ISA-disjointness consistency);
+5. translate each surviving pair into table-level expressions by LAV
+   rewriting and emit ranked :class:`MappingCandidate` objects.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.cm.reasoner import CMReasoner
+from repro.correspondences import (
+    Correspondence,
+    CorrespondenceSet,
+    LiftedCorrespondence,
+)
+from repro.discovery.compatibility import (
+    ConnectionProfile,
+    connections_compatible,
+)
+from repro.discovery.csg import (
+    CSG,
+    extend_partial_trees,
+    find_source_functional_csgs,
+    find_source_lossy_csgs,
+    find_target_csgs,
+)
+from repro.discovery.ranking import CandidateScore, origin_rank
+from repro.discovery.steiner import CostModel, direction_reversals
+from repro.discovery.translate import translate_csg
+from repro.exceptions import DiscoveryError
+from repro.mappings.expression import (
+    MappingCandidate,
+    deduplicate_candidates,
+    trim_redundant_joins,
+)
+from repro.semantics.lav import SchemaSemantics
+
+
+@dataclass
+class DiscoveryResult:
+    """Ranked candidates plus run diagnostics.
+
+    ``eliminations`` records CSG pairs removed by the semantic filters
+    (with the responsible filter named) — the library-level analogue of
+    the paper's interactive mapping debugging.
+    """
+
+    candidates: list[MappingCandidate]
+    elapsed_seconds: float
+    notes: list[str] = field(default_factory=list)
+    eliminations: list[str] = field(default_factory=list)
+    correspondences: CorrespondenceSet | None = None
+
+    def best(self) -> MappingCandidate | None:
+        return self.candidates[0] if self.candidates else None
+
+    def uncovered_correspondences(self) -> tuple[Correspondence, ...]:
+        """Input correspondences no candidate covers (need user attention)."""
+        if self.correspondences is None:
+            return ()
+        covered: set[Correspondence] = set()
+        for candidate in self.candidates:
+            covered.update(candidate.covered)
+        return tuple(
+            c for c in self.correspondences if c not in covered
+        )
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def __iter__(self):
+        return iter(self.candidates)
+
+
+class SemanticMapper:
+    """Discovers schema mapping candidates from table semantics."""
+
+    def __init__(
+        self,
+        source_semantics: SchemaSemantics,
+        target_semantics: SchemaSemantics,
+        correspondences: CorrespondenceSet,
+        max_path_edges: int = 6,
+        use_partof_filter: bool = True,
+        use_disjointness_filter: bool = True,
+        use_cardinality_filter: bool = True,
+    ) -> None:
+        """``use_*_filter`` flags exist for ablation studies: switching
+        one off disables the corresponding semantic-compatibility check
+        of Sections 3.2–3.3 (see ``benchmarks/benchmark_ablation.py``).
+        """
+        correspondences.validate(
+            source_semantics.schema, target_semantics.schema
+        )
+        self.source_semantics = source_semantics
+        self.target_semantics = target_semantics
+        self.correspondences = correspondences
+        self.max_path_edges = max_path_edges
+        self.use_partof_filter = use_partof_filter
+        self.use_disjointness_filter = use_disjointness_filter
+        self.use_cardinality_filter = use_cardinality_filter
+        self._source_reasoner = CMReasoner(source_semantics.model)
+        self._target_reasoner = CMReasoner(target_semantics.model)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def discover(self) -> DiscoveryResult:
+        start = time.perf_counter()
+        notes: list[str] = []
+        self._eliminations: list[str] = []
+        lifted = self.correspondences.lift(
+            self.source_semantics, self.target_semantics
+        )
+        if not lifted:
+            raise DiscoveryError("no correspondences to interpret")
+        scored: list[tuple[CandidateScore, MappingCandidate]] = []
+        for target_csg in find_target_csgs(self.target_semantics, lifted):
+            relevant = tuple(
+                item
+                for item in lifted
+                if item.target_class in target_csg.marked_classes()
+            )
+            if not relevant:
+                continue
+            scored.extend(self._candidates_for_target(target_csg, relevant, notes))
+        scored.sort(key=lambda pair: pair[0].sort_key())
+        candidates = trim_redundant_joins(
+            deduplicate_candidates([candidate for _, candidate in scored])
+        )
+        elapsed = time.perf_counter() - start
+        return DiscoveryResult(
+            candidates,
+            elapsed,
+            notes,
+            eliminations=self._eliminations,
+            correspondences=self.correspondences,
+        )
+
+    # ------------------------------------------------------------------
+    # Per-target-CSG search
+    # ------------------------------------------------------------------
+    def _candidates_for_target(
+        self,
+        target_csg: CSG,
+        relevant: tuple[LiftedCorrespondence, ...],
+        notes: list[str],
+    ) -> list[tuple[CandidateScore, MappingCandidate]]:
+        marked_sources = {item.source_class for item in relevant}
+        functional = find_source_functional_csgs(
+            self.source_semantics, relevant, target_csg
+        )
+        full = [
+            csg
+            for csg in functional
+            if csg.marked_classes() >= marked_sources
+        ]
+        results: list[tuple[CandidateScore, MappingCandidate]] = []
+        if full:
+            for source_csg in full:
+                results.extend(
+                    self._emit(source_csg, target_csg, relevant)
+                )
+            if results:
+                return results
+            notes.append(
+                f"{target_csg}: functional trees found but all pairs "
+                f"incompatible"
+            )
+        # Lossy fallback (Section 3.3): extend partial functional trees
+        # (including Case A.1's anchored partial trees) with minimally
+        # lossy attachment paths to the remaining marked classes.
+        cost_model = CostModel.from_edges(
+            self.source_semantics.preselected_cm_edges(
+                [item.correspondence.source for item in relevant]
+            )
+        )
+        extended = extend_partial_trees(
+            self.source_semantics,
+            marked_sources,
+            cost_model,
+            extra_bases=tuple(functional),
+        )
+        for source_csg in extended:
+            results.extend(self._emit(source_csg, target_csg, relevant))
+        if results:
+            return results
+        if extended:
+            notes.append(
+                f"{target_csg}: lossy extensions found but incompatible"
+            )
+        # Split: partially covering functional trees, one candidate each.
+        for source_csg in functional:
+            results.extend(self._emit(source_csg, target_csg, relevant))
+        if not results:
+            notes.append(f"{target_csg}: no source connection found")
+        return results
+
+    # ------------------------------------------------------------------
+    # Candidate emission
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        source_csg: CSG,
+        target_csg: CSG,
+        relevant: tuple[LiftedCorrespondence, ...],
+    ) -> list[tuple[CandidateScore, MappingCandidate]]:
+        covered = tuple(
+            item
+            for item in relevant
+            if item.source_class in source_csg.marked_classes()
+            and item.target_class in target_csg.marked_classes()
+        )
+        if not covered:
+            return []
+        if not self._trees_consistent(source_csg, target_csg):
+            self._eliminations.append(
+                f"{source_csg} ⇄ {target_csg}: inconsistent tree "
+                f"(disjointness)"
+            )
+            return []
+        reversals = self._pair_compatible(source_csg, target_csg, covered)
+        if reversals is None:
+            return []
+        source_queries = translate_csg(
+            source_csg, covered, "source", self.source_semantics
+        )
+        target_queries = translate_csg(
+            target_csg, covered, "target", self.target_semantics
+        )
+        results = []
+        from repro.mappings.refinement import optional_tables
+
+        for source_query, target_query in itertools.product(
+            source_queries, target_queries
+        ):
+            candidate = MappingCandidate(
+                source_query,
+                target_query,
+                tuple(item.correspondence for item in covered),
+                method="semantic",
+                notes=f"{source_csg.origin}→{target_csg.origin}",
+                source_optional_tables=optional_tables(
+                    source_query, source_csg, self.source_semantics
+                ),
+            )
+            score = CandidateScore(
+                covered=len(covered),
+                reversals=reversals,
+                tree_size=len(source_csg.tree.nodes())
+                + len(target_csg.tree.nodes()),
+                preselected=0,
+                origin_rank=origin_rank(source_csg.origin),
+                anchor_rank=self._anchor_rank(source_csg, target_csg),
+            )
+            results.append((score, candidate))
+        return results
+
+    def _anchor_rank(self, source_csg: CSG, target_csg: CSG) -> int:
+        """Section 3.3's reified-anchor preference (0 = anchors agree).
+
+        A target tree rooted at a reified relationship prefers a source
+        tree rooted at a reified relationship of compatible arity and
+        connection category; mismatched kinds rank behind.
+        """
+        from repro.discovery.compatibility import (
+            AnchorProfile,
+            anchors_compatible,
+        )
+
+        source_root = source_csg.anchor.cm_node
+        target_root = target_csg.anchor.cm_node
+        source_reified = self.source_semantics.graph.is_reified(source_root)
+        target_reified = self.target_semantics.graph.is_reified(target_root)
+        if not target_reified:
+            return 0
+        if not source_reified:
+            return 1
+        source_profile = AnchorProfile.of_reified(
+            self._source_reasoner, source_root
+        )
+        target_profile = AnchorProfile.of_reified(
+            self._target_reasoner, target_root
+        )
+        return 0 if anchors_compatible(source_profile, target_profile) else 1
+
+    def _trees_consistent(self, source_csg: CSG, target_csg: CSG) -> bool:
+        if not self.use_disjointness_filter:
+            return True
+        return self._source_reasoner.tree_is_consistent(
+            list(source_csg.cm_edges())
+        ) and self._target_reasoner.tree_is_consistent(
+            list(target_csg.cm_edges())
+        )
+
+    def _pair_compatible(
+        self,
+        source_csg: CSG,
+        target_csg: CSG,
+        covered: tuple[LiftedCorrespondence, ...],
+    ) -> int | None:
+        """Check pairwise connection compatibility; return total reversals.
+
+        ``None`` signals an incompatible pair (candidate eliminated).
+        """
+        total_reversals = 0
+        for first, second in itertools.combinations(covered, 2):
+            if (
+                first.source_class == second.source_class
+                and first.target_class == second.target_class
+            ):
+                continue
+            source_path = self._path(
+                source_csg, first.source_class, second.source_class
+            )
+            target_path = self._path(
+                target_csg, first.target_class, second.target_class
+            )
+            if self.use_disjointness_filter:
+                if not self._source_reasoner.path_is_consistent(
+                    list(source_path)
+                ):
+                    self._eliminations.append(
+                        f"{source_csg}: inconsistent source path "
+                        f"{first.source_class}–{second.source_class}"
+                    )
+                    return None
+                if not self._target_reasoner.path_is_consistent(
+                    list(target_path)
+                ):
+                    self._eliminations.append(
+                        f"{target_csg}: inconsistent target path "
+                        f"{first.target_class}–{second.target_class}"
+                    )
+                    return None
+            source_profile = ConnectionProfile.of_path(source_path)
+            target_profile = ConnectionProfile.of_path(target_path)
+            if not connections_compatible(
+                source_profile,
+                target_profile,
+                check_cardinality=self.use_cardinality_filter,
+                check_semantic_type=self.use_partof_filter,
+            ):
+                self._eliminations.append(
+                    f"{source_csg} ⇄ {target_csg}: "
+                    f"{source_profile.category.value}/"
+                    f"{source_profile.semantic_type.value} source vs "
+                    f"{target_profile.category.value}/"
+                    f"{target_profile.semantic_type.value} target "
+                    f"({first.source_class}–{second.source_class})"
+                )
+                return None
+            total_reversals += direction_reversals(source_path)
+        return total_reversals
+
+    @staticmethod
+    def _path(csg: CSG, first: str, second: str):
+        if first == second:
+            return ()
+        return csg.connecting_path(first, second)
+
+
+def discover_mappings(
+    source_semantics: SchemaSemantics,
+    target_semantics: SchemaSemantics,
+    correspondences: CorrespondenceSet,
+) -> DiscoveryResult:
+    """One-shot convenience wrapper around :class:`SemanticMapper`."""
+    return SemanticMapper(
+        source_semantics, target_semantics, correspondences
+    ).discover()

@@ -1,0 +1,48 @@
+"""Ranking of mapping candidates.
+
+The paper presents candidates to users for selection; ordering matters.
+Preferences, in order: cover more correspondences; avoid lossy joins
+(fewer direction reversals); use more pre-selected s-tree edges; be
+compact (Occam — smaller trees); and prefer table-anchored CSGs over
+constructed ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CandidateScore:
+    """Sortable quality record attached to each candidate during discovery.
+
+    ``anchor_rank`` carries Section 3.3's reified-anchor preference: 0
+    when source and target anchors agree in kind (both reified with
+    compatible arity/category, or both plain), 1 otherwise.
+    """
+
+    covered: int
+    reversals: int
+    tree_size: int
+    preselected: int
+    origin_rank: int
+    anchor_rank: int = 0
+
+    def sort_key(self) -> tuple:
+        return (
+            -self.covered,
+            self.reversals,
+            self.anchor_rank,
+            -self.preselected,
+            self.tree_size,
+            self.origin_rank,
+        )
+
+
+_ORIGIN_RANKS = {"table": 0, "A.1": 1, "A.2": 2, "constructed": 3, "lossy": 4}
+
+
+def origin_rank(origin: str) -> int:
+    """Preference rank of a CSG origin label (lower is better)."""
+    key = origin.split(":")[0]
+    return _ORIGIN_RANKS.get(key, 5)

@@ -1,0 +1,431 @@
+"""Minimal functional trees and lossy-path search over CM graphs.
+
+The discovery algorithm's graph-theoretic core (Sections 3.2–3.3):
+
+* *functional trees* — trees all of whose root-to-node paths follow
+  functional edges — correspond to lossless joins, so CSGs prefer them;
+* *minimal functional trees* are Steiner trees over the functional
+  subgraph: minimum cost (edges belonging to pre-selected s-trees are
+  free; a hop through a reified relationship node counts as one edge),
+  tie-broken by most pre-selected edges then fewest nodes, and finally
+  filtered for node-set minimality (the "Intern" rule of Case A.2);
+* when marked nodes admit no functional connection — or the target
+  connection is many-to-many — the search falls back to *minimally lossy
+  paths*: simple paths scored by the number of direction reversals
+  (Section 3.3), then by cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.cm.graph import CMEdge, CMGraph
+
+#: Integer edge-cost scale: a plain edge costs 2, so a role edge can cost
+#: 1 and a reified hop (two role edges) totals one plain edge, per the
+#: paper's "a path of length two passing through a reified relationship
+#: node should be counted as a path of length 1".
+PLAIN_EDGE_COST = 2
+ROLE_EDGE_COST = 1
+PRESELECTED_COST = 0
+
+
+def edge_key(edge: CMEdge) -> tuple[str, str, str]:
+    """Hashable identity of a directed CM edge."""
+    return (edge.source, edge.label, edge.target)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Edge costs for tree/path search.
+
+    ``preselected`` holds :func:`edge_key` values of edges appearing in
+    pre-selected s-trees (in either direction); those edges are free.
+    """
+
+    preselected: frozenset[tuple[str, str, str]] = frozenset()
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[CMEdge]) -> "CostModel":
+        keys = set()
+        for edge in edges:
+            keys.add(edge_key(edge))
+            keys.add(edge_key(edge.reversed()))
+        return cls(frozenset(keys))
+
+    def cost(self, edge: CMEdge) -> int:
+        if edge_key(edge) in self.preselected:
+            return PRESELECTED_COST
+        if edge.kind == CMEdge.KIND_ROLE:
+            return ROLE_EDGE_COST
+        return PLAIN_EDGE_COST
+
+    def path_cost(self, edges: Sequence[CMEdge]) -> int:
+        return sum(self.cost(edge) for edge in edges)
+
+    def preselected_count(self, edges: Sequence[CMEdge]) -> int:
+        return sum(1 for edge in edges if edge_key(edge) in self.preselected)
+
+
+@dataclass(frozen=True)
+class DiscoveredTree:
+    """A tree found in a CM graph: a root plus parent→child edges."""
+
+    root: str
+    edges: tuple[CMEdge, ...]
+
+    def nodes(self) -> frozenset[str]:
+        result = {self.root}
+        for edge in self.edges:
+            result.add(edge.source)
+            result.add(edge.target)
+        return frozenset(result)
+
+    def edge_keys(self) -> frozenset[tuple[str, str, str]]:
+        return frozenset(edge_key(edge) for edge in self.edges)
+
+    def undirected_edge_keys(self) -> frozenset[frozenset[tuple[str, str, str]]]:
+        """Direction-insensitive edge identity (for deduplication)."""
+        return frozenset(
+            frozenset({edge_key(edge), edge_key(edge.reversed())})
+            for edge in self.edges
+        )
+
+    def path_from_root(self, node: str) -> tuple[CMEdge, ...]:
+        """The unique root→node path (nodes are unique in a tree)."""
+        parent: dict[str, CMEdge] = {}
+        for edge in self.edges:
+            parent[edge.target] = edge
+        path: list[CMEdge] = []
+        current = node
+        seen = set()
+        while current != self.root:
+            if current in seen or current not in parent:
+                raise ValueError(f"node {node!r} not reachable from root")
+            seen.add(current)
+            edge = parent[current]
+            path.append(edge)
+            current = edge.source
+        return tuple(reversed(path))
+
+    def connecting_path(self, first: str, second: str) -> tuple[CMEdge, ...]:
+        """The tree path first→second: up to the LCA (reversed), then down."""
+        to_first = self.path_from_root(first)
+        to_second = self.path_from_root(second)
+        common = 0
+        for a, b in zip(to_first, to_second):
+            if edge_key(a) != edge_key(b):
+                break
+            common += 1
+        up = tuple(edge.reversed() for edge in reversed(to_first[common:]))
+        down = to_second[common:]
+        return up + down
+
+    def is_functional(self) -> bool:
+        return all(edge.is_functional for edge in self.edges)
+
+    def __str__(self) -> str:
+        if not self.edges:
+            return f"⟨{self.root}⟩"
+        rendered = "; ".join(str(edge) for edge in self.edges)
+        return f"⟨{self.root}: {rendered}⟩"
+
+
+#: Cap on tied shortest paths kept per node during search.
+MAX_TIED_PATHS = 8
+
+
+def _functional_shortest_paths(
+    graph: CMGraph,
+    root: str,
+    cost_model: CostModel,
+) -> dict[str, tuple[int, tuple[tuple[CMEdge, ...], ...]]]:
+    """Dijkstra over functional edges: node → (cost, tied shortest paths).
+
+    All equal-cost shortest paths are retained (capped) so callers can
+    enumerate alternative minimal trees — Example 1.3 needs both the
+    ``chairOf`` and the ``deanOf`` connection as separate candidates.
+    """
+    distances: dict[str, tuple[int, tuple[tuple[CMEdge, ...], ...]]] = {
+        root: (0, ((),))
+    }
+    counter = 0
+    heap: list[tuple[int, int, str]] = [(0, counter, root)]
+    finalized: set[str] = set()
+    while heap:
+        dist, _, node = heapq.heappop(heap)
+        if node in finalized:
+            continue
+        if distances[node][0] < dist:
+            continue
+        finalized.add(node)
+        node_cost, node_paths = distances[node]
+        for edge in graph.functional_edges_from(node):
+            step = cost_model.cost(edge)
+            candidate = node_cost + step
+            extensions = tuple(path + (edge,) for path in node_paths)
+            current = distances.get(edge.target)
+            if current is None or candidate < current[0]:
+                counter += 1
+                distances[edge.target] = (
+                    candidate,
+                    extensions[:MAX_TIED_PATHS],
+                )
+                heapq.heappush(heap, (candidate, counter, edge.target))
+            elif candidate == current[0] and edge.target not in finalized:
+                merged = current[1] + tuple(
+                    path
+                    for path in extensions
+                    if path not in current[1]
+                )
+                distances[edge.target] = (candidate, merged[:MAX_TIED_PATHS])
+    return distances
+
+
+def functional_trees_from_root(
+    graph: CMGraph,
+    root: str,
+    targets: Iterable[str],
+    cost_model: CostModel | None = None,
+    max_combinations: int = 64,
+) -> list[tuple[DiscoveredTree, frozenset[str], int]]:
+    """Minimal functional trees rooted at ``root`` reaching ``targets``.
+
+    Unreachable targets are left out (Case A.1: "connect as many nodes as
+    possible ... and leave the rest unconnected"). Tied shortest paths are
+    enumerated, so alternative connections of equal cost — Example 1.3's
+    ``chairOf`` vs ``deanOf`` — each yield their own tree. Only trees of
+    minimal union cost are returned.
+    """
+    import itertools
+
+    cost_model = cost_model or CostModel()
+    paths = _functional_shortest_paths(graph, root, cost_model)
+    covered = frozenset(t for t in set(targets) if t in paths)
+    choices = [paths[target][1] for target in sorted(covered)]
+    results: list[tuple[int, DiscoveredTree]] = []
+    seen: set[frozenset] = set()
+    for index, combination in enumerate(itertools.product(*choices)):
+        if index >= max_combinations:
+            break
+        edges: dict[tuple[str, str, str], CMEdge] = {}
+        parents: dict[str, str] = {}
+        valid = True
+        total = 0
+        for path in combination:
+            for edge in path:
+                key = edge_key(edge)
+                if key in edges:
+                    continue
+                if edge.target in parents or edge.target == root:
+                    # A second incoming edge breaks tree shape; such a
+                    # union of tied paths is not a valid candidate.
+                    valid = False
+                    break
+                parents[edge.target] = edge.source
+                edges[key] = edge
+                total += cost_model.cost(edge)
+            if not valid:
+                break
+        if not valid:
+            continue
+        signature = frozenset(edges)
+        if signature in seen:
+            continue
+        seen.add(signature)
+        results.append((total, DiscoveredTree(root, tuple(edges.values()))))
+    if not results:
+        return []
+    best = min(total for total, _ in results)
+    return [
+        (tree, covered, total)
+        for total, tree in results
+        if total == best
+    ]
+
+
+def functional_tree_from_root(
+    graph: CMGraph,
+    root: str,
+    targets: Iterable[str],
+    cost_model: CostModel | None = None,
+) -> tuple[DiscoveredTree, frozenset[str], int]:
+    """First minimal functional tree from ``root`` (single-result helper)."""
+    trees = functional_trees_from_root(graph, root, targets, cost_model)
+    if not trees:
+        return DiscoveredTree(root, ()), frozenset(), 0
+    return trees[0]
+
+
+def minimal_functional_trees(
+    graph: CMGraph,
+    targets: Iterable[str],
+    cost_model: CostModel | None = None,
+    candidate_roots: Iterable[str] | None = None,
+) -> list[DiscoveredTree]:
+    """All minimal functional trees covering every marked node (Case A.2).
+
+    Candidates are built per root via shortest functional paths; kept are
+    those with (1) minimal cost, (2) — among those — the most pre-selected
+    edges and fewest nodes, and (3) node-set minimality: a tree whose node
+    set strictly contains another candidate's node set is discarded, which
+    is exactly why the tree rooted at ``Intern`` loses to the tree rooted
+    at ``Project`` in the paper's example.
+    """
+    cost_model = cost_model or CostModel()
+    target_set = set(targets)
+    roots = (
+        tuple(candidate_roots)
+        if candidate_roots is not None
+        else graph.class_nodes()
+    )
+    complete: list[tuple[int, int, int, DiscoveredTree]] = []
+    for root in roots:
+        for tree, covered, cost in functional_trees_from_root(
+            graph, root, target_set, cost_model
+        ):
+            if covered != frozenset(target_set):
+                continue
+            complete.append(
+                (
+                    cost,
+                    -cost_model.preselected_count(tree.edges),
+                    len(tree.nodes()),
+                    tree,
+                )
+            )
+    if not complete:
+        return []
+    # Node-set minimality first (independent of cost ranking).
+    trees = [entry[3] for entry in complete]
+    node_sets = [tree.nodes() for tree in trees]
+    minimal_entries = []
+    for index, entry in enumerate(complete):
+        if any(
+            node_sets[other] < node_sets[index]
+            for other in range(len(trees))
+            if other != index
+        ):
+            continue
+        minimal_entries.append(entry)
+    best = min(entry[:3] for entry in minimal_entries)
+    survivors = [
+        entry[3] for entry in minimal_entries if entry[:3] == best
+    ]
+    # Deduplicate trees with identical undirected edge sets (different
+    # roots of the same tree yield the same conceptual subgraph).
+    unique: list[DiscoveredTree] = []
+    seen: set[frozenset] = set()
+    for tree in survivors:
+        signature = tree.undirected_edge_keys() or frozenset({tree.root})
+        if signature not in seen:
+            seen.add(signature)
+            unique.append(tree)
+    return unique
+
+
+# ---------------------------------------------------------------------------
+# Lossy (non-functional) path search — Section 3.3
+# ---------------------------------------------------------------------------
+
+
+def expanded_functionality_profile(edges: Sequence[CMEdge]) -> list[bool]:
+    """Up/down steps of a path, with many-many edges in reified form.
+
+    Each step is ``True`` for "down" (along a functional direction) and
+    ``False`` for "up" (against one):
+
+    * an edge functional in **both** directions (ISA) is level — skipped,
+      so reversal counts are symmetric under path reversal;
+    * functional forward only → one down step;
+    * functional backward only → one up step;
+    * functional in neither direction (a many-many hop, i.e. an elided
+      reified node ``--role⁻-- R◇ --role--``) → up then down.
+    """
+    profile: list[bool] = []
+    for edge in edges:
+        forward = edge.is_functional
+        backward = edge.backward_card.is_functional
+        if forward and backward:
+            continue  # level step: no lossy potential either way
+        if forward:
+            profile.append(True)
+        elif backward:
+            profile.append(False)
+        else:
+            profile.extend((False, True))
+    return profile
+
+
+def direction_reversals(edges: Sequence[CMEdge]) -> int:
+    """Lossy-join score: up/down switches along the path (Section 3.3).
+
+    Symmetric: a path and its reverse score the same number of reversals.
+    """
+    profile = expanded_functionality_profile(edges)
+    reversals = 0
+    for previous, current in zip(profile, profile[1:]):
+        if previous != current:
+            reversals += 1
+    return reversals
+
+
+def simple_paths(
+    graph: CMGraph,
+    start: str,
+    end: str,
+    max_edges: int = 6,
+) -> Iterator[tuple[CMEdge, ...]]:
+    """All simple (node-repetition-free) paths start→end up to a bound."""
+
+    def extend(
+        node: str, path: tuple[CMEdge, ...], seen: frozenset[str]
+    ) -> Iterator[tuple[CMEdge, ...]]:
+        if node == end and path:
+            yield path
+            return
+        if len(path) >= max_edges:
+            return
+        for edge in graph.edges_from(node):
+            if edge.target in seen:
+                continue
+            yield from extend(
+                edge.target, path + (edge,), seen | {edge.target}
+            )
+
+    yield from extend(start, (), frozenset({start}))
+
+
+def minimally_lossy_paths(
+    graph: CMGraph,
+    start: str,
+    end: str,
+    cost_model: CostModel | None = None,
+    max_edges: int = 6,
+    predicate: Callable[[tuple[CMEdge, ...]], bool] | None = None,
+) -> list[tuple[CMEdge, ...]]:
+    """Paths start→end ranked by (reversals, cost); best group returned.
+
+    ``predicate`` filters candidate paths (e.g. "composed category must be
+    many-many", or a consistency check); by default all simple paths
+    qualify.
+    """
+    cost_model = cost_model or CostModel()
+    scored: list[tuple[int, int, tuple[CMEdge, ...]]] = []
+    for path in simple_paths(graph, start, end, max_edges):
+        if predicate is not None and not predicate(path):
+            continue
+        scored.append(
+            (direction_reversals(path), cost_model.path_cost(path), path)
+        )
+    if not scored:
+        return []
+    scored.sort(key=lambda item: (item[0], item[1], _path_text(item[2])))
+    best = scored[0][:2]
+    return [path for reversal, cost, path in scored if (reversal, cost) == best]
+
+
+def _path_text(path: Sequence[CMEdge]) -> str:
+    return "/".join(edge.label for edge in path)

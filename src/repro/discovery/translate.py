@@ -1,0 +1,105 @@
+"""Translating CSGs into relational expressions (Section 3.4).
+
+A discovered CSG, together with the correspondences it covers, is first
+encoded as a conjunctive query over CM predicates (the encoding algorithm
+of Section 2, plus key-merging), then rewritten over the schema's LAV
+table semantics into table-level queries. Correspondence ``i`` exports the
+shared distinguished variable ``v{i}`` on both sides, so the source and
+target queries of a mapping candidate align positionally.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.correspondences import LiftedCorrespondence
+from repro.discovery.csg import CSG
+from repro.exceptions import DiscoveryError
+from repro.queries.conjunctive import ConjunctiveQuery, Term
+from repro.queries.normalize import key_positions_of_schema
+from repro.queries.rewrite import rewrite_query
+from repro.semantics.encoder import apply_key_merge, encode_tree
+from repro.semantics.lav import SchemaSemantics
+from repro.semantics.stree import SemanticTree
+
+
+def correspondence_variable(index: int) -> str:
+    """The shared distinguished variable name of correspondence ``index``."""
+    return f"v{index + 1}"
+
+
+def csg_to_cm_query(
+    csg: CSG,
+    covered: Sequence[LiftedCorrespondence],
+    side: str,
+    semantics: SchemaSemantics,
+) -> ConjunctiveQuery:
+    """Encode a CSG and its covered correspondences as a CM-level query.
+
+    The head exports one term per covered correspondence, in order;
+    correspondences sharing an attribute node share a variable.
+    """
+    if side not in ("source", "target"):
+        raise DiscoveryError(f"side must be 'source' or 'target': {side!r}")
+    marked = csg.marked_map()
+    column_map: dict[str, tuple] = {}
+    attribute_to_column: dict[tuple, str] = {}
+    head_column_names: list[str] = []
+    for index, item in enumerate(covered):
+        cls = item.source_class if side == "source" else item.target_class
+        attribute = (
+            item.source_attribute if side == "source" else item.target_attribute
+        )
+        if cls not in marked:
+            raise DiscoveryError(
+                f"correspondence {item.correspondence} covers class "
+                f"{cls!r} absent from {csg}"
+            )
+        node = marked[cls]
+        key = (node, attribute)
+        if key in attribute_to_column:
+            head_column_names.append(attribute_to_column[key])
+            continue
+        name = correspondence_variable(index)
+        attribute_to_column[key] = name
+        column_map[name] = key
+        head_column_names.append(name)
+    tree = SemanticTree(csg.tree.root, csg.tree.edges, column_map)
+    encoded = apply_key_merge(
+        encode_tree(tree, semantics.model), tree, semantics.model
+    )
+    head_terms: list[Term] = [
+        encoded.column_variables[name] for name in head_column_names
+    ]
+    return ConjunctiveQuery(head_terms, encoded.atoms, name="ans")
+
+
+def translate_csg(
+    csg: CSG,
+    covered: Sequence[LiftedCorrespondence],
+    side: str,
+    semantics: SchemaSemantics,
+    require_correspondence_tables: bool = True,
+) -> list[ConjunctiveQuery]:
+    """CSG → table-level queries via LAV rewriting.
+
+    Per the paper, surviving rewritings must mention the tables whose
+    columns are linked by the covered correspondences; containment-
+    redundant rewritings are pruned inside :func:`rewrite_query`.
+    """
+    cm_query = csg_to_cm_query(csg, covered, side, semantics)
+    required: set[str] = set()
+    if require_correspondence_tables:
+        for item in covered:
+            column = (
+                item.correspondence.source
+                if side == "source"
+                else item.correspondence.target
+            )
+            required.add(column.table)
+    return rewrite_query(
+        cm_query,
+        semantics.views(),
+        required_tables=required,
+        key_positions=key_positions_of_schema(semantics.schema),
+    )

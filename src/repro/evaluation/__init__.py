@@ -1,0 +1,43 @@
+"""Evaluation harness: precision/recall measures and Table 1 / Figs 6-7."""
+
+from repro.evaluation.measures import (
+    PrecisionRecall,
+    average,
+    intersection_size,
+    precision_recall,
+)
+from repro.evaluation.harness import (
+    METHODS,
+    RIC,
+    SEMANTIC,
+    CaseResult,
+    DatasetResult,
+    run_all,
+    run_case,
+    run_dataset,
+)
+from repro.evaluation.report import (
+    render_case_details,
+    render_figure6,
+    render_figure7,
+    render_table1,
+)
+
+__all__ = [
+    "PrecisionRecall",
+    "average",
+    "intersection_size",
+    "precision_recall",
+    "METHODS",
+    "RIC",
+    "SEMANTIC",
+    "CaseResult",
+    "DatasetResult",
+    "run_all",
+    "run_case",
+    "run_dataset",
+    "render_case_details",
+    "render_figure6",
+    "render_figure7",
+    "render_table1",
+]

@@ -1,0 +1,143 @@
+"""The experiment harness: reruns the paper's whole evaluation (Section 4).
+
+For every dataset pair and every benchmark mapping case, both methods run
+on the case's correspondences:
+
+* the **semantic** approach (:class:`repro.discovery.SemanticMapper`) —
+  schemas + CMs + table semantics;
+* the **RIC-based** baseline (:class:`repro.baseline.RICBasedMapper`) —
+  schemas + keys/RICs only.
+
+The harness aggregates per-domain average precision (Figure 6), average
+recall (Figure 7), and the Table 1 characteristics, and can be run as a
+module: ``python -m repro.evaluation.harness``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+
+from repro.baseline.clio import RICBasedMapper
+from repro.datasets.registry import DatasetPair, MappingCase, load_all_datasets
+from repro.discovery.mapper import SemanticMapper
+from repro.evaluation.measures import PrecisionRecall, average, precision_recall
+
+#: Method identifiers used throughout the harness and reports.
+SEMANTIC = "semantic"
+RIC = "ric"
+METHODS = (SEMANTIC, RIC)
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """Both measures for one (dataset, case, method) run."""
+
+    dataset: str
+    case_id: str
+    method: str
+    measures: PrecisionRecall
+    elapsed_seconds: float
+
+
+@dataclass
+class DatasetResult:
+    """All case results of one dataset pair plus its characteristics."""
+
+    pair: DatasetPair
+    case_results: list[CaseResult] = field(default_factory=list)
+
+    def results_for(self, method: str) -> list[CaseResult]:
+        return [r for r in self.case_results if r.method == method]
+
+    def average_precision(self, method: str) -> float:
+        return average(
+            [r.measures.precision for r in self.results_for(method)]
+        )
+
+    def average_recall(self, method: str) -> float:
+        return average([r.measures.recall for r in self.results_for(method)])
+
+    def total_time(self, method: str) -> float:
+        return sum(r.elapsed_seconds for r in self.results_for(method))
+
+
+def run_case(
+    pair: DatasetPair, mapping_case: MappingCase, method: str
+) -> CaseResult:
+    """Run one method on one benchmark case and score it."""
+    if method == SEMANTIC:
+        result = SemanticMapper(
+            pair.source, pair.target, mapping_case.correspondences
+        ).discover()
+    elif method == RIC:
+        result = RICBasedMapper(
+            pair.source.schema,
+            pair.target.schema,
+            mapping_case.correspondences,
+        ).discover()
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    measures = precision_recall(
+        result.candidates,
+        mapping_case.benchmark,
+        source_schema=pair.source.schema,
+        target_schema=pair.target.schema,
+    )
+    return CaseResult(
+        dataset=pair.name,
+        case_id=mapping_case.case_id,
+        method=method,
+        measures=measures,
+        elapsed_seconds=result.elapsed_seconds,
+    )
+
+
+def run_dataset(pair: DatasetPair, methods=METHODS) -> DatasetResult:
+    """Run all benchmark cases of one dataset pair with all methods."""
+    dataset_result = DatasetResult(pair)
+    for mapping_case in pair.cases:
+        for method in methods:
+            dataset_result.case_results.append(
+                run_case(pair, mapping_case, method)
+            )
+    return dataset_result
+
+
+def run_all(methods=METHODS) -> list[DatasetResult]:
+    """The full evaluation over every registered dataset pair."""
+    return [run_dataset(pair, methods) for pair in load_all_datasets()]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry: print Table 1, Figure 6, and Figure 7."""
+    from repro.evaluation.report import (
+        render_figure6,
+        render_figure7,
+        render_table1,
+        render_case_details,
+    )
+
+    parser = argparse.ArgumentParser(
+        description="Rerun the paper's evaluation (Table 1, Figures 6-7)."
+    )
+    parser.add_argument(
+        "--details",
+        action="store_true",
+        help="also print per-case precision/recall",
+    )
+    args = parser.parse_args(argv)
+    results = run_all()
+    print(render_table1(results))
+    print()
+    print(render_figure6(results))
+    print()
+    print(render_figure7(results))
+    if args.details:
+        print()
+        print(render_case_details(results))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

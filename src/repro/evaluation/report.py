@@ -1,0 +1,127 @@
+"""Textual rendering of the paper's Table 1 and Figures 6–7.
+
+The figures are bar charts in the paper; here they render as aligned
+text tables plus ASCII bars so the "who wins, by how much" shape is
+visible directly in terminal output and in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.evaluation.harness import RIC, SEMANTIC, DatasetResult
+
+_BAR_WIDTH = 24
+
+
+def _bar(value: float) -> str:
+    filled = round(value * _BAR_WIDTH)
+    return "█" * filled + "·" * (_BAR_WIDTH - filled)
+
+
+def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(str(cell).ljust(width) for cell, width in zip(cells, widths))
+
+
+def render_table1(results: Sequence[DatasetResult]) -> str:
+    """Table 1: characteristics of the (reconstructed) test data."""
+    header = [
+        "Schema",
+        "#tables",
+        "associated CM",
+        "#nodes in CM",
+        "#mappings",
+        "time (sec)",
+    ]
+    rows: list[list[str]] = []
+    for result in results:
+        pair = result.pair
+        time_text = f"{result.total_time(SEMANTIC):.3f}"
+        rows.append(
+            [
+                pair.source_label,
+                str(pair.source_table_count()),
+                pair.source_cm_label,
+                str(pair.source_cm_node_count()),
+                str(pair.mapping_count()),
+                time_text,
+            ]
+        )
+        rows.append(
+            [
+                pair.target_label,
+                str(pair.target_table_count()),
+                pair.target_cm_label,
+                str(pair.target_cm_node_count()),
+                "",
+                "",
+            ]
+        )
+    widths = [
+        max([len(header[i])] + [len(row[i]) for row in rows])
+        for i in range(len(header))
+    ]
+    lines = ["Table 1. Characteristics of Test Data"]
+    lines.append(_format_row(header, widths))
+    lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    lines.extend(_format_row(row, widths) for row in rows)
+    return "\n".join(lines)
+
+
+def _render_measure_figure(
+    results: Sequence[DatasetResult], title: str, getter: str
+) -> str:
+    lines = [title]
+    name_width = max(len(r.pair.name) for r in results) if results else 6
+    for result in results:
+        semantic_value = getattr(result, getter)(SEMANTIC)
+        ric_value = getattr(result, getter)(RIC)
+        lines.append(
+            f"  {result.pair.name.ljust(name_width)}  "
+            f"semantic {_bar(semantic_value)} {semantic_value:4.2f}   "
+            f"RIC-based {_bar(ric_value)} {ric_value:4.2f}"
+        )
+    semantic_avg = (
+        sum(getattr(r, getter)(SEMANTIC) for r in results) / len(results)
+        if results
+        else 0.0
+    )
+    ric_avg = (
+        sum(getattr(r, getter)(RIC) for r in results) / len(results)
+        if results
+        else 0.0
+    )
+    lines.append(
+        f"  {'OVERALL'.ljust(name_width)}  "
+        f"semantic {_bar(semantic_avg)} {semantic_avg:4.2f}   "
+        f"RIC-based {_bar(ric_avg)} {ric_avg:4.2f}"
+    )
+    return "\n".join(lines)
+
+
+def render_figure6(results: Sequence[DatasetResult]) -> str:
+    """Figure 6: average precision per domain, semantic vs RIC-based."""
+    return _render_measure_figure(
+        results, "Figure 6. Average Precision", "average_precision"
+    )
+
+
+def render_figure7(results: Sequence[DatasetResult]) -> str:
+    """Figure 7: average recall per domain, semantic vs RIC-based."""
+    return _render_measure_figure(
+        results, "Figure 7. Average Recall", "average_recall"
+    )
+
+
+def render_case_details(results: Sequence[DatasetResult]) -> str:
+    """Per-case measures, for debugging and EXPERIMENTS.md."""
+    lines = ["Per-case results:"]
+    for result in results:
+        lines.append(f"  {result.pair.name}:")
+        for case_result in result.case_results:
+            lines.append(
+                f"    {case_result.case_id:<28} {case_result.method:<9} "
+                f"{case_result.measures}  "
+                f"[{case_result.elapsed_seconds * 1000:.1f} ms]"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one type to handle any library
+failure while letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """An ill-formed relational schema, table, or constraint."""
+
+
+class InstanceError(ReproError):
+    """A relational instance that does not conform to its schema."""
+
+
+class ConceptualModelError(ReproError):
+    """An ill-formed conceptual model (CM) or CM graph."""
+
+
+class CardinalityError(ConceptualModelError):
+    """An invalid cardinality specification (e.g. ``min > max``)."""
+
+
+class SemanticsError(ReproError):
+    """Invalid table semantics: a malformed s-tree or LAV specification."""
+
+
+class QueryError(ReproError):
+    """A malformed conjunctive query or an invalid query operation."""
+
+
+class RewritingError(ReproError):
+    """Query rewriting against table semantics failed or is impossible."""
+
+
+class DiscoveryError(ReproError):
+    """The mapping-discovery pipeline received inconsistent inputs."""
+
+
+class CorrespondenceError(ReproError):
+    """A correspondence references unknown tables or columns."""
+
+
+class DatasetError(ReproError):
+    """A benchmark dataset definition is internally inconsistent."""
+
+
+class EvaluationError(ReproError):
+    """The evaluation harness was invoked with invalid arguments."""

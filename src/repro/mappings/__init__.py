@@ -1,0 +1,60 @@
+"""Mapping expressions: tgds, candidates, and data exchange."""
+
+from repro.mappings.tgd import SourceToTargetTGD, align_queries
+from repro.mappings.expression import (
+    MappingCandidate,
+    deduplicate_candidates,
+    query_to_algebra,
+    trim_redundant_joins,
+)
+from repro.mappings.exchange import certain_rows, exchange
+from repro.mappings.sql import insert_sql, select_sql
+from repro.mappings.serialize import dump_candidates, load_candidates
+from repro.mappings.coverage import (
+    ColumnCoverage,
+    ColumnStatus,
+    coverage_summary,
+    target_coverage,
+)
+from repro.mappings.diff import MappingDiff, diff_candidates
+from repro.mappings.verify import (
+    VerificationReport,
+    Violation,
+    satisfies,
+    tgd_violations,
+    verify_mappings,
+)
+from repro.mappings.refinement import (
+    optional_classes,
+    optional_tables,
+    outer_join_algebra,
+)
+
+__all__ = [
+    "SourceToTargetTGD",
+    "align_queries",
+    "MappingCandidate",
+    "deduplicate_candidates",
+    "query_to_algebra",
+    "trim_redundant_joins",
+    "optional_classes",
+    "optional_tables",
+    "outer_join_algebra",
+    "insert_sql",
+    "dump_candidates",
+    "ColumnCoverage",
+    "ColumnStatus",
+    "coverage_summary",
+    "target_coverage",
+    "MappingDiff",
+    "diff_candidates",
+    "load_candidates",
+    "VerificationReport",
+    "Violation",
+    "satisfies",
+    "tgd_violations",
+    "verify_mappings",
+    "select_sql",
+    "certain_rows",
+    "exchange",
+]

@@ -1,0 +1,102 @@
+"""Target-coverage analysis for mapping sets.
+
+Before running an exchange, a DBA wants to know which target columns the
+accepted mappings will actually populate and which will fill with
+Skolem nulls or stay empty. :func:`target_coverage` answers that from
+the tgds alone (no data needed).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.mappings.tgd import SourceToTargetTGD
+from repro.queries.conjunctive import Variable
+from repro.relational.schema import RelationalSchema
+
+
+class ColumnStatus(enum.Enum):
+    """How a target column fares under a mapping set."""
+
+    #: Some tgd exports a source value into the column.
+    EXPORTED = "exported"
+    #: The column is only ever filled with invented (Skolem) values.
+    SKOLEM_ONLY = "skolem-only"
+    #: No tgd writes the table at all.
+    UNTOUCHED = "untouched"
+
+
+@dataclass(frozen=True)
+class ColumnCoverage:
+    """Coverage verdict for one target column."""
+
+    table: str
+    column: str
+    status: ColumnStatus
+    writers: tuple[str, ...]
+
+    def __str__(self) -> str:
+        writers = ", ".join(self.writers) if self.writers else "—"
+        return f"{self.table}.{self.column}: {self.status.value} ({writers})"
+
+
+def target_coverage(
+    tgds: Sequence[SourceToTargetTGD],
+    target_schema: RelationalSchema,
+) -> tuple[ColumnCoverage, ...]:
+    """Per-column coverage of ``target_schema`` under ``tgds``.
+
+    A column counts as *exported* when at least one tgd places an
+    exported (head) variable there; as *skolem-only* when tgds write the
+    table but only ever put existential variables in that position.
+    """
+    exported_writers: dict[tuple[str, str], set[str]] = {}
+    skolem_writers: dict[tuple[str, str], set[str]] = {}
+    for tgd in tgds:
+        exported_vars = {
+            term for term in tgd.target.head_terms if isinstance(term, Variable)
+        }
+        for atom in tgd.target.body:
+            if not atom.is_db_atom:
+                continue
+            table_name = atom.bare_predicate
+            if not target_schema.has_table(table_name):
+                continue
+            table = target_schema.table(table_name)
+            for column, term in zip(table.columns, atom.terms):
+                key = (table_name, column)
+                if isinstance(term, Variable) and term in exported_vars:
+                    exported_writers.setdefault(key, set()).add(tgd.name)
+                else:
+                    skolem_writers.setdefault(key, set()).add(tgd.name)
+    results = []
+    for table in target_schema:
+        for column in table.columns:
+            key = (table.name, column)
+            if key in exported_writers:
+                status = ColumnStatus.EXPORTED
+                writers = exported_writers[key]
+            elif key in skolem_writers:
+                status = ColumnStatus.SKOLEM_ONLY
+                writers = skolem_writers[key]
+            else:
+                status = ColumnStatus.UNTOUCHED
+                writers = set()
+            results.append(
+                ColumnCoverage(
+                    table.name, column, status, tuple(sorted(writers))
+                )
+            )
+    return tuple(results)
+
+
+def coverage_summary(
+    coverage: Iterable[ColumnCoverage],
+) -> dict[ColumnStatus, int]:
+    """Counts per status, for quick reporting."""
+    summary = {status: 0 for status in ColumnStatus}
+    for entry in coverage:
+        summary[entry.status] += 1
+    return summary

@@ -1,0 +1,74 @@
+"""Diffing mapping sets — change review for evolving schemas.
+
+Mapping sets live next to schemas and get regenerated when either side
+changes; :func:`diff_candidates` reports what changed between two
+generations using the same identity criterion as the evaluation (the
+paper's "same pair of connections"): unchanged, added, and removed
+candidates, with covered-correspondence keys to group near-misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.mappings.expression import MappingCandidate
+
+
+@dataclass(frozen=True)
+class MappingDiff:
+    """The outcome of comparing two candidate sets."""
+
+    unchanged: tuple[MappingCandidate, ...]
+    added: tuple[MappingCandidate, ...]
+    removed: tuple[MappingCandidate, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.added and not self.removed
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.unchanged)} unchanged, "
+            f"{len(self.added)} added, {len(self.removed)} removed"
+        )
+
+    def render(self) -> str:
+        lines = [self.summary()]
+        for candidate in self.added:
+            lines.append(f"  + {candidate}")
+        for candidate in self.removed:
+            lines.append(f"  - {candidate}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def diff_candidates(
+    old: Sequence[MappingCandidate],
+    new: Sequence[MappingCandidate],
+) -> MappingDiff:
+    """Compare two candidate sets under mapping identity.
+
+    Matching is greedy one-to-one: each old candidate consumes at most
+    one identical new candidate.
+    """
+    remaining = list(new)
+    unchanged: list[MappingCandidate] = []
+    removed: list[MappingCandidate] = []
+    for candidate in old:
+        match_index = next(
+            (
+                index
+                for index, other in enumerate(remaining)
+                if candidate.same_mapping_as(other)
+            ),
+            None,
+        )
+        if match_index is None:
+            removed.append(candidate)
+        else:
+            unchanged.append(candidate)
+            remaining.pop(match_index)
+    return MappingDiff(tuple(unchanged), tuple(remaining), tuple(removed))

@@ -1,0 +1,108 @@
+"""Data exchange: executing GLAV mappings on source instances.
+
+Given a set of s-t tgds and a source instance, :func:`exchange` computes a
+*canonical universal solution* the standard way: evaluate each tgd's
+source query, and for every satisfying binding insert the target body's
+atoms, instantiating target-existential variables with labeled nulls built
+from Skolem terms over the exported values (Section 1's observation that
+"Skolem functions are generally used to represent existentially
+quantified variables").
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.exceptions import QueryError
+from repro.mappings.tgd import SourceToTargetTGD
+from repro.queries.conjunctive import (
+    Atom,
+    Constant,
+    Term,
+    Variable,
+)
+from repro.queries.datalog import evaluate_bindings
+from repro.relational.instance import Instance, LabeledNull
+from repro.relational.schema import RelationalSchema
+
+
+def _skolem_null(
+    tgd_name: str, variable: Variable, exported: tuple[Hashable, ...]
+) -> LabeledNull:
+    values = ",".join(repr(value) for value in exported)
+    return LabeledNull(f"{tgd_name}:{variable.name}({values})")
+
+
+def exchange(
+    tgds: Sequence[SourceToTargetTGD],
+    source_instance: Instance,
+    target_schema: RelationalSchema,
+) -> Instance:
+    """Chase the source instance with the tgds into a target instance.
+
+    Labeled nulls are deterministic functions of (tgd, variable, exported
+    values), so repeated runs produce identical instances and two tgd
+    firings agreeing on exports share nulls.
+    """
+    target = Instance(target_schema)
+    for tgd in tgds:
+        _fire(tgd, source_instance, target)
+    return target
+
+
+def _fire(
+    tgd: SourceToTargetTGD, source_instance: Instance, target: Instance
+) -> None:
+    aligned = tgd  # queries already share exported variables by contract
+    for binding in evaluate_bindings(aligned.source, source_instance):
+        exported: dict[Variable, Hashable] = {}
+        export_values = []
+        for source_term, target_term in zip(
+            aligned.source.head_terms, aligned.target.head_terms
+        ):
+            value = _term_value(source_term, binding, {})
+            export_values.append(value)
+            if isinstance(target_term, Variable):
+                exported[target_term] = value
+        null_cache: dict[Variable, LabeledNull] = {}
+        for atom in aligned.target.body:
+            if not atom.is_db_atom:
+                raise QueryError(
+                    f"target body must use T: atoms, got {atom.predicate!r}"
+                )
+            row = []
+            for term in atom.terms:
+                if isinstance(term, Variable) and term not in exported:
+                    if term not in null_cache:
+                        null_cache[term] = _skolem_null(
+                            aligned.name, term, tuple(export_values)
+                        )
+                    row.append(null_cache[term])
+                else:
+                    row.append(_term_value(term, binding, exported))
+            target.add(atom.bare_predicate, row)
+
+
+def _term_value(
+    term: Term,
+    binding: dict[Variable, Hashable],
+    exported: dict[Variable, Hashable],
+) -> Hashable:
+    if isinstance(term, Variable):
+        if term in exported:
+            return exported[term]
+        if term in binding:
+            return binding[term]
+        raise QueryError(f"unbound variable {term} during exchange")
+    if isinstance(term, Constant):
+        return term.value
+    raise QueryError(f"cannot exchange Skolem term {term}")
+
+
+def certain_rows(instance: Instance, table_name: str) -> tuple[tuple, ...]:
+    """Rows of a table containing no labeled nulls (certain answers)."""
+    return tuple(
+        row
+        for row in instance.rows(table_name)
+        if not any(isinstance(value, LabeledNull) for value in row)
+    )

@@ -1,0 +1,167 @@
+"""Mapping candidates: the objects both discovery methods produce.
+
+A :class:`MappingCandidate` is the triple ⟨E₁, E₂, 𝓛_M⟩ of Section 3.1: a
+source expression, a target expression, and the correspondences the pair
+covers. Candidates compare by *signature* — the paper's "same pair of
+connections" criterion: two candidates are the same mapping when their
+source queries join the same tables the same way (equivalent as boolean
+queries), likewise their target queries, and they cover the same
+correspondences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.correspondences import Correspondence
+from repro.queries.conjunctive import ConjunctiveQuery, Variable
+from repro.queries.homomorphism import are_equivalent
+from repro.mappings.tgd import SourceToTargetTGD, align_queries
+from repro.relational.algebra import (
+    AlgebraExpression,
+    BaseRelation,
+    NaturalJoin,
+    Projection,
+    Rename,
+)
+from repro.relational.schema import RelationalSchema
+
+
+@dataclass(frozen=True)
+class MappingCandidate:
+    """⟨source expression, target expression, covered correspondences⟩.
+
+    ``source_optional_tables`` carries the Section 6 outer-join hints:
+    source tables realizing CM objects reached over min-cardinality-0
+    edges, whose joins a data-exchange engine may want to treat as outer
+    joins (see :mod:`repro.mappings.refinement`). The field never
+    participates in candidate identity.
+    """
+
+    source_query: ConjunctiveQuery
+    target_query: ConjunctiveQuery
+    covered: tuple[Correspondence, ...]
+    method: str = "semantic"
+    notes: str = ""
+    source_optional_tables: frozenset[str] = frozenset()
+
+    def to_tgd(self, name: str = "M") -> SourceToTargetTGD:
+        tgd = align_queries(self.source_query, self.target_query)
+        return SourceToTargetTGD(tgd.source, tgd.target, name)
+
+    # ------------------------------------------------------------------
+    # Identity (the paper's evaluation criterion)
+    # ------------------------------------------------------------------
+    def boolean_source(self) -> ConjunctiveQuery:
+        return _booleanize(self.source_query)
+
+    def boolean_target(self) -> ConjunctiveQuery:
+        return _booleanize(self.target_query)
+
+    def same_mapping_as(self, other: "MappingCandidate") -> bool:
+        """Same pair of connections covering the same correspondences."""
+        if set(self.covered) != set(other.covered):
+            return False
+        return are_equivalent(
+            self.boolean_source(), other.boolean_source()
+        ) and are_equivalent(self.boolean_target(), other.boolean_target())
+
+    def __str__(self) -> str:
+        covered = ", ".join(str(c) for c in self.covered)
+        return (
+            f"[{self.method}] {self.source_query}  ⇒  {self.target_query}"
+            f"  covering {{{covered}}}"
+        )
+
+
+def _booleanize(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The body of ``query`` as a boolean (closed) query."""
+    return ConjunctiveQuery([], query.body, query.name)
+
+
+def deduplicate_candidates(
+    candidates: list[MappingCandidate],
+) -> list[MappingCandidate]:
+    """Drop candidates equal (per :meth:`same_mapping_as`) to an earlier one."""
+    unique: list[MappingCandidate] = []
+    for candidate in candidates:
+        if not any(candidate.same_mapping_as(kept) for kept in unique):
+            unique.append(candidate)
+    return unique
+
+
+def _tables_of(query: ConjunctiveQuery) -> frozenset[str]:
+    return frozenset(atom.bare_predicate for atom in query.body)
+
+
+def trim_redundant_joins(
+    candidates: list[MappingCandidate],
+) -> list[MappingCandidate]:
+    """Drop candidates whose joins add nothing over a leaner sibling.
+
+    The paper's unnecessary-join heuristic (applied to the RIC baseline in
+    Section 4, and implicitly by Example 3.4's pruning): among candidates
+    covering the same correspondences, a candidate joining a strict
+    superset of another's tables — on both sides — introduces no new
+    corresponded attributes and is removed.
+    """
+    survivors: list[MappingCandidate] = []
+    for index, candidate in enumerate(candidates):
+        dominated = False
+        for other_index, other in enumerate(candidates):
+            if index == other_index:
+                continue
+            if set(other.covered) != set(candidate.covered):
+                continue
+            source_sub = _tables_of(other.source_query) <= _tables_of(
+                candidate.source_query
+            )
+            target_sub = _tables_of(other.target_query) <= _tables_of(
+                candidate.target_query
+            )
+            strictly = (
+                _tables_of(other.source_query)
+                != _tables_of(candidate.source_query)
+                or _tables_of(other.target_query)
+                != _tables_of(candidate.target_query)
+            )
+            if source_sub and target_sub and strictly:
+                dominated = True
+                break
+        if not dominated:
+            survivors.append(candidate)
+    return survivors
+
+
+def query_to_algebra(
+    query: ConjunctiveQuery, schema: RelationalSchema
+) -> AlgebraExpression:
+    """Convert a table-level CQ into a relational algebra expression.
+
+    Each atom becomes a renamed base relation (columns renamed to the
+    atom's variable names); shared variables join naturally; the head
+    projects the exported variables. The result evaluates identically to
+    :func:`repro.queries.datalog.evaluate_query` on any instance.
+    """
+    expression: AlgebraExpression | None = None
+    for atom in query.body:
+        table = schema.table(atom.bare_predicate)
+        renaming = {}
+        for column, term in zip(table.columns, atom.terms):
+            if not isinstance(term, Variable):
+                raise ValueError(
+                    f"algebra conversion supports variable terms only, got "
+                    f"{term} in {atom}"
+                )
+            if column != term.name:
+                renaming[column] = term.name
+        node: AlgebraExpression = BaseRelation(table.name)
+        if renaming:
+            node = Rename(node, renaming)
+        expression = node if expression is None else NaturalJoin(expression, node)
+    if expression is None:
+        raise ValueError("cannot convert an empty query to algebra")
+    head = [
+        term.name for term in query.head_terms if isinstance(term, Variable)
+    ]
+    return Projection(expression, head)

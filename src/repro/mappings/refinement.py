@@ -1,0 +1,124 @@
+"""Outer-join refinement of discovered mappings (the paper's Section 6).
+
+    "a more careful look at the tree provides hints about when joins
+    should really be treated as outer-joins (e.g., when the minimum
+    cardinality of an edge being traversed is 0, not 1); such information
+    could be quite useful in computing more accurate mappings"
+
+This module implements that future-work item: an s-tree edge whose
+forward lower bound is 0 means instances of the parent may lack a
+partner, so joining the tables realizing the child's subtree must not
+drop those instances. :func:`optional_classes` reads the hints off a CSG,
+:func:`optional_tables` projects them onto a table-level query, and
+:func:`outer_join_algebra` builds an executable plan where optional
+tables join with ``⟕``/``⟗`` instead of ``⋈`` — for Example 1.2 this
+yields exactly the full outer join of ``programmer`` and ``engineer``
+the paper asks for.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.discovery.csg import CSG
+from repro.exceptions import QueryError
+from repro.queries.conjunctive import ConjunctiveQuery, Variable
+from repro.relational.algebra import (
+    AlgebraExpression,
+    BaseRelation,
+    FullOuterJoin,
+    LeftOuterJoin,
+    NaturalJoin,
+    Projection,
+    Rename,
+)
+from repro.relational.schema import RelationalSchema
+from repro.semantics.lav import SchemaSemantics
+from repro.semantics.stree import STreeNode
+
+
+def optional_classes(csg: CSG) -> frozenset[str]:
+    """CM classes reached through a min-cardinality-0 tree edge.
+
+    The whole subtree below such an edge is optional: the anchor object
+    exists without it.
+    """
+    children: dict[STreeNode, list[STreeNode]] = {}
+    optional_roots: list[STreeNode] = []
+    for edge in csg.tree.edges:
+        children.setdefault(edge.parent, []).append(edge.child)
+        if edge.cm_edge.forward_card.lower == 0:
+            optional_roots.append(edge.child)
+    result: set[str] = set()
+    frontier = list(optional_roots)
+    while frontier:
+        node = frontier.pop()
+        result.add(node.cm_node)
+        frontier.extend(children.get(node, ()))
+    return frozenset(result)
+
+
+def optional_tables(
+    query: ConjunctiveQuery,
+    csg: CSG,
+    semantics: SchemaSemantics,
+) -> frozenset[str]:
+    """Tables of ``query`` whose s-tree anchor is an optional class."""
+    hints = optional_classes(csg)
+    result = set()
+    for atom in query.body:
+        table = atom.bare_predicate
+        if not semantics.has_tree(table):
+            continue
+        if semantics.tree(table).anchor.cm_node in hints:
+            result.add(table)
+    return frozenset(result)
+
+
+def outer_join_algebra(
+    query: ConjunctiveQuery,
+    schema: RelationalSchema,
+    optional: Iterable[str] = (),
+) -> AlgebraExpression:
+    """An algebra plan joining optional tables with outer joins.
+
+    Mandatory atoms natural-join first; optional atoms then attach with a
+    left outer join — unless *every* atom is optional, in which case they
+    merge pairwise with full outer joins (the Example 1.2 situation: all
+    subclass tables are optional with respect to the superclass object).
+    """
+    optional_set = set(optional)
+    nodes: list[tuple[bool, AlgebraExpression]] = []
+    for atom in query.body:
+        table = schema.table(atom.bare_predicate)
+        renaming = {}
+        for column, term in zip(table.columns, atom.terms):
+            if not isinstance(term, Variable):
+                raise QueryError(
+                    f"outer-join conversion supports variable terms only: "
+                    f"{atom}"
+                )
+            if column != term.name:
+                renaming[column] = term.name
+        node: AlgebraExpression = BaseRelation(table.name)
+        if renaming:
+            node = Rename(node, renaming)
+        nodes.append((atom.bare_predicate in optional_set, node))
+    if not nodes:
+        raise QueryError("cannot convert an empty query")
+    mandatory = [node for is_optional, node in nodes if not is_optional]
+    optionals = [node for is_optional, node in nodes if is_optional]
+    if mandatory:
+        plan = mandatory[0]
+        for node in mandatory[1:]:
+            plan = NaturalJoin(plan, node)
+        for node in optionals:
+            plan = LeftOuterJoin(plan, node)
+    else:
+        plan = optionals[0]
+        for node in optionals[1:]:
+            plan = FullOuterJoin(plan, node)
+    head = [
+        term.name for term in query.head_terms if isinstance(term, Variable)
+    ]
+    return Projection(plan, head)

@@ -1,0 +1,122 @@
+"""JSON (de)serialization of mapping candidates and result sets.
+
+Discovered mappings are artifacts users keep: this module round-trips
+:class:`MappingCandidate` lists through a stable, human-diffable JSON
+shape, so mapping sets can be versioned next to the schemas they map.
+
+Only table-level candidates serialize (variables and constants in the
+queries); Skolem terms never appear in finished candidates.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from repro.correspondences import Correspondence
+from repro.exceptions import QueryError
+from repro.mappings.expression import MappingCandidate
+from repro.queries.conjunctive import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    Term,
+    Variable,
+)
+
+#: Format marker written into every document.
+FORMAT = "repro-mappings/1"
+
+
+def _term_to_json(term: Term) -> Any:
+    if isinstance(term, Variable):
+        return {"var": term.name}
+    if isinstance(term, Constant):
+        return {"const": term.value}
+    raise QueryError(f"cannot serialize term {term}")
+
+
+def _term_from_json(data: Any) -> Term:
+    if "var" in data:
+        return Variable(data["var"])
+    if "const" in data:
+        return Constant(data["const"])
+    raise QueryError(f"cannot deserialize term {data!r}")
+
+
+def _query_to_json(query: ConjunctiveQuery) -> dict:
+    return {
+        "name": query.name,
+        "head": [_term_to_json(t) for t in query.head_terms],
+        "body": [
+            {
+                "predicate": atom.predicate,
+                "terms": [_term_to_json(t) for t in atom.terms],
+            }
+            for atom in query.body
+        ],
+    }
+
+
+def _query_from_json(data: dict) -> ConjunctiveQuery:
+    return ConjunctiveQuery(
+        [_term_from_json(t) for t in data["head"]],
+        [
+            Atom(
+                atom["predicate"],
+                [_term_from_json(t) for t in atom["terms"]],
+            )
+            for atom in data["body"]
+        ],
+        data.get("name", "ans"),
+    )
+
+
+def candidate_to_dict(candidate: MappingCandidate) -> dict:
+    """One candidate as a JSON-ready dictionary."""
+    return {
+        "source": _query_to_json(candidate.source_query),
+        "target": _query_to_json(candidate.target_query),
+        "covered": [str(c) for c in candidate.covered],
+        "method": candidate.method,
+        "notes": candidate.notes,
+        "source_optional_tables": sorted(candidate.source_optional_tables),
+    }
+
+
+def candidate_from_dict(data: dict) -> MappingCandidate:
+    return MappingCandidate(
+        source_query=_query_from_json(data["source"]),
+        target_query=_query_from_json(data["target"]),
+        covered=tuple(
+            Correspondence.parse(text) for text in data["covered"]
+        ),
+        method=data.get("method", "semantic"),
+        notes=data.get("notes", ""),
+        source_optional_tables=frozenset(
+            data.get("source_optional_tables", ())
+        ),
+    )
+
+
+def dump_candidates(
+    candidates: Sequence[MappingCandidate], indent: int = 2
+) -> str:
+    """Serialize a candidate list to JSON text."""
+    document = {
+        "format": FORMAT,
+        "candidates": [candidate_to_dict(c) for c in candidates],
+    }
+    return json.dumps(document, indent=indent, sort_keys=True)
+
+
+def load_candidates(text: str) -> list[MappingCandidate]:
+    """Parse JSON text produced by :func:`dump_candidates`."""
+    document = json.loads(text)
+    if document.get("format") != FORMAT:
+        raise QueryError(
+            f"unsupported mapping document format: {document.get('format')!r}"
+        )
+    return [
+        candidate_from_dict(entry) for entry in document["candidates"]
+    ]

@@ -1,0 +1,145 @@
+"""SQL generation for discovered mappings.
+
+Turns table-level conjunctive queries into executable ``SELECT``
+statements (alias-per-atom, equality joins in ``WHERE``) and s-t tgds
+into ``INSERT INTO ... SELECT`` transformation scripts — the form a DBA
+would actually deploy a discovered mapping in. Existential target
+positions render as Skolem-style string expressions so the scripts run
+as-is on SQLite (see ``tests/mappings/test_sql.py``, which executes them
+with the standard-library ``sqlite3`` and cross-checks the answers
+against this library's own evaluator).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import QueryError
+from repro.mappings.tgd import SourceToTargetTGD
+from repro.queries.conjunctive import (
+    ConjunctiveQuery,
+    Constant,
+    Term,
+    Variable,
+)
+from repro.relational.schema import RelationalSchema
+
+
+def _quote(value: object) -> str:
+    if isinstance(value, (int, float)):
+        return str(value)
+    text = str(value).replace("'", "''")
+    return f"'{text}'"
+
+
+def select_sql(
+    query: ConjunctiveQuery, schema: RelationalSchema
+) -> str:
+    """A ``SELECT`` statement computing ``query`` over ``schema``.
+
+    Each body atom becomes an aliased table in ``FROM``; shared variables
+    become equality predicates; constants become equality-to-literal
+    predicates; the head projects one expression per head term.
+    """
+    if not query.body:
+        raise QueryError("cannot render an empty query as SQL")
+    aliases: list[tuple[str, str]] = []
+    first_site: dict[Variable, str] = {}
+    conditions: list[str] = []
+    for index, atom in enumerate(query.body):
+        if not atom.is_db_atom:
+            raise QueryError(f"SQL rendering needs table atoms, got {atom}")
+        table = schema.table(atom.bare_predicate)
+        if table.arity != atom.arity:
+            raise QueryError(
+                f"atom {atom} does not match table {table.name} arity"
+            )
+        alias = f"t{index}"
+        aliases.append((table.name, alias))
+        for column, term in zip(table.columns, atom.terms):
+            site = f"{alias}.{column}"
+            if isinstance(term, Variable):
+                if term in first_site:
+                    conditions.append(f"{site} = {first_site[term]}")
+                else:
+                    first_site[term] = site
+            elif isinstance(term, Constant):
+                conditions.append(f"{site} = {_quote(term.value)}")
+            else:
+                raise QueryError(f"cannot render Skolem term {term} in SQL")
+    select_items = []
+    for position, term in enumerate(query.head_terms, start=1):
+        if isinstance(term, Variable):
+            if term not in first_site:
+                raise QueryError(f"unsafe head variable {term}")
+            select_items.append(f"{first_site[term]} AS c{position}")
+        elif isinstance(term, Constant):
+            select_items.append(f"{_quote(term.value)} AS c{position}")
+        else:
+            raise QueryError(f"cannot render head term {term}")
+    lines = [
+        "SELECT DISTINCT " + ", ".join(select_items),
+        "FROM " + ", ".join(f"{name} AS {alias}" for name, alias in aliases),
+    ]
+    if conditions:
+        lines.append("WHERE " + "\n  AND ".join(conditions))
+    return "\n".join(lines)
+
+
+def _skolem_expression(
+    tgd_name: str, variable: Variable, exported: dict[Variable, str]
+) -> str:
+    """A SQLite expression building a labeled-null-style string."""
+    prefix = _quote(f"_sk:{tgd_name}:{variable.name}:")
+    if not exported:
+        return prefix
+    parts = " || ':' || ".join(site for site in exported.values())
+    return f"{prefix} || {parts}"
+
+
+def insert_sql(
+    tgd: SourceToTargetTGD,
+    source_schema: RelationalSchema,
+    target_schema: RelationalSchema,
+) -> str:
+    """``INSERT INTO ... SELECT`` statements executing ``tgd``.
+
+    One statement per target atom; exported variables come from the
+    source ``SELECT``, target-existential variables become deterministic
+    Skolem strings over the exported values (the SQL analogue of the
+    labeled nulls in :func:`repro.mappings.exchange.exchange`).
+    """
+    source_select = select_sql(tgd.source, source_schema)
+    # Map each exported target variable to its SELECT output column.
+    exported: dict[Variable, str] = {}
+    for position, (source_term, target_term) in enumerate(
+        zip(tgd.source.head_terms, tgd.target.head_terms), start=1
+    ):
+        if isinstance(target_term, Variable):
+            exported[target_term] = f"src.c{position}"
+    statements = []
+    for atom in tgd.target.body:
+        if not atom.is_db_atom:
+            raise QueryError(f"target atom must be a table atom: {atom}")
+        table = target_schema.table(atom.bare_predicate)
+        select_items = []
+        for term in atom.terms:
+            if isinstance(term, Variable) and term in exported:
+                select_items.append(exported[term])
+            elif isinstance(term, Variable):
+                select_items.append(
+                    _skolem_expression(tgd.name, term, exported)
+                )
+            elif isinstance(term, Constant):
+                select_items.append(_quote(term.value))
+            else:
+                raise QueryError(f"cannot render term {term}")
+        statements.append(
+            f"INSERT OR IGNORE INTO {table.name} "
+            f"({', '.join(table.columns)})\n"
+            f"SELECT {', '.join(select_items)}\n"
+            f"FROM (\n{_indent(source_select)}\n) AS src;"
+        )
+    return "\n\n".join(statements)
+
+
+def _indent(text: str, prefix: str = "  ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())

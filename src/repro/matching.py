@@ -1,0 +1,152 @@
+"""A simple schema matcher: the paper's assumed first phase.
+
+The paper's input correspondences come from "many tools that support
+such matching" [Rahm & Bernstein]. This module provides a small,
+deterministic element-level matcher so the whole two-phase pipeline
+(match, then derive mappings) can run end to end inside this library:
+
+* column names are normalized (case, underscores, digits) and compared
+  exactly, then by containment;
+* when table semantics are available, the *CM attribute names* behind
+  the columns are compared too — which is how ``person.pname`` can match
+  ``hasbooksoldat.aname`` if both realize a ``name``-like attribute;
+* an optional synonym table injects domain knowledge.
+
+This is intentionally a baseline matcher, not a contribution: the paper
+treats correspondence quality as an input.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.correspondences import Correspondence, CorrespondenceSet
+from repro.relational.schema import Column, RelationalSchema
+from repro.semantics.lav import SchemaSemantics
+
+_NORMALIZE_RE = re.compile(r"[^a-z]+")
+
+
+def normalize(name: str) -> str:
+    """Lowercase and strip separators/digits: ``PubName2`` → ``pubname``."""
+    return _NORMALIZE_RE.sub("", name.lower())
+
+
+@dataclass(frozen=True, order=True)
+class MatchSuggestion:
+    """One scored correspondence suggestion."""
+
+    score: float
+    correspondence: Correspondence
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.correspondence} [{self.score:.2f}: {self.reason}]"
+
+
+def _name_score(left: str, right: str) -> tuple[float, str] | None:
+    first, second = normalize(left), normalize(right)
+    if not first or not second:
+        return None
+    if first == second:
+        return 1.0, "exact name"
+    if first in second or second in first:
+        shorter, longer = sorted((first, second), key=len)
+        return 0.5 + 0.4 * len(shorter) / len(longer), "name containment"
+    return None
+
+
+def suggest_correspondences(
+    source: RelationalSchema | SchemaSemantics,
+    target: RelationalSchema | SchemaSemantics,
+    synonyms: Mapping[str, str] | None = None,
+    threshold: float = 0.75,
+) -> list[MatchSuggestion]:
+    """Scored column↔column suggestions above ``threshold``.
+
+    Passing :class:`SchemaSemantics` (instead of bare schemas) also
+    compares the CM attribute names behind each column. ``synonyms`` maps
+    normalized names to a canonical form applied before comparison.
+    """
+    synonym_map = {
+        normalize(key): normalize(value)
+        for key, value in (synonyms or {}).items()
+    }
+
+    def canonical(name: str) -> str:
+        normalized = normalize(name)
+        return synonym_map.get(normalized, normalized)
+
+    source_schema = (
+        source.schema if isinstance(source, SchemaSemantics) else source
+    )
+    target_schema = (
+        target.schema if isinstance(target, SchemaSemantics) else target
+    )
+    suggestions: dict[Correspondence, MatchSuggestion] = {}
+    for source_table in source_schema:
+        for source_column in source_table.columns:
+            for target_table in target_schema:
+                for target_column in target_table.columns:
+                    names = [(source_column, target_column, 1.0)]
+                    if isinstance(source, SchemaSemantics) and isinstance(
+                        target, SchemaSemantics
+                    ):
+                        attribute_pair = _attribute_names(
+                            source,
+                            target,
+                            Column(source_table.name, source_column),
+                            Column(target_table.name, target_column),
+                        )
+                        if attribute_pair is not None:
+                            names.append((*attribute_pair, 0.9))
+                    best: MatchSuggestion | None = None
+                    for left, right, weight in names:
+                        outcome = _name_score(canonical(left), canonical(right))
+                        if outcome is None:
+                            continue
+                        score, reason = outcome
+                        score *= weight
+                        if score < threshold:
+                            continue
+                        candidate = MatchSuggestion(
+                            score,
+                            Correspondence(
+                                Column(source_table.name, source_column),
+                                Column(target_table.name, target_column),
+                            ),
+                            reason,
+                        )
+                        if best is None or candidate.score > best.score:
+                            best = candidate
+                    if best is not None:
+                        existing = suggestions.get(best.correspondence)
+                        if existing is None or best.score > existing.score:
+                            suggestions[best.correspondence] = best
+    return sorted(suggestions.values(), key=lambda s: (-s.score, str(s)))
+
+
+def _attribute_names(
+    source: SchemaSemantics,
+    target: SchemaSemantics,
+    source_column: Column,
+    target_column: Column,
+) -> tuple[str, str] | None:
+    try:
+        return (
+            source.column_attribute(source_column),
+            target.column_attribute(target_column),
+        )
+    except Exception:
+        return None
+
+
+def as_correspondence_set(
+    suggestions: Iterable[MatchSuggestion],
+) -> CorrespondenceSet:
+    """Strip scores: the form the discovery pipeline consumes."""
+    return CorrespondenceSet(
+        suggestion.correspondence for suggestion in suggestions
+    )

@@ -1,0 +1,72 @@
+"""Query machinery: conjunctive queries, containment, chase, rewriting."""
+
+from repro.queries.conjunctive import (
+    Atom,
+    CM_PREFIX,
+    ConjunctiveQuery,
+    Constant,
+    DB_PREFIX,
+    SkolemTerm,
+    Term,
+    Variable,
+    VariableFactory,
+    cm_atom,
+    db_atom,
+    substitute_atom,
+    substitute_term,
+    unify_atoms,
+    unify_terms,
+)
+from repro.queries.homomorphism import (
+    are_equivalent,
+    containment_mapping,
+    is_contained_in,
+    keep_maximal,
+    minimize,
+)
+from repro.queries.chase import (
+    ChaseEngine,
+    InclusionDependency,
+    table_seed_atom,
+)
+from repro.queries.datalog import evaluate_bindings, evaluate_query
+from repro.queries.rewrite import (
+    InverseRule,
+    LAVView,
+    inverse_rules,
+    rewrite_query,
+    skolem_function_name,
+)
+
+__all__ = [
+    "Atom",
+    "CM_PREFIX",
+    "ConjunctiveQuery",
+    "Constant",
+    "DB_PREFIX",
+    "SkolemTerm",
+    "Term",
+    "Variable",
+    "VariableFactory",
+    "cm_atom",
+    "db_atom",
+    "substitute_atom",
+    "substitute_term",
+    "unify_atoms",
+    "unify_terms",
+    "are_equivalent",
+    "containment_mapping",
+    "is_contained_in",
+    "keep_maximal",
+    "minimize",
+    "ChaseEngine",
+    "InclusionDependency",
+    "table_seed_atom",
+    "evaluate_bindings",
+    "evaluate_query",
+    "InverseRule",
+    "LAVView",
+    "inverse_rules",
+    "rewrite_query",
+    "skolem_function_name",
+]

@@ -1,0 +1,357 @@
+"""Conjunctive queries, terms, and unification.
+
+The library manipulates two vocabularies, distinguished by a predicate
+prefix exactly as the paper does:
+
+* ``O:`` — conceptual-model predicates: unary class predicates, binary
+  attribute predicates, binary relationship predicates;
+* ``T:`` — relational table predicates.
+
+Terms are variables, constants, or Skolem terms (uninterpreted function
+applications, used by the inverse-rule rewriting of Section 3.4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.exceptions import QueryError
+
+#: Namespace prefixes, following the paper's notation.
+CM_PREFIX = "O:"
+DB_PREFIX = "T:"
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A query variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class Constant:
+    """A constant value embedded in a query."""
+
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True, order=True)
+class SkolemTerm:
+    """An uninterpreted function application ``f(t1, ..., tn)``."""
+
+    function: str
+    arguments: tuple["Term", ...]
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.arguments)
+        return f"{self.function}({args})"
+
+
+Term = Variable | Constant | SkolemTerm
+
+
+def variables_of(term: Term) -> Iterator[Variable]:
+    """Yield every variable occurring in (possibly nested) ``term``."""
+    if isinstance(term, Variable):
+        yield term
+    elif isinstance(term, SkolemTerm):
+        for argument in term.arguments:
+            yield from variables_of(argument)
+
+
+def contains_skolem(term: Term) -> bool:
+    return isinstance(term, SkolemTerm)
+
+
+# ---------------------------------------------------------------------------
+# Atoms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, order=True)
+class Atom:
+    """A predicate applied to terms."""
+
+    predicate: str
+    terms: tuple[Term, ...]
+
+    def __init__(self, predicate: str, terms: Sequence[Term]) -> None:
+        if not predicate:
+            raise QueryError("atom predicate must be non-empty")
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "terms", tuple(terms))
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    @property
+    def is_cm_atom(self) -> bool:
+        return self.predicate.startswith(CM_PREFIX)
+
+    @property
+    def is_db_atom(self) -> bool:
+        return self.predicate.startswith(DB_PREFIX)
+
+    @property
+    def bare_predicate(self) -> str:
+        """Predicate name without the namespace prefix."""
+        for prefix in (CM_PREFIX, DB_PREFIX):
+            if self.predicate.startswith(prefix):
+                return self.predicate[len(prefix):]
+        return self.predicate
+
+    def variables(self) -> Iterator[Variable]:
+        for term in self.terms:
+            yield from variables_of(term)
+
+    def __str__(self) -> str:
+        args = ", ".join(str(t) for t in self.terms)
+        return f"{self.predicate}({args})"
+
+
+def cm_atom(name: str, *terms: Term) -> Atom:
+    """An ``O:``-namespaced (conceptual-model) atom."""
+    return Atom(CM_PREFIX + name, terms)
+
+
+def db_atom(name: str, *terms: Term) -> Atom:
+    """A ``T:``-namespaced (relational table) atom."""
+    return Atom(DB_PREFIX + name, terms)
+
+
+# ---------------------------------------------------------------------------
+# Substitutions and unification
+# ---------------------------------------------------------------------------
+
+Substitution = Mapping[Variable, Term]
+
+
+def substitute_term(term: Term, subst: Substitution) -> Term:
+    """Apply a substitution to a term, recursing through Skolem arguments."""
+    if isinstance(term, Variable):
+        replacement = subst.get(term, term)
+        if replacement != term and isinstance(replacement, (Variable, SkolemTerm)):
+            # Chase chains like {x: y, y: z} to a fixpoint.
+            again = substitute_term(replacement, subst)
+            return again
+        return replacement
+    if isinstance(term, SkolemTerm):
+        return SkolemTerm(
+            term.function,
+            tuple(substitute_term(a, subst) for a in term.arguments),
+        )
+    return term
+
+
+def substitute_atom(atom: Atom, subst: Substitution) -> Atom:
+    return Atom(atom.predicate, [substitute_term(t, subst) for t in atom.terms])
+
+
+def _occurs(variable: Variable, term: Term, subst: dict[Variable, Term]) -> bool:
+    term = substitute_term(term, subst)
+    if term == variable:
+        return True
+    if isinstance(term, SkolemTerm):
+        return any(_occurs(variable, a, subst) for a in term.arguments)
+    return False
+
+
+def unify_terms(
+    left: Term, right: Term, subst: dict[Variable, Term] | None = None
+) -> dict[Variable, Term] | None:
+    """Most-general unifier of two terms, extending ``subst``.
+
+    Returns the extended substitution or ``None`` when unification fails.
+    The input substitution is never mutated.
+    """
+    result = dict(subst or {})
+    if not _unify_into(left, right, result):
+        return None
+    return result
+
+
+def _unify_into(left: Term, right: Term, subst: dict[Variable, Term]) -> bool:
+    left = substitute_term(left, subst)
+    right = substitute_term(right, subst)
+    if left == right:
+        return True
+    if isinstance(left, Variable):
+        if _occurs(left, right, subst):
+            return False
+        subst[left] = right
+        return True
+    if isinstance(right, Variable):
+        return _unify_into(right, left, subst)
+    if isinstance(left, SkolemTerm) and isinstance(right, SkolemTerm):
+        if left.function != right.function or len(left.arguments) != len(
+            right.arguments
+        ):
+            return False
+        return all(
+            _unify_into(a, b, subst)
+            for a, b in zip(left.arguments, right.arguments)
+        )
+    return False
+
+
+def unify_atoms(
+    left: Atom, right: Atom, subst: dict[Variable, Term] | None = None
+) -> dict[Variable, Term] | None:
+    """Most-general unifier of two atoms, or ``None``."""
+    if left.predicate != right.predicate or left.arity != right.arity:
+        return None
+    result = dict(subst or {})
+    for a, b in zip(left.terms, right.terms):
+        if not _unify_into(a, b, result):
+            return None
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Conjunctive queries
+# ---------------------------------------------------------------------------
+
+
+class ConjunctiveQuery:
+    """``name(head) :- body`` with set semantics.
+
+    Head terms are usually variables but constants are permitted (useful
+    when rendering partially instantiated queries). Safety is enforced:
+    every head variable must occur in the body.
+    """
+
+    def __init__(
+        self,
+        head_terms: Sequence[Term],
+        body: Sequence[Atom],
+        name: str = "ans",
+    ) -> None:
+        self.name = name
+        self.head_terms: tuple[Term, ...] = tuple(head_terms)
+        # Dedup body atoms while preserving first-seen order.
+        seen: dict[Atom, None] = {}
+        for atom in body:
+            seen.setdefault(atom)
+        self.body: tuple[Atom, ...] = tuple(seen)
+        body_vars = set(self.body_variables())
+        for term in self.head_terms:
+            for var in variables_of(term):
+                if var not in body_vars:
+                    raise QueryError(
+                        f"unsafe query: head variable {var} not in body"
+                    )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def head_variables(self) -> tuple[Variable, ...]:
+        result: dict[Variable, None] = {}
+        for term in self.head_terms:
+            for var in variables_of(term):
+                result.setdefault(var)
+        return tuple(result)
+
+    def body_variables(self) -> tuple[Variable, ...]:
+        result: dict[Variable, None] = {}
+        for atom in self.body:
+            for var in atom.variables():
+                result.setdefault(var)
+        return tuple(result)
+
+    def variables(self) -> tuple[Variable, ...]:
+        result: dict[Variable, None] = {}
+        for var in itertools.chain(self.head_variables(), self.body_variables()):
+            result.setdefault(var)
+        return tuple(result)
+
+    def existential_variables(self) -> tuple[Variable, ...]:
+        head = set(self.head_variables())
+        return tuple(v for v in self.body_variables() if v not in head)
+
+    def predicates(self) -> frozenset[str]:
+        return frozenset(atom.predicate for atom in self.body)
+
+    def atoms_with(self, predicate: str) -> tuple[Atom, ...]:
+        return tuple(a for a in self.body if a.predicate == predicate)
+
+    def has_skolems(self) -> bool:
+        return any(
+            contains_skolem(term)
+            for atom in self.body
+            for term in atom.terms
+        ) or any(contains_skolem(term) for term in self.head_terms)
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def substitute(self, subst: Substitution) -> "ConjunctiveQuery":
+        return ConjunctiveQuery(
+            [substitute_term(t, subst) for t in self.head_terms],
+            [substitute_atom(a, subst) for a in self.body],
+            self.name,
+        )
+
+    def rename_apart(self, suffix: str) -> "ConjunctiveQuery":
+        """Rename every variable by appending ``suffix`` (freshening)."""
+        mapping = {v: Variable(v.name + suffix) for v in self.variables()}
+        return self.substitute(mapping)
+
+    def with_name(self, name: str) -> "ConjunctiveQuery":
+        return ConjunctiveQuery(self.head_terms, self.body, name)
+
+    # ------------------------------------------------------------------
+    # Equality and rendering
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        """Syntactic equality modulo body-atom order (not renaming)."""
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return (
+            self.head_terms == other.head_terms
+            and frozenset(self.body) == frozenset(other.body)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.head_terms, frozenset(self.body)))
+
+    def __str__(self) -> str:
+        head = ", ".join(str(t) for t in self.head_terms)
+        body = ", ".join(str(a) for a in sorted(self.body))
+        return f"{self.name}({head}) :- {body}"
+
+    def __repr__(self) -> str:
+        return f"<CQ {self}>"
+
+
+def fresh_variables(prefix: str, count: int) -> list[Variable]:
+    """``[prefix1, prefix2, ...]`` as variables."""
+    return [Variable(f"{prefix}{i}") for i in range(1, count + 1)]
+
+
+class _VariableFactory:
+    """Generates globally fresh variables (for chase steps etc.)."""
+
+    def __init__(self, prefix: str = "_v") -> None:
+        self._prefix = prefix
+        self._counter = itertools.count(1)
+
+    def __call__(self, hint: str = "") -> Variable:
+        return Variable(f"{self._prefix}{hint}{next(self._counter)}")
+
+
+VariableFactory = _VariableFactory

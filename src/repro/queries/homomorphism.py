@@ -1,0 +1,181 @@
+"""Homomorphisms, containment, and equivalence of conjunctive queries.
+
+Classical theory (Chandra–Merkurjev): ``q1 ⊆ q2`` iff there is a
+*containment mapping* from ``q2`` into ``q1`` — a substitution of ``q2``'s
+variables that sends every body atom of ``q2`` onto a body atom of ``q1``
+and the head onto the head. The search is exponential in the worst case
+but the queries this library produces are tiny (a handful of atoms).
+
+Used for: eliminating redundant rewritings (Example 3.4's ``q'₂ ⊆ q'₃``),
+deduplicating candidate mappings, and comparing generated mappings against
+benchmark mappings in the evaluation harness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.queries.conjunctive import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    SkolemTerm,
+    Term,
+    Variable,
+)
+
+
+def _match_term(
+    pattern: Term, target: Term, mapping: dict[Variable, Term]
+) -> dict[Variable, Term] | None:
+    """One-way matching: bind pattern variables to target terms."""
+    if isinstance(pattern, Variable):
+        bound = mapping.get(pattern)
+        if bound is None:
+            extended = dict(mapping)
+            extended[pattern] = target
+            return extended
+        return mapping if bound == target else None
+    if isinstance(pattern, Constant):
+        return mapping if pattern == target else None
+    if isinstance(pattern, SkolemTerm):
+        if (
+            not isinstance(target, SkolemTerm)
+            or pattern.function != target.function
+            or len(pattern.arguments) != len(target.arguments)
+        ):
+            return None
+        current: dict[Variable, Term] | None = mapping
+        for p_arg, t_arg in zip(pattern.arguments, target.arguments):
+            current = _match_term(p_arg, t_arg, current)
+            if current is None:
+                return None
+        return current
+    return None
+
+
+def _match_atom(
+    pattern: Atom, target: Atom, mapping: dict[Variable, Term]
+) -> dict[Variable, Term] | None:
+    if pattern.predicate != target.predicate or pattern.arity != target.arity:
+        return None
+    current: dict[Variable, Term] | None = mapping
+    for p_term, t_term in zip(pattern.terms, target.terms):
+        current = _match_term(p_term, t_term, current)
+        if current is None:
+            return None
+    return current
+
+
+def _homomorphisms(
+    atoms: tuple[Atom, ...],
+    target_atoms: tuple[Atom, ...],
+    mapping: dict[Variable, Term],
+) -> Iterator[dict[Variable, Term]]:
+    if not atoms:
+        yield mapping
+        return
+    first, rest = atoms[0], atoms[1:]
+    for target in target_atoms:
+        extended = _match_atom(first, target, mapping)
+        if extended is not None:
+            yield from _homomorphisms(rest, target_atoms, extended)
+
+
+def containment_mapping(
+    outer: ConjunctiveQuery, inner: ConjunctiveQuery
+) -> dict[Variable, Term] | None:
+    """A containment mapping from ``outer`` into ``inner``, if any.
+
+    Its existence proves ``inner ⊆ outer``: the mapping sends ``outer``'s
+    head terms onto ``inner``'s head terms (positionally) and every body
+    atom of ``outer`` onto some body atom of ``inner``.
+    """
+    if len(outer.head_terms) != len(inner.head_terms):
+        return None
+    mapping: dict[Variable, Term] | None = {}
+    for o_term, i_term in zip(outer.head_terms, inner.head_terms):
+        mapping = _match_term(o_term, i_term, mapping)
+        if mapping is None:
+            return None
+    # Order atoms most-constrained-first for a cheaper search.
+    ordered = tuple(
+        sorted(outer.body, key=lambda a: -sum(1 for _ in a.variables()))
+    )
+    for result in _homomorphisms(ordered, inner.body, mapping):
+        return result
+    return None
+
+
+def is_contained_in(inner: ConjunctiveQuery, outer: ConjunctiveQuery) -> bool:
+    """``inner ⊆ outer`` under set semantics."""
+    return containment_mapping(outer, inner) is not None
+
+
+def are_equivalent(first: ConjunctiveQuery, second: ConjunctiveQuery) -> bool:
+    """Semantic equivalence: containment in both directions."""
+    return is_contained_in(first, second) and is_contained_in(second, first)
+
+
+def minimize(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The core of ``query``: remove body atoms while staying equivalent.
+
+    Computes a minimal equivalent subquery by greedy deletion; the result
+    is unique up to isomorphism (the classical *core*). Only atoms whose
+    predicate occurs more than once can possibly be folded onto another
+    atom, so queries over distinct tables minimize in O(1).
+    """
+    body = list(query.body)
+    changed = True
+    while changed:
+        changed = False
+        predicate_counts: dict[str, int] = {}
+        for atom in body:
+            predicate_counts[atom.predicate] = (
+                predicate_counts.get(atom.predicate, 0) + 1
+            )
+        for index in range(len(body)):
+            if predicate_counts[body[index].predicate] < 2:
+                continue  # nowhere for this atom to map: never droppable
+            candidate_body = body[:index] + body[index + 1:]
+            if not candidate_body:
+                continue
+            try:
+                candidate = ConjunctiveQuery(
+                    query.head_terms, candidate_body, query.name
+                )
+            except Exception:
+                continue
+            if are_equivalent(candidate, query):
+                body = candidate_body
+                changed = True
+                break
+    return ConjunctiveQuery(query.head_terms, body, query.name)
+
+
+def keep_maximal(
+    queries: list[ConjunctiveQuery],
+) -> list[ConjunctiveQuery]:
+    """Drop queries strictly contained in another of the list.
+
+    This is the pruning step of Example 3.4: ``q'₂ ⊆ q'₃`` eliminates
+    ``q'₂``. Among equivalent queries, the first (in list order) is kept.
+    """
+    survivors: list[ConjunctiveQuery] = []
+    for index, query in enumerate(queries):
+        dominated = False
+        for other_index, other in enumerate(queries):
+            if index == other_index:
+                continue
+            if is_contained_in(query, other):
+                if is_contained_in(other, query):
+                    # Equivalent: keep only the earliest occurrence.
+                    if other_index < index:
+                        dominated = True
+                        break
+                else:
+                    dominated = True
+                    break
+        if not dominated:
+            survivors.append(query)
+    return survivors

@@ -1,0 +1,124 @@
+"""Key-aware normalization of table-level queries (egd chase).
+
+The LAV rewriting joins view occurrences on shared variables; when a
+table has a primary key, two atoms of that table agreeing on the key
+positions denote the *same row*, so their remaining positions can be
+unified and the atoms collapsed. This is the classical chase with the
+key's functional dependencies, and is what turns the three-way
+``employee`` self-join produced for Example 1.2's target into the single
+atom a human would write.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.queries.conjunctive import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    Term,
+    Variable,
+    substitute_atom,
+    substitute_term,
+    unify_terms,
+)
+from repro.relational.schema import RelationalSchema
+
+
+def key_positions_of_schema(
+    schema: RelationalSchema,
+) -> dict[str, tuple[int, ...]]:
+    """``table name → primary-key column positions`` for a schema."""
+    positions: dict[str, tuple[int, ...]] = {}
+    for table in schema:
+        if table.primary_key:
+            positions[table.name] = tuple(
+                table.columns.index(column) for column in table.primary_key
+            )
+    return positions
+
+
+def chase_with_keys(
+    query: ConjunctiveQuery,
+    key_positions: Mapping[str, tuple[int, ...]],
+) -> ConjunctiveQuery | None:
+    """Chase ``query`` with key dependencies; ``None`` when unsatisfiable.
+
+    Repeatedly: find two body atoms over the same keyed table whose key
+    terms are syntactically equal, unify their remaining terms, and
+    substitute throughout. Conflicting constants make the query
+    unsatisfiable (it can be dropped by the caller).
+    """
+    atoms = list(query.body)
+    head = list(query.head_terms)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(atoms)):
+            for j in range(i + 1, len(atoms)):
+                first, second = atoms[i], atoms[j]
+                if first.predicate != second.predicate:
+                    continue
+                positions = key_positions.get(first.bare_predicate)
+                if not positions or first.arity != second.arity:
+                    continue
+                if any(
+                    first.terms[p] != second.terms[p] for p in positions
+                ):
+                    continue
+                preferred = {
+                    term
+                    for term in head
+                    if isinstance(term, Variable)
+                }
+                substitution = _unify_rows(first, second, preferred)
+                if substitution is None:
+                    return None  # key violation: equal keys, clashing rows
+                if substitution:
+                    atoms = [substitute_atom(a, substitution) for a in atoms]
+                    head = [substitute_term(t, substitution) for t in head]
+                # The two atoms are now identical: drop the duplicate so the
+                # fixpoint loop terminates.
+                deduped_pass: dict[Atom, None] = {}
+                for atom in atoms:
+                    deduped_pass.setdefault(atom)
+                atoms = list(deduped_pass)
+                changed = True
+                break
+            if changed:
+                break
+    deduped: dict[Atom, None] = {}
+    for atom in atoms:
+        deduped.setdefault(atom)
+    return ConjunctiveQuery(head, tuple(deduped), query.name)
+
+
+def _unify_rows(
+    first: Atom, second: Atom, preferred: set[Variable]
+) -> dict[Variable, Term] | None:
+    """Row unifier that keeps head (correspondence) variables alive."""
+    substitution: dict[Variable, Term] = {}
+    for raw_left, raw_right in zip(first.terms, second.terms):
+        left = substitute_term(raw_left, substitution)
+        right = substitute_term(raw_right, substitution)
+        if left == right:
+            continue
+        if isinstance(left, Variable) and isinstance(right, Variable):
+            if left in preferred and right not in preferred:
+                substitution[right] = left
+            elif right in preferred and left not in preferred:
+                substitution[left] = right
+            else:
+                keep, drop = sorted((left, right))
+                substitution[drop] = keep
+        elif isinstance(left, Variable):
+            substitution[left] = right
+        elif isinstance(right, Variable):
+            substitution[right] = left
+        else:
+            extended = unify_terms(left, right, substitution)
+            if extended is None:
+                return None
+            substitution = extended
+    return substitution

@@ -1,0 +1,105 @@
+"""A small textual parser for conjunctive queries.
+
+Used by the benchmark datasets (hand-written "gold" mappings) and by
+tests. Grammar::
+
+    query  := name "(" terms? ")" ":-" atom ("," atom)*
+    atom   := predicate "(" terms? ")"
+    term   := variable | "'" text "'" | number
+    terms  := term ("," term)*
+
+Variables are bare identifiers; single-quoted text and bare numbers are
+constants. Predicates default to the ``T:`` (table) namespace unless they
+already carry a ``T:`` or ``O:`` prefix.
+
+>>> q = parse_query("ans(v1, v2) :- writes(v1, y), soldAt(y, v2)")
+>>> str(q)
+'ans(v1, v2) :- T:soldAt(y, v2), T:writes(v1, y)'
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.exceptions import QueryError
+from repro.queries.conjunctive import (
+    Atom,
+    CM_PREFIX,
+    ConjunctiveQuery,
+    Constant,
+    DB_PREFIX,
+    Term,
+    Variable,
+)
+
+_ATOM_RE = re.compile(r"\s*([\w⁻#~:]+)\s*\(([^()]*)\)\s*")
+
+
+def _parse_term(text: str) -> Term:
+    text = text.strip()
+    if not text:
+        raise QueryError("empty term")
+    if text.startswith("'") and text.endswith("'") and len(text) >= 2:
+        return Constant(text[1:-1])
+    if re.fullmatch(r"-?\d+", text):
+        return Constant(int(text))
+    if re.fullmatch(r"-?\d+\.\d+", text):
+        return Constant(float(text))
+    if re.fullmatch(r"[\w⁻#~]+", text):
+        return Variable(text)
+    raise QueryError(f"cannot parse term {text!r}")
+
+
+def _parse_terms(text: str) -> list[Term]:
+    text = text.strip()
+    if not text:
+        return []
+    return [_parse_term(part) for part in text.split(",")]
+
+
+def parse_atom(text: str, default_namespace: str = DB_PREFIX) -> Atom:
+    """Parse one atom, defaulting to the table (``T:``) namespace."""
+    match = _ATOM_RE.fullmatch(text)
+    if not match:
+        raise QueryError(f"cannot parse atom {text!r}")
+    predicate, body = match.groups()
+    if not predicate.startswith((CM_PREFIX, DB_PREFIX)):
+        predicate = default_namespace + predicate
+    return Atom(predicate, _parse_terms(body))
+
+
+def parse_query(
+    text: str,
+    name: str | None = None,
+    default_namespace: str = DB_PREFIX,
+) -> ConjunctiveQuery:
+    """Parse ``"ans(x) :- r(x, y), s(y)"`` into a :class:`ConjunctiveQuery`."""
+    if ":-" not in text:
+        raise QueryError(f"query text needs ':-': {text!r}")
+    head_text, body_text = text.split(":-", 1)
+    head_match = _ATOM_RE.fullmatch(head_text)
+    if not head_match:
+        raise QueryError(f"cannot parse query head {head_text!r}")
+    head_name, head_terms_text = head_match.groups()
+    body_atoms = []
+    # Split body on commas at depth 0 (commas also occur inside atoms).
+    depth = 0
+    current = []
+    for char in body_text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            body_atoms.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if "".join(current).strip():
+        body_atoms.append("".join(current))
+    atoms = [parse_atom(part, default_namespace) for part in body_atoms]
+    return ConjunctiveQuery(
+        _parse_terms(head_terms_text),
+        atoms,
+        name if name is not None else head_name,
+    )

@@ -1,0 +1,253 @@
+"""Rewriting CM-level queries into table-level queries (Section 3.4).
+
+Table semantics are LAV views: ``T(X) → ∃Y.Φ(X,Y)`` with ``Φ`` a
+conjunction of CM atoms. Following the paper (and Duschka–Genesereth
+inverse rules), each CM atom of ``Φ`` yields an *inverse rule* whose head
+is that atom with every existential variable replaced by a Skolem term
+over the view's head variables, and whose body is the single table atom
+``T(X)``.
+
+Key information has already been folded in by the LAV construction
+(:mod:`repro.semantics.lav`): an object variable identified by a key
+column is *replaced* by that column variable, so most object positions
+carry plain variables and only genuinely unidentified objects Skolemize.
+
+:func:`rewrite_query` unfolds a conjunctive query atom-by-atom over the
+inverse rules, keeps combinations whose unifier leaves the answer
+Skolem-free, and prunes the result per Example 3.4: rewritings must
+mention every *required* table (those linked by correspondences) and
+rewritings contained in another are dropped.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import RewritingError
+from repro.queries.conjunctive import (
+    Atom,
+    ConjunctiveQuery,
+    DB_PREFIX,
+    SkolemTerm,
+    Term,
+    Variable,
+    contains_skolem,
+    db_atom,
+    substitute_atom,
+    substitute_term,
+    unify_atoms,
+    variables_of,
+)
+from repro.queries.homomorphism import keep_maximal, minimize
+from repro.queries.normalize import chase_with_keys
+
+
+@dataclass(frozen=True)
+class LAVView:
+    """One table's semantics: ``name(head) → ∃(body vars ∖ head). body``."""
+
+    name: str
+    head: tuple[Variable, ...]
+    body: tuple[Atom, ...]
+
+    def __init__(
+        self, name: str, head: Sequence[Variable], body: Sequence[Atom]
+    ) -> None:
+        if not name:
+            raise RewritingError("LAV view needs a table name")
+        head_tuple = tuple(head)
+        if len(set(head_tuple)) != len(head_tuple):
+            raise RewritingError(
+                f"LAV view {name!r} repeats head variables: {head_tuple}"
+            )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "head", head_tuple)
+        object.__setattr__(self, "body", tuple(body))
+
+    def existential_variables(self) -> tuple[Variable, ...]:
+        head = set(self.head)
+        result: dict[Variable, None] = {}
+        for atom in self.body:
+            for var in atom.variables():
+                if var not in head:
+                    result.setdefault(var)
+        return tuple(result)
+
+    def __str__(self) -> str:
+        head = ", ".join(v.name for v in self.head)
+        body = ", ".join(str(a) for a in self.body)
+        return f"{DB_PREFIX}{self.name}({head}) → {body}"
+
+
+@dataclass(frozen=True)
+class InverseRule:
+    """``head :- body`` with ``head`` a CM atom and ``body`` a table atom."""
+
+    head: Atom
+    body: Atom
+
+    def __str__(self) -> str:
+        return f"{self.head} :- {self.body}"
+
+
+def skolem_function_name(view_name: str, variable: Variable) -> str:
+    """Deterministic Skolem function name for a view's existential var."""
+    return f"f_{view_name}_{variable.name}"
+
+
+def inverse_rules(view: LAVView) -> tuple[InverseRule, ...]:
+    """The inverse rules of one LAV view (Example 3.4).
+
+    >>> from repro.queries.conjunctive import cm_atom, Variable
+    >>> x, pname = Variable("x"), Variable("pname")
+    >>> view = LAVView("person", [pname],
+    ...                [cm_atom("Person", x), cm_atom("hasName", x, pname)])
+    >>> for rule in inverse_rules(view):
+    ...     print(rule)
+    O:Person(f_person_x(pname)) :- T:person(pname)
+    O:hasName(f_person_x(pname), pname) :- T:person(pname)
+    """
+    skolems = {
+        var: SkolemTerm(skolem_function_name(view.name, var), view.head)
+        for var in view.existential_variables()
+    }
+    body_atom = db_atom(view.name, *view.head)
+    return tuple(
+        InverseRule(substitute_atom(atom, skolems), body_atom)
+        for atom in view.body
+    )
+
+
+def _rules_by_predicate(
+    views: Iterable[LAVView],
+) -> dict[str, list[InverseRule]]:
+    index: dict[str, list[InverseRule]] = {}
+    for view in views:
+        for rule in inverse_rules(view):
+            index.setdefault(rule.head.predicate, []).append(rule)
+    return index
+
+
+def _rename_rule(rule: InverseRule, suffix: str) -> InverseRule:
+    mapping: dict[Variable, Term] = {}
+    for atom in (rule.head, rule.body):
+        for var in atom.variables():
+            mapping.setdefault(var, Variable(var.name + suffix))
+    return InverseRule(
+        substitute_atom(rule.head, mapping),
+        substitute_atom(rule.body, mapping),
+    )
+
+
+def _candidate_rewritings(
+    query: ConjunctiveQuery,
+    rule_index: dict[str, list[InverseRule]],
+    limit: int,
+) -> Iterator[ConjunctiveQuery]:
+    per_atom_rules: list[list[InverseRule]] = []
+    for atom in query.body:
+        matches = rule_index.get(atom.predicate, [])
+        if not matches:
+            return  # Some atom has no view covering it: no rewriting.
+        per_atom_rules.append(matches)
+    produced = 0
+    for combination in itertools.product(*per_atom_rules):
+        renamed = [
+            _rename_rule(rule, f"_{occurrence}")
+            for occurrence, rule in enumerate(combination)
+        ]
+        substitution: dict[Variable, Term] | None = {}
+        for atom, rule in zip(query.body, renamed):
+            substitution = unify_atoms(atom, rule.head, substitution)
+            if substitution is None:
+                break
+        if substitution is None:
+            continue
+        head_terms = [
+            substitute_term(term, substitution) for term in query.head_terms
+        ]
+        if any(contains_skolem(term) for term in head_terms):
+            continue
+        body_atoms = [
+            substitute_atom(rule.body, substitution) for rule in renamed
+        ]
+        if any(
+            contains_skolem(term) for atom in body_atoms for term in atom.terms
+        ):
+            continue
+        # Prefer the query's own variable names over the renamed-apart view
+        # variables they unified with, for readable output.
+        rename: dict[Variable, Term] = {}
+        query_vars = set(query.variables())
+        for query_var in query.variables():
+            image = substitute_term(query_var, substitution)
+            if (
+                isinstance(image, Variable)
+                and image != query_var
+                and image not in query_vars
+                and image not in rename
+            ):
+                rename[image] = query_var
+        head_terms = [substitute_term(term, rename) for term in head_terms]
+        body_atoms = [substitute_atom(atom, rename) for atom in body_atoms]
+        yield ConjunctiveQuery(head_terms, body_atoms, query.name)
+        produced += 1
+        if produced >= limit:
+            return
+
+
+def rewrite_query(
+    query: ConjunctiveQuery,
+    views: Sequence[LAVView],
+    required_tables: Iterable[str] = (),
+    limit: int = 256,
+    key_positions: Mapping[str, tuple[int, ...]] | None = None,
+) -> list[ConjunctiveQuery]:
+    """All maximal table-level rewritings of a CM-level query.
+
+    Parameters
+    ----------
+    query:
+        A conjunctive query over ``O:`` predicates.
+    views:
+        The LAV table semantics of one schema.
+    required_tables:
+        Table names that every surviving rewriting must mention —
+        the paper requires rewritings to "mention tables that have
+        columns linked by the correspondences".
+    limit:
+        Safety cap on the number of candidate combinations expanded.
+
+    Returns the surviving rewritings, deterministically ordered with the
+    most specific (largest-body) queries first — matching the paper's
+    preference for the most faithful expression (``q'₃`` over ``q'₁``).
+    """
+    for atom in query.body:
+        if not atom.is_cm_atom:
+            raise RewritingError(
+                f"rewrite_query expects O: atoms, got {atom.predicate!r}"
+            )
+    rule_index = _rules_by_predicate(views)
+    candidates = []
+    for candidate in _candidate_rewritings(query, rule_index, limit):
+        if key_positions:
+            # Collapse same-key atoms (egd chase), dropping rewritings
+            # that become unsatisfiable.
+            chased = chase_with_keys(candidate, key_positions)
+            if chased is None:
+                continue
+            candidate = chased
+        candidates.append(minimize(candidate))
+    required = set(required_tables)
+    if required:
+        candidates = [
+            candidate
+            for candidate in candidates
+            if required
+            <= {atom.bare_predicate for atom in candidate.body}
+        ]
+    # Deterministic order: larger bodies (more faithful) first, then text.
+    candidates.sort(key=lambda cq: (-len(cq.body), str(cq)))
+    return keep_maximal(candidates)

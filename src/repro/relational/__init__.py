@@ -1,0 +1,48 @@
+"""Relational substrate: schemas, constraints, instances, and algebra.
+
+This package models the *logical* (database) level of the paper: relational
+schemas with primary keys and referential integrity constraints (RICs), plus
+an in-memory instance store and a relational algebra evaluator used to
+execute discovered mapping expressions.
+"""
+
+from repro.relational.constraints import ReferentialConstraint
+from repro.relational.schema import Column, RelationalSchema, Table
+from repro.relational.instance import Instance, LabeledNull
+from repro.relational.ddl import emit_ddl, emit_table_ddl, parse_ddl
+from repro.relational.algebra import (
+    AlgebraExpression,
+    BaseRelation,
+    Distinct,
+    NaturalJoin,
+    LeftOuterJoin,
+    FullOuterJoin,
+    Projection,
+    Rename,
+    Selection,
+    ThetaJoin,
+    Union,
+)
+
+__all__ = [
+    "Column",
+    "Table",
+    "RelationalSchema",
+    "ReferentialConstraint",
+    "Instance",
+    "LabeledNull",
+    "emit_ddl",
+    "emit_table_ddl",
+    "parse_ddl",
+    "AlgebraExpression",
+    "BaseRelation",
+    "Selection",
+    "Projection",
+    "Rename",
+    "NaturalJoin",
+    "ThetaJoin",
+    "LeftOuterJoin",
+    "FullOuterJoin",
+    "Union",
+    "Distinct",
+]

@@ -1,0 +1,421 @@
+"""A small relational algebra with a set-semantics evaluator.
+
+The mapping expressions the library discovers are conjunctive queries; this
+module gives them an executable algebraic form (and a readable rendering).
+Outer joins are included because the paper (Example 1.2 and Section 6)
+motivates merging ISA siblings with outer joins.
+
+Every expression node evaluates against an :class:`~repro.relational.Instance`
+to a :class:`ResultSet` — an ordered column list plus a set of value tuples.
+Natural join is the workhorse: it joins on equal column *names*, which is the
+convention used by the queries this library generates (shared variables are
+rendered as shared column names, with :class:`Rename` resolving clashes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+from repro.exceptions import QueryError
+from repro.relational.instance import Instance, LabeledNull, _row_sort_key
+
+
+@dataclass(frozen=True)
+class ResultSet:
+    """An evaluated relation: column names plus rows aligned to them."""
+
+    columns: tuple[str, ...]
+    rows: frozenset[tuple]
+
+    def sorted_rows(self) -> tuple[tuple, ...]:
+        """Rows in a deterministic order (for display and tests)."""
+        return tuple(sorted(self.rows, key=_row_sort_key))
+
+    def project(self, columns: Sequence[str]) -> "ResultSet":
+        """Project onto ``columns`` (set semantics)."""
+        try:
+            positions = [self.columns.index(c) for c in columns]
+        except ValueError as exc:
+            raise QueryError(
+                f"cannot project {tuple(columns)} from {self.columns}"
+            ) from exc
+        rows = frozenset(tuple(row[i] for i in positions) for row in self.rows)
+        return ResultSet(tuple(columns), rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class AlgebraExpression:
+    """Base class for relational algebra expression trees."""
+
+    def output_columns(self, instance: Instance) -> tuple[str, ...]:
+        """Column names this expression produces over ``instance``'s schema."""
+        raise NotImplementedError
+
+    def evaluate(self, instance: Instance) -> ResultSet:
+        """Evaluate to a :class:`ResultSet` under set semantics."""
+        raise NotImplementedError
+
+    def render(self) -> str:
+        """Linear textual rendering (⋈, σ, π, ∪, ⟕, ⟗)."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.render()
+
+    # Convenience combinators -------------------------------------------------
+    def join(self, other: "AlgebraExpression") -> "NaturalJoin":
+        return NaturalJoin(self, other)
+
+    def where(self, column: str, value: Hashable) -> "Selection":
+        return Selection(self, column, value)
+
+    def select_columns(self, *columns: str) -> "Projection":
+        return Projection(self, columns)
+
+
+@dataclass(frozen=True)
+class BaseRelation(AlgebraExpression):
+    """A table scan. Column names are the table's own (unqualified)."""
+
+    table_name: str
+
+    def output_columns(self, instance: Instance) -> tuple[str, ...]:
+        return instance.schema.table(self.table_name).columns
+
+    def evaluate(self, instance: Instance) -> ResultSet:
+        table = instance.schema.table(self.table_name)
+        return ResultSet(table.columns, frozenset(instance.rows(self.table_name)))
+
+    def render(self) -> str:
+        return self.table_name
+
+
+@dataclass(frozen=True)
+class Rename(AlgebraExpression):
+    """Rename columns: ``mapping`` sends old names to new names."""
+
+    child: AlgebraExpression
+    mapping: tuple[tuple[str, str], ...]
+
+    def __init__(self, child: AlgebraExpression, mapping: Mapping[str, str]) -> None:
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "mapping", tuple(sorted(mapping.items())))
+
+    def _map(self) -> dict[str, str]:
+        return dict(self.mapping)
+
+    def output_columns(self, instance: Instance) -> tuple[str, ...]:
+        mapping = self._map()
+        child_cols = self.child.output_columns(instance)
+        unknown = set(mapping) - set(child_cols)
+        if unknown:
+            raise QueryError(f"rename of unknown columns {sorted(unknown)}")
+        renamed = tuple(mapping.get(c, c) for c in child_cols)
+        if len(set(renamed)) != len(renamed):
+            raise QueryError(f"rename produces duplicate columns {renamed}")
+        return renamed
+
+    def evaluate(self, instance: Instance) -> ResultSet:
+        result = self.child.evaluate(instance)
+        return ResultSet(self.output_columns(instance), result.rows)
+
+    def render(self) -> str:
+        parts = ", ".join(f"{old}→{new}" for old, new in self.mapping)
+        return f"ρ[{parts}]({self.child.render()})"
+
+
+@dataclass(frozen=True)
+class Selection(AlgebraExpression):
+    """Select rows where ``column`` equals a constant ``value``."""
+
+    child: AlgebraExpression
+    column: str
+    value: Hashable
+
+    def output_columns(self, instance: Instance) -> tuple[str, ...]:
+        return self.child.output_columns(instance)
+
+    def evaluate(self, instance: Instance) -> ResultSet:
+        result = self.child.evaluate(instance)
+        if self.column not in result.columns:
+            raise QueryError(
+                f"selection on unknown column {self.column!r}; "
+                f"have {result.columns}"
+            )
+        pos = result.columns.index(self.column)
+        rows = frozenset(r for r in result.rows if r[pos] == self.value)
+        return ResultSet(result.columns, rows)
+
+    def render(self) -> str:
+        return f"σ[{self.column}={self.value!r}]({self.child.render()})"
+
+
+@dataclass(frozen=True)
+class Projection(AlgebraExpression):
+    """Project onto the given columns, in order."""
+
+    child: AlgebraExpression
+    columns: tuple[str, ...]
+
+    def __init__(self, child: AlgebraExpression, columns: Sequence[str]) -> None:
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "columns", tuple(columns))
+
+    def output_columns(self, instance: Instance) -> tuple[str, ...]:
+        return self.columns
+
+    def evaluate(self, instance: Instance) -> ResultSet:
+        return self.child.evaluate(instance).project(self.columns)
+
+    def render(self) -> str:
+        return f"π[{', '.join(self.columns)}]({self.child.render()})"
+
+
+def _join_rows(
+    left: ResultSet,
+    right: ResultSet,
+    pairs: Sequence[tuple[int, int]],
+) -> tuple[tuple[str, ...], set[tuple], set[tuple], set[tuple]]:
+    """Inner-join machinery shared by all join nodes.
+
+    Returns output columns, joined rows, matched-left rows, matched-right
+    rows (the latter two feed outer-join padding).
+    """
+    right_keep = [
+        i for i in range(len(right.columns)) if i not in {rp for _, rp in pairs}
+    ]
+    out_columns = left.columns + tuple(right.columns[i] for i in right_keep)
+    index: dict[tuple, list[tuple]] = {}
+    for row in right.rows:
+        key = tuple(row[rp] for _, rp in pairs)
+        index.setdefault(key, []).append(row)
+    joined: set[tuple] = set()
+    matched_left: set[tuple] = set()
+    matched_right: set[tuple] = set()
+    for row in left.rows:
+        key = tuple(row[lp] for lp, _ in pairs)
+        for other in index.get(key, ()):
+            joined.add(row + tuple(other[i] for i in right_keep))
+            matched_left.add(row)
+            matched_right.add(other)
+    return out_columns, joined, matched_left, matched_right
+
+
+def _shared_pairs(left: ResultSet, right: ResultSet) -> list[tuple[int, int]]:
+    shared = [c for c in left.columns if c in right.columns]
+    return [(left.columns.index(c), right.columns.index(c)) for c in shared]
+
+
+@dataclass(frozen=True)
+class NaturalJoin(AlgebraExpression):
+    """Natural join on equal column names (cross product if none shared)."""
+
+    left: AlgebraExpression
+    right: AlgebraExpression
+
+    def output_columns(self, instance: Instance) -> tuple[str, ...]:
+        left_cols = self.left.output_columns(instance)
+        right_cols = self.right.output_columns(instance)
+        return left_cols + tuple(c for c in right_cols if c not in left_cols)
+
+    def evaluate(self, instance: Instance) -> ResultSet:
+        left = self.left.evaluate(instance)
+        right = self.right.evaluate(instance)
+        pairs = _shared_pairs(left, right)
+        out_columns, joined, _, _ = _join_rows(left, right, pairs)
+        return ResultSet(out_columns, frozenset(joined))
+
+    def render(self) -> str:
+        return f"({self.left.render()} ⋈ {self.right.render()})"
+
+
+@dataclass(frozen=True)
+class ThetaJoin(AlgebraExpression):
+    """Equi-join on explicit (left column, right column) pairs.
+
+    Unlike natural join, only the listed pairs are equated; any other
+    shared column names must first be resolved with :class:`Rename`.
+    """
+
+    left: AlgebraExpression
+    right: AlgebraExpression
+    conditions: tuple[tuple[str, str], ...]
+
+    def __init__(
+        self,
+        left: AlgebraExpression,
+        right: AlgebraExpression,
+        conditions: Sequence[tuple[str, str]],
+    ) -> None:
+        if not conditions:
+            raise QueryError("theta join requires at least one condition")
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "conditions", tuple(conditions))
+
+    def _pairs(self, left: ResultSet, right: ResultSet) -> list[tuple[int, int]]:
+        pairs = []
+        for lcol, rcol in self.conditions:
+            if lcol not in left.columns or rcol not in right.columns:
+                raise QueryError(
+                    f"theta join condition {lcol}={rcol} references "
+                    f"unknown columns"
+                )
+            pairs.append((left.columns.index(lcol), right.columns.index(rcol)))
+        return pairs
+
+    def output_columns(self, instance: Instance) -> tuple[str, ...]:
+        left_cols = self.left.output_columns(instance)
+        right_cols = self.right.output_columns(instance)
+        dropped = {rcol for _, rcol in self.conditions}
+        out = left_cols + tuple(c for c in right_cols if c not in dropped)
+        if len(set(out)) != len(out):
+            raise QueryError(
+                f"theta join output has duplicate columns {out}; use Rename"
+            )
+        return out
+
+    def evaluate(self, instance: Instance) -> ResultSet:
+        left = self.left.evaluate(instance)
+        right = self.right.evaluate(instance)
+        pairs = self._pairs(left, right)
+        out_columns, joined, _, _ = _join_rows(left, right, pairs)
+        return ResultSet(out_columns, frozenset(joined))
+
+    def render(self) -> str:
+        conds = " ∧ ".join(f"{l}={r}" for l, r in self.conditions)
+        return f"({self.left.render()} ⋈[{conds}] {self.right.render()})"
+
+
+@dataclass(frozen=True)
+class LeftOuterJoin(AlgebraExpression):
+    """Natural left outer join; unmatched left rows pad with fresh nulls."""
+
+    left: AlgebraExpression
+    right: AlgebraExpression
+
+    def output_columns(self, instance: Instance) -> tuple[str, ...]:
+        return NaturalJoin(self.left, self.right).output_columns(instance)
+
+    def evaluate(self, instance: Instance) -> ResultSet:
+        left = self.left.evaluate(instance)
+        right = self.right.evaluate(instance)
+        pairs = _shared_pairs(left, right)
+        out_columns, joined, matched_left, _ = _join_rows(left, right, pairs)
+        pad = len(out_columns) - len(left.columns)
+        for row in left.rows - matched_left:
+            nulls = tuple(
+                LabeledNull(f"lj:{out_columns[len(left.columns) + i]}:{row!r}")
+                for i in range(pad)
+            )
+            joined.add(row + nulls)
+        return ResultSet(out_columns, frozenset(joined))
+
+    def render(self) -> str:
+        return f"({self.left.render()} ⟕ {self.right.render()})"
+
+
+@dataclass(frozen=True)
+class FullOuterJoin(AlgebraExpression):
+    """Natural full outer join; unmatched rows on both sides are padded.
+
+    This is the merge the paper wants for ISA siblings in Example 1.2:
+    programmers and engineers combine on shared columns, keeping rows that
+    exist on only one side.
+    """
+
+    left: AlgebraExpression
+    right: AlgebraExpression
+
+    def output_columns(self, instance: Instance) -> tuple[str, ...]:
+        return NaturalJoin(self.left, self.right).output_columns(instance)
+
+    def evaluate(self, instance: Instance) -> ResultSet:
+        left = self.left.evaluate(instance)
+        right = self.right.evaluate(instance)
+        pairs = _shared_pairs(left, right)
+        out_columns, joined, matched_left, matched_right = _join_rows(
+            left, right, pairs
+        )
+        left_arity = len(left.columns)
+        pad = len(out_columns) - left_arity
+        for row in left.rows - matched_left:
+            nulls = tuple(
+                LabeledNull(f"fj:{out_columns[left_arity + i]}:{row!r}")
+                for i in range(pad)
+            )
+            joined.add(row + nulls)
+        right_keep = [
+            i
+            for i in range(len(right.columns))
+            if i not in {rp for _, rp in pairs}
+        ]
+        for row in right.rows - matched_right:
+            # Rebuild a full output row: left columns come from the join
+            # columns where available, fresh nulls elsewhere.
+            out_row = []
+            for idx, col in enumerate(left.columns):
+                pair = next(((lp, rp) for lp, rp in pairs if lp == idx), None)
+                if pair is not None:
+                    out_row.append(row[pair[1]])
+                else:
+                    out_row.append(LabeledNull(f"fj:{col}:{row!r}"))
+            out_row.extend(row[i] for i in right_keep)
+            joined.add(tuple(out_row))
+        return ResultSet(out_columns, frozenset(joined))
+
+    def render(self) -> str:
+        return f"({self.left.render()} ⟗ {self.right.render()})"
+
+
+@dataclass(frozen=True)
+class Union(AlgebraExpression):
+    """Set union of two union-compatible expressions."""
+
+    left: AlgebraExpression
+    right: AlgebraExpression
+
+    def output_columns(self, instance: Instance) -> tuple[str, ...]:
+        left_cols = self.left.output_columns(instance)
+        right_cols = self.right.output_columns(instance)
+        if left_cols != right_cols:
+            raise QueryError(
+                f"union of incompatible relations: {left_cols} vs {right_cols}"
+            )
+        return left_cols
+
+    def evaluate(self, instance: Instance) -> ResultSet:
+        left = self.left.evaluate(instance)
+        right = self.right.evaluate(instance)
+        if left.columns != right.columns:
+            raise QueryError(
+                f"union of incompatible relations: {left.columns} vs "
+                f"{right.columns}"
+            )
+        return ResultSet(left.columns, left.rows | right.rows)
+
+    def render(self) -> str:
+        return f"({self.left.render()} ∪ {self.right.render()})"
+
+
+@dataclass(frozen=True)
+class Distinct(AlgebraExpression):
+    """Explicit duplicate elimination (a no-op under set semantics).
+
+    Present so renderings can make set semantics explicit where a reader
+    might otherwise assume bags.
+    """
+
+    child: AlgebraExpression
+
+    def output_columns(self, instance: Instance) -> tuple[str, ...]:
+        return self.child.output_columns(instance)
+
+    def evaluate(self, instance: Instance) -> ResultSet:
+        return self.child.evaluate(instance)
+
+    def render(self) -> str:
+        return f"δ({self.child.render()})"

@@ -1,0 +1,115 @@
+"""SQL DDL emission and (simple) parsing for relational schemas.
+
+``emit_ddl`` renders a :class:`RelationalSchema` as portable
+``CREATE TABLE`` statements (every column typed ``TEXT`` — the paper's
+algorithms are type-agnostic); ``parse_ddl`` reads the same dialect back,
+so schemas can be stored as plain ``.sql`` files.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.exceptions import SchemaError
+from repro.relational.constraints import ReferentialConstraint
+from repro.relational.schema import RelationalSchema, Table
+
+
+def emit_table_ddl(table: Table, schema: RelationalSchema) -> str:
+    """``CREATE TABLE`` text for one table, with PK and FK clauses."""
+    lines = [f"CREATE TABLE {table.name} ("]
+    body = [f"    {column} TEXT" for column in table.columns]
+    if table.primary_key:
+        body.append(
+            f"    PRIMARY KEY ({', '.join(table.primary_key)})"
+        )
+    for ric in schema.rics_from(table.name):
+        body.append(
+            f"    FOREIGN KEY ({', '.join(ric.child_columns)}) "
+            f"REFERENCES {ric.parent_table} "
+            f"({', '.join(ric.parent_columns)})"
+        )
+    lines.append(",\n".join(body))
+    lines.append(");")
+    return "\n".join(lines)
+
+
+def emit_ddl(schema: RelationalSchema) -> str:
+    """The whole schema as DDL, tables in declaration order."""
+    statements = [
+        emit_table_ddl(table, schema) for table in schema
+    ]
+    return "\n\n".join(statements) + "\n"
+
+
+_CREATE_RE = re.compile(
+    r"CREATE\s+TABLE\s+(\w+)\s*\((.*?)\)\s*;",
+    re.IGNORECASE | re.DOTALL,
+)
+_PK_RE = re.compile(r"PRIMARY\s+KEY\s*\(([^)]*)\)", re.IGNORECASE)
+_FK_RE = re.compile(
+    r"FOREIGN\s+KEY\s*\(([^)]*)\)\s*REFERENCES\s+(\w+)\s*\(([^)]*)\)",
+    re.IGNORECASE,
+)
+
+
+def _split_clauses(body: str) -> list[str]:
+    clauses, depth, current = [], 0, []
+    for char in body:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            clauses.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        clauses.append(tail)
+    return clauses
+
+
+def parse_ddl(text: str, schema_name: str = "parsed") -> RelationalSchema:
+    """Parse the dialect emitted by :func:`emit_ddl`.
+
+    >>> schema = RelationalSchema("s", [Table("t", ["a", "b"], ["a"])])
+    >>> parse_ddl(emit_ddl(schema)).table("t").primary_key
+    ('a',)
+    """
+    schema = RelationalSchema(schema_name)
+    deferred_rics: list[ReferentialConstraint] = []
+    matches = list(_CREATE_RE.finditer(text))
+    if not matches and text.strip():
+        raise SchemaError("no CREATE TABLE statements found")
+    for match in matches:
+        table_name, body = match.group(1), match.group(2)
+        columns: list[str] = []
+        primary_key: list[str] = []
+        for clause in _split_clauses(body):
+            pk_match = _PK_RE.match(clause)
+            fk_match = _FK_RE.match(clause)
+            if pk_match:
+                primary_key = [
+                    column.strip()
+                    for column in pk_match.group(1).split(",")
+                ]
+            elif fk_match:
+                deferred_rics.append(
+                    ReferentialConstraint(
+                        table_name,
+                        [c.strip() for c in fk_match.group(1).split(",")],
+                        fk_match.group(2),
+                        [c.strip() for c in fk_match.group(3).split(",")],
+                    )
+                )
+            else:
+                parts = clause.split()
+                if not parts:
+                    continue
+                columns.append(parts[0])
+        schema.add_table(Table(table_name, columns, primary_key))
+    for ric in deferred_rics:
+        schema.add_ric(ric)
+    return schema

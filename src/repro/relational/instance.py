@@ -1,0 +1,233 @@
+"""In-memory relational instances.
+
+An :class:`Instance` stores the rows of each table as tuples of values.
+Values may include :class:`LabeledNull` placeholders — the "labeled nulls"
+of data-exchange semantics, produced when a mapping's target expression has
+existential variables (Skolem terms).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import InstanceError
+from repro.relational.schema import RelationalSchema, Table
+
+
+class LabeledNull:
+    """A labeled null (marked value) as used in data exchange.
+
+    Two labeled nulls are equal iff they are the same object or carry the
+    same label. Labels are usually Skolem-term strings such as
+    ``f_aname(b1)``.
+    """
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LabeledNull) and other.label == self.label
+
+    def __hash__(self) -> int:
+        return hash(("LabeledNull", self.label))
+
+    def __repr__(self) -> str:
+        return f"⊥{self.label}"
+
+    def __lt__(self, other: object) -> bool:
+        # Labeled nulls sort after all concrete values, then by label, so
+        # instances render deterministically.
+        if isinstance(other, LabeledNull):
+            return self.label < other.label
+        return False
+
+
+def _sort_key(value: object) -> tuple:
+    if isinstance(value, LabeledNull):
+        return (2, value.label)
+    if value is None:
+        return (1, "")
+    return (0, str(value))
+
+
+def _row_sort_key(row: tuple) -> tuple:
+    return tuple(_sort_key(v) for v in row)
+
+
+class Instance:
+    """Rows for each table of a :class:`RelationalSchema`.
+
+    The instance enforces arity on insertion and can verify primary-key
+    and referential constraints on demand via :meth:`violations`.
+
+    >>> from repro.relational import RelationalSchema, Table
+    >>> schema = RelationalSchema("s", [Table("person", ["pname"], ["pname"])])
+    >>> inst = Instance(schema)
+    >>> inst.add("person", ("ann",))
+    >>> inst.rows("person")
+    (('ann',),)
+    """
+
+    def __init__(self, schema: RelationalSchema) -> None:
+        self.schema = schema
+        self._rows: dict[str, set[tuple]] = {name: set() for name in schema.table_names()}
+        self._null_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, table_name: str, row: Sequence[Hashable]) -> None:
+        """Insert one row (duplicates are ignored — set semantics)."""
+        table = self.schema.table(table_name)
+        values = tuple(row)
+        if len(values) != table.arity:
+            raise InstanceError(
+                f"row {values!r} has {len(values)} values but table "
+                f"{table_name!r} has {table.arity} columns"
+            )
+        self._rows.setdefault(table_name, set()).add(values)
+
+    def add_all(self, table_name: str, rows: Iterable[Sequence[Hashable]]) -> None:
+        """Insert many rows into ``table_name``."""
+        for row in rows:
+            self.add(table_name, row)
+
+    def add_named(self, table_name: str, **values: Hashable) -> None:
+        """Insert a row given column-name keyword arguments.
+
+        Missing columns become fresh labeled nulls.
+        """
+        table = self.schema.table(table_name)
+        unknown = set(values) - set(table.columns)
+        if unknown:
+            raise InstanceError(
+                f"table {table_name!r} has no columns {sorted(unknown)}"
+            )
+        row = tuple(
+            values.get(col, self.fresh_null(f"{table_name}.{col}"))
+            for col in table.columns
+        )
+        self.add(table_name, row)
+
+    def fresh_null(self, hint: str = "n") -> LabeledNull:
+        """Create a labeled null unique within this instance."""
+        return LabeledNull(f"{hint}#{next(self._null_counter)}")
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def rows(self, table_name: str) -> tuple[tuple, ...]:
+        """All rows of a table, deterministically ordered."""
+        self.schema.table(table_name)
+        return tuple(sorted(self._rows.get(table_name, ()), key=_row_sort_key))
+
+    def dicts(self, table_name: str) -> tuple[dict[str, Hashable], ...]:
+        """Rows as column-name → value dictionaries."""
+        table = self.schema.table(table_name)
+        return tuple(
+            dict(zip(table.columns, row)) for row in self.rows(table_name)
+        )
+
+    def size(self, table_name: str | None = None) -> int:
+        """Row count of one table, or of the whole instance."""
+        if table_name is not None:
+            return len(self._rows.get(table_name, ()))
+        return sum(len(rows) for rows in self._rows.values())
+
+    def __contains__(self, item: tuple[str, tuple]) -> bool:
+        table_name, row = item
+        return tuple(row) in self._rows.get(table_name, ())
+
+    # ------------------------------------------------------------------
+    # Constraint checking
+    # ------------------------------------------------------------------
+    def violations(self) -> list[str]:
+        """Primary-key and RIC violations, as human-readable strings.
+
+        Labeled nulls never participate in key violations (they stand for
+        unknown values), mirroring SQL's treatment of NULL in unique
+        constraints.
+        """
+        problems: list[str] = []
+        problems.extend(self._key_violations())
+        problems.extend(self._ric_violations())
+        return problems
+
+    def is_consistent(self) -> bool:
+        """True when :meth:`violations` is empty."""
+        return not self.violations()
+
+    def _key_violations(self) -> Iterator[str]:
+        for table in self.schema:
+            if not table.primary_key:
+                continue
+            positions = [table.columns.index(c) for c in table.primary_key]
+            seen: dict[tuple, tuple] = {}
+            for row in sorted(self._rows.get(table.name, ()), key=_row_sort_key):
+                key = tuple(row[i] for i in positions)
+                if any(isinstance(v, LabeledNull) for v in key):
+                    continue
+                if key in seen and seen[key] != row:
+                    yield (
+                        f"key violation in {table.name}: rows {seen[key]!r} "
+                        f"and {row!r} share key {key!r}"
+                    )
+                else:
+                    seen.setdefault(key, row)
+
+    def _ric_violations(self) -> Iterator[str]:
+        for ric in self.schema.rics:
+            child = self.schema.table(ric.child_table)
+            parent = self.schema.table(ric.parent_table)
+            child_pos = [child.columns.index(c) for c in ric.child_columns]
+            parent_pos = [parent.columns.index(c) for c in ric.parent_columns]
+            parent_keys = {
+                tuple(row[i] for i in parent_pos)
+                for row in self._rows.get(parent.name, ())
+            }
+            for row in sorted(self._rows.get(child.name, ()), key=_row_sort_key):
+                key = tuple(row[i] for i in child_pos)
+                if any(isinstance(v, LabeledNull) for v in key):
+                    continue
+                if key not in parent_keys:
+                    yield (
+                        f"RIC violation {ric}: child row {row!r} has no "
+                        f"parent with {key!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Multi-line dump of all non-empty tables."""
+        lines = [f"instance of schema {self.schema.name}:"]
+        for name in self.schema.table_names():
+            rows = self.rows(name)
+            if not rows:
+                continue
+            lines.append(f"  {name} ({len(rows)} rows):")
+            for row in rows:
+                lines.append(f"    {row!r}")
+        return "\n".join(lines)
+
+    def copy(self) -> "Instance":
+        """Deep-enough copy (rows are immutable tuples)."""
+        clone = Instance(self.schema)
+        for name, rows in self._rows.items():
+            clone._rows[name] = set(rows)
+        return clone
+
+    @classmethod
+    def from_dict(
+        cls,
+        schema: RelationalSchema,
+        data: Mapping[str, Iterable[Sequence[Hashable]]],
+    ) -> "Instance":
+        """Build an instance from ``{table_name: [row, ...]}``."""
+        inst = cls(schema)
+        for table_name, rows in data.items():
+            inst.add_all(table_name, rows)
+        return inst

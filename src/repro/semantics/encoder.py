@@ -1,0 +1,204 @@
+"""The encoding algorithm: s-trees → conjunctive formulas (Section 2).
+
+The encoding introduces one object variable per s-tree node, emits a unary
+class atom per node, a binary relationship atom per tree edge, and a
+binary attribute atom per column — exactly the paper's example::
+
+    T:writes(pname, bid) → O:Person(x), O:Book(y), O:writes(x, y),
+                            O:pname(x, pname), O:bid(y, bid)
+
+ISA edges denote object *identity*, so the two endpoint nodes share one
+variable (both class atoms are still emitted).
+
+Key information (Section 3.4) is folded in by :func:`apply_key_merge`:
+an object identified by a single-attribute key present in the formula is
+replaced by its key value ("use z instead of x ... treat hasName as the
+identity relation"); composite keys merge into a global identity Skolem
+term ``id_Class(key values)`` shared across all tables, which is what lets
+Skolem functions from different tables join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cm.model import ConceptualModel
+from repro.queries.conjunctive import (
+    Atom,
+    SkolemTerm,
+    Term,
+    Variable,
+    cm_atom,
+    substitute_atom,
+)
+from repro.semantics.stree import STreeNode, SemanticTree
+
+
+@dataclass
+class EncodedTree:
+    """The result of encoding an s-tree.
+
+    ``object_terms`` maps each s-tree node to the term standing for its
+    instance (a variable before key-merging; possibly a column variable or
+    identity Skolem after).
+    """
+
+    atoms: tuple[Atom, ...]
+    object_terms: dict[STreeNode, Term]
+    column_variables: dict[str, Variable]
+
+    def substitute_objects(self, mapping: dict[Term, Term]) -> "EncodedTree":
+        """Rewrite object terms (used by key-merging)."""
+        as_var_subst = {
+            term: replacement
+            for term, replacement in mapping.items()
+            if isinstance(term, Variable)
+        }
+        new_atoms = tuple(
+            substitute_atom(atom, as_var_subst) for atom in self.atoms
+        )
+        new_objects = {
+            node: mapping.get(term, term)
+            if not isinstance(term, Variable)
+            else as_var_subst.get(term, term)
+            for node, term in self.object_terms.items()
+        }
+        return EncodedTree(new_atoms, new_objects, dict(self.column_variables))
+
+
+def object_variable(node: STreeNode) -> Variable:
+    """The canonical object variable of an s-tree node (``x_Person~1``)."""
+    return Variable(f"x_{node.node_id}")
+
+
+def column_variable(column: str) -> Variable:
+    """The distinguished variable carrying a column's value."""
+    return Variable(column)
+
+
+def encode_tree(tree: SemanticTree, model: ConceptualModel) -> EncodedTree:
+    """Encode an s-tree into CM atoms (no key-merging).
+
+    Emits, in order: class atoms (root first), relationship atoms per tree
+    edge, attribute atoms per column.
+    """
+    object_terms: dict[STreeNode, Term] = {}
+    # ISA edges merge endpoint variables: resolve a representative per
+    # identity group by walking edges root-down.
+    for node in tree.nodes():
+        object_terms[node] = object_variable(node)
+    for edge in tree.edges:
+        if edge.cm_edge.is_isa:
+            # Child and parent denote the same object; reuse the parent's
+            # term for the child (root-down order guarantees it exists).
+            object_terms[edge.child] = object_terms[edge.parent]
+    atoms: list[Atom] = []
+    for node in tree.nodes():
+        atoms.append(cm_atom(node.cm_node, object_terms[node]))
+    for edge in tree.edges:
+        if edge.cm_edge.is_isa:
+            continue  # identity — no relationship atom
+        parent_term = object_terms[edge.parent]
+        child_term = object_terms[edge.child]
+        if edge.cm_edge.is_inverse:
+            atoms.append(
+                cm_atom(edge.cm_edge.base_name, child_term, parent_term)
+            )
+        else:
+            atoms.append(
+                cm_atom(edge.cm_edge.base_name, parent_term, child_term)
+            )
+    column_vars: dict[str, Variable] = {}
+    for column in sorted(tree.columns):
+        node, attribute = tree.columns[column]
+        variable = column_variable(column)
+        column_vars[column] = variable
+        atoms.append(cm_atom(attribute, object_terms[node], variable))
+    # Deduplicate (ISA merging can duplicate class atoms).
+    unique: dict[Atom, None] = {}
+    for atom in atoms:
+        unique.setdefault(atom)
+    return EncodedTree(tuple(unique), object_terms, column_vars)
+
+
+def identity_skolem(class_name: str, key_terms: tuple[Term, ...]) -> SkolemTerm:
+    """The global identity Skolem ``id_Class(key...)`` for composite keys."""
+    return SkolemTerm(f"id_{class_name}", key_terms)
+
+
+def apply_key_merge(
+    encoded: EncodedTree,
+    tree: SemanticTree,
+    model: ConceptualModel,
+) -> EncodedTree:
+    """Replace identified object variables per Section 3.4.
+
+    For each s-tree node whose class declares a key and whose key
+    attributes are all present as columns of this tree:
+
+    * single-attribute key → the object variable becomes the key column
+      variable, and the (now identity) key attribute atom is dropped;
+    * composite key → the object variable becomes the shared identity
+      Skolem ``id_Class(key column variables...)``; attribute atoms stay.
+    """
+    mapping: dict[Term, Term] = {}
+    drop_atoms: set[Atom] = set()
+    for node in tree.nodes():
+        cm_class = model.cm_class(node.cm_node)
+        key = effective_key(model, node.cm_node)
+        if not key:
+            continue
+        key_columns = {}
+        for column, (owner, attribute) in tree.columns.items():
+            if owner == node and attribute in key:
+                key_columns[attribute] = column
+        if set(key_columns) != set(key):
+            continue  # not all key attributes present: stays existential
+        object_term = encoded.object_terms[node]
+        if not isinstance(object_term, Variable):
+            continue
+        if len(key) == 1:
+            attribute = key[0]
+            column = key_columns[attribute]
+            replacement: Term = encoded.column_variables[column]
+            # The key attribute atom becomes the identity O:attr(v, v)
+            # after substitution; record its post-merge form for dropping.
+            drop_atoms.add(cm_atom(attribute, replacement, replacement))
+        else:
+            replacement = identity_skolem(
+                cm_class.name,
+                tuple(
+                    encoded.column_variables[key_columns[attribute]]
+                    for attribute in key
+                ),
+            )
+        mapping[object_term] = replacement
+    merged = encoded.substitute_objects(mapping)
+    kept = tuple(atom for atom in merged.atoms if atom not in drop_atoms)
+    return EncodedTree(kept, merged.object_terms, merged.column_variables)
+
+
+def effective_key(model: ConceptualModel, class_name: str) -> tuple[str, ...]:
+    """The key of a class, inherited from superclasses when absent.
+
+    A subclass without its own key identifies instances the way its
+    superclass does (Example 1.2's programmer/engineer tables identify
+    employees by ``ssn``). Ambiguity (two superclasses with different
+    keys) resolves to the lexicographically first.
+    """
+    cm_class = model.cm_class(class_name)
+    if cm_class.key:
+        return cm_class.key
+    candidates = []
+    for ancestor in sorted(model.superclasses(class_name)):
+        ancestor_key = model.cm_class(ancestor).key
+        if ancestor_key:
+            candidates.append(ancestor_key)
+    return candidates[0] if candidates else ()
+
+
+def encode_and_merge(
+    tree: SemanticTree, model: ConceptualModel
+) -> EncodedTree:
+    """Convenience: :func:`encode_tree` then :func:`apply_key_merge`."""
+    return apply_key_merge(encode_tree(tree, model), tree, model)

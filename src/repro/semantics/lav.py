@@ -1,0 +1,161 @@
+"""Schema semantics: the table → s-tree association plus LAV views.
+
+A :class:`SchemaSemantics` bundles a relational schema, the CM graph of
+its conceptual model, and one :class:`~repro.semantics.stree.SemanticTree`
+per table. From these it derives the key-merged LAV views used by the
+rewriting step, and answers the lookups the discovery algorithm needs:
+which class node carries a given column, and which s-trees are
+*pre-selected* by a set of columns (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.exceptions import SemanticsError
+from repro.cm.graph import CMGraph
+from repro.cm.model import ConceptualModel
+from repro.queries.conjunctive import Variable
+from repro.queries.rewrite import LAVView
+from repro.relational.schema import Column, RelationalSchema
+from repro.semantics.encoder import encode_and_merge
+from repro.semantics.stree import STreeNode, SemanticTree
+
+
+class SchemaSemantics:
+    """The semantics of a whole relational schema over one CM graph."""
+
+    def __init__(
+        self,
+        schema: RelationalSchema,
+        graph: CMGraph,
+        trees: Mapping[str, SemanticTree],
+    ) -> None:
+        self.schema = schema
+        self.graph = graph
+        self._trees: dict[str, SemanticTree] = dict(trees)
+        self._validate()
+        self._views: dict[str, LAVView] | None = None
+
+    def _validate(self) -> None:
+        for table_name, tree in self._trees.items():
+            table = self.schema.table(table_name)
+            unknown = set(tree.columns) - set(table.columns)
+            if unknown:
+                raise SemanticsError(
+                    f"s-tree of {table_name!r} maps unknown columns "
+                    f"{sorted(unknown)}"
+                )
+            for node in tree.nodes():
+                if not self.graph.is_class_node(node.cm_node):
+                    raise SemanticsError(
+                        f"s-tree of {table_name!r} uses unknown class "
+                        f"{node.cm_node!r}"
+                    )
+
+    @property
+    def model(self) -> ConceptualModel:
+        return self.graph.model
+
+    # ------------------------------------------------------------------
+    # Trees
+    # ------------------------------------------------------------------
+    def tree(self, table_name: str) -> SemanticTree:
+        try:
+            return self._trees[table_name]
+        except KeyError:
+            raise SemanticsError(
+                f"no semantics recorded for table {table_name!r}"
+            ) from None
+
+    def has_tree(self, table_name: str) -> bool:
+        return table_name in self._trees
+
+    def tables_with_semantics(self) -> tuple[str, ...]:
+        return tuple(
+            name for name in self.schema.table_names() if name in self._trees
+        )
+
+    # ------------------------------------------------------------------
+    # LAV views
+    # ------------------------------------------------------------------
+    def views(self) -> tuple[LAVView, ...]:
+        """Key-merged LAV views for every table with semantics."""
+        if self._views is None:
+            self._views = {
+                name: self._build_view(name)
+                for name in self.tables_with_semantics()
+            }
+        return tuple(self._views[name] for name in self.tables_with_semantics())
+
+    def view(self, table_name: str) -> LAVView:
+        self.views()
+        assert self._views is not None
+        try:
+            return self._views[table_name]
+        except KeyError:
+            raise SemanticsError(
+                f"no semantics recorded for table {table_name!r}"
+            ) from None
+
+    def _build_view(self, table_name: str) -> LAVView:
+        table = self.schema.table(table_name)
+        tree = self._trees[table_name]
+        encoded = encode_and_merge(tree, self.model)
+        head = []
+        for column in table.columns:
+            if column in encoded.column_variables:
+                head.append(encoded.column_variables[column])
+            else:
+                # Unmapped column: a free head variable with no semantics.
+                head.append(Variable(column))
+        return LAVView(table_name, head, encoded.atoms)
+
+    # ------------------------------------------------------------------
+    # Column → CM lookups (Section 3.1)
+    # ------------------------------------------------------------------
+    def column_class(self, column: Column) -> str:
+        """The CM class node whose attribute realizes ``column``."""
+        return self.tree(column.table).column_class(column.name)
+
+    def column_attribute(self, column: Column) -> str:
+        return self.tree(column.table).column_attribute(column.name)
+
+    def column_tree_node(self, column: Column) -> STreeNode:
+        return self.tree(column.table).column_node(column.name)
+
+    def marked_nodes(self, columns: Iterable[Column]) -> frozenset[str]:
+        """The set of marked class nodes induced by a set of columns."""
+        return frozenset(self.column_class(column) for column in columns)
+
+    def preselected_trees(
+        self, columns: Iterable[Column]
+    ) -> tuple[tuple[str, SemanticTree], ...]:
+        """(table, s-tree) pairs pre-selected by the given columns."""
+        tables: dict[str, None] = {}
+        for column in columns:
+            tables.setdefault(column.table)
+        return tuple((name, self.tree(name)) for name in tables)
+
+    def preselected_cm_edges(self, columns: Iterable[Column]):
+        """All CM edges used by the pre-selected s-trees (cost-0 edges)."""
+        edges = []
+        seen = set()
+        for _, tree in self.preselected_trees(columns):
+            for cm_edge in tree.cm_edges():
+                key = (cm_edge.source, cm_edge.label, cm_edge.target)
+                if key not in seen:
+                    seen.add(key)
+                    edges.append(cm_edge)
+                reverse = cm_edge.reversed()
+                reverse_key = (reverse.source, reverse.label, reverse.target)
+                if reverse_key not in seen:
+                    seen.add(reverse_key)
+                    edges.append(reverse)
+        return tuple(edges)
+
+    def describe(self) -> str:
+        lines = [f"semantics of schema {self.schema.name}:"]
+        for name in self.tables_with_semantics():
+            lines.append(f"  {name}: {self._trees[name]!r}")
+        return "\n".join(lines)

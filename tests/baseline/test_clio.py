@@ -1,0 +1,147 @@
+"""Unit tests for the RIC-based baseline mapper."""
+
+import pytest
+
+from repro.baseline import RICBasedMapper, discover_ric_mappings, trim_unnecessary_joins
+from repro.correspondences import CorrespondenceSet
+from repro.datasets.paper_examples import bookstore_example, employee_example
+from repro.queries.parser import parse_atom
+
+
+def source_tables(candidate):
+    return sorted({a.bare_predicate for a in candidate.source_query.body})
+
+
+def target_tables(candidate):
+    return sorted({a.bare_predicate for a in candidate.target_query.body})
+
+
+class TestTrimUnnecessaryJoins:
+    def test_leaf_without_needed_terms_removed(self):
+        atoms = (
+            parse_atom("writes(p, b)"),
+            parse_atom("book(b)"),
+            parse_atom("person(p)"),
+        )
+        needed = frozenset({parse_atom("writes(p, b)").terms[0]})
+        trimmed = trim_unnecessary_joins(atoms, needed)
+        # book carries no needed term and is a leaf; person carries the
+        # needed head term p and survives.
+        assert [a.bare_predicate for a in trimmed] == ["writes", "person"]
+
+    def test_connector_atoms_survive(self):
+        atoms = (
+            parse_atom("a(x, y)"),
+            parse_atom("mid(y, z)"),
+            parse_atom("b(z, w)"),
+        )
+        needed = frozenset(
+            {parse_atom("a(x, y)").terms[0], parse_atom("b(z, w)").terms[1]}
+        )
+        trimmed = trim_unnecessary_joins(atoms, needed)
+        # mid joins a with b: removing it would disconnect the query.
+        assert len(trimmed) == 3
+
+    def test_needed_atoms_never_removed(self):
+        atoms = (parse_atom("a(x)"),)
+        needed = frozenset(parse_atom("a(x)").terms)
+        assert trim_unnecessary_joins(atoms, needed) == atoms
+
+
+class TestBookstoreBaseline:
+    """Example 1.1: the baseline produces M1–M4 but never M5."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        scenario = bookstore_example()
+        return discover_ric_mappings(
+            scenario.source.schema,
+            scenario.target.schema,
+            scenario.correspondences,
+        )
+
+    def test_four_candidates(self, result):
+        assert len(result) == 4
+
+    def test_no_candidate_covers_both_correspondences(self, result):
+        """The paper's point: no RIC-based mapping pairs authors with the
+        bookstores stocking their books."""
+        for candidate in result:
+            assert len(candidate.covered) == 1
+
+    def test_m1_like_candidate_present(self, result):
+        assert any(
+            source_tables(c) == ["person", "writes"] for c in result
+        )
+
+    def test_m2_like_candidate_present(self, result):
+        assert any(
+            source_tables(c) == ["bookstore", "soldat"] for c in result
+        )
+
+    def test_trivial_candidates_present(self, result):
+        assert any(source_tables(c) == ["person"] for c in result)
+        assert any(source_tables(c) == ["bookstore"] for c in result)
+
+    def test_unnecessary_book_join_trimmed(self, result):
+        for candidate in result:
+            assert "book" not in source_tables(candidate)
+
+    def test_method_label(self, result):
+        assert all(c.method == "ric" for c in result)
+
+    def test_fast(self, result):
+        assert result.elapsed_seconds < 1.0
+
+
+class TestEmployeeBaseline:
+    """Example 1.2: the baseline cannot merge programmer with engineer."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        scenario = employee_example()
+        return discover_ric_mappings(
+            scenario.source.schema,
+            scenario.target.schema,
+            scenario.correspondences,
+        )
+
+    def test_no_merging_candidate(self, result):
+        for candidate in result:
+            assert source_tables(candidate) != ["engineer", "programmer"]
+
+    def test_per_subclass_candidates(self, result):
+        assert any("programmer" in source_tables(c) for c in result)
+        assert any("engineer" in source_tables(c) for c in result)
+
+
+class TestValidationAndOptions:
+    def test_dangling_correspondence_rejected(self):
+        scenario = bookstore_example()
+        bad = CorrespondenceSet.parse(["ghost.x <-> hasbooksoldat.aname"])
+        with pytest.raises(Exception):
+            RICBasedMapper(
+                scenario.source.schema, scenario.target.schema, bad
+            )
+
+    def test_untrimmed_keeps_book_join(self):
+        scenario = bookstore_example()
+        result = RICBasedMapper(
+            scenario.source.schema,
+            scenario.target.schema,
+            scenario.correspondences,
+            trim=False,
+        ).discover()
+        assert any("book" in source_tables(c) for c in result)
+
+    def test_deterministic(self):
+        scenario = bookstore_example()
+        runs = [
+            discover_ric_mappings(
+                scenario.source.schema,
+                scenario.target.schema,
+                scenario.correspondences,
+            )
+            for _ in range(2)
+        ]
+        assert [str(c) for c in runs[0]] == [str(c) for c in runs[1]]

@@ -1,0 +1,101 @@
+"""Unit tests for chase-based logical relations."""
+
+import pytest
+
+from repro.baseline import compute_logical_relations
+from repro.relational import Column, ReferentialConstraint, RelationalSchema, Table
+
+
+@pytest.fixture
+def bookstore_schema() -> RelationalSchema:
+    schema = RelationalSchema("source")
+    schema.add_table(Table("person", ["pname"], ["pname"]))
+    schema.add_table(Table("writes", ["pname", "bid"], ["pname", "bid"]))
+    schema.add_table(Table("book", ["bid"], ["bid"]))
+    schema.add_table(Table("soldAt", ["bid", "sid"], ["bid", "sid"]))
+    schema.add_table(Table("bookstore", ["sid"], ["sid"]))
+    for text in [
+        "writes.pname -> person.pname",
+        "writes.bid -> book.bid",
+        "soldAt.bid -> book.bid",
+        "soldAt.sid -> bookstore.sid",
+    ]:
+        schema.add_ric(ReferentialConstraint.parse(text))
+    return schema
+
+
+class TestComputeLogicalRelations:
+    def test_one_per_table(self, bookstore_schema):
+        relations = compute_logical_relations(bookstore_schema)
+        assert [lr.root_table for lr in relations] == list(
+            bookstore_schema.table_names()
+        )
+
+    def test_s1_and_s2_of_example_1_1(self, bookstore_schema):
+        relations = {
+            lr.root_table: lr
+            for lr in compute_logical_relations(bookstore_schema)
+        }
+        assert sorted(relations["writes"].tables()) == [
+            "book",
+            "person",
+            "writes",
+        ]
+        assert sorted(relations["soldAt"].tables()) == [
+            "book",
+            "bookstore",
+            "soldAt",
+        ]
+
+    def test_logical_relations_never_compose_lossily(self, bookstore_schema):
+        """The RIC chase never joins writes with soldAt (the paper's
+        criticism: no logical relation pairs Person with Bookstore)."""
+        relations = compute_logical_relations(bookstore_schema)
+        for lr in relations:
+            tables = set(lr.tables())
+            assert not ({"writes", "soldAt"} <= tables)
+
+    def test_entity_table_stays_alone(self, bookstore_schema):
+        relations = {
+            lr.root_table: lr
+            for lr in compute_logical_relations(bookstore_schema)
+        }
+        assert relations["person"].tables() == ("person",)
+
+    def test_covers_column_and_terms(self, bookstore_schema):
+        relations = {
+            lr.root_table: lr
+            for lr in compute_logical_relations(bookstore_schema)
+        }
+        writes_lr = relations["writes"]
+        assert writes_lr.covers_column(
+            Column("person", "pname"), bookstore_schema
+        )
+        assert not writes_lr.covers_column(
+            Column("bookstore", "sid"), bookstore_schema
+        )
+        # The person atom's pname term equals the writes atom's pname term
+        # (they were joined by the chase).
+        (person_term,) = writes_lr.terms_for_column(
+            Column("person", "pname"), bookstore_schema
+        )
+        (writes_term, _) = relations["writes"].atoms[0].terms
+        assert person_term == writes_term
+
+    def test_unknown_column_not_covered(self, bookstore_schema):
+        relations = compute_logical_relations(bookstore_schema)
+        assert not relations[0].covers_column(
+            Column("ghost", "x"), bookstore_schema
+        )
+
+    def test_cyclic_schema_terminates(self):
+        schema = RelationalSchema("s")
+        schema.add_table(Table("emp", ["eid", "mgr"], ["eid"]))
+        schema.add_ric(ReferentialConstraint.parse("emp.mgr -> emp.eid"))
+        relations = compute_logical_relations(schema, max_depth=3)
+        assert len(relations) == 1
+        assert 2 <= len(relations[0].atoms) <= 4
+
+    def test_str_rendering(self, bookstore_schema):
+        relations = compute_logical_relations(bookstore_schema)
+        assert "LR(person)" in str(relations[0])

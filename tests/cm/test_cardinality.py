@@ -1,0 +1,167 @@
+"""Unit and property-based tests for cardinalities and categories."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import CardinalityError
+from repro.cm import Cardinality, ConnectionCategory, categories_compatible
+from repro.cm.cardinality import MANY, ONE_MANY, ONE_ONE, ZERO_MANY, ZERO_ONE
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,lower,upper",
+        [
+            ("0..*", 0, MANY),
+            ("1..1", 1, 1),
+            ("0..1", 0, 1),
+            ("1..*", 1, MANY),
+            ("*", 0, MANY),
+            ("1", 1, 1),
+            ("2..5", 2, 5),
+            (" 0 .. 1 ", 0, 1),
+        ],
+    )
+    def test_parse(self, text, lower, upper):
+        card = Cardinality.parse(text)
+        assert (card.lower, card.upper) == (lower, upper)
+
+    @pytest.mark.parametrize("text", ["", "x..1", "1..y", "-1..2"])
+    def test_parse_rejects_garbage(self, text):
+        with pytest.raises(CardinalityError):
+            Cardinality.parse(text)
+
+    def test_lower_exceeding_upper_rejected(self):
+        with pytest.raises(CardinalityError):
+            Cardinality(3, 2)
+
+    def test_zero_upper_rejected(self):
+        with pytest.raises(CardinalityError):
+            Cardinality(0, 0)
+
+    def test_str_round_trips(self):
+        for text in ["0..*", "1..1", "0..1", "2..7"]:
+            assert str(Cardinality.parse(text)) == text
+
+
+class TestProperties:
+    def test_functional(self):
+        assert Cardinality.parse("0..1").is_functional
+        assert Cardinality.parse("1..1").is_functional
+        assert not Cardinality.parse("1..*").is_functional
+
+    def test_total(self):
+        assert Cardinality.parse("1..*").is_total
+        assert not Cardinality.parse("0..1").is_total
+
+
+class TestComposition:
+    def test_functional_chain_stays_functional(self):
+        assert ZERO_ONE.compose(ONE_ONE).is_functional
+
+    def test_many_absorbs(self):
+        assert ZERO_MANY.compose(ONE_ONE).upper is MANY
+        assert ONE_ONE.compose(ZERO_MANY).upper is MANY
+
+    def test_bounded_product(self):
+        left = Cardinality.parse("1..2")
+        right = Cardinality.parse("1..3")
+        composed = left.compose(right)
+        assert (composed.lower, composed.upper) == (1, 6)
+
+    def test_identity_of_empty_path(self):
+        # compose() with 1..1 is the identity.
+        for text in ["0..*", "1..1", "0..1"]:
+            card = Cardinality.parse(text)
+            assert card.compose(ONE_ONE) == card
+
+
+class TestConnectionCategory:
+    def test_of(self):
+        assert ConnectionCategory.of(ZERO_ONE, ZERO_ONE) is ConnectionCategory.ONE_ONE
+        assert ConnectionCategory.of(ZERO_ONE, ZERO_MANY) is ConnectionCategory.MANY_ONE
+        assert ConnectionCategory.of(ZERO_MANY, ZERO_ONE) is ConnectionCategory.ONE_MANY
+        assert ConnectionCategory.of(ZERO_MANY, ONE_MANY) is ConnectionCategory.MANY_MANY
+
+    def test_reversed(self):
+        assert ConnectionCategory.MANY_ONE.reversed() is ConnectionCategory.ONE_MANY
+        assert ConnectionCategory.ONE_ONE.reversed() is ConnectionCategory.ONE_ONE
+        assert ConnectionCategory.MANY_MANY.reversed() is ConnectionCategory.MANY_MANY
+
+    def test_directional_flags(self):
+        assert ConnectionCategory.MANY_ONE.functional_forward
+        assert not ConnectionCategory.MANY_ONE.functional_backward
+        assert ConnectionCategory.ONE_MANY.functional_backward
+
+
+class TestCompatibility:
+    def test_exact_match_compatible(self):
+        for category in ConnectionCategory:
+            assert categories_compatible(category, category)
+
+    def test_functional_target_needs_functional_source(self):
+        # The hypothetical in Example 1.1: hasBookSoldAt with upper bound 1
+        # is incompatible with the many-many writes∘soldAt composition.
+        assert not categories_compatible(
+            ConnectionCategory.MANY_MANY, ConnectionCategory.MANY_ONE
+        )
+        assert not categories_compatible(
+            ConnectionCategory.MANY_MANY, ConnectionCategory.ONE_ONE
+        )
+
+    def test_more_specific_source_is_compatible(self):
+        assert categories_compatible(
+            ConnectionCategory.ONE_ONE, ConnectionCategory.MANY_ONE
+        )
+        assert categories_compatible(
+            ConnectionCategory.MANY_ONE, ConnectionCategory.MANY_MANY
+        )
+
+    def test_cross_directions_incompatible(self):
+        assert not categories_compatible(
+            ConnectionCategory.MANY_ONE, ConnectionCategory.ONE_MANY
+        )
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+bounded = st.integers(min_value=0, max_value=5)
+uppers = st.one_of(st.none(), st.integers(min_value=1, max_value=5))
+
+
+@st.composite
+def cardinalities(draw):
+    lower = draw(bounded)
+    upper = draw(uppers)
+    if upper is not None and lower > upper:
+        lower = upper
+    return Cardinality(lower, upper)
+
+
+@given(a=cardinalities(), b=cardinalities(), c=cardinalities())
+def test_composition_associative(a, b, c):
+    assert a.compose(b).compose(c) == a.compose(b.compose(c))
+
+
+@given(a=cardinalities(), b=cardinalities())
+def test_composition_upper_monotone(a, b):
+    composed = a.compose(b)
+    if a.upper is None or b.upper is None:
+        assert composed.upper is None
+    else:
+        assert composed.upper <= a.upper * b.upper or composed.upper == 1
+
+
+@given(a=cardinalities(), b=cardinalities())
+def test_functional_composition_iff_both_functional(a, b):
+    composed = a.compose(b)
+    if a.is_functional and b.is_functional:
+        assert composed.is_functional
+
+
+@given(source=st.sampled_from(list(ConnectionCategory)))
+def test_many_many_target_accepts_everything(source):
+    assert categories_compatible(source, ConnectionCategory.MANY_MANY)

@@ -1,0 +1,223 @@
+"""Unit tests for the conceptual modeling language."""
+
+import pytest
+
+from repro.exceptions import ConceptualModelError
+from repro.cm import ConceptualModel, ConnectionCategory, SemanticType
+
+
+def books_model() -> ConceptualModel:
+    cm = ConceptualModel("books")
+    cm.add_class("Person", attributes=["pname"], key=["pname"])
+    cm.add_class("Book", attributes=["bid"], key=["bid"])
+    cm.add_class("Bookstore", attributes=["sid"], key=["sid"])
+    cm.add_relationship("writes", "Person", "Book", "0..*", "1..*")
+    cm.add_relationship("soldAt", "Book", "Bookstore", "0..*", "0..*")
+    return cm
+
+
+class TestClasses:
+    def test_add_and_lookup(self):
+        cm = books_model()
+        assert cm.cm_class("Person").key == ("pname",)
+        assert cm.has_class("Book")
+        assert not cm.has_class("Ghost")
+
+    def test_duplicate_class_rejected(self):
+        cm = books_model()
+        with pytest.raises(ConceptualModelError):
+            cm.add_class("Person")
+
+    def test_key_must_be_attribute(self):
+        cm = ConceptualModel("m")
+        with pytest.raises(ConceptualModelError):
+            cm.add_class("C", attributes=["a"], key=["b"])
+
+    def test_duplicate_attributes_rejected(self):
+        cm = ConceptualModel("m")
+        with pytest.raises(ConceptualModelError):
+            cm.add_class("C", attributes=["a", "a"])
+
+    def test_unknown_class_lookup_raises(self):
+        with pytest.raises(ConceptualModelError):
+            ConceptualModel("m").cm_class("Ghost")
+
+    def test_class_names_preserve_order(self):
+        assert books_model().class_names() == ("Person", "Book", "Bookstore")
+
+    def test_reified_marker_rendering(self):
+        cm = ConceptualModel("m")
+        cls = cm.add_class("Sell", reified=True)
+        assert str(cls) == "Sell◇"
+        assert cm.is_reified("Sell")
+
+
+class TestRelationships:
+    def test_functionality_flags(self):
+        cm = books_model()
+        writes = cm.relationship("writes")
+        assert not writes.is_functional
+        assert not writes.is_inverse_functional
+        assert writes.is_many_many
+        assert writes.category is ConnectionCategory.MANY_MANY
+
+    def test_functional_relationship(self):
+        cm = books_model()
+        rel = cm.add_relationship("favourite", "Person", "Book", "0..1", "0..*")
+        assert rel.is_functional
+        assert rel.category is ConnectionCategory.MANY_ONE
+
+    def test_endpoints_must_exist(self):
+        cm = ConceptualModel("m")
+        cm.add_class("A")
+        with pytest.raises(ConceptualModelError):
+            cm.add_relationship("r", "A", "Ghost")
+
+    def test_duplicate_relationship_rejected(self):
+        cm = books_model()
+        with pytest.raises(ConceptualModelError):
+            cm.add_relationship("writes", "Person", "Book")
+
+    def test_isa_name_reserved(self):
+        cm = books_model()
+        with pytest.raises(ConceptualModelError):
+            cm.add_relationship("isa", "Person", "Book")
+
+    def test_relationships_of(self):
+        cm = books_model()
+        names = {r.name for r in cm.relationships_of("Book")}
+        assert names == {"writes", "soldAt"}
+
+    def test_semantic_type(self):
+        cm = books_model()
+        rel = cm.add_relationship(
+            "chapterOf",
+            "Book",
+            "Book",
+            semantic_type=SemanticType.PART_OF,
+        )
+        assert rel.semantic_type is SemanticType.PART_OF
+
+
+class TestReifiedRelationships:
+    def test_creates_class_and_roles(self):
+        cm = ConceptualModel("m")
+        cm.add_class("Store")
+        cm.add_class("Person")
+        cm.add_class("Product")
+        cm.add_reified_relationship(
+            "Sell",
+            roles={"seller": "Store", "buyer": "Person", "sold": "Product"},
+            attributes=["dateOfPurchase"],
+        )
+        assert cm.is_reified("Sell")
+        roles = cm.roles_of("Sell")
+        assert [r.name for r in roles] == ["seller", "buyer", "sold"]
+        assert all(r.is_functional and r.is_role for r in roles)
+        assert cm.cm_class("Sell").attributes == ("dateOfPurchase",)
+
+    def test_role_cards_control_inverse(self):
+        cm = ConceptualModel("m")
+        cm.add_class("Project")
+        cm.add_class("Employee")
+        cm.add_reified_relationship(
+            "Management",
+            roles={"what": "Project", "who": "Employee"},
+            role_cards={"what": "0..1", "who": "0..*"},
+        )
+        what = cm.relationship("what")
+        assert what.from_card.is_functional  # each project managed at most once
+
+    def test_unknown_role_card_rejected(self):
+        cm = ConceptualModel("m")
+        cm.add_class("A")
+        with pytest.raises(ConceptualModelError):
+            cm.add_reified_relationship(
+                "R", roles={"x": "A"}, role_cards={"ghost": "0..1"}
+            )
+
+    def test_empty_roles_rejected(self):
+        cm = ConceptualModel("m")
+        with pytest.raises(ConceptualModelError):
+            cm.add_reified_relationship("R", roles={})
+
+    def test_roles_of_non_reified_rejected(self):
+        cm = books_model()
+        with pytest.raises(ConceptualModelError):
+            cm.roles_of("Person")
+
+
+class TestIsaAndConstraints:
+    def employee_model(self) -> ConceptualModel:
+        cm = ConceptualModel("emp")
+        cm.add_class("Employee", attributes=["name"])
+        cm.add_class("Engineer")
+        cm.add_class("Programmer")
+        cm.add_isa("Engineer", "Employee")
+        cm.add_isa("Programmer", "Employee")
+        return cm
+
+    def test_isa_and_transitive_closure(self):
+        cm = self.employee_model()
+        cm.add_class("KernelHacker")
+        cm.add_isa("KernelHacker", "Programmer")
+        assert cm.superclasses("KernelHacker") == {"Programmer", "Employee"}
+        assert cm.subclasses("Employee") == {
+            "Engineer",
+            "Programmer",
+            "KernelHacker",
+        }
+
+    def test_direct_relatives(self):
+        cm = self.employee_model()
+        assert cm.direct_superclasses("Engineer") == ("Employee",)
+        assert cm.direct_subclasses("Employee") == ("Engineer", "Programmer")
+
+    def test_self_isa_rejected(self):
+        cm = self.employee_model()
+        with pytest.raises(ConceptualModelError):
+            cm.add_isa("Employee", "Employee")
+
+    def test_isa_cycle_rejected(self):
+        cm = self.employee_model()
+        with pytest.raises(ConceptualModelError):
+            cm.add_isa("Employee", "Engineer")
+
+    def test_duplicate_isa_is_idempotent(self):
+        cm = self.employee_model()
+        cm.add_isa("Engineer", "Employee")
+        assert len(cm.isa_links) == 2
+
+    def test_disjointness(self):
+        cm = self.employee_model()
+        cm.add_disjointness(["Engineer", "Programmer"])
+        assert cm.disjointness_groups == (frozenset({"Engineer", "Programmer"}),)
+
+    def test_disjointness_needs_two(self):
+        cm = self.employee_model()
+        with pytest.raises(ConceptualModelError):
+            cm.add_disjointness(["Engineer"])
+
+    def test_cover(self):
+        cm = self.employee_model()
+        cm.add_cover("Employee", ["Engineer", "Programmer"])
+        assert cm.covers == (
+            ("Employee", frozenset({"Engineer", "Programmer"})),
+        )
+
+    def test_cover_requires_declared_subclasses(self):
+        cm = self.employee_model()
+        cm.add_class("Manager")
+        with pytest.raises(ConceptualModelError):
+            cm.add_cover("Employee", ["Manager"])
+
+
+class TestRendering:
+    def test_describe_mentions_everything(self):
+        cm = books_model()
+        cm.add_class("Author")
+        cm.add_isa("Author", "Person")
+        text = cm.describe()
+        assert "Person" in text
+        assert "writes" in text
+        assert "Author ISA Person" in text

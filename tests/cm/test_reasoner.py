@@ -1,0 +1,146 @@
+"""Unit tests for CM reasoning: disjointness, path composition, filters."""
+
+import pytest
+
+from repro.cm import CMGraph, CMReasoner, ConceptualModel, ConnectionCategory
+from repro.cm.graph import INVERSE_MARK
+
+
+@pytest.fixture
+def employee_model() -> ConceptualModel:
+    """Example 1.2's hierarchy plus a disjoint pair for the filter tests."""
+    cm = ConceptualModel("emp")
+    cm.add_class("Employee", attributes=["name"])
+    cm.add_class("Engineer", attributes=["site"])
+    cm.add_class("Programmer", attributes=["acnt"])
+    cm.add_class("Contractor")
+    cm.add_isa("Engineer", "Employee")
+    cm.add_isa("Programmer", "Employee")
+    cm.add_isa("Contractor", "Employee")
+    # Engineer and Programmer are NOT disjoint (Example 1.2); contractors
+    # are disjoint from both.
+    cm.add_disjointness(["Contractor", "Engineer"])
+    cm.add_disjointness(["Contractor", "Programmer"])
+    return cm
+
+
+@pytest.fixture
+def reasoner(employee_model) -> CMReasoner:
+    return CMReasoner(employee_model)
+
+
+class TestIsaReasoning:
+    def test_subclass_reflexive_transitive(self, reasoner, employee_model):
+        employee_model.add_class("KernelHacker")
+        employee_model.add_isa("KernelHacker", "Programmer")
+        assert reasoner.is_subclass_of("KernelHacker", "Employee")
+        assert reasoner.is_subclass_of("Employee", "Employee")
+        assert not reasoner.is_subclass_of("Employee", "Programmer")
+
+    def test_ancestors_or_self(self, reasoner):
+        assert reasoner.ancestors_or_self("Engineer") == {"Engineer", "Employee"}
+
+
+class TestDisjointness:
+    def test_declared_disjointness(self, reasoner):
+        assert reasoner.are_disjoint("Contractor", "Engineer")
+        assert reasoner.are_disjoint("Engineer", "Contractor")
+
+    def test_non_disjoint_siblings(self, reasoner):
+        # Example 1.2: Engineer and Programmer overlap.
+        assert not reasoner.are_disjoint("Engineer", "Programmer")
+
+    def test_same_class_never_disjoint(self, reasoner):
+        assert not reasoner.are_disjoint("Engineer", "Engineer")
+
+    def test_sub_super_never_disjoint(self, reasoner):
+        assert not reasoner.are_disjoint("Engineer", "Employee")
+
+    def test_disjointness_inherited(self, reasoner, employee_model):
+        employee_model.add_class("KernelHacker")
+        employee_model.add_isa("KernelHacker", "Programmer")
+        assert reasoner.are_disjoint("Contractor", "KernelHacker")
+
+
+@pytest.fixture
+def path_model() -> ConceptualModel:
+    """Project --controlledBy->-- Department --hasManager->-- Employee,
+    plus a many-many shopsAt for composition tests."""
+    cm = ConceptualModel("paths")
+    cm.add_class("Project")
+    cm.add_class("Department")
+    cm.add_class("Employee")
+    cm.add_class("Store")
+    cm.add_relationship("controlledBy", "Project", "Department", "1..1", "0..*")
+    cm.add_relationship("hasManager", "Department", "Employee", "1..1", "0..*")
+    cm.add_relationship("shopsAt", "Employee", "Store", "0..*", "0..*")
+    return cm
+
+
+class TestPathComposition:
+    def test_functional_path(self, path_model):
+        graph = CMGraph(path_model)
+        path = [
+            graph.edge("Project", "controlledBy"),
+            graph.edge("Department", "hasManager"),
+        ]
+        assert CMReasoner.path_is_functional(path)
+        assert CMReasoner.path_category(path) is ConnectionCategory.MANY_ONE
+
+    def test_many_many_composition(self, path_model):
+        # Example 1.1's phenomenon: composing a non-functional hop makes
+        # the whole connection many-many.
+        graph = CMGraph(path_model)
+        path = [
+            graph.edge("Department", "hasManager"),
+            graph.edge("Employee", "shopsAt"),
+        ]
+        assert not CMReasoner.path_is_functional(path)
+        assert CMReasoner.path_category(path) is ConnectionCategory.MANY_MANY
+
+    def test_inverse_path_category(self, path_model):
+        graph = CMGraph(path_model)
+        path = [graph.edge("Department", "controlledBy" + INVERSE_MARK)]
+        assert CMReasoner.path_category(path) is ConnectionCategory.ONE_MANY
+
+    def test_empty_path_is_one_one(self):
+        assert CMReasoner.path_category([]) is ConnectionCategory.ONE_ONE
+
+    def test_direction_reversals(self, path_model):
+        graph = CMGraph(path_model)
+        functional = graph.edge("Project", "controlledBy")
+        lossy = graph.edge("Employee", "shopsAt")
+        assert CMReasoner.direction_reversals([functional, functional]) == 0
+        assert CMReasoner.direction_reversals([functional, lossy]) == 1
+        assert CMReasoner.direction_reversals([lossy, functional, lossy]) == 2
+
+
+class TestConsistencyFilters:
+    def make_path(self, model, spec):
+        graph = CMGraph(model)
+        return [graph.edge(src, label) for src, label in spec]
+
+    def test_disjoint_sibling_hop_is_inconsistent(self, employee_model):
+        graph = CMGraph(employee_model)
+        up = graph.edges_between("Contractor", "Employee")[0]
+        down = graph.edges_between("Employee", "Engineer")[0]
+        path = [up, down]
+        reasoner = CMReasoner(employee_model)
+        assert not reasoner.path_is_consistent(path)
+        assert not reasoner.tree_is_consistent(path)
+
+    def test_overlapping_sibling_hop_is_consistent(self, employee_model):
+        graph = CMGraph(employee_model)
+        up = graph.edges_between("Engineer", "Employee")[0]
+        down = graph.edges_between("Employee", "Programmer")[0]
+        reasoner = CMReasoner(employee_model)
+        assert reasoner.path_is_consistent([up, down])
+        assert reasoner.tree_is_consistent([up, down])
+
+    def test_plain_paths_are_consistent(self, path_model):
+        graph = CMGraph(path_model)
+        path = [
+            graph.edge("Project", "controlledBy"),
+            graph.edge("Department", "hasManager"),
+        ]
+        assert CMReasoner(path_model).path_is_consistent(path)

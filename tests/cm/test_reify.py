@@ -1,0 +1,114 @@
+"""Unit tests for reification transforms."""
+
+import pytest
+
+from repro.exceptions import ConceptualModelError
+from repro.cm import (
+    CMGraph,
+    CMReasoner,
+    ConceptualModel,
+    ConnectionCategory,
+    auto_reify_many_many,
+    reify_relationship,
+)
+from repro.cm.graph import INVERSE_MARK
+from repro.cm.reify import DOMAIN_ROLE_SUFFIX, RANGE_ROLE_SUFFIX
+
+
+@pytest.fixture
+def model() -> ConceptualModel:
+    cm = ConceptualModel("books")
+    cm.add_class("Person", attributes=["pname"], key=["pname"])
+    cm.add_class("Book", attributes=["bid"], key=["bid"])
+    cm.add_relationship("writes", "Person", "Book", "0..*", "1..*")
+    cm.add_relationship("favourite", "Person", "Book", "0..1", "0..*")
+    return cm
+
+
+class TestReifyRelationship:
+    def test_creates_reified_class_and_roles(self, model):
+        reified, mapping = reify_relationship(model, "writes")
+        assert reified.is_reified("writes")
+        roles = reified.roles_of("writes")
+        assert {r.name for r in roles} == {
+            "writes" + DOMAIN_ROLE_SUFFIX,
+            "writes" + RANGE_ROLE_SUFFIX,
+        }
+        entry = mapping.original("writes")
+        assert (entry.domain, entry.range) == ("Person", "Book")
+
+    def test_original_model_untouched(self, model):
+        reify_relationship(model, "writes")
+        assert model.has_relationship("writes")
+        assert not model.has_class("writes")
+
+    def test_category_preserved_through_roles(self, model):
+        reified, _ = reify_relationship(model, "writes")
+        graph = CMGraph(reified)
+        # Traversing Person --(writes#d)⁻--> writes◇ --writes#r--> Book
+        # composes back to the original many-many category.
+        path = [
+            graph.edge("Person", "writes" + DOMAIN_ROLE_SUFFIX + INVERSE_MARK),
+            graph.edge("writes", "writes" + RANGE_ROLE_SUFFIX),
+        ]
+        assert CMReasoner.path_category(path) is ConnectionCategory.MANY_MANY
+
+    def test_functional_category_preserved(self, model):
+        reified, _ = reify_relationship(model, "favourite")
+        graph = CMGraph(reified)
+        path = [
+            graph.edge(
+                "Person", "favourite" + DOMAIN_ROLE_SUFFIX + INVERSE_MARK
+            ),
+            graph.edge("favourite", "favourite" + RANGE_ROLE_SUFFIX),
+        ]
+        assert CMReasoner.path_category(path) is ConnectionCategory.MANY_ONE
+
+    def test_reifying_a_role_rejected(self, model):
+        reified, _ = reify_relationship(model, "writes")
+        with pytest.raises(ConceptualModelError):
+            reify_relationship(reified, "writes" + DOMAIN_ROLE_SUFFIX)
+
+    def test_unknown_relationship_rejected(self, model):
+        with pytest.raises(ConceptualModelError):
+            reify_relationship(model, "ghost")
+
+    def test_preserves_isa_and_constraints(self):
+        cm = ConceptualModel("m")
+        cm.add_class("A")
+        cm.add_class("B")
+        cm.add_class("C")
+        cm.add_isa("B", "A")
+        cm.add_isa("C", "A")
+        cm.add_disjointness(["B", "C"])
+        cm.add_cover("A", ["B", "C"])
+        cm.add_relationship("r", "B", "C", "0..*", "0..*")
+        reified, _ = reify_relationship(cm, "r")
+        assert reified.isa_links == cm.isa_links
+        assert reified.disjointness_groups == cm.disjointness_groups
+        assert reified.covers == cm.covers
+
+
+class TestAutoReify:
+    def test_only_many_many_reified(self, model):
+        reified, mapping = auto_reify_many_many(model)
+        assert mapping.is_reified_class("writes")
+        assert not mapping.is_reified_class("favourite")
+        assert reified.has_relationship("favourite")
+        assert not reified.has_relationship("writes")
+
+    def test_existing_reified_roles_untouched(self):
+        cm = ConceptualModel("m")
+        cm.add_class("Store")
+        cm.add_class("Product")
+        cm.add_reified_relationship(
+            "Sell", roles={"seller": "Store", "sold": "Product"}
+        )
+        reified, mapping = auto_reify_many_many(cm)
+        assert not mapping.entries
+        assert reified.is_reified("Sell")
+
+    def test_mapping_lookup_errors(self, model):
+        _, mapping = auto_reify_many_many(model)
+        with pytest.raises(ConceptualModelError):
+            mapping.original("favourite")

@@ -1,0 +1,95 @@
+"""Unit tests for model (de)serialization."""
+
+import pytest
+
+from repro.exceptions import ConceptualModelError
+from repro.cm import SemanticType, model_from_dict, model_to_dict
+
+
+SPEC = {
+    "name": "books",
+    "classes": {
+        "Person": {"attributes": ["pname"], "key": ["pname"]},
+        "Book": {"attributes": ["bid"], "key": ["bid"]},
+        "Author": {},
+    },
+    "relationships": [
+        {
+            "name": "writes",
+            "from": "Person",
+            "to": "Book",
+            "to_card": "0..*",
+            "from_card": "1..*",
+        },
+        {
+            "name": "chapterOf",
+            "from": "Book",
+            "to": "Book",
+            "to_card": "0..1",
+            "semantic_type": "partOf",
+        },
+    ],
+    "reified": [
+        {
+            "name": "Sell",
+            "roles": {"seller": "Person", "sold": "Book"},
+            "attributes": ["date"],
+            "role_cards": {"seller": "0..*", "sold": "0..1"},
+        }
+    ],
+    "isa": [["Author", "Person"]],
+    "disjoint": [["Author", "Book"]],
+    "covers": [],
+}
+
+
+class TestFromDict:
+    def test_builds_everything(self):
+        cm = model_from_dict(SPEC)
+        assert cm.name == "books"
+        assert cm.cm_class("Person").key == ("pname",)
+        assert cm.relationship("writes").from_card.is_total
+        assert cm.relationship("chapterOf").semantic_type is SemanticType.PART_OF
+        assert cm.is_reified("Sell")
+        assert cm.relationship("sold").from_card.is_functional
+        assert ("Author", "Person") in cm.isa_links
+        assert cm.disjointness_groups == (frozenset({"Author", "Book"}),)
+
+    def test_name_required(self):
+        with pytest.raises(ConceptualModelError):
+            model_from_dict({})
+
+    def test_default_cards(self):
+        cm = model_from_dict(
+            {
+                "name": "m",
+                "classes": {"A": {}, "B": {}},
+                "relationships": [{"name": "r", "from": "A", "to": "B"}],
+            }
+        )
+        rel = cm.relationship("r")
+        assert str(rel.to_card) == "0..*"
+        assert str(rel.from_card) == "0..*"
+
+
+class TestRoundTrip:
+    def test_round_trips(self):
+        cm = model_from_dict(SPEC)
+        spec2 = model_to_dict(cm)
+        cm2 = model_from_dict(spec2)
+        assert cm2.class_names() == cm.class_names()
+        assert set(cm2.relationships) == set(cm.relationships)
+        assert cm2.isa_links == cm.isa_links
+        assert cm2.disjointness_groups == cm.disjointness_groups
+        for name in cm.relationships:
+            original = cm.relationship(name)
+            restored = cm2.relationship(name)
+            assert original.to_card == restored.to_card
+            assert original.from_card == restored.from_card
+            assert original.semantic_type is restored.semantic_type
+
+    def test_reified_survive_round_trip(self):
+        cm = model_from_dict(SPEC)
+        cm2 = model_from_dict(model_to_dict(cm))
+        assert cm2.is_reified("Sell")
+        assert {r.name for r in cm2.roles_of("Sell")} == {"seller", "sold"}

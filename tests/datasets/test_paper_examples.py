@@ -1,0 +1,124 @@
+"""Structural tests for the paper-example scenario builders."""
+
+import pytest
+
+from repro.datasets.paper_examples import (
+    bookstore_example,
+    employee_example,
+    partof_example,
+    project_example,
+)
+
+
+class TestBookstore:
+    def test_matches_figure_1(self):
+        scenario = bookstore_example()
+        # er2rel emits entity tables first, then relationship tables.
+        assert set(scenario.source.schema.table_names()) == {
+            "person",
+            "writes",
+            "book",
+            "soldat",
+            "bookstore",
+        }
+        rics = {str(r) for r in scenario.source.schema.rics}
+        assert rics == {
+            "writes.pname -> person.pname",
+            "writes.bid -> book.bid",
+            "soldat.bid -> book.bid",
+            "soldat.sid -> bookstore.sid",
+        }
+        assert len(scenario.correspondences) == 2
+
+    def test_target_relationship_is_many_many(self):
+        scenario = bookstore_example()
+        rel = scenario.target.model.relationship("hasBookSoldAt")
+        assert rel.is_many_many
+
+
+class TestEmployee:
+    def test_source_tables_match_example_1_2(self):
+        scenario = employee_example()
+        assert scenario.source.schema.table("programmer").columns == (
+            "ssn",
+            "name",
+            "acnt",
+        )
+        assert scenario.source.schema.table("engineer").columns == (
+            "ssn",
+            "name",
+            "site",
+        )
+
+    def test_keys_do_not_correspond(self):
+        scenario = employee_example()
+        sources = {c.source.name for c in scenario.correspondences}
+        targets = {c.target.name for c in scenario.correspondences}
+        assert "ssn" not in sources
+        assert "eid" not in targets
+
+    def test_disjoint_variant_declares_disjointness(self):
+        plain = employee_example()
+        disjoint = employee_example(disjoint_subclasses=True)
+        assert not plain.source.model.disjointness_groups
+        assert disjoint.source.model.disjointness_groups == (
+            frozenset({"Engineer", "Programmer"}),
+        )
+
+
+class TestPartOf:
+    def test_chairof_is_partof_deanof_is_not(self):
+        from repro.cm import SemanticType
+
+        scenario = partof_example()
+        model = scenario.source.model
+        assert (
+            model.relationship("chairOf").semantic_type
+            is SemanticType.PART_OF
+        )
+        assert (
+            model.relationship("deanOf").semantic_type is SemanticType.PLAIN
+        )
+
+    def test_target_flag_controls_foo(self):
+        from repro.cm import SemanticType
+
+        partof = partof_example(target_is_partof=True)
+        plain = partof_example(target_is_partof=False)
+        assert (
+            partof.target.model.relationship("foo").semantic_type
+            is SemanticType.PART_OF
+        )
+        assert (
+            plain.target.model.relationship("foo").semantic_type
+            is SemanticType.PLAIN
+        )
+
+
+class TestProject:
+    def test_target_table_is_merged_wide(self):
+        scenario = project_example()
+        assert scenario.target.schema.table("proj").columns == (
+            "pnum",
+            "dept",
+            "emp",
+        )
+
+    def test_anchored_target_stree(self):
+        scenario = project_example()
+        tree = scenario.target.tree("proj")
+        assert tree.is_anchored_functional()
+        assert tree.anchor.cm_node == "Proj"
+
+
+@pytest.mark.parametrize(
+    "builder",
+    [bookstore_example, employee_example, partof_example, project_example],
+)
+def test_scenarios_validate(builder):
+    scenario = builder()
+    scenario.correspondences.validate(
+        scenario.source.schema, scenario.target.schema
+    )
+    assert scenario.name
+    assert scenario.description

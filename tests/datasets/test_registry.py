@@ -1,0 +1,104 @@
+"""Unit tests for the dataset framework and registry."""
+
+import pytest
+
+from repro.datasets.registry import (
+    benchmark_mapping,
+    case,
+    dataset_names,
+    load_all_datasets,
+    load_dataset,
+)
+from repro.exceptions import DatasetError
+
+
+class TestRegistry:
+    def test_all_seven_domains_registered(self):
+        assert dataset_names() == (
+            "DBLP",
+            "Mondial",
+            "Amalgam",
+            "3Sdb",
+            "UT",
+            "Hotel",
+            "Network",
+        )
+
+    def test_load_by_name(self):
+        pair = load_dataset("Hotel")
+        assert pair.name == "Hotel"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("Ghost")
+
+    def test_load_all(self):
+        pairs = load_all_datasets()
+        assert len(pairs) == 7
+
+
+class TestTable1Characteristics:
+    """The reconstructed pairs match the paper's Table 1 exactly."""
+
+    EXPECTED = {
+        # name: (src tables, tgt tables, src CM nodes, tgt CM nodes, cases)
+        "DBLP": (22, 9, 75, 7, 6),
+        "Mondial": (28, 26, 52, 26, 5),
+        "Amalgam": (15, 27, 8, 26, 7),
+        "3Sdb": (9, 9, 9, 11, 3),
+        "UT": (8, 13, 105, 62, 2),
+        "Hotel": (6, 5, 7, 7, 5),
+        "Network": (18, 19, 28, 27, 6),
+    }
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_counts(self, name):
+        pair = load_dataset(name)
+        expected = self.EXPECTED[name]
+        actual = (
+            pair.source_table_count(),
+            pair.target_table_count(),
+            pair.source_cm_node_count(),
+            pair.target_cm_node_count(),
+            pair.mapping_count(),
+        )
+        assert actual == expected
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_correspondences_validate(self, name):
+        pair = load_dataset(name)
+        for mapping_case in pair.cases:
+            mapping_case.correspondences.validate(
+                pair.source.schema, pair.target.schema
+            )
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_benchmarks_reference_real_tables(self, name):
+        pair = load_dataset(name)
+        for mapping_case in pair.cases:
+            for gold in mapping_case.benchmark:
+                for atom in gold.source_query.body:
+                    table = pair.source.schema.table(atom.bare_predicate)
+                    assert table.arity == atom.arity, (
+                        f"{mapping_case.case_id}: {atom} vs {table}"
+                    )
+                for atom in gold.target_query.body:
+                    table = pair.target.schema.table(atom.bare_predicate)
+                    assert table.arity == atom.arity, (
+                        f"{mapping_case.case_id}: {atom} vs {table}"
+                    )
+
+
+class TestCaseHelpers:
+    def test_benchmark_mapping_builder(self):
+        gold = benchmark_mapping(
+            "ans(v1) :- person(v1)",
+            "ans(v1) :- author(v1)",
+            ["person.pname <-> author.aname"],
+        )
+        assert gold.method == "benchmark"
+        assert len(gold.covered) == 1
+
+    def test_case_requires_benchmarks(self):
+        with pytest.raises(DatasetError):
+            case("empty", "desc", ["a.x <-> b.y"], [])

@@ -1,0 +1,40 @@
+"""Shared fixtures for discovery tests: the paper's worked examples."""
+
+import pytest
+
+from repro.datasets.paper_examples import (
+    bookstore_example,
+    employee_example,
+    partof_example,
+    project_example,
+)
+
+
+@pytest.fixture(scope="module")
+def bookstore():
+    return bookstore_example()
+
+
+@pytest.fixture(scope="module")
+def employee():
+    return employee_example()
+
+
+@pytest.fixture(scope="module")
+def employee_disjoint():
+    return employee_example(disjoint_subclasses=True)
+
+
+@pytest.fixture(scope="module")
+def partof():
+    return partof_example()
+
+
+@pytest.fixture(scope="module")
+def partof_plain():
+    return partof_example(target_is_partof=False)
+
+
+@pytest.fixture(scope="module")
+def project():
+    return project_example()

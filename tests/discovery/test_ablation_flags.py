@@ -1,0 +1,58 @@
+"""Tests for the mapper's ablation flags (filter on/off behavior)."""
+
+from repro.datasets.paper_examples import employee_example, partof_example
+from repro.discovery import SemanticMapper
+
+
+def discover(scenario, **flags):
+    return SemanticMapper(
+        scenario.source, scenario.target, scenario.correspondences, **flags
+    ).discover()
+
+
+def source_tables(candidate):
+    return {atom.bare_predicate for atom in candidate.source_query.body}
+
+
+class TestPartOfFlag:
+    def test_default_filters_plain_candidate(self):
+        scenario = partof_example(target_is_partof=True)
+        result = discover(scenario)
+        assert len(result) == 1
+        assert "chairof" in source_tables(result.best())
+
+    def test_disabled_keeps_both(self):
+        scenario = partof_example(target_is_partof=True)
+        result = discover(scenario, use_partof_filter=False)
+        assert len(result) == 2
+        assert any("deanof" in source_tables(c) for c in result)
+
+
+class TestDisjointnessFlag:
+    def test_default_eliminates_empty_class_merge(self):
+        scenario = employee_example(disjoint_subclasses=True)
+        result = discover(scenario)
+        assert not any(
+            {"engineer", "programmer"} <= source_tables(c) for c in result
+        )
+
+    def test_disabled_emits_unsatisfiable_merge(self):
+        scenario = employee_example(disjoint_subclasses=True)
+        result = discover(scenario, use_disjointness_filter=False)
+        assert any(
+            {"engineer", "programmer"} <= source_tables(c) for c in result
+        )
+
+
+class TestFlagsDoNotChangeCleanCases:
+    def test_overlapping_siblings_unaffected(self):
+        scenario = employee_example(disjoint_subclasses=False)
+        default = discover(scenario)
+        ablated = discover(
+            scenario,
+            use_partof_filter=False,
+            use_disjointness_filter=False,
+        )
+        assert [str(c.source_query) for c in default] == [
+            str(c.source_query) for c in ablated
+        ]

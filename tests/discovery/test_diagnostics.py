@@ -1,0 +1,51 @@
+"""Tests for discovery diagnostics: eliminations and coverage reports."""
+
+from repro.datasets.paper_examples import (
+    bookstore_example,
+    employee_example,
+    partof_example,
+)
+from repro.discovery import discover_mappings
+
+
+class TestEliminations:
+    def test_partof_elimination_recorded(self):
+        scenario = partof_example(target_is_partof=True)
+        result = discover_mappings(
+            scenario.source, scenario.target, scenario.correspondences
+        )
+        assert result.eliminations
+        assert any("partOf" in text for text in result.eliminations)
+
+    def test_disjointness_elimination_recorded(self):
+        scenario = employee_example(disjoint_subclasses=True)
+        result = discover_mappings(
+            scenario.source, scenario.target, scenario.correspondences
+        )
+        assert any(
+            "disjointness" in text or "inconsistent" in text
+            for text in result.eliminations
+        )
+
+    def test_clean_run_has_no_eliminations(self):
+        scenario = bookstore_example()
+        result = discover_mappings(
+            scenario.source, scenario.target, scenario.correspondences
+        )
+        assert result.eliminations == []
+
+
+class TestCoverage:
+    def test_full_coverage_reports_nothing(self):
+        scenario = bookstore_example()
+        result = discover_mappings(
+            scenario.source, scenario.target, scenario.correspondences
+        )
+        assert result.uncovered_correspondences() == ()
+
+    def test_result_knows_its_input(self):
+        scenario = bookstore_example()
+        result = discover_mappings(
+            scenario.source, scenario.target, scenario.correspondences
+        )
+        assert result.correspondences is scenario.correspondences

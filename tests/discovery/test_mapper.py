@@ -1,0 +1,214 @@
+"""End-to-end tests: the paper's worked examples through the full pipeline."""
+
+import pytest
+
+from repro.discovery import SemanticMapper, discover_mappings
+from repro.exceptions import DiscoveryError
+from repro.queries.parser import parse_query
+from repro.queries.homomorphism import are_equivalent
+
+
+def boolean(query):
+    from repro.queries.conjunctive import ConjunctiveQuery
+
+    return ConjunctiveQuery([], query.body, query.name)
+
+
+def source_tables(candidate):
+    return sorted({a.bare_predicate for a in candidate.source_query.body})
+
+
+def target_tables(candidate):
+    return sorted({a.bare_predicate for a in candidate.target_query.body})
+
+
+class TestBookstoreExample:
+    """Examples 1.1 / 3.2 / 3.4: the M5 composition must be found."""
+
+    @pytest.fixture(scope="class")
+    def result(self, bookstore):
+        return discover_mappings(
+            bookstore.source, bookstore.target, bookstore.correspondences
+        )
+
+    def test_single_candidate(self, result):
+        assert len(result) == 1
+
+    def test_m5_source_tables(self, result):
+        assert source_tables(result.best()) == [
+            "bookstore",
+            "person",
+            "soldat",
+            "writes",
+        ]
+
+    def test_m5_target_is_hasbooksoldat(self, result):
+        assert target_tables(result.best()) == ["hasbooksoldat"]
+
+    def test_m5_shape(self, result):
+        expected = parse_query(
+            "ans(v1, v2) :- person(v1), writes(v1, y), soldat(y, v2), "
+            "bookstore(v2)"
+        )
+        assert are_equivalent(result.best().source_query, expected)
+
+    def test_covers_both_correspondences(self, result, bookstore):
+        assert set(result.best().covered) == set(bookstore.correspondences)
+
+    def test_fast(self, result):
+        assert result.elapsed_seconds < 1.0
+
+
+class TestEmployeeExample:
+    """Example 1.2: merge ISA siblings through the invisible superclass."""
+
+    @pytest.fixture(scope="class")
+    def result(self, employee):
+        return discover_mappings(
+            employee.source, employee.target, employee.correspondences
+        )
+
+    def test_single_candidate(self, result):
+        assert len(result) == 1
+
+    def test_merges_programmer_and_engineer(self, result):
+        assert source_tables(result.best()) == ["engineer", "programmer"]
+
+    def test_join_is_on_shared_key(self, result):
+        source = result.best().source_query
+        engineer = next(
+            a for a in source.body if a.bare_predicate == "engineer"
+        )
+        programmer = next(
+            a for a in source.body if a.bare_predicate == "programmer"
+        )
+        assert engineer.terms[0] == programmer.terms[0]
+
+    def test_covers_all_four_correspondences(self, result, employee):
+        assert len(result.best().covered) == 4
+
+    def test_disjoint_subclasses_eliminate_merge(self, employee_disjoint):
+        result = discover_mappings(
+            employee_disjoint.source,
+            employee_disjoint.target,
+            employee_disjoint.correspondences,
+        )
+        # The merging candidate denotes the empty class and must go;
+        # whatever remains must not join programmer with engineer.
+        for candidate in result:
+            assert source_tables(candidate) != ["engineer", "programmer"]
+
+
+class TestPartOfExample:
+    """Example 1.3: partOf semantics disambiguate chairOf from deanOf."""
+
+    def test_partof_target_keeps_only_chairof(self, partof):
+        result = discover_mappings(
+            partof.source, partof.target, partof.correspondences
+        )
+        assert len(result) == 1
+        assert "chairof" in source_tables(result.best())
+        assert "deanof" not in source_tables(result.best())
+
+    def test_plain_target_keeps_both(self, partof_plain):
+        result = discover_mappings(
+            partof_plain.source,
+            partof_plain.target,
+            partof_plain.correspondences,
+        )
+        tables = [source_tables(c) for c in result]
+        assert any("chairof" in t for t in tables)
+        assert any("deanof" in t for t in tables)
+        assert len(result) == 2
+
+
+class TestProjectExample:
+    """Example 3.1: Case A.1 anchored functional tree."""
+
+    @pytest.fixture(scope="class")
+    def result(self, project):
+        return discover_mappings(
+            project.source, project.target, project.correspondences
+        )
+
+    def test_single_candidate(self, result):
+        assert len(result) == 1
+
+    def test_composed_functional_join(self, result):
+        expected = parse_query(
+            "ans(v1, v2, v3) :- controlledby(v1, v2), hasmanager(v2, v3)"
+        )
+        assert are_equivalent(result.best().source_query, expected)
+
+    def test_target_is_proj_table(self, result):
+        assert target_tables(result.best()) == ["proj"]
+
+    def test_covers_all_three(self, result):
+        assert len(result.best().covered) == 3
+
+
+class TestHypotheticalFunctionalTarget:
+    """Example 1.1's thought experiment: a functional hasBookSoldAt must
+    reject the many-many composition."""
+
+    def test_incompatible_target_yields_partial_mappings_only(self):
+        from repro.cm import ConceptualModel
+        from repro.correspondences import CorrespondenceSet
+        from repro.datasets.paper_examples import bookstore_example
+        from repro.semantics import design_schema
+
+        bookstore = bookstore_example()
+        target_cm = ConceptualModel("books_target")
+        target_cm.add_class("Author", attributes=["aname"], key=["aname"])
+        target_cm.add_class("Bookstore", attributes=["sid"], key=["sid"])
+        # Upper bound 1: each author sells at a single bookstore.
+        target_cm.add_relationship(
+            "hasBookSoldAt", "Author", "Bookstore", "0..1", "0..*"
+        )
+        target = design_schema(target_cm, "target", merge_functional=False)
+        corrs = CorrespondenceSet.parse(
+            [
+                "person.pname <-> hasbooksoldat.aname",
+                "bookstore.sid <-> hasbooksoldat.sid",
+            ]
+        )
+        result = discover_mappings(bookstore.source, target.semantics, corrs)
+        # No candidate may pair both correspondences via the composition.
+        for candidate in result:
+            assert len(candidate.covered) < 2
+
+
+class TestMapperValidation:
+    def test_dangling_correspondences_rejected(self, bookstore, project):
+        with pytest.raises(Exception):
+            SemanticMapper(
+                bookstore.source, project.target, bookstore.correspondences
+            )
+
+    def test_result_iteration_and_best(self, bookstore):
+        result = discover_mappings(
+            bookstore.source, bookstore.target, bookstore.correspondences
+        )
+        assert list(result)[0] is result.best()
+        assert len(result) >= 1
+
+    def test_deterministic_output(self, bookstore):
+        first = discover_mappings(
+            bookstore.source, bookstore.target, bookstore.correspondences
+        )
+        second = discover_mappings(
+            bookstore.source, bookstore.target, bookstore.correspondences
+        )
+        assert [str(c) for c in first] == [str(c) for c in second]
+
+
+class TestTGDRendering:
+    def test_m5_renders_like_the_paper(self, bookstore):
+        result = discover_mappings(
+            bookstore.source, bookstore.target, bookstore.correspondences
+        )
+        text = result.best().to_tgd("M5").render()
+        assert text.startswith("M5: ∀")
+        assert "person(v1)" in text
+        assert "hasbooksoldat(v1, v2)" in text
+        assert "∃" not in text  # complete target tuple: no existentials

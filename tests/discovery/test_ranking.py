@@ -1,0 +1,56 @@
+"""Unit tests for candidate ranking."""
+
+from repro.discovery import CandidateScore, origin_rank
+
+
+class TestCandidateScore:
+    def make(self, **overrides):
+        defaults = dict(
+            covered=2,
+            reversals=1,
+            tree_size=4,
+            preselected=1,
+            origin_rank=1,
+            anchor_rank=0,
+        )
+        defaults.update(overrides)
+        return CandidateScore(**defaults)
+
+    def test_coverage_dominates(self):
+        more = self.make(covered=3, reversals=5, tree_size=10)
+        fewer = self.make(covered=2, reversals=0, tree_size=1)
+        assert more.sort_key() < fewer.sort_key()
+
+    def test_reversals_break_coverage_ties(self):
+        lossless = self.make(reversals=0)
+        lossy = self.make(reversals=3)
+        assert lossless.sort_key() < lossy.sort_key()
+
+    def test_anchor_agreement_preferred(self):
+        agreeing = self.make(anchor_rank=0)
+        mismatched = self.make(anchor_rank=1)
+        assert agreeing.sort_key() < mismatched.sort_key()
+
+    def test_preselected_edges_preferred(self):
+        rich = self.make(preselected=3)
+        poor = self.make(preselected=0)
+        assert rich.sort_key() < poor.sort_key()
+
+    def test_compact_trees_preferred(self):
+        small = self.make(tree_size=3)
+        large = self.make(tree_size=9)
+        assert small.sort_key() < large.sort_key()
+
+
+class TestOriginRank:
+    def test_table_beats_constructed(self):
+        assert origin_rank("table:person") < origin_rank("constructed")
+
+    def test_a1_beats_a2(self):
+        assert origin_rank("A.1") < origin_rank("A.2")
+
+    def test_lossy_last_of_known(self):
+        assert origin_rank("lossy") > origin_rank("constructed")
+
+    def test_unknown_origin_ranks_after_everything(self):
+        assert origin_rank("???") > origin_rank("lossy")

@@ -1,0 +1,98 @@
+"""Unit tests for CSG → query translation."""
+
+import pytest
+
+from repro.datasets.paper_examples import bookstore_example, employee_example
+from repro.discovery import (
+    csg_from_table,
+    csg_to_cm_query,
+    correspondence_variable,
+    find_target_csgs,
+    translate_csg,
+)
+from repro.exceptions import DiscoveryError
+from repro.queries.conjunctive import Variable
+
+
+def lifted(scenario):
+    return scenario.correspondences.lift(scenario.source, scenario.target)
+
+
+class TestCorrespondenceVariable:
+    def test_one_indexed(self):
+        assert correspondence_variable(0) == "v1"
+        assert correspondence_variable(9) == "v10"
+
+
+class TestCsgToCmQuery:
+    def test_bookstore_target_encoding(self):
+        scenario = bookstore_example()
+        items = lifted(scenario)
+        csg = find_target_csgs(scenario.target, items)[0]
+        query = csg_to_cm_query(csg, items, "target", scenario.target)
+        rendered = {str(a) for a in query.body}
+        assert "O:hasBookSoldAt(v1, v2)" in rendered
+        assert query.head_terms == (Variable("v1"), Variable("v2"))
+
+    def test_shared_attribute_shares_variable(self):
+        scenario = employee_example()
+        items = lifted(scenario)
+        csg = find_target_csgs(scenario.target, items)[0]
+        query = csg_to_cm_query(csg, items, "target", scenario.target)
+        # programmer.name and engineer.name both map to Employee.name:
+        # positions 0 and 2 of the head share v1.
+        assert query.head_terms[0] == query.head_terms[2]
+
+    def test_uncovered_class_rejected(self):
+        scenario = bookstore_example()
+        items = lifted(scenario)
+        source_csg = csg_from_table(
+            scenario.source, "person", items[:1], "source"
+        )
+        with pytest.raises(DiscoveryError):
+            csg_to_cm_query(source_csg, items, "source", scenario.source)
+
+    def test_bad_side_rejected(self):
+        scenario = bookstore_example()
+        items = lifted(scenario)
+        csg = find_target_csgs(scenario.target, items)[0]
+        with pytest.raises(DiscoveryError):
+            csg_to_cm_query(csg, items, "sideways", scenario.target)
+
+
+class TestTranslateCsg:
+    def test_required_tables_enforced(self):
+        scenario = bookstore_example()
+        items = lifted(scenario)
+        csg = find_target_csgs(scenario.target, items)[0]
+        queries = translate_csg(csg, items, "target", scenario.target)
+        assert len(queries) == 1
+        assert {a.bare_predicate for a in queries[0].body} == {
+            "hasbooksoldat"
+        }
+
+    def test_without_required_tables_more_general(self):
+        scenario = bookstore_example()
+        items = lifted(scenario)
+        csg = find_target_csgs(scenario.target, items)[0]
+        queries = translate_csg(
+            csg,
+            items,
+            "target",
+            scenario.target,
+            require_correspondence_tables=False,
+        )
+        assert queries  # the same maximal rewriting survives
+
+    def test_single_correspondence_gives_existential_target(self):
+        scenario = bookstore_example()
+        items = lifted(scenario)[:1]  # only person.pname ↔ aname
+        csg = csg_from_table(
+            scenario.target, "hasbooksoldat", items, "target"
+        )
+        (query,) = translate_csg(csg, items, "target", scenario.target)
+        # M3's shape: hasbooksoldat(v1, x) with x existential.
+        atom = query.body[0]
+        assert atom.bare_predicate == "hasbooksoldat"
+        assert atom.terms[0] == Variable("v1")
+        assert query.existential_variables()

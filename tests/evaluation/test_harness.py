@@ -1,0 +1,99 @@
+"""Integration tests: the harness reproduces the paper's result shapes.
+
+These run both methods over the reconstructed datasets, so they are the
+slowest tests in the suite — but they ARE the reproduction: semantic
+recall 1.0 everywhere, semantic precision ≥ RIC everywhere.
+"""
+
+import pytest
+
+from repro.datasets.registry import dataset_names, load_dataset
+from repro.evaluation import (
+    RIC,
+    SEMANTIC,
+    render_case_details,
+    render_figure6,
+    render_figure7,
+    render_table1,
+    run_case,
+    run_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def all_results():
+    return {name: run_dataset(load_dataset(name)) for name in dataset_names()}
+
+
+class TestPaperShapes:
+    def test_semantic_recall_is_perfect_everywhere(self, all_results):
+        """Figure 7's headline: the semantic approach 'did not miss any
+        correct mappings' — average recall 1.0 on every domain."""
+        for name, result in all_results.items():
+            assert result.average_recall(SEMANTIC) == 1.0, name
+
+    def test_semantic_recall_dominates_ric(self, all_results):
+        for name, result in all_results.items():
+            assert result.average_recall(SEMANTIC) >= result.average_recall(
+                RIC
+            ), name
+
+    def test_semantic_precision_dominates_ric(self, all_results):
+        """Figure 6's headline: significantly improved precision."""
+        for name, result in all_results.items():
+            assert (
+                result.average_precision(SEMANTIC)
+                > result.average_precision(RIC)
+            ), name
+
+    def test_ric_misses_composition_cases(self, all_results):
+        """The RIC technique must fail somewhere (the paper's motivation),
+        but not everywhere (it is a credible baseline)."""
+        recalls = [r.average_recall(RIC) for r in all_results.values()]
+        assert any(recall < 1.0 for recall in recalls)
+        assert all(recall > 0.0 for recall in recalls)
+
+    def test_generation_time_insignificant(self, all_results):
+        """Per-domain semantic generation stays in interactive range."""
+        for name, result in all_results.items():
+            assert result.total_time(SEMANTIC) < 30.0, name
+
+
+class TestHarnessMechanics:
+    def test_run_case_semantic_and_ric(self):
+        pair = load_dataset("Hotel")
+        semantic = run_case(pair, pair.cases[0], SEMANTIC)
+        ric = run_case(pair, pair.cases[0], RIC)
+        assert semantic.method == SEMANTIC
+        assert ric.method == RIC
+        assert semantic.measures.recall == 1.0
+
+    def test_unknown_method_rejected(self):
+        pair = load_dataset("Hotel")
+        with pytest.raises(ValueError):
+            run_case(pair, pair.cases[0], "magic")
+
+    def test_dataset_result_accessors(self, all_results):
+        hotel = all_results["Hotel"]
+        assert len(hotel.results_for(SEMANTIC)) == 5
+        assert len(hotel.results_for(RIC)) == 5
+        assert hotel.total_time(SEMANTIC) > 0
+
+
+class TestReports:
+    def test_table1_mentions_all_schemas(self, all_results):
+        text = render_table1(list(all_results.values()))
+        for label in ["DBLP1", "Mondial2", "UTCS", "HotelB", "NetworkA"]:
+            assert label in text
+
+    def test_figures_render_bars(self, all_results):
+        results = list(all_results.values())
+        fig6 = render_figure6(results)
+        fig7 = render_figure7(results)
+        assert "Average Precision" in fig6
+        assert "Average Recall" in fig7
+        assert "█" in fig6 and "OVERALL" in fig6
+
+    def test_case_details(self, all_results):
+        text = render_case_details(list(all_results.values()))
+        assert "hotel-guest-rate" in text

@@ -1,0 +1,96 @@
+"""Unit tests for precision/recall measures and constraint closure."""
+
+import pytest
+
+from repro.correspondences import Correspondence
+from repro.evaluation.measures import (
+    average,
+    constraint_closure,
+    intersection_size,
+    precision_recall,
+)
+from repro.mappings import MappingCandidate
+from repro.queries.homomorphism import are_equivalent
+from repro.queries.parser import parse_query
+from repro.relational import ReferentialConstraint, RelationalSchema, Table
+
+
+def candidate(source_text, target_text, covered=("a.x <-> t.u",)):
+    return MappingCandidate(
+        parse_query(source_text),
+        parse_query(target_text),
+        tuple(Correspondence.parse(c) for c in covered),
+    )
+
+
+class TestPrecisionRecall:
+    def test_perfect_match(self):
+        gold = candidate("ans(x) :- a(x)", "ans(x) :- t(x)")
+        result = precision_recall([gold], [gold])
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+
+    def test_extra_candidates_hurt_precision(self):
+        gold = candidate("ans(x) :- a(x)", "ans(x) :- t(x)")
+        noise = candidate("ans(x) :- b(x)", "ans(x) :- t(x)")
+        result = precision_recall([gold, noise], [gold])
+        assert result.precision == 0.5
+        assert result.recall == 1.0
+
+    def test_missing_gold_hurts_recall(self):
+        gold1 = candidate("ans(x) :- a(x)", "ans(x) :- t(x)")
+        gold2 = candidate("ans(x) :- b(x)", "ans(x) :- t(x)")
+        result = precision_recall([gold1], [gold1, gold2])
+        assert result.recall == 0.5
+
+    def test_empty_generated_scores_zero(self):
+        gold = candidate("ans(x) :- a(x)", "ans(x) :- t(x)")
+        result = precision_recall([], [gold])
+        assert result.precision == 0.0
+        assert result.recall == 0.0
+
+    def test_each_gold_matches_once(self):
+        gold = candidate("ans(x) :- a(x)", "ans(x) :- t(x)")
+        result = precision_recall([gold], [gold, gold])
+        assert result.matched == 1
+
+    def test_str(self):
+        gold = candidate("ans(x) :- a(x)", "ans(x) :- t(x)")
+        text = str(precision_recall([gold], [gold]))
+        assert "P=1.00" in text and "R=1.00" in text
+
+
+class TestConstraintClosure:
+    @pytest.fixture
+    def schema(self):
+        schema = RelationalSchema("s")
+        schema.add_table(Table("writes", ["pname", "bid"], ["pname", "bid"]))
+        schema.add_table(Table("book", ["bid"], ["bid"]))
+        schema.add_ric(ReferentialConstraint.parse("writes.bid -> book.bid"))
+        return schema
+
+    def test_chase_adds_implied_atoms(self, schema):
+        query = parse_query("ans(x) :- writes(x, y)")
+        closed = constraint_closure(query, schema)
+        assert {a.bare_predicate for a in closed.body} == {"writes", "book"}
+
+    def test_ric_implied_join_considered_equal(self, schema):
+        lean = candidate("ans(x) :- writes(x, y)", "ans(x) :- t(x)")
+        fat = candidate("ans(x) :- writes(x, y), book(y)", "ans(x) :- t(x)")
+        assert intersection_size([lean], [fat], schema, None) == 1
+        # Without the schema they differ.
+        assert intersection_size([lean], [fat]) == 0
+
+    def test_closure_without_schema_is_boolean_body(self):
+        query = parse_query("ans(x) :- r(x, y)")
+        closed = constraint_closure(query, None)
+        assert closed.head_terms == ()
+        assert are_equivalent(closed, parse_query("ans() :- r(x, y)"))
+
+
+class TestAverage:
+    def test_plain(self):
+        assert average([1.0, 0.0]) == 0.5
+
+    def test_empty(self):
+        assert average([]) == 0.0

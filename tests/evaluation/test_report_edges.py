@@ -1,0 +1,32 @@
+"""Edge-case tests for the report renderers."""
+
+from repro.evaluation.report import (
+    _bar,
+    render_case_details,
+    render_figure6,
+    render_figure7,
+    render_table1,
+)
+
+
+class TestBar:
+    def test_full_and_empty(self):
+        assert "·" not in _bar(1.0)
+        assert "█" not in _bar(0.0)
+
+    def test_half(self):
+        bar = _bar(0.5)
+        assert bar.count("█") == len(bar) - bar.count("·")
+
+
+class TestEmptyResults:
+    def test_table1_renders_header_only(self):
+        text = render_table1([])
+        assert text.startswith("Table 1.")
+
+    def test_figures_render_overall_zero(self):
+        assert "OVERALL" in render_figure6([])
+        assert "OVERALL" in render_figure7([])
+
+    def test_case_details_header_only(self):
+        assert render_case_details([]) == "Per-case results:"

@@ -1,0 +1,102 @@
+"""Unit tests for target-coverage analysis."""
+
+import pytest
+
+from repro.datasets.registry import load_dataset
+from repro.discovery import discover_mappings
+from repro.mappings.coverage import (
+    ColumnStatus,
+    coverage_summary,
+    target_coverage,
+)
+from repro.mappings.tgd import SourceToTargetTGD
+from repro.queries.parser import parse_query
+from repro.relational import RelationalSchema, Table
+
+
+@pytest.fixture
+def target_schema():
+    return RelationalSchema(
+        "t",
+        [
+            Table("u", ["x", "y"], ["x"]),
+            Table("untended", ["z"], ["z"]),
+        ],
+    )
+
+
+class TestTargetCoverage:
+    def test_exported_skolem_and_untouched(self, target_schema):
+        tgd = SourceToTargetTGD(
+            parse_query("ans(a) :- r(a)"),
+            parse_query("ans(a) :- u(a, invented)"),
+            "m1",
+        )
+        coverage = {
+            (c.table, c.column): c
+            for c in target_coverage([tgd], target_schema)
+        }
+        assert coverage[("u", "x")].status is ColumnStatus.EXPORTED
+        assert coverage[("u", "x")].writers == ("m1",)
+        assert coverage[("u", "y")].status is ColumnStatus.SKOLEM_ONLY
+        assert coverage[("untended", "z")].status is ColumnStatus.UNTOUCHED
+
+    def test_exported_wins_over_skolem(self, target_schema):
+        skolemizing = SourceToTargetTGD(
+            parse_query("ans(a) :- r(a)"),
+            parse_query("ans(a) :- u(a, invented)"),
+            "m1",
+        )
+        exporting = SourceToTargetTGD(
+            parse_query("ans(a, b) :- s(a, b)"),
+            parse_query("ans(a, b) :- u(a, b)"),
+            "m2",
+        )
+        coverage = {
+            (c.table, c.column): c
+            for c in target_coverage([skolemizing, exporting], target_schema)
+        }
+        assert coverage[("u", "y")].status is ColumnStatus.EXPORTED
+        assert coverage[("u", "y")].writers == ("m2",)
+
+    def test_summary_counts(self, target_schema):
+        tgd = SourceToTargetTGD(
+            parse_query("ans(a) :- r(a)"),
+            parse_query("ans(a) :- u(a, invented)"),
+            "m1",
+        )
+        summary = coverage_summary(target_coverage([tgd], target_schema))
+        assert summary[ColumnStatus.EXPORTED] == 1
+        assert summary[ColumnStatus.SKOLEM_ONLY] == 1
+        assert summary[ColumnStatus.UNTOUCHED] == 1
+
+    def test_rendering(self, target_schema):
+        tgd = SourceToTargetTGD(
+            parse_query("ans(a) :- r(a)"),
+            parse_query("ans(a) :- u(a, invented)"),
+            "m1",
+        )
+        (first, *_) = target_coverage([tgd], target_schema)
+        assert "u.x: exported (m1)" == str(first)
+
+
+class TestOnDatasets:
+    def test_hotel_full_pipeline_coverage(self):
+        """The discovered Hotel mapping set exports every corresponded
+        target column and leaves keys to Skolems."""
+        pair = load_dataset("Hotel")
+        tgds = []
+        for mapping_case in pair.cases:
+            result = discover_mappings(
+                pair.source, pair.target, mapping_case.correspondences
+            )
+            tgds.append(result.best().to_tgd(mapping_case.case_id))
+        coverage = {
+            (c.table, c.column): c.status
+            for c in target_coverage(tgds, pair.target.schema)
+        }
+        assert coverage[("property", "pname")] is ColumnStatus.EXPORTED
+        assert coverage[("customer", "cname")] is ColumnStatus.EXPORTED
+        assert coverage[("tariff", "amount")] is ColumnStatus.EXPORTED
+        # Target surrogate keys are never exported (ssn/eid-style).
+        assert coverage[("property", "pid")] is ColumnStatus.SKOLEM_ONLY

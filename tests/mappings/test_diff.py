@@ -1,0 +1,57 @@
+"""Unit tests for mapping-set diffing."""
+
+from repro.correspondences import Correspondence
+from repro.datasets.paper_examples import partof_example
+from repro.discovery import discover_mappings
+from repro.mappings import MappingCandidate
+from repro.mappings.diff import diff_candidates
+from repro.queries.parser import parse_query
+
+
+def candidate(source_text, covered=("a.x <-> t.u",)):
+    return MappingCandidate(
+        parse_query(source_text),
+        parse_query("ans(x) :- t(x)"),
+        tuple(Correspondence.parse(c) for c in covered),
+    )
+
+
+class TestDiff:
+    def test_identical_sets_are_empty_diff(self):
+        first = [candidate("ans(x) :- a(x)")]
+        second = [candidate("ans(y) :- a(y)")]  # renamed copy
+        diff = diff_candidates(first, second)
+        assert diff.is_empty
+        assert len(diff.unchanged) == 1
+
+    def test_added_and_removed(self):
+        old = [candidate("ans(x) :- a(x)")]
+        new = [candidate("ans(x) :- b(x)")]
+        diff = diff_candidates(old, new)
+        assert len(diff.added) == 1
+        assert len(diff.removed) == 1
+        assert "+ " in diff.render() and "- " in diff.render()
+
+    def test_duplicates_matched_one_to_one(self):
+        one = candidate("ans(x) :- a(x)")
+        diff = diff_candidates([one, one], [one])
+        assert len(diff.unchanged) == 1
+        assert len(diff.removed) == 1
+
+    def test_schema_evolution_scenario(self):
+        """Toggling the partOf flag changes the candidate set: the diff
+        reports exactly the deanOf candidate appearing."""
+        strict = partof_example(target_is_partof=True)
+        loose = partof_example(target_is_partof=False)
+        old = discover_mappings(
+            strict.source, strict.target, strict.correspondences
+        ).candidates
+        new = discover_mappings(
+            loose.source, loose.target, loose.correspondences
+        ).candidates
+        diff = diff_candidates(old, new)
+        assert len(diff.unchanged) == 1
+        assert len(diff.added) == 1
+        assert "deanof" in str(diff.added[0])
+        assert diff.removed == ()
+        assert "1 added" in diff.summary()

@@ -1,0 +1,90 @@
+"""Property-based tests: exchange always produces a satisfying solution."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mappings import exchange
+from repro.mappings.tgd import SourceToTargetTGD
+from repro.mappings.verify import verify_mappings
+from repro.queries.parser import parse_query
+from repro.relational import Instance, RelationalSchema, Table
+
+
+def source_schema() -> RelationalSchema:
+    schema = RelationalSchema("s")
+    schema.add_table(Table("r", ["a", "b"]))
+    schema.add_table(Table("s", ["b", "c"]))
+    return schema
+
+
+def target_schema() -> RelationalSchema:
+    schema = RelationalSchema("t")
+    schema.add_table(Table("u", ["x", "y"]))
+    schema.add_table(Table("w", ["x", "y", "z"]))
+    return schema
+
+
+TGDS = [
+    SourceToTargetTGD(
+        parse_query("ans(a, b) :- r(a, b)"),
+        parse_query("ans(a, b) :- u(a, b)"),
+        "copy",
+    ),
+    SourceToTargetTGD(
+        parse_query("ans(a, c) :- r(a, b), s(b, c)"),
+        parse_query("ans(a, c) :- u(a, c)"),
+        "join",
+    ),
+    SourceToTargetTGD(
+        parse_query("ans(a) :- r(a, b)"),
+        parse_query("ans(a) :- w(a, fresh, also)"),
+        "skolemizing",
+    ),
+    SourceToTargetTGD(
+        parse_query("ans(a, c) :- r(a, b), s(b, c)"),
+        parse_query("ans(a, c) :- u(a, mid), w(mid, c, pad)"),
+        "shared-existential",
+    ),
+]
+
+values = st.sampled_from(["p", "q", "r", "1", "2"])
+rows2 = st.lists(st.tuples(values, values), max_size=8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(r_rows=rows2, s_rows=rows2, picks=st.lists(st.integers(0, 3), min_size=1, max_size=4))
+def test_exchange_result_satisfies_all_tgds(r_rows, s_rows, picks):
+    source = Instance(source_schema())
+    source.add_all("r", r_rows)
+    source.add_all("s", s_rows)
+    tgds = [TGDS[i] for i in sorted(set(picks))]
+    target = exchange(tgds, source, target_schema())
+    report = verify_mappings(tgds, source, target)
+    assert report.ok, str(report)
+
+
+@settings(max_examples=40, deadline=None)
+@given(r_rows=rows2)
+def test_exchange_is_monotone(r_rows):
+    """More source rows never produce fewer target rows."""
+    schema = source_schema()
+    small = Instance(schema)
+    small.add_all("r", r_rows[: len(r_rows) // 2])
+    large = Instance(schema)
+    large.add_all("r", r_rows)
+    tgd = TGDS[0]
+    target_small = exchange([tgd], small, target_schema())
+    target_large = exchange([tgd], large, target_schema())
+    assert set(target_small.rows("u")) <= set(target_large.rows("u"))
+
+
+@settings(max_examples=40, deadline=None)
+@given(r_rows=rows2, s_rows=rows2)
+def test_exchange_idempotent_on_rerun(r_rows, s_rows):
+    source = Instance(source_schema())
+    source.add_all("r", r_rows)
+    source.add_all("s", s_rows)
+    first = exchange(TGDS, source, target_schema())
+    second = exchange(TGDS, source, target_schema())
+    for table in ("u", "w"):
+        assert first.rows(table) == second.rows(table)

@@ -1,0 +1,132 @@
+"""Unit tests for mapping candidates, dedup, trimming, and algebra."""
+
+import pytest
+
+from repro.correspondences import Correspondence
+from repro.mappings import (
+    MappingCandidate,
+    deduplicate_candidates,
+    query_to_algebra,
+    trim_redundant_joins,
+)
+from repro.queries.datalog import evaluate_query
+from repro.queries.parser import parse_query
+from repro.relational import Instance, RelationalSchema, Table
+
+
+def corr(text):
+    return Correspondence.parse(text)
+
+
+def candidate(source_text, target_text, covered):
+    return MappingCandidate(
+        parse_query(source_text),
+        parse_query(target_text),
+        tuple(corr(c) for c in covered),
+    )
+
+
+CORRS = ["a.x <-> t.u", "b.y <-> t.w"]
+
+
+class TestSameMapping:
+    def test_renamed_copies_equal(self):
+        first = candidate("ans(x, y) :- a(x), b(y)", "ans(x, y) :- t(x, y)", CORRS)
+        second = candidate(
+            "ans(p, q) :- a(p), b(q)", "ans(p, q) :- t(p, q)", CORRS
+        )
+        assert first.same_mapping_as(second)
+
+    def test_different_tables_differ(self):
+        first = candidate("ans(x, y) :- a(x), b(y)", "ans(x, y) :- t(x, y)", CORRS)
+        second = candidate(
+            "ans(x, y) :- a(x), c(y)", "ans(x, y) :- t(x, y)", CORRS
+        )
+        assert not first.same_mapping_as(second)
+
+    def test_different_coverage_differs(self):
+        first = candidate("ans(x, y) :- a(x), b(y)", "ans(x, y) :- t(x, y)", CORRS)
+        second = candidate(
+            "ans(x, y) :- a(x), b(y)", "ans(x, y) :- t(x, y)", CORRS[:1]
+        )
+        assert not first.same_mapping_as(second)
+
+    def test_join_structure_matters(self):
+        joined = candidate(
+            "ans(x, y) :- a(x, z), b(z, y)", "ans(x, y) :- t(x, y)", CORRS
+        )
+        cross = candidate(
+            "ans(x, y) :- a(x, z), b(w, y)", "ans(x, y) :- t(x, y)", CORRS
+        )
+        assert not joined.same_mapping_as(cross)
+
+
+class TestDeduplicate:
+    def test_keeps_first_of_equals(self):
+        first = candidate("ans(x, y) :- a(x), b(y)", "ans(x, y) :- t(x, y)", CORRS)
+        second = candidate(
+            "ans(p, q) :- a(p), b(q)", "ans(p, q) :- t(p, q)", CORRS
+        )
+        assert deduplicate_candidates([first, second]) == [first]
+
+    def test_distinct_all_kept(self):
+        first = candidate("ans(x, y) :- a(x), b(y)", "ans(x, y) :- t(x, y)", CORRS)
+        second = candidate(
+            "ans(x, y) :- a(x), c(y)", "ans(x, y) :- t(x, y)", CORRS
+        )
+        assert len(deduplicate_candidates([first, second])) == 2
+
+
+class TestTrimRedundantJoins:
+    def test_superset_join_dropped(self):
+        lean = candidate("ans(x, y) :- a(x), b(y)", "ans(x, y) :- t(x, y)", CORRS)
+        fat = candidate(
+            "ans(x, y) :- a(x), b(y), extra(x)", "ans(x, y) :- t(x, y)", CORRS
+        )
+        assert trim_redundant_joins([fat, lean]) == [lean]
+
+    def test_different_coverage_not_compared(self):
+        lean = candidate(
+            "ans(x) :- a(x)", "ans(x) :- t(x, w)", CORRS[:1]
+        )
+        fat = candidate(
+            "ans(x, y) :- a(x), b(y), extra(x)", "ans(x, y) :- t(x, y)", CORRS
+        )
+        assert len(trim_redundant_joins([fat, lean])) == 2
+
+    def test_incomparable_table_sets_kept(self):
+        first = candidate("ans(x, y) :- a(x), b(y)", "ans(x, y) :- t(x, y)", CORRS)
+        second = candidate(
+            "ans(x, y) :- a2(x), b(y)", "ans(x, y) :- t(x, y)", CORRS
+        )
+        assert len(trim_redundant_joins([first, second])) == 2
+
+
+class TestQueryToAlgebra:
+    @pytest.fixture
+    def instance(self):
+        schema = RelationalSchema("s")
+        schema.add_table(Table("writes", ["pname", "bid"]))
+        schema.add_table(Table("soldat", ["bid", "sid"]))
+        inst = Instance(schema)
+        inst.add_all("writes", [("ann", "b1"), ("bob", "b2")])
+        inst.add_all("soldat", [("b1", "s1"), ("b2", "s2"), ("b1", "s3")])
+        return inst
+
+    def test_algebra_matches_datalog(self, instance):
+        query = parse_query("ans(v1, v2) :- writes(v1, y), soldat(y, v2)")
+        algebra = query_to_algebra(query, instance.schema)
+        assert (
+            algebra.evaluate(instance).rows == evaluate_query(query, instance)
+        )
+
+    def test_rendering_mentions_joins(self, instance):
+        query = parse_query("ans(v1, v2) :- writes(v1, y), soldat(y, v2)")
+        text = query_to_algebra(query, instance.schema).render()
+        assert "⋈" in text and "π" in text
+
+    def test_empty_query_rejected(self, instance):
+        from repro.queries.conjunctive import ConjunctiveQuery
+
+        with pytest.raises(ValueError):
+            query_to_algebra(ConjunctiveQuery([], []), instance.schema)

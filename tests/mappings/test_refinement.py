@@ -1,0 +1,127 @@
+"""Unit tests for outer-join refinement (the paper's Section 6 hints)."""
+
+import pytest
+
+from repro.datasets.paper_examples import employee_example, project_example
+from repro.discovery import discover_mappings
+from repro.mappings import outer_join_algebra
+from repro.mappings.refinement import optional_classes, optional_tables
+from repro.queries.parser import parse_query
+from repro.relational import Instance, LabeledNull, RelationalSchema, Table
+
+
+@pytest.fixture(scope="module")
+def employee_candidate():
+    scenario = employee_example()
+    result = discover_mappings(
+        scenario.source, scenario.target, scenario.correspondences
+    )
+    return scenario, result.best()
+
+
+class TestOptionalHints:
+    def test_isa_down_edges_are_optional(self, employee_candidate):
+        _, candidate = employee_candidate
+        assert candidate.source_optional_tables == {"engineer", "programmer"}
+
+    def test_mandatory_chain_has_no_hints(self):
+        scenario = project_example()
+        result = discover_mappings(
+            scenario.source, scenario.target, scenario.correspondences
+        )
+        # controlledBy and hasManager are total (1..1): nothing optional.
+        assert result.best().source_optional_tables == frozenset()
+
+    def test_optional_classes_cover_subtrees(self):
+        from repro.cm import CMGraph, ConceptualModel
+        from repro.discovery.csg import CSG
+        from repro.semantics.stree import (
+            STreeEdge,
+            STreeNode,
+            SemanticTree,
+        )
+
+        cm = ConceptualModel("m")
+        for name in ["A", "B", "C"]:
+            cm.add_class(name, attributes=[name.lower()], key=[name.lower()])
+        cm.add_relationship("maybe", "A", "B", "0..1", "0..*")
+        cm.add_relationship("always", "B", "C", "1..1", "0..*")
+        graph = CMGraph(cm)
+        a, b, c = STreeNode("A"), STreeNode("B"), STreeNode("C")
+        tree = SemanticTree(
+            a,
+            [
+                STreeEdge(a, b, graph.edge("A", "maybe")),
+                STreeEdge(b, c, graph.edge("B", "always")),
+            ],
+        )
+        csg = CSG(tree, (("A", a), ("C", c)), "test")
+        # B is optional (min 0) and drags its whole subtree (C) along.
+        assert optional_classes(csg) == {"B", "C"}
+
+
+class TestOuterJoinAlgebra:
+    @pytest.fixture
+    def employee_instance(self, employee_candidate):
+        scenario, _ = employee_candidate
+        instance = Instance(scenario.source.schema)
+        instance.add_all("employee", [("1", "ann"), ("2", "bob"), ("3", "cal")])
+        instance.add_all("engineer", [("1", "ann", "siteA"), ("2", "bob", "siteB")])
+        instance.add_all(
+            "programmer", [("1", "ann", "acct1"), ("3", "cal", "acct3")]
+        )
+        return instance
+
+    def test_full_outer_join_keeps_both_sides(
+        self, employee_candidate, employee_instance
+    ):
+        scenario, candidate = employee_candidate
+        plan = outer_join_algebra(
+            candidate.source_query,
+            scenario.source.schema,
+            candidate.source_optional_tables,
+        )
+        rows = plan.evaluate(employee_instance).sorted_rows()
+        # Three people survive: ann (both), bob (engineer only),
+        # cal (programmer only).
+        assert len(rows) == 3
+        assert any(isinstance(v, LabeledNull) for row in rows for v in row)
+
+    def test_inner_join_drops_singletons(
+        self, employee_candidate, employee_instance
+    ):
+        from repro.mappings import query_to_algebra
+
+        scenario, candidate = employee_candidate
+        plan = query_to_algebra(
+            candidate.source_query, scenario.source.schema
+        )
+        rows = plan.evaluate(employee_instance).sorted_rows()
+        assert len(rows) == 1  # only ann is both
+
+    def test_mixed_mandatory_and_optional(self):
+        schema = RelationalSchema(
+            "s",
+            [
+                Table("base", ["k", "v"], ["k"]),
+                Table("extra", ["k", "w"], ["k"]),
+            ],
+        )
+        instance = Instance(schema)
+        instance.add_all("base", [("1", "a"), ("2", "b")])
+        instance.add_all("extra", [("1", "x")])
+        query = parse_query("ans(v, w) :- base(k, v), extra(k, w)")
+        plan = outer_join_algebra(query, schema, {"extra"})
+        rows = plan.evaluate(instance).sorted_rows()
+        assert len(rows) == 2
+        padded = [row for row in rows if isinstance(row[1], LabeledNull)]
+        assert len(padded) == 1
+
+    def test_render_shows_outer_operators(self, employee_candidate):
+        scenario, candidate = employee_candidate
+        plan = outer_join_algebra(
+            candidate.source_query,
+            scenario.source.schema,
+            candidate.source_optional_tables,
+        )
+        assert "⟗" in plan.render()

@@ -1,0 +1,167 @@
+"""Unit tests for containment, equivalence, minimization, and pruning."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queries import (
+    ConjunctiveQuery,
+    Constant,
+    Variable,
+    are_equivalent,
+    containment_mapping,
+    db_atom,
+    is_contained_in,
+    keep_maximal,
+    minimize,
+)
+
+x, y, z, u, v = (Variable(n) for n in "xyzuv")
+
+
+def q(head, *atoms):
+    return ConjunctiveQuery(head, atoms)
+
+
+class TestContainment:
+    def test_extra_atoms_mean_contained(self):
+        specific = q([x], db_atom("r", x, y), db_atom("s", y))
+        general = q([x], db_atom("r", x, y))
+        assert is_contained_in(specific, general)
+        assert not is_contained_in(general, specific)
+
+    def test_renamed_copies_equivalent(self):
+        q1 = q([x], db_atom("r", x, y))
+        q2 = q([u], db_atom("r", u, v))
+        assert are_equivalent(q1, q2)
+
+    def test_head_must_map(self):
+        q1 = q([x], db_atom("r", x, y))
+        q2 = q([y], db_atom("r", x, y))
+        assert not are_equivalent(q1, q2)
+
+    def test_constants_must_match(self):
+        with_const = q([x], db_atom("r", x, Constant(1)))
+        without = q([x], db_atom("r", x, y))
+        assert is_contained_in(with_const, without)
+        assert not is_contained_in(without, with_const)
+
+    def test_self_join_containment(self):
+        # Classic: r(x,y),r(y,z) maps into r(x,x) by collapsing variables.
+        path = q([x], db_atom("r", x, y), db_atom("r", y, z))
+        loop = q([x], db_atom("r", x, x))
+        assert is_contained_in(loop, path)
+        assert not is_contained_in(path, loop)
+
+    def test_containment_mapping_returned(self):
+        outer = q([x], db_atom("r", x, y))
+        inner = q([u], db_atom("r", u, v), db_atom("s", v))
+        mapping = containment_mapping(outer, inner)
+        assert mapping[x] == u
+
+    def test_different_head_arity_not_contained(self):
+        q1 = q([x], db_atom("r", x, y))
+        q2 = q([x, y], db_atom("r", x, y))
+        assert containment_mapping(q1, q2) is None
+
+
+class TestMinimize:
+    def test_redundant_atom_removed(self):
+        query = q([x], db_atom("r", x, y), db_atom("r", x, z))
+        minimal = minimize(query)
+        assert len(minimal.body) == 1
+        assert are_equivalent(minimal, query)
+
+    def test_non_redundant_preserved(self):
+        query = q([x], db_atom("r", x, y), db_atom("s", y))
+        assert minimize(query) == query
+
+    def test_head_atoms_never_dropped_to_unsafety(self):
+        query = q([x, y], db_atom("r", x, y), db_atom("r", x, z))
+        minimal = minimize(query)
+        assert set(minimal.head_variables()) <= set(minimal.body_variables())
+        assert are_equivalent(minimal, query)
+
+
+class TestKeepMaximal:
+    def test_example_3_4_pruning(self):
+        """q'₂ ⊆ q'₃ so q'₂ is eliminated (paper's Example 3.4)."""
+        v1, v2, yy = Variable("v1"), Variable("v2"), Variable("y")
+        q2 = q(
+            [v1, v2],
+            db_atom("person", v1),
+            db_atom("writes", v1, yy),
+            db_atom("book", yy),
+            db_atom("soldAt", yy, v2),
+            db_atom("bookstore", v2),
+        )
+        q3 = q(
+            [v1, v2],
+            db_atom("person", v1),
+            db_atom("writes", v1, yy),
+            db_atom("soldAt", yy, v2),
+            db_atom("bookstore", v2),
+        )
+        survivors = keep_maximal([q2, q3])
+        assert survivors == [q3]
+
+    def test_incomparable_queries_both_kept(self):
+        q1 = q([x], db_atom("r", x, y))
+        q2 = q([x], db_atom("s", x, y))
+        assert len(keep_maximal([q1, q2])) == 2
+
+    def test_equivalent_queries_keep_first(self):
+        q1 = q([x], db_atom("r", x, y))
+        q2 = q([u], db_atom("r", u, v))
+        assert keep_maximal([q1, q2]) == [q1]
+
+    def test_empty_input(self):
+        assert keep_maximal([]) == []
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+predicates = st.sampled_from(["r", "s", "t"])
+variables = st.sampled_from([x, y, z, u, v])
+
+
+@st.composite
+def random_query(draw):
+    n_atoms = draw(st.integers(min_value=1, max_value=4))
+    atoms = [
+        db_atom(draw(predicates), draw(variables), draw(variables))
+        for _ in range(n_atoms)
+    ]
+    body_vars = sorted({vv for a in atoms for vv in a.variables()})
+    head = [body_vars[0]]
+    return ConjunctiveQuery(head, atoms)
+
+
+@settings(max_examples=60, deadline=None)
+@given(query=random_query())
+def test_containment_reflexive(query):
+    assert is_contained_in(query, query)
+
+
+@settings(max_examples=60, deadline=None)
+@given(query=random_query())
+def test_minimize_is_equivalent_and_no_larger(query):
+    minimal = minimize(query)
+    assert are_equivalent(minimal, query)
+    assert len(minimal.body) <= len(query.body)
+
+
+@settings(max_examples=40, deadline=None)
+@given(q1=random_query(), q2=random_query(), q3=random_query())
+def test_containment_transitive(q1, q2, q3):
+    if is_contained_in(q1, q2) and is_contained_in(q2, q3):
+        assert is_contained_in(q1, q3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(queries=st.lists(random_query(), max_size=4))
+def test_keep_maximal_survivors_dominate(queries):
+    survivors = keep_maximal(queries)
+    for query in queries:
+        assert any(is_contained_in(query, survivor) for survivor in survivors)

@@ -1,0 +1,70 @@
+"""Unit tests for the conjunctive-query text parser."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.queries.conjunctive import CM_PREFIX, Constant, Variable
+from repro.queries.parser import parse_atom, parse_query
+
+
+class TestParseAtom:
+    def test_simple(self):
+        atom = parse_atom("writes(v1, y)")
+        assert atom.predicate == "T:writes"
+        assert atom.terms == (Variable("v1"), Variable("y"))
+
+    def test_explicit_namespace_preserved(self):
+        assert parse_atom("O:Person(x)").predicate == "O:Person"
+        assert parse_atom("T:person(x)").predicate == "T:person"
+
+    def test_default_namespace_override(self):
+        atom = parse_atom("Person(x)", default_namespace=CM_PREFIX)
+        assert atom.predicate == "O:Person"
+
+    def test_constants(self):
+        atom = parse_atom("r('ann', 3, 2.5)")
+        assert atom.terms == (Constant("ann"), Constant(3), Constant(2.5))
+
+    def test_nullary(self):
+        assert parse_atom("p()").arity == 0
+
+    def test_inverse_mark_in_predicate(self):
+        assert parse_atom("O:writes⁻(x, y)").predicate == "O:writes⁻"
+
+    def test_garbage_rejected(self):
+        with pytest.raises(QueryError):
+            parse_atom("nope")
+        with pytest.raises(QueryError):
+            parse_atom("p(a b)")
+
+
+class TestParseQuery:
+    def test_simple(self):
+        q = parse_query("ans(v1, v2) :- writes(v1, y), soldAt(y, v2)")
+        assert q.name == "ans"
+        assert len(q.body) == 2
+        assert q.head_terms == (Variable("v1"), Variable("v2"))
+
+    def test_name_override(self):
+        q = parse_query("ans(x) :- r(x)", name="q3")
+        assert q.name == "q3"
+
+    def test_boolean_query(self):
+        q = parse_query("ans() :- r(x)")
+        assert q.head_terms == ()
+
+    def test_constants_in_body(self):
+        q = parse_query("ans(x) :- r(x, 'fixed')")
+        assert Constant("fixed") in q.body[0].terms
+
+    def test_missing_separator_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("ans(x) r(x)")
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("ans(z) :- r(x)")
+
+    def test_round_trip_str(self):
+        q = parse_query("ans(x) :- r(x, y), s(y)")
+        assert str(q) == "ans(x) :- T:r(x, y), T:s(y)"

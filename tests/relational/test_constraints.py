@@ -1,0 +1,74 @@
+"""Unit tests for referential integrity constraints."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational import ReferentialConstraint
+
+
+class TestConstruction:
+    def test_single_column(self):
+        ric = ReferentialConstraint("writes", ["pname"], "person", ["pname"])
+        assert ric.column_pairs == (("pname", "pname"),)
+
+    def test_multi_column_pairs_positionally(self):
+        ric = ReferentialConstraint(
+            "enrol", ["sid", "cid"], "offering", ["student", "course"]
+        )
+        assert ric.column_pairs == (("sid", "student"), ("cid", "course"))
+
+    def test_requires_at_least_one_column(self):
+        with pytest.raises(SchemaError):
+            ReferentialConstraint("a", [], "b", [])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(SchemaError):
+            ReferentialConstraint("a", ["x"], "b", ["y", "z"])
+
+    def test_rejects_repeated_child_columns(self):
+        with pytest.raises(SchemaError):
+            ReferentialConstraint("a", ["x", "x"], "b", ["y", "z"])
+
+    def test_rejects_repeated_parent_columns(self):
+        with pytest.raises(SchemaError):
+            ReferentialConstraint("a", ["x", "y"], "b", ["z", "z"])
+
+    def test_frozen_and_hashable(self):
+        ric1 = ReferentialConstraint("a", ["x"], "b", ["y"])
+        ric2 = ReferentialConstraint("a", ["x"], "b", ["y"])
+        assert ric1 == ric2
+        assert {ric1, ric2} == {ric1}
+
+
+class TestParsing:
+    def test_parse_single(self):
+        ric = ReferentialConstraint.parse("writes.pname -> person.pname")
+        assert ric.child_table == "writes"
+        assert ric.parent_table == "person"
+
+    def test_parse_multi_column(self):
+        ric = ReferentialConstraint.parse(
+            "enrol.sid, enrol.cid -> offering.student, offering.course"
+        )
+        assert ric.child_columns == ("sid", "cid")
+        assert ric.parent_columns == ("student", "course")
+
+    def test_parse_round_trips_through_str(self):
+        text = "soldAt.bid -> book.bid"
+        assert str(ReferentialConstraint.parse(text)) == text
+
+    def test_parse_requires_arrow(self):
+        with pytest.raises(SchemaError):
+            ReferentialConstraint.parse("a.x b.y")
+
+    def test_parse_rejects_mixed_tables_on_one_side(self):
+        with pytest.raises(SchemaError):
+            ReferentialConstraint.parse("a.x, c.y -> b.u, b.v")
+
+    def test_parse_rejects_unqualified_column(self):
+        with pytest.raises(SchemaError):
+            ReferentialConstraint.parse("x -> b.y")
+
+    def test_parse_rejects_empty_side(self):
+        with pytest.raises(SchemaError):
+            ReferentialConstraint.parse(" -> b.y")

@@ -1,0 +1,152 @@
+"""Unit tests for in-memory relational instances."""
+
+import pytest
+
+from repro.exceptions import InstanceError
+from repro.relational import (
+    Instance,
+    LabeledNull,
+    ReferentialConstraint,
+    RelationalSchema,
+    Table,
+)
+
+
+@pytest.fixture
+def schema() -> RelationalSchema:
+    schema = RelationalSchema("s")
+    schema.add_table(Table("person", ["pname", "age"], ["pname"]))
+    schema.add_table(Table("writes", ["pname", "bid"], ["pname", "bid"]))
+    schema.add_ric(ReferentialConstraint.parse("writes.pname -> person.pname"))
+    return schema
+
+
+class TestLabeledNull:
+    def test_equality_by_label(self):
+        assert LabeledNull("x") == LabeledNull("x")
+        assert LabeledNull("x") != LabeledNull("y")
+
+    def test_not_equal_to_plain_values(self):
+        assert LabeledNull("x") != "x"
+
+    def test_hash_consistent_with_equality(self):
+        assert {LabeledNull("x"), LabeledNull("x")} == {LabeledNull("x")}
+
+    def test_sorts_after_concrete_values(self):
+        row = sorted(["zzz", LabeledNull("a")], key=lambda v: (isinstance(v, LabeledNull), str(v)))
+        assert row[0] == "zzz"
+
+
+class TestMutation:
+    def test_add_and_rows(self, schema):
+        inst = Instance(schema)
+        inst.add("person", ("ann", 30))
+        inst.add("person", ("bob", 40))
+        assert inst.rows("person") == (("ann", 30), ("bob", 40))
+
+    def test_duplicates_collapse(self, schema):
+        inst = Instance(schema)
+        inst.add("person", ("ann", 30))
+        inst.add("person", ("ann", 30))
+        assert inst.size("person") == 1
+
+    def test_arity_enforced(self, schema):
+        inst = Instance(schema)
+        with pytest.raises(InstanceError):
+            inst.add("person", ("ann",))
+
+    def test_add_all(self, schema):
+        inst = Instance(schema)
+        inst.add_all("person", [("ann", 30), ("bob", 40)])
+        assert inst.size("person") == 2
+
+    def test_add_named_fills_missing_with_nulls(self, schema):
+        inst = Instance(schema)
+        inst.add_named("person", pname="ann")
+        ((pname, age),) = inst.rows("person")
+        assert pname == "ann"
+        assert isinstance(age, LabeledNull)
+
+    def test_add_named_rejects_unknown_column(self, schema):
+        inst = Instance(schema)
+        with pytest.raises(InstanceError):
+            inst.add_named("person", ghost=1)
+
+    def test_fresh_nulls_are_distinct(self, schema):
+        inst = Instance(schema)
+        assert inst.fresh_null() != inst.fresh_null()
+
+
+class TestAccess:
+    def test_dicts(self, schema):
+        inst = Instance(schema)
+        inst.add("person", ("ann", 30))
+        assert inst.dicts("person") == ({"pname": "ann", "age": 30},)
+
+    def test_size_whole_instance(self, schema):
+        inst = Instance(schema)
+        inst.add("person", ("ann", 30))
+        inst.add("writes", ("ann", "b1"))
+        assert inst.size() == 2
+
+    def test_contains(self, schema):
+        inst = Instance(schema)
+        inst.add("person", ("ann", 30))
+        assert ("person", ("ann", 30)) in inst
+        assert ("person", ("bob", 1)) not in inst
+
+    def test_rows_of_unknown_table_raise(self, schema):
+        inst = Instance(schema)
+        with pytest.raises(Exception):
+            inst.rows("ghost")
+
+    def test_copy_is_independent(self, schema):
+        inst = Instance(schema)
+        inst.add("person", ("ann", 30))
+        clone = inst.copy()
+        clone.add("person", ("bob", 40))
+        assert inst.size("person") == 1
+        assert clone.size("person") == 2
+
+    def test_from_dict(self, schema):
+        inst = Instance.from_dict(schema, {"person": [("ann", 30)]})
+        assert inst.rows("person") == (("ann", 30),)
+
+
+class TestConstraintChecking:
+    def test_consistent_instance(self, schema):
+        inst = Instance.from_dict(
+            schema,
+            {"person": [("ann", 30)], "writes": [("ann", "b1")]},
+        )
+        assert inst.is_consistent()
+
+    def test_key_violation_detected(self, schema):
+        inst = Instance.from_dict(
+            schema, {"person": [("ann", 30), ("ann", 31)]}
+        )
+        problems = inst.violations()
+        assert len(problems) == 1
+        assert "key violation" in problems[0]
+
+    def test_ric_violation_detected(self, schema):
+        inst = Instance.from_dict(schema, {"writes": [("ghost", "b1")]})
+        problems = inst.violations()
+        assert any("RIC violation" in p for p in problems)
+
+    def test_labeled_null_keys_are_ignored(self, schema):
+        inst = Instance(schema)
+        inst.add("person", (LabeledNull("x"), 1))
+        inst.add("person", (LabeledNull("y"), 2))
+        assert inst.is_consistent()
+
+    def test_labeled_null_fk_values_are_ignored(self, schema):
+        inst = Instance(schema)
+        inst.add("writes", (LabeledNull("p"), "b1"))
+        assert inst.is_consistent()
+
+    def test_describe_lists_rows(self, schema):
+        inst = Instance.from_dict(schema, {"person": [("ann", 30)]})
+        text = inst.describe()
+        assert "person" in text
+        assert "ann" in text

@@ -1,0 +1,171 @@
+"""Unit tests for relational schemas, tables, and columns."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational import Column, ReferentialConstraint, RelationalSchema, Table
+
+
+class TestColumn:
+    def test_str_is_qualified(self):
+        assert str(Column("person", "pname")) == "person.pname"
+
+    def test_parse_round_trips(self):
+        col = Column.parse("person.pname")
+        assert col == Column("person", "pname")
+
+    def test_parse_rejects_unqualified(self):
+        with pytest.raises(SchemaError):
+            Column.parse("pname")
+
+    def test_parse_rejects_extra_dots(self):
+        with pytest.raises(SchemaError):
+            Column.parse("db.person.pname")
+
+    def test_rejects_whitespace(self):
+        with pytest.raises(SchemaError):
+            Column("per son", "pname")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Column("person", "")
+
+    def test_ordering_is_lexicographic(self):
+        assert Column("a", "x") < Column("b", "a")
+        assert Column("a", "x") < Column("a", "y")
+
+    def test_hashable_and_equal(self):
+        assert {Column("t", "c"), Column("t", "c")} == {Column("t", "c")}
+
+
+class TestTable:
+    def test_basic_construction(self):
+        table = Table("writes", ["pname", "bid"], ["pname", "bid"])
+        assert table.arity == 2
+        assert table.primary_key == ("pname", "bid")
+        assert table.non_key_columns == ()
+
+    def test_non_key_columns_preserve_order(self):
+        table = Table("proj", ["pnum", "dept", "emp"], ["pnum"])
+        assert table.non_key_columns == ("dept", "emp")
+
+    def test_requires_columns(self):
+        with pytest.raises(SchemaError):
+            Table("empty", [])
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(SchemaError):
+            Table("t", ["a", "a"])
+
+    def test_rejects_pk_outside_columns(self):
+        with pytest.raises(SchemaError):
+            Table("t", ["a"], ["b"])
+
+    def test_rejects_repeated_pk_columns(self):
+        with pytest.raises(SchemaError):
+            Table("t", ["a", "b"], ["a", "a"])
+
+    def test_column_lookup(self):
+        table = Table("person", ["pname"], ["pname"])
+        assert table.column("pname") == Column("person", "pname")
+        with pytest.raises(SchemaError):
+            table.column("nope")
+
+    def test_qualified_columns(self):
+        table = Table("t", ["a", "b"])
+        assert table.qualified_columns() == (Column("t", "a"), Column("t", "b"))
+
+    def test_str_marks_key_columns(self):
+        assert str(Table("t", ["a", "b"], ["a"])) == "t(_a_, b)"
+
+    def test_empty_primary_key_allowed(self):
+        table = Table("t", ["a"])
+        assert table.primary_key == ()
+        assert table.non_key_columns == ("a",)
+
+
+def bookstore_schema() -> RelationalSchema:
+    """The source schema of the paper's Example 1.1."""
+    schema = RelationalSchema("source")
+    schema.add_table(Table("person", ["pname"], ["pname"]))
+    schema.add_table(Table("writes", ["pname", "bid"], ["pname", "bid"]))
+    schema.add_table(Table("book", ["bid"], ["bid"]))
+    schema.add_table(Table("soldAt", ["bid", "sid"], ["bid", "sid"]))
+    schema.add_table(Table("bookstore", ["sid"], ["sid"]))
+    schema.add_ric(ReferentialConstraint.parse("writes.pname -> person.pname"))
+    schema.add_ric(ReferentialConstraint.parse("writes.bid -> book.bid"))
+    schema.add_ric(ReferentialConstraint.parse("soldAt.bid -> book.bid"))
+    schema.add_ric(ReferentialConstraint.parse("soldAt.sid -> bookstore.sid"))
+    return schema
+
+
+class TestRelationalSchema:
+    def test_table_registration_and_lookup(self):
+        schema = bookstore_schema()
+        assert len(schema) == 5
+        assert schema.table("person").primary_key == ("pname",)
+        assert "writes" in schema
+        assert "nope" not in schema
+
+    def test_duplicate_table_rejected(self):
+        schema = RelationalSchema("s", [Table("t", ["a"])])
+        with pytest.raises(SchemaError):
+            schema.add_table(Table("t", ["b"]))
+
+    def test_unknown_table_lookup_raises(self):
+        schema = RelationalSchema("s")
+        with pytest.raises(SchemaError):
+            schema.table("ghost")
+
+    def test_ric_validation_rejects_unknown_table(self):
+        schema = RelationalSchema("s", [Table("t", ["a"])])
+        with pytest.raises(SchemaError):
+            schema.add_ric(ReferentialConstraint.parse("t.a -> ghost.b"))
+
+    def test_ric_validation_rejects_unknown_column(self):
+        schema = RelationalSchema(
+            "s", [Table("t", ["a"]), Table("u", ["b"])]
+        )
+        with pytest.raises(SchemaError):
+            schema.add_ric(ReferentialConstraint.parse("t.nope -> u.b"))
+
+    def test_rics_from_and_to(self):
+        schema = bookstore_schema()
+        from_writes = schema.rics_from("writes")
+        assert {r.parent_table for r in from_writes} == {"person", "book"}
+        to_book = schema.rics_to("book")
+        assert {r.child_table for r in to_book} == {"writes", "soldAt"}
+
+    def test_has_column_and_check_column(self):
+        schema = bookstore_schema()
+        assert schema.has_column(Column("person", "pname"))
+        assert not schema.has_column(Column("person", "ghost"))
+        with pytest.raises(SchemaError):
+            schema.check_column(Column("ghost", "x"))
+
+    def test_table_names_preserve_insertion_order(self):
+        schema = bookstore_schema()
+        assert schema.table_names() == (
+            "person",
+            "writes",
+            "book",
+            "soldAt",
+            "bookstore",
+        )
+
+    def test_describe_mentions_every_table_and_ric(self):
+        schema = bookstore_schema()
+        text = schema.describe()
+        for name in schema.table_names():
+            assert name in text
+        assert "writes.pname -> person.pname" in text
+
+    def test_iteration_yields_tables(self):
+        schema = bookstore_schema()
+        assert [t.name for t in schema] == list(schema.table_names())
+
+    def test_tables_view_is_a_copy(self):
+        schema = bookstore_schema()
+        view = schema.tables
+        view.pop("person")
+        assert schema.has_table("person")

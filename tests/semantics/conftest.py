@@ -1,0 +1,50 @@
+"""Shared fixtures: the paper's Example 1.1 and 1.2 conceptual models."""
+
+import pytest
+
+from repro.cm import CMGraph, ConceptualModel
+
+
+@pytest.fixture
+def books_model() -> ConceptualModel:
+    """Example 1.1's source CM."""
+    cm = ConceptualModel("books")
+    cm.add_class("Person", attributes=["pname"], key=["pname"])
+    cm.add_class("Book", attributes=["bid"], key=["bid"])
+    cm.add_class("Bookstore", attributes=["sid"], key=["sid"])
+    cm.add_relationship("writes", "Person", "Book", "0..*", "1..*")
+    cm.add_relationship("soldAt", "Book", "Bookstore", "0..*", "0..*")
+    return cm
+
+
+@pytest.fixture
+def books_graph(books_model) -> CMGraph:
+    return CMGraph(books_model)
+
+
+@pytest.fixture
+def employee_model() -> ConceptualModel:
+    """Example 1.2's CM: Employee with overlapping subclasses."""
+    cm = ConceptualModel("employees")
+    cm.add_class("Employee", attributes=["ssn", "name"], key=["ssn"])
+    cm.add_class("Engineer", attributes=["site"])
+    cm.add_class("Programmer", attributes=["acnt"])
+    cm.add_isa("Engineer", "Employee")
+    cm.add_isa("Programmer", "Employee")
+    cm.add_cover("Employee", ["Engineer", "Programmer"])
+    return cm
+
+
+@pytest.fixture
+def employee_graph(employee_model) -> CMGraph:
+    return CMGraph(employee_model)
+
+
+@pytest.fixture
+def spouse_model() -> ConceptualModel:
+    """Recursive relationships: pers(pid, name, age, spousePid)."""
+    cm = ConceptualModel("people")
+    cm.add_class("Person", attributes=["pid", "name", "age"], key=["pid"])
+    cm.add_relationship("hasSpouse", "Person", "Person", "0..1", "0..1")
+    cm.add_relationship("hasBestFriend", "Person", "Person", "0..1", "0..*")
+    return cm

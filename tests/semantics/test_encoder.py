@@ -1,0 +1,190 @@
+"""Unit tests for the s-tree encoding algorithm and key-merging."""
+
+import pytest
+
+from repro.cm import CMGraph, ConceptualModel
+from repro.queries.conjunctive import SkolemTerm, Variable, cm_atom
+from repro.semantics import (
+    SemanticTree,
+    STreeNode,
+    apply_key_merge,
+    effective_key,
+    encode_and_merge,
+    encode_tree,
+)
+
+
+class TestEncodeTree:
+    def test_paper_writes_example(self, books_model, books_graph):
+        """T:writes(pname,bid) → O:Person(x), O:Book(y), O:writes(x,y),
+        O:pname(x,pname), O:bid(y,bid) — Section 2's formula."""
+        tree = SemanticTree.build(
+            books_graph,
+            "Person",
+            [("Person", "writes", "Book")],
+            {"pname": "Person.pname", "bid": "Book.bid"},
+        )
+        encoded = encode_tree(tree, books_model)
+        rendered = {str(a) for a in encoded.atoms}
+        assert rendered == {
+            "O:Person(x_Person)",
+            "O:Book(x_Book)",
+            "O:writes(x_Person, x_Book)",
+            "O:pname(x_Person, pname)",
+            "O:bid(x_Book, bid)",
+        }
+
+    def test_inverse_edge_encodes_base_predicate(self, books_model, books_graph):
+        tree = SemanticTree.build(
+            books_graph,
+            "Book",
+            [("Book", "writes⁻", "Person")],
+            {"bid": "Book.bid", "pname": "Person.pname"},
+        )
+        encoded = encode_tree(tree, books_model)
+        rendered = {str(a) for a in encoded.atoms}
+        # The atom uses writes(person, book) even though traversal was
+        # inverted.
+        assert "O:writes(x_Person, x_Book)" in rendered
+
+    def test_isa_edges_share_variables(self, employee_model, employee_graph):
+        tree = SemanticTree.build(
+            employee_graph,
+            "Programmer",
+            [("Programmer", "isa", "Employee")],
+            {"ssn": "Employee.ssn", "acnt": "Programmer.acnt"},
+        )
+        encoded = encode_tree(tree, employee_model)
+        rendered = {str(a) for a in encoded.atoms}
+        assert "O:Programmer(x_Programmer)" in rendered
+        assert "O:Employee(x_Programmer)" in rendered  # same variable
+        assert not any("isa" in text for text in rendered)
+
+    def test_copies_get_distinct_variables(self, spouse_model):
+        graph = CMGraph(spouse_model)
+        tree = SemanticTree.build(
+            graph,
+            "Person",
+            [("Person", "hasSpouse", "Person~1")],
+            {"pid": "Person.pid", "spousePid": "Person~1.pid"},
+        )
+        encoded = encode_tree(tree, spouse_model)
+        rendered = {str(a) for a in encoded.atoms}
+        assert "O:hasSpouse(x_Person, x_Person~1)" in rendered
+        assert "O:pid(x_Person~1, spousePid)" in rendered
+
+    def test_column_variables_named_after_columns(self, books_model, books_graph):
+        tree = SemanticTree.build(
+            books_graph, "Person", [], {"pname": "Person.pname"}
+        )
+        encoded = encode_tree(tree, books_model)
+        assert encoded.column_variables == {"pname": Variable("pname")}
+
+
+class TestKeyMerge:
+    def test_single_attribute_key_merges_to_column(self, books_model, books_graph):
+        tree = SemanticTree.build(
+            books_graph,
+            "Person",
+            [("Person", "writes", "Book")],
+            {"pname": "Person.pname", "bid": "Book.bid"},
+        )
+        encoded = encode_and_merge(tree, books_model)
+        rendered = {str(a) for a in encoded.atoms}
+        assert rendered == {
+            "O:Person(pname)",
+            "O:Book(bid)",
+            "O:writes(pname, bid)",
+        }
+
+    def test_unidentified_object_keeps_variable(self, books_model, books_graph):
+        # Column for Book's key is absent: Book stays existential.
+        tree = SemanticTree.build(
+            books_graph,
+            "Person",
+            [("Person", "writes", "Book")],
+            {"pname": "Person.pname"},
+        )
+        encoded = encode_and_merge(tree, books_model)
+        rendered = {str(a) for a in encoded.atoms}
+        assert "O:Book(x_Book)" in rendered
+        assert "O:writes(pname, x_Book)" in rendered
+
+    def test_composite_key_merges_to_identity_skolem(self):
+        cm = ConceptualModel("m")
+        cm.add_class(
+            "Flight",
+            attributes=["airline", "number", "gate"],
+            key=["airline", "number"],
+        )
+        graph = CMGraph(cm)
+        tree = SemanticTree.build(
+            graph,
+            "Flight",
+            [],
+            {
+                "airline": "Flight.airline",
+                "number": "Flight.number",
+                "gate": "Flight.gate",
+            },
+        )
+        encoded = encode_and_merge(tree, cm)
+        flight_atom = next(
+            a for a in encoded.atoms if a.predicate == "O:Flight"
+        )
+        term = flight_atom.terms[0]
+        assert isinstance(term, SkolemTerm)
+        assert term.function == "id_Flight"
+        assert term.arguments == (Variable("airline"), Variable("number"))
+        # Attribute atoms are kept for composite keys.
+        assert any(a.predicate == "O:airline" for a in encoded.atoms)
+
+    def test_inherited_key_merges_subclass_object(
+        self, employee_model, employee_graph
+    ):
+        """Example 1.2: programmer(ssn, name, acnt) identifies employees
+        by the inherited ssn key."""
+        tree = SemanticTree.build(
+            employee_graph,
+            "Programmer",
+            [("Programmer", "isa", "Employee")],
+            {
+                "ssn": "Employee.ssn",
+                "name": "Employee.name",
+                "acnt": "Programmer.acnt",
+            },
+        )
+        encoded = encode_and_merge(tree, employee_model)
+        rendered = {str(a) for a in encoded.atoms}
+        assert rendered == {
+            "O:Programmer(ssn)",
+            "O:Employee(ssn)",
+            "O:name(ssn, name)",
+            "O:acnt(ssn, acnt)",
+        }
+
+    def test_merge_is_idempotent(self, books_model, books_graph):
+        tree = SemanticTree.build(
+            books_graph, "Person", [], {"pname": "Person.pname"}
+        )
+        once = encode_and_merge(tree, books_model)
+        twice = apply_key_merge(once, tree, books_model)
+        assert set(once.atoms) == set(twice.atoms)
+
+
+class TestEffectiveKey:
+    def test_own_key(self, books_model):
+        assert effective_key(books_model, "Person") == ("pname",)
+
+    def test_inherited_key(self, employee_model):
+        assert effective_key(employee_model, "Programmer") == ("ssn",)
+
+    def test_no_key(self):
+        cm = ConceptualModel("m")
+        cm.add_class("Thing", attributes=["note"])
+        assert effective_key(cm, "Thing") == ()
+
+    def test_transitive_inheritance(self, employee_model):
+        employee_model.add_class("KernelHacker")
+        employee_model.add_isa("KernelHacker", "Programmer")
+        assert effective_key(employee_model, "KernelHacker") == ("ssn",)

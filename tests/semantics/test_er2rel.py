@@ -1,0 +1,176 @@
+"""Unit tests for er2rel forward engineering."""
+
+import pytest
+
+from repro.cm import ConceptualModel
+from repro.relational import Column
+from repro.semantics import STreeNode, design_schema
+
+
+class TestEntityTables:
+    def test_simple_entity(self, books_model):
+        result = design_schema(books_model, "src")
+        person = result.schema.table("person")
+        assert person.columns == ("pname",)
+        assert person.primary_key == ("pname",)
+        tree = result.semantics.tree("person")
+        assert tree.anchor == STreeNode("Person")
+        assert tree.column_class("pname") == "Person"
+
+    def test_non_key_attributes_follow_key(self):
+        cm = ConceptualModel("m")
+        cm.add_class("Dept", attributes=["budget", "dno"], key=["dno"])
+        result = design_schema(cm, "s")
+        assert result.schema.table("dept").columns == ("dno", "budget")
+
+    def test_keyless_class_skipped(self):
+        cm = ConceptualModel("m")
+        cm.add_class("Thing", attributes=["note"])
+        result = design_schema(cm, "s")
+        assert not result.schema.has_table("thing")
+        assert any("Thing" in reason for reason in result.skipped)
+
+
+class TestFunctionalMerge:
+    @pytest.fixture
+    def hr_model(self) -> ConceptualModel:
+        cm = ConceptualModel("hr")
+        cm.add_class("Dept", attributes=["dno"], key=["dno"])
+        cm.add_class("Emp", attributes=["eno", "sal"], key=["eno"])
+        cm.add_relationship("worksIn", "Emp", "Dept", "1..1", "0..*")
+        cm.add_relationship("manages", "Emp", "Dept", "0..1", "0..1")
+        return cm
+
+    def test_functional_relationships_merge_into_domain(self, hr_model):
+        result = design_schema(hr_model, "s")
+        emp = result.schema.table("emp")
+        # Key, own attribute, then one FK column per functional rel
+        # (sorted by relationship name: manages before worksIn).
+        assert emp.columns == ("eno", "sal", "dno", "worksin_dno")
+        assert not result.schema.has_table("worksin")
+        assert not result.schema.has_table("manages")
+
+    def test_merge_emits_rics(self, hr_model):
+        result = design_schema(hr_model, "s")
+        rics = {str(r) for r in result.schema.rics}
+        assert "emp.dno -> dept.dno" in rics
+        assert "emp.worksin_dno -> dept.dno" in rics
+
+    def test_merged_stree_reaches_target_key(self, hr_model):
+        result = design_schema(hr_model, "s")
+        tree = result.semantics.tree("emp")
+        assert tree.column_class("dno") == "Dept"
+        labels = [e.cm_edge.label for e in tree.edges]
+        assert sorted(labels) == ["manages", "worksIn"]
+
+    def test_unmerged_design(self, hr_model):
+        result = design_schema(hr_model, "s", merge_functional=False)
+        assert result.schema.table("emp").columns == ("eno", "sal")
+        worksin = result.schema.table("worksin")
+        assert worksin.primary_key == ("eno",)  # functional: domain key
+
+    def test_recursive_functional_relationship_uses_copy(self):
+        cm = ConceptualModel("m")
+        cm.add_class("Person", attributes=["pid"], key=["pid"])
+        cm.add_relationship("hasSpouse", "Person", "Person", "0..1", "0..1")
+        result = design_schema(cm, "s")
+        person = result.schema.table("person")
+        assert person.columns == ("pid", "hasspouse_pid")
+        tree = result.semantics.tree("person")
+        assert tree.column_node("hasspouse_pid") == STreeNode("Person", 1)
+
+
+class TestRelationshipTables:
+    def test_many_many_table(self, books_model):
+        result = design_schema(books_model, "src")
+        writes = result.schema.table("writes")
+        assert writes.columns == ("pname", "bid")
+        assert writes.primary_key == ("pname", "bid")
+        rics = {str(r) for r in result.schema.rics}
+        assert "writes.pname -> person.pname" in rics
+        assert "writes.bid -> book.bid" in rics
+
+    def test_stree_of_relationship_table(self, books_model):
+        result = design_schema(books_model, "src")
+        tree = result.semantics.tree("writes")
+        assert tree.anchor == STreeNode("Person")
+        assert [e.cm_edge.label for e in tree.edges] == ["writes"]
+
+    def test_self_relationship_column_disambiguation(self):
+        cm = ConceptualModel("m")
+        cm.add_class("Person", attributes=["pid"], key=["pid"])
+        cm.add_relationship("knows", "Person", "Person", "0..*", "0..*")
+        result = design_schema(cm, "s")
+        knows = result.schema.table("knows")
+        assert knows.columns == ("pid", "to_pid")
+
+
+class TestIsaTables:
+    def test_subclass_table_inherits_key(self, employee_model):
+        result = design_schema(employee_model, "s")
+        programmer = result.schema.table("programmer")
+        assert programmer.columns == ("ssn", "acnt")
+        assert programmer.primary_key == ("ssn",)
+        rics = {str(r) for r in result.schema.rics}
+        assert "programmer.ssn -> employee.ssn" in rics
+
+    def test_subclass_stree_climbs_isa(self, employee_model):
+        result = design_schema(employee_model, "s")
+        tree = result.semantics.tree("engineer")
+        assert tree.anchor == STreeNode("Engineer")
+        assert [e.cm_edge.label for e in tree.edges] == ["isa"]
+        assert tree.column_class("ssn") == "Employee"
+        assert tree.column_class("site") == "Engineer"
+
+
+class TestReifiedTables:
+    def test_nary_reified_table(self):
+        """Section 3.3's sells(sid, prodid, pid, date) example."""
+        cm = ConceptualModel("m")
+        cm.add_class("Store", attributes=["sid"], key=["sid"])
+        cm.add_class("Product", attributes=["prodid"], key=["prodid"])
+        cm.add_class("Person", attributes=["pid"], key=["pid"])
+        cm.add_reified_relationship(
+            "Sell",
+            roles={"seller": "Store", "sold": "Product", "buyer": "Person"},
+            attributes=["dateOfPurchase"],
+        )
+        result = design_schema(cm, "s")
+        sell = result.schema.table("sell")
+        assert sell.columns == ("sid", "prodid", "pid", "dateOfPurchase")
+        assert sell.primary_key == ("sid", "prodid", "pid")
+        tree = result.semantics.tree("sell")
+        assert tree.anchor == STreeNode("Sell")
+        assert {e.cm_edge.label for e in tree.edges} == {
+            "seller",
+            "sold",
+            "buyer",
+        }
+        assert tree.column_class("dateOfPurchase") == "Sell"
+
+    def test_reified_rics_point_to_participants(self):
+        cm = ConceptualModel("m")
+        cm.add_class("A", attributes=["aid"], key=["aid"])
+        cm.add_class("B", attributes=["bid"], key=["bid"])
+        cm.add_reified_relationship("R", roles={"ra": "A", "rb": "B"})
+        result = design_schema(cm, "s")
+        rics = {str(r) for r in result.schema.rics}
+        assert "r.aid -> a.aid" in rics
+        assert "r.bid -> b.bid" in rics
+
+
+class TestSemanticsIntegration:
+    def test_views_derivable_from_design(self, books_model):
+        result = design_schema(books_model, "src")
+        views = {v.name: v for v in result.semantics.views()}
+        assert {str(a) for a in views["soldat"].body} == {
+            "O:Book(bid)",
+            "O:Bookstore(sid)",
+            "O:soldAt(bid, sid)",
+        }
+
+    def test_column_class_lookup(self, books_model):
+        result = design_schema(books_model, "src")
+        assert (
+            result.semantics.column_class(Column("writes", "pname")) == "Person"
+        )

@@ -1,0 +1,104 @@
+"""Unit tests for schema semantics and LAV view construction."""
+
+import pytest
+
+from repro.exceptions import SemanticsError
+from repro.relational import Column, RelationalSchema, Table
+from repro.semantics import SchemaSemantics, SemanticTree
+
+
+@pytest.fixture
+def semantics(books_model, books_graph):
+    schema = RelationalSchema("src")
+    schema.add_table(Table("person", ["pname"], ["pname"]))
+    schema.add_table(Table("writes", ["pname", "bid"], ["pname", "bid"]))
+    schema.add_table(Table("bookstore", ["sid"], ["sid"]))
+    trees = {
+        "person": SemanticTree.build(
+            books_graph, "Person", [], {"pname": "Person.pname"}
+        ),
+        "writes": SemanticTree.build(
+            books_graph,
+            "Person",
+            [("Person", "writes", "Book")],
+            {"pname": "Person.pname", "bid": "Book.bid"},
+        ),
+        "bookstore": SemanticTree.build(
+            books_graph, "Bookstore", [], {"sid": "Bookstore.sid"}
+        ),
+    }
+    return SchemaSemantics(schema, books_graph, trees)
+
+
+class TestValidation:
+    def test_unknown_column_in_tree_rejected(self, books_graph):
+        schema = RelationalSchema("s", [Table("person", ["pname"], ["pname"])])
+        bad_tree = SemanticTree.build(
+            books_graph, "Person", [], {"ghost": "Person.pname"}
+        )
+        with pytest.raises(SemanticsError):
+            SchemaSemantics(schema, books_graph, {"person": bad_tree})
+
+    def test_unknown_table_rejected(self, books_graph):
+        schema = RelationalSchema("s")
+        tree = SemanticTree.build(books_graph, "Person")
+        with pytest.raises(Exception):
+            SchemaSemantics(schema, books_graph, {"person": tree})
+
+
+class TestViews:
+    def test_views_cover_all_tables(self, semantics):
+        assert len(semantics.views()) == 3
+
+    def test_view_head_matches_columns(self, semantics):
+        view = semantics.view("writes")
+        assert [v.name for v in view.head] == ["pname", "bid"]
+
+    def test_view_body_is_key_merged(self, semantics):
+        view = semantics.view("writes")
+        assert {str(a) for a in view.body} == {
+            "O:Person(pname)",
+            "O:Book(bid)",
+            "O:writes(pname, bid)",
+        }
+
+    def test_views_cached(self, semantics):
+        assert semantics.view("person") is semantics.view("person")
+
+    def test_unknown_view_rejected(self, semantics):
+        with pytest.raises(SemanticsError):
+            semantics.view("ghost")
+
+
+class TestColumnLookups:
+    def test_column_class(self, semantics):
+        assert semantics.column_class(Column("writes", "bid")) == "Book"
+        assert semantics.column_class(Column("person", "pname")) == "Person"
+
+    def test_column_attribute(self, semantics):
+        assert semantics.column_attribute(Column("writes", "bid")) == "bid"
+
+    def test_marked_nodes(self, semantics):
+        marked = semantics.marked_nodes(
+            [Column("person", "pname"), Column("bookstore", "sid")]
+        )
+        assert marked == {"Person", "Bookstore"}
+
+    def test_preselected_trees(self, semantics):
+        pairs = semantics.preselected_trees(
+            [Column("writes", "pname"), Column("writes", "bid")]
+        )
+        assert [name for name, _ in pairs] == ["writes"]
+
+    def test_preselected_cm_edges_include_inverses(self, semantics):
+        edges = semantics.preselected_cm_edges([Column("writes", "pname")])
+        labels = {e.label for e in edges}
+        assert "writes" in labels
+        assert "writes⁻" in labels
+
+    def test_missing_tree_raises(self, semantics):
+        with pytest.raises(SemanticsError):
+            semantics.tree("ghost")
+
+    def test_describe(self, semantics):
+        assert "writes" in semantics.describe()

@@ -1,0 +1,116 @@
+"""Tests for semantics recovery — round-tripping er2rel designs.
+
+The gold standard: design a schema from a CM (which yields ground-truth
+semantics), throw the semantics away, recover them from the bare schema
+plus the CM, and compare. Equality criterion: same anchor and identical
+column → (class, attribute) associations (tree shape may differ in
+harmless ways for unreferenced interior nodes, so columns are what we
+pin)."""
+
+import pytest
+
+from repro.datasets.registry import load_dataset
+from repro.semantics import design_schema
+from repro.semantics.recover import recover_semantics
+
+
+def assert_semantics_match(recovered, designed, table_name):
+    designed_tree = designed.tree(table_name)
+    recovered_tree = recovered.tree(table_name)
+    assert (
+        recovered_tree.anchor.cm_node == designed_tree.anchor.cm_node
+    ), table_name
+    designed_columns = {
+        column: (node.cm_node, attribute)
+        for column, (node, attribute) in designed_tree.columns.items()
+    }
+    recovered_columns = {
+        column: (node.cm_node, attribute)
+        for column, (node, attribute) in recovered_tree.columns.items()
+    }
+    assert recovered_columns == designed_columns, table_name
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["DBLP", "Mondial", "Amalgam", "3Sdb", "UT", "Hotel", "Network"],
+)
+@pytest.mark.parametrize("side", ["source", "target"])
+def test_er2rel_round_trip(name, side):
+    pair = load_dataset(name)
+    designed = getattr(pair, side)
+    report = recover_semantics(designed.schema, designed.model)
+    assert report.skipped_tables == []
+    assert report.coverage() == 1.0
+    for table_name in designed.tables_with_semantics():
+        assert_semantics_match(report.semantics, designed, table_name)
+
+
+def test_recovered_semantics_drive_discovery():
+    """Recovered (not designed) semantics must still find M5-style
+    compositions: the Hotel guest-rate case end to end."""
+    from repro.discovery import SemanticMapper
+
+    pair = load_dataset("Hotel")
+    source = recover_semantics(pair.source.schema, pair.source.model).semantics
+    target = recover_semantics(pair.target.schema, pair.target.model).semantics
+    case = pair.cases[3]  # hotel-guest-rate (semantic-only composition)
+    result = SemanticMapper(source, target, case.correspondences).discover()
+    assert len(result) >= 1
+    tables = {a.bare_predicate for a in result.best().source_query.body}
+    assert {"guest", "booking", "rateplan"} <= tables
+
+
+def test_unanchorable_table_reported():
+    from repro.cm import ConceptualModel
+    from repro.relational import RelationalSchema, Table
+
+    cm = ConceptualModel("m")
+    cm.add_class("Thing", attributes=["tid"], key=["tid"])
+    schema = RelationalSchema(
+        "s", [Table("unrelated", ["xyz", "abc"], ["xyz"])]
+    )
+    report = recover_semantics(schema, cm)
+    assert report.coverage() < 1.0 or report.unmapped_columns
+
+
+def test_prefixed_fk_disambiguation():
+    """Two functional relationships to the same class: the prefixed
+    column must bind the matching relationship."""
+    from repro.cm import ConceptualModel
+
+    cm = ConceptualModel("hr")
+    cm.add_class("Dept", attributes=["dno"], key=["dno"])
+    cm.add_class("Emp", attributes=["eno", "sal"], key=["eno"])
+    cm.add_relationship("worksIn", "Emp", "Dept", "1..1", "0..*")
+    cm.add_relationship("manages", "Emp", "Dept", "0..1", "0..1")
+    designed = design_schema(cm, "hr")
+    report = recover_semantics(designed.schema, cm)
+    assert report.skipped_tables == []
+    recovered_tree = report.semantics.tree("emp")
+    designed_tree = designed.semantics.tree("emp")
+    recovered_labels = {
+        column: recovered_tree.parent_edge(node).cm_edge.label
+        for column, (node, _) in recovered_tree.columns.items()
+        if recovered_tree.parent_edge(node) is not None
+    }
+    designed_labels = {
+        column: designed_tree.parent_edge(node).cm_edge.label
+        for column, (node, _) in designed_tree.columns.items()
+        if designed_tree.parent_edge(node) is not None
+    }
+    assert recovered_labels == designed_labels
+
+
+def test_subclass_tables_climb_isa():
+    from repro.datasets.paper_examples import employee_example
+
+    scenario = employee_example()
+    report = recover_semantics(
+        scenario.source.schema, scenario.source.model
+    )
+    assert report.skipped_tables == []
+    tree = report.semantics.tree("programmer")
+    assert tree.anchor.cm_node == "Programmer"
+    assert tree.column_class("ssn") == "Employee"
+    assert tree.column_class("acnt") == "Programmer"

@@ -1,0 +1,175 @@
+"""Unit tests for semantic trees."""
+
+import pytest
+
+from repro.exceptions import SemanticsError
+from repro.cm import CMGraph
+from repro.semantics import STreeEdge, STreeNode, SemanticTree
+
+
+class TestSTreeNode:
+    def test_base_node_id(self):
+        assert STreeNode("Person").node_id == "Person"
+
+    def test_copy_node_id(self):
+        assert STreeNode("Person", 1).node_id == "Person~1"
+
+    def test_parse_round_trips(self):
+        for node_id in ["Person", "Person~1", "Person~12"]:
+            assert STreeNode.parse(node_id).node_id == node_id
+
+    def test_parse_bad_copy(self):
+        with pytest.raises(SemanticsError):
+            STreeNode.parse("Person~x")
+
+    def test_negative_copy_rejected(self):
+        with pytest.raises(SemanticsError):
+            STreeNode("Person", -1)
+
+
+class TestBuild:
+    def test_writes_tree(self, books_graph):
+        tree = SemanticTree.build(
+            books_graph,
+            "Person",
+            [("Person", "writes", "Book")],
+            {"pname": "Person.pname", "bid": "Book.bid"},
+        )
+        assert tree.anchor == STreeNode("Person")
+        assert tree.cm_nodes() == {"Person", "Book"}
+        assert tree.column_class("pname") == "Person"
+        assert tree.column_class("bid") == "Book"
+        assert tree.column_attribute("bid") == "bid"
+
+    def test_unknown_root_rejected(self, books_graph):
+        with pytest.raises(SemanticsError):
+            SemanticTree.build(books_graph, "Ghost")
+
+    def test_edge_target_mismatch_rejected(self, books_graph):
+        with pytest.raises(SemanticsError):
+            SemanticTree.build(
+                books_graph, "Person", [("Person", "writes", "Bookstore")]
+            )
+
+    def test_unknown_attribute_rejected(self, books_graph):
+        with pytest.raises(SemanticsError):
+            SemanticTree.build(
+                books_graph, "Person", [], {"c": "Person.ghost"}
+            )
+
+    def test_unqualified_column_target_rejected(self, books_graph):
+        with pytest.raises(SemanticsError):
+            SemanticTree.build(books_graph, "Person", [], {"c": "pname"})
+
+    def test_recursive_tree_with_copies(self, spouse_model):
+        graph = CMGraph(spouse_model)
+        tree = SemanticTree.build(
+            graph,
+            "Person",
+            [
+                ("Person", "hasSpouse", "Person~1"),
+                ("Person", "hasBestFriend", "Person~2"),
+            ],
+            {
+                "pid": "Person.pid",
+                "spousePid": "Person~1.pid",
+                "bestFriendPid": "Person~2.pid",
+            },
+        )
+        assert len(tree.nodes()) == 3
+        assert tree.column_node("spousePid") == STreeNode("Person", 1)
+        assert tree.cm_nodes() == {"Person"}
+
+
+class TestTreeValidation:
+    def test_disconnected_edge_rejected(self, books_graph):
+        with pytest.raises(SemanticsError):
+            SemanticTree.build(
+                books_graph, "Person", [("Book", "soldAt", "Bookstore")]
+            )
+
+    def test_two_parents_rejected(self, books_graph):
+        root = STreeNode("Person")
+        book = STreeNode("Book")
+        writes = books_graph.edge("Person", "writes")
+        with pytest.raises(SemanticsError):
+            SemanticTree(
+                root,
+                [
+                    STreeEdge(root, book, writes),
+                    STreeEdge(root, book, writes),
+                ],
+            )
+
+    def test_column_outside_tree_rejected(self, books_graph):
+        with pytest.raises(SemanticsError):
+            SemanticTree(
+                STreeNode("Person"),
+                [],
+                {"bid": (STreeNode("Book"), "bid")},
+            )
+
+    def test_bijective_column_association(self, books_graph):
+        node = STreeNode("Person")
+        with pytest.raises(SemanticsError):
+            SemanticTree(
+                node,
+                [],
+                {"a": (node, "pname"), "b": (node, "pname")},
+            )
+
+
+class TestTraversal:
+    @pytest.fixture
+    def chain_tree(self, books_graph):
+        return SemanticTree.build(
+            books_graph,
+            "Person",
+            [
+                ("Person", "writes", "Book"),
+                ("Book", "soldAt", "Bookstore"),
+            ],
+            {"pname": "Person.pname", "sid": "Bookstore.sid"},
+        )
+
+    def test_nodes_root_first(self, chain_tree):
+        assert chain_tree.nodes()[0] == STreeNode("Person")
+        assert len(chain_tree.nodes()) == 3
+
+    def test_path_from_root(self, chain_tree):
+        path = chain_tree.path_from_root(STreeNode("Bookstore"))
+        assert [e.cm_edge.label for e in path] == ["writes", "soldAt"]
+        assert chain_tree.path_from_root(STreeNode("Person")) == ()
+
+    def test_path_of_foreign_node_rejected(self, chain_tree):
+        with pytest.raises(SemanticsError):
+            chain_tree.path_from_root(STreeNode("Ghost"))
+
+    def test_children_and_parent(self, chain_tree):
+        (edge,) = chain_tree.children(STreeNode("Person"))
+        assert edge.child == STreeNode("Book")
+        assert chain_tree.parent_edge(STreeNode("Book")) == edge
+        assert chain_tree.parent_edge(STreeNode("Person")) is None
+
+    def test_anchored_functional(self, books_graph, chain_tree):
+        # writes/soldAt are non-functional: the chain is not anchored
+        # functional.
+        assert not chain_tree.is_anchored_functional()
+        single = SemanticTree.build(books_graph, "Person")
+        assert single.is_anchored_functional()
+
+    def test_columns_of_node(self, chain_tree):
+        assert chain_tree.columns_of_node(STreeNode("Person")) == ("pname",)
+        assert chain_tree.columns_of_node(STreeNode("Book")) == ()
+
+    def test_unknown_column_lookups(self, chain_tree):
+        with pytest.raises(SemanticsError):
+            chain_tree.column_class("ghost")
+        with pytest.raises(SemanticsError):
+            chain_tree.column_node("ghost")
+        with pytest.raises(SemanticsError):
+            chain_tree.column_attribute("ghost")
+
+    def test_describe(self, chain_tree):
+        text = chain_tree.describe()
+        assert "Person" in text and "writes" in text and "pname" in text

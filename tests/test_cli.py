@@ -1,0 +1,80 @@
+"""Unit tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestDatasetsCommand:
+    def test_lists_all_pairs(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ["DBLP", "Mondial", "Amalgam", "3Sdb", "UT", "Hotel"]:
+            assert name in out
+
+
+class TestDescribeCommand:
+    def test_prints_schemas_and_cases(self, capsys):
+        assert main(["describe", "Hotel"]) == 0
+        out = capsys.readouterr().out
+        assert "schema hotelA" in out
+        assert "hotel-guest-rate" in out
+        assert "↔" in out
+
+
+class TestMapCommand:
+    def test_semantic_method(self, capsys):
+        assert main(["map", "Hotel", "hotel-rate-of-room"]) == 0
+        out = capsys.readouterr().out
+        assert "candidate(s)" in out
+        assert "rateplan" in out
+
+    def test_ric_method(self, capsys):
+        assert (
+            main(["map", "Hotel", "hotel-rate-of-room", "--method", "ric"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "candidate(s)" in out
+
+    def test_unknown_case_fails(self, capsys):
+        assert main(["map", "Hotel", "ghost-case"]) == 2
+        assert "unknown case" in capsys.readouterr().err
+
+
+class TestDdlCommand:
+    def test_emits_create_tables(self, capsys):
+        assert main(["ddl", "Hotel", "--side", "target"]) == 0
+        out = capsys.readouterr().out
+        assert "CREATE TABLE property" in out
+        assert "FOREIGN KEY" in out
+
+
+class TestDotCommand:
+    def test_emits_digraph(self, capsys):
+        assert main(["dot", "Hotel"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "Booking◇" in out
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestMatchCommand:
+    def test_suggestions_printed(self, capsys):
+        assert main(["match", "DBLP", "--threshold", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "suggestion(s):" in out
+        assert "publication.title ↔ publication.title" in out
+
+
+class TestRecoverCommand:
+    def test_full_coverage_reported(self, capsys):
+        assert main(["recover", "Hotel", "--table", "booking"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage: 100%" in out
+        assert "s-tree anchored at Booking" in out

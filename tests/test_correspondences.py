@@ -1,0 +1,117 @@
+"""Unit tests for correspondences and lifting."""
+
+import pytest
+
+from repro.cm import CMGraph, ConceptualModel
+from repro.correspondences import (
+    Correspondence,
+    CorrespondenceSet,
+)
+from repro.exceptions import CorrespondenceError
+from repro.relational import Column, RelationalSchema, Table
+from repro.semantics import SchemaSemantics, SemanticTree
+
+
+class TestCorrespondence:
+    def test_parse_ascii_arrow(self):
+        corr = Correspondence.parse("person.pname <-> hasBookSoldAt.aname")
+        assert corr.source == Column("person", "pname")
+        assert corr.target == Column("hasBookSoldAt", "aname")
+
+    def test_parse_unicode_arrow(self):
+        corr = Correspondence.parse("a.x ↔ b.y")
+        assert corr.source == Column("a", "x")
+
+    def test_parse_requires_arrow(self):
+        with pytest.raises(CorrespondenceError):
+            Correspondence.parse("a.x = b.y")
+
+    def test_str_round_trips(self):
+        text = "person.pname ↔ author.aname"
+        assert str(Correspondence.parse(text)) == text
+
+
+class TestCorrespondenceSet:
+    def make(self):
+        return CorrespondenceSet.parse(
+            [
+                "person.pname <-> books.aname",
+                "store.sid <-> books.sid",
+                "person.pname <-> books.aname",  # duplicate
+            ]
+        )
+
+    def test_deduplication_preserves_order(self):
+        corrs = self.make()
+        assert len(corrs) == 2
+        assert corrs[0].source == Column("person", "pname")
+
+    def test_column_accessors(self):
+        corrs = self.make()
+        assert corrs.source_columns() == (
+            Column("person", "pname"),
+            Column("store", "sid"),
+        )
+        assert corrs.source_tables() == ("person", "store")
+        assert corrs.target_tables() == ("books",)
+
+    def test_contains_and_iteration(self):
+        corrs = self.make()
+        assert Correspondence.parse("store.sid <-> books.sid") in corrs
+        assert len(list(corrs)) == 2
+
+    def test_restrict(self):
+        corrs = self.make()
+        subset = corrs.restrict([corrs[1]])
+        assert len(subset) == 1
+        assert subset[0] == corrs[1]
+
+    def test_validate_against_schemas(self):
+        source = RelationalSchema(
+            "s",
+            [Table("person", ["pname"]), Table("store", ["sid"])],
+        )
+        target = RelationalSchema("t", [Table("books", ["aname", "sid"])])
+        self.make().validate(source, target)
+
+    def test_validate_rejects_dangling_source(self):
+        source = RelationalSchema("s", [Table("person", ["pname"])])
+        target = RelationalSchema("t", [Table("books", ["aname", "sid"])])
+        with pytest.raises(CorrespondenceError):
+            self.make().validate(source, target)
+
+    def test_validate_rejects_dangling_target(self):
+        source = RelationalSchema(
+            "s", [Table("person", ["pname"]), Table("store", ["sid"])]
+        )
+        target = RelationalSchema("t", [Table("books", ["aname"])])
+        with pytest.raises(CorrespondenceError):
+            self.make().validate(source, target)
+
+
+class TestLifting:
+    @pytest.fixture
+    def semantics(self):
+        cm = ConceptualModel("m")
+        cm.add_class("Person", attributes=["pname"], key=["pname"])
+        cm.add_class("Book", attributes=["bid"], key=["bid"])
+        cm.add_relationship("writes", "Person", "Book", "0..*", "1..*")
+        graph = CMGraph(cm)
+        schema = RelationalSchema(
+            "s", [Table("writes", ["pname", "bid"], ["pname", "bid"])]
+        )
+        tree = SemanticTree.build(
+            graph,
+            "Person",
+            [("Person", "writes", "Book")],
+            {"pname": "Person.pname", "bid": "Book.bid"},
+        )
+        return SchemaSemantics(schema, graph, {"writes": tree})
+
+    def test_lift(self, semantics):
+        corrs = CorrespondenceSet.parse(["writes.bid <-> writes.bid"])
+        (lifted,) = corrs.lift(semantics, semantics)
+        assert lifted.source_class == "Book"
+        assert lifted.target_class == "Book"
+        assert lifted.source_attribute == "bid"
+        assert "Book.bid" in str(lifted)

@@ -1,0 +1,45 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "bookstore_example.py",
+        "isa_employee_example.py",
+        "partof_example.py",
+        "project_management.py",
+        "data_exchange_demo.py",
+        "match_and_map.py",
+        "legacy_recovery.py",
+    ],
+)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip()
+
+
+def test_bookstore_example_finds_m5():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / "bookstore_example.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "M5" in completed.stdout
+    assert "hasbooksoldat(v1, v2)" in completed.stdout
+    assert "no labeled nulls" in completed.stdout

@@ -1,0 +1,49 @@
+"""Sanity property: mapping a schema onto itself recovers identities.
+
+With identical source and target semantics and identity column
+correspondences, the semantic mapper's best candidate for each table
+must be the table-to-itself mapping.
+"""
+
+import pytest
+
+from repro.correspondences import CorrespondenceSet
+from repro.datasets.registry import load_dataset
+from repro.discovery import discover_mappings
+from repro.queries.homomorphism import are_equivalent
+
+
+@pytest.mark.parametrize("dataset", ["Hotel", "3Sdb"])
+def test_identity_mappings_recovered_per_table(dataset):
+    pair = load_dataset(dataset)
+    semantics = pair.source
+    for table in semantics.schema:
+        if not semantics.has_tree(table.name):
+            continue
+        correspondences = CorrespondenceSet.parse(
+            [
+                f"{table.name}.{column} <-> {table.name}.{column}"
+                for column in table.columns
+            ]
+        )
+        result = discover_mappings(semantics, semantics, correspondences)
+        assert result.candidates, table.name
+        best = result.best()
+        assert are_equivalent(best.source_query, best.target_query), (
+            f"{table.name}: identity mapping not symmetric"
+        )
+        source_tables = {
+            atom.bare_predicate for atom in best.source_query.body
+        }
+        assert table.name in source_tables, table.name
+
+
+def test_identity_covers_all_correspondences():
+    pair = load_dataset("Hotel")
+    semantics = pair.source
+    table = semantics.schema.table("booking")
+    correspondences = CorrespondenceSet.parse(
+        [f"booking.{c} <-> booking.{c}" for c in table.columns]
+    )
+    result = discover_mappings(semantics, semantics, correspondences)
+    assert set(result.best().covered) == set(correspondences)

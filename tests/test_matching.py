@@ -1,0 +1,109 @@
+"""Unit tests for the name-based correspondence matcher."""
+
+import pytest
+
+from repro.correspondences import Correspondence
+from repro.datasets.paper_examples import employee_example
+from repro.datasets.registry import load_dataset
+from repro.discovery import discover_mappings
+from repro.matching import (
+    MatchSuggestion,
+    as_correspondence_set,
+    normalize,
+    suggest_correspondences,
+)
+from repro.relational import RelationalSchema, Table
+
+
+class TestNormalize:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("PubName2", "pubname"),
+            ("has_book_sold_at", "hasbooksoldat"),
+            ("SSN", "ssn"),
+            ("year5", "year"),
+        ],
+    )
+    def test_normalize(self, raw, expected):
+        assert normalize(raw) == expected
+
+
+class TestSchemaOnlyMatching:
+    @pytest.fixture
+    def schemas(self):
+        source = RelationalSchema(
+            "s", [Table("person", ["pname", "homepage"], ["pname"])]
+        )
+        target = RelationalSchema(
+            "t", [Table("author", ["pname", "web_page"], ["pname"])]
+        )
+        return source, target
+
+    def test_exact_names_match(self, schemas):
+        source, target = schemas
+        suggestions = suggest_correspondences(source, target)
+        pairs = {str(s.correspondence) for s in suggestions}
+        assert "person.pname ↔ author.pname" in pairs
+
+    def test_synonyms_bridge_vocabulary(self, schemas):
+        source, target = schemas
+        suggestions = suggest_correspondences(
+            source, target, synonyms={"web_page": "homepage"}
+        )
+        pairs = {str(s.correspondence) for s in suggestions}
+        assert "person.homepage ↔ author.web_page" in pairs
+
+    def test_threshold_filters(self, schemas):
+        source, target = schemas
+        strict = suggest_correspondences(source, target, threshold=1.0)
+        assert all(s.score >= 1.0 for s in strict)
+
+    def test_sorted_by_score(self, schemas):
+        source, target = schemas
+        suggestions = suggest_correspondences(source, target, threshold=0.5)
+        scores = [s.score for s in suggestions]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestSemanticsAwareMatching:
+    def test_attribute_names_bridge_columns(self):
+        """employee example: programmer.name ↔ employee.name comes from
+        the shared CM attribute even though tables differ."""
+        scenario = employee_example()
+        suggestions = suggest_correspondences(scenario.source, scenario.target)
+        pairs = {str(s.correspondence) for s in suggestions}
+        assert "programmer.name ↔ employee.name" in pairs
+        assert "engineer.site ↔ employee.site" in pairs
+
+    def test_end_to_end_match_then_map(self):
+        """The full two-phase pipeline: match, then derive mappings."""
+        pair = load_dataset("3Sdb")
+        suggestions = suggest_correspondences(
+            pair.source, pair.target, synonyms={"gname2": "genename"}
+        )
+        wanted = [
+            s
+            for s in suggestions
+            if str(s.correspondence)
+            in {
+                "gene.genename ↔ gene2.gname2",
+                "measurement.level ↔ quantification.value2",
+            }
+        ]
+        matched = as_correspondence_set(wanted)
+        if len(matched) < 1:
+            pytest.skip("matcher found no usable pair")
+        result = discover_mappings(pair.source, pair.target, matched)
+        assert result.candidates
+
+
+class TestSuggestionType:
+    def test_ordering_and_str(self):
+        suggestion = MatchSuggestion(
+            0.9,
+            Correspondence.parse("a.x <-> b.x"),
+            "exact name",
+        )
+        assert "0.90" in str(suggestion)
+        assert "exact name" in str(suggestion)

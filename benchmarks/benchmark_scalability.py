@@ -13,7 +13,7 @@ import pytest
 
 from repro.cm import ConceptualModel
 from repro.correspondences import CorrespondenceSet
-from repro.discovery import SemanticMapper
+from repro.discovery import Scenario, SemanticMapper, discover_many
 from repro.semantics import design_schema
 
 
@@ -60,3 +60,27 @@ def test_chain_discovery_scales(benchmark, length):
     best = result.best()
     tables = {atom.bare_predicate for atom in best.source_query.body}
     assert "c0" in tables and f"c{length}" in tables
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_batch_chain_discovery(benchmark, workers):
+    """Batched chains through ``discover_many``; parallel must agree.
+
+    Multiple chain sizes make one batch, timed at each worker count; the
+    best mapping per scenario must be identical to a serial baseline.
+    """
+    scenarios = []
+    for length in [2, 3, 4]:
+        source, target, correspondences = build_scenario(length)
+        scenarios.append(
+            Scenario.create(f"chain-{length}", source, target, correspondences)
+        )
+    baseline = discover_many(scenarios, workers=1)
+
+    def run():
+        return discover_many(scenarios, workers=workers)
+
+    batch = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(batch) == len(scenarios)
+    for (_, base_result), (_, result) in zip(baseline.results, batch.results):
+        assert result.best().to_tgd("M1") == base_result.best().to_tgd("M1")

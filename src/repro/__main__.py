@@ -8,6 +8,7 @@ Commands
 ``map NAME CASE``       run one benchmark case and print the candidates
 ``ddl NAME``            emit SQL DDL for a pair's schemas
 ``dot NAME``            emit GraphViz DOT for a pair's CM graphs
+``bench``               run the discovery benchmarks (BENCH_discovery.json)
 """
 
 from __future__ import annotations
@@ -25,7 +26,10 @@ from repro.relational.ddl import emit_ddl
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.evaluation.harness import main as harness_main
 
-    return harness_main(["--details"] if args.details else [])
+    argv = ["--workers", str(args.workers)]
+    if args.details:
+        argv.append("--details")
+    return harness_main(argv)
 
 
 def _cmd_datasets(_: argparse.Namespace) -> int:
@@ -82,7 +86,18 @@ def _cmd_map(args: argparse.Namespace) -> int:
     )
     for index, candidate in enumerate(result, start=1):
         print(f"  {candidate.to_tgd(f'M{index}')}")
+    if args.stats:
+        stats = getattr(result, "stats", None) or {}
+        print("stats:")
+        for name, value in sorted(stats.items()):
+            print(f"  {name}: {value}")
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import main as bench_main
+
+    return bench_main(output=args.output, workers=args.workers)
 
 
 def _cmd_ddl(args: argparse.Namespace) -> int:
@@ -142,6 +157,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     evaluate = commands.add_parser("evaluate", help="rerun the evaluation")
     evaluate.add_argument("--details", action="store_true")
+    evaluate.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan dataset pairs out over N worker processes",
+    )
     evaluate.set_defaults(handler=_cmd_evaluate)
 
     datasets = commands.add_parser("datasets", help="list dataset pairs")
@@ -157,7 +178,30 @@ def build_parser() -> argparse.ArgumentParser:
     run_map.add_argument(
         "--method", choices=["semantic", "ric"], default="semantic"
     )
+    run_map.add_argument(
+        "--stats",
+        action="store_true",
+        help="also print perf counters and per-phase wall time",
+    )
     run_map.set_defaults(handler=_cmd_map)
+
+    bench = commands.add_parser(
+        "bench",
+        help="run the discovery benchmarks, write BENCH_discovery.json, "
+        "and fail on candidate-count drift",
+    )
+    bench.add_argument(
+        "--output",
+        default="BENCH_discovery.json",
+        help="where to write the JSON report",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker count for the parallel-equivalence check",
+    )
+    bench.set_defaults(handler=_cmd_bench)
 
     ddl = commands.add_parser("ddl", help="emit SQL DDL")
     ddl.add_argument("name")

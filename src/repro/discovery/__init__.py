@@ -37,6 +37,13 @@ from repro.discovery.mapper import (
     SemanticMapper,
     discover_mappings,
 )
+from repro.discovery.batch import (
+    BatchDiscovery,
+    BatchResult,
+    Scenario,
+    discover_many,
+    scenarios_for_cases,
+)
 
 __all__ = [
     "CostModel",
@@ -67,4 +74,9 @@ __all__ = [
     "DiscoveryResult",
     "SemanticMapper",
     "discover_mappings",
+    "BatchDiscovery",
+    "BatchResult",
+    "Scenario",
+    "discover_many",
+    "scenarios_for_cases",
 ]

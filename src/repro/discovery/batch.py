@@ -1,0 +1,213 @@
+"""Batch discovery: shared indexes plus parallel scenario fan-out.
+
+:func:`discover_many` runs a list of :class:`Scenario` specs through
+:class:`~repro.discovery.mapper.SemanticMapper`. In serial mode the
+shared-computation layer does the heavy lifting automatically: scenarios
+over the same schema pair hit the same :class:`~repro.perf.GraphIndex`,
+reasoner memos, and translation caches, so a whole-dataset run pays the
+per-graph costs once. With ``workers > 1`` scenarios fan out over a
+``concurrent.futures`` process pool; scenarios are grouped by schema
+pair so each worker process also shares its caches across the group's
+correspondence sets. Scenario specs are plain picklable dataclasses —
+if a spec turns out not to pickle, the batch degrades to serial and
+records a note instead of failing.
+
+Parallel and serial modes produce identical results: each scenario runs
+the same deterministic ``discover()``, and outputs are re-ordered to the
+input order before returning.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.correspondences import CorrespondenceSet
+from repro.discovery.mapper import DiscoveryResult, SemanticMapper
+from repro.perf import counters as perf_counters
+from repro.semantics.lav import SchemaSemantics
+
+
+@dataclass(frozen=True, eq=False)
+class Scenario:
+    """One discovery request: a schema pair plus correspondences.
+
+    ``mapper_options`` holds extra :class:`SemanticMapper` keyword
+    arguments as a sorted tuple of pairs, keeping the spec hashable-free
+    and picklable.
+    """
+
+    scenario_id: str
+    source: SchemaSemantics
+    target: SchemaSemantics
+    correspondences: CorrespondenceSet
+    mapper_options: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def create(
+        cls,
+        scenario_id: str,
+        source: SchemaSemantics,
+        target: SchemaSemantics,
+        correspondences: CorrespondenceSet,
+        **mapper_options: object,
+    ) -> "Scenario":
+        return cls(
+            scenario_id,
+            source,
+            target,
+            correspondences,
+            tuple(sorted(mapper_options.items())),
+        )
+
+    def run(self) -> DiscoveryResult:
+        mapper = SemanticMapper(
+            self.source,
+            self.target,
+            self.correspondences,
+            **dict(self.mapper_options),
+        )
+        return mapper.discover()
+
+
+@dataclass
+class BatchResult:
+    """Per-scenario results (input order) plus aggregate statistics."""
+
+    results: list[tuple[str, DiscoveryResult]]
+    stats: dict[str, int | float] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def result_for(self, scenario_id: str) -> DiscoveryResult:
+        for found_id, result in self.results:
+            if found_id == scenario_id:
+                return result
+        raise KeyError(scenario_id)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def _group_by_pair(
+    scenarios: Sequence[Scenario],
+) -> list[list[tuple[int, Scenario]]]:
+    """Partition scenarios by schema pair, keeping original positions.
+
+    Grouping keeps every scenario of one schema pair in one worker, so
+    the worker's graph indexes, reasoner memos, and translation caches
+    are shared across the pair's correspondence sets.
+    """
+    groups: dict[tuple[int, int], list[tuple[int, Scenario]]] = {}
+    for position, scenario in enumerate(scenarios):
+        key = (id(scenario.source), id(scenario.target))
+        groups.setdefault(key, []).append((position, scenario))
+    return list(groups.values())
+
+
+def _run_group(
+    group: list[tuple[int, Scenario]],
+) -> list[tuple[int, str, DiscoveryResult]]:
+    """Process-pool worker: run one schema pair's scenarios serially."""
+    return [
+        (position, scenario.scenario_id, scenario.run())
+        for position, scenario in group
+    ]
+
+
+def _aggregate_stats(
+    results: Iterable[tuple[str, DiscoveryResult]],
+) -> dict[str, int | float]:
+    totals = perf_counters.PerfCounters()
+    wall = 0.0
+    count = 0
+    for _, result in results:
+        totals.merge(result.stats)
+        wall += result.elapsed_seconds
+        count += 1
+    stats = totals.snapshot()
+    stats["scenarios"] = count
+    stats["total_discovery_seconds"] = round(wall, 6)
+    return stats
+
+
+class BatchDiscovery:
+    """Front-end running many scenarios with shared computation.
+
+    >>> batch = BatchDiscovery(workers=1)  # doctest: +SKIP
+    >>> batch.discover_many(scenarios)     # doctest: +SKIP
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def discover_many(
+        self,
+        scenarios: Sequence[Scenario],
+        workers: int | None = None,
+    ) -> BatchResult:
+        scenarios = list(scenarios)
+        workers = self.workers if workers is None else workers
+        notes: list[str] = []
+        if workers > 1 and len(scenarios) > 1:
+            try:
+                ordered = self._run_parallel(scenarios, workers)
+            except pickle.PicklingError as error:
+                notes.append(f"falling back to serial: unpicklable ({error})")
+                ordered = self._run_serial(scenarios)
+        else:
+            ordered = self._run_serial(scenarios)
+        return BatchResult(ordered, _aggregate_stats(ordered), notes)
+
+    def _run_serial(
+        self, scenarios: Sequence[Scenario]
+    ) -> list[tuple[str, DiscoveryResult]]:
+        return [
+            (scenario.scenario_id, scenario.run()) for scenario in scenarios
+        ]
+
+    def _run_parallel(
+        self, scenarios: Sequence[Scenario], workers: int
+    ) -> list[tuple[str, DiscoveryResult]]:
+        groups = _group_by_pair(scenarios)
+        # Probe picklability up front so the fallback happens before any
+        # worker is spawned (ProcessPoolExecutor failures are otherwise
+        # raised lazily and can poison the pool).
+        pickle.dumps(scenarios[0])
+        slots: list[tuple[int, str, DiscoveryResult] | None] = [
+            None
+        ] * len(scenarios)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for rows in pool.map(_run_group, groups):
+                for position, scenario_id, result in rows:
+                    slots[position] = (position, scenario_id, result)
+        assert all(slot is not None for slot in slots)
+        return [(scenario_id, result) for _, scenario_id, result in slots]
+
+
+def discover_many(
+    scenarios: Sequence[Scenario],
+    workers: int = 1,
+) -> BatchResult:
+    """Run many discovery scenarios, sharing work; see the module doc."""
+    return BatchDiscovery(workers=workers).discover_many(scenarios)
+
+
+def scenarios_for_cases(
+    source: SchemaSemantics,
+    target: SchemaSemantics,
+    cases: Iterable[tuple[str, CorrespondenceSet]],
+    mapper_options: Mapping[str, object] | None = None,
+) -> list[Scenario]:
+    """Scenarios for many correspondence sets over one schema pair."""
+    options = dict(mapper_options or {})
+    return [
+        Scenario.create(case_id, source, target, correspondences, **options)
+        for case_id, correspondences in cases
+    ]

@@ -25,6 +25,8 @@ from repro.cm.cardinality import ConnectionCategory, categories_compatible
 from repro.cm.graph import CMEdge
 from repro.cm.model import SemanticType
 from repro.cm.reasoner import CMReasoner
+from repro.perf import config as perf_config
+from repro.perf import counters as perf_counters
 
 
 def path_semantic_type(edges: Sequence[CMEdge]) -> SemanticType:
@@ -57,11 +59,37 @@ class ConnectionProfile:
 
     @classmethod
     def of_path(cls, edges: Sequence[CMEdge]) -> "ConnectionProfile":
+        if not perf_config.enabled():
+            return cls._compute(edges)
+        key = tuple(edges)  # CMEdge is frozen: the tuple is a full identity
+        hit = _PROFILE_CACHE.get(key)
+        if hit is not None:
+            perf_counters.record("profile_cache_hits")
+            return hit
+        perf_counters.record("profile_cache_misses")
+        profile = cls._compute(edges)
+        if len(_PROFILE_CACHE) >= _PROFILE_CACHE_MAX:
+            _PROFILE_CACHE.clear()
+        _PROFILE_CACHE[key] = profile
+        return profile
+
+    @classmethod
+    def _compute(cls, edges: Sequence[CMEdge]) -> "ConnectionProfile":
         return cls(
             category=CMReasoner.path_category(edges),
             semantic_type=path_semantic_type(edges),
             length=len(edges),
         )
+
+
+#: Module-wide ``of_path`` memo; keys are frozen edge tuples, so entries
+#: from different models cannot collide. Bounded by wholesale clearing.
+_PROFILE_CACHE: dict[tuple[CMEdge, ...], ConnectionProfile] = {}
+_PROFILE_CACHE_MAX = 8192
+
+
+def clear_profile_cache() -> None:
+    _PROFILE_CACHE.clear()
 
 
 def connections_compatible(

@@ -277,7 +277,7 @@ def _lossy_csgs(
 ) -> list[CSG]:
     from repro.cm.reasoner import CMReasoner
 
-    reasoner = CMReasoner(semantics.model)
+    reasoner = CMReasoner.shared(semantics.model)
     start, end = endpoints
 
     def acceptable(path: tuple[CMEdge, ...]) -> bool:
@@ -376,7 +376,7 @@ def extend_with_lossy_paths(
     """
     from repro.cm.reasoner import CMReasoner
 
-    reasoner = CMReasoner(semantics.model)
+    reasoner = CMReasoner.shared(semantics.model)
 
     def acceptable(path: tuple[CMEdge, ...]) -> bool:
         return reasoner.path_is_consistent(list(path))
@@ -488,7 +488,7 @@ def find_source_lossy_csgs(
     )
     from repro.cm.reasoner import CMReasoner
 
-    reasoner = CMReasoner(semantics.model)
+    reasoner = CMReasoner.shared(semantics.model)
 
     def acceptable(path: tuple[CMEdge, ...]) -> bool:
         return reasoner.path_is_consistent(list(path))

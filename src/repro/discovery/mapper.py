@@ -49,6 +49,8 @@ from repro.mappings.expression import (
     deduplicate_candidates,
     trim_redundant_joins,
 )
+from repro.mappings.refinement import optional_tables
+from repro.perf import counters as perf_counters
 from repro.semantics.lav import SchemaSemantics
 
 
@@ -66,6 +68,10 @@ class DiscoveryResult:
     notes: list[str] = field(default_factory=list)
     eliminations: list[str] = field(default_factory=list)
     correspondences: CorrespondenceSet | None = None
+    #: Perf-layer instrumentation for this run: cache hit/miss counters,
+    #: Dijkstra sweeps, paths pruned, and ``time_<phase>_s`` wall times
+    #: (see ``repro.perf.counters`` for the counter vocabulary).
+    stats: dict[str, int | float] = field(default_factory=dict)
 
     def best(self) -> MappingCandidate | None:
         return self.candidates[0] if self.candidates else None
@@ -115,8 +121,8 @@ class SemanticMapper:
         self.use_partof_filter = use_partof_filter
         self.use_disjointness_filter = use_disjointness_filter
         self.use_cardinality_filter = use_cardinality_filter
-        self._source_reasoner = CMReasoner(source_semantics.model)
-        self._target_reasoner = CMReasoner(target_semantics.model)
+        self._source_reasoner = CMReasoner.shared(source_semantics.model)
+        self._target_reasoner = CMReasoner.shared(target_semantics.model)
 
     # ------------------------------------------------------------------
     # Entry point
@@ -125,32 +131,45 @@ class SemanticMapper:
         start = time.perf_counter()
         notes: list[str] = []
         self._eliminations: list[str] = []
-        lifted = self.correspondences.lift(
-            self.source_semantics, self.target_semantics
-        )
-        if not lifted:
-            raise DiscoveryError("no correspondences to interpret")
-        scored: list[tuple[CandidateScore, MappingCandidate]] = []
-        for target_csg in find_target_csgs(self.target_semantics, lifted):
-            relevant = tuple(
-                item
-                for item in lifted
-                if item.target_class in target_csg.marked_classes()
-            )
-            if not relevant:
-                continue
-            scored.extend(self._candidates_for_target(target_csg, relevant, notes))
-        scored.sort(key=lambda pair: pair[0].sort_key())
-        candidates = trim_redundant_joins(
-            deduplicate_candidates([candidate for _, candidate in scored])
-        )
+        with perf_counters.scope() as frame:
+            with perf_counters.phase("lift"):
+                lifted = self.correspondences.lift(
+                    self.source_semantics, self.target_semantics
+                )
+            if not lifted:
+                raise DiscoveryError("no correspondences to interpret")
+            scored: list[tuple[CandidateScore, MappingCandidate]] = []
+            with perf_counters.phase("target_csgs"):
+                target_csgs = find_target_csgs(self.target_semantics, lifted)
+            with perf_counters.phase("source_search"):
+                for target_csg in target_csgs:
+                    relevant = tuple(
+                        item
+                        for item in lifted
+                        if item.target_class in target_csg.marked_classes()
+                    )
+                    if not relevant:
+                        continue
+                    scored.extend(
+                        self._candidates_for_target(target_csg, relevant, notes)
+                    )
+            with perf_counters.phase("rank"):
+                scored.sort(key=lambda pair: pair[0].sort_key())
+                candidates = trim_redundant_joins(
+                    deduplicate_candidates(
+                        [candidate for _, candidate in scored]
+                    )
+                )
         elapsed = time.perf_counter() - start
+        stats = frame.snapshot()
+        stats["time_discover_s"] = round(elapsed, 6)
         return DiscoveryResult(
             candidates,
             elapsed,
             notes,
             eliminations=self._eliminations,
             correspondences=self.correspondences,
+            stats=stats,
         )
 
     # ------------------------------------------------------------------
@@ -238,15 +257,14 @@ class SemanticMapper:
         reversals = self._pair_compatible(source_csg, target_csg, covered)
         if reversals is None:
             return []
-        source_queries = translate_csg(
-            source_csg, covered, "source", self.source_semantics
-        )
-        target_queries = translate_csg(
-            target_csg, covered, "target", self.target_semantics
-        )
+        with perf_counters.phase("translate"):
+            source_queries = translate_csg(
+                source_csg, covered, "source", self.source_semantics
+            )
+            target_queries = translate_csg(
+                target_csg, covered, "target", self.target_semantics
+            )
         results = []
-        from repro.mappings.refinement import optional_tables
-
         for source_query, target_query in itertools.product(
             source_queries, target_queries
         ):

@@ -18,10 +18,13 @@ The discovery algorithm's graph-theoretic core (Sections 3.2–3.3):
 from __future__ import annotations
 
 import heapq
+import itertools
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.cm.graph import CMEdge, CMGraph
+from repro.perf import counters as perf_counters
+from repro.perf.index import GraphIndex
 
 #: Integer edge-cost scale: a plain edge costs 2, so a role edge can cost
 #: 1 and a reified hop (two role edges) totals one plain edge, per the
@@ -137,17 +140,35 @@ class DiscoveredTree:
 MAX_TIED_PATHS = 8
 
 
+def _path_sort_key(path: Sequence[CMEdge]) -> tuple:
+    """Total deterministic order on paths (by their edge-key sequences)."""
+    return tuple(edge_key(edge) for edge in path)
+
+
 def _functional_shortest_paths(
     graph: CMGraph,
     root: str,
     cost_model: CostModel,
+    adjacency: Mapping[str, tuple[CMEdge, ...]] | None = None,
 ) -> dict[str, tuple[int, tuple[tuple[CMEdge, ...], ...]]]:
     """Dijkstra over functional edges: node → (cost, tied shortest paths).
 
     All equal-cost shortest paths are retained (capped) so callers can
     enumerate alternative minimal trees — Example 1.3 needs both the
     ``chairOf`` and the ``deanOf`` connection as separate candidates.
+    Tied paths are kept sorted (:func:`_path_sort_key`) before the
+    ``MAX_TIED_PATHS`` cap is applied, so which ties survive never
+    depends on heap pop order, and every truncation is counted under
+    ``tied_paths_dropped`` instead of happening silently.
+
+    ``adjacency`` is the precomputed functional adjacency of a
+    :class:`~repro.perf.index.GraphIndex`; without it, edges are read
+    (and re-sorted) from the graph on every visit, as the seed did.
     """
+    if adjacency is not None:
+        edges_from = lambda node: adjacency.get(node, ())  # noqa: E731
+    else:
+        edges_from = graph.functional_edges_from
     distances: dict[str, tuple[int, tuple[tuple[CMEdge, ...], ...]]] = {
         root: (0, ((),))
     }
@@ -162,7 +183,7 @@ def _functional_shortest_paths(
             continue
         finalized.add(node)
         node_cost, node_paths = distances[node]
-        for edge in graph.functional_edges_from(node):
+        for edge in edges_from(node):
             step = cost_model.cost(edge)
             candidate = node_cost + step
             extensions = tuple(path + (edge,) for path in node_paths)
@@ -175,12 +196,23 @@ def _functional_shortest_paths(
                 )
                 heapq.heappush(heap, (candidate, counter, edge.target))
             elif candidate == current[0] and edge.target not in finalized:
-                merged = current[1] + tuple(
-                    path
-                    for path in extensions
-                    if path not in current[1]
+                merged = sorted(
+                    current[1]
+                    + tuple(
+                        path
+                        for path in extensions
+                        if path not in current[1]
+                    ),
+                    key=_path_sort_key,
                 )
-                distances[edge.target] = (candidate, merged[:MAX_TIED_PATHS])
+                if len(merged) > MAX_TIED_PATHS:
+                    perf_counters.record(
+                        "tied_paths_dropped", len(merged) - MAX_TIED_PATHS
+                    )
+                distances[edge.target] = (
+                    candidate,
+                    tuple(merged[:MAX_TIED_PATHS]),
+                )
     return distances
 
 
@@ -198,11 +230,21 @@ def functional_trees_from_root(
     enumerated, so alternative connections of equal cost — Example 1.3's
     ``chairOf`` vs ``deanOf`` — each yield their own tree. Only trees of
     minimal union cost are returned.
-    """
-    import itertools
 
+    Shortest-path tables are read through the graph's
+    :class:`~repro.perf.index.GraphIndex`, so repeated roots across
+    target-CSG iterations (and across whole ``discover()`` calls on the
+    same graph) reuse one Dijkstra sweep per ``(root, cost_model)``.
+    """
     cost_model = cost_model or CostModel()
-    paths = _functional_shortest_paths(graph, root, cost_model)
+    index = GraphIndex.of(graph)
+    paths = index.shortest_paths(
+        root,
+        cost_model,
+        lambda: _functional_shortest_paths(
+            graph, root, cost_model, index.functional_adjacency
+        ),
+    )
     covered = frozenset(t for t in set(targets) if t in paths)
     choices = [paths[target][1] for target in sorted(covered)]
     results: list[tuple[int, DiscoveredTree]] = []
@@ -372,30 +414,86 @@ def direction_reversals(edges: Sequence[CMEdge]) -> int:
     return reversals
 
 
+def _make_out_edges(
+    graph: CMGraph, index: GraphIndex
+) -> Callable[[str], tuple[CMEdge, ...]]:
+    """Adjacency lookup through the index, falling back to the graph.
+
+    The fallback preserves the graph's error behaviour for nodes the
+    index does not cover (e.g. an unknown start node still raises).
+    """
+    adjacency = index.adjacency
+
+    def out_edges(node: str) -> tuple[CMEdge, ...]:
+        edges = adjacency.get(node)
+        if edges is None:
+            return graph.edges_from(node)
+        return edges
+
+    return out_edges
+
+
 def simple_paths(
     graph: CMGraph,
     start: str,
     end: str,
     max_edges: int = 6,
 ) -> Iterator[tuple[CMEdge, ...]]:
-    """All simple (node-repetition-free) paths start→end up to a bound."""
+    """All simple (node-repetition-free) paths start→end up to a bound.
 
-    def extend(
-        node: str, path: tuple[CMEdge, ...], seen: frozenset[str]
-    ) -> Iterator[tuple[CMEdge, ...]]:
-        if node == end and path:
-            yield path
-            return
-        if len(path) >= max_edges:
-            return
-        for edge in graph.edges_from(node):
-            if edge.target in seen:
-                continue
-            yield from extend(
-                edge.target, path + (edge,), seen | {edge.target}
-            )
+    Iterative depth-first enumeration (the seed recursed, rebuilding a
+    frozenset per step); yields in the same pre-order as the recursive
+    version. A path stops at ``end`` — paths never pass through it.
+    """
+    out_edges = _make_out_edges(graph, GraphIndex.of(graph))
+    path: list[CMEdge] = []
+    seen: set[str] = {start}
+    stack: list[Iterator[CMEdge]] = [iter(out_edges(start))]
+    while stack:
+        edge = next(stack[-1], None)
+        if edge is None:
+            stack.pop()
+            if path:
+                seen.discard(path.pop().target)
+            continue
+        if edge.target in seen:
+            continue
+        if edge.target == end:
+            yield tuple(path) + (edge,)
+            continue
+        if len(path) + 1 >= max_edges:
+            continue
+        path.append(edge)
+        seen.add(edge.target)
+        stack.append(iter(out_edges(edge.target)))
 
-    yield from extend(start, (), frozenset({start}))
+
+def _extend_reversal_state(
+    reversals: int, last_step: bool | None, edge: CMEdge
+) -> tuple[int, bool | None]:
+    """Fold one edge into the incremental (reversals, last step) state.
+
+    Mirrors :func:`expanded_functionality_profile` edge-by-edge, so the
+    running count of a prefix equals ``direction_reversals(prefix)`` —
+    and, both the count and the path cost being monotone under
+    extension, a prefix already worse than the best complete path can be
+    pruned.
+    """
+    forward = edge.is_functional
+    backward = edge.backward_card.is_functional
+    if forward and backward:
+        return reversals, last_step
+    if forward:
+        steps: tuple[bool, ...] = (True,)
+    elif backward:
+        steps = (False,)
+    else:
+        steps = (False, True)
+    for step in steps:
+        if last_step is not None and step != last_step:
+            reversals += 1
+        last_step = step
+    return reversals, last_step
 
 
 def minimally_lossy_paths(
@@ -411,20 +509,63 @@ def minimally_lossy_paths(
     ``predicate`` filters candidate paths (e.g. "composed category must be
     many-many", or a consistency check); by default all simple paths
     qualify.
+
+    Implemented as an iterative branch-and-bound: the (reversals, cost)
+    score of a partial path is a lower bound for every completion, so
+    once a complete accepted path scores ``best``, any prefix scoring
+    strictly worse is abandoned (counted under ``lossy_paths_pruned``).
+    The surviving set and its order are identical to exhaustively
+    enumerating and filtering, as the seed did.
     """
     cost_model = cost_model or CostModel()
-    scored: list[tuple[int, int, tuple[CMEdge, ...]]] = []
-    for path in simple_paths(graph, start, end, max_edges):
-        if predicate is not None and not predicate(path):
+    out_edges = _make_out_edges(graph, GraphIndex.of(graph))
+    best: tuple[int, int] | None = None
+    found: list[tuple[int, int, tuple[CMEdge, ...]]] = []
+    path: list[CMEdge] = []
+    seen: set[str] = {start}
+    # Each frame: the node's edge iterator plus the incremental
+    # (reversals, last profile step, cost) state of the path so far.
+    stack: list[tuple[Iterator[CMEdge], int, bool | None, int]] = [
+        (iter(out_edges(start)), 0, None, 0)
+    ]
+    while stack:
+        iterator, reversals, last_step, cost = stack[-1]
+        edge = next(iterator, None)
+        if edge is None:
+            stack.pop()
+            if path:
+                seen.discard(path.pop().target)
             continue
-        scored.append(
-            (direction_reversals(path), cost_model.path_cost(path), path)
+        if edge.target in seen:
+            continue
+        perf_counters.record("lossy_paths_expanded")
+        new_reversals, new_last = _extend_reversal_state(
+            reversals, last_step, edge
         )
-    if not scored:
+        new_cost = cost + cost_model.cost(edge)
+        if best is not None and (new_reversals, new_cost) > best:
+            perf_counters.record("lossy_paths_pruned")
+            continue
+        if edge.target == end:
+            candidate = tuple(path) + (edge,)
+            if predicate is None or predicate(candidate):
+                score = (new_reversals, new_cost)
+                if best is None or score < best:
+                    best = score
+                found.append((new_reversals, new_cost, candidate))
+            continue
+        if len(path) + 1 >= max_edges:
+            continue
+        path.append(edge)
+        seen.add(edge.target)
+        stack.append(
+            (iter(out_edges(edge.target)), new_reversals, new_last, new_cost)
+        )
+    if best is None:
         return []
-    scored.sort(key=lambda item: (item[0], item[1], _path_text(item[2])))
-    best = scored[0][:2]
-    return [path for reversal, cost, path in scored if (reversal, cost) == best]
+    survivors = [entry for entry in found if (entry[0], entry[1]) == best]
+    survivors.sort(key=lambda entry: _path_text(entry[2]))
+    return [entry_path for _, _, entry_path in survivors]
 
 
 def _path_text(path: Sequence[CMEdge]) -> str:

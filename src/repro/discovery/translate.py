@@ -10,11 +10,14 @@ target queries of a mapping candidate align positionally.
 
 from __future__ import annotations
 
+import weakref
 from typing import Sequence
 
 from repro.correspondences import LiftedCorrespondence
 from repro.discovery.csg import CSG
 from repro.exceptions import DiscoveryError
+from repro.perf import config as perf_config
+from repro.perf import counters as perf_counters
 from repro.queries.conjunctive import ConjunctiveQuery, Term
 from repro.queries.normalize import key_positions_of_schema
 from repro.queries.rewrite import rewrite_query
@@ -74,6 +77,37 @@ def csg_to_cm_query(
     return ConjunctiveQuery(head_terms, encoded.atoms, name="ans")
 
 
+#: Translation memo, weakly keyed by the semantics object (the values
+#: never reference it, so entries die exactly when the semantics does).
+#: The inner key freezes everything ``csg_to_cm_query`` + rewriting read:
+#: the CSG's tree structure, marked nodes, the covered correspondences,
+#: the side, and the required-tables flag.
+_TRANSLATION_CACHE: "weakref.WeakKeyDictionary[SchemaSemantics, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def clear_translation_cache() -> None:
+    _TRANSLATION_CACHE.clear()
+
+
+def _csg_cache_key(csg: CSG) -> tuple:
+    return (
+        str(csg.tree.root),
+        tuple(
+            (
+                str(edge.parent),
+                edge.cm_edge.source,
+                edge.cm_edge.label,
+                edge.cm_edge.target,
+                str(edge.child),
+            )
+            for edge in csg.tree.edges
+        ),
+        tuple((name, str(node)) for name, node in csg.marked),
+    )
+
+
 def translate_csg(
     csg: CSG,
     covered: Sequence[LiftedCorrespondence],
@@ -81,12 +115,49 @@ def translate_csg(
     semantics: SchemaSemantics,
     require_correspondence_tables: bool = True,
 ) -> list[ConjunctiveQuery]:
-    """CSG → table-level queries via LAV rewriting.
+    """CSG → table-level queries via LAV rewriting (memoized).
 
     Per the paper, surviving rewritings must mention the tables whose
     columns are linked by the covered correspondences; containment-
     redundant rewritings are pruned inside :func:`rewrite_query`.
+    Rewriting is deterministic and by far the most expensive step of
+    candidate emission, so results are memoized per semantics object —
+    repeated discovery over the same schema pair (batch runs, warm
+    re-runs) skips it entirely.
     """
+    if not perf_config.enabled():
+        return _translate_uncached(
+            csg, covered, side, semantics, require_correspondence_tables
+        )
+    store = _TRANSLATION_CACHE.get(semantics)
+    if store is None:
+        store = {}
+        _TRANSLATION_CACHE[semantics] = store
+    key = (
+        side,
+        bool(require_correspondence_tables),
+        _csg_cache_key(csg),
+        tuple(covered),
+    )
+    hit = store.get(key)
+    if hit is not None:
+        perf_counters.record("translate_cache_hits")
+        return list(hit)
+    perf_counters.record("translate_cache_misses")
+    queries = _translate_uncached(
+        csg, covered, side, semantics, require_correspondence_tables
+    )
+    store[key] = tuple(queries)
+    return queries
+
+
+def _translate_uncached(
+    csg: CSG,
+    covered: Sequence[LiftedCorrespondence],
+    side: str,
+    semantics: SchemaSemantics,
+    require_correspondence_tables: bool,
+) -> list[ConjunctiveQuery]:
     cm_query = csg_to_cm_query(csg, covered, side, semantics)
     required: set[str] = set()
     if require_correspondence_tables:

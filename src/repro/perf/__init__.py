@@ -1,0 +1,56 @@
+"""The shared-computation performance layer.
+
+Cross-cutting caches and instrumentation for the discovery pipeline:
+
+* :mod:`repro.perf.config` — a global on/off switch (``disabled()``
+  restores the uncached seed behaviour for equivalence testing);
+* :mod:`repro.perf.counters` — named counters and per-phase wall time,
+  surfaced through ``DiscoveryResult.stats``;
+* :mod:`repro.perf.index` — immutable per-``CMGraph`` indexes with
+  lazily cached per-root shortest-path tables;
+* :mod:`repro.perf.bench` — the JSON-emitting benchmark core behind
+  ``python -m repro bench`` and ``benchmarks/benchmark_batch.py``.
+
+See ``docs/performance.md`` for the architecture (cache keys, index
+lifetimes, and invalidation by immutability).
+"""
+
+from repro.perf.config import disabled, enabled, set_enabled
+from repro.perf.counters import (
+    PerfCounters,
+    global_counters,
+    phase,
+    record,
+    record_time,
+    reset,
+    scope,
+)
+from repro.perf.index import GraphIndex
+
+__all__ = [
+    "disabled",
+    "enabled",
+    "set_enabled",
+    "PerfCounters",
+    "global_counters",
+    "phase",
+    "record",
+    "record_time",
+    "reset",
+    "scope",
+    "GraphIndex",
+]
+
+
+def clear_caches() -> None:
+    """Drop every process-wide cache of the perf layer.
+
+    Benchmarks call this between cold runs; the per-object caches
+    (reasoner memos, semantics-keyed translation memos) die with their
+    owners and are additionally bypassed under :func:`disabled`.
+    """
+    GraphIndex.clear_registry()
+    from repro.discovery import compatibility, translate
+
+    compatibility.clear_profile_cache()
+    translate.clear_translation_cache()

@@ -1,0 +1,274 @@
+"""The JSON-emitting discovery benchmark behind ``python -m repro bench``.
+
+Three exhibits, written to ``BENCH_discovery.json``:
+
+* **paper scenarios** — every benchmark case of every dataset pair runs
+  through :func:`repro.discovery.discover_many`; the report records
+  per-scenario wall time, candidate counts, and the cache counters from
+  ``DiscoveryResult.stats``. Candidate counts are checked against
+  :data:`repro.perf.invariants.EXPECTED_CANDIDATE_COUNTS` and any drift
+  fails the run — the perf layer must change speed, never results.
+* **chain-12 warm vs cold** — a 12-hop chain model (the worst case for
+  the Steiner search) is discovered once with the perf layer disabled
+  (the uncached seed path) and twice with it enabled; the second enabled
+  run hits warm caches. The report records both times and the speedup.
+* **mode equivalence** — the chain scenario's TGD output must be
+  byte-identical across disabled, cold, and warm runs, and the paper
+  scenarios must be byte-identical between ``workers=1`` and
+  ``workers=N`` batches.
+
+Benchmarks are repo-root artifacts: run from a checkout, the JSON lands
+next to ``pyproject.toml`` unless ``--output`` says otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import repro.perf as perf
+from repro.cm import ConceptualModel
+from repro.correspondences import CorrespondenceSet
+from repro.datasets.registry import load_all_datasets
+from repro.discovery.batch import Scenario, discover_many
+from repro.discovery.mapper import DiscoveryResult, SemanticMapper
+from repro.perf.invariants import EXPECTED_CANDIDATE_COUNTS
+from repro.semantics import design_schema
+
+#: Chain length of the warm-vs-cold exhibit (matches the largest point
+#: of ``benchmarks/benchmark_scalability.py``).
+CHAIN_LENGTH = 12
+
+#: Counters worth surfacing per scenario (the full vocabulary lives in
+#: ``repro.perf.counters``; the rest stays available via ``--stats``).
+_REPORTED_COUNTERS = (
+    "dijkstra_sweeps",
+    "dijkstra_cache_hits",
+    "dijkstra_cache_misses",
+    "lossy_paths_expanded",
+    "lossy_paths_pruned",
+    "tied_paths_dropped",
+    "path_consistency_cache_hits",
+    "tree_consistency_cache_hits",
+    "profile_cache_hits",
+    "translate_cache_hits",
+    "translate_cache_misses",
+)
+
+
+def _chain_model(name: str, length: int) -> ConceptualModel:
+    """``C0 →f0→ C1 → ... → Cn`` plus one pendant class per link."""
+    cm = ConceptualModel(name)
+    for index in range(length + 1):
+        cm.add_class(
+            f"C{index}",
+            attributes=[f"k{index}", f"a{index}"],
+            key=[f"k{index}"],
+        )
+        cm.add_class(f"P{index}", attributes=[f"pk{index}"], key=[f"pk{index}"])
+        cm.add_relationship(
+            f"pend{index}", f"C{index}", f"P{index}", "0..1", "0..*"
+        )
+    for index in range(length):
+        cm.add_relationship(
+            f"f{index}", f"C{index}", f"C{index + 1}", "1..1", "0..*"
+        )
+    return cm
+
+
+def build_chain_scenario(length: int = CHAIN_LENGTH):
+    """Fresh (source, target, correspondences) for one chain length."""
+    source = design_schema(_chain_model("chain_src", length), "src")
+    target = design_schema(_chain_model("chain_tgt", length), "tgt")
+    correspondences = CorrespondenceSet.parse(
+        [
+            "c0.a0 <-> c0.a0",
+            f"c{length}.a{length} <-> c{length}.a{length}",
+        ]
+    )
+    return source.semantics, target.semantics, correspondences
+
+
+def _tgds(result: DiscoveryResult) -> tuple[str, ...]:
+    """Canonical text of a result — the byte-identity equivalence key."""
+    return tuple(
+        candidate.to_tgd(f"M{index}")
+        for index, candidate in enumerate(result, start=1)
+    )
+
+
+def _timed_discover(source, target, correspondences):
+    start = time.perf_counter()
+    result = SemanticMapper(source, target, correspondences).discover()
+    return time.perf_counter() - start, result
+
+
+def _paper_scenarios() -> list[tuple[str, Scenario]]:
+    rows = []
+    for pair in load_all_datasets():
+        for mapping_case in pair.cases:
+            key = f"{pair.name}/{mapping_case.case_id}"
+            rows.append(
+                (
+                    key,
+                    Scenario.create(
+                        key,
+                        pair.source,
+                        pair.target,
+                        mapping_case.correspondences,
+                    ),
+                )
+            )
+    return rows
+
+
+def run_paper_scenarios(workers: int) -> tuple[dict, list[str]]:
+    """Serial batch + parallel batch over every paper case."""
+    rows = _paper_scenarios()
+    scenarios = [scenario for _, scenario in rows]
+
+    perf.clear_caches()
+    start = time.perf_counter()
+    serial = discover_many(scenarios, workers=1)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = discover_many(scenarios, workers=workers)
+    parallel_seconds = time.perf_counter() - start
+
+    failures: list[str] = []
+    scenario_rows = []
+    for (key, _), (scenario_id, result) in zip(rows, serial.results):
+        expected = EXPECTED_CANDIDATE_COUNTS.get(key)
+        if expected is None:
+            failures.append(f"{key}: no expected candidate count recorded")
+        elif len(result) != expected:
+            failures.append(
+                f"{key}: candidate count drifted "
+                f"(expected {expected}, got {len(result)})"
+            )
+        counters = {
+            name: result.stats.get(name, 0) for name in _REPORTED_COUNTERS
+        }
+        scenario_rows.append(
+            {
+                "scenario": scenario_id,
+                "wall_seconds": result.stats.get(
+                    "time_discover_s", result.elapsed_seconds
+                ),
+                "candidates": len(result),
+                "counters": counters,
+            }
+        )
+
+    for (key, _), (_, serial_result), (_, parallel_result) in zip(
+        rows, serial.results, parallel.results
+    ):
+        if _tgds(serial_result) != _tgds(parallel_result):
+            failures.append(
+                f"{key}: workers={workers} output differs from serial"
+            )
+
+    report = {
+        "scenarios": scenario_rows,
+        "serial_seconds": round(serial_seconds, 4),
+        f"workers_{workers}_seconds": round(parallel_seconds, 4),
+        "batch_counters": dict(serial.stats),
+        "notes": serial.notes + parallel.notes,
+    }
+    return report, failures
+
+
+def run_chain_benchmark() -> tuple[dict, list[str]]:
+    """Chain-12 warm vs cold plus disabled/cold/warm equivalence."""
+    failures: list[str] = []
+
+    # The seed path: perf layer off, nothing cached anywhere.
+    source, target, correspondences = build_chain_scenario()
+    with perf.disabled():
+        perf.clear_caches()
+        disabled_seconds, disabled_result = _timed_discover(
+            source, target, correspondences
+        )
+
+    # Enabled, cold: fresh semantics so no per-object memo survives.
+    source, target, correspondences = build_chain_scenario()
+    perf.clear_caches()
+    cold_seconds, cold_result = _timed_discover(
+        source, target, correspondences
+    )
+    # Enabled, warm: same objects again — every cache layer hits.
+    warm_seconds, warm_result = _timed_discover(
+        source, target, correspondences
+    )
+
+    speedup = disabled_seconds / warm_seconds if warm_seconds else float("inf")
+    if speedup < 2.0:
+        failures.append(
+            f"chain-{CHAIN_LENGTH}: warm speedup {speedup:.2f}x < 2x "
+            f"(cold {disabled_seconds:.3f}s, warm {warm_seconds:.3f}s)"
+        )
+
+    reference = _tgds(disabled_result)
+    for label, result in (("cold", cold_result), ("warm", warm_result)):
+        if _tgds(result) != reference:
+            failures.append(
+                f"chain-{CHAIN_LENGTH}: {label} output differs from the "
+                "uncached seed path"
+            )
+
+    report = {
+        "chain_length": CHAIN_LENGTH,
+        "cold_seed_seconds": round(disabled_seconds, 4),
+        "cold_indexed_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 6),
+        "warm_speedup": round(speedup, 2),
+        "candidates": len(warm_result),
+        "counters": {
+            name: warm_result.stats.get(name, 0)
+            for name in _REPORTED_COUNTERS
+        },
+    }
+    return report, failures
+
+
+def run_benchmarks(workers: int = 2) -> tuple[dict, list[str]]:
+    """Both exhibits; returns (report, failures)."""
+    paper_report, paper_failures = run_paper_scenarios(workers)
+    chain_report, chain_failures = run_chain_benchmark()
+    report = {
+        "benchmark": "discovery",
+        "workers": workers,
+        "paper_scenarios": paper_report,
+        "chain": chain_report,
+    }
+    return report, paper_failures + chain_failures
+
+
+def main(output: str = "BENCH_discovery.json", workers: int = 2) -> int:
+    report, failures = run_benchmarks(workers=workers)
+    report["failures"] = failures
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    chain = report["chain"]
+    print(
+        f"chain-{chain['chain_length']}: "
+        f"cold {chain['cold_seed_seconds']}s, "
+        f"warm {chain['warm_seconds']}s "
+        f"({chain['warm_speedup']}x)"
+    )
+    print(
+        f"paper scenarios: {len(report['paper_scenarios']['scenarios'])} "
+        f"cases, serial {report['paper_scenarios']['serial_seconds']}s"
+    )
+    print(f"report written to {output}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""Global switch for the shared-computation layer.
+
+Every cache in the performance layer (graph indexes, shortest-path
+tables, consistency memos, translation memos) consults :func:`enabled`
+before reading or writing. Disabling the layer — typically via the
+:func:`disabled` context manager — restores the seed behaviour where
+every ``discover()`` call recomputes from scratch, which is what the
+equivalence tests and the cold-baseline benchmarks compare against.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_ENABLED = True
+
+
+def enabled() -> bool:
+    """Whether the shared-computation caches are active."""
+    return _ENABLED
+
+
+def set_enabled(value: bool) -> None:
+    global _ENABLED
+    _ENABLED = bool(value)
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Run a block with every perf cache bypassed (the seed code path)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = previous

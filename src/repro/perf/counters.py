@@ -1,0 +1,113 @@
+"""Lightweight instrumentation: named counters and per-phase wall time.
+
+Counters are recorded into a stack of *frames*. The root frame lives for
+the whole process; :func:`scope` pushes a fresh frame so one
+``discover()`` call (or one batch run) can report exactly the events it
+caused while outer scopes keep accumulating. Recording walks the stack,
+which is at most a few frames deep, so the hot-path cost is two or three
+dict increments.
+
+Counter names used across the codebase:
+
+``dijkstra_sweeps``, ``dijkstra_cache_hits``, ``dijkstra_cache_misses``
+    per-root shortest-path table computations vs :class:`GraphIndex` hits;
+``tied_paths_dropped``
+    tied shortest paths truncated by ``MAX_TIED_PATHS`` (satellite:
+    truncation is no longer silent);
+``lossy_paths_expanded``, ``lossy_paths_pruned``
+    branch-and-bound search effort in ``minimally_lossy_paths``;
+``path_consistency_cache_*``, ``tree_consistency_cache_*``
+    :class:`CMReasoner` memo traffic;
+``profile_cache_*``
+    ``ConnectionProfile.of_path`` memo traffic;
+``translate_cache_*``
+    CSG → table-query translation memo traffic.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class PerfCounters:
+    """One frame of counters plus per-phase wall-time accumulators."""
+
+    __slots__ = ("counts", "timings")
+
+    def __init__(self) -> None:
+        self.counts: Counter[str] = Counter()
+        self.timings: Counter[str] = Counter()
+
+    def snapshot(self) -> dict[str, int | float]:
+        """A JSON-friendly view: counters plus ``time_<phase>_s`` keys."""
+        data: dict[str, int | float] = {
+            name: int(value) for name, value in sorted(self.counts.items())
+        }
+        for name, seconds in sorted(self.timings.items()):
+            data[f"time_{name}_s"] = round(seconds, 6)
+        return data
+
+    def merge(self, other: "PerfCounters | dict[str, int | float]") -> None:
+        """Fold another frame (or a snapshot dict) into this one."""
+        if isinstance(other, PerfCounters):
+            self.counts.update(other.counts)
+            self.timings.update(other.timings)
+            return
+        for name, value in other.items():
+            if name.startswith("time_") and name.endswith("_s"):
+                self.timings[name[len("time_") : -len("_s")]] += float(value)
+            else:
+                self.counts[name] += int(value)
+
+    def __repr__(self) -> str:
+        return f"PerfCounters({dict(self.counts)}, {dict(self.timings)})"
+
+
+_STACK: list[PerfCounters] = [PerfCounters()]
+
+
+def record(name: str, amount: int = 1) -> None:
+    """Increment ``name`` in every active frame."""
+    for frame in _STACK:
+        frame.counts[name] += amount
+
+
+def record_time(name: str, seconds: float) -> None:
+    for frame in _STACK:
+        frame.timings[name] += seconds
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Accumulate the block's wall time under ``time_<name>_s``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        record_time(name, time.perf_counter() - start)
+
+
+@contextmanager
+def scope() -> Iterator[PerfCounters]:
+    """Push a fresh frame; yields it so callers can snapshot afterwards."""
+    frame = PerfCounters()
+    _STACK.append(frame)
+    try:
+        yield frame
+    finally:
+        _STACK.remove(frame)
+
+
+def global_counters() -> PerfCounters:
+    """The process-lifetime root frame."""
+    return _STACK[0]
+
+
+def reset() -> None:
+    """Clear the root frame (scoped frames are unaffected)."""
+    root = _STACK[0]
+    root.counts.clear()
+    root.timings.clear()

@@ -1,0 +1,110 @@
+"""Immutable per-``CMGraph`` indexes for the discovery search.
+
+A :class:`GraphIndex` snapshots everything the tree/path search reads
+from a CM graph — functional adjacency, full (non-attribute) adjacency,
+the class-node list, and the reified-node set — into plain dicts and
+tuples, and lazily caches per-root shortest-path tables keyed by
+``(root, CostModel)``.
+
+Correctness rests on *invalidation by immutability*: a ``CMGraph`` is
+fully built in its constructor and never mutated afterwards, so an index
+taken at any point stays valid for the graph's lifetime. Indexes are
+shared through a weak-keyed registry (the index holds no reference back
+to the graph, so entries die exactly when their graph does). When the
+perf layer is disabled (:mod:`repro.perf.config`) a fresh, unshared
+index is built per request so no state survives between calls.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING, Callable, Hashable
+
+from repro.perf import config, counters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cm.graph import CMEdge, CMGraph
+
+
+class GraphIndex:
+    """Precomputed adjacency and cached search tables for one CM graph."""
+
+    __slots__ = (
+        "class_nodes",
+        "reified_nodes",
+        "adjacency",
+        "functional_adjacency",
+        "_shortest",
+        "__weakref__",
+    )
+
+    def __init__(self, graph: "CMGraph") -> None:
+        self.class_nodes: tuple[str, ...] = graph.class_nodes()
+        self.reified_nodes: frozenset[str] = frozenset(
+            node for node in self.class_nodes if graph.is_reified(node)
+        )
+        self.adjacency: dict[str, tuple["CMEdge", ...]] = {
+            node: graph.edges_from(node) for node in self.class_nodes
+        }
+        self.functional_adjacency: dict[str, tuple["CMEdge", ...]] = {
+            node: tuple(
+                edge for edge in self.adjacency[node] if edge.is_functional
+            )
+            for node in self.class_nodes
+        }
+        # (root, CostModel) → node → (cost, tied shortest paths); tables
+        # are computed by the caller-provided function on first request.
+        self._shortest: dict[tuple[str, Hashable], object] = {}
+
+    _REGISTRY: "weakref.WeakKeyDictionary[CMGraph, GraphIndex]" = (
+        weakref.WeakKeyDictionary()
+    )
+
+    @classmethod
+    def of(cls, graph: "CMGraph") -> "GraphIndex":
+        """The shared index of ``graph`` (fresh/unshared when disabled)."""
+        if not config.enabled():
+            return cls(graph)
+        index = cls._REGISTRY.get(graph)
+        if index is None:
+            index = cls(graph)
+            cls._REGISTRY[graph] = index
+        return index
+
+    @classmethod
+    def clear_registry(cls) -> None:
+        """Drop every shared index (benchmarks use this to force cold runs)."""
+        cls._REGISTRY.clear()
+
+    def out_edges(self, node: str) -> tuple["CMEdge", ...]:
+        """Non-attribute outgoing edges (precomputed, already sorted)."""
+        return self.adjacency[node]
+
+    def shortest_paths(
+        self,
+        root: str,
+        cost_model: Hashable,
+        compute: Callable[[], object],
+    ):
+        """The cached Dijkstra table for ``(root, cost_model)``.
+
+        ``compute`` runs on a miss; the returned table must be treated as
+        read-only by callers (it is shared across hits).
+        """
+        key = (root, cost_model)
+        table = self._shortest.get(key)
+        if table is not None:
+            counters.record("dijkstra_cache_hits")
+            return table
+        counters.record("dijkstra_cache_misses")
+        counters.record("dijkstra_sweeps")
+        table = compute()
+        if config.enabled():
+            self._shortest[key] = table
+        return table
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphIndex(classes={len(self.class_nodes)}, "
+            f"cached_roots={len(self._shortest)})"
+        )

@@ -1,0 +1,49 @@
+"""Tier-1 discovery invariants guarded by ``python -m repro bench``.
+
+Candidate counts per paper benchmark scenario, recorded when the
+shared-computation layer landed. ``repro.perf.bench`` recomputes them on
+every run and fails on drift — a perf change must never alter *what* the
+pipeline discovers, only how fast it discovers it. Update these numbers
+deliberately (alongside the change that justifies them), never to make
+a red bench green.
+"""
+
+from __future__ import annotations
+
+#: ``"<dataset>/<case_id>" → number of candidates`` from ``discover()``.
+EXPECTED_CANDIDATE_COUNTS: dict[str, int] = {
+    "DBLP/dblp-article-in-journal": 1,
+    "DBLP/dblp-author-of-publication": 1,
+    "DBLP/dblp-author-in-journal": 1,
+    "DBLP/dblp-paper-at-conference": 1,
+    "DBLP/dblp-book-publisher": 1,
+    "DBLP/dblp-author-at-conference": 1,
+    "Mondial/mondial-city-in-country": 1,
+    "Mondial/mondial-river-through-country": 1,
+    "Mondial/mondial-language-spoken": 1,
+    "Mondial/mondial-org-hq-city": 1,
+    "Mondial/mondial-mountain-continent": 1,
+    "Amalgam/amalgam-article-basic": 1,
+    "Amalgam/amalgam-author-of-article": 1,
+    "Amalgam/amalgam-author-journal": 1,
+    "Amalgam/amalgam-techreport-institution": 2,
+    "Amalgam/amalgam-author-trivial": 1,
+    "Amalgam/amalgam-author-publisher": 1,
+    "Amalgam/amalgam-author-institution": 5,
+    "3Sdb/sdb-assay-in-experiment": 1,
+    "3Sdb/sdb-measurement-levels": 1,
+    "3Sdb/sdb-sample-gene": 1,
+    "UT/ut-professor-teaches-course": 1,
+    "UT/ut-course-project-of-person": 2,
+    "Hotel/hotel-room-of-hotel": 1,
+    "Hotel/hotel-guest-stays-at-hotel": 1,
+    "Hotel/hotel-rate-of-room": 1,
+    "Hotel/hotel-guest-rate": 1,
+    "Hotel/hotel-trivial-hotel-property": 1,
+    "Network/network-interface-of-device": 1,
+    "Network/network-router-switch-merge": 1,
+    "Network/network-device-at-site": 1,
+    "Network/network-link-carrier": 1,
+    "Network/network-vlan-membership": 1,
+    "Network/network-vlan-link": 1,
+}

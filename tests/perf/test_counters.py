@@ -1,0 +1,55 @@
+"""Unit tests for the stack-scoped perf counters."""
+
+from __future__ import annotations
+
+import time
+
+from repro.perf import counters
+
+
+def setup_function(_):
+    counters.reset()
+
+
+def test_record_hits_global_frame():
+    counters.record("dijkstra_sweeps")
+    counters.record("dijkstra_sweeps", 2)
+    assert counters.global_counters().counts["dijkstra_sweeps"] == 3
+
+
+def test_scope_isolates_and_still_feeds_global():
+    with counters.scope() as frame:
+        counters.record("translate_cache_hits")
+    assert frame.counts["translate_cache_hits"] == 1
+    assert counters.global_counters().counts["translate_cache_hits"] == 1
+    with counters.scope() as second:
+        pass
+    assert second.counts["translate_cache_hits"] == 0
+
+
+def test_nested_scopes_both_count():
+    with counters.scope() as outer:
+        with counters.scope() as inner:
+            counters.record("profile_cache_hits")
+    assert inner.counts["profile_cache_hits"] == 1
+    assert outer.counts["profile_cache_hits"] == 1
+
+
+def test_phase_records_wall_time():
+    with counters.scope() as frame:
+        with counters.phase("rank"):
+            time.sleep(0.001)
+    snapshot = frame.snapshot()
+    assert snapshot["time_rank_s"] > 0
+
+
+def test_snapshot_and_merge_round_trip():
+    with counters.scope() as frame:
+        counters.record("lossy_paths_pruned", 4)
+        with counters.phase("search"):
+            pass
+    merged = counters.PerfCounters()
+    merged.merge(frame.snapshot())
+    merged.merge(frame)
+    assert merged.counts["lossy_paths_pruned"] == 8
+    assert merged.snapshot()["time_search_s"] >= 0

@@ -1,0 +1,86 @@
+"""Unit tests for GraphIndex sharing, caching, and the disable switch."""
+
+from __future__ import annotations
+
+import gc
+
+import repro.perf as perf
+from repro.cm import CMGraph, ConceptualModel
+from repro.perf import counters
+from repro.perf.index import GraphIndex
+
+
+def _graph() -> CMGraph:
+    cm = ConceptualModel("g")
+    cm.add_class("A", attributes=["a"], key=["a"])
+    cm.add_class("B", attributes=["b"], key=["b"])
+    cm.add_class("C", attributes=["c"], key=["c"])
+    cm.add_relationship("r", "A", "B", "1..1", "0..*")
+    cm.add_relationship("s", "B", "C", "0..*", "0..*")
+    return CMGraph(cm)
+
+
+def setup_function(_):
+    GraphIndex.clear_registry()
+    counters.reset()
+
+
+def test_of_shares_one_index_per_graph():
+    graph = _graph()
+    assert GraphIndex.of(graph) is GraphIndex.of(graph)
+    assert GraphIndex.of(_graph()) is not GraphIndex.of(graph)
+
+
+def test_of_disabled_returns_fresh_unshared():
+    graph = _graph()
+    shared = GraphIndex.of(graph)
+    with perf.disabled():
+        fresh = GraphIndex.of(graph)
+    assert fresh is not shared
+    assert GraphIndex.of(graph) is shared
+
+
+def test_adjacency_matches_graph():
+    graph = _graph()
+    index = GraphIndex.of(graph)
+    for node in graph.class_nodes():
+        assert index.out_edges(node) == graph.edges_from(node)
+        assert index.functional_adjacency[node] == tuple(
+            edge for edge in graph.edges_from(node) if edge.is_functional
+        )
+
+
+def test_shortest_paths_computes_once_per_key():
+    index = GraphIndex.of(_graph())
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return {"A": (0, ())}
+
+    first = index.shortest_paths("A", "unit-cost", compute)
+    second = index.shortest_paths("A", "unit-cost", compute)
+    assert first is second
+    assert len(calls) == 1
+    index.shortest_paths("A", "other-cost", compute)
+    assert len(calls) == 2
+    frame = counters.global_counters()
+    assert frame.counts["dijkstra_cache_hits"] == 1
+    assert frame.counts["dijkstra_cache_misses"] == 2
+    assert frame.counts["dijkstra_sweeps"] == 2
+
+
+def test_registry_entry_dies_with_graph():
+    graph = _graph()
+    GraphIndex.of(graph)
+    assert len(GraphIndex._REGISTRY) == 1
+    del graph
+    gc.collect()
+    assert len(GraphIndex._REGISTRY) == 0
+
+
+def test_clear_caches_drops_registry():
+    graph = _graph()
+    index = GraphIndex.of(graph)
+    perf.clear_caches()
+    assert GraphIndex.of(graph) is not index

@@ -9,6 +9,7 @@ Commands
 ``ddl NAME``            emit SQL DDL for a pair's schemas
 ``dot NAME``            emit GraphViz DOT for a pair's CM graphs
 ``bench``               run the discovery benchmarks (BENCH_discovery.json)
+``validate [NAME ...]`` pre-flight-check dataset pairs and their cases
 """
 
 from __future__ import annotations
@@ -29,7 +30,60 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     argv = ["--workers", str(args.workers)]
     if args.details:
         argv.append("--details")
+    if not args.fail_fast:
+        argv.append("--keep-going")
+    if args.timeout is not None:
+        argv.extend(["--timeout", str(args.timeout)])
     return harness_main(argv)
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validation import (
+        validate_correspondences,
+        validate_semantics,
+    )
+
+    names = args.names or list(dataset_names())
+    unknown = [name for name in names if name not in dataset_names()]
+    if unknown:
+        print(
+            f"unknown dataset(s) {unknown}; have {sorted(dataset_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    errors = 0
+    warnings = 0
+    for name in names:
+        pair = load_dataset(name)
+        report = validate_semantics(pair.source)
+        report.extend(validate_semantics(pair.target))
+        for mapping_case in pair.cases:
+            case_report = validate_correspondences(
+                mapping_case.correspondences, pair.source, pair.target
+            )
+            for diagnostic in case_report:
+                report.add(
+                    diagnostic.severity,
+                    diagnostic.code,
+                    diagnostic.message,
+                    f"{mapping_case.case_id}: {diagnostic.location}"
+                    if diagnostic.location
+                    else mapping_case.case_id,
+                )
+        errors += len(report.errors)
+        warnings += len(report.warnings)
+        if report.ok and not report.warnings:
+            print(f"{name}: ok ({len(pair.cases)} case(s))")
+        else:
+            status = "FAILED" if not report.ok else "ok with warnings"
+            print(f"{name}: {status}")
+            for diagnostic in report:
+                print(f"  {diagnostic}")
+    print(
+        f"validated {len(names)} pair(s): "
+        f"{errors} error(s), {warnings} warning(s)"
+    )
+    return 1 if errors else 0
 
 
 def _cmd_datasets(_: argparse.Namespace) -> int:
@@ -163,7 +217,40 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="fan dataset pairs out over N worker processes",
     )
+    mode = evaluate.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--fail-fast",
+        dest="fail_fast",
+        action="store_true",
+        default=True,
+        help="abort on the first failing case (default)",
+    )
+    mode.add_argument(
+        "--keep-going",
+        dest="fail_fast",
+        action="store_false",
+        help="record failing cases, keep evaluating, exit 1 at the end",
+    )
+    evaluate.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-case wall-clock limit for the semantic method",
+    )
     evaluate.set_defaults(handler=_cmd_evaluate)
+
+    validate = commands.add_parser(
+        "validate",
+        help="pre-flight-check dataset pairs: semantics, RICs, "
+        "correspondences",
+    )
+    validate.add_argument(
+        "names",
+        nargs="*",
+        help="dataset names to validate (default: all registered pairs)",
+    )
+    validate.set_defaults(handler=_cmd_validate)
 
     datasets = commands.add_parser("datasets", help="list dataset pairs")
     datasets.set_defaults(handler=_cmd_datasets)

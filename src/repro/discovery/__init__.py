@@ -39,8 +39,10 @@ from repro.discovery.mapper import (
 )
 from repro.discovery.batch import (
     BatchDiscovery,
+    BatchPolicy,
     BatchResult,
     Scenario,
+    ScenarioFailure,
     discover_many,
     scenarios_for_cases,
 )
@@ -75,8 +77,10 @@ __all__ = [
     "SemanticMapper",
     "discover_mappings",
     "BatchDiscovery",
+    "BatchPolicy",
     "BatchResult",
     "Scenario",
+    "ScenarioFailure",
     "discover_many",
     "scenarios_for_cases",
 ]

@@ -110,10 +110,17 @@ class SemanticMapper:
         """``use_*_filter`` flags exist for ablation studies: switching
         one off disables the corresponding semantic-compatibility check
         of Sections 3.2–3.3 (see ``benchmarks/benchmark_ablation.py``).
+
+        Inputs are validated up front through :mod:`repro.validation`;
+        ill-formed semantics or dangling correspondences raise
+        :class:`~repro.exceptions.ValidationError` with structured
+        diagnostics instead of failing mid-search.
         """
-        correspondences.validate(
-            source_semantics.schema, target_semantics.schema
-        )
+        from repro.validation import validate_pair
+
+        validate_pair(
+            source_semantics, target_semantics, correspondences
+        ).raise_if_errors()
         self.source_semantics = source_semantics
         self.target_semantics = target_semantics
         self.correspondences = correspondences

@@ -18,6 +18,7 @@ from repro.evaluation.harness import (
 )
 from repro.evaluation.report import (
     render_case_details,
+    render_failures,
     render_figure6,
     render_figure7,
     render_table1,
@@ -37,6 +38,7 @@ __all__ = [
     "run_case",
     "run_dataset",
     "render_case_details",
+    "render_failures",
     "render_figure6",
     "render_figure7",
     "render_table1",

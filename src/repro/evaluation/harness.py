@@ -11,11 +11,22 @@ on the case's correspondences:
 The harness aggregates per-domain average precision (Figure 6), average
 recall (Figure 7), and the Table 1 characteristics, and can be run as a
 module: ``python -m repro.evaluation.harness``.
+
+Failure semantics
+-----------------
+By default the harness is **fail-fast**: the first case that raises (or
+times out, with ``--timeout``) aborts the run with the underlying error.
+With ``--keep-going`` each failing case is recorded as a structured
+:class:`~repro.discovery.batch.ScenarioFailure` on its
+:class:`DatasetResult` instead, the remaining cases still run, and the
+process exits non-zero to reflect the partial failure. See
+``docs/robustness.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
@@ -27,7 +38,13 @@ from repro.datasets.registry import (
     load_all_datasets,
     load_dataset,
 )
-from repro.discovery.batch import Scenario, discover_many
+from repro.discovery.batch import (
+    BatchPolicy,
+    Scenario,
+    ScenarioFailure,
+    discover_many,
+    failure_from_exception,
+)
 from repro.discovery.mapper import SemanticMapper
 from repro.evaluation.measures import PrecisionRecall, average, precision_recall
 
@@ -50,10 +67,16 @@ class CaseResult:
 
 @dataclass
 class DatasetResult:
-    """All case results of one dataset pair plus its characteristics."""
+    """All case results of one dataset pair plus its characteristics.
+
+    ``failures`` records cases that produced no result (exception,
+    timeout, worker crash) when running with ``fail_fast=False``; their
+    ids are absent from ``case_results`` for the failing method.
+    """
 
     pair: DatasetPair
     case_results: list[CaseResult] = field(default_factory=list)
+    failures: list[ScenarioFailure] = field(default_factory=list)
 
     def results_for(self, method: str) -> list[CaseResult]:
         return [r for r in self.case_results if r.method == method]
@@ -68,6 +91,10 @@ class DatasetResult:
 
     def total_time(self, method: str) -> float:
         return sum(r.elapsed_seconds for r in self.results_for(method))
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
 
 
 def run_case(
@@ -119,7 +146,13 @@ def _score_case(
     )
 
 
-def run_dataset(pair: DatasetPair, methods=METHODS, workers: int = 1) -> DatasetResult:
+def run_dataset(
+    pair: DatasetPair,
+    methods=METHODS,
+    workers: int = 1,
+    fail_fast: bool = True,
+    timeout_seconds: float | None = None,
+) -> DatasetResult:
     """Run all benchmark cases of one dataset pair with all methods.
 
     The semantic method goes through :func:`repro.discovery.discover_many`,
@@ -127,15 +160,33 @@ def run_dataset(pair: DatasetPair, methods=METHODS, workers: int = 1) -> Dataset
     its cases (and, with ``workers > 1``, cases fan out over a process
     pool). The RIC baseline has no shared state worth batching and stays
     serial.
+
+    With ``fail_fast=True`` (default) the first failing case re-raises;
+    with ``fail_fast=False`` failing cases become
+    :class:`ScenarioFailure` records on the returned result and the
+    remaining cases still run. ``timeout_seconds`` bounds each semantic
+    case's wall-clock time.
     """
     dataset_result = DatasetResult(pair)
     for mapping_case in pair.cases:
         for method in methods:
             if method == SEMANTIC:
                 continue  # batched below
-            dataset_result.case_results.append(
-                run_case(pair, mapping_case, method)
-            )
+            started = time.perf_counter()
+            try:
+                dataset_result.case_results.append(
+                    run_case(pair, mapping_case, method)
+                )
+            except Exception as error:
+                if fail_fast:
+                    raise
+                dataset_result.failures.append(
+                    failure_from_exception(
+                        f"{pair.name}/{mapping_case.case_id}[{method}]",
+                        error,
+                        time.perf_counter() - started,
+                    )
+                )
     if SEMANTIC in methods:
         scenarios = [
             Scenario.create(
@@ -146,20 +197,57 @@ def run_dataset(pair: DatasetPair, methods=METHODS, workers: int = 1) -> Dataset
             )
             for mapping_case in pair.cases
         ]
-        batch = discover_many(scenarios, workers=workers)
-        for mapping_case, (_, result) in zip(pair.cases, batch.results):
-            dataset_result.case_results.append(
-                _score_case(pair, mapping_case, SEMANTIC, result)
+        batch = discover_many(
+            scenarios,
+            workers=workers,
+            policy=BatchPolicy(timeout_seconds=timeout_seconds),
+        )
+        if fail_fast:
+            batch.raise_first_failure()
+        results_by_id = dict(batch.results)
+        for mapping_case in pair.cases:
+            result = results_by_id.get(mapping_case.case_id)
+            if result is not None:
+                dataset_result.case_results.append(
+                    _score_case(pair, mapping_case, SEMANTIC, result)
+                )
+        dataset_result.failures.extend(
+            ScenarioFailure(
+                scenario_id=(
+                    f"{pair.name}/{failure.scenario_id}[{SEMANTIC}]"
+                ),
+                error_type=failure.error_type,
+                message=failure.message,
+                traceback_summary=failure.traceback_summary,
+                elapsed_seconds=failure.elapsed_seconds,
+                attempts=failure.attempts,
             )
+            for failure in batch.failures
+        )
     return dataset_result
 
 
-def _run_dataset_by_name(name: str, methods=METHODS) -> DatasetResult:
+def _run_dataset_by_name(
+    name: str,
+    methods=METHODS,
+    fail_fast: bool = True,
+    timeout_seconds: float | None = None,
+) -> DatasetResult:
     """Top-level (picklable) worker: load one pair by name and run it."""
-    return run_dataset(load_dataset(name), methods)
+    return run_dataset(
+        load_dataset(name),
+        methods,
+        fail_fast=fail_fast,
+        timeout_seconds=timeout_seconds,
+    )
 
 
-def run_all(methods=METHODS, workers: int = 1) -> list[DatasetResult]:
+def run_all(
+    methods=METHODS,
+    workers: int = 1,
+    fail_fast: bool = True,
+    timeout_seconds: float | None = None,
+) -> list[DatasetResult]:
     """The full evaluation over every registered dataset pair.
 
     With ``workers > 1`` dataset pairs fan out over a process pool (each
@@ -170,13 +258,34 @@ def run_all(methods=METHODS, workers: int = 1) -> list[DatasetResult]:
     if workers > 1:
         names = dataset_names()
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_run_dataset_by_name, names, [methods] * len(names)))
-    return [run_dataset(pair, methods) for pair in load_all_datasets()]
+            return list(
+                pool.map(
+                    _run_dataset_by_name,
+                    names,
+                    [methods] * len(names),
+                    [fail_fast] * len(names),
+                    [timeout_seconds] * len(names),
+                )
+            )
+    return [
+        run_dataset(
+            pair,
+            methods,
+            fail_fast=fail_fast,
+            timeout_seconds=timeout_seconds,
+        )
+        for pair in load_all_datasets()
+    ]
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Command-line entry: print Table 1, Figure 6, and Figure 7."""
+    """Command-line entry: print Table 1, Figure 6, and Figure 7.
+
+    Exits 0 on a clean run and 1 when ``--keep-going`` recorded any
+    per-case failures.
+    """
     from repro.evaluation.report import (
+        render_failures,
         render_figure6,
         render_figure7,
         render_table1,
@@ -197,8 +306,33 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         help="fan dataset pairs out over N worker processes",
     )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--fail-fast",
+        dest="fail_fast",
+        action="store_true",
+        default=True,
+        help="abort on the first failing case (default)",
+    )
+    mode.add_argument(
+        "--keep-going",
+        dest="fail_fast",
+        action="store_false",
+        help="record failing cases and keep evaluating; exit 1 at the end",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-case wall-clock limit for the semantic method",
+    )
     args = parser.parse_args(argv)
-    results = run_all(workers=args.workers)
+    results = run_all(
+        workers=args.workers,
+        fail_fast=args.fail_fast,
+        timeout_seconds=args.timeout,
+    )
     print(render_table1(results))
     print()
     print(render_figure6(results))
@@ -207,6 +341,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.details:
         print()
         print(render_case_details(results))
+    failed = sum(len(r.failures) for r in results)
+    if failed:
+        print()
+        print(render_failures(results))
+        return 1
     return 0
 
 

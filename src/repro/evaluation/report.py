@@ -124,4 +124,19 @@ def render_case_details(results: Sequence[DatasetResult]) -> str:
                 f"{case_result.measures}  "
                 f"[{case_result.elapsed_seconds * 1000:.1f} ms]"
             )
+        for failure in result.failures:
+            lines.append(f"    {failure.scenario_id:<28} FAILED "
+                         f"({failure.error_type})")
+    return "\n".join(lines)
+
+
+def render_failures(results: Sequence[DatasetResult]) -> str:
+    """Structured failure records collected under ``--keep-going``."""
+    failed = sum(len(result.failures) for result in results)
+    if not failed:
+        return "Failures: none"
+    lines = [f"Failures ({failed} case(s) produced no result):"]
+    for result in results:
+        for failure in result.failures:
+            lines.append(f"  {failure.describe()}")
     return "\n".join(lines)

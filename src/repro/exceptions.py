@@ -54,3 +54,36 @@ class DatasetError(ReproError):
 
 class EvaluationError(ReproError):
     """The evaluation harness was invoked with invalid arguments."""
+
+
+class ValidationError(ReproError):
+    """Pre-flight validation of a discovery input found errors.
+
+    Raised by :func:`repro.validation.ValidationReport.raise_if_errors`;
+    carries the structured diagnostics so callers can render or filter
+    them instead of parsing the message.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()) -> None:
+        super().__init__(message)
+        #: The :class:`repro.validation.Diagnostic` records behind the
+        #: message (errors and warnings alike), in discovery order.
+        self.diagnostics = tuple(diagnostics)
+
+
+class BatchError(ReproError):
+    """Base class for failures of one scenario inside a batch run.
+
+    Batch discovery never lets these abort the batch: they are captured
+    as :class:`repro.discovery.batch.ScenarioFailure` records. The
+    subclasses exist so per-scenario guards can distinguish *how* a
+    scenario died.
+    """
+
+
+class ScenarioTimeout(BatchError):
+    """A scenario exceeded its per-scenario wall-clock timeout."""
+
+
+class WorkerCrashed(BatchError):
+    """A worker process died (e.g. hard exit, OOM kill) mid-scenario."""

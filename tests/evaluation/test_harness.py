@@ -97,3 +97,52 @@ class TestReports:
     def test_case_details(self, all_results):
         text = render_case_details(list(all_results.values()))
         assert "hotel-guest-rate" in text
+
+
+class TestFailureHandling:
+    """--fail-fast / --keep-going semantics of the harness."""
+
+    @pytest.fixture
+    def broken_ric(self, monkeypatch):
+        from repro.baseline import clio
+
+        def _boom(self):
+            raise RuntimeError("baseline exploded")
+
+        monkeypatch.setattr(clio.RICBasedMapper, "discover", _boom)
+
+    def test_fail_fast_propagates(self, broken_ric):
+        pair = load_dataset("Hotel")
+        with pytest.raises(RuntimeError, match="baseline exploded"):
+            run_dataset(pair, fail_fast=True)
+
+    def test_keep_going_records_structured_failures(self, broken_ric):
+        pair = load_dataset("Hotel")
+        result = run_dataset(pair, fail_fast=False)
+        assert not result.ok
+        assert len(result.failures) == len(pair.cases)
+        for failure in result.failures:
+            assert failure.error_type == "RuntimeError"
+            assert "[ric]" in failure.scenario_id
+        # The semantic method still scored every case.
+        assert len(result.results_for(SEMANTIC)) == len(pair.cases)
+        assert result.average_recall(SEMANTIC) == 1.0
+
+    def test_failures_render_in_reports(self, broken_ric):
+        from repro.evaluation import render_failures
+
+        pair = load_dataset("Hotel")
+        result = run_dataset(pair, fail_fast=False)
+        text = render_failures([result])
+        assert "produced no result" in text
+        assert "RuntimeError" in text
+        details = render_case_details([result])
+        assert "FAILED" in details
+
+    def test_clean_run_reports_no_failures(self):
+        from repro.evaluation import render_failures
+
+        pair = load_dataset("UT")
+        result = run_dataset(pair)
+        assert result.ok
+        assert render_failures([result]) == "Failures: none"

@@ -78,3 +78,25 @@ class TestRecoverCommand:
         out = capsys.readouterr().out
         assert "coverage: 100%" in out
         assert "s-tree anchored at Booking" in out
+
+
+class TestValidateCommand:
+    def test_all_pairs_validate_clean(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "Hotel: ok" in out
+        assert "0 error(s)" in out
+
+    def test_single_pair(self, capsys):
+        assert main(["validate", "Hotel"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("Hotel: ok")
+        assert "validated 1 pair(s)" in out
+
+    def test_unknown_pair_fails(self, capsys):
+        assert main(["validate", "Ghost"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_conflicting_evaluate_modes_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--fail-fast", "--keep-going"])

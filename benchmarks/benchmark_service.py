@@ -1,0 +1,186 @@
+"""Service benchmark: throughput and latency under concurrent clients.
+
+Not a paper exhibit — this measures the serving layer itself: a real
+:class:`~repro.service.server.ReproServer` (N workers) takes concurrent
+``POST /discover`` traffic from M client threads cycling through the
+paper's registered dataset cases, first cold (every scenario computed
+once) and then warm (repeat traffic served from the content-addressed
+result cache). The run is persisted to ``BENCH_service.json`` at the
+repo root: throughput (requests/s), p50/p95 request latency, and the
+cache hit rate at the measured worker × client configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.server import ReproServer, ServiceConfig
+
+REPORT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_service.json"
+
+WORKERS = 2
+CLIENTS = 8
+ROUNDS_PER_CLIENT = 5  # each client sends len(CASES) * ROUNDS requests
+
+#: One case per registered dataset family used in the load mix.
+CASES = [
+    {"dataset": "DBLP", "case": "dblp-article-in-journal"},
+    {"dataset": "DBLP", "case": "dblp-book-publisher"},
+    {"dataset": "Mondial", "case": "mondial-city-in-country"},
+    {"dataset": "Amalgam", "case": "amalgam-author-of-article"},
+    {"dataset": "Hotel", "case": "hotel-room-of-hotel"},
+    {"dataset": "UT", "case": "ut-professor-teaches-course"},
+    {"dataset": "Network", "case": "network-interface-of-device"},
+]
+
+
+def _quantile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _drive_load(
+    client: ServiceClient, requests: list[dict]
+) -> tuple[list[float], list[int], int]:
+    """Send ``requests`` on one client thread; returns latencies/statuses."""
+    latencies: list[float] = []
+    statuses: list[int] = []
+    cached = 0
+    for spec in requests:
+        started = time.perf_counter()
+        status, payload = client.request(
+            "POST", "/discover", {"scenario": spec}
+        )
+        latencies.append(time.perf_counter() - started)
+        statuses.append(status)
+        if status == 200 and payload.get("cached"):
+            cached += 1
+    return latencies, statuses, cached
+
+
+def _run_phase(
+    base_url: str, clients: int, rounds: int
+) -> tuple[list[float], list[int], int, float]:
+    """One load phase: every client cycles the case mix ``rounds`` times."""
+    per_client = [
+        [CASES[(start + i) % len(CASES)] for i in range(len(CASES) * rounds)]
+        for start in range(clients)
+    ]
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        outcomes = list(
+            pool.map(
+                lambda requests: _drive_load(
+                    ServiceClient(base_url), requests
+                ),
+                per_client,
+            )
+        )
+    elapsed = time.perf_counter() - started
+    latencies = [l for lats, _, _ in outcomes for l in lats]
+    statuses = [s for _, stats, _ in outcomes for s in stats]
+    cached = sum(c for _, _, c in outcomes)
+    return latencies, statuses, cached, elapsed
+
+
+@pytest.fixture(scope="module")
+def service_report():
+    """One benchmarked service run per session, persisted to the repo root."""
+    config = ServiceConfig(
+        workers=WORKERS, queue_capacity=max(64, CLIENTS * len(CASES))
+    )
+    with ReproServer(config) as server:
+        client = ServiceClient(server.url)
+
+        # Cold phase: one pass over the mix from a single client so the
+        # cold per-scenario cost is measured without queueing noise.
+        cold_latencies, cold_statuses, _, cold_elapsed = _run_phase(
+            server.url, clients=1, rounds=1
+        )
+
+        # Warm phase: the full concurrent load, repeat-heavy by design.
+        latencies, statuses, cached, elapsed = _run_phase(
+            server.url, clients=CLIENTS, rounds=ROUNDS_PER_CLIENT
+        )
+
+        metrics = client.metrics_values()
+        health = client.health()
+
+    total = len(latencies)
+    report = {
+        "config": {
+            "workers": WORKERS,
+            "clients": CLIENTS,
+            "distinct_scenarios": len(CASES),
+            "requests_per_client": len(CASES) * ROUNDS_PER_CLIENT,
+        },
+        "cold": {
+            "requests": len(cold_latencies),
+            "wall_seconds": round(cold_elapsed, 4),
+            "p50_seconds": round(_quantile(cold_latencies, 0.5), 6),
+            "p95_seconds": round(_quantile(cold_latencies, 0.95), 6),
+            "ok": sum(1 for s in cold_statuses if s == 200),
+        },
+        "warm": {
+            "requests": total,
+            "wall_seconds": round(elapsed, 4),
+            "throughput_rps": round(total / elapsed, 2),
+            "p50_seconds": round(_quantile(latencies, 0.5), 6),
+            "p95_seconds": round(_quantile(latencies, 0.95), 6),
+            "ok": sum(1 for s in statuses if s == 200),
+            "cached_responses": cached,
+            "cache_hit_rate": round(cached / total, 4),
+        },
+        "service_counters": {
+            name: metrics[name]
+            for name in sorted(metrics)
+            if name.startswith("repro_service_")
+            and "{" not in name  # unlabelled series only
+        },
+        "final_health": {
+            "queue_depth": health["queue_depth"],
+            "cache_entries": health["cache"]["entries"],
+        },
+    }
+    REPORT_PATH.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return report
+
+
+def test_report_written(service_report):
+    on_disk = json.loads(REPORT_PATH.read_text(encoding="utf-8"))
+    assert on_disk["config"]["workers"] == WORKERS
+    assert on_disk["warm"]["throughput_rps"] > 0
+    assert on_disk["warm"]["p50_seconds"] <= on_disk["warm"]["p95_seconds"]
+
+
+def test_every_request_succeeded(service_report):
+    assert service_report["cold"]["ok"] == service_report["cold"]["requests"]
+    assert service_report["warm"]["ok"] == service_report["warm"]["requests"]
+
+
+def test_repeat_traffic_hits_the_cache(service_report):
+    # After the cold pass, every warm-phase scenario is a repeat: the
+    # hit rate must be overwhelming, and the number of distinct
+    # discovery runs bounded by the distinct-scenario count.
+    assert service_report["warm"]["cache_hit_rate"] > 0.9
+    invocations = service_report["service_counters"][
+        "repro_service_discovery_invocations_total"
+    ]
+    assert invocations <= len(CASES)
+
+
+def test_cache_keeps_latency_flat(service_report):
+    # Warm p95 must beat the cold p95: cached responses skip discovery.
+    assert (
+        service_report["warm"]["p95_seconds"]
+        <= service_report["cold"]["p95_seconds"] * 2
+    )

@@ -10,6 +10,7 @@ Commands
 ``dot NAME``            emit GraphViz DOT for a pair's CM graphs
 ``bench``               run the discovery benchmarks (BENCH_discovery.json)
 ``validate [NAME ...]`` pre-flight-check dataset pairs and their cases
+``serve``               run the HTTP mapping-discovery service
 """
 
 from __future__ import annotations
@@ -154,6 +155,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return bench_main(output=args.output, workers=args.workers)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import ReproServer, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_capacity=args.queue_size,
+        cache_entries=args.cache_size,
+        cache_ttl_seconds=args.cache_ttl,
+        request_timeout_seconds=args.request_timeout,
+        job_timeout_seconds=args.job_timeout,
+        quiet=not args.verbose,
+    )
+    server = ReproServer(config)
+    print(
+        f"repro service listening on {server.url} "
+        f"({config.workers} worker(s), queue {config.queue_capacity}, "
+        f"cache {config.cache_entries} entries); Ctrl-C to stop",
+        flush=True,
+    )
+    server.serve_forever()
+    return 0
+
+
 def _cmd_ddl(args: argparse.Namespace) -> int:
     pair = load_dataset(args.name)
     semantics = pair.source if args.side == "source" else pair.target
@@ -289,6 +315,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker count for the parallel-equivalence check",
     )
     bench.set_defaults(handler=_cmd_bench)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the HTTP mapping-discovery service "
+        "(POST /discover, POST /validate, GET /jobs/<id>, /health, /metrics)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="listen port (0 picks a free port)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="discovery worker threads sharing the warm caches",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        help="bounded job-queue capacity (full queue returns 429)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        help="result-cache entries (0 disables caching)",
+    )
+    serve.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="result-cache time-to-live",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="how long a synchronous POST /discover waits before "
+        "handing back a pollable job (202)",
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-scenario wall-clock limit (degrades to a warning on "
+        "worker threads; see docs/robustness.md)",
+    )
+    serve.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log every HTTP request to stderr",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     ddl = commands.add_parser("ddl", help="emit SQL DDL")
     ddl.add_argument("name")

@@ -44,6 +44,7 @@ from repro.discovery.batch import (
     Scenario,
     ScenarioFailure,
     discover_many,
+    scenario_fingerprint,
     scenarios_for_cases,
 )
 
@@ -82,5 +83,6 @@ __all__ = [
     "Scenario",
     "ScenarioFailure",
     "discover_many",
+    "scenario_fingerprint",
     "scenarios_for_cases",
 ]

@@ -43,6 +43,7 @@ import signal
 import threading
 import time
 import traceback
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -50,7 +51,12 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.correspondences import CorrespondenceSet
 from repro.discovery.mapper import DiscoveryResult, SemanticMapper
-from repro.exceptions import BatchError, ScenarioTimeout, WorkerCrashed
+from repro.exceptions import (
+    BatchError,
+    ScenarioTimeout,
+    TimeoutUnavailableWarning,
+    WorkerCrashed,
+)
 from repro.perf import counters as perf_counters
 from repro.semantics.lav import SchemaSemantics
 
@@ -110,8 +116,10 @@ class BatchPolicy:
         Per-scenario wall-clock limit; ``None`` disables the limit.
         Enforced with ``SIGALRM`` in whichever process runs the scenario
         (worker processes and, in serial mode, the parent's main
-        thread); on platforms or threads without ``SIGALRM`` the limit
-        is silently not enforced.
+        thread). In contexts where ``SIGALRM`` cannot be armed — worker
+        *threads* (e.g. the ``repro.service`` job queue) or non-Unix
+        platforms — the limit degrades to no-timeout with a
+        :class:`~repro.exceptions.TimeoutUnavailableWarning`.
     retries:
         How many serial re-runs a scenario gets after its worker process
         died (the whole group is re-run in the parent, since a dead
@@ -285,6 +293,29 @@ def _semantics_content_key(semantics: SchemaSemantics) -> str:
     return key
 
 
+def scenario_fingerprint(scenario: Scenario) -> str:
+    """A stable *content* fingerprint of one discovery scenario.
+
+    Covers everything that determines the output of ``scenario.run()`` —
+    both schema semantics (via :func:`_semantics_content_key`), the
+    correspondence list (order-sensitively, matching
+    :class:`CorrespondenceSet` semantics), and the mapper options — and
+    deliberately excludes ``scenario_id``, which is caller-chosen
+    labelling. Two scenarios with equal fingerprints produce identical
+    candidates, which is what makes the fingerprint safe as a
+    content-addressed cache key (see ``repro.service.cache``).
+    """
+    spec = repr(
+        (
+            _semantics_content_key(scenario.source),
+            _semantics_content_key(scenario.target),
+            tuple(str(c) for c in scenario.correspondences),
+            scenario.mapper_options,
+        )
+    )
+    return hashlib.sha256(spec.encode("utf-8")).hexdigest()
+
+
 def _group_by_pair(
     scenarios: Sequence[tuple[int, Scenario]] | Sequence[Scenario],
 ) -> list[list[tuple[int, Scenario]]]:
@@ -319,15 +350,34 @@ def _deadline(seconds: float | None, scenario_id: str) -> Iterator[None]:
 
     Uses ``SIGALRM``, so it only arms on platforms that have it and when
     running on the main thread of its process (always true for pool
-    workers); elsewhere it is a no-op.
+    workers). Elsewhere — notably worker *threads* such as the
+    ``repro.service`` job queue, where ``signal.signal`` would raise —
+    the limit degrades to no-timeout with a
+    :class:`TimeoutUnavailableWarning` and a ``timeouts_unenforced``
+    perf counter, never a crash and never a silent drop.
     """
-    can_arm = (
-        seconds is not None
-        and seconds > 0
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not can_arm:
+    if seconds is None or seconds <= 0:
+        yield
+        return
+    if not hasattr(signal, "SIGALRM"):
+        reason = "this platform has no SIGALRM"
+    elif threading.current_thread() is not threading.main_thread():
+        reason = (
+            "SIGALRM can only be armed on the process's main thread, and "
+            "this scenario is running on a worker thread"
+        )
+    else:
+        reason = None
+    if reason is not None:
+        warnings.warn(
+            TimeoutUnavailableWarning(
+                f"scenario {scenario_id!r}: the {seconds}s wall-clock "
+                f"limit is not enforced ({reason}); running without a "
+                f"timeout"
+            ),
+            stacklevel=3,
+        )
+        perf_counters.record("timeouts_unenforced")
         yield
         return
 

@@ -71,6 +71,37 @@ class ValidationError(ReproError):
         self.diagnostics = tuple(diagnostics)
 
 
+class ServiceError(ReproError):
+    """Base class for errors of the ``repro.service`` HTTP subsystem."""
+
+
+class WireFormatError(ServiceError):
+    """A service request does not conform to the JSON wire format.
+
+    The server maps these to HTTP 400 responses; the message is safe to
+    return to the caller (it never leaks internal state).
+    """
+
+
+class QueueFullError(ServiceError):
+    """The service job queue is at capacity (backpressure; HTTP 429)."""
+
+
+class ServiceCallError(ServiceError):
+    """A service client call received a non-success HTTP response.
+
+    Carries the HTTP ``status`` and, when the body was JSON, the decoded
+    error ``payload`` so callers can inspect structured diagnostics.
+    """
+
+    def __init__(
+        self, message: str, status: int = 0, payload: object = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload
+
+
 class BatchError(ReproError):
     """Base class for failures of one scenario inside a batch run.
 
@@ -87,3 +118,20 @@ class ScenarioTimeout(BatchError):
 
 class WorkerCrashed(BatchError):
     """A worker process died (e.g. hard exit, OOM kill) mid-scenario."""
+
+
+class ReproWarning(Warning):
+    """Base class for warnings issued by the ``repro`` library."""
+
+
+class TimeoutUnavailableWarning(ReproWarning):
+    """A requested per-scenario timeout cannot be enforced here.
+
+    ``SIGALRM`` — the mechanism behind ``BatchPolicy.timeout_seconds`` —
+    only exists on Unix and only fires on the main thread of a process.
+    When a timeout is requested from a context without it (a worker
+    thread, e.g. the ``repro.service`` job queue, or a non-Unix
+    platform), the batch layer degrades to running without a limit and
+    issues this warning instead of crashing or silently ignoring the
+    policy.
+    """

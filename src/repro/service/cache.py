@@ -1,0 +1,121 @@
+"""Content-addressed result cache: LRU + TTL over scenario fingerprints.
+
+Keys are :func:`repro.discovery.batch.scenario_fingerprint` digests, so
+the cache is addressed by what a scenario *is* (schemas, model, s-trees,
+correspondences, mapper options), never by what it is called — two
+requests that ship the same content under different scenario ids share
+one entry, and any change to the content changes the key. Combined with
+the perf layer's guarantee that caching never changes results, a hit is
+always byte-identical to what a fresh run would have produced.
+
+Entries expire two ways: least-recently-used eviction once
+``max_entries`` is reached, and a wall-clock TTL (``ttl_seconds``) that
+bounds how long a result can be served after it was computed. All
+operations are thread-safe; the service's handler threads and job
+workers share one instance.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable
+
+
+class ResultCache:
+    """A bounded, thread-safe LRU + TTL map of fingerprint → payload.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity; ``0`` disables the cache entirely (every ``get`` is a
+        miss and ``put`` is a no-op).
+    ttl_seconds:
+        Maximum age of a served entry; ``None`` disables expiry.
+    clock:
+        Injectable monotonic clock (tests pass a fake).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        ttl_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(
+                f"ttl_seconds must be positive or None, got {ttl_seconds}"
+            )
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, tuple[float, Any]] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Any | None:
+        """The payload stored under ``key``, or ``None`` (miss/expired)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            stored_at, payload = entry
+            if (
+                self.ttl_seconds is not None
+                and self._clock() - stored_at > self.ttl_seconds
+            ):
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return payload
+
+    def put(self, key: str, payload: Any) -> None:
+        """Store ``payload`` under ``key``, evicting the LRU tail."""
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = (self._clock(), payload)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int | float]:
+        """Counters for the metrics endpoint (store-level hits/misses)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "expirations": self._expirations,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return key in self._entries

@@ -1,0 +1,316 @@
+"""The service's bounded job queue and in-process worker pool.
+
+Discovery requests become :class:`Job` records on a bounded
+``queue.Queue``; a fixed pool of daemon *threads* drains it, each
+running scenarios through :func:`repro.discovery.batch.discover_many`
+in serial mode. Threads — not processes — are the point: every worker
+shares the process's warm :class:`~repro.perf.GraphIndex` registry,
+reasoner memos, and translation caches, so repeat traffic over the same
+schema pairs never pays cold-start costs again.
+
+Admission control happens at submit time, single-flight style:
+
+1. a content-addressed cache hit returns a finished job immediately;
+2. an identical scenario already queued or running is *coalesced* —
+   the caller gets the same :class:`Job` and waits on the same event,
+   so N concurrent identical requests cost one discovery run;
+3. otherwise the job is enqueued, or :class:`QueueFullError` raised
+   when the queue is at capacity (the server turns that into HTTP 429).
+
+Failures inside a job reuse the batch layer's fault isolation: a
+failing scenario produces a structured error payload, never a dead
+worker thread.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from collections import OrderedDict
+
+from repro.discovery.batch import (
+    BatchPolicy,
+    Scenario,
+    discover_many,
+    scenario_fingerprint,
+)
+from repro.exceptions import QueueFullError
+from repro.service.cache import ResultCache
+from repro.service.metrics import ServiceMetrics
+from repro.service.wire import failure_to_wire, result_to_wire
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+ERROR = "error"
+
+_STOP = object()
+
+
+class Job:
+    """One discovery request's lifecycle record."""
+
+    __slots__ = (
+        "job_id",
+        "scenario_id",
+        "fingerprint",
+        "scenario",
+        "state",
+        "cached",
+        "result",
+        "error",
+        "submitted_at",
+        "started_at",
+        "finished_at",
+        "_done",
+    )
+
+    def __init__(
+        self, job_id: str, scenario: Scenario, fingerprint: str
+    ) -> None:
+        self.job_id = job_id
+        self.scenario_id = scenario.scenario_id
+        self.fingerprint = fingerprint
+        self.scenario = scenario
+        self.state = QUEUED
+        self.cached = False
+        self.result: dict | None = None
+        self.error: dict | None = None
+        self.submitted_at = time.monotonic()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self._done = threading.Event()
+
+    # -- transitions (called by the queue/workers only) -----------------
+    def mark_running(self) -> None:
+        self.state = RUNNING
+        self.started_at = time.monotonic()
+
+    def finish(self, payload: dict, cached: bool = False) -> None:
+        self.result = payload
+        self.cached = cached
+        self.state = DONE
+        self.finished_at = time.monotonic()
+        self._done.set()
+
+    def fail(self, error_payload: dict) -> None:
+        self.error = error_payload
+        self.state = ERROR
+        self.finished_at = time.monotonic()
+        self._done.set()
+
+    # -- interrogation ---------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job finished; ``False`` on timeout."""
+        return self._done.wait(timeout)
+
+    def to_wire(self) -> dict:
+        """The ``GET /jobs/<id>`` payload."""
+        payload: dict = {
+            "job_id": self.job_id,
+            "scenario_id": self.scenario_id,
+            "state": self.state,
+            "cached": self.cached,
+        }
+        if self.result is not None:
+            payload["result"] = self.result
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.started_at is not None:
+            payload["queue_seconds"] = round(
+                self.started_at - self.submitted_at, 6
+            )
+        if self.finished_at is not None and self.started_at is not None:
+            payload["run_seconds"] = round(
+                self.finished_at - self.started_at, 6
+            )
+        return payload
+
+
+class JobQueue:
+    """Bounded queue + worker pool with single-flight content dedup.
+
+    Parameters
+    ----------
+    workers:
+        Worker-thread count. ``0`` is allowed (nothing drains the
+        queue) and exists for backpressure tests; servers use >= 1.
+    capacity:
+        Maximum number of queued-but-not-started jobs.
+    cache:
+        The shared :class:`ResultCache`; results are stored under the
+        scenario's content fingerprint as they complete.
+    metrics:
+        The shared :class:`ServiceMetrics` sink.
+    policy:
+        Optional :class:`BatchPolicy` applied to every job (a
+        ``timeout_seconds`` degrades to a
+        :class:`~repro.exceptions.TimeoutUnavailableWarning` on worker
+        threads — see ``repro.discovery.batch``).
+    history:
+        How many finished/queued jobs stay visible to ``GET /jobs/<id>``.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        capacity: int,
+        cache: ResultCache,
+        metrics: ServiceMetrics,
+        policy: BatchPolicy | None = None,
+        history: int = 4096,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if history < 1:
+            raise ValueError(f"history must be >= 1, got {history}")
+        self.workers = workers
+        self.capacity = capacity
+        self._cache = cache
+        self._metrics = metrics
+        self._policy = policy or BatchPolicy()
+        self._history = history
+        self._queue: queue.Queue = queue.Queue(maxsize=capacity)
+        self._lock = threading.Lock()
+        self._inflight: dict[str, Job] = {}
+        self._jobs: OrderedDict[str, Job] = OrderedDict()
+        self._counter = itertools.count(1)
+        self._threads = [
+            threading.Thread(
+                target=self._worker,
+                name=f"repro-service-worker-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self, scenario: Scenario, use_cache: bool = True
+    ) -> tuple[Job, bool]:
+        """Admit one scenario; returns ``(job, served_from_cache)``.
+
+        ``served_from_cache`` is true for both stored-result hits and
+        coalesced joins onto an in-flight identical job — either way no
+        new discovery run was started for this request.
+
+        Raises
+        ------
+        QueueFullError
+            When the scenario needs a new job but the queue is full.
+        """
+        fingerprint = scenario_fingerprint(scenario)
+        with self._lock:
+            if use_cache:
+                payload = self._cache.get(fingerprint)
+                if payload is not None:
+                    job = self._register(Job(self._next_id(), scenario, fingerprint))
+                    job.finish(payload, cached=True)
+                    self._metrics.inc("cache_hits_total")
+                    return job, True
+                existing = self._inflight.get(fingerprint)
+                if existing is not None:
+                    self._metrics.inc("cache_hits_total")
+                    self._metrics.inc("cache_coalesced_total")
+                    return existing, True
+                self._metrics.inc("cache_misses_total")
+            job = Job(self._next_id(), scenario, fingerprint)
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                self._metrics.inc("jobs_rejected_total")
+                raise QueueFullError(
+                    f"job queue is at capacity ({self.capacity} queued); "
+                    f"retry later"
+                ) from None
+            self._register(job)
+            self._inflight[fingerprint] = job
+            return job, False
+
+    def _next_id(self) -> str:
+        return f"job-{next(self._counter):08d}"
+
+    def _register(self, job: Job) -> Job:
+        self._jobs[job.job_id] = job
+        while len(self._jobs) > self._history:
+            self._jobs.popitem(last=False)
+        return job
+
+    # ------------------------------------------------------------------
+    # Interrogation
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def depth(self) -> int:
+        """Jobs waiting in the queue (not yet picked up by a worker)."""
+        return self._queue.qsize()
+
+    def state_counts(self) -> dict[str, int]:
+        with self._lock:
+            counts = {QUEUED: 0, RUNNING: 0, DONE: 0, ERROR: 0}
+            for job in self._jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+            return counts
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                self._queue.task_done()
+                return
+            job: Job = item
+            job.mark_running()
+            self._metrics.inc("discovery_invocations_total")
+            try:
+                batch = discover_many(
+                    [job.scenario], workers=1, policy=self._policy
+                )
+                if batch.failures:
+                    job.fail(failure_to_wire(batch.failures[0]))
+                    self._metrics.inc("jobs_failed_total")
+                else:
+                    payload = result_to_wire(batch.results[0][1])
+                    # Store before dropping the in-flight marker so a
+                    # concurrent submit always finds the result in one
+                    # of the two places (no recompute window).
+                    self._cache.put(job.fingerprint, payload)
+                    job.finish(payload)
+                    self._metrics.inc("jobs_completed_total")
+            except Exception as error:  # defensive: batch isolates faults
+                job.fail(
+                    {"type": type(error).__name__, "message": str(error)}
+                )
+                self._metrics.inc("jobs_failed_total")
+            finally:
+                with self._lock:
+                    if self._inflight.get(job.fingerprint) is job:
+                        del self._inflight[job.fingerprint]
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def stop(self, timeout: float | None = 5.0) -> None:
+        """Drain in-flight work and stop every worker thread."""
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout)

@@ -1,0 +1,456 @@
+"""The HTTP/JSON mapping-discovery server (stdlib only).
+
+Endpoints
+---------
+``POST /discover``
+    Run (or serve from cache) one discovery scenario. Sync by default;
+    ``{"mode": "async"}`` returns 202 with a job id for polling.
+    Malformed requests get 400 with structured diagnostics *before*
+    anything is queued; a full queue gets 429 with ``Retry-After``.
+``POST /validate``
+    Pre-flight a scenario through :mod:`repro.validation` without
+    running it; always 200 with the diagnostic list (400 only for
+    requests the wire layer cannot even parse).
+``GET /jobs/<id>``
+    Poll an async (or still-running sync) job.
+``GET /health``
+    Liveness plus queue/worker/cache occupancy.
+``GET /metrics``
+    Prometheus-style exposition of service and perf-layer counters.
+
+Architecture: ``ThreadingHTTPServer`` accepts connections on demand
+(one handler thread per in-flight request, which may block waiting on a
+job), while the fixed :class:`~repro.service.jobs.JobQueue` worker pool
+bounds actual discovery concurrency. All request handling is delegated
+to :class:`MappingService`, which is plain-Python callable state —
+tests exercise it without sockets.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.discovery.batch import BatchPolicy
+from repro.exceptions import (
+    QueueFullError,
+    ReproError,
+    WireFormatError,
+)
+from repro.perf import counters as perf_counters
+from repro.service.cache import ResultCache
+from repro.service.jobs import JobQueue
+from repro.service.metrics import ServiceMetrics, perf_gauges
+from repro.service.wire import (
+    diagnostics_to_wire,
+    discover_request_from_wire,
+    scenario_from_wire,
+)
+from repro.validation import validate_scenario
+
+#: Largest accepted request body, in bytes (16 MiB fits any inline pair).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 2
+    queue_capacity: int = 64
+    cache_entries: int = 256
+    cache_ttl_seconds: float | None = 3600.0
+    request_timeout_seconds: float = 120.0
+    job_timeout_seconds: float | None = None
+    quiet: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.request_timeout_seconds <= 0:
+            raise ValueError("request_timeout_seconds must be positive")
+
+
+def _error_payload(
+    error_type: str, message: str, **extra: Any
+) -> dict[str, Any]:
+    payload = {"type": error_type, "message": message}
+    payload.update(extra)
+    return payload
+
+
+class MappingService:
+    """Transport-independent request handling and shared state."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.metrics = ServiceMetrics()
+        self.cache = ResultCache(
+            max_entries=config.cache_entries,
+            ttl_seconds=config.cache_ttl_seconds,
+        )
+        policy = None
+        if config.job_timeout_seconds is not None:
+            policy = BatchPolicy(
+                timeout_seconds=config.job_timeout_seconds
+            )
+        self.jobs = JobQueue(
+            workers=config.workers,
+            capacity=config.queue_capacity,
+            cache=self.cache,
+            metrics=self.metrics,
+            policy=policy,
+        )
+        self.started_at = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # POST /discover
+    # ------------------------------------------------------------------
+    def handle_discover(self, payload: Any) -> tuple[int, dict[str, Any]]:
+        try:
+            scenario, options = discover_request_from_wire(payload)
+        except WireFormatError as error:
+            return 400, {
+                "status": "bad-request",
+                "error": _error_payload("WireFormatError", str(error)),
+            }
+        report = validate_scenario(scenario)
+        if report.errors:
+            self.metrics.inc("validation_failures_total")
+            return 400, {
+                "status": "invalid",
+                "scenario_id": scenario.scenario_id,
+                "error": _error_payload(
+                    "ValidationError",
+                    f"{len(report.errors)} validation error(s); "
+                    f"see diagnostics",
+                    diagnostics=diagnostics_to_wire(report),
+                ),
+            }
+        try:
+            job, from_cache = self.jobs.submit(
+                scenario, use_cache=options.use_cache
+            )
+        except QueueFullError as error:
+            return 429, {
+                "status": "rejected",
+                "scenario_id": scenario.scenario_id,
+                "error": _error_payload("QueueFullError", str(error)),
+            }
+        if options.mode == "async":
+            return 202, {"status": "accepted", **job.to_wire()}
+        timeout = (
+            options.timeout_seconds
+            if options.timeout_seconds is not None
+            else self.config.request_timeout_seconds
+        )
+        if not job.wait(timeout):
+            return 202, {
+                "status": "pending",
+                "detail": (
+                    f"job not finished after {timeout}s; poll "
+                    f"GET /jobs/{job.job_id}"
+                ),
+                **job.to_wire(),
+            }
+        if job.state == "error":
+            return 500, {
+                "status": "error",
+                "job_id": job.job_id,
+                "scenario_id": job.scenario_id,
+                "error": job.error,
+            }
+        return 200, {
+            "status": "ok",
+            "job_id": job.job_id,
+            "scenario_id": scenario.scenario_id,
+            "cached": from_cache,
+            "result": job.result,
+        }
+
+    # ------------------------------------------------------------------
+    # POST /validate
+    # ------------------------------------------------------------------
+    def handle_validate(self, payload: Any) -> tuple[int, dict[str, Any]]:
+        try:
+            if not isinstance(payload, dict) or "scenario" not in payload:
+                raise WireFormatError(
+                    "request body needs a 'scenario' object"
+                )
+            scenario = scenario_from_wire(payload["scenario"])
+        except WireFormatError as error:
+            return 400, {
+                "status": "bad-request",
+                "error": _error_payload("WireFormatError", str(error)),
+            }
+        report = validate_scenario(scenario)
+        return 200, {
+            "status": "ok" if report.ok else "invalid",
+            "ok": report.ok,
+            "scenario_id": scenario.scenario_id,
+            "diagnostics": diagnostics_to_wire(report),
+        }
+
+    # ------------------------------------------------------------------
+    # GET /jobs/<id>, /health, /metrics
+    # ------------------------------------------------------------------
+    def handle_job(self, job_id: str) -> tuple[int, dict[str, Any]]:
+        job = self.jobs.job(job_id)
+        if job is None:
+            return 404, {
+                "status": "not-found",
+                "error": _error_payload(
+                    "UnknownJob", f"no job {job_id!r} (it may have aged out)"
+                ),
+            }
+        return 200, job.to_wire()
+
+    def health(self) -> tuple[int, dict[str, Any]]:
+        return 200, {
+            "status": "ok",
+            "workers": self.config.workers,
+            "queue_depth": self.jobs.depth(),
+            "queue_capacity": self.config.queue_capacity,
+            "jobs": self.jobs.state_counts(),
+            "cache": self.cache.stats(),
+            "uptime_seconds": round(
+                time.monotonic() - self.started_at, 3
+            ),
+        }
+
+    def metrics_text(self) -> str:
+        gauges: dict[str, int | float] = {
+            "repro_service_queue_depth": self.jobs.depth(),
+            "repro_service_queue_capacity": self.config.queue_capacity,
+            "repro_service_workers": self.config.workers,
+            "repro_service_uptime_seconds": round(
+                time.monotonic() - self.started_at, 3
+            ),
+        }
+        for name, value in self.cache.stats().items():
+            gauges[f"repro_service_result_cache_{name}"] = value
+        gauges.update(
+            perf_gauges(
+                perf_counters.global_counters().snapshot().items()
+            )
+        )
+        return self.metrics.render(gauges)
+
+    def close(self) -> None:
+        self.jobs.stop()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the attached :class:`MappingService`."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> MappingService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if not self.service.config.quiet:
+            super().log_message(format, *args)
+
+    # -- routing ---------------------------------------------------------
+    def do_GET(self) -> None:
+        # Metrics are recorded *before* the response goes out: a client
+        # that reads its response and immediately polls /metrics must
+        # see its own request counted.
+        started = time.perf_counter()
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/health":
+            endpoint = "health"
+            status, payload = self.service.health()
+            self._record(endpoint, status, started)
+            self._send_json(status, payload)
+        elif path == "/metrics":
+            endpoint = "metrics"
+            status = 200
+            self._record(endpoint, status, started)
+            self._send_text(200, self.service.metrics_text())
+        elif path.startswith("/jobs/"):
+            endpoint = "jobs"
+            status, payload = self.service.handle_job(
+                path[len("/jobs/"):]
+            )
+            self._record(endpoint, status, started)
+            self._send_json(status, payload)
+        else:
+            endpoint = "unknown"
+            status = 404
+            self._record(endpoint, status, started)
+            self._send_json(
+                404,
+                {
+                    "status": "not-found",
+                    "error": _error_payload(
+                        "UnknownEndpoint", f"no endpoint {path!r}"
+                    ),
+                },
+            )
+
+    def do_POST(self) -> None:
+        started = time.perf_counter()
+        path = self.path.split("?", 1)[0].rstrip("/")
+        routes = {
+            "/discover": ("discover", self.service.handle_discover),
+            "/validate": ("validate", self.service.handle_validate),
+        }
+        if path not in routes:
+            self._record("unknown", 404, started)
+            self._send_json(
+                404,
+                {
+                    "status": "not-found",
+                    "error": _error_payload(
+                        "UnknownEndpoint", f"no endpoint {path!r}"
+                    ),
+                },
+            )
+            return
+        endpoint, handler = routes[path]
+        try:
+            payload = self._read_json()
+        except WireFormatError as error:
+            status, body = 400, {
+                "status": "bad-request",
+                "error": _error_payload("WireFormatError", str(error)),
+            }
+        else:
+            try:
+                status, body = handler(payload)
+            except ReproError as error:
+                status, body = 400, {
+                    "status": "bad-request",
+                    "error": _error_payload(
+                        type(error).__name__, str(error)
+                    ),
+                }
+            except Exception as error:  # never kill the handler thread
+                status, body = 500, {
+                    "status": "error",
+                    "error": _error_payload(
+                        type(error).__name__, str(error)
+                    ),
+                }
+        headers = {"Retry-After": "1"} if status == 429 else None
+        self._record(endpoint, status, started)
+        self._send_json(status, body, headers)
+
+    # -- plumbing --------------------------------------------------------
+    def _read_json(self) -> Any:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            raise WireFormatError("bad Content-Length header") from None
+        if length > MAX_BODY_BYTES:
+            raise WireFormatError(
+                f"request body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            return json.loads(raw or b"{}")
+        except json.JSONDecodeError as error:
+            raise WireFormatError(
+                f"request body is not valid JSON: {error}"
+            ) from None
+
+    def _send_json(
+        self,
+        status: int,
+        payload: Any,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _record(self, endpoint: str, status: int, started: float) -> None:
+        self.service.metrics.inc(
+            "requests_total", endpoint=endpoint, status=str(status)
+        )
+        self.service.metrics.observe(
+            endpoint, time.perf_counter() - started
+        )
+
+
+class ReproServer:
+    """A running service: HTTP listener + worker pool, ready to stop."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.service = MappingService(self.config)
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), _Handler
+        )
+        self._httpd.daemon_threads = True
+        self._httpd.service = self.service  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the kernel's pick)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    def start(self) -> "ReproServer":
+        """Serve in a background thread; returns self for chaining."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-service-listener",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (CLI mode)."""
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.service.close()
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

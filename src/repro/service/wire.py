@@ -1,0 +1,348 @@
+"""The service's JSON wire format: requests in, scenarios and results out.
+
+A *scenario spec* names a discovery input in one of two shapes:
+
+Registered dataset (warm, cheap — the pair is built once per process)::
+
+    {"dataset": "DBLP", "case": "dblp-article-in-journal"}
+    {"dataset": "DBLP", "correspondences": ["article.title <-> ..."]}
+
+Fully inline (self-contained — both schema semantics shipped in the
+request)::
+
+    {
+        "id": "my-scenario",
+        "source": {"schema": {...}, "model": {...}, "trees": {...}},
+        "target": {"schema": {...}, "model": {...}, "trees": {...}},
+        "correspondences": ["person.pname <-> hasbooksoldat.aname"]
+    }
+
+The semantics shape is produced by :func:`semantics_to_wire`: ``schema``
+lists tables/columns/primary keys plus RICs in their textual form,
+``model`` is :func:`repro.cm.serialize.model_to_dict`, and ``trees``
+holds per-table s-tree specs accepted by
+:meth:`repro.semantics.stree.SemanticTree.build`.
+
+Result payloads reuse :mod:`repro.mappings.serialize` for the candidate
+documents, so a served mapping set is the same JSON a user would get
+from :func:`~repro.mappings.serialize.dump_candidates` — and the
+deterministic part (``"mapping"``) is kept separate from per-run
+diagnostics (``"run"``) so cached and fresh responses are byte-identical
+where they must be.
+
+Every malformed input raises :class:`~repro.exceptions.WireFormatError`
+with a caller-safe message; the server maps these to HTTP 400.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.cm.graph import CMGraph
+from repro.cm.serialize import model_from_dict, model_to_dict
+from repro.correspondences import CorrespondenceSet
+from repro.datasets.registry import DatasetPair, dataset_names, load_dataset
+from repro.discovery.batch import Scenario, ScenarioFailure
+from repro.discovery.mapper import DiscoveryResult
+from repro.exceptions import ReproError, WireFormatError
+from repro.mappings.serialize import FORMAT, candidate_to_dict
+from repro.relational.constraints import ReferentialConstraint
+from repro.relational.schema import RelationalSchema, Table
+from repro.semantics.lav import SchemaSemantics
+from repro.semantics.stree import SemanticTree
+from repro.validation import ValidationReport
+
+#: Scalar JSON types accepted as mapper-option values.
+_OPTION_SCALARS = (str, int, float, bool, type(None))
+
+
+# ---------------------------------------------------------------------------
+# Dataset resolution (kept warm across requests)
+# ---------------------------------------------------------------------------
+@functools.lru_cache(maxsize=None)
+def resolve_dataset(name: str) -> DatasetPair:
+    """Load a registered dataset pair once and keep it for the process.
+
+    Reusing the same :class:`DatasetPair` objects across requests is
+    what keeps the graph indexes, reasoner memos, and the batch layer's
+    content keys warm — a cold ``load_dataset`` per request would defeat
+    the serving architecture.
+    """
+    try:
+        return load_dataset(name)
+    except ReproError as error:
+        raise WireFormatError(str(error)) from error
+
+
+# ---------------------------------------------------------------------------
+# Schema semantics <-> wire
+# ---------------------------------------------------------------------------
+def semantics_to_wire(semantics: SchemaSemantics) -> dict[str, Any]:
+    """Serialize one :class:`SchemaSemantics` to the inline wire shape."""
+    schema = semantics.schema
+    trees: dict[str, Any] = {}
+    for table_name in semantics.tables_with_semantics():
+        tree = semantics.tree(table_name)
+        trees[table_name] = {
+            "root": tree.root.node_id,
+            "edges": [
+                [edge.parent.node_id, edge.cm_edge.label, edge.child.node_id]
+                for edge in tree.edges
+            ],
+            "columns": {
+                column: f"{node.node_id}.{attribute}"
+                for column, (node, attribute) in sorted(tree.columns.items())
+            },
+        }
+    return {
+        "schema": {
+            "name": schema.name,
+            "tables": [
+                {
+                    "name": table.name,
+                    "columns": list(table.columns),
+                    "primary_key": list(table.primary_key),
+                }
+                for table in schema
+            ],
+            "rics": [str(ric) for ric in schema.rics],
+        },
+        "model": model_to_dict(semantics.model),
+        "trees": trees,
+    }
+
+
+def semantics_from_wire(spec: Mapping[str, Any]) -> SchemaSemantics:
+    """Rebuild a :class:`SchemaSemantics` from the inline wire shape."""
+    if not isinstance(spec, Mapping):
+        raise WireFormatError(
+            f"semantics spec must be an object, got {type(spec).__name__}"
+        )
+    try:
+        schema_spec = spec["schema"]
+        model_spec = spec["model"]
+    except KeyError as missing:
+        raise WireFormatError(
+            f"semantics spec needs {missing.args[0]!r}"
+        ) from None
+    try:
+        tables = [
+            Table(
+                entry["name"],
+                entry["columns"],
+                entry.get("primary_key", ()),
+            )
+            for entry in schema_spec.get("tables", ())
+        ]
+        rics = [
+            ReferentialConstraint.parse(text)
+            for text in schema_spec.get("rics", ())
+        ]
+        schema = RelationalSchema(schema_spec["name"], tables, rics)
+        model = model_from_dict(model_spec)
+        graph = CMGraph(model)
+        trees = {
+            table_name: SemanticTree.build(
+                graph,
+                tree_spec["root"],
+                [tuple(edge) for edge in tree_spec.get("edges", ())],
+                tree_spec.get("columns", {}),
+            )
+            for table_name, tree_spec in spec.get("trees", {}).items()
+        }
+        return SchemaSemantics(schema, graph, trees)
+    except WireFormatError:
+        raise
+    except (ReproError, KeyError, TypeError, ValueError) as error:
+        raise WireFormatError(
+            f"bad semantics spec: {type(error).__name__}: {error}"
+        ) from error
+
+
+# ---------------------------------------------------------------------------
+# Scenario spec -> Scenario
+# ---------------------------------------------------------------------------
+def scenario_from_wire(spec: Mapping[str, Any]) -> Scenario:
+    """Build a batch :class:`Scenario` from one scenario spec."""
+    if not isinstance(spec, Mapping):
+        raise WireFormatError(
+            f"scenario spec must be an object, got {type(spec).__name__}"
+        )
+    if "dataset" in spec:
+        source, target, correspondences, default_id = _dataset_scenario(spec)
+    elif "source" in spec and "target" in spec:
+        source = semantics_from_wire(spec["source"])
+        target = semantics_from_wire(spec["target"])
+        correspondences = _parse_correspondences(
+            spec.get("correspondences", ())
+        )
+        default_id = "inline"
+    else:
+        raise WireFormatError(
+            "scenario spec needs either a registered 'dataset' or inline "
+            "'source' and 'target' semantics"
+        )
+    options = _mapper_options(spec.get("mapper_options", {}))
+    return Scenario.create(
+        str(spec.get("id", default_id)),
+        source,
+        target,
+        correspondences,
+        **options,
+    )
+
+
+def _dataset_scenario(
+    spec: Mapping[str, Any],
+) -> tuple[SchemaSemantics, SchemaSemantics, CorrespondenceSet, str]:
+    name = spec["dataset"]
+    if not isinstance(name, str):
+        raise WireFormatError(
+            f"'dataset' must be a string, got {type(name).__name__}"
+        )
+    pair = resolve_dataset(name)
+    if "case" in spec:
+        case_id = spec["case"]
+        matching = [c for c in pair.cases if c.case_id == case_id]
+        if not matching:
+            raise WireFormatError(
+                f"dataset {name!r} has no case {case_id!r}; have "
+                f"{[c.case_id for c in pair.cases]}"
+            )
+        (case,) = matching
+        return pair.source, pair.target, case.correspondences, (
+            f"{name}/{case_id}"
+        )
+    if "correspondences" in spec:
+        correspondences = _parse_correspondences(spec["correspondences"])
+        return pair.source, pair.target, correspondences, f"{name}/adhoc"
+    raise WireFormatError(
+        f"dataset scenario for {name!r} needs a 'case' id or an explicit "
+        f"'correspondences' list; known datasets: {sorted(dataset_names())}"
+    )
+
+
+def _parse_correspondences(texts: Any) -> CorrespondenceSet:
+    if not isinstance(texts, (list, tuple)) or not all(
+        isinstance(text, str) for text in texts
+    ):
+        raise WireFormatError(
+            "'correspondences' must be a list of "
+            "'table.column <-> table.column' strings"
+        )
+    try:
+        return CorrespondenceSet.parse(list(texts))
+    except ReproError as error:
+        raise WireFormatError(str(error)) from error
+
+
+def _mapper_options(options: Any) -> dict[str, Any]:
+    if not isinstance(options, Mapping):
+        raise WireFormatError(
+            f"'mapper_options' must be an object, got "
+            f"{type(options).__name__}"
+        )
+    for key, value in options.items():
+        if not isinstance(key, str) or not isinstance(
+            value, _OPTION_SCALARS
+        ):
+            raise WireFormatError(
+                f"mapper option {key!r} must map a string to a JSON "
+                f"scalar, got {type(value).__name__}"
+            )
+    return dict(options)
+
+
+# ---------------------------------------------------------------------------
+# Discovery request options
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class DiscoverOptions:
+    """Per-request knobs of ``POST /discover``."""
+
+    mode: str = "sync"
+    use_cache: bool = True
+    timeout_seconds: float | None = None
+
+
+def discover_request_from_wire(
+    payload: Mapping[str, Any],
+) -> tuple[Scenario, DiscoverOptions]:
+    """Parse a full ``POST /discover`` body: scenario + options."""
+    if not isinstance(payload, Mapping):
+        raise WireFormatError("request body must be a JSON object")
+    if "scenario" not in payload:
+        raise WireFormatError("request body needs a 'scenario' object")
+    scenario = scenario_from_wire(payload["scenario"])
+    mode = payload.get("mode", "sync")
+    if mode not in ("sync", "async"):
+        raise WireFormatError(f"'mode' must be 'sync' or 'async', got {mode!r}")
+    use_cache = payload.get("use_cache", True)
+    if not isinstance(use_cache, bool):
+        raise WireFormatError("'use_cache' must be a boolean")
+    timeout = payload.get("timeout_seconds")
+    if timeout is not None:
+        if not isinstance(timeout, (int, float)) or timeout <= 0:
+            raise WireFormatError("'timeout_seconds' must be a positive number")
+        timeout = float(timeout)
+    return scenario, DiscoverOptions(mode, use_cache, timeout)
+
+
+# ---------------------------------------------------------------------------
+# Results / failures / diagnostics -> wire
+# ---------------------------------------------------------------------------
+def result_to_wire(result: DiscoveryResult) -> dict[str, Any]:
+    """Serialize one :class:`DiscoveryResult` to a response payload.
+
+    ``"mapping"`` is the deterministic part — candidates (via
+    :func:`repro.mappings.serialize.candidate_to_dict`), notes,
+    eliminations, uncovered correspondences — identical across runs for
+    equal inputs, which makes cached responses byte-identical to fresh
+    ones. ``"run"`` carries per-run measurements (wall time, perf
+    counters) that legitimately vary.
+    """
+    return {
+        "mapping": {
+            "format": FORMAT,
+            "candidates": [
+                candidate_to_dict(candidate)
+                for candidate in result.candidates
+            ],
+            "notes": list(result.notes),
+            "eliminations": list(result.eliminations),
+            "uncovered": [
+                str(c) for c in result.uncovered_correspondences()
+            ],
+        },
+        "run": {
+            "elapsed_seconds": result.elapsed_seconds,
+            "stats": dict(result.stats),
+        },
+    }
+
+
+def failure_to_wire(failure: ScenarioFailure) -> dict[str, Any]:
+    """Serialize one batch :class:`ScenarioFailure` to an error payload."""
+    return {
+        "type": failure.error_type,
+        "message": failure.message,
+        "scenario_id": failure.scenario_id,
+        "traceback": list(failure.traceback_summary),
+        "elapsed_seconds": failure.elapsed_seconds,
+        "attempts": failure.attempts,
+    }
+
+
+def diagnostics_to_wire(report: ValidationReport) -> list[dict[str, str]]:
+    """Serialize a validation report's diagnostics, in discovery order."""
+    return [
+        {
+            "severity": diagnostic.severity,
+            "code": diagnostic.code,
+            "message": diagnostic.message,
+            "location": diagnostic.location,
+        }
+        for diagnostic in report
+    ]

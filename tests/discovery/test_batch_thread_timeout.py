@@ -1,0 +1,103 @@
+"""Regression: BatchPolicy timeouts off the main thread degrade loudly.
+
+``BatchPolicy.timeout_seconds`` is enforced with ``SIGALRM``, which can
+only be armed on the process's main thread. Before the service work the
+timeout was silently skipped in any other context; now it must degrade
+to no-timeout with a :class:`TimeoutUnavailableWarning` plus a
+``timeouts_unenforced`` perf counter — and discovery itself must still
+succeed.
+"""
+
+import threading
+import warnings
+
+import pytest
+
+from repro.datasets.paper_examples import bookstore_example
+from repro.discovery.batch import BatchPolicy, Scenario, discover_many
+from repro.exceptions import TimeoutUnavailableWarning
+from repro.perf import counters as perf_counters
+
+
+def _scenario(scenario_id="threaded"):
+    example = bookstore_example()
+    return Scenario.create(
+        scenario_id, example.source, example.target, example.correspondences
+    )
+
+
+class TestThreadContextTimeouts:
+    def test_worker_thread_degrades_with_warning(self):
+        policy = BatchPolicy(timeout_seconds=30.0)
+        outcome = {}
+
+        def run():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                with perf_counters.scope() as counters:
+                    outcome["batch"] = discover_many(
+                        [_scenario()], workers=1, policy=policy
+                    )
+                outcome["warnings"] = [
+                    w for w in caught
+                    if issubclass(w.category, TimeoutUnavailableWarning)
+                ]
+                outcome["counters"] = counters.counts
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+
+        batch = outcome["batch"]
+        assert not batch.failures
+        assert len(batch.results) == 1
+        (scenario_id, result), = batch.results
+        assert scenario_id == "threaded"
+        assert result.candidates
+
+        # Exactly one structured warning, naming scenario and limit.
+        assert len(outcome["warnings"]) == 1
+        message = str(outcome["warnings"][0].message)
+        assert "'threaded'" in message
+        assert "30.0s" in message
+        assert "main thread" in message
+        assert outcome["counters"]["timeouts_unenforced"] == 1
+
+    def test_main_thread_still_arms_sigalrm_silently(self):
+        import signal
+
+        if not hasattr(signal, "SIGALRM"):
+            pytest.skip("platform has no SIGALRM")
+        assert threading.current_thread() is threading.main_thread()
+        policy = BatchPolicy(timeout_seconds=30.0)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            batch = discover_many([_scenario("mainline")], workers=1, policy=policy)
+        assert not batch.failures
+        assert not [
+            w for w in caught
+            if issubclass(w.category, TimeoutUnavailableWarning)
+        ]
+        # The alarm must be disarmed again after the run.
+        assert signal.alarm(0) == 0
+
+    def test_no_timeout_means_no_warning_anywhere(self):
+        outcome = {}
+
+        def run():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                outcome["batch"] = discover_many(
+                    [_scenario("untimed")], workers=1
+                )
+                outcome["warnings"] = list(caught)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        thread.join(timeout=60)
+        assert not outcome["batch"].failures
+        assert not [
+            w for w in outcome["warnings"]
+            if issubclass(w.category, TimeoutUnavailableWarning)
+        ]

@@ -1,0 +1,123 @@
+"""Unit tests for the content-addressed result cache."""
+
+import pytest
+
+from repro.datasets.paper_examples import bookstore_example
+from repro.discovery.batch import Scenario, scenario_fingerprint
+from repro.service.cache import ResultCache
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self):
+        cache = ResultCache(max_entries=4)
+        cache.put("a", {"x": 1})
+        assert cache.get("a") == {"x": 1}
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_miss_returns_none_and_counts(self):
+        cache = ResultCache(max_entries=4)
+        assert cache.get("missing") is None
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 0
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b becomes LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_ttl_expiry(self):
+        clock = FakeClock()
+        cache = ResultCache(max_entries=4, ttl_seconds=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(9.0)
+        assert cache.get("a") == 1
+        clock.advance(2.0)
+        assert cache.get("a") is None
+        stats = cache.stats()
+        assert stats["expirations"] == 1
+        assert stats["entries"] == 0
+
+    def test_zero_entries_disables_cache(self):
+        cache = ResultCache(max_entries=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = ResultCache(max_entries=4)
+        cache.put("a", 1)
+        cache.clear()
+        assert cache.get("a") is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"max_entries": -1}, {"ttl_seconds": 0.0}, {"ttl_seconds": -5}],
+    )
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            ResultCache(**{"max_entries": 4, **kwargs})
+
+
+class TestScenarioFingerprint:
+    def test_content_not_identity(self):
+        first = bookstore_example()
+        second = bookstore_example()  # distinct objects, equal content
+        fp1 = scenario_fingerprint(
+            Scenario.create(
+                "one", first.source, first.target, first.correspondences
+            )
+        )
+        fp2 = scenario_fingerprint(
+            Scenario.create(
+                "two", second.source, second.target, second.correspondences
+            )
+        )
+        assert fp1 == fp2  # scenario_id must not matter
+
+    def test_correspondences_change_key(self):
+        example = bookstore_example()
+        base = Scenario.create(
+            "s", example.source, example.target, example.correspondences
+        )
+        from repro.correspondences import CorrespondenceSet
+
+        trimmed = Scenario.create(
+            "s",
+            example.source,
+            example.target,
+            CorrespondenceSet(list(example.correspondences)[:1]),
+        )
+        assert scenario_fingerprint(base) != scenario_fingerprint(trimmed)
+
+    def test_mapper_options_change_key(self):
+        example = bookstore_example()
+        plain = Scenario.create(
+            "s", example.source, example.target, example.correspondences
+        )
+        tweaked = Scenario.create(
+            "s",
+            example.source,
+            example.target,
+            example.correspondences,
+            max_candidates=1,
+        )
+        assert scenario_fingerprint(plain) != scenario_fingerprint(tweaked)

@@ -1,0 +1,183 @@
+"""Unit tests for the job queue and the metrics sink."""
+
+import pytest
+
+from repro.exceptions import QueueFullError
+from repro.service.cache import ResultCache
+from repro.service.jobs import JobQueue
+from repro.service.metrics import ServiceMetrics, parse_exposition
+from repro.service.wire import scenario_from_wire
+
+
+@pytest.fixture()
+def scenario():
+    return scenario_from_wire(
+        {"dataset": "DBLP", "case": "dblp-article-in-journal"}
+    )
+
+
+@pytest.fixture()
+def other_scenario():
+    return scenario_from_wire(
+        {"dataset": "DBLP", "case": "dblp-book-publisher"}
+    )
+
+
+class TestJobQueue:
+    def test_submit_runs_and_caches(self, scenario):
+        metrics = ServiceMetrics()
+        queue = JobQueue(
+            workers=1, capacity=8, cache=ResultCache(), metrics=metrics
+        )
+        try:
+            job, cached = queue.submit(scenario)
+            assert cached is False
+            assert job.wait(60)
+            assert job.state == "done"
+            assert job.result["mapping"]["candidates"]
+            again, cached = queue.submit(scenario)
+            assert cached is True
+            assert again.done and again.cached
+            assert again.result is job.result  # the exact cached payload
+            assert metrics.value("cache_hits_total") == 1
+            assert metrics.value("cache_misses_total") == 1
+            assert metrics.value("discovery_invocations_total") == 1
+        finally:
+            queue.stop()
+
+    def test_use_cache_false_recomputes(self, scenario):
+        metrics = ServiceMetrics()
+        queue = JobQueue(
+            workers=1, capacity=8, cache=ResultCache(), metrics=metrics
+        )
+        try:
+            first, _ = queue.submit(scenario)
+            assert first.wait(60)
+            second, cached = queue.submit(scenario, use_cache=False)
+            assert cached is False
+            assert second.wait(60)
+            assert metrics.value("discovery_invocations_total") == 2
+        finally:
+            queue.stop()
+
+    def test_backpressure_raises_queue_full(self, scenario, other_scenario):
+        # workers=0: nothing drains, so the bounded queue fills up.
+        metrics = ServiceMetrics()
+        queue = JobQueue(
+            workers=0, capacity=1, cache=ResultCache(), metrics=metrics
+        )
+        queue.submit(scenario)
+        with pytest.raises(QueueFullError):
+            queue.submit(other_scenario)
+        assert metrics.value("jobs_rejected_total") == 1
+
+    def test_identical_inflight_requests_coalesce(self, scenario):
+        metrics = ServiceMetrics()
+        queue = JobQueue(
+            workers=0, capacity=1, cache=ResultCache(), metrics=metrics
+        )
+        first, cached_first = queue.submit(scenario)
+        # Queue is full, but an identical scenario piggybacks anyway.
+        second, cached_second = queue.submit(scenario)
+        assert cached_first is False and cached_second is True
+        assert second is first
+        assert metrics.value("cache_coalesced_total") == 1
+
+    def test_failing_scenario_yields_structured_error(self, scenario):
+        from repro.correspondences import CorrespondenceSet
+        from repro.discovery.batch import Scenario
+
+        empty = Scenario.create(
+            "broken",
+            scenario.source,
+            scenario.target,
+            CorrespondenceSet(),
+        )
+        metrics = ServiceMetrics()
+        queue = JobQueue(
+            workers=1, capacity=8, cache=ResultCache(), metrics=metrics
+        )
+        try:
+            job, _ = queue.submit(empty)
+            assert job.wait(60)
+            assert job.state == "error"
+            assert job.error["scenario_id"] == "broken"
+            assert job.error["type"]
+            assert metrics.value("jobs_failed_total") == 1
+        finally:
+            queue.stop()
+
+    def test_job_lookup_and_history(self, scenario):
+        queue = JobQueue(
+            workers=1,
+            capacity=8,
+            cache=ResultCache(),
+            metrics=ServiceMetrics(),
+        )
+        try:
+            job, _ = queue.submit(scenario)
+            assert queue.job(job.job_id) is job
+            assert queue.job("job-unknown") is None
+            assert job.wait(60)
+            wire = job.to_wire()
+            assert wire["state"] == "done"
+            assert wire["run_seconds"] >= 0
+        finally:
+            queue.stop()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"workers": -1}, {"capacity": 0}, {"history": 0}],
+    )
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            JobQueue(
+                **{
+                    "workers": 1,
+                    "capacity": 2,
+                    "cache": ResultCache(),
+                    "metrics": ServiceMetrics(),
+                    **kwargs,
+                }
+            )
+
+
+class TestServiceMetrics:
+    def test_counters_by_label(self):
+        metrics = ServiceMetrics()
+        metrics.inc("requests_total", endpoint="discover", status="200")
+        metrics.inc("requests_total", endpoint="discover", status="200")
+        metrics.inc("requests_total", endpoint="discover", status="400")
+        assert (
+            metrics.value("requests_total", endpoint="discover", status="200")
+            == 2
+        )
+        assert metrics.total("requests_total") == 3
+
+    def test_latency_quantiles(self):
+        metrics = ServiceMetrics()
+        for ms in range(1, 101):
+            metrics.observe("discover", ms / 1000.0)
+        p50 = metrics.quantile("discover", 0.5)
+        p95 = metrics.quantile("discover", 0.95)
+        assert 0.045 <= p50 <= 0.055
+        assert 0.090 <= p95 <= 0.100
+        assert metrics.quantile("nope", 0.5) is None
+
+    def test_render_and_parse_round_trip(self):
+        metrics = ServiceMetrics()
+        metrics.inc("requests_total", endpoint="health", status="200")
+        metrics.observe("health", 0.002)
+        text = metrics.render(gauges={"repro_service_queue_depth": 3})
+        values = parse_exposition(text)
+        assert (
+            values[
+                'repro_service_requests_total{endpoint="health",status="200"}'
+            ]
+            == 1.0
+        )
+        assert values["repro_service_queue_depth"] == 3.0
+        assert (
+            'repro_service_request_seconds_count{endpoint="health"}' in values
+        )
+        assert "# TYPE repro_service_requests_total counter" in text

@@ -1,0 +1,178 @@
+"""HTTP-level tests for the mapping-discovery server."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ServiceCallError
+from repro.service.client import ServiceClient
+from repro.service.metrics import parse_exposition
+from repro.service.server import ReproServer, ServiceConfig
+
+DBLP_CASE = {"dataset": "DBLP", "case": "dblp-article-in-journal"}
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ReproServer(ServiceConfig(workers=2)) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServiceClient(server.url)
+
+
+class TestHealthAndMetrics:
+    def test_health(self, client):
+        payload = client.health()
+        assert payload["status"] == "ok"
+        assert payload["workers"] == 2
+        assert payload["queue_capacity"] == 64
+        assert "cache" in payload and "jobs" in payload
+
+    def test_metrics_exposition(self, client):
+        client.health()  # guarantee at least one counted request
+        client.discover(DBLP_CASE)  # populate the perf-layer counters
+        values = client.metrics_values()
+        assert values["repro_service_workers"] == 2.0
+        assert "repro_service_queue_depth" in values
+        assert any(
+            series.startswith("repro_service_requests_total")
+            for series in values
+        )
+        assert any(series.startswith("repro_perf_") for series in values)
+
+    def test_unknown_endpoint_404(self, client):
+        status, payload = client.request("GET", "/nope")
+        assert status == 404
+        assert payload["error"]["type"] == "UnknownEndpoint"
+        status, payload = client.request("POST", "/nope", {})
+        assert status == 404
+
+
+class TestValidate:
+    def test_valid_scenario(self, client):
+        payload = client.validate(DBLP_CASE)
+        assert payload["ok"] is True
+        assert payload["diagnostics"] == []
+
+    def test_invalid_scenario_reports_diagnostics(self, client):
+        pair_case = dict(DBLP_CASE)
+        pair_case["correspondences"] = ["missing.col <-> alsomissing.col"]
+        del pair_case["case"]
+        payload = client.validate(pair_case)
+        assert payload["ok"] is False
+        assert payload["diagnostics"]
+        assert all(
+            {"severity", "code", "message"} <= set(d)
+            for d in payload["diagnostics"]
+        )
+
+    def test_unparseable_request_400(self, client):
+        status, payload = client.request("POST", "/validate", {"nope": 1})
+        assert status == 400
+        assert payload["error"]["type"] == "WireFormatError"
+
+
+class TestDiscover:
+    def test_sync_discover_and_cached_repeat(self, client):
+        first = client.discover(DBLP_CASE, use_cache=False)
+        assert first["status"] == "ok"
+        assert first["result"]["mapping"]["format"] == "repro-mappings/1"
+        assert first["result"]["mapping"]["candidates"]
+
+        second = client.discover(DBLP_CASE)
+        assert second["status"] == "ok"
+        assert second["cached"] is True
+        assert json.dumps(
+            first["result"]["mapping"], sort_keys=True
+        ) == json.dumps(second["result"]["mapping"], sort_keys=True)
+
+    def test_async_discover_polls_to_done(self, client):
+        spec = {"dataset": "DBLP", "case": "dblp-book-publisher"}
+        accepted = client.discover(spec, mode="async")
+        assert accepted["status"] == "accepted"
+        assert accepted["state"] in ("queued", "running", "done")
+        final = client.wait_for_job(accepted["job_id"])
+        assert final["state"] == "done"
+        assert final["result"]["mapping"]["candidates"]
+
+    def test_validation_gate_rejects_before_queueing(self, client):
+        before = client.metrics_values().get(
+            "repro_service_discovery_invocations_total", 0.0
+        )
+        bad = {
+            "dataset": "DBLP",
+            "correspondences": ["missing.col <-> alsomissing.col"],
+        }
+        status, payload = client.request(
+            "POST", "/discover", {"scenario": bad}
+        )
+        assert status == 400
+        assert payload["status"] == "invalid"
+        assert payload["error"]["type"] == "ValidationError"
+        assert len(payload["error"]["diagnostics"]) >= 1
+        after = client.metrics_values().get(
+            "repro_service_discovery_invocations_total", 0.0
+        )
+        assert after == before  # rejected before any discovery ran
+
+    def test_malformed_body_400(self, client):
+        status, payload = client.request("POST", "/discover", {"mode": 3})
+        assert status == 400
+        assert payload["status"] == "bad-request"
+
+    def test_client_checked_call_raises(self, client):
+        with pytest.raises(ServiceCallError) as excinfo:
+            client.job("job-does-not-exist")
+        assert excinfo.value.status == 404
+
+    def test_jobs_endpoint_unknown_id(self, client):
+        status, payload = client.request("GET", "/jobs/job-unknown")
+        assert status == 404
+        assert payload["error"]["type"] == "UnknownJob"
+
+
+class TestBackpressure:
+    def test_full_queue_gets_429_with_retry_after(self):
+        # A dedicated server whose submit path always reports a full
+        # queue: every discover request must surface as HTTP 429.
+        from repro.exceptions import QueueFullError
+
+        with ReproServer(
+            ServiceConfig(workers=1, queue_capacity=1)
+        ) as running:
+            service = running.service
+
+            def always_full(scenario, use_cache=True):
+                raise QueueFullError("job queue is at capacity (test)")
+
+            service.jobs.submit = always_full
+            client = ServiceClient(running.url)
+            status, payload = client.request(
+                "POST", "/discover", {"scenario": DBLP_CASE}
+            )
+            assert status == 429
+            assert payload["status"] == "rejected"
+            assert payload["error"]["type"] == "QueueFullError"
+            text = client.metrics_text()
+            values = parse_exposition(text)
+            assert (
+                values[
+                    'repro_service_requests_total{endpoint="discover",status="429"}'
+                ]
+                >= 1.0
+            )
+
+
+class TestServerLifecycle:
+    def test_port_zero_resolves_and_context_manager_cleans_up(self):
+        with ReproServer(ServiceConfig(port=0)) as running:
+            assert running.port > 0
+            assert str(running.port) in running.url
+            client = ServiceClient(running.url)
+            assert client.health()["status"] == "ok"
+        # After shutdown the socket is closed: a new request must fail.
+        with pytest.raises(ServiceCallError):
+            ServiceClient(running.url, timeout=0.5).health()

@@ -9,6 +9,7 @@ here as explicit table-level query pairs.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -156,16 +157,32 @@ def load_all_datasets() -> tuple[DatasetPair, ...]:
     return tuple(builder() for builder in _BUILDERS.values())
 
 
+_LOADED = False
+_LOAD_LOCK = threading.Lock()
+
+
 def _ensure_loaded() -> None:
-    """Import the dataset modules so their builders register."""
-    if _BUILDERS:
+    """Import the dataset modules so their builders register.
+
+    Guarded by a lock and a flag set only *after* every module has
+    registered: checking ``_BUILDERS`` itself is racy — it is non-empty
+    as soon as the first module registers, so a concurrent caller (the
+    service handles requests on many threads) could see a partially
+    populated registry and reject a perfectly registered dataset.
+    """
+    global _LOADED
+    if _LOADED:
         return
-    from repro.datasets import (  # noqa: F401
-        dblp,
-        mondial,
-        amalgam,
-        sdb3,
-        university,
-        hotel,
-        network,
-    )
+    with _LOAD_LOCK:
+        if _LOADED:
+            return
+        from repro.datasets import (  # noqa: F401
+            dblp,
+            mondial,
+            amalgam,
+            sdb3,
+            university,
+            hotel,
+            network,
+        )
+        _LOADED = True

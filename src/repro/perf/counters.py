@@ -1,11 +1,21 @@
 """Lightweight instrumentation: named counters and per-phase wall time.
 
 Counters are recorded into a stack of *frames*. The root frame lives for
-the whole process; :func:`scope` pushes a fresh frame so one
-``discover()`` call (or one batch run) can report exactly the events it
-caused while outer scopes keep accumulating. Recording walks the stack,
-which is at most a few frames deep, so the hot-path cost is two or three
-dict increments.
+the whole process and is shared by every thread; :func:`scope` pushes a
+fresh frame onto the **calling thread's** stack, so one ``discover()``
+call (or one batch run) reports exactly the events it caused even when
+other threads — e.g. the ``repro.service`` worker pool — are running
+their own scoped discoveries concurrently. Recording walks the calling
+thread's stack (at most a few frames deep) plus one locked increment on
+the shared root, so the hot-path cost stays at a few dict increments.
+
+Thread-safety contract:
+
+* scoped frames are thread-confined — a frame only ever sees events
+  recorded by the thread that opened the scope;
+* the root frame aggregates across all threads; its mutations and
+  :meth:`PerfCounters.snapshot` both run under a per-instance lock, so
+  ``GET /metrics`` can snapshot while workers record.
 
 Counter names used across the codebase:
 
@@ -26,6 +36,7 @@ Counter names used across the codebase:
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import Counter
 from contextlib import contextmanager
@@ -33,50 +44,100 @@ from typing import Iterator
 
 
 class PerfCounters:
-    """One frame of counters plus per-phase wall-time accumulators."""
+    """One frame of counters plus per-phase wall-time accumulators.
 
-    __slots__ = ("counts", "timings")
+    Instances are cheap thread-confined scratchpads by default; the
+    module's shared root frame is the one instance that multiple
+    threads hit concurrently, so every cross-thread touch point
+    (increment, merge, snapshot, clear) takes the per-instance lock.
+    Reading ``counts``/``timings`` directly is fine for thread-confined
+    frames (scoped frames, test fixtures) but unsynchronised for the
+    root — use :meth:`snapshot` for a consistent view of it.
+    """
+
+    __slots__ = ("counts", "timings", "_lock")
 
     def __init__(self) -> None:
         self.counts: Counter[str] = Counter()
         self.timings: Counter[str] = Counter()
+        self._lock = threading.Lock()
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Locked increment — safe for frames shared across threads."""
+        with self._lock:
+            self.counts[name] += amount
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Locked wall-time accumulation (see :meth:`add`)."""
+        with self._lock:
+            self.timings[name] += seconds
 
     def snapshot(self) -> dict[str, int | float]:
         """A JSON-friendly view: counters plus ``time_<phase>_s`` keys."""
+        with self._lock:
+            counts = dict(self.counts)
+            timings = dict(self.timings)
         data: dict[str, int | float] = {
-            name: int(value) for name, value in sorted(self.counts.items())
+            name: int(value) for name, value in sorted(counts.items())
         }
-        for name, seconds in sorted(self.timings.items()):
+        for name, seconds in sorted(timings.items()):
             data[f"time_{name}_s"] = round(seconds, 6)
         return data
 
     def merge(self, other: "PerfCounters | dict[str, int | float]") -> None:
         """Fold another frame (or a snapshot dict) into this one."""
         if isinstance(other, PerfCounters):
-            self.counts.update(other.counts)
-            self.timings.update(other.timings)
+            with other._lock:
+                counts = dict(other.counts)
+                timings = dict(other.timings)
+            with self._lock:
+                self.counts.update(counts)
+                self.timings.update(timings)
             return
-        for name, value in other.items():
-            if name.startswith("time_") and name.endswith("_s"):
-                self.timings[name[len("time_") : -len("_s")]] += float(value)
-            else:
-                self.counts[name] += int(value)
+        with self._lock:
+            for name, value in other.items():
+                if name.startswith("time_") and name.endswith("_s"):
+                    self.timings[name[len("time_") : -len("_s")]] += float(
+                        value
+                    )
+                else:
+                    self.counts[name] += int(value)
+
+    def clear(self) -> None:
+        """Drop every counter and timing (locked)."""
+        with self._lock:
+            self.counts.clear()
+            self.timings.clear()
 
     def __repr__(self) -> str:
         return f"PerfCounters({dict(self.counts)}, {dict(self.timings)})"
 
 
-_STACK: list[PerfCounters] = [PerfCounters()]
+#: Process-lifetime aggregate, shared by every thread.
+_ROOT = PerfCounters()
+
+_SCOPES = threading.local()
+
+
+def _scope_stack() -> list[PerfCounters]:
+    """The calling thread's stack of active scoped frames."""
+    stack = getattr(_SCOPES, "stack", None)
+    if stack is None:
+        stack = []
+        _SCOPES.stack = stack
+    return stack
 
 
 def record(name: str, amount: int = 1) -> None:
-    """Increment ``name`` in every active frame."""
-    for frame in _STACK:
+    """Increment ``name`` in the root and every active frame of this thread."""
+    _ROOT.add(name, amount)
+    for frame in _scope_stack():
         frame.counts[name] += amount
 
 
 def record_time(name: str, seconds: float) -> None:
-    for frame in _STACK:
+    _ROOT.add_time(name, seconds)
+    for frame in _scope_stack():
         frame.timings[name] += seconds
 
 
@@ -92,22 +153,21 @@ def phase(name: str) -> Iterator[None]:
 
 @contextmanager
 def scope() -> Iterator[PerfCounters]:
-    """Push a fresh frame; yields it so callers can snapshot afterwards."""
+    """Push a fresh frame on this thread's stack; yields it for snapshots."""
     frame = PerfCounters()
-    _STACK.append(frame)
+    stack = _scope_stack()
+    stack.append(frame)
     try:
         yield frame
     finally:
-        _STACK.remove(frame)
+        stack.remove(frame)
 
 
 def global_counters() -> PerfCounters:
-    """The process-lifetime root frame."""
-    return _STACK[0]
+    """The process-lifetime root frame (shared across threads)."""
+    return _ROOT
 
 
 def reset() -> None:
     """Clear the root frame (scoped frames are unaffected)."""
-    root = _STACK[0]
-    root.counts.clear()
-    root.timings.clear()
+    _ROOT.clear()

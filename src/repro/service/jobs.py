@@ -28,6 +28,7 @@ import itertools
 import queue
 import threading
 import time
+import warnings
 from collections import OrderedDict
 
 from repro.discovery.batch import (
@@ -180,6 +181,7 @@ class JobQueue:
         self._policy = policy or BatchPolicy()
         self._history = history
         self._queue: queue.Queue = queue.Queue(maxsize=capacity)
+        self._stopping = threading.Event()
         self._lock = threading.Lock()
         self._inflight: dict[str, Job] = {}
         self._jobs: OrderedDict[str, Job] = OrderedDict()
@@ -213,6 +215,9 @@ class JobQueue:
             When the scenario needs a new job but the queue is full.
         """
         fingerprint = scenario_fingerprint(scenario)
+        if self._stopping.is_set():
+            self._metrics.inc("jobs_rejected_total")
+            raise QueueFullError("service is shutting down; retry later")
         with self._lock:
             if use_cache:
                 payload = self._cache.get(fingerprint)
@@ -277,6 +282,21 @@ class JobQueue:
                 self._queue.task_done()
                 return
             job: Job = item
+            if self._stopping.is_set():
+                # Drain the backlog fast so stop() can enqueue its
+                # sentinels even when the queue was full at shutdown.
+                job.fail(
+                    {
+                        "type": "ServiceStopped",
+                        "message": "service shut down before this job ran",
+                    }
+                )
+                self._metrics.inc("jobs_failed_total")
+                with self._lock:
+                    if self._inflight.get(job.fingerprint) is job:
+                        del self._inflight[job.fingerprint]
+                self._queue.task_done()
+                continue
             job.mark_running()
             self._metrics.inc("discovery_invocations_total")
             try:
@@ -309,8 +329,43 @@ class JobQueue:
     # Shutdown
     # ------------------------------------------------------------------
     def stop(self, timeout: float | None = 5.0) -> None:
-        """Drain in-flight work and stop every worker thread."""
+        """Stop every worker thread without blocking indefinitely.
+
+        New submits are rejected immediately; workers fast-fail any
+        still-queued jobs instead of running them. Sentinels are
+        enqueued with a deadline (never a blocking ``put``), so a queue
+        that is at capacity when shutdown starts — exactly the
+        429-backpressure situation — cannot wedge ``stop()``. If the
+        deadline passes (e.g. a worker is stuck inside a scenario, whose
+        timeout is unenforced on threads), a ``RuntimeWarning`` is
+        issued and the daemon workers are abandoned to process exit.
+        """
+        self._stopping.set()
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        stalled = 0
         for _ in self._threads:
-            self._queue.put(_STOP)
+            try:
+                if deadline is None:
+                    self._queue.put(_STOP)
+                else:
+                    remaining = max(0.0, deadline - time.monotonic())
+                    self._queue.put(_STOP, timeout=remaining)
+            except queue.Full:
+                stalled += 1
         for thread in self._threads:
-            thread.join(timeout)
+            if deadline is None:
+                thread.join()
+            else:
+                thread.join(max(0.0, deadline - time.monotonic()))
+        alive = sum(1 for thread in self._threads if thread.is_alive())
+        if stalled or alive:
+            warnings.warn(
+                f"JobQueue.stop() deadline ({timeout}s) passed with "
+                f"{stalled} stop sentinel(s) unenqueued and {alive} "
+                f"worker thread(s) still running; daemon threads will "
+                f"be reaped at process exit",
+                RuntimeWarning,
+                stacklevel=2,
+            )

@@ -144,7 +144,14 @@ class MappingService:
                 "error": _error_payload("QueueFullError", str(error)),
             }
         if options.mode == "async":
-            return 202, {"status": "accepted", **job.to_wire()}
+            # A coalesced submit returns the *first* submitter's Job, so
+            # echo the caller's own scenario_id over the job's — clients
+            # correlate by the id they supplied.
+            return 202, {
+                "status": "accepted",
+                **job.to_wire(),
+                "scenario_id": scenario.scenario_id,
+            }
         timeout = (
             options.timeout_seconds
             if options.timeout_seconds is not None
@@ -267,36 +274,47 @@ class _Handler(BaseHTTPRequestHandler):
         # see its own request counted.
         started = time.perf_counter()
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        text: str | None = None
+        payload: dict[str, Any] = {}
         if path == "/health":
             endpoint = "health"
-            status, payload = self.service.health()
-            self._record(endpoint, status, started)
-            self._send_json(status, payload)
         elif path == "/metrics":
             endpoint = "metrics"
-            status = 200
-            self._record(endpoint, status, started)
-            self._send_text(200, self.service.metrics_text())
         elif path.startswith("/jobs/"):
             endpoint = "jobs"
-            status, payload = self.service.handle_job(
-                path[len("/jobs/"):]
-            )
-            self._record(endpoint, status, started)
-            self._send_json(status, payload)
         else:
             endpoint = "unknown"
-            status = 404
-            self._record(endpoint, status, started)
-            self._send_json(
-                404,
-                {
+        try:
+            if endpoint == "health":
+                status, payload = self.service.health()
+            elif endpoint == "metrics":
+                status, text = 200, self.service.metrics_text()
+            elif endpoint == "jobs":
+                status, payload = self.service.handle_job(
+                    path[len("/jobs/"):]
+                )
+            else:
+                status, payload = 404, {
                     "status": "not-found",
                     "error": _error_payload(
                         "UnknownEndpoint", f"no endpoint {path!r}"
                     ),
-                },
-            )
+                }
+        except ReproError as error:
+            status, payload = 400, {
+                "status": "bad-request",
+                "error": _error_payload(type(error).__name__, str(error)),
+            }
+        except Exception as error:  # never kill the handler thread
+            status, payload = 500, {
+                "status": "error",
+                "error": _error_payload(type(error).__name__, str(error)),
+            }
+        self._record(endpoint, status, started)
+        if text is not None:
+            self._send_text(status, text)
+        else:
+            self._send_json(status, payload)
 
     def do_POST(self) -> None:
         started = time.perf_counter()
@@ -352,6 +370,10 @@ class _Handler(BaseHTTPRequestHandler):
             length = int(self.headers.get("Content-Length", 0))
         except ValueError:
             raise WireFormatError("bad Content-Length header") from None
+        if length < 0:
+            # rfile.read(-1) on a keep-alive connection would block until
+            # the client hangs up, pinning this handler thread.
+            raise WireFormatError("negative Content-Length header")
         if length > MAX_BODY_BYTES:
             raise WireFormatError(
                 f"request body exceeds {MAX_BODY_BYTES} bytes"
@@ -398,16 +420,24 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
 
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    # The stock listen backlog of 5 drops (or resets) connections under
+    # a burst of a few dozen concurrent clients — the exact traffic this
+    # server exists to absorb. Handler threads are cheap; let the kernel
+    # queue the burst instead.
+    request_queue_size = 128
+
+
 class ReproServer:
     """A running service: HTTP listener + worker pool, ready to stop."""
 
     def __init__(self, config: ServiceConfig | None = None) -> None:
         self.config = config or ServiceConfig()
         self.service = MappingService(self.config)
-        self._httpd = ThreadingHTTPServer(
+        self._httpd = _HTTPServer(
             (self.config.host, self.config.port), _Handler
         )
-        self._httpd.daemon_threads = True
         self._httpd.service = self.service  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
 

@@ -36,6 +36,52 @@ class TestRegistry:
         pairs = load_all_datasets()
         assert len(pairs) == 7
 
+    def test_cold_registry_load_is_thread_safe(self, monkeypatch):
+        """Regression: ``_ensure_loaded`` returned as soon as the first
+        dataset module registered, so a thread racing a cold load could
+        see a partial registry (``unknown dataset 'Hotel'; have
+        ['DBLP']`` from the service's handler threads)."""
+        import sys
+        import threading
+
+        from repro.datasets import registry
+
+        # Simulate a cold process: empty registry, unset flag, and the
+        # dataset modules evicted (from sys.modules AND the package's
+        # attributes — a stale attribute makes ``from repro.datasets
+        # import dblp`` skip the re-import) so their imports re-run.
+        import repro.datasets as datasets_pkg
+
+        monkeypatch.setattr(registry, "_BUILDERS", {})
+        monkeypatch.setattr(registry, "_LOADED", False)
+        for module in list(sys.modules):
+            if (
+                module.startswith("repro.datasets.")
+                and module != "repro.datasets.registry"
+            ):
+                monkeypatch.delitem(sys.modules, module)
+                short = module.rsplit(".", 1)[1]
+                if hasattr(datasets_pkg, short):
+                    monkeypatch.delattr(datasets_pkg, short)
+
+        barrier = threading.Barrier(8)
+        errors: list[BaseException] = []
+
+        def probe():
+            barrier.wait(timeout=10)
+            try:
+                registry.load_dataset("Hotel")
+            except BaseException as error:
+                errors.append(error)
+
+        threads = [threading.Thread(target=probe) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert len(registry.dataset_names()) == 7
+
 
 class TestTable1Characteristics:
     """The reconstructed pairs match the paper's Table 1 exactly."""

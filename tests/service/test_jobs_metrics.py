@@ -1,8 +1,12 @@
 """Unit tests for the job queue and the metrics sink."""
 
+import threading
+import time
+
 import pytest
 
 from repro.exceptions import QueueFullError
+from repro.perf import counters as perf_counters
 from repro.service.cache import ResultCache
 from repro.service.jobs import JobQueue
 from repro.service.metrics import ServiceMetrics, parse_exposition
@@ -124,6 +128,84 @@ class TestJobQueue:
             assert wire["run_seconds"] >= 0
         finally:
             queue.stop()
+
+    def test_worker_stats_isolated_from_concurrent_scopes(self, scenario):
+        """Regression: the perf frame stack was process-global, so a
+        concurrent thread's scoped events leaked into a job's
+        ``run.stats`` (and vice versa)."""
+        stop = threading.Event()
+        polluting = threading.Event()
+
+        def pollute():
+            with perf_counters.scope():
+                polluting.set()
+                while not stop.is_set():
+                    perf_counters.record("contaminant_event")
+                    time.sleep(0)  # yield so the worker makes progress
+
+        thread = threading.Thread(target=pollute)
+        thread.start()
+        queue = JobQueue(
+            workers=1,
+            capacity=8,
+            cache=ResultCache(),
+            metrics=ServiceMetrics(),
+        )
+        try:
+            assert polluting.wait(10)
+            job, _ = queue.submit(scenario)
+            assert job.wait(60)
+            assert job.state == "done"
+            stats = job.result["run"]["stats"]
+            assert "contaminant_event" not in stats
+            # ...while the shared root still aggregates both threads.
+            root = perf_counters.global_counters()
+            assert root.counts["contaminant_event"] > 0
+        finally:
+            stop.set()
+            thread.join(10)
+            queue.stop()
+
+    def test_stop_does_not_block_on_full_queue(
+        self, scenario, other_scenario, monkeypatch
+    ):
+        """Regression: ``stop()`` used a blocking ``put(_STOP)``, so a
+        full queue plus a wedged worker blocked shutdown forever."""
+        import repro.service.jobs as jobs_mod
+
+        release = threading.Event()
+        wedged = threading.Event()
+
+        def blocking_discover(scenarios, workers=1, policy=None):
+            wedged.set()
+            release.wait(30)
+            raise RuntimeError("released by test")
+
+        monkeypatch.setattr(jobs_mod, "discover_many", blocking_discover)
+        queue = JobQueue(
+            workers=1,
+            capacity=1,
+            cache=ResultCache(),
+            metrics=ServiceMetrics(),
+        )
+        try:
+            first, _ = queue.submit(scenario)  # worker picks this up
+            assert wedged.wait(10)
+            second, _ = queue.submit(other_scenario)  # fills the queue
+            start = time.monotonic()
+            with pytest.warns(RuntimeWarning, match="deadline"):
+                queue.stop(timeout=0.2)
+            assert time.monotonic() - start < 5
+            # Submissions after stop() are rejected outright.
+            with pytest.raises(QueueFullError):
+                queue.submit(scenario)
+        finally:
+            release.set()
+        # Once released, the wedged job fails and the still-queued job
+        # is fast-failed instead of running during shutdown.
+        assert first.wait(10) and first.state == "error"
+        assert second.wait(10) and second.state == "error"
+        assert second.error["type"] == "ServiceStopped"
 
     @pytest.mark.parametrize(
         "kwargs",

@@ -1,13 +1,15 @@
 """HTTP-level tests for the mapping-discovery server."""
 
+import http.client
 import json
+import threading
 
 import pytest
 
 from repro.exceptions import ServiceCallError
 from repro.service.client import ServiceClient
 from repro.service.metrics import parse_exposition
-from repro.service.server import ReproServer, ServiceConfig
+from repro.service.server import MappingService, ReproServer, ServiceConfig
 
 DBLP_CASE = {"dataset": "DBLP", "case": "dblp-article-in-journal"}
 
@@ -132,6 +134,83 @@ class TestDiscover:
         status, payload = client.request("GET", "/jobs/job-unknown")
         assert status == 404
         assert payload["error"]["type"] == "UnknownJob"
+
+    def test_async_coalesced_202_echoes_caller_scenario_id(
+        self, monkeypatch
+    ):
+        """Regression: a coalesced async submit returned the *first*
+        submitter's scenario_id in the 202 response."""
+        import repro.service.jobs as jobs_mod
+
+        release = threading.Event()
+
+        def blocking_discover(scenarios, workers=1, policy=None):
+            release.wait(30)
+            raise RuntimeError("released by test")
+
+        monkeypatch.setattr(jobs_mod, "discover_many", blocking_discover)
+        service = MappingService(ServiceConfig(workers=1))
+        try:
+            first_status, first = service.handle_discover(
+                {"scenario": {**DBLP_CASE, "id": "caller-one"},
+                 "mode": "async"}
+            )
+            second_status, second = service.handle_discover(
+                {"scenario": {**DBLP_CASE, "id": "caller-two"},
+                 "mode": "async"}
+            )
+            assert first_status == 202 and second_status == 202
+            # Same content → same coalesced job...
+            assert second["job_id"] == first["job_id"]
+            # ...but each caller sees the id *they* supplied.
+            assert first["scenario_id"] == "caller-one"
+            assert second["scenario_id"] == "caller-two"
+        finally:
+            release.set()
+            service.close()
+
+
+class TestHandlerErrorGuards:
+    def test_get_handler_exception_returns_500_json(self):
+        """Regression: exceptions inside GET dispatch escaped the
+        handler, dropping the connection instead of answering 500."""
+        with ReproServer(ServiceConfig(workers=1)) as running:
+
+            def boom():
+                raise RuntimeError("snapshot race (test)")
+
+            running.service.health = boom
+            client = ServiceClient(running.url)
+            status, payload = client.request("GET", "/health")
+            assert status == 500
+            assert payload["status"] == "error"
+            assert payload["error"]["type"] == "RuntimeError"
+            values = parse_exposition(client.metrics_text())
+            assert (
+                values[
+                    'repro_service_requests_total{endpoint="health",status="500"}'
+                ]
+                >= 1.0
+            )
+
+    def test_negative_content_length_rejected(self, server):
+        """Regression: a negative Content-Length reached
+        ``rfile.read(-1)``, pinning the handler thread until the client
+        hung up."""
+        conn = http.client.HTTPConnection(
+            server.config.host, server.port, timeout=5
+        )
+        try:
+            conn.putrequest("POST", "/validate")
+            conn.putheader("Content-Length", "-1")
+            conn.endheaders()
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 400
+            assert payload["error"]["type"] == "WireFormatError"
+            assert "Content-Length" in payload["error"]["message"]
+        finally:
+            conn.close()
 
 
 class TestBackpressure:

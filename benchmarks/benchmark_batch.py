@@ -9,6 +9,8 @@ Not a paper exhibit — this measures the shared-computation layer itself:
   across ``workers=1`` / ``workers=2`` batches;
 * candidate counts on the paper scenarios pinned to
   ``repro.perf.invariants`` — caching must never change results;
+* per-phase wall times from the trace exhibit plus the disabled-tracer
+  overhead estimate (must stay under ``TRACE_OVERHEAD_LIMIT``);
 * the ``BENCH_discovery.json`` report, written to the repo root.
 """
 
@@ -23,12 +25,14 @@ import repro.perf as perf
 from repro.discovery.batch import discover_many
 from repro.discovery.mapper import SemanticMapper
 from repro.perf.bench import (
+    TRACE_OVERHEAD_LIMIT,
     _paper_scenarios,
     _tgds,
     build_chain_scenario,
     run_benchmarks,
 )
 from repro.perf.invariants import EXPECTED_CANDIDATE_COUNTS
+from repro.trace import TRACE_FORMAT, Tracer
 
 REPORT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_discovery.json"
 
@@ -70,6 +74,28 @@ def test_candidate_counts_match_invariants(bench_report):
         for row in bench_report["paper_scenarios"]["scenarios"]
     }
     assert counts == EXPECTED_CANDIDATE_COUNTS
+
+
+def test_trace_exhibit_has_phase_timings(bench_report):
+    """BENCH_discovery.json carries per-phase wall times from the trace."""
+    trace = bench_report["trace"]
+    assert trace["span_count"] >= 1
+    for phase in ("discover", "lift", "target_csgs", "rank"):
+        assert phase in trace["phase_seconds"], trace["phase_seconds"]
+        assert trace["phase_seconds"][phase] >= 0
+    assert trace["overhead_limit"] == TRACE_OVERHEAD_LIMIT
+    assert trace["estimated_overhead_fraction"] < TRACE_OVERHEAD_LIMIT, trace
+
+
+def test_trace_json_export_round_trips():
+    """``Tracer.to_json`` yields the document the report is built from."""
+    source, target, correspondences = build_chain_scenario(length=4)
+    tracer = Tracer(explain=True)
+    SemanticMapper(source, target, correspondences).discover(tracer=tracer)
+    document = json.loads(tracer.to_json())
+    assert document["format"] == TRACE_FORMAT
+    assert document["explain"] is True
+    assert document["spans"][0]["name"] == "discover"
 
 
 def test_modes_byte_identical():

@@ -22,6 +22,20 @@ Typical usage::
     corrs = CorrespondenceSet.parse(["person.pname <-> author.aname"])
     result = discover_mappings(source.semantics, target.semantics, corrs)
     print(result.best().to_tgd("M"))
+
+Tuning and observability live on one frozen options object::
+
+    from repro import DiscoveryOptions, Scenario, discover
+
+    options = DiscoveryOptions(explain=True)
+    result = discover(
+        Scenario.create("case-1", source, target, corrs), options=options
+    )
+    for event in result.trace["prunes"]:
+        print(event["rule"], event["detail"])
+
+See ``docs/api.md`` for the public-API map and ``docs/observability.md``
+for tracing/explain.
 """
 
 from repro.cm import (
@@ -38,10 +52,16 @@ from repro.correspondences import Correspondence, CorrespondenceSet
 from repro.matching import as_correspondence_set, suggest_correspondences
 from repro.baseline import RICBasedMapper, discover_ric_mappings
 from repro.discovery import (
+    BatchPolicy,
+    BatchResult,
+    DiscoveryOptions,
     DiscoveryResult,
+    Scenario,
     SemanticMapper,
+    discover_many,
     discover_mappings,
 )
+from repro.trace import Tracer
 from repro.exceptions import ReproError
 from repro.mappings import (
     MappingCandidate,
@@ -64,6 +84,30 @@ from repro.semantics import (
 )
 
 __version__ = "0.1.0"
+
+
+def discover(
+    scenario: Scenario,
+    options: DiscoveryOptions | None = None,
+    trace: Tracer | None = None,
+) -> DiscoveryResult:
+    """Run one :class:`Scenario` and return its :class:`DiscoveryResult`.
+
+    The scenario-first companion to :func:`discover_mappings`:
+    ``options`` (when given) replaces the options stored on the
+    scenario, and ``trace`` injects a caller-owned
+    :class:`~repro.trace.Tracer`. Unlike :func:`discover_many` there is
+    no fault isolation — errors propagate to the caller.
+    """
+    if options is not None:
+        scenario = Scenario.create(
+            scenario.scenario_id,
+            scenario.source,
+            scenario.target,
+            scenario.correspondences,
+            options=options,
+        )
+    return scenario.run(tracer=trace)
 
 __all__ = [
     "__version__",
@@ -94,8 +138,15 @@ __all__ = [
     "suggest_correspondences",
     "as_correspondence_set",
     # Discovery
+    "BatchPolicy",
+    "BatchResult",
+    "DiscoveryOptions",
     "DiscoveryResult",
+    "Scenario",
     "SemanticMapper",
+    "Tracer",
+    "discover",
+    "discover_many",
     "discover_mappings",
     # Baseline
     "RICBasedMapper",

@@ -6,6 +6,8 @@ Commands
 ``datasets``            list the reconstructed dataset pairs
 ``describe NAME``       print a pair's schemas and benchmark cases
 ``map NAME CASE``       run one benchmark case and print the candidates
+``explain NAME CASE``   run one case with tracing: span tree, prune log,
+                        rank provenance (``--json`` for the raw trace)
 ``ddl NAME``            emit SQL DDL for a pair's schemas
 ``dot NAME``            emit GraphViz DOT for a pair's CM graphs
 ``bench``               run the discovery benchmarks (BENCH_discovery.json)
@@ -22,7 +24,64 @@ from repro.baseline.clio import RICBasedMapper
 from repro.cm.dot import cm_graph_to_dot
 from repro.datasets.registry import dataset_names, load_dataset
 from repro.discovery.mapper import SemanticMapper
+from repro.discovery.options import DiscoveryOptions
 from repro.relational.ddl import emit_ddl
+
+
+def _add_option_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared :class:`DiscoveryOptions` flags (``map``/``explain``)."""
+    parser.add_argument(
+        "--max-path-edges",
+        type=int,
+        default=6,
+        metavar="N",
+        help="length cap for the lossy-path search (Section 3.3)",
+    )
+    parser.add_argument(
+        "--no-partof-filter",
+        dest="use_partof_filter",
+        action="store_false",
+        help="disable the partOf compatibility filter (ablation)",
+    )
+    parser.add_argument(
+        "--no-disjointness-filter",
+        dest="use_disjointness_filter",
+        action="store_false",
+        help="disable the ISA-disjointness consistency filter (ablation)",
+    )
+    parser.add_argument(
+        "--no-cardinality-filter",
+        dest="use_cardinality_filter",
+        action="store_false",
+        help="disable the cardinality-category filter (ablation)",
+    )
+
+
+def _options_from_args(
+    args: argparse.Namespace,
+    explain: bool = False,
+    trace: bool = False,
+) -> DiscoveryOptions:
+    return DiscoveryOptions(
+        max_path_edges=args.max_path_edges,
+        use_partof_filter=args.use_partof_filter,
+        use_disjointness_filter=args.use_disjointness_filter,
+        use_cardinality_filter=args.use_cardinality_filter,
+        explain=explain,
+        trace=trace,
+    )
+
+
+def _find_case(pair, case_id: str):
+    matching = [c for c in pair.cases if c.case_id == case_id]
+    if not matching:
+        print(
+            f"unknown case {case_id!r}; have "
+            f"{[c.case_id for c in pair.cases]}",
+            file=sys.stderr,
+        )
+        return None
+    return matching[0]
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -117,18 +176,15 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 
 def _cmd_map(args: argparse.Namespace) -> int:
     pair = load_dataset(args.name)
-    matching = [c for c in pair.cases if c.case_id == args.case]
-    if not matching:
-        print(
-            f"unknown case {args.case!r}; have "
-            f"{[c.case_id for c in pair.cases]}",
-            file=sys.stderr,
-        )
+    mapping_case = _find_case(pair, args.case)
+    if mapping_case is None:
         return 2
-    (mapping_case,) = matching
     if args.method == "semantic":
         result = SemanticMapper(
-            pair.source, pair.target, mapping_case.correspondences
+            pair.source,
+            pair.target,
+            mapping_case.correspondences,
+            options=_options_from_args(args),
         ).discover()
     else:
         result = RICBasedMapper(
@@ -149,10 +205,41 @@ def _cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.trace.render import render_trace
+
+    pair = load_dataset(args.name)
+    mapping_case = _find_case(pair, args.case)
+    if mapping_case is None:
+        return 2
+    result = SemanticMapper(
+        pair.source,
+        pair.target,
+        mapping_case.correspondences,
+        options=_options_from_args(args, explain=True),
+    ).discover()
+    if args.json:
+        print(json.dumps(result.trace, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{args.name}/{args.case}: {len(result)} candidate(s) in "
+        f"{result.elapsed_seconds * 1000:.1f} ms"
+    )
+    for index, candidate in enumerate(result, start=1):
+        print(f"  {candidate.to_tgd(f'M{index}')}")
+    print()
+    print(render_trace(result.trace))
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.bench import main as bench_main
 
-    return bench_main(output=args.output, workers=args.workers)
+    return bench_main(
+        output=args.output, workers=args.workers, trace=args.trace
+    )
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -296,7 +383,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print perf counters and per-phase wall time",
     )
+    _add_option_flags(run_map)
     run_map.set_defaults(handler=_cmd_map)
+
+    explain = commands.add_parser(
+        "explain",
+        help="run one case with explain tracing: span tree with "
+        "per-phase wall time, prune log (which compatibility rule "
+        "eliminated what), and rank provenance",
+    )
+    explain.add_argument("name")
+    explain.add_argument("case")
+    explain.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw trace document instead of the report",
+    )
+    _add_option_flags(explain)
+    explain.set_defaults(handler=_cmd_explain)
 
     bench = commands.add_parser(
         "bench",
@@ -313,6 +417,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="worker count for the parallel-equivalence check",
+    )
+    bench.add_argument(
+        "--trace",
+        action="store_true",
+        help="also run the paper scenarios traced and report per-phase "
+        "wall times plus the disabled-tracer overhead estimate",
     )
     bench.set_defaults(handler=_cmd_bench)
 

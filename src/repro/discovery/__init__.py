@@ -14,8 +14,14 @@ from repro.discovery.compatibility import (
     AnchorProfile,
     ConnectionProfile,
     anchors_compatible,
+    compatibility_violation,
     connections_compatible,
     path_semantic_type,
+)
+from repro.discovery.options import (
+    DEFAULT_OPTIONS,
+    DiscoveryOptions,
+    merge_legacy_kwargs,
 )
 from repro.discovery.csg import (
     CSG,
@@ -60,8 +66,12 @@ __all__ = [
     "AnchorProfile",
     "ConnectionProfile",
     "anchors_compatible",
+    "compatibility_violation",
     "connections_compatible",
     "path_semantic_type",
+    "DEFAULT_OPTIONS",
+    "DiscoveryOptions",
+    "merge_legacy_kwargs",
     "CSG",
     "csg_from_discovered",
     "csg_from_table",

@@ -51,6 +51,7 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.correspondences import CorrespondenceSet
 from repro.discovery.mapper import DiscoveryResult, SemanticMapper
+from repro.discovery.options import DiscoveryOptions, merge_legacy_kwargs
 from repro.exceptions import (
     BatchError,
     ScenarioTimeout,
@@ -68,9 +69,15 @@ _TRACEBACK_FRAMES = 4
 class Scenario:
     """One discovery request: a schema pair plus correspondences.
 
-    ``mapper_options`` holds extra :class:`SemanticMapper` keyword
-    arguments as a sorted tuple of pairs, keeping the spec hashable-free
-    and picklable.
+    ``mapper_options`` stores the discovery options as a sorted tuple of
+    ``(field, value)`` pairs — the picklable, fingerprint-stable storage
+    form of :class:`~repro.discovery.options.DiscoveryOptions`
+    (:meth:`~repro.discovery.options.DiscoveryOptions.to_pairs`). New
+    code passes ``options=DiscoveryOptions(...)`` to :meth:`create`; the
+    old ``**mapper_options`` keyword spelling still works but emits a
+    :class:`DeprecationWarning`, and its values are only validated when
+    the scenario *runs* so one malformed spec stays a per-scenario
+    failure record instead of killing batch assembly.
     """
 
     scenario_id: str
@@ -86,24 +93,54 @@ class Scenario:
         source: SchemaSemantics,
         target: SchemaSemantics,
         correspondences: CorrespondenceSet,
+        options: DiscoveryOptions | None = None,
         **mapper_options: object,
     ) -> "Scenario":
-        return cls(
-            scenario_id,
-            source,
-            target,
-            correspondences,
-            tuple(sorted(mapper_options.items())),
-        )
+        if options is not None:
+            # Eager validation: an explicit options object is the new
+            # API, so mixing in legacy kwargs fails fast here.
+            options = merge_legacy_kwargs(
+                options, mapper_options, "Scenario.create()"
+            )
+            pairs = options.to_pairs()
+        else:
+            pairs = tuple(sorted(mapper_options.items()))
+            if mapper_options:
+                warnings.warn(
+                    f"passing {sorted(mapper_options)} to Scenario.create() "
+                    f"as keyword arguments is deprecated; pass "
+                    f"options=DiscoveryOptions(...) instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+        return cls(scenario_id, source, target, correspondences, pairs)
 
-    def run(self) -> DiscoveryResult:
-        mapper = SemanticMapper(
-            self.source,
-            self.target,
-            self.correspondences,
-            **dict(self.mapper_options),
-        )
-        return mapper.discover()
+    def discovery_options(self) -> DiscoveryOptions | None:
+        """The stored pairs as a :class:`DiscoveryOptions`, if they parse.
+
+        ``None`` means the pairs hold legacy values no options object
+        accepts; :meth:`run` then falls back to the deprecated keyword
+        path (and surfaces its error, if any, at run time).
+        """
+        try:
+            return DiscoveryOptions.from_pairs(self.mapper_options)
+        except (TypeError, ValueError):
+            return None
+
+    def run(self, tracer=None) -> DiscoveryResult:
+        options = self.discovery_options()
+        if options is not None:
+            mapper = SemanticMapper(
+                self.source, self.target, self.correspondences, options=options
+            )
+        else:
+            mapper = SemanticMapper(
+                self.source,
+                self.target,
+                self.correspondences,
+                **dict(self.mapper_options),
+            )
+        return mapper.discover(tracer=tracer)
 
 
 @dataclass(frozen=True)
@@ -680,10 +717,18 @@ def scenarios_for_cases(
     target: SchemaSemantics,
     cases: Iterable[tuple[str, CorrespondenceSet]],
     mapper_options: Mapping[str, object] | None = None,
+    options: DiscoveryOptions | None = None,
 ) -> list[Scenario]:
-    """Scenarios for many correspondence sets over one schema pair."""
-    options = dict(mapper_options or {})
+    """Scenarios for many correspondence sets over one schema pair.
+
+    ``options`` is the supported spelling; ``mapper_options`` keyword
+    pairs are deprecated (the per-scenario ``Scenario.create`` shim
+    warns once per case).
+    """
+    legacy = dict(mapper_options or {})
     return [
-        Scenario.create(case_id, source, target, correspondences, **options)
+        Scenario.create(
+            case_id, source, target, correspondences, options=options, **legacy
+        )
         for case_id, correspondences in cases
     ]

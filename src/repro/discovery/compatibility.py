@@ -92,6 +92,38 @@ def clear_profile_cache() -> None:
     _PROFILE_CACHE.clear()
 
 
+def compatibility_violation(
+    source: ConnectionProfile,
+    target: ConnectionProfile,
+    check_cardinality: bool = True,
+    check_semantic_type: bool = True,
+) -> str | None:
+    """Name the rule an incompatible pair violates, or ``None`` if none.
+
+    Cardinality: the source category must satisfy every functionality
+    constraint of the target category (rule ``"cardinality"``). Semantic
+    type: a partOf target rejects a plain source (rule ``"partOf"``; the
+    paper "eliminates or downgrades" such pairings — we eliminate, which
+    is what drives the precision gain in Example 1.3). A partOf source
+    may still realize a plain target.
+
+    The returned rule names are part of the explain-trace vocabulary
+    (see :class:`repro.trace.PruneEvent`). The ``check_*`` flags support
+    ablation experiments.
+    """
+    if check_cardinality and not categories_compatible(
+        source.category, target.category
+    ):
+        return "cardinality"
+    if (
+        check_semantic_type
+        and target.semantic_type is SemanticType.PART_OF
+        and source.semantic_type is not SemanticType.PART_OF
+    ):
+        return "partOf"
+    return None
+
+
 def connections_compatible(
     source: ConnectionProfile,
     target: ConnectionProfile,
@@ -100,25 +132,17 @@ def connections_compatible(
 ) -> bool:
     """Hard compatibility filter between one source/target connection pair.
 
-    Cardinality: the source category must satisfy every functionality
-    constraint of the target category. Semantic type: a partOf target
-    rejects a plain source (the paper "eliminates or downgrades" such
-    pairings; we eliminate, which is what drives the precision gain in
-    Example 1.3). A partOf source may still realize a plain target.
-
-    The ``check_*`` flags support ablation experiments.
+    Boolean view of :func:`compatibility_violation`.
     """
-    if check_cardinality and not categories_compatible(
-        source.category, target.category
-    ):
-        return False
-    if (
-        check_semantic_type
-        and target.semantic_type is SemanticType.PART_OF
-        and source.semantic_type is not SemanticType.PART_OF
-    ):
-        return False
-    return True
+    return (
+        compatibility_violation(
+            source,
+            target,
+            check_cardinality=check_cardinality,
+            check_semantic_type=check_semantic_type,
+        )
+        is None
+    )
 
 
 def tree_pair_compatible(

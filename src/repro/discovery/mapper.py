@@ -15,14 +15,27 @@
    partOf, ISA-disjointness consistency);
 5. translate each surviving pair into table-level expressions by LAV
    rewriting and emit ranked :class:`MappingCandidate` objects.
+
+Tuning knobs live on one frozen
+:class:`~repro.discovery.options.DiscoveryOptions` object shared by
+every entry point (library, batch, CLI, service); the old per-knob
+keyword arguments still work through a :class:`DeprecationWarning`
+shim. With ``DiscoveryOptions(explain=True)`` (or an externally
+activated :class:`repro.trace.Tracer`) the run records a span tree of
+per-phase wall times, a structured prune event for every candidate a
+semantic filter rejected, and per-candidate rank provenance — all
+exposed on :attr:`DiscoveryResult.trace`.
 """
 
 from __future__ import annotations
 
 import itertools
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
+from typing import Any
 
+from repro import trace as tracing
 from repro.cm.reasoner import CMReasoner
 from repro.correspondences import (
     Correspondence,
@@ -31,7 +44,7 @@ from repro.correspondences import (
 )
 from repro.discovery.compatibility import (
     ConnectionProfile,
-    connections_compatible,
+    compatibility_violation,
 )
 from repro.discovery.csg import (
     CSG,
@@ -40,6 +53,7 @@ from repro.discovery.csg import (
     find_source_lossy_csgs,
     find_target_csgs,
 )
+from repro.discovery.options import DiscoveryOptions, merge_legacy_kwargs
 from repro.discovery.ranking import CandidateScore, origin_rank
 from repro.discovery.steiner import CostModel, direction_reversals
 from repro.discovery.translate import translate_csg
@@ -52,6 +66,7 @@ from repro.mappings.expression import (
 from repro.mappings.refinement import optional_tables
 from repro.perf import counters as perf_counters
 from repro.semantics.lav import SchemaSemantics
+from repro.trace.tracer import NOOP, NoopTracer, Tracer
 
 
 @dataclass
@@ -60,7 +75,11 @@ class DiscoveryResult:
 
     ``eliminations`` records CSG pairs removed by the semantic filters
     (with the responsible filter named) — the library-level analogue of
-    the paper's interactive mapping debugging.
+    the paper's interactive mapping debugging. With tracing/explain
+    enabled, ``trace`` carries the structured counterpart: the span
+    tree, the prune log, and per-candidate rank provenance (see
+    :mod:`repro.trace`); ``rank_provenance`` mirrors the provenance
+    entries for direct access.
     """
 
     candidates: list[MappingCandidate]
@@ -72,6 +91,11 @@ class DiscoveryResult:
     #: Dijkstra sweeps, paths pruned, and ``time_<phase>_s`` wall times
     #: (see ``repro.perf.counters`` for the counter vocabulary).
     stats: dict[str, int | float] = field(default_factory=dict)
+    #: The trace document of this run (``Tracer.to_dict()``), or ``None``
+    #: when the run was untraced.
+    trace: dict[str, Any] | None = None
+    #: Per-candidate score components, best first (explain mode only).
+    rank_provenance: list[dict[str, Any]] = field(default_factory=list)
 
     def best(self) -> MappingCandidate | None:
         return self.candidates[0] if self.candidates else None
@@ -102,14 +126,13 @@ class SemanticMapper:
         source_semantics: SchemaSemantics,
         target_semantics: SchemaSemantics,
         correspondences: CorrespondenceSet,
-        max_path_edges: int = 6,
-        use_partof_filter: bool = True,
-        use_disjointness_filter: bool = True,
-        use_cardinality_filter: bool = True,
+        options: DiscoveryOptions | None = None,
+        **legacy_options: object,
     ) -> None:
-        """``use_*_filter`` flags exist for ablation studies: switching
-        one off disables the corresponding semantic-compatibility check
-        of Sections 3.2–3.3 (see ``benchmarks/benchmark_ablation.py``).
+        """``options`` collects every tuning knob (ablation filter
+        switches, the lossy-path length cap, explain/trace recording);
+        the old per-knob keyword arguments are still accepted but emit a
+        :class:`DeprecationWarning`.
 
         Inputs are validated up front through :mod:`repro.validation`;
         ill-formed semantics or dangling correspondences raise
@@ -121,55 +144,79 @@ class SemanticMapper:
         validate_pair(
             source_semantics, target_semantics, correspondences
         ).raise_if_errors()
+        self.options = merge_legacy_kwargs(
+            options, legacy_options, "SemanticMapper()"
+        )
         self.source_semantics = source_semantics
         self.target_semantics = target_semantics
         self.correspondences = correspondences
-        self.max_path_edges = max_path_edges
-        self.use_partof_filter = use_partof_filter
-        self.use_disjointness_filter = use_disjointness_filter
-        self.use_cardinality_filter = use_cardinality_filter
         self._source_reasoner = CMReasoner.shared(source_semantics.model)
         self._target_reasoner = CMReasoner.shared(target_semantics.model)
+        self._tracer: Tracer | NoopTracer = NOOP
+
+    # -- legacy attribute views (kept for backward compatibility) --------
+    @property
+    def max_path_edges(self) -> int:
+        return self.options.max_path_edges
+
+    @property
+    def use_partof_filter(self) -> bool:
+        return self.options.use_partof_filter
+
+    @property
+    def use_disjointness_filter(self) -> bool:
+        return self.options.use_disjointness_filter
+
+    @property
+    def use_cardinality_filter(self) -> bool:
+        return self.options.use_cardinality_filter
 
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
-    def discover(self) -> DiscoveryResult:
+    def _resolve_tracer(
+        self, tracer: Tracer | None
+    ) -> tuple[Tracer | NoopTracer, bool]:
+        """Pick this run's tracer: explicit > ambient > options-created.
+
+        Returns ``(tracer, owned)`` — ``owned`` means this run created
+        the tracer (and must activate it for the module-level helpers in
+        steiner/csg/translate to see it).
+        """
+        if tracer is not None:
+            return tracer, True
+        ambient = tracing.current()
+        if ambient is not None:
+            return ambient, False
+        if self.options.wants_trace:
+            return Tracer(explain=self.options.explain), True
+        return NOOP, False
+
+    def discover(self, tracer: Tracer | None = None) -> DiscoveryResult:
+        """Run the pipeline; ``tracer`` overrides the ambient/option tracer."""
         start = time.perf_counter()
         notes: list[str] = []
         self._eliminations: list[str] = []
-        with perf_counters.scope() as frame:
-            with perf_counters.phase("lift"):
-                lifted = self.correspondences.lift(
-                    self.source_semantics, self.target_semantics
-                )
-            if not lifted:
-                raise DiscoveryError("no correspondences to interpret")
-            scored: list[tuple[CandidateScore, MappingCandidate]] = []
-            with perf_counters.phase("target_csgs"):
-                target_csgs = find_target_csgs(self.target_semantics, lifted)
-            with perf_counters.phase("source_search"):
-                for target_csg in target_csgs:
-                    relevant = tuple(
-                        item
-                        for item in lifted
-                        if item.target_class in target_csg.marked_classes()
-                    )
-                    if not relevant:
-                        continue
-                    scored.extend(
-                        self._candidates_for_target(target_csg, relevant, notes)
-                    )
-            with perf_counters.phase("rank"):
-                scored.sort(key=lambda pair: pair[0].sort_key())
-                candidates = trim_redundant_joins(
-                    deduplicate_candidates(
-                        [candidate for _, candidate in scored]
-                    )
-                )
+        self._tracer, owned = self._resolve_tracer(tracer)
+        recording = self._tracer.enabled
+        activation = (
+            tracing.activate(self._tracer)
+            if recording and tracing.current() is not self._tracer
+            else nullcontext()
+        )
+        try:
+            with activation, perf_counters.scope() as frame:
+                with self._tracer.span("discover"):
+                    candidates = self._pipeline(notes)
+        finally:
+            run_tracer = self._tracer
+            self._tracer = NOOP
         elapsed = time.perf_counter() - start
         stats = frame.snapshot()
         stats["time_discover_s"] = round(elapsed, 6)
+        provenance = (
+            list(run_tracer.provenance) if run_tracer.enabled else []
+        )
         return DiscoveryResult(
             candidates,
             elapsed,
@@ -177,7 +224,82 @@ class SemanticMapper:
             eliminations=self._eliminations,
             correspondences=self.correspondences,
             stats=stats,
+            trace=run_tracer.to_dict() if run_tracer.enabled else None,
+            rank_provenance=provenance,
         )
+
+    def _pipeline(self, notes: list[str]) -> list[MappingCandidate]:
+        with perf_counters.phase("lift"), self._tracer.span("lift") as span:
+            lifted = self.correspondences.lift(
+                self.source_semantics, self.target_semantics
+            )
+            span.set("correspondences", len(lifted))
+        if not lifted:
+            raise DiscoveryError("no correspondences to interpret")
+        scored: list[tuple[CandidateScore, MappingCandidate]] = []
+        with perf_counters.phase("target_csgs"), self._tracer.span(
+            "target_csgs"
+        ) as span:
+            target_csgs = find_target_csgs(self.target_semantics, lifted)
+            span.set("found", len(target_csgs))
+        with perf_counters.phase("source_search"):
+            for target_csg in target_csgs:
+                relevant = tuple(
+                    item
+                    for item in lifted
+                    if item.target_class in target_csg.marked_classes()
+                )
+                if not relevant:
+                    continue
+                with self._tracer.span(
+                    "source_search",
+                    target=str(target_csg.anchor),
+                    origin=target_csg.origin,
+                ) as span:
+                    found = self._candidates_for_target(
+                        target_csg, relevant, notes
+                    )
+                    span.set("candidates", len(found))
+                scored.extend(found)
+        with perf_counters.phase("rank"), self._tracer.span(
+            "rank"
+        ) as span:
+            scored.sort(key=lambda pair: pair[0].sort_key())
+            candidates = trim_redundant_joins(
+                deduplicate_candidates(
+                    [candidate for _, candidate in scored]
+                )
+            )
+            span.set("scored", len(scored))
+            span.set("kept", len(candidates))
+            if self._tracer.explain:
+                self._record_rank_provenance(scored, candidates)
+        return candidates
+
+    def _record_rank_provenance(
+        self,
+        scored: list[tuple[CandidateScore, MappingCandidate]],
+        candidates: list[MappingCandidate],
+    ) -> None:
+        """Attach each surviving candidate's score components to the trace."""
+        scores = {id(candidate): score for score, candidate in scored}
+        for rank, candidate in enumerate(candidates, start=1):
+            score = scores.get(id(candidate))
+            entry: dict[str, Any] = {
+                "rank": rank,
+                "candidate": candidate.notes,
+                "covered_correspondences": len(candidate.covered),
+            }
+            if score is not None:
+                entry.update(
+                    covered=score.covered,
+                    reversals=score.reversals,
+                    anchor_rank=score.anchor_rank,
+                    preselected=score.preselected,
+                    tree_size=score.tree_size,
+                    origin_rank=score.origin_rank,
+                )
+            self._tracer.rank(entry)
 
     # ------------------------------------------------------------------
     # Per-target-CSG search
@@ -189,9 +311,11 @@ class SemanticMapper:
         notes: list[str],
     ) -> list[tuple[CandidateScore, MappingCandidate]]:
         marked_sources = {item.source_class for item in relevant}
-        functional = find_source_functional_csgs(
-            self.source_semantics, relevant, target_csg
-        )
+        with self._tracer.span("functional_csgs") as span:
+            functional = find_source_functional_csgs(
+                self.source_semantics, relevant, target_csg
+            )
+            span.set("found", len(functional))
         full = [
             csg
             for csg in functional
@@ -217,12 +341,14 @@ class SemanticMapper:
                 [item.correspondence.source for item in relevant]
             )
         )
-        extended = extend_partial_trees(
-            self.source_semantics,
-            marked_sources,
-            cost_model,
-            extra_bases=tuple(functional),
-        )
+        with self._tracer.span("lossy_extension") as span:
+            extended = extend_partial_trees(
+                self.source_semantics,
+                marked_sources,
+                cost_model,
+                extra_bases=tuple(functional),
+            )
+            span.set("found", len(extended))
         for source_csg in extended:
             results.extend(self._emit(source_csg, target_csg, relevant))
         if results:
@@ -255,46 +381,63 @@ class SemanticMapper:
         )
         if not covered:
             return []
-        if not self._trees_consistent(source_csg, target_csg):
-            self._eliminations.append(
-                f"{source_csg} ⇄ {target_csg}: inconsistent tree "
-                f"(disjointness)"
+        with self._tracer.span("csg_pair") as span:
+            if self._tracer.enabled:
+                span.set("source", str(source_csg))
+                span.set("target", str(target_csg))
+            if not self._trees_consistent(source_csg, target_csg):
+                detail = (
+                    f"{source_csg} ⇄ {target_csg}: inconsistent tree "
+                    f"(disjointness)"
+                )
+                self._eliminations.append(detail)
+                self._tracer.prune(
+                    phase="pair_filter",
+                    rule="disjointness.tree",
+                    source_csg=str(source_csg),
+                    target_csg=str(target_csg),
+                    detail=detail,
+                )
+                return []
+            reversals = self._pair_compatible(
+                source_csg, target_csg, covered
             )
-            return []
-        reversals = self._pair_compatible(source_csg, target_csg, covered)
-        if reversals is None:
-            return []
-        with perf_counters.phase("translate"):
-            source_queries = translate_csg(
-                source_csg, covered, "source", self.source_semantics
-            )
-            target_queries = translate_csg(
-                target_csg, covered, "target", self.target_semantics
-            )
-        results = []
-        for source_query, target_query in itertools.product(
-            source_queries, target_queries
-        ):
-            candidate = MappingCandidate(
-                source_query,
-                target_query,
-                tuple(item.correspondence for item in covered),
-                method="semantic",
-                notes=f"{source_csg.origin}→{target_csg.origin}",
-                source_optional_tables=optional_tables(
-                    source_query, source_csg, self.source_semantics
-                ),
-            )
-            score = CandidateScore(
-                covered=len(covered),
-                reversals=reversals,
-                tree_size=len(source_csg.tree.nodes())
-                + len(target_csg.tree.nodes()),
-                preselected=0,
-                origin_rank=origin_rank(source_csg.origin),
-                anchor_rank=self._anchor_rank(source_csg, target_csg),
-            )
-            results.append((score, candidate))
+            if reversals is None:
+                return []
+            with perf_counters.phase("translate"), self._tracer.span(
+                "translate"
+            ):
+                source_queries = translate_csg(
+                    source_csg, covered, "source", self.source_semantics
+                )
+                target_queries = translate_csg(
+                    target_csg, covered, "target", self.target_semantics
+                )
+            results = []
+            for source_query, target_query in itertools.product(
+                source_queries, target_queries
+            ):
+                candidate = MappingCandidate(
+                    source_query,
+                    target_query,
+                    tuple(item.correspondence for item in covered),
+                    method="semantic",
+                    notes=f"{source_csg.origin}→{target_csg.origin}",
+                    source_optional_tables=optional_tables(
+                        source_query, source_csg, self.source_semantics
+                    ),
+                )
+                score = CandidateScore(
+                    covered=len(covered),
+                    reversals=reversals,
+                    tree_size=len(source_csg.tree.nodes())
+                    + len(target_csg.tree.nodes()),
+                    preselected=0,
+                    origin_rank=origin_rank(source_csg.origin),
+                    anchor_rank=self._anchor_rank(source_csg, target_csg),
+                )
+                results.append((score, candidate))
+            span.set("candidates", len(results))
         return results
 
     def _anchor_rank(self, source_csg: CSG, target_csg: CSG) -> int:
@@ -316,6 +459,16 @@ class SemanticMapper:
         if not target_reified:
             return 0
         if not source_reified:
+            self._tracer.prune(
+                phase="rank",
+                rule="anchor",
+                source_csg=str(source_csg),
+                target_csg=str(target_csg),
+                detail=(
+                    f"{source_csg} ranked behind: plain source anchor "
+                    f"for reified target anchor {target_root}"
+                ),
+            )
             return 1
         source_profile = AnchorProfile.of_reified(
             self._source_reasoner, source_root
@@ -323,10 +476,22 @@ class SemanticMapper:
         target_profile = AnchorProfile.of_reified(
             self._target_reasoner, target_root
         )
-        return 0 if anchors_compatible(source_profile, target_profile) else 1
+        if anchors_compatible(source_profile, target_profile):
+            return 0
+        self._tracer.prune(
+            phase="rank",
+            rule="anchor",
+            source_csg=str(source_csg),
+            target_csg=str(target_csg),
+            detail=(
+                f"{source_csg} ranked behind: reified anchors disagree "
+                f"in arity/category ({source_root} vs {target_root})"
+            ),
+        )
+        return 1
 
     def _trees_consistent(self, source_csg: CSG, target_csg: CSG) -> bool:
-        if not self.use_disjointness_filter:
+        if not self.options.use_disjointness_filter:
             return True
         return self._source_reasoner.tree_is_consistent(
             list(source_csg.cm_edges())
@@ -345,6 +510,7 @@ class SemanticMapper:
         ``None`` signals an incompatible pair (candidate eliminated).
         """
         total_reversals = 0
+        options = self.options
         for first, second in itertools.combinations(covered, 2):
             if (
                 first.source_class == second.source_class
@@ -357,38 +523,63 @@ class SemanticMapper:
             target_path = self._path(
                 target_csg, first.target_class, second.target_class
             )
-            if self.use_disjointness_filter:
+            if options.use_disjointness_filter:
                 if not self._source_reasoner.path_is_consistent(
                     list(source_path)
                 ):
-                    self._eliminations.append(
+                    detail = (
                         f"{source_csg}: inconsistent source path "
                         f"{first.source_class}–{second.source_class}"
+                    )
+                    self._eliminations.append(detail)
+                    self._tracer.prune(
+                        phase="pair_filter",
+                        rule="disjointness.path",
+                        source_csg=str(source_csg),
+                        target_csg=str(target_csg),
+                        detail=detail,
                     )
                     return None
                 if not self._target_reasoner.path_is_consistent(
                     list(target_path)
                 ):
-                    self._eliminations.append(
+                    detail = (
                         f"{target_csg}: inconsistent target path "
                         f"{first.target_class}–{second.target_class}"
+                    )
+                    self._eliminations.append(detail)
+                    self._tracer.prune(
+                        phase="pair_filter",
+                        rule="disjointness.path",
+                        source_csg=str(source_csg),
+                        target_csg=str(target_csg),
+                        detail=detail,
                     )
                     return None
             source_profile = ConnectionProfile.of_path(source_path)
             target_profile = ConnectionProfile.of_path(target_path)
-            if not connections_compatible(
+            violation = compatibility_violation(
                 source_profile,
                 target_profile,
-                check_cardinality=self.use_cardinality_filter,
-                check_semantic_type=self.use_partof_filter,
-            ):
-                self._eliminations.append(
+                check_cardinality=options.use_cardinality_filter,
+                check_semantic_type=options.use_partof_filter,
+            )
+            if violation is not None:
+                detail = (
                     f"{source_csg} ⇄ {target_csg}: "
                     f"{source_profile.category.value}/"
                     f"{source_profile.semantic_type.value} source vs "
                     f"{target_profile.category.value}/"
                     f"{target_profile.semantic_type.value} target "
                     f"({first.source_class}–{second.source_class})"
+                )
+                self._eliminations.append(detail)
+                self._tracer.prune(
+                    phase="pair_filter",
+                    rule=violation,
+                    source_csg=str(source_csg),
+                    target_csg=str(target_csg),
+                    detail=detail,
                 )
                 return None
             total_reversals += direction_reversals(source_path)
@@ -405,8 +596,20 @@ def discover_mappings(
     source_semantics: SchemaSemantics,
     target_semantics: SchemaSemantics,
     correspondences: CorrespondenceSet,
+    options: DiscoveryOptions | None = None,
+    trace: Tracer | None = None,
+    **legacy_options: object,
 ) -> DiscoveryResult:
-    """One-shot convenience wrapper around :class:`SemanticMapper`."""
+    """One-shot convenience wrapper around :class:`SemanticMapper`.
+
+    ``options`` carries every tuning knob; ``trace`` injects a
+    caller-owned :class:`repro.trace.Tracer` (its spans and prune events
+    accumulate there *and* on ``result.trace``).
+    """
     return SemanticMapper(
-        source_semantics, target_semantics, correspondences
-    ).discover()
+        source_semantics,
+        target_semantics,
+        correspondences,
+        options=options,
+        **legacy_options,
+    ).discover(tracer=trace)

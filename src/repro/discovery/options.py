@@ -1,0 +1,195 @@
+"""The one options object every discovery entry point accepts.
+
+Before this module existed, four entry points each re-plumbed the same
+tuning knobs: ``SemanticMapper(**kwargs)``, ``batch.Scenario``'s
+``mapper_options`` pairs, the service's hand-rolled ``_mapper_options``
+dict, and CLI flags. :class:`DiscoveryOptions` is now the single source
+of truth; the old keyword spellings keep working everywhere through
+:func:`merge_legacy_kwargs`, which emits a :class:`DeprecationWarning`
+(see ``docs/api.md`` for the deprecation policy).
+
+The frozen dataclass is hashable and picklable, so it travels inside
+batch :class:`~repro.discovery.batch.Scenario` specs across process
+pools unchanged. :meth:`DiscoveryOptions.to_pairs` serialises only the
+fields that differ from the defaults — a scenario built with default
+options therefore fingerprints identically to one built before this
+class existed, keeping the service's content-addressed result cache
+warm across the API change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+#: Legacy ``SemanticMapper`` keyword names, all absorbed by
+#: :class:`DiscoveryOptions` (new code passes ``options=`` instead).
+LEGACY_OPTION_NAMES = (
+    "max_path_edges",
+    "use_partof_filter",
+    "use_disjointness_filter",
+    "use_cardinality_filter",
+)
+
+
+@dataclass(frozen=True)
+class DiscoveryOptions:
+    """Every tuning knob of one discovery run.
+
+    Parameters
+    ----------
+    max_path_edges:
+        Length cap for the Section 3.3 lossy-path search.
+    use_partof_filter / use_disjointness_filter / use_cardinality_filter:
+        Ablation switches for the semantic-compatibility checks of
+        Sections 3.2–3.3 (see ``benchmarks/benchmark_ablation.py``).
+    explain:
+        Record structured prune events and per-candidate rank provenance
+        on the result (implies ``trace``); see ``repro.trace``.
+    trace:
+        Record a span tree of per-phase wall times on the result without
+        the explain provenance.
+    """
+
+    max_path_edges: int = 6
+    use_partof_filter: bool = True
+    use_disjointness_filter: bool = True
+    use_cardinality_filter: bool = True
+    explain: bool = False
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.max_path_edges, int) or isinstance(
+            self.max_path_edges, bool
+        ):
+            raise ValueError(
+                f"max_path_edges must be an int, got "
+                f"{type(self.max_path_edges).__name__}"
+            )
+        if self.max_path_edges < 1:
+            raise ValueError(
+                f"max_path_edges must be >= 1, got {self.max_path_edges}"
+            )
+        for name in (
+            "use_partof_filter",
+            "use_disjointness_filter",
+            "use_cardinality_filter",
+            "explain",
+            "trace",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, bool):
+                raise ValueError(
+                    f"{name} must be a bool, got {type(value).__name__}"
+                )
+
+    # -- construction ----------------------------------------------------
+    def replace(self, **changes: Any) -> "DiscoveryOptions":
+        """A copy with ``changes`` applied (validated like ``__init__``)."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def from_mapping(
+        cls, mapping: Mapping[str, Any], where: str = "options"
+    ) -> "DiscoveryOptions":
+        """Build from a JSON-style dict; unknown keys raise ``ValueError``."""
+        if not isinstance(mapping, Mapping):
+            raise ValueError(
+                f"{where} must be an object, got {type(mapping).__name__}"
+            )
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(mapping) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown {where} key(s) {unknown}; known: {sorted(known)}"
+            )
+        return cls(**dict(mapping))
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[tuple[str, Any]]
+    ) -> "DiscoveryOptions":
+        """Rebuild from :meth:`to_pairs` output (or legacy option pairs)."""
+        return cls.from_mapping(dict(pairs), where="option pairs")
+
+    # -- serialisation ---------------------------------------------------
+    def to_pairs(self) -> tuple[tuple[str, Any], ...]:
+        """Non-default fields as sorted pairs (the Scenario storage form).
+
+        Default options serialise to ``()`` — byte-identical to the
+        pre-``DiscoveryOptions`` empty ``mapper_options`` tuple, so
+        content fingerprints (and the service result cache keyed on
+        them) survive the API migration.
+        """
+        defaults = _DEFAULTS
+        return tuple(
+            sorted(
+                (field.name, getattr(self, field.name))
+                for field in dataclasses.fields(self)
+                if getattr(self, field.name)
+                != getattr(defaults, field.name)
+            )
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Every field, JSON-friendly (wire and report payloads)."""
+        return {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+        }
+
+    # -- behaviour queries -----------------------------------------------
+    @property
+    def wants_trace(self) -> bool:
+        """True when this run should record spans (explain implies trace)."""
+        return self.trace or self.explain
+
+
+_DEFAULTS = DiscoveryOptions()
+
+#: The default options singleton (shared; the class is immutable).
+DEFAULT_OPTIONS = _DEFAULTS
+
+
+def merge_legacy_kwargs(
+    options: DiscoveryOptions | None,
+    kwargs: Mapping[str, Any],
+    caller: str,
+    stacklevel: int = 3,
+) -> DiscoveryOptions:
+    """Fold deprecated per-knob keyword arguments into an options object.
+
+    Accepts exactly the :data:`LEGACY_OPTION_NAMES` (plus ``explain`` /
+    ``trace`` for forward-compatible keyword use); any use emits a
+    :class:`DeprecationWarning` naming the caller and the replacement.
+    Passing both ``options`` and a legacy kwarg that it also sets is an
+    error — the call would be ambiguous.
+    """
+    if not kwargs:
+        return options if options is not None else DEFAULT_OPTIONS
+    known = {field.name for field in dataclasses.fields(DiscoveryOptions)}
+    unknown = sorted(set(kwargs) - known)
+    if unknown:
+        raise TypeError(
+            f"{caller} got unexpected keyword argument(s) {unknown}; "
+            f"known options: {sorted(known)}"
+        )
+    warnings.warn(
+        f"passing {sorted(kwargs)} to {caller} as keyword arguments is "
+        f"deprecated; pass options=DiscoveryOptions(...) instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    if options is None:
+        return DiscoveryOptions(**dict(kwargs))
+    conflicting = sorted(
+        name for name in kwargs if kwargs[name] != getattr(options, name)
+    )
+    if conflicting:
+        raise TypeError(
+            f"{caller} got both options= and conflicting legacy "
+            f"keyword(s) {conflicting}"
+        )
+    return options

@@ -16,6 +16,13 @@ Three exhibits, written to ``BENCH_discovery.json``:
   byte-identical across disabled, cold, and warm runs, and the paper
   scenarios must be byte-identical between ``workers=1`` and
   ``workers=N`` batches.
+* **trace** — the chain scenario runs once more under an explain-mode
+  :class:`repro.trace.Tracer`; the report gains accumulated per-phase
+  wall times (``trace.phase_seconds``) plus a disabled-tracer overhead
+  estimate: the measured cost of one no-op span times the traced run's
+  span count, as a fraction of the untraced wall time. The run fails if
+  that estimate reaches 5% — the tracing instrumentation must stay free
+  when off.
 
 Benchmarks are repo-root artifacts: run from a checkout, the JSON lands
 next to ``pyproject.toml`` unless ``--output`` says otherwise.
@@ -34,6 +41,11 @@ from repro.discovery.batch import Scenario, discover_many
 from repro.discovery.mapper import DiscoveryResult, SemanticMapper
 from repro.perf.invariants import EXPECTED_CANDIDATE_COUNTS
 from repro.semantics import design_schema
+from repro.trace import Tracer, phase_seconds
+
+#: The trace-overhead smoke check's ceiling: with tracing disabled, the
+#: estimated per-span cost must stay below this fraction of wall time.
+TRACE_OVERHEAD_LIMIT = 0.05
 
 #: Chain length of the warm-vs-cold exhibit (matches the largest point
 #: of ``benchmarks/benchmark_scalability.py``).
@@ -232,20 +244,90 @@ def run_chain_benchmark() -> tuple[dict, list[str]]:
     return report, failures
 
 
+def _noop_span_cost_seconds(iterations: int = 100_000) -> float:
+    """The measured per-call cost of a disabled tracer's span."""
+    from repro.trace.tracer import NOOP
+
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with NOOP.span("bench"):
+            pass
+    return (time.perf_counter() - start) / iterations
+
+
+def run_trace_benchmark() -> tuple[dict, list[str]]:
+    """Per-phase wall times from a traced run + the overhead estimate.
+
+    The overhead check is an *estimate* on purpose: the span count of a
+    traced run times the measured cost of one no-op span, divided by the
+    untraced wall time, is stable under machine noise in a way that two
+    raw wall-clock measurements of the same few-millisecond run are not.
+    """
+    failures: list[str] = []
+    source, target, correspondences = build_chain_scenario()
+    perf.clear_caches()
+    # Warm every cache first so the untraced measurement (the overhead
+    # denominator) reflects the steady-state serving path.
+    SemanticMapper(source, target, correspondences).discover()
+    untraced_seconds, _ = _timed_discover(source, target, correspondences)
+
+    tracer = Tracer(explain=True)
+    start = time.perf_counter()
+    result = SemanticMapper(
+        source, target, correspondences
+    ).discover(tracer=tracer)
+    traced_seconds = time.perf_counter() - start
+
+    noop_cost = _noop_span_cost_seconds()
+    estimated = (
+        tracer.span_count * noop_cost / untraced_seconds
+        if untraced_seconds
+        else 0.0
+    )
+    if estimated >= TRACE_OVERHEAD_LIMIT:
+        failures.append(
+            f"trace: estimated disabled-tracer overhead "
+            f"{estimated:.2%} >= {TRACE_OVERHEAD_LIMIT:.0%} "
+            f"({tracer.span_count} span sites x {noop_cost * 1e9:.0f} ns "
+            f"over {untraced_seconds:.4f}s)"
+        )
+    report = {
+        "phase_seconds": {
+            name: round(value, 6)
+            for name, value in phase_seconds(result.trace).items()
+        },
+        "span_count": tracer.span_count,
+        "prune_events": len(tracer.prunes),
+        "prune_rules": tracer.prune_rules(),
+        "untraced_seconds": round(untraced_seconds, 6),
+        "traced_seconds": round(traced_seconds, 6),
+        "noop_span_cost_seconds": round(noop_cost, 9),
+        "estimated_overhead_fraction": round(estimated, 6),
+        "overhead_limit": TRACE_OVERHEAD_LIMIT,
+    }
+    return report, failures
+
+
 def run_benchmarks(workers: int = 2) -> tuple[dict, list[str]]:
-    """Both exhibits; returns (report, failures)."""
+    """All exhibits; returns (report, failures)."""
     paper_report, paper_failures = run_paper_scenarios(workers)
     chain_report, chain_failures = run_chain_benchmark()
+    trace_report, trace_failures = run_trace_benchmark()
     report = {
         "benchmark": "discovery",
         "workers": workers,
         "paper_scenarios": paper_report,
         "chain": chain_report,
+        "trace": trace_report,
     }
-    return report, paper_failures + chain_failures
+    return report, paper_failures + chain_failures + trace_failures
 
 
-def main(output: str = "BENCH_discovery.json", workers: int = 2) -> int:
+def main(
+    output: str = "BENCH_discovery.json",
+    workers: int = 2,
+    trace: bool = False,
+) -> int:
     report, failures = run_benchmarks(workers=workers)
     report["failures"] = failures
     with open(output, "w", encoding="utf-8") as handle:
@@ -262,6 +344,21 @@ def main(output: str = "BENCH_discovery.json", workers: int = 2) -> int:
         f"paper scenarios: {len(report['paper_scenarios']['scenarios'])} "
         f"cases, serial {report['paper_scenarios']['serial_seconds']}s"
     )
+    trace_report = report["trace"]
+    print(
+        f"trace overhead (disabled): "
+        f"~{trace_report['estimated_overhead_fraction']:.2%} "
+        f"of {trace_report['untraced_seconds']}s "
+        f"({trace_report['span_count']} spans)"
+    )
+    if trace:
+        print("per-phase wall time (traced chain run):")
+        for name, value in trace_report["phase_seconds"].items():
+            print(f"  {name:<16} {value * 1000:9.2f} ms")
+        print(
+            f"prune events: {trace_report['prune_events']} "
+            f"{trace_report['prune_rules']}"
+        )
     print(f"report written to {output}")
     if failures:
         for failure in failures:

@@ -307,7 +307,9 @@ class JobQueue:
                     job.fail(failure_to_wire(batch.failures[0]))
                     self._metrics.inc("jobs_failed_total")
                 else:
-                    payload = result_to_wire(batch.results[0][1])
+                    result = batch.results[0][1]
+                    self._observe_phases(result.stats)
+                    payload = result_to_wire(result)
                     # Store before dropping the in-flight marker so a
                     # concurrent submit always finds the result in one
                     # of the two places (no recompute window).
@@ -324,6 +326,16 @@ class JobQueue:
                     if self._inflight.get(job.fingerprint) is job:
                         del self._inflight[job.fingerprint]
                 self._queue.task_done()
+
+    def _observe_phases(self, stats: dict) -> None:
+        """Feed a run's ``time_<phase>_s`` stats into the phase histograms."""
+        for key, value in stats.items():
+            if (
+                key.startswith("time_")
+                and key.endswith("_s")
+                and isinstance(value, (int, float))
+            ):
+                self._metrics.observe_phase(key[5:-2], float(value))
 
     # ------------------------------------------------------------------
     # Shutdown

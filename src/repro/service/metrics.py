@@ -22,7 +22,11 @@ Counter vocabulary (all exported with the ``repro_service_`` prefix):
 ``jobs_completed_total`` / ``jobs_failed_total`` / ``jobs_rejected_total``
     job outcomes, with rejections being 429 backpressure;
 ``validation_failures_total``
-    requests refused with 400 before burning a worker slot.
+    requests refused with 400 before burning a worker slot;
+``phase_seconds{phase,quantile}`` / ``_count`` / ``_sum``
+    per-pipeline-phase discovery latency (lift, target_csgs,
+    source_search, rank, translate, discover), fed from each completed
+    job's ``time_<phase>_s`` stats by the job queue.
 """
 
 from __future__ import annotations
@@ -70,6 +74,9 @@ class ServiceMetrics:
         self._samples: dict[str, deque[float]] = {}
         self._latency_count: Counter[str] = Counter()
         self._latency_sum: Counter[str] = Counter()
+        self._phase_samples: dict[str, deque[float]] = {}
+        self._phase_count: Counter[str] = Counter()
+        self._phase_sum: Counter[str] = Counter()
 
     # ------------------------------------------------------------------
     # Recording
@@ -89,6 +96,17 @@ class ServiceMetrics:
             reservoir.append(seconds)
             self._latency_count[endpoint] += 1
             self._latency_sum[endpoint] += seconds
+
+    def observe_phase(self, phase: str, seconds: float) -> None:
+        """Record one discovery-pipeline phase wall time."""
+        with self._lock:
+            reservoir = self._phase_samples.get(phase)
+            if reservoir is None:
+                reservoir = deque(maxlen=self._latency_window)
+                self._phase_samples[phase] = reservoir
+            reservoir.append(seconds)
+            self._phase_count[phase] += 1
+            self._phase_sum[phase] += seconds
 
     # ------------------------------------------------------------------
     # Reading (tests and the bench harness)
@@ -117,6 +135,21 @@ class ServiceMetrics:
             index = min(len(ordered) - 1, int(q * len(ordered)))
             return ordered[index]
 
+    def phase_quantile(self, phase: str, q: float) -> float | None:
+        """The ``q``-quantile of recent phase times, or ``None`` if unseen."""
+        with self._lock:
+            reservoir = self._phase_samples.get(phase)
+            if not reservoir:
+                return None
+            ordered = sorted(reservoir)
+            index = min(len(ordered) - 1, int(q * len(ordered)))
+            return ordered[index]
+
+    def phase_names(self) -> tuple[str, ...]:
+        """Phases observed so far, sorted."""
+        with self._lock:
+            return tuple(sorted(self._phase_count))
+
     def snapshot(self) -> dict[str, int | float]:
         """A flat dict of every counter (labels folded into the name)."""
         with self._lock:
@@ -126,6 +159,10 @@ class ServiceMetrics:
             for endpoint in sorted(self._latency_count):
                 data[f"request_seconds_count{{endpoint={endpoint}}}"] = (
                     self._latency_count[endpoint]
+                )
+            for phase in sorted(self._phase_count):
+                data[f"phase_seconds_count{{phase={phase}}}"] = (
+                    self._phase_count[phase]
                 )
         return data
 
@@ -173,6 +210,29 @@ class ServiceMetrics:
                     lines.append(
                         f'{full}_sum{{endpoint="{endpoint}"}} '
                         f"{self._latency_sum[endpoint]:.6f}"
+                    )
+            if self._phase_count:
+                full = PREFIX + "phase_seconds"
+                lines.append(f"# TYPE {full} summary")
+                for phase in sorted(self._phase_count):
+                    reservoir = sorted(self._phase_samples.get(phase, ()))
+                    for q in QUANTILES:
+                        if reservoir:
+                            index = min(
+                                len(reservoir) - 1, int(q * len(reservoir))
+                            )
+                            lines.append(
+                                f'{full}{{phase="{phase}",'
+                                f'quantile="{q}"}} '
+                                f"{reservoir[index]:.6f}"
+                            )
+                    lines.append(
+                        f'{full}_count{{phase="{phase}"}} '
+                        f"{self._phase_count[phase]}"
+                    )
+                    lines.append(
+                        f'{full}_sum{{phase="{phase}"}} '
+                        f"{self._phase_sum[phase]:.6f}"
                     )
         for name, value in sorted((gauges or {}).items()):
             full = _sanitize(name)

@@ -28,6 +28,7 @@ tests exercise it without sockets.
 
 from __future__ import annotations
 
+import functools
 import json
 import threading
 import time
@@ -46,6 +47,7 @@ from repro.service.cache import ResultCache
 from repro.service.jobs import JobQueue
 from repro.service.metrics import ServiceMetrics, perf_gauges
 from repro.service.wire import (
+    WIRE_VERSION,
     diagnostics_to_wire,
     discover_request_from_wire,
     scenario_from_wire,
@@ -85,6 +87,23 @@ def _error_payload(
     return payload
 
 
+def _versioned(payload: dict[str, Any]) -> dict[str, Any]:
+    """Stamp one response envelope with the wire-format version."""
+    payload.setdefault("version", WIRE_VERSION)
+    return payload
+
+
+def _versioned_handler(fn):
+    """Decorator versioning a ``(status, payload)`` handler's envelope."""
+
+    @functools.wraps(fn)
+    def wrapper(*args: Any, **kwargs: Any) -> tuple[int, dict[str, Any]]:
+        status, payload = fn(*args, **kwargs)
+        return status, _versioned(payload)
+
+    return wrapper
+
+
 class MappingService:
     """Transport-independent request handling and shared state."""
 
@@ -112,6 +131,7 @@ class MappingService:
     # ------------------------------------------------------------------
     # POST /discover
     # ------------------------------------------------------------------
+    @_versioned_handler
     def handle_discover(self, payload: Any) -> tuple[int, dict[str, Any]]:
         try:
             scenario, options = discover_request_from_wire(payload)
@@ -184,6 +204,7 @@ class MappingService:
     # ------------------------------------------------------------------
     # POST /validate
     # ------------------------------------------------------------------
+    @_versioned_handler
     def handle_validate(self, payload: Any) -> tuple[int, dict[str, Any]]:
         try:
             if not isinstance(payload, dict) or "scenario" not in payload:
@@ -207,6 +228,7 @@ class MappingService:
     # ------------------------------------------------------------------
     # GET /jobs/<id>, /health, /metrics
     # ------------------------------------------------------------------
+    @_versioned_handler
     def handle_job(self, job_id: str) -> tuple[int, dict[str, Any]]:
         job = self.jobs.job(job_id)
         if job is None:
@@ -218,6 +240,7 @@ class MappingService:
             }
         return 200, job.to_wire()
 
+    @_versioned_handler
     def health(self) -> tuple[int, dict[str, Any]]:
         return 200, {
             "status": "ok",
@@ -392,6 +415,8 @@ class _Handler(BaseHTTPRequestHandler):
         payload: Any,
         headers: dict[str, str] | None = None,
     ) -> None:
+        if isinstance(payload, dict):
+            payload = _versioned(payload)
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")

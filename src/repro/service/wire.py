@@ -32,12 +32,20 @@ where they must be.
 
 Every malformed input raises :class:`~repro.exceptions.WireFormatError`
 with a caller-safe message; the server maps these to HTTP 400.
+
+Versioning
+----------
+Payloads carry ``"version": 1`` (:data:`WIRE_VERSION`). Requests may
+declare the version they speak; an unknown major version is refused with
+a 400 rather than misinterpreted. Adding *fields* is not a version bump;
+changing the meaning or shape of existing ones is. See
+``docs/service.md``.
 """
 
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.cm.graph import CMGraph
@@ -46,6 +54,7 @@ from repro.correspondences import CorrespondenceSet
 from repro.datasets.registry import DatasetPair, dataset_names, load_dataset
 from repro.discovery.batch import Scenario, ScenarioFailure
 from repro.discovery.mapper import DiscoveryResult
+from repro.discovery.options import DiscoveryOptions
 from repro.exceptions import ReproError, WireFormatError
 from repro.mappings.serialize import FORMAT, candidate_to_dict
 from repro.relational.constraints import ReferentialConstraint
@@ -56,6 +65,30 @@ from repro.validation import ValidationReport
 
 #: Scalar JSON types accepted as mapper-option values.
 _OPTION_SCALARS = (str, int, float, bool, type(None))
+
+#: The wire-format major version this module speaks.
+WIRE_VERSION = 1
+
+
+def check_wire_version(payload: Mapping[str, Any]) -> int:
+    """Validate a request's declared ``"version"``; returns it.
+
+    Absent means "current" (:data:`WIRE_VERSION`). A different major
+    version — we only have majors — is refused: silently serving a
+    client that speaks a different protocol corrupts data quietly, a 400
+    fails it loudly.
+    """
+    version = payload.get("version", WIRE_VERSION)
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise WireFormatError(
+            f"'version' must be an integer, got {type(version).__name__}"
+        )
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"unsupported wire version {version}; this server speaks "
+            f"version {WIRE_VERSION}"
+        )
+    return version
 
 
 # ---------------------------------------------------------------------------
@@ -164,8 +197,18 @@ def semantics_from_wire(spec: Mapping[str, Any]) -> SchemaSemantics:
 # ---------------------------------------------------------------------------
 # Scenario spec -> Scenario
 # ---------------------------------------------------------------------------
-def scenario_from_wire(spec: Mapping[str, Any]) -> Scenario:
-    """Build a batch :class:`Scenario` from one scenario spec."""
+def scenario_from_wire(
+    spec: Mapping[str, Any],
+    default_options: DiscoveryOptions | None = None,
+) -> Scenario:
+    """Build a batch :class:`Scenario` from one scenario spec.
+
+    Discovery options come from the spec's ``"options"`` object
+    (:meth:`DiscoveryOptions.from_mapping` — unknown keys are a 400),
+    falling back to ``default_options`` (e.g. the request-level
+    ``"options"``). The pre-versioning ``"mapper_options"`` key still
+    works; mixing it with ``"options"`` is refused as ambiguous.
+    """
     if not isinstance(spec, Mapping):
         raise WireFormatError(
             f"scenario spec must be an object, got {type(spec).__name__}"
@@ -184,14 +227,41 @@ def scenario_from_wire(spec: Mapping[str, Any]) -> Scenario:
             "scenario spec needs either a registered 'dataset' or inline "
             "'source' and 'target' semantics"
         )
-    options = _mapper_options(spec.get("mapper_options", {}))
+    scenario_id = str(spec.get("id", default_id))
+    if "options" in spec and "mapper_options" in spec:
+        raise WireFormatError(
+            "give discovery options as 'options' or the deprecated "
+            "'mapper_options', not both"
+        )
+    if "options" in spec:
+        options = discovery_options_from_wire(spec["options"])
+        return Scenario.create(
+            scenario_id, source, target, correspondences, options=options
+        )
+    if "mapper_options" in spec:
+        legacy = _mapper_options(spec["mapper_options"])
+        return Scenario.create(
+            scenario_id, source, target, correspondences, **legacy
+        )
     return Scenario.create(
-        str(spec.get("id", default_id)),
+        scenario_id,
         source,
         target,
         correspondences,
-        **options,
+        options=default_options,
     )
+
+
+def discovery_options_from_wire(spec: Any) -> DiscoveryOptions:
+    """Parse one wire ``"options"`` object; bad shapes become 400s."""
+    if not isinstance(spec, Mapping):
+        raise WireFormatError(
+            f"'options' must be an object, got {type(spec).__name__}"
+        )
+    try:
+        return DiscoveryOptions.from_mapping(spec, where="options")
+    except ValueError as error:
+        raise WireFormatError(str(error)) from error
 
 
 def _dataset_scenario(
@@ -260,11 +330,16 @@ def _mapper_options(options: Any) -> dict[str, Any]:
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
 class DiscoverOptions:
-    """Per-request knobs of ``POST /discover``."""
+    """Per-request knobs of ``POST /discover``.
+
+    ``discovery`` holds the request-level ``"options"`` object (applied
+    to the scenario unless the scenario spec carries its own).
+    """
 
     mode: str = "sync"
     use_cache: bool = True
     timeout_seconds: float | None = None
+    discovery: DiscoveryOptions = field(default_factory=DiscoveryOptions)
 
 
 def discover_request_from_wire(
@@ -273,9 +348,15 @@ def discover_request_from_wire(
     """Parse a full ``POST /discover`` body: scenario + options."""
     if not isinstance(payload, Mapping):
         raise WireFormatError("request body must be a JSON object")
+    check_wire_version(payload)
     if "scenario" not in payload:
         raise WireFormatError("request body needs a 'scenario' object")
-    scenario = scenario_from_wire(payload["scenario"])
+    discovery = DiscoveryOptions()
+    if "options" in payload:
+        discovery = discovery_options_from_wire(payload["options"])
+    scenario = scenario_from_wire(
+        payload["scenario"], default_options=discovery
+    )
     mode = payload.get("mode", "sync")
     if mode not in ("sync", "async"):
         raise WireFormatError(f"'mode' must be 'sync' or 'async', got {mode!r}")
@@ -287,7 +368,7 @@ def discover_request_from_wire(
         if not isinstance(timeout, (int, float)) or timeout <= 0:
             raise WireFormatError("'timeout_seconds' must be a positive number")
         timeout = float(timeout)
-    return scenario, DiscoverOptions(mode, use_cache, timeout)
+    return scenario, DiscoverOptions(mode, use_cache, timeout, discovery)
 
 
 # ---------------------------------------------------------------------------
@@ -301,9 +382,12 @@ def result_to_wire(result: DiscoveryResult) -> dict[str, Any]:
     eliminations, uncovered correspondences — identical across runs for
     equal inputs, which makes cached responses byte-identical to fresh
     ones. ``"run"`` carries per-run measurements (wall time, perf
-    counters) that legitimately vary.
+    counters) that legitimately vary. ``"trace"`` appears only for
+    traced runs and is deterministic except for its ``elapsed_s`` span
+    timings (see :mod:`repro.trace`).
     """
-    return {
+    payload: dict[str, Any] = {
+        "version": WIRE_VERSION,
         "mapping": {
             "format": FORMAT,
             "candidates": [
@@ -321,6 +405,9 @@ def result_to_wire(result: DiscoveryResult) -> dict[str, Any]:
             "stats": dict(result.stats),
         },
     }
+    if result.trace is not None:
+        payload["trace"] = result.trace
+    return payload
 
 
 def failure_to_wire(failure: ScenarioFailure) -> dict[str, Any]:

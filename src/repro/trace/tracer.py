@@ -1,0 +1,307 @@
+"""Span-based tracing and explain provenance for the discovery pipeline.
+
+A :class:`Tracer` records a tree of :class:`Span` records — one per
+pipeline phase (correspondence lifting, per-anchor Steiner search, CSG
+pair enumeration, compatibility checking, translation, ranking) — and,
+in *explain* mode, structured :class:`PruneEvent` records for every
+candidate a semantic filter rejected, plus per-candidate rank
+provenance.
+
+Activation is contextvar-scoped: :func:`activate` installs a tracer for
+the current context (thread or task), and the module-level helpers
+:func:`span` / :func:`prune` / :func:`event` find it there. When no
+tracer is active they cost one ``ContextVar.get`` plus a ``None`` check
+and reuse a shared no-op context manager, so instrumented hot paths stay
+within noise of uninstrumented code (the bench suite pins this at < 5%,
+see ``repro.perf.bench.run_trace_benchmark``).
+
+Thread-safety: a tracer's span *stack* is thread-local (spans opened on
+one thread nest under that thread's enclosing span only), while the
+shared structures — the root span list, prune log, provenance list, and
+call counters — are guarded by a per-tracer lock. One tracer may
+therefore observe several worker threads at once without interleaving
+their span trees.
+
+Determinism: everything except wall times is a pure function of the
+discovery inputs. :meth:`Tracer.to_dict` emits spans in creation order
+and prune events in elimination order, so two runs over equal inputs
+produce identical documents modulo the ``elapsed_s`` fields.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+#: Trace-document format version (bumped on breaking shape changes).
+TRACE_FORMAT = "repro-trace/1"
+
+
+@dataclass(frozen=True)
+class PruneEvent:
+    """One candidate (or candidate pair) rejected by a semantic filter.
+
+    ``rule`` names the filter that fired — the vocabulary is
+    ``"disjointness.tree"``, ``"disjointness.path"``, ``"cardinality"``,
+    ``"partOf"``, and ``"anchor"`` — and ``detail`` carries the
+    human-readable elimination text that also lands in
+    ``DiscoveryResult.eliminations``.
+    """
+
+    phase: str
+    rule: str
+    source_csg: str = ""
+    target_csg: str = ""
+    detail: str = ""
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "phase": self.phase,
+            "rule": self.rule,
+            "source_csg": self.source_csg,
+            "target_csg": self.target_csg,
+            "detail": self.detail,
+        }
+
+
+class Span:
+    """One timed, attributed region of the pipeline.
+
+    Spans form a tree; ``attributes`` carry small deterministic facts
+    (anchor names, candidate counts), never timings — wall time lives in
+    ``elapsed_seconds`` so deterministic and timing data stay separable.
+    """
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "children",
+        "events",
+        "started_at",
+        "elapsed_seconds",
+    )
+
+    def __init__(self, name: str, attributes: dict[str, Any] | None = None):
+        self.name = name
+        self.attributes: dict[str, Any] = attributes or {}
+        self.children: list[Span] = []
+        self.events: list[PruneEvent] = []
+        self.started_at = time.perf_counter()
+        self.elapsed_seconds = 0.0
+
+    def close(self) -> None:
+        self.elapsed_seconds = time.perf_counter() - self.started_at
+
+    def set(self, name: str, value: Any) -> None:
+        """Attach one deterministic attribute to the span."""
+        self.attributes[name] = value
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "name": self.name,
+            "elapsed_s": round(self.elapsed_seconds, 6),
+        }
+        if self.attributes:
+            data["attributes"] = {
+                key: self.attributes[key] for key in sorted(self.attributes)
+            }
+        if self.events:
+            data["prunes"] = [event.to_dict() for event in self.events]
+        if self.children:
+            data["children"] = [child.to_dict() for child in self.children]
+        return data
+
+
+class Tracer:
+    """Collects a span tree plus, in explain mode, prune provenance.
+
+    Parameters
+    ----------
+    explain:
+        Record :class:`PruneEvent` records and per-candidate rank
+        provenance in addition to spans. Plain tracing (``explain=False``)
+        records only the span tree — enough for latency analysis.
+    """
+
+    enabled = True
+
+    def __init__(self, explain: bool = False) -> None:
+        self.explain = explain
+        self.roots: list[Span] = []
+        self.prunes: list[PruneEvent] = []
+        self.provenance: list[dict[str, Any]] = []
+        self.span_count = 0
+        self._lock = threading.Lock()
+        self._stacks = threading.local()
+
+    # -- recording -------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = []
+            self._stacks.stack = stack
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a child span of this thread's innermost open span."""
+        record = Span(name, attributes or None)
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(record)
+        else:
+            with self._lock:
+                self.roots.append(record)
+        with self._lock:
+            self.span_count += 1
+        stack.append(record)
+        try:
+            yield record
+        finally:
+            record.close()
+            stack.pop()
+
+    def prune(
+        self,
+        phase: str,
+        rule: str,
+        source_csg: str = "",
+        target_csg: str = "",
+        detail: str = "",
+    ) -> None:
+        """Record one filter rejection (explain mode only; no-op otherwise)."""
+        if not self.explain:
+            return
+        event = PruneEvent(phase, rule, source_csg, target_csg, detail)
+        stack = self._stack()
+        if stack:
+            stack[-1].events.append(event)
+        with self._lock:
+            self.prunes.append(event)
+
+    def rank(self, entry: Mapping[str, Any]) -> None:
+        """Record one candidate's rank provenance (explain mode only)."""
+        if not self.explain:
+            return
+        with self._lock:
+            self.provenance.append(dict(entry))
+
+    # -- export ----------------------------------------------------------
+    def prune_rules(self) -> dict[str, int]:
+        """Prune-event counts by rule name (stable, sorted)."""
+        counts: dict[str, int] = {}
+        for event in self.prunes:
+            counts[event.rule] = counts.get(event.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict[str, Any]:
+        """The full trace document (see the module doc for determinism)."""
+        with self._lock:
+            return {
+                "format": TRACE_FORMAT,
+                "explain": self.explain,
+                "spans": [span.to_dict() for span in self.roots],
+                "prunes": [event.to_dict() for event in self.prunes],
+                "provenance": [dict(entry) for entry in self.provenance],
+            }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Contextvar activation and no-op fast paths
+# ---------------------------------------------------------------------------
+_ACTIVE: ContextVar[Tracer | None] = ContextVar(
+    "repro_trace_active", default=None
+)
+
+
+class _NullSpanContext:
+    """Shared do-nothing context manager for the tracer-off fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, name: str, value: Any) -> None:  # Span-compatible
+        return None
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NoopTracer:
+    """A disabled tracer: every recording call is a cheap no-op.
+
+    ``SemanticMapper`` holds one of these when neither ``options.trace``
+    nor an externally activated tracer asks for recording, so the
+    pipeline can call ``self._tracer.span(...)`` unconditionally.
+    """
+
+    __slots__ = ()
+    enabled = False
+    explain = False
+
+    def span(self, name: str, **attributes: Any) -> _NullSpanContext:
+        return _NULL_SPAN
+
+    def prune(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def rank(self, entry: Mapping[str, Any]) -> None:
+        return None
+
+
+#: Shared disabled tracer (stateless, safe to reuse everywhere).
+NOOP = NoopTracer()
+
+
+def current() -> Tracer | None:
+    """The tracer active in this context, or ``None``."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def activate(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as this context's active tracer."""
+    token = _ACTIVE.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.reset(token)
+
+
+def span(name: str, **attributes: Any):
+    """A span on the active tracer, or a shared no-op when none is active."""
+    tracer = _ACTIVE.get()
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attributes)
+
+
+def prune(
+    phase: str,
+    rule: str,
+    source_csg: str = "",
+    target_csg: str = "",
+    detail: str = "",
+) -> None:
+    """Record a prune event iff an explain-mode tracer is active."""
+    tracer = _ACTIVE.get()
+    if tracer is not None and tracer.explain:
+        tracer.prune(phase, rule, source_csg, target_csg, detail)
+
+
+def active() -> bool:
+    """True when any tracer is active in this context."""
+    return _ACTIVE.get() is not None

@@ -1,12 +1,15 @@
 """Tests for the mapper's ablation flags (filter on/off behavior)."""
 
 from repro.datasets.paper_examples import employee_example, partof_example
-from repro.discovery import SemanticMapper
+from repro.discovery import DiscoveryOptions, SemanticMapper
 
 
 def discover(scenario, **flags):
     return SemanticMapper(
-        scenario.source, scenario.target, scenario.correspondences, **flags
+        scenario.source,
+        scenario.target,
+        scenario.correspondences,
+        options=DiscoveryOptions(**flags),
     ).discover()
 
 

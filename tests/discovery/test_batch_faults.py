@@ -13,6 +13,7 @@ import multiprocessing
 import os
 import threading
 import time
+import warnings
 
 import pytest
 
@@ -40,31 +41,29 @@ def _good(scenario_id, example):
 
 
 def _crashing(scenario_id, example):
-    """Run raises TypeError: SemanticMapper rejects the bogus option."""
-    return Scenario.create(
-        scenario_id,
-        example.source,
-        example.target,
-        example.correspondences,
-        explode_on_contact=True,
-    )
+    """Run raises TypeError: the bogus legacy option survives ``create``
+    (which only warns) and blows up when the worker builds its mapper."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return Scenario.create(
+            scenario_id,
+            example.source,
+            example.target,
+            example.correspondences,
+            explode_on_contact=True,
+        )
 
 
 def _unpicklable(scenario_id, example):
     """Spec that fails pickling with TypeError (a lock), yet runs fine.
 
-    ``use_partof_filter`` only needs to be truthy, so a lock object is a
-    valid-but-unpicklable flag value — the shape of real-world payloads
-    (locks, open files) that raise ``TypeError`` instead of
-    ``pickle.PicklingError``.
+    A lock rides along as an extra attribute on the frozen spec — the
+    shape of real-world payloads (locks, open files) that raise
+    ``TypeError`` instead of ``pickle.PicklingError``.
     """
-    return Scenario.create(
-        scenario_id,
-        example.source,
-        example.target,
-        example.correspondences,
-        use_partof_filter=threading.Lock(),
-    )
+    scenario = _good(scenario_id, example)
+    object.__setattr__(scenario, "_sneaky_payload", threading.Lock())
+    return scenario
 
 
 class SlowScenario(Scenario):

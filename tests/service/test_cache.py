@@ -4,6 +4,7 @@ import pytest
 
 from repro.datasets.paper_examples import bookstore_example
 from repro.discovery.batch import Scenario, scenario_fingerprint
+from repro.discovery.options import DiscoveryOptions
 from repro.service.cache import ResultCache
 
 
@@ -118,6 +119,6 @@ class TestScenarioFingerprint:
             example.source,
             example.target,
             example.correspondences,
-            max_candidates=1,
+            options=DiscoveryOptions(max_path_edges=4),
         )
         assert scenario_fingerprint(plain) != scenario_fingerprint(tweaked)

@@ -1,0 +1,172 @@
+"""Property tests for the versioned wire format.
+
+Round-trips ``discover_request_from_wire`` (request → parsed options →
+request) and ``result_to_wire`` (result fields → payload) over
+hypothesis-generated ``DiscoveryOptions`` and trace documents, plus the
+version-gate behaviour the server's 400s rely on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.discovery.mapper import DiscoveryResult
+from repro.discovery.options import DiscoveryOptions
+from repro.exceptions import WireFormatError
+from repro.service.wire import (
+    WIRE_VERSION,
+    check_wire_version,
+    discover_request_from_wire,
+    result_to_wire,
+)
+from repro.trace import TRACE_FORMAT
+
+SCENARIO_SPEC = {"dataset": "DBLP", "case": "dblp-article-in-journal"}
+
+options_strategy = st.builds(
+    DiscoveryOptions,
+    max_path_edges=st.integers(min_value=1, max_value=12),
+    use_partof_filter=st.booleans(),
+    use_disjointness_filter=st.booleans(),
+    use_cardinality_filter=st.booleans(),
+    explain=st.booleans(),
+    trace=st.booleans(),
+)
+
+trace_strategy = st.one_of(
+    st.none(),
+    st.fixed_dictionaries(
+        {
+            "format": st.just(TRACE_FORMAT),
+            "explain": st.booleans(),
+            "spans": st.lists(
+                st.fixed_dictionaries(
+                    {
+                        "name": st.sampled_from(
+                            ["discover", "lift", "rank"]
+                        ),
+                        "elapsed_s": st.floats(
+                            min_value=0, max_value=10, allow_nan=False
+                        ),
+                    }
+                ),
+                max_size=3,
+            ),
+            "prunes": st.lists(
+                st.fixed_dictionaries(
+                    {
+                        "phase": st.sampled_from(["pair_filter", "rank"]),
+                        "rule": st.sampled_from(
+                            ["partOf", "cardinality", "anchor"]
+                        ),
+                        "detail": st.text(max_size=20),
+                    }
+                ),
+                max_size=3,
+            ),
+            "provenance": st.just([]),
+        }
+    ),
+)
+
+
+class TestRequestRoundTrip:
+    @given(
+        options=options_strategy,
+        mode=st.sampled_from(["sync", "async"]),
+        use_cache=st.booleans(),
+        timeout=st.one_of(
+            st.none(), st.floats(min_value=0.5, max_value=60)
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_options_survive_the_wire(
+        self, options, mode, use_cache, timeout
+    ):
+        payload = {
+            "version": WIRE_VERSION,
+            "scenario": dict(SCENARIO_SPEC),
+            "options": options.to_dict(),
+            "mode": mode,
+            "use_cache": use_cache,
+        }
+        if timeout is not None:
+            payload["timeout_seconds"] = timeout
+        scenario, parsed = discover_request_from_wire(payload)
+        assert parsed.discovery == options
+        assert parsed.mode == mode
+        assert parsed.use_cache is use_cache
+        assert parsed.timeout_seconds == (
+            None if timeout is None else float(timeout)
+        )
+        assert scenario.discovery_options() == options
+
+    @given(options=options_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_scenario_level_options_win(self, options):
+        spec = dict(SCENARIO_SPEC)
+        spec["options"] = options.to_dict()
+        payload = {"scenario": spec, "options": {"max_path_edges": 11}}
+        scenario, parsed = discover_request_from_wire(payload)
+        assert scenario.discovery_options() == options
+        assert parsed.discovery == DiscoveryOptions(max_path_edges=11)
+
+    @given(options=options_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_options_dict_round_trips(self, options):
+        assert DiscoveryOptions.from_mapping(options.to_dict()) == options
+        assert DiscoveryOptions.from_pairs(options.to_pairs()) == options
+
+
+class TestResultRoundTrip:
+    @given(
+        trace=trace_strategy,
+        elapsed=st.floats(min_value=0, max_value=100, allow_nan=False),
+        notes=st.lists(st.text(max_size=30), max_size=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_result_fields_survive_the_wire(self, trace, elapsed, notes):
+        result = DiscoveryResult(
+            candidates=[],
+            elapsed_seconds=elapsed,
+            notes=notes,
+            trace=trace,
+        )
+        payload = result_to_wire(result)
+        assert payload["version"] == WIRE_VERSION
+        assert payload["mapping"]["notes"] == notes
+        assert payload["run"]["elapsed_seconds"] == elapsed
+        if trace is None:
+            assert "trace" not in payload
+        else:
+            assert payload["trace"] == trace
+
+
+class TestVersionGate:
+    def test_current_version_accepted(self):
+        assert check_wire_version({"version": WIRE_VERSION}) == WIRE_VERSION
+
+    def test_absent_version_means_current(self):
+        assert check_wire_version({}) == WIRE_VERSION
+
+    @pytest.mark.parametrize("version", [0, 2, 99, -1])
+    def test_other_versions_refused(self, version):
+        with pytest.raises(WireFormatError, match="unsupported"):
+            check_wire_version({"version": version})
+
+    @pytest.mark.parametrize("version", ["1", 1.0, True, None])
+    def test_non_integer_versions_refused(self, version):
+        with pytest.raises(WireFormatError, match="integer"):
+            check_wire_version({"version": version})
+
+    def test_request_parser_enforces_version(self):
+        with pytest.raises(WireFormatError, match="unsupported"):
+            discover_request_from_wire(
+                {"version": 2, "scenario": dict(SCENARIO_SPEC)}
+            )
+
+    def test_responses_declare_version(self):
+        payload = result_to_wire(
+            DiscoveryResult(candidates=[], elapsed_seconds=0.0)
+        )
+        assert payload["version"] == WIRE_VERSION

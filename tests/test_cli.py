@@ -41,6 +41,65 @@ class TestMapCommand:
         assert main(["map", "Hotel", "ghost-case"]) == 2
         assert "unknown case" in capsys.readouterr().err
 
+    def test_option_flags_change_discovery(self, capsys):
+        assert (
+            main(
+                [
+                    "map",
+                    "Network",
+                    "network-interface-of-device",
+                    "--no-partof-filter",
+                ]
+            )
+            == 0
+        )
+        assert "2 candidate(s)" in capsys.readouterr().out
+
+
+class TestExplainCommand:
+    CASE = ["explain", "Network", "network-interface-of-device"]
+
+    def test_span_tree_and_prune_log(self, capsys):
+        assert main(self.CASE) == 0
+        out = capsys.readouterr().out
+        assert "span tree (wall time per phase):" in out
+        assert "discover" in out
+        assert "pruned by partOf" in out
+        assert "prune log" in out
+        assert "rank provenance" in out
+
+    def test_json_emits_trace_document(self, capsys):
+        import json
+
+        assert main(self.CASE + ["--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["format"] == "repro-trace/1"
+        assert document["explain"] is True
+        assert document["prunes"]
+        assert {event["rule"] for event in document["prunes"]} == {"partOf"}
+
+    def test_stable_modulo_timings(self, capsys):
+        import json
+        import re
+
+        runs = []
+        for _ in range(2):
+            assert main(self.CASE + ["--json"]) == 0
+            text = capsys.readouterr().out
+            runs.append(re.sub(r'"elapsed_s": [0-9.e-]+', '"elapsed_s": 0', text))
+        assert runs[0] == runs[1]
+        json.loads(runs[0])  # still a valid document after the scrub
+
+    def test_disabled_filter_removes_prune(self, capsys):
+        assert main(self.CASE + ["--no-partof-filter"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned by partOf" not in out
+        assert "2 candidate(s)" in out
+
+    def test_unknown_case_fails(self, capsys):
+        assert main(["explain", "Network", "ghost-case"]) == 2
+        assert "unknown case" in capsys.readouterr().err
+
 
 class TestDdlCommand:
     def test_emits_create_tables(self, capsys):

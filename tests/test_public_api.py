@@ -1,0 +1,108 @@
+"""Snapshot of the top-level public API.
+
+``repro.__all__`` is a compatibility contract: names may be added, but a
+missing or broken name is an API break this test catches before users
+do. The snapshot below is the intended surface — update it deliberately,
+in the same change that updates ``docs/api.md``.
+"""
+
+import pytest
+
+import repro
+
+EXPECTED_ALL = {
+    "__version__",
+    "ReproError",
+    # Conceptual models
+    "Cardinality",
+    "CMGraph",
+    "CMReasoner",
+    "ConceptualModel",
+    "ConnectionCategory",
+    "SemanticType",
+    "model_from_dict",
+    "model_to_dict",
+    # Relational
+    "Column",
+    "Instance",
+    "ReferentialConstraint",
+    "RelationalSchema",
+    "Table",
+    # Semantics
+    "SchemaSemantics",
+    "SemanticTree",
+    "design_schema",
+    "recover_semantics",
+    # Correspondences
+    "Correspondence",
+    "CorrespondenceSet",
+    "suggest_correspondences",
+    "as_correspondence_set",
+    # Discovery
+    "BatchPolicy",
+    "BatchResult",
+    "DiscoveryOptions",
+    "DiscoveryResult",
+    "Scenario",
+    "SemanticMapper",
+    "Tracer",
+    "discover",
+    "discover_many",
+    "discover_mappings",
+    # Baseline
+    "RICBasedMapper",
+    "discover_ric_mappings",
+    # Mappings
+    "MappingCandidate",
+    "SourceToTargetTGD",
+    "exchange",
+    "query_to_algebra",
+}
+
+
+def test_all_matches_snapshot():
+    assert set(repro.__all__) == EXPECTED_ALL
+
+
+def test_every_name_importable():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_no_duplicates():
+    assert len(repro.__all__) == len(set(repro.__all__))
+
+
+class TestDiscoverFacade:
+    @pytest.fixture(scope="class")
+    def example(self):
+        from repro.datasets.paper_examples import partof_example
+
+        return partof_example(target_is_partof=True)
+
+    @pytest.fixture(scope="class")
+    def scenario(self, example):
+        return repro.Scenario.create(
+            "facade",
+            example.source,
+            example.target,
+            example.correspondences,
+        )
+
+    def test_runs_scenario(self, scenario):
+        result = repro.discover(scenario)
+        assert result.candidates
+        assert result.trace is None
+
+    def test_options_override(self, scenario):
+        result = repro.discover(
+            scenario, options=repro.DiscoveryOptions(explain=True)
+        )
+        assert result.trace is not None
+        assert result.trace["prunes"]
+
+    def test_caller_owned_tracer(self, scenario):
+        tracer = repro.Tracer(explain=True)
+        result = repro.discover(scenario, trace=tracer)
+        assert tracer.span_count > 0
+        assert result.trace is not None

@@ -1,0 +1,213 @@
+"""Unit tests for ``repro.trace``: spans, prunes, activation, no-ops."""
+
+import json
+import threading
+
+import pytest
+
+from repro import trace as tracing
+from repro.trace import (
+    NOOP,
+    TRACE_FORMAT,
+    NoopTracer,
+    PruneEvent,
+    Span,
+    Tracer,
+    phase_seconds,
+    render_span,
+    render_trace,
+)
+from repro.trace.tracer import _NULL_SPAN
+
+
+class TestSpan:
+    def test_close_records_elapsed(self):
+        span = Span("phase")
+        span.close()
+        assert span.elapsed_seconds >= 0
+
+    def test_set_attaches_attribute(self):
+        span = Span("phase")
+        span.set("candidates", 3)
+        assert span.to_dict()["attributes"] == {"candidates": 3}
+
+    def test_to_dict_omits_empty_sections(self):
+        span = Span("phase")
+        span.close()
+        data = span.to_dict()
+        assert set(data) == {"name", "elapsed_s"}
+
+    def test_children_nest_in_dict(self):
+        parent = Span("outer")
+        parent.children.append(Span("inner"))
+        assert parent.to_dict()["children"][0]["name"] == "inner"
+
+
+class TestTracer:
+    def test_spans_nest_per_stack(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert len(tracer.roots) == 1
+        assert tracer.roots[0].children[0].name == "inner"
+        assert tracer.span_count == 2
+
+    def test_span_attributes_from_kwargs(self):
+        tracer = Tracer()
+        with tracer.span("phase", anchor="Person"):
+            pass
+        assert tracer.roots[0].attributes == {"anchor": "Person"}
+
+    def test_prune_requires_explain(self):
+        tracer = Tracer(explain=False)
+        tracer.prune("pair_filter", "cardinality", detail="nope")
+        assert tracer.prunes == []
+        explainer = Tracer(explain=True)
+        explainer.prune("pair_filter", "cardinality", detail="nope")
+        assert explainer.prunes == [
+            PruneEvent("pair_filter", "cardinality", detail="nope")
+        ]
+
+    def test_prune_attaches_to_open_span(self):
+        tracer = Tracer(explain=True)
+        with tracer.span("csg_pair"):
+            tracer.prune("pair_filter", "partOf", "s", "t", "why")
+        assert tracer.roots[0].events[0].rule == "partOf"
+        assert tracer.prunes[0].to_dict() == {
+            "phase": "pair_filter",
+            "rule": "partOf",
+            "source_csg": "s",
+            "target_csg": "t",
+            "detail": "why",
+        }
+
+    def test_rank_requires_explain(self):
+        tracer = Tracer()
+        tracer.rank({"rank": 1})
+        assert tracer.provenance == []
+        explainer = Tracer(explain=True)
+        explainer.rank({"rank": 1})
+        assert explainer.provenance == [{"rank": 1}]
+
+    def test_prune_rules_counts_sorted(self):
+        tracer = Tracer(explain=True)
+        for rule in ("partOf", "cardinality", "partOf"):
+            tracer.prune("pair_filter", rule)
+        assert tracer.prune_rules() == {"cardinality": 1, "partOf": 2}
+
+    def test_to_dict_shape(self):
+        tracer = Tracer(explain=True)
+        with tracer.span("discover"):
+            tracer.prune("pair_filter", "anchor")
+        document = tracer.to_dict()
+        assert document["format"] == TRACE_FORMAT
+        assert document["explain"] is True
+        assert document["spans"][0]["name"] == "discover"
+        assert document["prunes"][0]["rule"] == "anchor"
+        assert document["provenance"] == []
+
+    def test_to_json_sorted_and_parseable(self):
+        tracer = Tracer()
+        with tracer.span("discover"):
+            pass
+        document = json.loads(tracer.to_json())
+        assert document["format"] == TRACE_FORMAT
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            barrier.wait()
+            with tracer.span(name):
+                with tracer.span(f"{name}-child"):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",))
+            for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # two root spans, each with exactly its own child — no interleave
+        assert sorted(span.name for span in tracer.roots) == ["t0", "t1"]
+        for span in tracer.roots:
+            assert [child.name for child in span.children] == [
+                f"{span.name}-child"
+            ]
+
+
+class TestNoop:
+    def test_disabled_flags(self):
+        assert NOOP.enabled is False
+        assert NOOP.explain is False
+        assert isinstance(NOOP, NoopTracer)
+
+    def test_span_returns_shared_null_context(self):
+        first = NOOP.span("a", attr=1)
+        second = NOOP.span("b")
+        assert first is second is _NULL_SPAN
+        with first as span:
+            span.set("ignored", True)  # Span-compatible, does nothing
+
+    def test_prune_and_rank_are_noops(self):
+        NOOP.prune("pair_filter", "anchor")
+        NOOP.rank({"rank": 1})
+
+
+class TestActivation:
+    def test_no_tracer_by_default(self):
+        assert tracing.current() is None
+        assert tracing.active() is False
+        assert tracing.span("anything") is _NULL_SPAN
+
+    def test_activate_scopes_tracer(self):
+        tracer = Tracer(explain=True)
+        with tracing.activate(tracer):
+            assert tracing.current() is tracer
+            with tracing.span("phase"):
+                tracing.prune("pair_filter", "cardinality")
+        assert tracing.current() is None
+        assert tracer.roots[0].name == "phase"
+        assert tracer.prunes[0].rule == "cardinality"
+
+    def test_module_prune_respects_explain(self):
+        tracer = Tracer(explain=False)
+        with tracing.activate(tracer):
+            tracing.prune("pair_filter", "cardinality")
+        assert tracer.prunes == []
+
+
+class TestRendering:
+    @pytest.fixture()
+    def trace_document(self):
+        tracer = Tracer(explain=True)
+        with tracer.span("discover"):
+            with tracer.span("rank", scored=2):
+                tracer.prune(
+                    "rank", "anchor", "src", "tgt", "reified mismatch"
+                )
+        tracer.rank({"rank": 1, "candidate": "M1"})
+        return tracer.to_dict()
+
+    def test_render_span_indents_and_times(self, trace_document):
+        lines = render_span(trace_document["spans"][0])
+        text = "\n".join(lines)
+        assert "discover" in text
+        assert "ms" in text
+        assert any(line.startswith("  rank") for line in lines)
+        assert "pruned by anchor" in text
+
+    def test_render_trace_sections(self, trace_document):
+        text = render_trace(trace_document)
+        assert "span tree" in text
+        assert "anchor" in text
+        assert "reified mismatch" in text
+
+    def test_phase_seconds_accumulates_by_name(self, trace_document):
+        seconds = phase_seconds(trace_document)
+        assert set(seconds) == {"discover", "rank"}
+        assert all(value >= 0 for value in seconds.values())

@@ -1,0 +1,105 @@
+"""Incremental re-discovery benchmark: cold vs warm-stage-cache rerun.
+
+Not a paper exhibit — this measures the staged engine's reuse layer
+(:mod:`repro.discovery.incremental`): a multi-segment scenario is
+discovered once, one correspondence is edited, and
+:func:`repro.discovery.rediscover` runs the edited scenario against the
+still-warm stage cache. The claims under test:
+
+* every segment the edit did not touch replays its per-target search
+  unit from cache (``stage_cache_hit_source_search.unit``);
+* the rediscovered TGDs are byte-identical to a cold run of the edited
+  scenario — reuse never changes results;
+* rediscovery beats the cold run by at least
+  :data:`repro.perf.bench.INCREMENTAL_SPEEDUP_FLOOR`.
+
+The report is written to ``BENCH_incremental.json`` at the repo root,
+both under pytest and when run directly
+(``python benchmarks/benchmark_incremental.py``, the CI smoke job).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro.perf.bench import (
+    INCREMENTAL_SEGMENTS,
+    INCREMENTAL_SPEEDUP_FLOOR,
+    run_incremental_benchmark,
+)
+
+REPORT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_incremental.json"
+
+
+def _write_report() -> dict:
+    report, failures = run_incremental_benchmark()
+    report["failures"] = failures
+    document = {"benchmark": "incremental", **report}
+    REPORT_PATH.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return document
+
+
+@pytest.fixture(scope="module")
+def incremental_report():
+    """One benchmark run per session, persisted like the CI job."""
+    return _write_report()
+
+
+def test_no_failures(incremental_report):
+    assert incremental_report["failures"] == []
+
+
+def test_unedited_segments_replay_from_cache(incremental_report):
+    reuse = incremental_report["reuse"]
+    assert reuse["stage_cache_hits"] >= 1
+    assert reuse["unit_cache_hits"] >= INCREMENTAL_SEGMENTS - 1
+
+
+def test_speedup_meets_floor(incremental_report):
+    assert (
+        incremental_report["speedup"] >= INCREMENTAL_SPEEDUP_FLOOR
+    ), incremental_report
+
+
+def test_edit_invalidates_but_run_still_answers(incremental_report):
+    reuse = incremental_report["reuse"]
+    # A real edit: the stage fingerprints moved, so no whole stage was
+    # servable — the wins are the per-target units.
+    assert reuse["full_reuse"] is False
+    assert incremental_report["candidates"] >= 1
+    assert (
+        incremental_report["candidates"]
+        == incremental_report["base_candidates"]
+    )
+
+
+def main() -> int:
+    document = _write_report()
+    reuse = document["reuse"]
+    print(
+        f"incremental: cold {document['cold_seconds']}s, "
+        f"rediscover {document['rediscover_seconds']}s "
+        f"({document['speedup']}x, floor {document['speedup_floor']}x)"
+    )
+    print(
+        f"reuse: {reuse['stage_cache_hits']} stage-cache hit(s), "
+        f"{reuse['unit_cache_hits']} per-target unit replay(s), "
+        f"invalidated: {', '.join(reuse['invalidated_stages']) or 'none'}"
+    )
+    print(f"report written to {REPORT_PATH}")
+    if document["failures"]:
+        for failure in document["failures"]:
+            print(f"FAIL: {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

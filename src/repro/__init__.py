@@ -52,14 +52,18 @@ from repro.correspondences import Correspondence, CorrespondenceSet
 from repro.matching import as_correspondence_set, suggest_correspondences
 from repro.baseline import RICBasedMapper, discover_ric_mappings
 from repro.discovery import (
+    STAGE_NAMES,
     BatchPolicy,
     BatchResult,
     DiscoveryOptions,
     DiscoveryResult,
+    Rediscovery,
     Scenario,
     SemanticMapper,
     discover_many,
     discover_mappings,
+    rediscover,
+    rediscover_many,
 )
 from repro.trace import Tracer
 from repro.exceptions import ReproError
@@ -142,12 +146,16 @@ __all__ = [
     "BatchResult",
     "DiscoveryOptions",
     "DiscoveryResult",
+    "Rediscovery",
+    "STAGE_NAMES",
     "Scenario",
     "SemanticMapper",
     "Tracer",
     "discover",
     "discover_many",
     "discover_mappings",
+    "rediscover",
+    "rediscover_many",
     # Baseline
     "RICBasedMapper",
     "discover_ric_mappings",

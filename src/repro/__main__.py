@@ -69,6 +69,7 @@ def _options_from_args(
         use_cardinality_filter=args.use_cardinality_filter,
         explain=explain,
         trace=trace,
+        engine=getattr(args, "engine", "semantic"),
     )
 
 
@@ -179,13 +180,40 @@ def _cmd_map(args: argparse.Namespace) -> int:
     mapping_case = _find_case(pair, args.case)
     if mapping_case is None:
         return 2
+    rediscovery = None
     if args.method == "semantic":
-        result = SemanticMapper(
-            pair.source,
-            pair.target,
-            mapping_case.correspondences,
-            options=_options_from_args(args),
-        ).discover()
+        options = _options_from_args(args)
+        if args.reuse_from:
+            from repro.discovery import Scenario, rediscover
+
+            previous_case = _find_case(pair, args.reuse_from)
+            if previous_case is None:
+                return 2
+            previous = Scenario.create(
+                f"{args.name}/{args.reuse_from}",
+                pair.source,
+                pair.target,
+                previous_case.correspondences,
+                options=options,
+            ).run()
+            rediscovery = rediscover(
+                previous,
+                Scenario.create(
+                    f"{args.name}/{args.case}",
+                    pair.source,
+                    pair.target,
+                    mapping_case.correspondences,
+                    options=options,
+                ),
+            )
+            result = rediscovery.result
+        else:
+            result = SemanticMapper(
+                pair.source,
+                pair.target,
+                mapping_case.correspondences,
+                options=options,
+            ).discover()
     else:
         result = RICBasedMapper(
             pair.source.schema,
@@ -197,6 +225,17 @@ def _cmd_map(args: argparse.Namespace) -> int:
     )
     for index, candidate in enumerate(result, start=1):
         print(f"  {candidate.to_tgd(f'M{index}')}")
+    if rediscovery is not None:
+        report = rediscovery.report()
+        print(
+            f"reuse from {args.reuse_from!r}: "
+            f"{report['stage_cache_hits']} stage-cache hit(s) "
+            f"({report['unit_cache_hits']} per-target unit(s)); "
+            f"unchanged stages: "
+            f"{', '.join(report['unchanged_stages']) or 'none'}; "
+            f"invalidated: "
+            f"{', '.join(report['invalidated_stages']) or 'none'}"
+        )
     if args.stats:
         stats = getattr(result, "stats", None) or {}
         print("stats:")
@@ -377,6 +416,21 @@ def build_parser() -> argparse.ArgumentParser:
     run_map.add_argument("case")
     run_map.add_argument(
         "--method", choices=["semantic", "ric"], default="semantic"
+    )
+    run_map.add_argument(
+        "--engine",
+        choices=["semantic", "clio"],
+        default="semantic",
+        help="discovery engine for the unified pipeline (clio = the "
+        "schema-only RIC baseline behind the same staged API; "
+        "--method ric remains the legacy direct baseline path)",
+    )
+    run_map.add_argument(
+        "--reuse-from",
+        metavar="CASE",
+        help="incremental re-discovery: run CASE first to warm the "
+        "stage cache, then run the requested case reusing every "
+        "unaffected stage artifact, and report what was reused",
     )
     run_map.add_argument(
         "--stats",

@@ -53,6 +53,23 @@ from repro.discovery.batch import (
     scenario_fingerprint,
     scenarios_for_cases,
 )
+from repro.discovery.engine import (
+    CLIO_STAGE_NAMES,
+    STAGE_NAMES,
+    SemanticEngine,
+    StageCache,
+    clear_stage_cache,
+    stage_cache,
+)
+from repro.discovery.fingerprint import (
+    semantics_content_key,
+    stage_fingerprint,
+)
+from repro.discovery.incremental import (
+    Rediscovery,
+    rediscover,
+    rediscover_many,
+)
 
 __all__ = [
     "CostModel",
@@ -95,4 +112,15 @@ __all__ = [
     "discover_many",
     "scenario_fingerprint",
     "scenarios_for_cases",
+    "CLIO_STAGE_NAMES",
+    "STAGE_NAMES",
+    "SemanticEngine",
+    "StageCache",
+    "clear_stage_cache",
+    "stage_cache",
+    "semantics_content_key",
+    "stage_fingerprint",
+    "Rediscovery",
+    "rediscover",
+    "rediscover_many",
 ]

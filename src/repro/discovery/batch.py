@@ -37,7 +37,6 @@ input order before returning.
 
 from __future__ import annotations
 
-import hashlib
 import pickle
 import signal
 import threading
@@ -50,6 +49,10 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.correspondences import CorrespondenceSet
+from repro.discovery.fingerprint import (
+    scenario_fingerprint,
+    semantics_content_key,
+)
 from repro.discovery.mapper import DiscoveryResult, SemanticMapper
 from repro.discovery.options import DiscoveryOptions, merge_legacy_kwargs
 from repro.exceptions import (
@@ -293,64 +296,11 @@ class BatchResult:
 # ---------------------------------------------------------------------------
 # Content identity of schema semantics (grouping key)
 # ---------------------------------------------------------------------------
-def _semantics_content_key(semantics: SchemaSemantics) -> str:
-    """A stable fingerprint of a :class:`SchemaSemantics`' full content.
-
-    Grouping keys on this instead of ``id()`` so equal-but-distinct
-    objects (e.g. scenarios rebuilt from a dataset loader) land in one
-    worker and share its process-wide caches. The fingerprint covers the
-    schema (tables, columns, keys, RICs), the conceptual model
-    (cardinalities, ISA, disjointness, semantic types — via
-    ``model_to_dict``), and every s-tree; it is cached on the object
-    because semantics are immutable after construction.
-    """
-    cached = getattr(semantics, "_batch_content_key", None)
-    if cached is not None:
-        return cached
-    from repro.cm.serialize import model_to_dict
-
-    schema = semantics.schema
-    spec = repr(
-        (
-            schema.name,
-            tuple(
-                (table.name, table.columns, table.primary_key)
-                for table in schema
-            ),
-            tuple(str(ric) for ric in schema.rics),
-            model_to_dict(semantics.model),
-            tuple(
-                (name, semantics.tree(name).describe())
-                for name in semantics.tables_with_semantics()
-            ),
-        )
-    )
-    key = hashlib.sha256(spec.encode("utf-8")).hexdigest()
-    semantics._batch_content_key = key  # type: ignore[attr-defined]
-    return key
-
-
-def scenario_fingerprint(scenario: Scenario) -> str:
-    """A stable *content* fingerprint of one discovery scenario.
-
-    Covers everything that determines the output of ``scenario.run()`` —
-    both schema semantics (via :func:`_semantics_content_key`), the
-    correspondence list (order-sensitively, matching
-    :class:`CorrespondenceSet` semantics), and the mapper options — and
-    deliberately excludes ``scenario_id``, which is caller-chosen
-    labelling. Two scenarios with equal fingerprints produce identical
-    candidates, which is what makes the fingerprint safe as a
-    content-addressed cache key (see ``repro.service.cache``).
-    """
-    spec = repr(
-        (
-            _semantics_content_key(scenario.source),
-            _semantics_content_key(scenario.target),
-            tuple(str(c) for c in scenario.correspondences),
-            scenario.mapper_options,
-        )
-    )
-    return hashlib.sha256(spec.encode("utf-8")).hexdigest()
+# Both helpers now live in ``repro.discovery.fingerprint`` (the staged
+# engine keys on the same content identities); re-exported here because
+# the batch module is their historical home and the service imports
+# ``scenario_fingerprint`` from it.
+_semantics_content_key = semantics_content_key
 
 
 def _group_by_pair(

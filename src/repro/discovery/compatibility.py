@@ -68,7 +68,8 @@ class ConnectionProfile:
             return hit
         perf_counters.record("profile_cache_misses")
         profile = cls._compute(edges)
-        if len(_PROFILE_CACHE) >= _PROFILE_CACHE_MAX:
+        bound = perf_config.cache_size("profile")
+        if bound is not None and len(_PROFILE_CACHE) >= bound:
             _PROFILE_CACHE.clear()
         _PROFILE_CACHE[key] = profile
         return profile
@@ -83,9 +84,10 @@ class ConnectionProfile:
 
 
 #: Module-wide ``of_path`` memo; keys are frozen edge tuples, so entries
-#: from different models cannot collide. Bounded by wholesale clearing.
+#: from different models cannot collide. Bounded by wholesale clearing at
+#: ``perf.config.cache_size("profile")`` entries (default 8192,
+#: overridable per run through ``DiscoveryOptions.profile_cache_size``).
 _PROFILE_CACHE: dict[tuple[CMEdge, ...], ConnectionProfile] = {}
-_PROFILE_CACHE_MAX = 8192
 
 
 def clear_profile_cache() -> None:

@@ -1,0 +1,57 @@
+"""The staged discovery engine: typed artifacts + content-addressed cache.
+
+This package factors the discovery pipeline into explicit stages —
+:data:`~repro.discovery.engine.stages.STAGE_NAMES` — each producing a
+typed, frozen artifact stamped with a content-addressed fingerprint.
+``SemanticMapper`` delegates here; the engine owns the stage graph, the
+perf phase / trace span vocabulary (both derive from ``STAGE_NAMES``),
+the bounded LRU :class:`StageCache`, and the per-target
+:class:`SourceSearchUnit` reuse that makes incremental re-discovery
+(:func:`repro.discovery.incremental.rediscover`) cheap.
+
+See ``docs/architecture.md`` for the stage graph and caching rules.
+"""
+
+from repro.discovery.engine.artifacts import (
+    CompatiblePairs,
+    LiftedCorrespondences,
+    PairRecord,
+    RankedResult,
+    SourceCSGSet,
+    SourceSearchUnit,
+    TargetCSGSet,
+    TranslatedCandidates,
+)
+from repro.discovery.engine.cache import (
+    StageCache,
+    clear_stage_cache,
+    stage_cache,
+)
+from repro.discovery.engine.stages import (
+    CLIO_STAGE_NAMES,
+    STAGE_NAMES,
+    STAGE_OPTION_FIELDS,
+    EngineOutcome,
+    SemanticEngine,
+    time_stat_key,
+)
+
+__all__ = [
+    "CLIO_STAGE_NAMES",
+    "STAGE_NAMES",
+    "STAGE_OPTION_FIELDS",
+    "CompatiblePairs",
+    "EngineOutcome",
+    "LiftedCorrespondences",
+    "PairRecord",
+    "RankedResult",
+    "SemanticEngine",
+    "SourceCSGSet",
+    "SourceSearchUnit",
+    "StageCache",
+    "TargetCSGSet",
+    "TranslatedCandidates",
+    "clear_stage_cache",
+    "stage_cache",
+    "time_stat_key",
+]

@@ -1,0 +1,120 @@
+"""Typed, frozen artifacts — one per stage of the discovery pipeline.
+
+Each artifact is the complete output of one stage, stamped with the
+content-addressed ``fingerprint`` of the stage's *input* (see
+:func:`repro.discovery.fingerprint.stage_fingerprint`): upstream
+artifact fingerprints chained with the options subset the stage reads.
+Equal fingerprint ⇒ equal artifact, which is what lets the
+:class:`~repro.discovery.engine.cache.StageCache` substitute a cached
+artifact for a recomputation without changing any output byte.
+
+Three stages — source search, pair filtering, and translation — execute
+*fused* (the paper's tiered fallback gates each source-CSG tier on
+whether candidate emission succeeded, so the stages cannot be separated
+by barriers without changing behaviour; see ``docs/architecture.md``).
+Their artifacts are still materialised individually, and the fused
+block's real reuse granularity is the per-target
+:class:`SourceSearchUnit`: everything one target CSG's search produced
+— candidates, surviving pairs, notes, eliminations — replayable in
+order for byte-identical warm output.
+
+Payloads are immutable (tuples of frozen dataclasses, strings, and the
+frozen query/candidate objects), so artifacts may be shared freely
+across threads and runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.correspondences import LiftedCorrespondence
+from repro.discovery.csg import CSG
+from repro.discovery.ranking import CandidateScore
+from repro.mappings.expression import MappingCandidate
+
+
+@dataclass(frozen=True)
+class LiftedCorrespondences:
+    """Stage ``lift``: correspondences lifted to marked CM class nodes."""
+
+    fingerprint: str
+    items: tuple[LiftedCorrespondence, ...]
+
+
+@dataclass(frozen=True)
+class TargetCSGSet:
+    """Stage ``target_csgs``: the target-side CSGs (Cases A and B)."""
+
+    fingerprint: str
+    csgs: tuple[CSG, ...]
+
+
+@dataclass(frozen=True)
+class PairRecord:
+    """One CSG pair that survived the compatibility filters."""
+
+    source_csg: str
+    target_csg: str
+    reversals: int
+    candidates: int
+
+
+@dataclass(frozen=True)
+class SourceSearchUnit:
+    """One target CSG's complete search outcome (the fused block's unit).
+
+    ``considered`` lists every source CSG examined as ``(tier, text)``
+    rows (tier ``"functional"`` or ``"lossy"``); ``scored`` carries the
+    emitted candidates with their rank scores in emission order, which
+    the stable rank sort depends on. ``notes`` and ``eliminations`` are
+    replayed verbatim on a cache hit so warm runs stay byte-identical.
+    """
+
+    fingerprint: str
+    target_csg: str
+    considered: tuple[tuple[str, str], ...]
+    pairs: tuple[PairRecord, ...]
+    scored: tuple[tuple[CandidateScore, MappingCandidate], ...]
+    notes: tuple[str, ...]
+    eliminations: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SourceCSGSet:
+    """Stage ``source_search``: per-target units with every CSG examined."""
+
+    fingerprint: str
+    units: tuple[SourceSearchUnit, ...]
+
+
+@dataclass(frozen=True)
+class CompatiblePairs:
+    """Stage ``pair_filter``: surviving pairs plus the elimination log."""
+
+    fingerprint: str
+    pairs: tuple[PairRecord, ...]
+    eliminations: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class TranslatedCandidates:
+    """Stage ``translate``: scored candidates in emission order."""
+
+    fingerprint: str
+    scored: tuple[tuple[CandidateScore, MappingCandidate], ...]
+    notes: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class RankedResult:
+    """Stage ``rank``: the final ordered candidate list plus diagnostics.
+
+    Carries ``notes`` and ``eliminations`` so a full-pipeline cache hit
+    can reconstruct a complete :class:`DiscoveryResult` without running
+    any stage.
+    """
+
+    fingerprint: str
+    candidates: tuple[MappingCandidate, ...]
+    notes: tuple[str, ...]
+    eliminations: tuple[str, ...]

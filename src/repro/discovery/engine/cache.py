@@ -1,0 +1,104 @@
+"""The bounded LRU stage cache behind incremental re-discovery.
+
+One process-wide :class:`StageCache` holds the staged engine's
+content-addressed artifacts (see
+:mod:`repro.discovery.engine.artifacts`), keyed by ``(stage name,
+fingerprint)``. Because fingerprints cover *content* — semantics,
+correspondences, and the options subset each stage reads — the cache is
+safely shared across scenarios, threads (service job workers), and
+repeated ``discover()`` calls: a hit can only ever return the artifact
+the stage would have recomputed.
+
+The cache layers on :mod:`repro.perf`: it is bypassed entirely under
+``perf.disabled()``, its entry bound comes from
+``perf.config.cache_size("stage")`` (overridable per run through
+``DiscoveryOptions.stage_cache_size``), its traffic lands in the perf
+counters (``stage_cache_hits`` / ``stage_cache_misses`` plus per-stage
+``stage_cache_hit_<stage>`` breakdowns), and ``perf.clear_caches()``
+drops it alongside the other process-wide caches.
+
+Thread-safety: a single lock guards the ordered map. Artifacts are
+frozen dataclasses of immutable payloads, so returning a shared
+reference is safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro.perf import config as perf_config
+from repro.perf import counters as perf_counters
+
+
+class StageCache:
+    """A thread-safe LRU map from ``(stage, fingerprint)`` to artifacts."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self._capacity = capacity
+        self._entries: "OrderedDict[tuple[str, str], Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def _bound(self) -> int | None:
+        if self._capacity is not None:
+            return self._capacity
+        return perf_config.cache_size("stage")
+
+    def get(self, stage: str, fingerprint: str) -> Any | None:
+        """The cached artifact, or ``None``; counts hit/miss traffic."""
+        key = (stage, fingerprint)
+        with self._lock:
+            artifact = self._entries.get(key)
+            if artifact is not None:
+                self._entries.move_to_end(key)
+        if artifact is None:
+            perf_counters.record("stage_cache_misses")
+            perf_counters.record(f"stage_cache_miss_{stage}")
+            return None
+        perf_counters.record("stage_cache_hits")
+        perf_counters.record(f"stage_cache_hit_{stage}")
+        return artifact
+
+    def put(self, stage: str, fingerprint: str, artifact: Any) -> None:
+        bound = self._bound()
+        if bound is not None and bound <= 0:
+            return
+        key = (stage, fingerprint)
+        with self._lock:
+            self._entries[key] = artifact
+            self._entries.move_to_end(key)
+            if bound is not None:
+                while len(self._entries) > bound:
+                    self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Current occupancy by stage name (diagnostics, not metrics)."""
+        with self._lock:
+            per_stage: dict[str, int] = {}
+            for stage, _ in self._entries:
+                per_stage[stage] = per_stage.get(stage, 0) + 1
+            per_stage["entries"] = len(self._entries)
+        return per_stage
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: The process-wide stage cache shared by every engine run.
+_SHARED = StageCache()
+
+
+def stage_cache() -> StageCache:
+    """The shared process-wide :class:`StageCache`."""
+    return _SHARED
+
+
+def clear_stage_cache() -> None:
+    """Drop every cached stage artifact (see ``repro.perf.clear_caches``)."""
+    _SHARED.clear()

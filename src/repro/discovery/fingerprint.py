@@ -1,0 +1,136 @@
+"""Content fingerprints for discovery inputs and stage artifacts.
+
+Every cache in the discovery stack — the service's result cache, the
+batch layer's schema-pair grouping, and the staged engine's
+:class:`~repro.discovery.engine.cache.StageCache` — keys on *content*,
+never on object identity: two equal-but-distinct inputs (a dataset
+reloaded from disk, a scenario rebuilt from a wire payload) must land on
+the same cache entry. This module owns the hashing conventions:
+
+* :func:`semantics_content_key` — one :class:`SchemaSemantics`' full
+  content (schema, conceptual model, s-trees), cached on the object
+  because semantics are immutable after construction;
+* :func:`scenario_fingerprint` — everything that determines one
+  ``scenario.run()`` output (both semantics, the ordered correspondence
+  list, the mapper options);
+* :func:`csg_content_key` — one CSG's structure (root, edges, marked
+  nodes, origin), mirroring the translation-memo key;
+* :func:`stage_fingerprint` — the per-stage chaining hash of the staged
+  engine: a stage's fingerprint covers its name, its upstream artifact
+  fingerprints, and the options subset it reads, so an edit invalidates
+  exactly the stages downstream of the change (see
+  ``docs/architecture.md``).
+
+All fingerprints are SHA-256 hex digests over stable ``repr`` text, so
+they survive pickling, process boundaries, and interpreter restarts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.discovery.csg import CSG
+    from repro.semantics.lav import SchemaSemantics
+
+
+def content_hash(*parts: Any) -> str:
+    """SHA-256 of the stable ``repr`` of ``parts``."""
+    return hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()
+
+
+def semantics_content_key(semantics: "SchemaSemantics") -> str:
+    """A stable fingerprint of a :class:`SchemaSemantics`' full content.
+
+    Keys on this instead of ``id()`` so equal-but-distinct objects (e.g.
+    scenarios rebuilt from a dataset loader) share cache entries and
+    batch workers. The fingerprint covers the schema (tables, columns,
+    keys, RICs), the conceptual model (cardinalities, ISA, disjointness,
+    semantic types — via ``model_to_dict``), and every s-tree; it is
+    cached on the object because semantics are immutable after
+    construction.
+    """
+    cached = getattr(semantics, "_batch_content_key", None)
+    if cached is not None:
+        return cached
+    from repro.cm.serialize import model_to_dict
+
+    schema = semantics.schema
+    spec = repr(
+        (
+            schema.name,
+            tuple(
+                (table.name, table.columns, table.primary_key)
+                for table in schema
+            ),
+            tuple(str(ric) for ric in schema.rics),
+            model_to_dict(semantics.model),
+            tuple(
+                (name, semantics.tree(name).describe())
+                for name in semantics.tables_with_semantics()
+            ),
+        )
+    )
+    key = hashlib.sha256(spec.encode("utf-8")).hexdigest()
+    semantics._batch_content_key = key  # type: ignore[attr-defined]
+    return key
+
+
+def scenario_fingerprint(scenario) -> str:
+    """A stable *content* fingerprint of one discovery scenario.
+
+    Covers everything that determines the output of ``scenario.run()`` —
+    both schema semantics (via :func:`semantics_content_key`), the
+    correspondence list (order-sensitively, matching
+    :class:`~repro.correspondences.CorrespondenceSet` semantics), and
+    the mapper options — and deliberately excludes ``scenario_id``,
+    which is caller-chosen labelling. Two scenarios with equal
+    fingerprints produce identical candidates, which is what makes the
+    fingerprint safe as a content-addressed cache key (see
+    ``repro.service.cache``).
+    """
+    spec = repr(
+        (
+            semantics_content_key(scenario.source),
+            semantics_content_key(scenario.target),
+            tuple(str(c) for c in scenario.correspondences),
+            scenario.mapper_options,
+        )
+    )
+    return hashlib.sha256(spec.encode("utf-8")).hexdigest()
+
+
+def csg_content_key(csg: "CSG") -> tuple:
+    """One CSG's structural identity: root, edges, marked nodes, origin.
+
+    The same shape the translation memo keys on, plus ``origin``
+    (Case A.1 / A.2 / lossy / ...), which feeds candidate notes and
+    ranking and therefore belongs to the engine's unit identity.
+    """
+    return (
+        str(csg.tree.root),
+        tuple(
+            (
+                str(edge.parent),
+                edge.cm_edge.source,
+                edge.cm_edge.label,
+                edge.cm_edge.target,
+                str(edge.child),
+            )
+            for edge in csg.tree.edges
+        ),
+        tuple((name, str(node)) for name, node in csg.marked),
+        csg.origin,
+    )
+
+
+def stage_fingerprint(stage: str, *parts: Any) -> str:
+    """The fingerprint of one stage's input: name + upstream + options.
+
+    ``parts`` carries the upstream artifact fingerprints and the
+    ``(field, value)`` options subset the stage reads; anything *not*
+    hashed here (``explain``, ``trace``, cache sizing) must never change
+    a stage's output.
+    """
+    return content_hash(stage, *parts)

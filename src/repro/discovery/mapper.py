@@ -1,35 +1,46 @@
 """The end-to-end semantic mapping discovery pipeline (Section 3).
 
-:class:`SemanticMapper` wires together the whole algorithm:
+:class:`SemanticMapper` is a thin orchestrator: it validates inputs,
+resolves the run's tracer and cache sizing, and delegates the algorithm
+to the staged engine (:mod:`repro.discovery.engine`), which runs it as
+six explicit stages:
 
-1. lift the correspondences to marked class nodes in both CM graphs;
-2. find target CSGs (Case A: a single pre-selected s-tree; Case B:
-   constructed minimal functional trees);
-3. for each target CSG, find source CSGs — Case A.1 (anchored at the
-   class corresponding to the target anchor), Case A.2 (all minimal
-   functional trees), and, when no functional tree covers the marked
-   nodes and the target connection tolerates it, the Section 3.3 lossy
-   path search; when even that fails, split the correspondences across
-   partially covering trees;
-4. filter CSG pairs by semantic compatibility (cardinality categories,
-   partOf, ISA-disjointness consistency);
-5. translate each surviving pair into table-level expressions by LAV
-   rewriting and emit ranked :class:`MappingCandidate` objects.
+1. **lift** the correspondences to marked class nodes in both CM graphs;
+2. **target_csgs** — find target CSGs (Case A: a single pre-selected
+   s-tree; Case B: constructed minimal functional trees);
+3. **source_search** — for each target CSG, find source CSGs: Case A.1
+   (anchored at the class corresponding to the target anchor), Case A.2
+   (all minimal functional trees), and, when no functional tree covers
+   the marked nodes and the target connection tolerates it, the
+   Section 3.3 lossy path search; when even that fails, split the
+   correspondences across partially covering trees;
+4. **pair_filter** — filter CSG pairs by semantic compatibility
+   (cardinality categories, partOf, ISA-disjointness consistency);
+5. **translate** each surviving pair into table-level expressions by LAV
+   rewriting;
+6. **rank** the emitted :class:`MappingCandidate` objects.
+
+Each stage yields a typed artifact stamped with a content-addressed
+fingerprint (exposed on :attr:`DiscoveryResult.stage_fingerprints`), and
+a bounded LRU stage cache makes repeated and *incremental* discovery
+(:func:`repro.discovery.incremental.rediscover`) cheap — see
+``docs/architecture.md``.
 
 Tuning knobs live on one frozen
 :class:`~repro.discovery.options.DiscoveryOptions` object shared by
 every entry point (library, batch, CLI, service); the old per-knob
 keyword arguments still work through a :class:`DeprecationWarning`
-shim. With ``DiscoveryOptions(explain=True)`` (or an externally
-activated :class:`repro.trace.Tracer`) the run records a span tree of
-per-phase wall times, a structured prune event for every candidate a
-semantic filter rejected, and per-candidate rank provenance — all
-exposed on :attr:`DiscoveryResult.trace`.
+shim. ``DiscoveryOptions(engine="clio")`` routes the run through the
+schema-only RIC baseline behind the same API. With
+``DiscoveryOptions(explain=True)`` (or an externally activated
+:class:`repro.trace.Tracer`) the run records a span tree of per-phase
+wall times, a structured prune event for every candidate a semantic
+filter rejected, and per-candidate rank provenance — all exposed on
+:attr:`DiscoveryResult.trace`.
 """
 
 from __future__ import annotations
 
-import itertools
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -37,33 +48,12 @@ from typing import Any
 
 from repro import trace as tracing
 from repro.cm.reasoner import CMReasoner
-from repro.correspondences import (
-    Correspondence,
-    CorrespondenceSet,
-    LiftedCorrespondence,
-)
-from repro.discovery.compatibility import (
-    ConnectionProfile,
-    compatibility_violation,
-)
-from repro.discovery.csg import (
-    CSG,
-    extend_partial_trees,
-    find_source_functional_csgs,
-    find_source_lossy_csgs,
-    find_target_csgs,
-)
+from repro.correspondences import Correspondence, CorrespondenceSet
+from repro.discovery.engine.clio import run_clio
+from repro.discovery.engine.stages import EngineOutcome, SemanticEngine
 from repro.discovery.options import DiscoveryOptions, merge_legacy_kwargs
-from repro.discovery.ranking import CandidateScore, origin_rank
-from repro.discovery.steiner import CostModel, direction_reversals
-from repro.discovery.translate import translate_csg
-from repro.exceptions import DiscoveryError
-from repro.mappings.expression import (
-    MappingCandidate,
-    deduplicate_candidates,
-    trim_redundant_joins,
-)
-from repro.mappings.refinement import optional_tables
+from repro.mappings.expression import MappingCandidate
+from repro.perf import config as perf_config
 from repro.perf import counters as perf_counters
 from repro.semantics.lav import SchemaSemantics
 from repro.trace.tracer import NOOP, NoopTracer, Tracer
@@ -96,6 +86,11 @@ class DiscoveryResult:
     trace: dict[str, Any] | None = None
     #: Per-candidate score components, best first (explain mode only).
     rank_provenance: list[dict[str, Any]] = field(default_factory=list)
+    #: Content-addressed input fingerprint of every engine stage (see
+    #: ``repro.discovery.engine``); feeds incremental re-discovery,
+    #: which compares these against a previous run's to report exactly
+    #: which stages an edit invalidated.
+    stage_fingerprints: dict[str, str] = field(default_factory=dict)
 
     def best(self) -> MappingCandidate | None:
         return self.candidates[0] if self.candidates else None
@@ -130,8 +125,9 @@ class SemanticMapper:
         **legacy_options: object,
     ) -> None:
         """``options`` collects every tuning knob (ablation filter
-        switches, the lossy-path length cap, explain/trace recording);
-        the old per-knob keyword arguments are still accepted but emit a
+        switches, the lossy-path length cap, engine selection,
+        explain/trace recording, cache sizing); the old per-knob keyword
+        arguments are still accepted but emit a
         :class:`DeprecationWarning`.
 
         Inputs are validated up front through :mod:`repro.validation`;
@@ -204,10 +200,16 @@ class SemanticMapper:
             if recording and tracing.current() is not self._tracer
             else nullcontext()
         )
+        size_overrides = self.options.cache_size_overrides()
+        sizing = (
+            perf_config.cache_size_overrides(**size_overrides)
+            if size_overrides
+            else nullcontext()
+        )
         try:
-            with activation, perf_counters.scope() as frame:
+            with activation, sizing, perf_counters.scope() as frame:
                 with self._tracer.span("discover"):
-                    candidates = self._pipeline(notes)
+                    outcome = self._run_engine(notes)
         finally:
             run_tracer = self._tracer
             self._tracer = NOOP
@@ -218,7 +220,7 @@ class SemanticMapper:
             list(run_tracer.provenance) if run_tracer.enabled else []
         )
         return DiscoveryResult(
-            candidates,
+            outcome.candidates,
             elapsed,
             notes,
             eliminations=self._eliminations,
@@ -226,370 +228,56 @@ class SemanticMapper:
             stats=stats,
             trace=run_tracer.to_dict() if run_tracer.enabled else None,
             rank_provenance=provenance,
+            stage_fingerprints=outcome.stage_fingerprints,
         )
 
-    def _pipeline(self, notes: list[str]) -> list[MappingCandidate]:
-        with perf_counters.phase("lift"), self._tracer.span("lift") as span:
-            lifted = self.correspondences.lift(
-                self.source_semantics, self.target_semantics
-            )
-            span.set("correspondences", len(lifted))
-        if not lifted:
-            raise DiscoveryError("no correspondences to interpret")
-        scored: list[tuple[CandidateScore, MappingCandidate]] = []
-        with perf_counters.phase("target_csgs"), self._tracer.span(
-            "target_csgs"
-        ) as span:
-            target_csgs = find_target_csgs(self.target_semantics, lifted)
-            span.set("found", len(target_csgs))
-        with perf_counters.phase("source_search"):
-            for target_csg in target_csgs:
-                relevant = tuple(
-                    item
-                    for item in lifted
-                    if item.target_class in target_csg.marked_classes()
-                )
-                if not relevant:
-                    continue
-                with self._tracer.span(
-                    "source_search",
-                    target=str(target_csg.anchor),
-                    origin=target_csg.origin,
-                ) as span:
-                    found = self._candidates_for_target(
-                        target_csg, relevant, notes
-                    )
-                    span.set("candidates", len(found))
-                scored.extend(found)
-        with perf_counters.phase("rank"), self._tracer.span(
-            "rank"
-        ) as span:
-            scored.sort(key=lambda pair: pair[0].sort_key())
-            candidates = trim_redundant_joins(
-                deduplicate_candidates(
-                    [candidate for _, candidate in scored]
-                )
-            )
-            span.set("scored", len(scored))
-            span.set("kept", len(candidates))
-            if self._tracer.explain:
-                self._record_rank_provenance(scored, candidates)
-        return candidates
-
-    def _record_rank_provenance(
-        self,
-        scored: list[tuple[CandidateScore, MappingCandidate]],
-        candidates: list[MappingCandidate],
-    ) -> None:
-        """Attach each surviving candidate's score components to the trace."""
-        scores = {id(candidate): score for score, candidate in scored}
-        for rank, candidate in enumerate(candidates, start=1):
-            score = scores.get(id(candidate))
-            entry: dict[str, Any] = {
-                "rank": rank,
-                "candidate": candidate.notes,
-                "covered_correspondences": len(candidate.covered),
-            }
-            if score is not None:
-                entry.update(
-                    covered=score.covered,
-                    reversals=score.reversals,
-                    anchor_rank=score.anchor_rank,
-                    preselected=score.preselected,
-                    tree_size=score.tree_size,
-                    origin_rank=score.origin_rank,
-                )
-            self._tracer.rank(entry)
-
-    # ------------------------------------------------------------------
-    # Per-target-CSG search
-    # ------------------------------------------------------------------
-    def _candidates_for_target(
-        self,
-        target_csg: CSG,
-        relevant: tuple[LiftedCorrespondence, ...],
-        notes: list[str],
-    ) -> list[tuple[CandidateScore, MappingCandidate]]:
-        marked_sources = {item.source_class for item in relevant}
-        with self._tracer.span("functional_csgs") as span:
-            functional = find_source_functional_csgs(
-                self.source_semantics, relevant, target_csg
-            )
-            span.set("found", len(functional))
-        full = [
-            csg
-            for csg in functional
-            if csg.marked_classes() >= marked_sources
-        ]
-        results: list[tuple[CandidateScore, MappingCandidate]] = []
-        if full:
-            for source_csg in full:
-                results.extend(
-                    self._emit(source_csg, target_csg, relevant)
-                )
-            if results:
-                return results
-            notes.append(
-                f"{target_csg}: functional trees found but all pairs "
-                f"incompatible"
-            )
-        # Lossy fallback (Section 3.3): extend partial functional trees
-        # (including Case A.1's anchored partial trees) with minimally
-        # lossy attachment paths to the remaining marked classes.
-        cost_model = CostModel.from_edges(
-            self.source_semantics.preselected_cm_edges(
-                [item.correspondence.source for item in relevant]
-            )
-        )
-        with self._tracer.span("lossy_extension") as span:
-            extended = extend_partial_trees(
+    def _run_engine(self, notes: list[str]) -> EngineOutcome:
+        """Dispatch to the engine ``self.options.engine`` selects."""
+        if self.options.engine == "clio":
+            return run_clio(
                 self.source_semantics,
-                marked_sources,
-                cost_model,
-                extra_bases=tuple(functional),
+                self.target_semantics,
+                self.correspondences,
+                self._tracer,
+                notes,
+                self._eliminations,
             )
-            span.set("found", len(extended))
-        for source_csg in extended:
-            results.extend(self._emit(source_csg, target_csg, relevant))
-        if results:
-            return results
-        if extended:
-            notes.append(
-                f"{target_csg}: lossy extensions found but incompatible"
-            )
-        # Split: partially covering functional trees, one candidate each.
-        for source_csg in functional:
-            results.extend(self._emit(source_csg, target_csg, relevant))
-        if not results:
-            notes.append(f"{target_csg}: no source connection found")
-        return results
-
-    # ------------------------------------------------------------------
-    # Candidate emission
-    # ------------------------------------------------------------------
-    def _emit(
-        self,
-        source_csg: CSG,
-        target_csg: CSG,
-        relevant: tuple[LiftedCorrespondence, ...],
-    ) -> list[tuple[CandidateScore, MappingCandidate]]:
-        covered = tuple(
-            item
-            for item in relevant
-            if item.source_class in source_csg.marked_classes()
-            and item.target_class in target_csg.marked_classes()
+        engine = SemanticEngine(
+            self.source_semantics,
+            self.target_semantics,
+            self.correspondences,
+            self.options,
+            self._source_reasoner,
+            self._target_reasoner,
+            self._tracer,
         )
-        if not covered:
-            return []
-        with self._tracer.span("csg_pair") as span:
-            if self._tracer.enabled:
-                span.set("source", str(source_csg))
-                span.set("target", str(target_csg))
-            if not self._trees_consistent(source_csg, target_csg):
-                detail = (
-                    f"{source_csg} ⇄ {target_csg}: inconsistent tree "
-                    f"(disjointness)"
-                )
-                self._eliminations.append(detail)
-                self._tracer.prune(
-                    phase="pair_filter",
-                    rule="disjointness.tree",
-                    source_csg=str(source_csg),
-                    target_csg=str(target_csg),
-                    detail=detail,
-                )
-                return []
-            reversals = self._pair_compatible(
-                source_csg, target_csg, covered
-            )
-            if reversals is None:
-                return []
-            with perf_counters.phase("translate"), self._tracer.span(
-                "translate"
-            ):
-                source_queries = translate_csg(
-                    source_csg, covered, "source", self.source_semantics
-                )
-                target_queries = translate_csg(
-                    target_csg, covered, "target", self.target_semantics
-                )
-            results = []
-            for source_query, target_query in itertools.product(
-                source_queries, target_queries
-            ):
-                candidate = MappingCandidate(
-                    source_query,
-                    target_query,
-                    tuple(item.correspondence for item in covered),
-                    method="semantic",
-                    notes=f"{source_csg.origin}→{target_csg.origin}",
-                    source_optional_tables=optional_tables(
-                        source_query, source_csg, self.source_semantics
-                    ),
-                )
-                score = CandidateScore(
-                    covered=len(covered),
-                    reversals=reversals,
-                    tree_size=len(source_csg.tree.nodes())
-                    + len(target_csg.tree.nodes()),
-                    preselected=0,
-                    origin_rank=origin_rank(source_csg.origin),
-                    anchor_rank=self._anchor_rank(source_csg, target_csg),
-                )
-                results.append((score, candidate))
-            span.set("candidates", len(results))
-        return results
+        return engine.run(notes, self._eliminations)
 
-    def _anchor_rank(self, source_csg: CSG, target_csg: CSG) -> int:
-        """Section 3.3's reified-anchor preference (0 = anchors agree).
+    def stage_fingerprints(self) -> dict[str, str]:
+        """The engine-stage fingerprints this mapper's inputs produce.
 
-        A target tree rooted at a reified relationship prefers a source
-        tree rooted at a reified relationship of compatible arity and
-        connection category; mismatched kinds rank behind.
+        Computable without running discovery — incremental re-discovery
+        uses this to predict which stages an edit invalidates.
         """
-        from repro.discovery.compatibility import (
-            AnchorProfile,
-            anchors_compatible,
-        )
+        if self.options.engine == "clio":
+            from repro.discovery.engine.clio import clio_fingerprint
 
-        source_root = source_csg.anchor.cm_node
-        target_root = target_csg.anchor.cm_node
-        source_reified = self.source_semantics.graph.is_reified(source_root)
-        target_reified = self.target_semantics.graph.is_reified(target_root)
-        if not target_reified:
-            return 0
-        if not source_reified:
-            self._tracer.prune(
-                phase="rank",
-                rule="anchor",
-                source_csg=str(source_csg),
-                target_csg=str(target_csg),
-                detail=(
-                    f"{source_csg} ranked behind: plain source anchor "
-                    f"for reified target anchor {target_root}"
-                ),
-            )
-            return 1
-        source_profile = AnchorProfile.of_reified(
-            self._source_reasoner, source_root
-        )
-        target_profile = AnchorProfile.of_reified(
-            self._target_reasoner, target_root
-        )
-        if anchors_compatible(source_profile, target_profile):
-            return 0
-        self._tracer.prune(
-            phase="rank",
-            rule="anchor",
-            source_csg=str(source_csg),
-            target_csg=str(target_csg),
-            detail=(
-                f"{source_csg} ranked behind: reified anchors disagree "
-                f"in arity/category ({source_root} vs {target_root})"
-            ),
-        )
-        return 1
-
-    def _trees_consistent(self, source_csg: CSG, target_csg: CSG) -> bool:
-        if not self.options.use_disjointness_filter:
-            return True
-        return self._source_reasoner.tree_is_consistent(
-            list(source_csg.cm_edges())
-        ) and self._target_reasoner.tree_is_consistent(
-            list(target_csg.cm_edges())
-        )
-
-    def _pair_compatible(
-        self,
-        source_csg: CSG,
-        target_csg: CSG,
-        covered: tuple[LiftedCorrespondence, ...],
-    ) -> int | None:
-        """Check pairwise connection compatibility; return total reversals.
-
-        ``None`` signals an incompatible pair (candidate eliminated).
-        """
-        total_reversals = 0
-        options = self.options
-        for first, second in itertools.combinations(covered, 2):
-            if (
-                first.source_class == second.source_class
-                and first.target_class == second.target_class
-            ):
-                continue
-            source_path = self._path(
-                source_csg, first.source_class, second.source_class
-            )
-            target_path = self._path(
-                target_csg, first.target_class, second.target_class
-            )
-            if options.use_disjointness_filter:
-                if not self._source_reasoner.path_is_consistent(
-                    list(source_path)
-                ):
-                    detail = (
-                        f"{source_csg}: inconsistent source path "
-                        f"{first.source_class}–{second.source_class}"
-                    )
-                    self._eliminations.append(detail)
-                    self._tracer.prune(
-                        phase="pair_filter",
-                        rule="disjointness.path",
-                        source_csg=str(source_csg),
-                        target_csg=str(target_csg),
-                        detail=detail,
-                    )
-                    return None
-                if not self._target_reasoner.path_is_consistent(
-                    list(target_path)
-                ):
-                    detail = (
-                        f"{target_csg}: inconsistent target path "
-                        f"{first.target_class}–{second.target_class}"
-                    )
-                    self._eliminations.append(detail)
-                    self._tracer.prune(
-                        phase="pair_filter",
-                        rule="disjointness.path",
-                        source_csg=str(source_csg),
-                        target_csg=str(target_csg),
-                        detail=detail,
-                    )
-                    return None
-            source_profile = ConnectionProfile.of_path(source_path)
-            target_profile = ConnectionProfile.of_path(target_path)
-            violation = compatibility_violation(
-                source_profile,
-                target_profile,
-                check_cardinality=options.use_cardinality_filter,
-                check_semantic_type=options.use_partof_filter,
-            )
-            if violation is not None:
-                detail = (
-                    f"{source_csg} ⇄ {target_csg}: "
-                    f"{source_profile.category.value}/"
-                    f"{source_profile.semantic_type.value} source vs "
-                    f"{target_profile.category.value}/"
-                    f"{target_profile.semantic_type.value} target "
-                    f"({first.source_class}–{second.source_class})"
+            return {
+                "clio": clio_fingerprint(
+                    self.source_semantics,
+                    self.target_semantics,
+                    self.correspondences,
                 )
-                self._eliminations.append(detail)
-                self._tracer.prune(
-                    phase="pair_filter",
-                    rule=violation,
-                    source_csg=str(source_csg),
-                    target_csg=str(target_csg),
-                    detail=detail,
-                )
-                return None
-            total_reversals += direction_reversals(source_path)
-        return total_reversals
-
-    @staticmethod
-    def _path(csg: CSG, first: str, second: str):
-        if first == second:
-            return ()
-        return csg.connecting_path(first, second)
+            }
+        return SemanticEngine(
+            self.source_semantics,
+            self.target_semantics,
+            self.correspondences,
+            self.options,
+            self._source_reasoner,
+            self._target_reasoner,
+            NOOP,
+        ).stage_fingerprints()
 
 
 def discover_mappings(

@@ -33,6 +33,9 @@ LEGACY_OPTION_NAMES = (
     "use_cardinality_filter",
 )
 
+#: The engines :class:`DiscoveryOptions.engine` may select.
+ENGINE_NAMES = ("semantic", "clio")
+
 
 @dataclass(frozen=True)
 class DiscoveryOptions:
@@ -51,6 +54,18 @@ class DiscoveryOptions:
     trace:
         Record a span tree of per-phase wall times on the result without
         the explain provenance.
+    engine:
+        Which discovery engine runs: ``"semantic"`` (the paper's staged
+        pipeline, the default) or ``"clio"`` (the schema-only RIC
+        baseline adapted behind the same entry points; see
+        ``repro.discovery.engine.clio``).
+    profile_cache_size / translation_cache_size / stage_cache_size:
+        Per-run overrides for the perf layer's memo-cache entry bounds
+        (``None`` keeps the module defaults in
+        ``repro.perf.config.DEFAULT_CACHE_SIZES``). ``stage_cache_size=0``
+        disables the staged engine's artifact cache for the run. These
+        knobs — like ``explain``/``trace`` — never change discovery
+        output, so stage fingerprints deliberately exclude them.
     """
 
     max_path_edges: int = 6
@@ -59,6 +74,10 @@ class DiscoveryOptions:
     use_cardinality_filter: bool = True
     explain: bool = False
     trace: bool = False
+    engine: str = "semantic"
+    profile_cache_size: int | None = None
+    translation_cache_size: int | None = None
+    stage_cache_size: int | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.max_path_edges, int) or isinstance(
@@ -83,6 +102,28 @@ class DiscoveryOptions:
             if not isinstance(value, bool):
                 raise ValueError(
                     f"{name} must be a bool, got {type(value).__name__}"
+                )
+        if self.engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"engine must be one of {sorted(ENGINE_NAMES)}, got "
+                f"{self.engine!r}"
+            )
+        for name, minimum in (
+            ("profile_cache_size", 1),
+            ("translation_cache_size", 1),
+            ("stage_cache_size", 0),
+        ):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError(
+                    f"{name} must be an int or None, got "
+                    f"{type(value).__name__}"
+                )
+            if value < minimum:
+                raise ValueError(
+                    f"{name} must be >= {minimum}, got {value}"
                 )
 
     # -- construction ----------------------------------------------------
@@ -145,6 +186,20 @@ class DiscoveryOptions:
     def wants_trace(self) -> bool:
         """True when this run should record spans (explain implies trace)."""
         return self.trace or self.explain
+
+    def cache_size_overrides(self) -> dict[str, int]:
+        """The non-default cache bounds of this run, by perf cache name.
+
+        The keys match :data:`repro.perf.config.DEFAULT_CACHE_SIZES`;
+        ``SemanticMapper.discover`` installs them for the run's dynamic
+        extent via :func:`repro.perf.config.cache_size_overrides`.
+        """
+        sizes = {
+            "profile": self.profile_cache_size,
+            "translation": self.translation_cache_size,
+            "stage": self.stage_cache_size,
+        }
+        return {name: size for name, size in sizes.items() if size is not None}
 
 
 _DEFAULTS = DiscoveryOptions()

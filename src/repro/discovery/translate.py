@@ -81,7 +81,10 @@ def csg_to_cm_query(
 #: never reference it, so entries die exactly when the semantics does).
 #: The inner key freezes everything ``csg_to_cm_query`` + rewriting read:
 #: the CSG's tree structure, marked nodes, the covered correspondences,
-#: the side, and the required-tables flag.
+#: the side, and the required-tables flag. Unbounded by default;
+#: ``perf.config.cache_size("translation")`` (set per run through
+#: ``DiscoveryOptions.translation_cache_size``) installs a
+#: wholesale-clear bound on each per-semantics store.
 _TRANSLATION_CACHE: "weakref.WeakKeyDictionary[SchemaSemantics, dict]" = (
     weakref.WeakKeyDictionary()
 )
@@ -147,6 +150,9 @@ def translate_csg(
     queries = _translate_uncached(
         csg, covered, side, semantics, require_correspondence_tables
     )
+    bound = perf_config.cache_size("translation")
+    if bound is not None and len(store) >= bound:
+        store.clear()
     store[key] = tuple(queries)
     return queries
 

@@ -15,7 +15,14 @@ See ``docs/performance.md`` for the architecture (cache keys, index
 lifetimes, and invalidation by immutability).
 """
 
-from repro.perf.config import disabled, enabled, set_enabled
+from repro.perf.config import (
+    DEFAULT_CACHE_SIZES,
+    cache_size,
+    cache_size_overrides,
+    disabled,
+    enabled,
+    set_enabled,
+)
 from repro.perf.counters import (
     PerfCounters,
     global_counters,
@@ -28,6 +35,9 @@ from repro.perf.counters import (
 from repro.perf.index import GraphIndex
 
 __all__ = [
+    "DEFAULT_CACHE_SIZES",
+    "cache_size",
+    "cache_size_overrides",
     "disabled",
     "enabled",
     "set_enabled",
@@ -51,6 +61,8 @@ def clear_caches() -> None:
     """
     GraphIndex.clear_registry()
     from repro.discovery import compatibility, translate
+    from repro.discovery.engine.cache import clear_stage_cache
 
     compatibility.clear_profile_cache()
     translate.clear_translation_cache()
+    clear_stage_cache()

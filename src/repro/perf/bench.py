@@ -22,7 +22,18 @@ Three exhibits, written to ``BENCH_discovery.json``:
   estimate: the measured cost of one no-op span times the traced run's
   span count, as a fraction of the untraced wall time. The run fails if
   that estimate reaches 5% — the tracing instrumentation must stay free
-  when off.
+  when off. The untraced denominator runs with ``stage_cache_size=0``:
+  a warm stage-cache full hit skips the pipeline entirely, and dividing
+  span cost by that near-zero wall time would report a meaningless
+  overhead figure.
+* **incremental** — a multi-segment scenario is discovered once, one
+  correspondence is edited, and :func:`repro.discovery.rediscover` runs
+  the edited scenario against the warm stage cache. The report records
+  cold-vs-rediscover times, the per-target unit replays, and the reuse
+  report; the run fails unless rediscovery is at least
+  :data:`INCREMENTAL_SPEEDUP_FLOOR` times faster than cold with
+  byte-identical TGDs. ``benchmarks/benchmark_incremental.py`` publishes
+  this exhibit on its own as ``BENCH_incremental.json``.
 
 Benchmarks are repo-root artifacts: run from a checkout, the JSON lands
 next to ``pyproject.toml`` unless ``--output`` says otherwise.
@@ -38,7 +49,9 @@ from repro.cm import ConceptualModel
 from repro.correspondences import CorrespondenceSet
 from repro.datasets.registry import load_all_datasets
 from repro.discovery.batch import Scenario, discover_many
+from repro.discovery.incremental import rediscover
 from repro.discovery.mapper import DiscoveryResult, SemanticMapper
+from repro.discovery.options import DiscoveryOptions
 from repro.perf.invariants import EXPECTED_CANDIDATE_COUNTS
 from repro.semantics import design_schema
 from repro.trace import Tracer, phase_seconds
@@ -50,6 +63,16 @@ TRACE_OVERHEAD_LIMIT = 0.05
 #: Chain length of the warm-vs-cold exhibit (matches the largest point
 #: of ``benchmarks/benchmark_scalability.py``).
 CHAIN_LENGTH = 12
+
+#: Shape of the incremental exhibit: disjoint chain segments, so a
+#: one-correspondence edit invalidates exactly one segment's per-target
+#: search unit and every other segment replays from cache.
+INCREMENTAL_SEGMENTS = 4
+INCREMENTAL_CHAIN_LENGTH = 10
+
+#: The incremental gate: rediscovery after a single-correspondence edit
+#: must beat a cold run of the edited scenario by at least this factor.
+INCREMENTAL_SPEEDUP_FLOOR = 2.0
 
 #: Counters worth surfacing per scenario (the full vocabulary lives in
 #: ``repro.perf.counters``; the rest stays available via ``--stats``).
@@ -109,10 +132,83 @@ def _tgds(result: DiscoveryResult) -> tuple[str, ...]:
     )
 
 
-def _timed_discover(source, target, correspondences):
+def _timed_discover(source, target, correspondences, options=None):
     start = time.perf_counter()
-    result = SemanticMapper(source, target, correspondences).discover()
+    mapper = (
+        SemanticMapper(source, target, correspondences, options=options)
+        if options is not None
+        else SemanticMapper(source, target, correspondences)
+    )
+    result = mapper.discover()
     return time.perf_counter() - start, result
+
+
+def _segmented_model(
+    name: str, segments: int, length: int, pendants: int = 2
+) -> ConceptualModel:
+    """``segments`` disjoint chains, each chain node carrying
+    ``pendants`` pendant classes (dead-end branches that widen the
+    Steiner search without adding candidates)."""
+    cm = ConceptualModel(name)
+    for seg in range(segments):
+        for index in range(length + 1):
+            cm.add_class(
+                f"S{seg}C{index}",
+                attributes=[f"k{index}", f"a{index}", f"b{index}"],
+                key=[f"k{index}"],
+            )
+            for p in range(pendants):
+                cm.add_class(
+                    f"S{seg}P{index}x{p}",
+                    attributes=[f"pk{index}"],
+                    key=[f"pk{index}"],
+                )
+                cm.add_relationship(
+                    f"s{seg}pend{index}x{p}",
+                    f"S{seg}C{index}",
+                    f"S{seg}P{index}x{p}",
+                    "0..1",
+                    "0..*",
+                )
+        for index in range(length):
+            cm.add_relationship(
+                f"s{seg}f{index}",
+                f"S{seg}C{index}",
+                f"S{seg}C{index + 1}",
+                "1..1",
+                "0..*",
+            )
+    return cm
+
+
+def build_incremental_scenario(
+    segments: int = INCREMENTAL_SEGMENTS,
+    length: int = INCREMENTAL_CHAIN_LENGTH,
+    edited: bool = False,
+):
+    """Fresh (source, target, correspondences) for the incremental exhibit.
+
+    Each disjoint segment carries two endpoint correspondences; with
+    ``edited=True``, segment 0's first correspondence moves from ``a0``
+    to ``b0`` — the single-correspondence edit. Segments 1..n-1 are
+    untouched, so their target CSGs and relevant correspondences (the
+    per-target unit cache key) are identical across the two variants.
+    """
+    source = design_schema(
+        _segmented_model("segmented_src", segments, length), "src"
+    )
+    target = design_schema(
+        _segmented_model("segmented_tgt", segments, length), "tgt"
+    )
+    lines = []
+    for seg in range(segments):
+        first = "b0" if edited and seg == 0 else "a0"
+        lines.append(f"s{seg}c0.{first} <-> s{seg}c0.{first}")
+        lines.append(
+            f"s{seg}c{length}.a{length} <-> s{seg}c{length}.a{length}"
+        )
+    correspondences = CorrespondenceSet.parse(lines)
+    return source.semantics, target.semantics, correspondences
 
 
 def _paper_scenarios() -> list[tuple[str, Scenario]]:
@@ -266,10 +362,18 @@ def run_trace_benchmark() -> tuple[dict, list[str]]:
     failures: list[str] = []
     source, target, correspondences = build_chain_scenario()
     perf.clear_caches()
-    # Warm every cache first so the untraced measurement (the overhead
-    # denominator) reflects the steady-state serving path.
-    SemanticMapper(source, target, correspondences).discover()
-    untraced_seconds, _ = _timed_discover(source, target, correspondences)
+    # Warm the memo caches first so the untraced measurement (the
+    # overhead denominator) reflects the steady-state serving path —
+    # but keep the stage cache out of it (stage_cache_size=0): a stage
+    # full hit skips the pipeline the spans instrument, which would
+    # shrink the denominator to microseconds and report nonsense.
+    no_stage_cache = DiscoveryOptions(stage_cache_size=0)
+    SemanticMapper(
+        source, target, correspondences, options=no_stage_cache
+    ).discover()
+    untraced_seconds, _ = _timed_discover(
+        source, target, correspondences, options=no_stage_cache
+    )
 
     tracer = Tracer(explain=True)
     start = time.perf_counter()
@@ -308,19 +412,100 @@ def run_trace_benchmark() -> tuple[dict, list[str]]:
     return report, failures
 
 
+def run_incremental_benchmark(
+    segments: int = INCREMENTAL_SEGMENTS,
+    length: int = INCREMENTAL_CHAIN_LENGTH,
+) -> tuple[dict, list[str]]:
+    """Cold vs rediscover-after-edit on the multi-segment scenario.
+
+    Three measurements, each from fresh schema objects so per-object
+    memos never blur the comparison:
+
+    1. cold run of the *edited* scenario (empty caches) — the baseline;
+    2. base run of the unedited scenario — populates the stage cache;
+    3. :func:`repro.discovery.rediscover` of the edited scenario against
+       that warm cache — must replay every unedited segment's per-target
+       unit, produce TGDs byte-identical to (1), and beat (1) by
+       :data:`INCREMENTAL_SPEEDUP_FLOOR`.
+    """
+    failures: list[str] = []
+
+    perf.clear_caches()
+    cold_seconds, cold_result = _timed_discover(
+        *build_incremental_scenario(segments, length, edited=True)
+    )
+
+    perf.clear_caches()
+    source, target, correspondences = build_incremental_scenario(
+        segments, length
+    )
+    base_scenario = Scenario.create(
+        "incremental/base", source, target, correspondences
+    )
+    base_result = base_scenario.run()
+
+    e_source, e_target, e_corr = build_incremental_scenario(
+        segments, length, edited=True
+    )
+    edited_scenario = Scenario.create(
+        "incremental/edited", e_source, e_target, e_corr
+    )
+    start = time.perf_counter()
+    outcome = rediscover(base_result, edited_scenario)
+    warm_seconds = time.perf_counter() - start
+
+    if _tgds(outcome.result) != _tgds(cold_result):
+        failures.append(
+            "incremental: rediscover output differs from the cold run "
+            "of the edited scenario"
+        )
+    if outcome.unit_cache_hits < segments - 1:
+        failures.append(
+            f"incremental: expected >= {segments - 1} per-target unit "
+            f"replays, got {outcome.unit_cache_hits}"
+        )
+    speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
+    if speedup < INCREMENTAL_SPEEDUP_FLOOR:
+        failures.append(
+            f"incremental: rediscover speedup {speedup:.2f}x < "
+            f"{INCREMENTAL_SPEEDUP_FLOOR:.0f}x "
+            f"(cold {cold_seconds:.3f}s, warm {warm_seconds:.3f}s)"
+        )
+
+    report = {
+        "segments": segments,
+        "chain_length": length,
+        "cold_seconds": round(cold_seconds, 6),
+        "rediscover_seconds": round(warm_seconds, 6),
+        "speedup": round(speedup, 2),
+        "speedup_floor": INCREMENTAL_SPEEDUP_FLOOR,
+        "candidates": len(cold_result),
+        "base_candidates": len(base_result),
+        "reuse": outcome.report(),
+    }
+    return report, failures
+
+
 def run_benchmarks(workers: int = 2) -> tuple[dict, list[str]]:
     """All exhibits; returns (report, failures)."""
     paper_report, paper_failures = run_paper_scenarios(workers)
     chain_report, chain_failures = run_chain_benchmark()
     trace_report, trace_failures = run_trace_benchmark()
+    incremental_report, incremental_failures = run_incremental_benchmark()
     report = {
         "benchmark": "discovery",
         "workers": workers,
         "paper_scenarios": paper_report,
         "chain": chain_report,
         "trace": trace_report,
+        "incremental": incremental_report,
     }
-    return report, paper_failures + chain_failures + trace_failures
+    return report, (
+        paper_failures
+        + chain_failures
+        + trace_failures
+        + incremental_failures
+    )
 
 
 def main(
@@ -343,6 +528,13 @@ def main(
     print(
         f"paper scenarios: {len(report['paper_scenarios']['scenarios'])} "
         f"cases, serial {report['paper_scenarios']['serial_seconds']}s"
+    )
+    incremental = report["incremental"]
+    print(
+        f"incremental: cold {incremental['cold_seconds']}s, "
+        f"rediscover {incremental['rediscover_seconds']}s "
+        f"({incremental['speedup']}x, "
+        f"{incremental['reuse']['unit_cache_hits']} unit replays)"
     )
     trace_report = report["trace"]
     print(

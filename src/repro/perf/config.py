@@ -1,19 +1,46 @@
-"""Global switch for the shared-computation layer.
+"""Global switch and sizing knobs for the shared-computation layer.
 
 Every cache in the performance layer (graph indexes, shortest-path
-tables, consistency memos, translation memos) consults :func:`enabled`
-before reading or writing. Disabling the layer — typically via the
-:func:`disabled` context manager — restores the seed behaviour where
-every ``discover()`` call recomputes from scratch, which is what the
-equivalence tests and the cold-baseline benchmarks compare against.
+tables, consistency memos, translation memos, the staged engine's stage
+cache) consults :func:`enabled` before reading or writing. Disabling the
+layer — typically via the :func:`disabled` context manager — restores
+the seed behaviour where every ``discover()`` call recomputes from
+scratch, which is what the equivalence tests and the cold-baseline
+benchmarks compare against.
+
+Cache *sizes* are owned here too. Each memo cache has a module default
+(:data:`DEFAULT_CACHE_SIZES`) and consults :func:`cache_size` at its
+bound check, so a run can override a size without touching the cache
+module: :class:`~repro.discovery.options.DiscoveryOptions` carries
+``profile_cache_size`` / ``translation_cache_size`` /
+``stage_cache_size`` fields (``None`` = keep the default, so default
+options still serialise to ``()`` and existing scenario fingerprints
+stay stable), and ``SemanticMapper.discover`` installs them for the
+run's dynamic extent via :func:`cache_size_overrides`. Overrides are
+contextvar-scoped: concurrent service jobs with different sizing never
+see each other's values.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Iterator
 
 _ENABLED = True
+
+#: Default entry bounds per cache, by the name each cache passes to
+#: :func:`cache_size`. ``None`` means unbounded (the translation memo is
+#: per-semantics and dies with its owner, so it defaults to unbounded).
+DEFAULT_CACHE_SIZES: dict[str, int | None] = {
+    "profile": 8192,
+    "translation": None,
+    "stage": 512,
+}
+
+_SIZE_OVERRIDES: ContextVar[tuple[tuple[str, int], ...]] = ContextVar(
+    "repro_perf_cache_size_overrides", default=()
+)
 
 
 def enabled() -> bool:
@@ -36,3 +63,31 @@ def disabled() -> Iterator[None]:
         yield
     finally:
         _ENABLED = previous
+
+
+def cache_size(name: str) -> int | None:
+    """The effective entry bound of cache ``name`` in this context.
+
+    ``None`` means unbounded; ``0`` (meaningful only for the stage
+    cache) disables the cache for the current run.
+    """
+    for key, value in _SIZE_OVERRIDES.get():
+        if key == name:
+            return value
+    return DEFAULT_CACHE_SIZES.get(name)
+
+
+@contextmanager
+def cache_size_overrides(**sizes: int) -> Iterator[None]:
+    """Install per-cache entry bounds for the block's dynamic extent.
+
+    Merges over any outer overrides; unknown names are accepted (a
+    cache that never consults them simply never sees them).
+    """
+    merged = dict(_SIZE_OVERRIDES.get())
+    merged.update(sizes)
+    token = _SIZE_OVERRIDES.set(tuple(sorted(merged.items())))
+    try:
+        yield
+    finally:
+        _SIZE_OVERRIDES.reset(token)

@@ -31,7 +31,15 @@ Counter names used across the codebase:
 ``profile_cache_*``
     ``ConnectionProfile.of_path`` memo traffic;
 ``translate_cache_*``
-    CSG → table-query translation memo traffic.
+    CSG → table-query translation memo traffic;
+``stage_cache_hits``, ``stage_cache_misses``
+    staged-engine artifact cache traffic in aggregate (see
+    :mod:`repro.discovery.engine.cache`);
+``stage_cache_hit_<stage>``, ``stage_cache_miss_<stage>``
+    the same traffic broken down by stage name (the engine's
+    ``STAGE_NAMES`` vocabulary plus ``source_search.unit`` for the
+    fused block's per-target units and ``clio`` for the baseline
+    engine).
 """
 
 from __future__ import annotations

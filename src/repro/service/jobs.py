@@ -50,6 +50,43 @@ ERROR = "error"
 
 _STOP = object()
 
+#: ``DiscoveryResult.stats`` key prefixes of the per-stage cache
+#: breakdown (see ``repro.perf.counters``). The aggregate keys
+#: ``stage_cache_hits`` / ``stage_cache_misses`` do *not* match these
+#: prefixes (trailing ``s`` vs ``_``), so they are never double-counted
+#: as a stage label.
+_STAGE_HIT_PREFIX = "stage_cache_hit_"
+_STAGE_MISS_PREFIX = "stage_cache_miss_"
+
+
+def observe_run_stats(metrics: ServiceMetrics, stats: dict) -> None:
+    """Feed one run's ``DiscoveryResult.stats`` into the service metrics.
+
+    Two vocabularies cross here, both derived from the engine's stage
+    names: every ``time_<phase>_s`` timing becomes a
+    ``repro_service_phase_seconds`` observation labelled with the phase,
+    and every ``stage_cache_hit_<stage>`` / ``stage_cache_miss_<stage>``
+    counter becomes a ``stage_cache_hits_total`` /
+    ``stage_cache_misses_total`` increment labelled with the stage.
+    """
+    for key, value in stats.items():
+        if not isinstance(value, (int, float)):
+            continue
+        if key.startswith("time_") and key.endswith("_s"):
+            metrics.observe_phase(key[5:-2], float(value))
+        elif key.startswith(_STAGE_HIT_PREFIX):
+            metrics.inc(
+                "stage_cache_hits_total",
+                int(value),
+                stage=key[len(_STAGE_HIT_PREFIX):],
+            )
+        elif key.startswith(_STAGE_MISS_PREFIX):
+            metrics.inc(
+                "stage_cache_misses_total",
+                int(value),
+                stage=key[len(_STAGE_MISS_PREFIX):],
+            )
+
 
 class Job:
     """One discovery request's lifecycle record."""
@@ -308,7 +345,7 @@ class JobQueue:
                     self._metrics.inc("jobs_failed_total")
                 else:
                     result = batch.results[0][1]
-                    self._observe_phases(result.stats)
+                    observe_run_stats(self._metrics, result.stats)
                     payload = result_to_wire(result)
                     # Store before dropping the in-flight marker so a
                     # concurrent submit always finds the result in one
@@ -326,16 +363,6 @@ class JobQueue:
                     if self._inflight.get(job.fingerprint) is job:
                         del self._inflight[job.fingerprint]
                 self._queue.task_done()
-
-    def _observe_phases(self, stats: dict) -> None:
-        """Feed a run's ``time_<phase>_s`` stats into the phase histograms."""
-        for key, value in stats.items():
-            if (
-                key.startswith("time_")
-                and key.endswith("_s")
-                and isinstance(value, (int, float))
-            ):
-                self._metrics.observe_phase(key[5:-2], float(value))
 
     # ------------------------------------------------------------------
     # Shutdown

@@ -24,9 +24,16 @@ Counter vocabulary (all exported with the ``repro_service_`` prefix):
 ``validation_failures_total``
     requests refused with 400 before burning a worker slot;
 ``phase_seconds{phase,quantile}`` / ``_count`` / ``_sum``
-    per-pipeline-phase discovery latency (lift, target_csgs,
-    source_search, rank, translate, discover), fed from each completed
-    job's ``time_<phase>_s`` stats by the job queue.
+    per-pipeline-phase discovery latency, fed from each completed job's
+    ``time_<phase>_s`` stats by the job queue — phase names are the
+    staged engine's ``STAGE_NAMES`` (lift, target_csgs, source_search,
+    pair_filter, translate, rank) plus ``discover`` (and ``clio`` for
+    baseline-engine runs);
+``stage_cache_hits_total{stage}`` / ``stage_cache_misses_total{stage}``
+    the staged engine's artifact-cache traffic by stage name, fed from
+    each completed job's ``stage_cache_hit_<stage>`` /
+    ``stage_cache_miss_<stage>`` stats (see
+    :func:`repro.service.jobs.observe_run_stats`).
 """
 
 from __future__ import annotations

@@ -1,0 +1,286 @@
+"""The staged engine: stage vocabulary, fingerprints, and the stage cache.
+
+The headline contract (the "one vocabulary" test): the perf-stats timing
+keys, the trace phase names, and the service phase metrics all derive
+from :data:`repro.discovery.engine.STAGE_NAMES` — the three observability
+surfaces can never drift apart because they are generated from the same
+tuple. The rest pins the cache discipline: byte-identical results across
+disabled / cold / warm runs, fingerprint sensitivity to exactly the
+options each stage depends on, LRU eviction, and the bypass rules
+(tracing, ``stage_cache_size=0``, perf layer disabled).
+"""
+
+import pytest
+
+import repro.perf as perf
+from repro.discovery import DiscoveryOptions, SemanticMapper
+from repro.discovery.engine import (
+    CLIO_STAGE_NAMES,
+    STAGE_NAMES,
+    STAGE_OPTION_FIELDS,
+    StageCache,
+    clear_stage_cache,
+    time_stat_key,
+)
+from repro.service.jobs import observe_run_stats
+from repro.service.metrics import ServiceMetrics
+from repro.trace import Tracer, phase_seconds
+
+
+def _tgds(result):
+    return tuple(
+        candidate.to_tgd(f"M{i}")
+        for i, candidate in enumerate(result, start=1)
+    )
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    perf.clear_caches()
+    yield
+    perf.clear_caches()
+
+
+@pytest.fixture()
+def mapper_args(bookstore):
+    return bookstore.source, bookstore.target, bookstore.correspondences
+
+
+class TestStageVocabulary:
+    """Satellite: one stage vocabulary across stats, trace, and service."""
+
+    def test_time_stat_keys_derive_from_stage_names(self):
+        assert [time_stat_key(s) for s in STAGE_NAMES] == [
+            f"time_{s}_s" for s in STAGE_NAMES
+        ]
+
+    def test_three_vocabularies_are_identical(self, mapper_args):
+        expected = set(STAGE_NAMES) | {"discover"}
+
+        # Vocabulary 1: perf-stats timing keys of an untraced cold run.
+        result = SemanticMapper(*mapper_args).discover()
+        stats_phases = {
+            key[5:-2]
+            for key in result.stats
+            if key.startswith("time_") and key.endswith("_s")
+        }
+        assert stats_phases == expected
+
+        # Vocabulary 2: trace phase names of a traced run (the trace
+        # nests finer-grained spans inside the stages; the stage-level
+        # names must be exactly the same set).
+        traced = SemanticMapper(*mapper_args).discover(
+            tracer=Tracer(explain=True)
+        )
+        trace_phases = set(phase_seconds(traced.trace))
+        assert expected <= trace_phases
+
+        # Vocabulary 3: the service's phase metrics, fed from the same
+        # stats keys by the job queue's observe_run_stats.
+        metrics = ServiceMetrics()
+        observe_run_stats(metrics, result.stats)
+        assert set(metrics.phase_names()) == stats_phases
+
+    def test_stage_option_fields_cover_exactly_the_stages(self):
+        assert tuple(STAGE_OPTION_FIELDS) == STAGE_NAMES
+        fields = set(DiscoveryOptions.__dataclass_fields__)
+        for stage, names in STAGE_OPTION_FIELDS.items():
+            assert set(names) <= fields, stage
+            # Observability and cache sizing never invalidate artifacts.
+            assert "explain" not in names
+            assert "trace" not in names
+            assert not any("cache_size" in n for n in names)
+
+    def test_aggregate_counters_not_mistaken_for_per_stage(self):
+        # "stage_cache_hits" must not match the "stage_cache_hit_"
+        # prefix observe_run_stats routes per-stage labels by.
+        metrics = ServiceMetrics()
+        observe_run_stats(
+            metrics,
+            {"stage_cache_hits": 5, "stage_cache_hit_lift": 1},
+        )
+        assert metrics.total("stage_cache_hits_total") == 1
+        assert metrics.value("stage_cache_hits_total", stage="lift") == 1
+
+
+class TestCacheEquivalence:
+    def test_disabled_cold_warm_byte_identical(self, mapper_args):
+        with perf.disabled():
+            disabled = SemanticMapper(*mapper_args).discover()
+        cold = SemanticMapper(*mapper_args).discover()
+        warm = SemanticMapper(*mapper_args).discover()
+        assert _tgds(cold) == _tgds(disabled)
+        assert _tgds(warm) == _tgds(disabled)
+        assert warm.notes == cold.notes
+        assert warm.eliminations == cold.eliminations
+        assert cold.stats.get("stage_cache_hits", 0) == 0
+        assert warm.stats.get("stage_cache_hits", 0) >= 1
+        # The warm run was served wholesale from the rank artifact.
+        assert warm.stats.get("stage_cache_hit_rank", 0) == 1
+
+    def test_disabled_perf_layer_skips_the_stage_cache(self, mapper_args):
+        with perf.disabled():
+            first = SemanticMapper(*mapper_args).discover()
+            second = SemanticMapper(*mapper_args).discover()
+        for stats in (first.stats, second.stats):
+            assert not any("stage_cache" in key for key in stats)
+
+    def test_stage_cache_size_zero_bypasses(self, mapper_args):
+        options = DiscoveryOptions(stage_cache_size=0)
+        first = SemanticMapper(*mapper_args, options=options).discover()
+        second = SemanticMapper(*mapper_args, options=options).discover()
+        for stats in (first.stats, second.stats):
+            assert not any("stage_cache" in key for key in stats)
+        assert _tgds(second) == _tgds(first)
+
+    def test_traced_runs_bypass_but_match(self, mapper_args):
+        cold = SemanticMapper(*mapper_args).discover()
+        traced = SemanticMapper(*mapper_args).discover(
+            tracer=Tracer(explain=True)
+        )
+        assert not any("stage_cache" in key for key in traced.stats)
+        assert _tgds(traced) == _tgds(cold)
+
+    def test_fingerprints_predict_result_fingerprints(self, mapper_args):
+        mapper = SemanticMapper(*mapper_args)
+        predicted = mapper.stage_fingerprints()
+        result = mapper.discover()
+        assert predicted == result.stage_fingerprints
+        assert tuple(predicted) == STAGE_NAMES
+
+
+class TestFingerprintSensitivity:
+    def test_search_option_invalidates_search_and_downstream(
+        self, mapper_args
+    ):
+        base = SemanticMapper(*mapper_args).stage_fingerprints()
+        tuned = SemanticMapper(
+            *mapper_args, options=DiscoveryOptions(max_path_edges=4)
+        ).stage_fingerprints()
+        assert tuned["lift"] == base["lift"]
+        assert tuned["target_csgs"] == base["target_csgs"]
+        for stage in ("source_search", "pair_filter", "translate", "rank"):
+            assert tuned[stage] != base[stage], stage
+
+    def test_filter_option_leaves_search_untouched(self, mapper_args):
+        base = SemanticMapper(*mapper_args).stage_fingerprints()
+        tuned = SemanticMapper(
+            *mapper_args, options=DiscoveryOptions(use_partof_filter=False)
+        ).stage_fingerprints()
+        for stage in ("lift", "target_csgs", "source_search"):
+            assert tuned[stage] == base[stage], stage
+        for stage in ("pair_filter", "translate", "rank"):
+            assert tuned[stage] != base[stage], stage
+
+    def test_observability_options_change_nothing(self, mapper_args):
+        base = SemanticMapper(*mapper_args).stage_fingerprints()
+        for options in (
+            DiscoveryOptions(explain=True),
+            DiscoveryOptions(trace=True),
+            DiscoveryOptions(stage_cache_size=7),
+            DiscoveryOptions(profile_cache_size=16, translation_cache_size=16),
+        ):
+            tuned = SemanticMapper(
+                *mapper_args, options=options
+            ).stage_fingerprints()
+            assert tuned == base, options
+
+    def test_correspondence_edit_invalidates_everything(self, bookstore):
+        from repro.correspondences import CorrespondenceSet
+
+        base = SemanticMapper(
+            bookstore.source, bookstore.target, bookstore.correspondences
+        ).stage_fingerprints()
+        edited = SemanticMapper(
+            bookstore.source,
+            bookstore.target,
+            CorrespondenceSet(list(bookstore.correspondences)[:-1]),
+        ).stage_fingerprints()
+        for stage in STAGE_NAMES:
+            assert edited[stage] != base[stage], stage
+
+
+class TestStageCacheLRU:
+    def test_eviction_order_and_capacity(self):
+        cache = StageCache(capacity=2)
+        cache.put("lift", "fp1", "a")
+        cache.put("lift", "fp2", "b")
+        assert cache.get("lift", "fp1") == "a"  # fp1 now most recent
+        cache.put("lift", "fp3", "c")  # evicts fp2
+        assert len(cache) == 2
+        assert cache.get("lift", "fp2") is None
+        assert cache.get("lift", "fp1") == "a"
+        assert cache.get("lift", "fp3") == "c"
+
+    def test_zero_capacity_stores_nothing(self):
+        cache = StageCache(capacity=0)
+        cache.put("lift", "fp1", "a")
+        assert len(cache) == 0
+        assert cache.get("lift", "fp1") is None
+
+    def test_stats_and_clear(self):
+        cache = StageCache(capacity=4)
+        cache.put("rank", "fp", "a")
+        assert cache.stats()["entries"] == 1
+        assert cache.stats()["rank"] == 1
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_sizing_follows_options_override(self, mapper_args):
+        # stage_cache_size=1 keeps only the most recent artifact: after
+        # a cold run, the rank artifact (the last one written) survives,
+        # so a warm run is still a full hit.
+        options = DiscoveryOptions(stage_cache_size=1)
+        SemanticMapper(*mapper_args, options=options).discover()
+        warm = SemanticMapper(*mapper_args, options=options).discover()
+        assert warm.stats.get("stage_cache_hit_rank", 0) == 1
+
+
+class TestClioEngine:
+    def test_clio_engine_matches_baseline(self, mapper_args):
+        from repro.baseline.clio import RICBasedMapper
+
+        source, target, correspondences = mapper_args
+        result = SemanticMapper(
+            source,
+            target,
+            correspondences,
+            options=DiscoveryOptions(engine="clio"),
+        ).discover()
+        baseline = RICBasedMapper(
+            source.schema, target.schema, correspondences
+        ).discover()
+        assert _tgds(result) == _tgds(baseline)
+        assert tuple(result.stage_fingerprints) == CLIO_STAGE_NAMES
+        assert "time_clio_s" in result.stats
+
+    def test_clio_runs_are_cached(self, mapper_args):
+        options = DiscoveryOptions(engine="clio")
+        cold = SemanticMapper(*mapper_args, options=options).discover()
+        warm = SemanticMapper(*mapper_args, options=options).discover()
+        assert cold.stats.get("stage_cache_miss_clio", 0) == 1
+        assert warm.stats.get("stage_cache_hit_clio", 0) == 1
+        assert _tgds(warm) == _tgds(cold)
+        assert warm.notes == cold.notes
+
+    def test_clio_and_semantic_fingerprints_disjoint(self, mapper_args):
+        semantic = SemanticMapper(*mapper_args).stage_fingerprints()
+        clio = SemanticMapper(
+            *mapper_args, options=DiscoveryOptions(engine="clio")
+        ).stage_fingerprints()
+        assert set(semantic).isdisjoint(clio)
+
+    def test_engine_option_validated(self):
+        with pytest.raises(ValueError, match="engine"):
+            DiscoveryOptions(engine="prehistoric")
+
+    def test_engine_option_over_the_wire(self):
+        options = DiscoveryOptions.from_mapping({"engine": "clio"})
+        assert options.engine == "clio"
+
+
+def test_clear_stage_cache_is_part_of_clear_caches(mapper_args):
+    SemanticMapper(*mapper_args).discover()
+    clear_stage_cache()
+    rerun = SemanticMapper(*mapper_args).discover()
+    assert rerun.stats.get("stage_cache_hits", 0) == 0

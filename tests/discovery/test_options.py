@@ -78,6 +78,10 @@ class TestSerialisation:
             "use_cardinality_filter": True,
             "explain": False,
             "trace": False,
+            "engine": "semantic",
+            "profile_cache_size": None,
+            "translation_cache_size": None,
+            "stage_cache_size": None,
         }
 
     def test_wants_trace(self):

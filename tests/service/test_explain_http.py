@@ -83,6 +83,29 @@ class TestExplainOverHttp:
         assert status == 200
         assert "trace" not in payload["result"]
 
+    def test_clio_engine_selectable_over_the_wire(self, client):
+        status, payload = client.request(
+            "POST",
+            "/discover",
+            {
+                "scenario": dict(SCENARIO),
+                "options": {"engine": "clio"},
+                "use_cache": False,
+            },
+        )
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["result"]["mapping"]["candidates"]
+
+    def test_unknown_engine_is_400(self, client):
+        status, payload = client.request(
+            "POST",
+            "/discover",
+            {"scenario": dict(SCENARIO), "options": {"engine": "prehistoric"}},
+        )
+        assert status == 400
+        assert "engine" in payload["error"]["message"]
+
     def test_bad_options_are_400(self, client):
         status, payload = client.request(
             "POST",

@@ -43,12 +43,16 @@ EXPECTED_ALL = {
     "BatchResult",
     "DiscoveryOptions",
     "DiscoveryResult",
+    "Rediscovery",
+    "STAGE_NAMES",
     "Scenario",
     "SemanticMapper",
     "Tracer",
     "discover",
     "discover_many",
     "discover_mappings",
+    "rediscover",
+    "rediscover_many",
     # Baseline
     "RICBasedMapper",
     "discover_ric_mappings",

@@ -290,6 +290,10 @@ def _lossy_csgs(
         cost_model,
         max_edges=max_edges,
         predicate=acceptable,
+        # The consistency rule only inspects consecutive edge pairs, so
+        # it is monotone: an inconsistent prefix can never extend into a
+        # consistent path — prune the subtree before enumerating it.
+        prefix_predicate=acceptable,
     )
     return [
         csg_from_discovered(DiscoveredTree(start, tuple(path)), endpoints, "lossy")
@@ -413,6 +417,8 @@ def extend_with_lossy_paths(
                     cost_model,
                     max_edges=max_edges,
                     predicate=acceptable,
+                    # Pairwise check → monotone → safe on prefixes.
+                    prefix_predicate=acceptable,
                 ):
                     intermediate = {edge.target for edge in path[:-1]}
                     if intermediate & tree_classes:
@@ -500,6 +506,8 @@ def find_source_lossy_csgs(
         cost_model,
         max_edges=max_edges,
         predicate=acceptable,
+        # Pairwise check → monotone → safe on prefixes.
+        prefix_predicate=acceptable,
     )
     results = []
     for path in paths:

@@ -104,8 +104,9 @@ UNIT_STAGE = "source_search.unit"
 
 #: The :class:`DiscoveryOptions` fields each stage's output depends on.
 #: Fields *not* listed for a stage must never change its artifact;
-#: ``explain`` / ``trace`` / cache sizing are deliberately absent
-#: everywhere (observability must not invalidate caches).
+#: ``explain`` / ``trace`` / cache sizing / ``distance_oracle`` are
+#: deliberately absent everywhere (observability and output-neutral
+#: search guidance must not invalidate caches).
 STAGE_OPTION_FIELDS: dict[str, tuple[str, ...]] = {
     "lift": (),
     "target_csgs": (),

@@ -206,8 +206,13 @@ class SemanticMapper:
             if size_overrides
             else nullcontext()
         )
+        oracle = (
+            perf_config.distance_oracle(False)
+            if not self.options.distance_oracle
+            else nullcontext()
+        )
         try:
-            with activation, sizing, perf_counters.scope() as frame:
+            with activation, sizing, oracle, perf_counters.scope() as frame:
                 with self._tracer.span("discover"):
                     outcome = self._run_engine(notes)
         finally:

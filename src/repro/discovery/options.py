@@ -66,6 +66,17 @@ class DiscoveryOptions:
         disables the staged engine's artifact cache for the run. These
         knobs — like ``explain``/``trace`` — never change discovery
         output, so stage fingerprints deliberately exclude them.
+    distance_oracle:
+        Whether the run uses oracle-guided search (backward distance
+        tables, A*-pruned Steiner expansion, lossy lower bounds; see
+        ``docs/performance.md``). Both settings produce identical
+        output — the oracle only prunes provably fruitless work — so
+        this is an equivalence-testing and profiling switch, on by
+        default.
+    subtree_cache_size:
+        Per-run override for the rewrite prefix-state memo bound
+        (``None`` keeps the module default; ``0`` disables the memo).
+        Output-neutral like the other cache bounds.
     """
 
     max_path_edges: int = 6
@@ -78,6 +89,8 @@ class DiscoveryOptions:
     profile_cache_size: int | None = None
     translation_cache_size: int | None = None
     stage_cache_size: int | None = None
+    distance_oracle: bool = True
+    subtree_cache_size: int | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.max_path_edges, int) or isinstance(
@@ -97,6 +110,7 @@ class DiscoveryOptions:
             "use_cardinality_filter",
             "explain",
             "trace",
+            "distance_oracle",
         ):
             value = getattr(self, name)
             if not isinstance(value, bool):
@@ -112,6 +126,7 @@ class DiscoveryOptions:
             ("profile_cache_size", 1),
             ("translation_cache_size", 1),
             ("stage_cache_size", 0),
+            ("subtree_cache_size", 0),
         ):
             value = getattr(self, name)
             if value is None:
@@ -198,6 +213,7 @@ class DiscoveryOptions:
             "profile": self.profile_cache_size,
             "translation": self.translation_cache_size,
             "stage": self.stage_cache_size,
+            "subtree": self.subtree_cache_size,
         }
         return {name: size for name, size in sizes.items() if size is not None}
 

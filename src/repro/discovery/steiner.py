@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.cm.graph import CMEdge, CMGraph
+from repro.perf import config as perf_config
 from repro.perf import counters as perf_counters
 from repro.perf.index import GraphIndex
 
@@ -216,6 +217,145 @@ def _functional_shortest_paths(
     return distances
 
 
+# ---------------------------------------------------------------------------
+# Distance oracle — backward tables and A*-pruned forward search
+# ---------------------------------------------------------------------------
+
+
+def _backward_functional_distances(
+    index: GraphIndex, target: str, cost_model: CostModel
+) -> dict[str, int]:
+    """``node → min functional-path cost node→target`` (exact, no paths).
+
+    One plain Dijkstra over the reversed functional adjacency; forward
+    edges keep their forward cost, so the table mirrors the forward
+    search's distances exactly. Missing nodes cannot reach ``target``
+    at all.
+    """
+    reverse = index.reverse_functional_edges()
+    distances: dict[str, int] = {target: 0}
+    heap: list[tuple[int, str]] = [(0, target)]
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if dist > distances[node]:
+            continue
+        for edge in reverse.get(node, ()):
+            candidate = dist + cost_model.cost(edge)
+            previous = distances.get(edge.source)
+            if previous is None or candidate < previous:
+                distances[edge.source] = candidate
+                heapq.heappush(heap, (candidate, edge.source))
+    return distances
+
+
+def _backward_tables(
+    index: GraphIndex, targets: Iterable[str], cost_model: CostModel
+) -> dict[str, dict[str, int]]:
+    """Per-target backward distance tables, cached on the graph's index."""
+    return {
+        target: index.oracle_table(
+            ("bd", target, cost_model),
+            lambda target=target: _backward_functional_distances(
+                index, target, cost_model
+            ),
+        )
+        for target in sorted(set(targets))
+    }
+
+
+def _targeted_shortest_paths(
+    graph: CMGraph,
+    root: str,
+    cost_model: CostModel,
+    adjacency: Mapping[str, tuple[CMEdge, ...]],
+    backward: Mapping[str, Mapping[str, int]],
+    root_bounds: Mapping[str, int],
+) -> dict[str, tuple[int, tuple[tuple[CMEdge, ...], ...]]]:
+    """A*-pruned Dijkstra: exact target entries at a fraction of the work.
+
+    Same algorithm (and the same deterministic tied-path semantics) as
+    :func:`_functional_shortest_paths`, with two oracle-derived exact
+    cuts:
+
+    * a finalized node ``v`` is only *expanded* when some target ``t``
+      satisfies ``dist(v) + bd_t(v) <= bd_t(root)`` — i.e. ``v`` lies on
+      a shortest ``root→t`` path. A node failing the test contributes no
+      tied shortest path to any node that lies on one, so every
+      ``paths[target]`` entry is bit-for-bit what the blind sweep
+      produces;
+    * the sweep stops once every oracle-reachable target is finalized —
+      later pops can no longer merge into a finalized entry.
+
+    ``root_bounds`` maps each reachable target to ``bd_t(root)``;
+    unreachable targets are simply absent (matching the blind sweep,
+    where they never enter the table).
+    """
+    edges_from = lambda node: adjacency.get(node, ())  # noqa: E731
+    checks = tuple(
+        (backward[target], bound) for target, bound in root_bounds.items()
+    )
+    pending = set(root_bounds)
+    distances: dict[str, tuple[int, tuple[tuple[CMEdge, ...], ...]]] = {
+        root: (0, ((),))
+    }
+    counter = 0
+    heap: list[tuple[int, int, str]] = [(0, counter, root)]
+    finalized: set[str] = set()
+    while heap:
+        dist, _, node = heapq.heappop(heap)
+        if node in finalized:
+            continue
+        if distances[node][0] < dist:
+            continue
+        finalized.add(node)
+        if node in pending:
+            pending.discard(node)
+            if not pending:
+                break
+        on_tight_path = False
+        for table, bound in checks:
+            remaining = table.get(node)
+            if remaining is not None and dist + remaining <= bound:
+                on_tight_path = True
+                break
+        if not on_tight_path:
+            perf_counters.record("bound_prunes")
+            continue
+        perf_counters.record("astar_expansions")
+        node_cost, node_paths = distances[node]
+        for edge in edges_from(node):
+            step = cost_model.cost(edge)
+            candidate = node_cost + step
+            extensions = tuple(path + (edge,) for path in node_paths)
+            current = distances.get(edge.target)
+            if current is None or candidate < current[0]:
+                counter += 1
+                distances[edge.target] = (
+                    candidate,
+                    extensions[:MAX_TIED_PATHS],
+                )
+                heapq.heappush(heap, (candidate, counter, edge.target))
+            elif candidate == current[0] and edge.target not in finalized:
+                merged = sorted(
+                    current[1]
+                    + tuple(
+                        path
+                        for path in extensions
+                        if path not in current[1]
+                    ),
+                    key=_path_sort_key,
+                )
+                if len(merged) > MAX_TIED_PATHS:
+                    perf_counters.record(
+                        "tied_paths_dropped", len(merged) - MAX_TIED_PATHS
+                    )
+                distances[edge.target] = (
+                    candidate,
+                    tuple(merged[:MAX_TIED_PATHS]),
+                )
+    return distances
+
+
 def functional_trees_from_root(
     graph: CMGraph,
     root: str,
@@ -235,17 +375,42 @@ def functional_trees_from_root(
     :class:`~repro.perf.index.GraphIndex`, so repeated roots across
     target-CSG iterations (and across whole ``discover()`` calls on the
     same graph) reuse one Dijkstra sweep per ``(root, cost_model)``.
+    With the distance oracle enabled, the sweep is A*-pruned against
+    per-target backward tables (:func:`_targeted_shortest_paths`) and
+    cached per ``(root, reachable targets, cost_model)`` instead — the
+    target entries are identical either way.
     """
     cost_model = cost_model or CostModel()
     index = GraphIndex.of(graph)
-    paths = index.shortest_paths(
-        root,
-        cost_model,
-        lambda: _functional_shortest_paths(
-            graph, root, cost_model, index.functional_adjacency
-        ),
-    )
-    covered = frozenset(t for t in set(targets) if t in paths)
+    target_set = set(targets)
+    if perf_config.distance_oracle_enabled() and target_set:
+        backward = _backward_tables(index, target_set, cost_model)
+        root_bounds = {
+            target: table[root]
+            for target, table in backward.items()
+            if root in table
+        }
+        paths = index.shortest_paths(
+            (root, frozenset(root_bounds)),
+            cost_model,
+            lambda: _targeted_shortest_paths(
+                graph,
+                root,
+                cost_model,
+                index.functional_adjacency,
+                backward,
+                root_bounds,
+            ),
+        )
+    else:
+        paths = index.shortest_paths(
+            root,
+            cost_model,
+            lambda: _functional_shortest_paths(
+                graph, root, cost_model, index.functional_adjacency
+            ),
+        )
+    covered = frozenset(t for t in target_set if t in paths)
     choices = [paths[target][1] for target in sorted(covered)]
     results: list[tuple[int, DiscoveredTree]] = []
     seen: set[frozenset] = set()
@@ -323,6 +488,20 @@ def minimal_functional_trees(
         if candidate_roots is not None
         else graph.class_nodes()
     )
+    if perf_config.distance_oracle_enabled() and target_set:
+        # A root missing from any target's backward table cannot cover
+        # that target, so its whole per-root search would be discarded
+        # by the ``covered != target_set`` check below — skip it.
+        index = GraphIndex.of(graph)
+        tables = list(_backward_tables(index, target_set, cost_model).values())
+        qualified = tuple(
+            root
+            for root in roots
+            if all(root in table for table in tables)
+        )
+        if len(qualified) < len(roots):
+            perf_counters.record("bound_prunes", len(roots) - len(qualified))
+        roots = qualified
     complete: list[tuple[int, int, int, DiscoveredTree]] = []
     for root in roots:
         for tree, covered, cost in functional_trees_from_root(
@@ -496,6 +675,96 @@ def _extend_reversal_state(
     return reversals, last_step
 
 
+def _lossy_bound_tables(
+    index: GraphIndex, end: str, cost_model: CostModel
+) -> tuple[dict[str, int], dict[tuple[str, bool | None], int]]:
+    """Admissible completion bounds for the lossy branch-and-bound.
+
+    Returns ``(cost_to_end, reversals_to_end)``:
+
+    * ``cost_to_end[v]`` — minimum cost of *any* path ``v→end`` over the
+      full adjacency (simple paths are a subset, so this lower-bounds
+      every completion); missing nodes cannot reach ``end`` at all;
+    * ``reversals_to_end[(v, f)]`` — minimum *internal* direction
+      reversals of any path ``v→end`` whose first non-level profile step
+      is ``f`` (``None`` = an all-level path, e.g. pure ISA hops). The
+      junction reversal against the prefix's last step is added by the
+      caller; see :func:`_extend_reversal_state` for the step algebra.
+
+    Both are single backward Dijkstras — the second over the tripled
+    state space ``(node, first remaining step ∈ {None, up, down})``.
+    """
+    reverse = index.reverse_edges()
+    cost_to_end: dict[str, int] = {end: 0}
+    heap: list[tuple[int, str]] = [(0, end)]
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if dist > cost_to_end[node]:
+            continue
+        for edge in reverse.get(node, ()):
+            candidate = dist + cost_model.cost(edge)
+            previous = cost_to_end.get(edge.source)
+            if previous is None or candidate < previous:
+                cost_to_end[edge.source] = candidate
+                heapq.heappush(heap, (candidate, edge.source))
+
+    reversals_to_end: dict[tuple[str, bool | None], int] = {(end, None): 0}
+    counter = 0
+    state_heap: list[tuple[int, int, str, bool | None]] = [(0, 0, end, None)]
+    while state_heap:
+        value, _, node, first = heapq.heappop(state_heap)
+        if value > reversals_to_end[(node, first)]:
+            continue
+
+        def relax(state: tuple[str, bool | None], candidate: int) -> None:
+            nonlocal counter
+            previous = reversals_to_end.get(state)
+            if previous is None or candidate < previous:
+                reversals_to_end[state] = candidate
+                counter += 1
+                heapq.heappush(
+                    state_heap, (candidate, counter, state[0], state[1])
+                )
+
+        for edge in reverse.get(node, ()):
+            forward = edge.is_functional
+            backward = edge.backward_card.is_functional
+            if forward and backward:
+                # Level edge: passes the remaining-profile state through.
+                relax((edge.source, first), value)
+            elif forward:
+                # One "down" step, then the rest of the path.
+                junction = 0 if first in (None, True) else 1
+                relax((edge.source, True), value + junction)
+            elif backward:
+                # One "up" step.
+                junction = 0 if first in (None, False) else 1
+                relax((edge.source, False), value + junction)
+            else:
+                # Many-many hop: "up" then "down" (one internal reversal).
+                junction = 0 if first in (None, True) else 1
+                relax((edge.source, False), value + 1 + junction)
+    return cost_to_end, reversals_to_end
+
+
+def _reversal_bound(
+    reversals_to_end: Mapping[tuple[str, bool | None], int],
+    node: str,
+    last_step: bool | None,
+) -> int:
+    """Min extra reversals of any completion from ``node`` (admissible)."""
+    best: int | None = None
+    for first in (None, True, False):
+        value = reversals_to_end.get((node, first))
+        if value is None:
+            continue
+        if last_step is not None and first is not None and first != last_step:
+            value += 1
+        if best is None or value < best:
+            best = value
+    return 0 if best is None else best
+
+
 def minimally_lossy_paths(
     graph: CMGraph,
     start: str,
@@ -503,22 +772,39 @@ def minimally_lossy_paths(
     cost_model: CostModel | None = None,
     max_edges: int = 6,
     predicate: Callable[[tuple[CMEdge, ...]], bool] | None = None,
+    prefix_predicate: Callable[[tuple[CMEdge, ...]], bool] | None = None,
 ) -> list[tuple[CMEdge, ...]]:
     """Paths start→end ranked by (reversals, cost); best group returned.
 
     ``predicate`` filters candidate paths (e.g. "composed category must be
     many-many", or a consistency check); by default all simple paths
-    qualify.
+    qualify. ``prefix_predicate`` is an optional *monotone* filter on
+    path prefixes: returning ``False`` must imply that every extension
+    would fail ``predicate`` (e.g. the CM reasoner's pairwise ISA
+    disjointness check). Failing prefixes prune their whole subtree
+    without changing the surviving set.
 
     Implemented as an iterative branch-and-bound: the (reversals, cost)
     score of a partial path is a lower bound for every completion, so
     once a complete accepted path scores ``best``, any prefix scoring
     strictly worse is abandoned (counted under ``lossy_paths_pruned``).
-    The surviving set and its order are identical to exhaustively
-    enumerating and filtering, as the seed did.
+    With the distance oracle enabled the bound is tightened by exact
+    remaining-cost and remaining-reversal tables
+    (:func:`_lossy_bound_tables`), so a prefix is dropped as soon as
+    *no completion* can tie the incumbent — oracle-strengthened prunes
+    are additionally counted under ``bound_prunes``. The surviving set
+    and its order are identical to exhaustively enumerating and
+    filtering, as the seed did.
     """
     cost_model = cost_model or CostModel()
-    out_edges = _make_out_edges(graph, GraphIndex.of(graph))
+    index = GraphIndex.of(graph)
+    out_edges = _make_out_edges(graph, index)
+    bounds: tuple[dict, dict] | None = None
+    if perf_config.distance_oracle_enabled():
+        bounds = index.oracle_table(
+            ("lossy", end, cost_model),
+            lambda: _lossy_bound_tables(index, end, cost_model),
+        )
     best: tuple[int, int] | None = None
     found: list[tuple[int, int, tuple[CMEdge, ...]]] = []
     path: list[CMEdge] = []
@@ -543,8 +829,34 @@ def minimally_lossy_paths(
             reversals, last_step, edge
         )
         new_cost = cost + cost_model.cost(edge)
-        if best is not None and (new_reversals, new_cost) > best:
+        if bounds is not None:
+            cost_to_end, reversals_to_end = bounds
+            remaining_cost = cost_to_end.get(edge.target)
+            if remaining_cost is None:
+                # ``end`` is unreachable from here even on non-simple
+                # paths: no completion exists at all.
+                perf_counters.record("lossy_paths_pruned")
+                perf_counters.record("bound_prunes")
+                continue
+            if best is not None:
+                remaining_reversals = _reversal_bound(
+                    reversals_to_end, edge.target, new_last
+                )
+                if (
+                    new_reversals + remaining_reversals,
+                    new_cost + remaining_cost,
+                ) > best:
+                    perf_counters.record("lossy_paths_pruned")
+                    if remaining_reversals or remaining_cost:
+                        perf_counters.record("bound_prunes")
+                    continue
+        elif best is not None and (new_reversals, new_cost) > best:
             perf_counters.record("lossy_paths_pruned")
+            continue
+        if prefix_predicate is not None and not prefix_predicate(
+            tuple(path) + (edge,)
+        ):
+            perf_counters.record("lossy_prefix_skips")
             continue
         if edge.target == end:
             candidate = tuple(path) + (edge,)

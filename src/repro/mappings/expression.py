@@ -82,10 +82,25 @@ def _booleanize(query: ConjunctiveQuery) -> ConjunctiveQuery:
 def deduplicate_candidates(
     candidates: list[MappingCandidate],
 ) -> list[MappingCandidate]:
-    """Drop candidates equal (per :meth:`same_mapping_as`) to an earlier one."""
+    """Drop candidates equal (per :meth:`same_mapping_as`) to an earlier one.
+
+    Candidates are bucketed by (covered set, source predicate set,
+    target predicate set) before the pairwise equivalence checks: a
+    homomorphism maps atoms predicate-preservingly, so mutually
+    contained queries have equal predicate sets — candidates in
+    different buckets are provably distinct and skip the check.
+    """
     unique: list[MappingCandidate] = []
+    buckets: dict[tuple, list[MappingCandidate]] = {}
     for candidate in candidates:
-        if not any(candidate.same_mapping_as(kept) for kept in unique):
+        key = (
+            frozenset(candidate.covered),
+            frozenset(atom.predicate for atom in candidate.source_query.body),
+            frozenset(atom.predicate for atom in candidate.target_query.body),
+        )
+        bucket = buckets.setdefault(key, [])
+        if not any(candidate.same_mapping_as(kept) for kept in bucket):
+            bucket.append(candidate)
             unique.append(candidate)
     return unique
 

@@ -20,6 +20,8 @@ from repro.perf.config import (
     cache_size,
     cache_size_overrides,
     disabled,
+    distance_oracle,
+    distance_oracle_enabled,
     enabled,
     set_enabled,
 )
@@ -39,6 +41,8 @@ __all__ = [
     "cache_size",
     "cache_size_overrides",
     "disabled",
+    "distance_oracle",
+    "distance_oracle_enabled",
     "enabled",
     "set_enabled",
     "PerfCounters",
@@ -62,7 +66,9 @@ def clear_caches() -> None:
     GraphIndex.clear_registry()
     from repro.discovery import compatibility, translate
     from repro.discovery.engine.cache import clear_stage_cache
+    from repro.queries.rewrite import clear_rewrite_caches
 
     compatibility.clear_profile_cache()
     translate.clear_translation_cache()
     clear_stage_cache()
+    clear_rewrite_caches()

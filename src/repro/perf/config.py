@@ -36,16 +36,48 @@ DEFAULT_CACHE_SIZES: dict[str, int | None] = {
     "profile": 8192,
     "translation": None,
     "stage": 512,
+    # Prefix-state entries of the rewrite subtree memo (per plan);
+    # ``DiscoveryOptions.subtree_cache_size`` overrides per run, 0
+    # disables the memo entirely.
+    "subtree": 2048,
 }
 
 _SIZE_OVERRIDES: ContextVar[tuple[tuple[str, int], ...]] = ContextVar(
     "repro_perf_cache_size_overrides", default=()
 )
 
+#: Contextvar gate for the distance-oracle search guidance (backward
+#: distance tables, A*-pruned Dijkstra, lossy lower bounds). Defaults to
+#: on; ``DiscoveryOptions.distance_oracle`` installs a per-run override.
+_DISTANCE_ORACLE: ContextVar[bool] = ContextVar(
+    "repro_perf_distance_oracle", default=True
+)
+
 
 def enabled() -> bool:
     """Whether the shared-computation caches are active."""
     return _ENABLED
+
+
+def distance_oracle_enabled() -> bool:
+    """Whether oracle-guided search (A* pruning, lossy bounds) is active.
+
+    Follows the global perf switch: with the layer disabled the search
+    runs the seed code path, blind expansion included. Both modes are
+    output-equivalent — the oracle only prunes work that provably cannot
+    contribute to the result.
+    """
+    return _ENABLED and _DISTANCE_ORACLE.get()
+
+
+@contextmanager
+def distance_oracle(active: bool) -> Iterator[None]:
+    """Override the distance-oracle gate for the block's dynamic extent."""
+    token = _DISTANCE_ORACLE.set(bool(active))
+    try:
+        yield
+    finally:
+        _DISTANCE_ORACLE.reset(token)
 
 
 def set_enabled(value: bool) -> None:

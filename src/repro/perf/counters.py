@@ -39,7 +39,22 @@ Counter names used across the codebase:
     the same traffic broken down by stage name (the engine's
     ``STAGE_NAMES`` vocabulary plus ``source_search.unit`` for the
     fused block's per-target units and ``clio`` for the baseline
-    engine).
+    engine);
+``oracle_sweeps``, ``oracle_cache_hits``, ``oracle_cache_misses``
+    distance-oracle table computations (backward Dijkstra sweeps) vs
+    :class:`GraphIndex` oracle-table hits;
+``astar_expansions``, ``bound_prunes``
+    nodes expanded vs nodes cut by the oracle's admissible bounds in
+    the targeted Steiner search and the lossy branch-and-bound;
+``lossy_prefix_skips``
+    lossy path prefixes rejected by the monotone consistency check
+    before full enumeration;
+``required_subtree_prunes``
+    rewrite DFS subtrees skipped because no downstream rule choice
+    could mention a required table;
+``subtree_cache_hits``, ``subtree_cache_misses``
+    rewrite prefix-state memo traffic (resumed vs re-unified body
+    prefixes).
 """
 
 from __future__ import annotations

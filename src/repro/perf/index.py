@@ -35,6 +35,9 @@ class GraphIndex:
         "adjacency",
         "functional_adjacency",
         "_shortest",
+        "_reverse",
+        "_reverse_functional",
+        "_oracle",
         "__weakref__",
     )
 
@@ -54,7 +57,18 @@ class GraphIndex:
         }
         # (root, CostModel) → node → (cost, tied shortest paths); tables
         # are computed by the caller-provided function on first request.
-        self._shortest: dict[tuple[str, Hashable], object] = {}
+        self._shortest: dict[tuple[Hashable, Hashable], object] = {}
+        # Lazily-built reverse adjacencies (distance-oracle support).
+        self._reverse: dict[str, tuple["CMEdge", ...]] | None = None
+        self._reverse_functional: dict[str, tuple["CMEdge", ...]] | None = None
+        # Distance-oracle tables, namespaced by kind:
+        # ("bd", target, CostModel)    → node → min functional cost node→target
+        # ("lossy", end, CostModel)    → lower-bound tables for the
+        #                                branch-and-bound lossy search.
+        # Invalidation rides the same rules as ``_shortest``: the graph is
+        # immutable, the index dies with it, and :meth:`clear_registry`
+        # (called by ``perf.clear_caches``) drops every shared index.
+        self._oracle: dict[tuple, object] = {}
 
     _REGISTRY: "weakref.WeakKeyDictionary[CMGraph, GraphIndex]" = (
         weakref.WeakKeyDictionary()
@@ -80,16 +94,74 @@ class GraphIndex:
         """Non-attribute outgoing edges (precomputed, already sorted)."""
         return self.adjacency[node]
 
+    def reverse_edges(self) -> dict[str, tuple["CMEdge", ...]]:
+        """``node → incoming edges`` over the full non-attribute adjacency.
+
+        Built on first request; the edges kept are the *forward* edges
+        (so their cost under a :class:`CostModel` is the cost of
+        traversing them forward), grouped by their target node.
+        """
+        reverse = self._reverse
+        if reverse is None:
+            grouped: dict[str, list["CMEdge"]] = {}
+            for edges in self.adjacency.values():
+                for edge in edges:
+                    grouped.setdefault(edge.target, []).append(edge)
+            reverse = {node: tuple(edges) for node, edges in grouped.items()}
+            self._reverse = reverse
+        return reverse
+
+    def reverse_functional_edges(self) -> dict[str, tuple["CMEdge", ...]]:
+        """``node → incoming functional edges`` (see :meth:`reverse_edges`)."""
+        reverse = self._reverse_functional
+        if reverse is None:
+            grouped: dict[str, list["CMEdge"]] = {}
+            for edges in self.functional_adjacency.values():
+                for edge in edges:
+                    grouped.setdefault(edge.target, []).append(edge)
+            reverse = {node: tuple(edges) for node, edges in grouped.items()}
+            self._reverse_functional = reverse
+        return reverse
+
+    def oracle_table(
+        self,
+        key: tuple,
+        compute: Callable[[], object],
+    ):
+        """A cached distance-oracle table (backward distances, lossy bounds).
+
+        ``key`` is namespaced by the caller (e.g. ``("bd", target,
+        cost_model)``); ``compute`` runs on a miss. Tables are only
+        retained while the perf layer is enabled — mirroring
+        :meth:`shortest_paths` — and die with the index, so
+        :meth:`clear_registry` invalidates them together with every
+        other per-graph artifact.
+        """
+        table = self._oracle.get(key)
+        if table is not None:
+            counters.record("oracle_cache_hits")
+            return table
+        counters.record("oracle_cache_misses")
+        counters.record("oracle_sweeps")
+        table = compute()
+        if config.enabled():
+            self._oracle[key] = table
+        return table
+
     def shortest_paths(
         self,
-        root: str,
+        root: Hashable,
         cost_model: Hashable,
         compute: Callable[[], object],
     ):
         """The cached Dijkstra table for ``(root, cost_model)``.
 
         ``compute`` runs on a miss; the returned table must be treated as
-        read-only by callers (it is shared across hits).
+        read-only by callers (it is shared across hits). ``root`` is a
+        plain node name for full sweeps; the oracle-guided targeted
+        search keys its (target-set-dependent) tables as
+        ``(root, frozenset(targets))`` — the two key shapes never
+        collide.
         """
         key = (root, cost_model)
         table = self._shortest.get(key)

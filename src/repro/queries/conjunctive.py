@@ -35,6 +35,14 @@ class Variable:
 
     name: str
 
+    def __post_init__(self) -> None:
+        # Same value the generated __hash__ would compute, but paid once
+        # at construction instead of on every dictionary operation.
+        object.__setattr__(self, "_hash", hash((self.name,)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:
         return self.name
 
@@ -44,6 +52,12 @@ class Constant:
     """A constant value embedded in a query."""
 
     value: object
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.value,)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return repr(self.value)
@@ -55,6 +69,14 @@ class SkolemTerm:
 
     function: str
     arguments: tuple["Term", ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash", hash((self.function, self.arguments))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         args = ", ".join(str(a) for a in self.arguments)
@@ -92,8 +114,13 @@ class Atom:
     def __init__(self, predicate: str, terms: Sequence[Term]) -> None:
         if not predicate:
             raise QueryError("atom predicate must be non-empty")
+        terms_tuple = tuple(terms)
         object.__setattr__(self, "predicate", predicate)
-        object.__setattr__(self, "terms", tuple(terms))
+        object.__setattr__(self, "terms", terms_tuple)
+        object.__setattr__(self, "_hash", hash((predicate, terms_tuple)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def arity(self) -> int:
@@ -109,15 +136,30 @@ class Atom:
 
     @property
     def bare_predicate(self) -> str:
-        """Predicate name without the namespace prefix."""
-        for prefix in (CM_PREFIX, DB_PREFIX):
-            if self.predicate.startswith(prefix):
-                return self.predicate[len(prefix):]
-        return self.predicate
+        """Predicate name without the namespace prefix (cached)."""
+        cached = self.__dict__.get("_bare")
+        if cached is None:
+            cached = self.predicate
+            for prefix in (CM_PREFIX, DB_PREFIX):
+                if cached.startswith(prefix):
+                    cached = cached[len(prefix):]
+                    break
+            object.__setattr__(self, "_bare", cached)
+        return cached
 
-    def variables(self) -> Iterator[Variable]:
-        for term in self.terms:
-            yield from variables_of(term)
+    def variables(self) -> tuple[Variable, ...]:
+        """Every variable occurrence in term order (with repeats).
+
+        The tuple is computed once and cached on the (frozen) atom —
+        variable scans are pervasive on the rewriting hot path.
+        """
+        cached = self.__dict__.get("_variables")
+        if cached is None:
+            cached = tuple(
+                var for term in self.terms for var in variables_of(term)
+            )
+            object.__setattr__(self, "_variables", cached)
+        return cached
 
     def __str__(self) -> str:
         args = ", ".join(str(t) for t in self.terms)
@@ -142,19 +184,31 @@ Substitution = Mapping[Variable, Term]
 
 
 def substitute_term(term: Term, subst: Substitution) -> Term:
-    """Apply a substitution to a term, recursing through Skolem arguments."""
-    if isinstance(term, Variable):
+    """Apply a substitution to a term, recursing through Skolem arguments.
+
+    Variable chains like ``{x: y, y: z}`` are chased iteratively (this
+    is the hottest function of the rewriting path), and a Skolem term
+    none of whose arguments change is returned as-is instead of being
+    rebuilt.
+    """
+    if not subst:
+        return term
+    while type(term) is Variable:
         replacement = subst.get(term, term)
-        if replacement != term and isinstance(replacement, (Variable, SkolemTerm)):
-            # Chase chains like {x: y, y: z} to a fixpoint.
-            again = substitute_term(replacement, subst)
-            return again
-        return replacement
-    if isinstance(term, SkolemTerm):
-        return SkolemTerm(
-            term.function,
-            tuple(substitute_term(a, subst) for a in term.arguments),
+        if replacement is term or replacement == term:
+            return term if replacement is term else replacement
+        if type(replacement) is Variable:
+            term = replacement
+            continue
+        term = replacement
+        break
+    if type(term) is SkolemTerm:
+        arguments = tuple(
+            substitute_term(a, subst) for a in term.arguments
         )
+        if all(a is b for a, b in zip(arguments, term.arguments)):
+            return term
+        return SkolemTerm(term.function, arguments)
     return term
 
 
@@ -185,7 +239,12 @@ def unify_terms(
     return result
 
 
-def _unify_into(left: Term, right: Term, subst: dict[Variable, Term]) -> bool:
+def _unify_into(
+    left: Term,
+    right: Term,
+    subst: dict[Variable, Term],
+    trail: list[Variable] | None = None,
+) -> bool:
     left = substitute_term(left, subst)
     right = substitute_term(right, subst)
     if left == right:
@@ -194,16 +253,18 @@ def _unify_into(left: Term, right: Term, subst: dict[Variable, Term]) -> bool:
         if _occurs(left, right, subst):
             return False
         subst[left] = right
+        if trail is not None:
+            trail.append(left)
         return True
     if isinstance(right, Variable):
-        return _unify_into(right, left, subst)
+        return _unify_into(right, left, subst, trail)
     if isinstance(left, SkolemTerm) and isinstance(right, SkolemTerm):
         if left.function != right.function or len(left.arguments) != len(
             right.arguments
         ):
             return False
         return all(
-            _unify_into(a, b, subst)
+            _unify_into(a, b, subst, trail)
             for a, b in zip(left.arguments, right.arguments)
         )
     return False
@@ -220,6 +281,27 @@ def unify_atoms(
         if not _unify_into(a, b, result):
             return None
     return result
+
+
+def unify_atoms_inplace(
+    left: Atom,
+    right: Atom,
+    subst: dict[Variable, Term],
+    trail: list[Variable],
+) -> bool:
+    """Unify two atoms by extending ``subst`` in place.
+
+    New bindings are appended to ``trail``; on failure ``subst`` may hold
+    partial bindings, so the caller must roll back to its trail mark.
+    Produces exactly the bindings :func:`unify_atoms` would, without the
+    per-step dictionary copy.
+    """
+    if left.predicate != right.predicate or left.arity != right.arity:
+        return False
+    for a, b in zip(left.terms, right.terms):
+        if not _unify_into(a, b, subst, trail):
+            return False
+    return True
 
 
 # ---------------------------------------------------------------------------
@@ -240,7 +322,15 @@ class ConjunctiveQuery:
         head_terms: Sequence[Term],
         body: Sequence[Atom],
         name: str = "ans",
+        *,
+        check_safety: bool = True,
     ) -> None:
+        """``check_safety=False`` skips the head-variable scan.
+
+        Only for callers that guarantee safety structurally (e.g. the
+        rewriting engine, whose transformations preserve it); public
+        construction should keep the check on.
+        """
         self.name = name
         self.head_terms: tuple[Term, ...] = tuple(head_terms)
         # Dedup body atoms while preserving first-seen order.
@@ -248,13 +338,14 @@ class ConjunctiveQuery:
         for atom in body:
             seen.setdefault(atom)
         self.body: tuple[Atom, ...] = tuple(seen)
-        body_vars = set(self.body_variables())
-        for term in self.head_terms:
-            for var in variables_of(term):
-                if var not in body_vars:
-                    raise QueryError(
-                        f"unsafe query: head variable {var} not in body"
-                    )
+        if check_safety:
+            body_vars = set(self.body_variables())
+            for term in self.head_terms:
+                for var in variables_of(term):
+                    if var not in body_vars:
+                        raise QueryError(
+                            f"unsafe query: head variable {var} not in body"
+                        )
 
     # ------------------------------------------------------------------
     # Introspection

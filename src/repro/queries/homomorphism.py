@@ -9,11 +9,27 @@ but the queries this library produces are tiny (a handful of atoms).
 Used for: eliminating redundant rewritings (Example 3.4's ``q'₂ ⊆ q'₃``),
 deduplicating candidate mappings, and comparing generated mappings against
 benchmark mappings in the evaluation harness.
+
+Containment checks sit on discovery's hottest path (every candidate
+rewriting is minimized and then compared pairwise in
+:func:`keep_maximal`), so the search here is engineered for speed while
+staying *extensionally identical* to the naive formulation:
+
+* each query lazily carries a :class:`_QueryProfile` — its body atoms
+  pre-sorted most-constrained-first, a predicate index, and signature
+  sets (predicates, constants, Skolem functions) used to reject
+  impossible mappings without any search;
+* the backtracking search binds variables in one mutable dict with a
+  trail (undo log) instead of copying the substitution at every step,
+  and only consults target atoms of the matching predicate;
+* both changes preserve the exact search order of the original
+  atom-by-atom formulation, so the *first* mapping found — and therefore
+  the value :func:`containment_mapping` returns — is unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.queries.conjunctive import (
     Atom,
@@ -22,6 +38,7 @@ from repro.queries.conjunctive import (
     SkolemTerm,
     Term,
     Variable,
+    variables_of,
 )
 
 
@@ -67,6 +84,129 @@ def _match_atom(
     return current
 
 
+# ---------------------------------------------------------------------------
+# Destructive matching with a trail (no per-step dict copies)
+# ---------------------------------------------------------------------------
+
+
+def _match_term_mut(
+    pattern: Term,
+    target: Term,
+    mapping: dict[Variable, Term],
+    trail: list[Variable],
+) -> bool:
+    """Like :func:`_match_term` but extends ``mapping`` in place.
+
+    Every new binding is pushed onto ``trail`` so the caller can undo a
+    failed branch with :func:`_undo_to`.
+    """
+    if isinstance(pattern, Variable):
+        bound = mapping.get(pattern)
+        if bound is None:
+            mapping[pattern] = target
+            trail.append(pattern)
+            return True
+        return bound == target
+    if isinstance(pattern, Constant):
+        return pattern == target
+    if isinstance(pattern, SkolemTerm):
+        if (
+            not isinstance(target, SkolemTerm)
+            or pattern.function != target.function
+            or len(pattern.arguments) != len(target.arguments)
+        ):
+            return False
+        for p_arg, t_arg in zip(pattern.arguments, target.arguments):
+            if not _match_term_mut(p_arg, t_arg, mapping, trail):
+                return False
+        return True
+    return False
+
+
+def _undo_to(
+    mapping: dict[Variable, Term], trail: list[Variable], mark: int
+) -> None:
+    while len(trail) > mark:
+        del mapping[trail.pop()]
+
+
+# ---------------------------------------------------------------------------
+# Per-query search profile (lazily cached on the query object)
+# ---------------------------------------------------------------------------
+
+
+def _term_signature(
+    term: Term, constants: set[object], functions: set[str]
+) -> int:
+    """Collect constants/Skolem functions; return the variable count."""
+    if isinstance(term, Variable):
+        return 1
+    if isinstance(term, Constant):
+        constants.add(term.value)
+        return 0
+    count = 0
+    functions.add(term.function)
+    for argument in term.arguments:
+        count += _term_signature(argument, constants, functions)
+    return count
+
+
+class _QueryProfile:
+    """Precomputed search structure of one query's body."""
+
+    __slots__ = ("ordered", "by_predicate", "predicates", "constants", "functions")
+
+    def __init__(self, query: ConjunctiveQuery) -> None:
+        constants: set[object] = set()
+        functions: set[str] = set()
+        variable_counts: dict[Atom, int] = {}
+        by_predicate: dict[str, list[Atom]] = {}
+        for atom in query.body:
+            count = 0
+            for term in atom.terms:
+                count += _term_signature(term, constants, functions)
+            variable_counts[atom] = count
+            by_predicate.setdefault(atom.predicate, []).append(atom)
+        # Most-constrained-first, stable over body order — identical to
+        # ``sorted(body, key=lambda a: -sum(1 for _ in a.variables()))``.
+        self.ordered: tuple[Atom, ...] = tuple(
+            sorted(query.body, key=lambda atom: -variable_counts[atom])
+        )
+        self.by_predicate: dict[str, tuple[Atom, ...]] = {
+            predicate: tuple(atoms)
+            for predicate, atoms in by_predicate.items()
+        }
+        self.predicates: frozenset[tuple[str, int]] = frozenset(
+            (atom.predicate, atom.arity) for atom in query.body
+        )
+        self.constants: frozenset = frozenset(constants)
+        self.functions: frozenset[str] = frozenset(functions)
+
+
+def _profile(query: ConjunctiveQuery) -> _QueryProfile:
+    profile = getattr(query, "_hom_profile", None)
+    if profile is None:
+        profile = _QueryProfile(query)
+        query._hom_profile = profile  # lazily cached; queries are immutable
+    return profile
+
+
+def _cannot_map(outer: _QueryProfile, inner: _QueryProfile) -> bool:
+    """Sound fast rejection of a hom ``outer`` → ``inner``.
+
+    Every outer body atom must land on an inner atom of the same
+    predicate and arity; constants map to themselves and Skolem terms to
+    same-function Skolem terms, so outer's constants/functions must all
+    occur in inner. Necessary conditions only — a ``False`` answer just
+    means the full search runs.
+    """
+    return not (
+        outer.predicates <= inner.predicates
+        and outer.constants <= inner.constants
+        and outer.functions <= inner.functions
+    )
+
+
 def _homomorphisms(
     atoms: tuple[Atom, ...],
     target_atoms: tuple[Atom, ...],
@@ -82,6 +222,50 @@ def _homomorphisms(
             yield from _homomorphisms(rest, target_atoms, extended)
 
 
+def _bucket_atoms(body: Sequence[Atom]) -> dict[str, tuple[Atom, ...]]:
+    buckets: dict[str, list[Atom]] = {}
+    for atom in body:
+        buckets.setdefault(atom.predicate, []).append(atom)
+    return {predicate: tuple(atoms) for predicate, atoms in buckets.items()}
+
+
+def _find_homomorphism(
+    ordered: tuple[Atom, ...],
+    target_buckets: dict[str, tuple[Atom, ...]],
+    mapping: dict[Variable, Term],
+) -> dict[Variable, Term] | None:
+    """First homomorphism extending ``mapping``, by depth-first search.
+
+    Candidate target atoms per pattern atom are read from the target's
+    predicate index in body order — the same sequence of *successful*
+    matches as scanning the full body, so the first solution found is
+    identical to the naive search. Recursion depth is bounded by the
+    (small) outer body size.
+    """
+    trail: list[Variable] = []
+    count = len(ordered)
+
+    def search(depth: int) -> bool:
+        if depth == count:
+            return True
+        pattern = ordered[depth]
+        for atom in target_buckets.get(pattern.predicate, ()):
+            if pattern.arity != atom.arity:
+                continue
+            mark = len(trail)
+            matched = True
+            for p_term, t_term in zip(pattern.terms, atom.terms):
+                if not _match_term_mut(p_term, t_term, mapping, trail):
+                    matched = False
+                    break
+            if matched and search(depth + 1):
+                return True
+            _undo_to(mapping, trail, mark)
+        return False
+
+    return mapping if search(0) else None
+
+
 def containment_mapping(
     outer: ConjunctiveQuery, inner: ConjunctiveQuery
 ) -> dict[Variable, Term] | None:
@@ -93,18 +277,19 @@ def containment_mapping(
     """
     if len(outer.head_terms) != len(inner.head_terms):
         return None
-    mapping: dict[Variable, Term] | None = {}
+    outer_profile = _profile(outer)
+    inner_profile = _profile(inner)
+    if _cannot_map(outer_profile, inner_profile):
+        return None
+    mapping: dict[Variable, Term] = {}
+    trail: list[Variable] = []
     for o_term, i_term in zip(outer.head_terms, inner.head_terms):
-        mapping = _match_term(o_term, i_term, mapping)
-        if mapping is None:
+        if not _match_term_mut(o_term, i_term, mapping, trail):
             return None
-    # Order atoms most-constrained-first for a cheaper search.
-    ordered = tuple(
-        sorted(outer.body, key=lambda a: -sum(1 for _ in a.variables()))
-    )
-    for result in _homomorphisms(ordered, inner.body, mapping):
-        return result
-    return None
+    ordered = outer_profile.ordered
+    if not ordered:
+        return mapping
+    return _find_homomorphism(ordered, inner_profile.by_predicate, mapping)
 
 
 def is_contained_in(inner: ConjunctiveQuery, outer: ConjunctiveQuery) -> bool:
@@ -123,9 +308,17 @@ def minimize(query: ConjunctiveQuery) -> ConjunctiveQuery:
     Computes a minimal equivalent subquery by greedy deletion; the result
     is unique up to isomorphism (the classical *core*). Only atoms whose
     predicate occurs more than once can possibly be folded onto another
-    atom, so queries over distinct tables minimize in O(1).
+    atom, so queries over distinct tables minimize in O(1). Dropping an
+    atom always yields a superset query (fewer constraints), so only the
+    ``candidate ⊆ query`` direction needs checking.
     """
     body = list(query.body)
+    # The pattern side of every containment check is the *original* query,
+    # so its ordered atoms are computed once.
+    ordered = _profile(query).ordered
+    head_variables: set[Variable] = set()
+    for term in query.head_terms:
+        head_variables.update(variables_of(term))
     changed = True
     while changed:
         changed = False
@@ -134,23 +327,50 @@ def minimize(query: ConjunctiveQuery) -> ConjunctiveQuery:
             predicate_counts[atom.predicate] = (
                 predicate_counts.get(atom.predicate, 0) + 1
             )
-        for index in range(len(body)):
-            if predicate_counts[body[index].predicate] < 2:
-                continue  # nowhere for this atom to map: never droppable
-            candidate_body = body[:index] + body[index + 1:]
-            if not candidate_body:
-                continue
-            try:
-                candidate = ConjunctiveQuery(
-                    query.head_terms, candidate_body, query.name
+        if all(count < 2 for count in predicate_counts.values()):
+            break  # no atom has anywhere to map: already minimal
+        atom_variables = [set(atom.variables()) for atom in body]
+        variable_counts: dict[Variable, int] = {}
+        for variables in atom_variables:
+            for variable in variables:
+                variable_counts[variable] = (
+                    variable_counts.get(variable, 0) + 1
                 )
-            except Exception:
-                continue
-            if are_equivalent(candidate, query):
+        base_buckets = _bucket_atoms(body)
+        for index in range(len(body)):
+            atom = body[index]
+            if predicate_counts[atom.predicate] < 2:
+                continue  # nowhere for this atom to map: never droppable
+            if any(
+                variable_counts[variable] == 1
+                for variable in head_variables & atom_variables[index]
+            ):
+                continue  # dropping would leave a head variable unbound
+            candidate_body = body[:index] + body[index + 1:]
+            # query ⊆ candidate holds by the identity mapping (candidate's
+            # atoms are a subset of query's), so equivalence reduces to
+            # candidate ⊆ query — a homomorphism from the full query into
+            # the candidate body that fixes the head. No intermediate
+            # ConjunctiveQuery needs to be built to test that.
+            buckets = dict(base_buckets)
+            buckets[atom.predicate] = tuple(
+                other for other in base_buckets[atom.predicate]
+                if other != atom
+            )
+            mapping: dict[Variable, Term] = {
+                variable: variable
+                for term in query.head_terms
+                for variable in variables_of(term)
+            }
+            if _find_homomorphism(ordered, buckets, mapping) is not None:
                 body = candidate_body
                 changed = True
                 break
-    return ConjunctiveQuery(query.head_terms, body, query.name)
+    # Safety is preserved: atoms are only dropped when no head variable
+    # loses its last body occurrence (guard above).
+    return ConjunctiveQuery(
+        query.head_terms, body, query.name, check_safety=False
+    )
 
 
 def keep_maximal(
@@ -161,14 +381,26 @@ def keep_maximal(
     This is the pruning step of Example 3.4: ``q'₂ ⊆ q'₃`` eliminates
     ``q'₂``. Among equivalent queries, the first (in list order) is kept.
     """
+    # Memoize the pairwise checks: ``index ⊆ other`` may be consulted
+    # from both sides of the outer loop.
+    contained: dict[tuple[int, int], bool] = {}
+
+    def check(first: int, second: int) -> bool:
+        key = (first, second)
+        cached = contained.get(key)
+        if cached is None:
+            cached = is_contained_in(queries[first], queries[second])
+            contained[key] = cached
+        return cached
+
     survivors: list[ConjunctiveQuery] = []
     for index, query in enumerate(queries):
         dominated = False
-        for other_index, other in enumerate(queries):
+        for other_index in range(len(queries)):
             if index == other_index:
                 continue
-            if is_contained_in(query, other):
-                if is_contained_in(other, query):
+            if check(index, other_index):
+                if check(other_index, index):
                     # Equivalent: keep only the earliest occurrence.
                     if other_index < index:
                         dominated = True

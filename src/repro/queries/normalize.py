@@ -55,13 +55,27 @@ def chase_with_keys(
     changed = True
     while changed:
         changed = False
+        # A chase step needs two atoms over the same keyed table, so only
+        # keyed predicates occurring at least twice can possibly fire;
+        # scanning same-predicate position pairs in ascending order visits
+        # exactly the candidate pairs the full O(n²) sweep would match.
+        by_predicate: dict[str, list[int]] = {}
+        for position, atom in enumerate(atoms):
+            if key_positions.get(atom.bare_predicate):
+                by_predicate.setdefault(atom.predicate, []).append(position)
+        if not any(len(group) >= 2 for group in by_predicate.values()):
+            break
         for i in range(len(atoms)):
-            for j in range(i + 1, len(atoms)):
-                first, second = atoms[i], atoms[j]
-                if first.predicate != second.predicate:
+            first = atoms[i]
+            group = by_predicate.get(first.predicate)
+            if not group or len(group) < 2:
+                continue
+            positions = key_positions[first.bare_predicate]
+            for j in group:
+                if j <= i:
                     continue
-                positions = key_positions.get(first.bare_predicate)
-                if not positions or first.arity != second.arity:
+                second = atoms[j]
+                if first.arity != second.arity:
                     continue
                 if any(
                     first.terms[p] != second.terms[p] for p in positions
@@ -76,7 +90,13 @@ def chase_with_keys(
                 if substitution is None:
                     return None  # key violation: equal keys, clashing rows
                 if substitution:
-                    atoms = [substitute_atom(a, substitution) for a in atoms]
+                    # Only atoms mentioning a substituted variable change.
+                    atoms = [
+                        substitute_atom(a, substitution)
+                        if any(v in substitution for v in a.variables())
+                        else a
+                        for a in atoms
+                    ]
                     head = [substitute_term(t, substitution) for t in head]
                 # The two atoms are now identical: drop the duplicate so the
                 # fixpoint loop terminates.
@@ -91,7 +111,11 @@ def chase_with_keys(
     deduped: dict[Atom, None] = {}
     for atom in atoms:
         deduped.setdefault(atom)
-    return ConjunctiveQuery(head, tuple(deduped), query.name)
+    # Chasing a safe query yields a safe query: head and body receive the
+    # same substitutions and dedup keeps one copy of every atom.
+    return ConjunctiveQuery(
+        head, tuple(deduped), query.name, check_safety=False
+    )
 
 
 def _unify_rows(

@@ -21,8 +21,8 @@ rewritings contained in another are dropped.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.exceptions import RewritingError
@@ -37,9 +37,11 @@ from repro.queries.conjunctive import (
     db_atom,
     substitute_atom,
     substitute_term,
-    unify_atoms,
+    unify_atoms_inplace,
     variables_of,
 )
+from repro.perf import config as perf_config
+from repro.perf import counters as perf_counters
 from repro.queries.homomorphism import keep_maximal, minimize
 from repro.queries.normalize import chase_with_keys
 
@@ -141,61 +143,319 @@ def _rename_rule(rule: InverseRule, suffix: str) -> InverseRule:
     )
 
 
+class _RewritePlan:
+    """Precomputed unfolding state for one set of LAV views.
+
+    Building inverse rules and renaming them apart per atom occurrence is
+    pure string/tuple churn that repeats identically for every query over
+    the same schema, so the plan caches the predicate→rules index and the
+    renamed-apart candidate lists per (predicate, occurrence).
+
+    ``prefix_states`` is the *subtree-translation memo*: for a body
+    prefix (a tuple of CM atoms, matched by content), the complete list
+    of surviving partial unifications at that depth, in DFS discovery
+    order. Two queries sharing a body prefix — e.g. translations of CSGs
+    sharing a root fragment across targets — unify the shared prefix
+    once; the second query resumes from the recorded states. States are
+    a pure function of (views, prefix): rule candidates are renamed per
+    *position*, so equal prefixes see identical rules and bindings.
+    """
+
+    __slots__ = ("rule_index", "_renamed", "prefix_states")
+
+    def __init__(self, views: tuple[LAVView, ...]) -> None:
+        self.rule_index = _rules_by_predicate(views)
+        self._renamed: dict[tuple[str, int], tuple[InverseRule, ...]] = {}
+        self.prefix_states: dict[
+            tuple[Atom, ...],
+            tuple[
+                tuple[
+                    tuple[InverseRule, ...],
+                    tuple[tuple[Variable, Term], ...],
+                ],
+                ...,
+            ],
+        ] = {}
+
+    def renamed_candidates(
+        self, predicate: str, occurrence: int
+    ) -> tuple[InverseRule, ...]:
+        key = (predicate, occurrence)
+        cached = self._renamed.get(key)
+        if cached is None:
+            cached = tuple(
+                _rename_rule(rule, f"_{occurrence}")
+                for rule in self.rule_index.get(predicate, [])
+            )
+            self._renamed[key] = cached
+        return cached
+
+
+@lru_cache(maxsize=128)
+def _plan_for(views: tuple[LAVView, ...]) -> _RewritePlan:
+    # Views are frozen value objects, so the cache can never go stale:
+    # equal keys always denote identical rule sets.
+    return _RewritePlan(views)
+
+
+def clear_rewrite_caches() -> None:
+    """Drop every cached rewrite plan (and with it every subtree memo).
+
+    ``repro.perf.clear_caches`` calls this so a forced-cold run rebuilds
+    plans and prefix states from scratch.
+    """
+    _plan_for.cache_clear()
+
+
+#: Sentinel for candidates that count toward the enumeration limit but
+#: are dropped early (missing a required table). Keeping them in the
+#: count preserves the exact enumeration window of the unfiltered search.
+_FILTERED = object()
+
+#: Subtree-memo capture window. Shared prefixes between translations sit
+#: at the top of the DFS tree (a CSG fragment shared across targets maps
+#: to the leading body atoms), and the tree fans out with depth — so
+#: capture is limited to shallow depths and small state lists, keeping
+#: the bookkeeping off the hot combinatorial tail.
+_SUBTREE_MAX_DEPTH = 4
+_SUBTREE_MAX_STATES = 256
+
+
 def _candidate_rewritings(
     query: ConjunctiveQuery,
-    rule_index: dict[str, list[InverseRule]],
+    plan: _RewritePlan,
     limit: int,
+    required_bare: frozenset[str] = frozenset(),
 ) -> Iterator[ConjunctiveQuery]:
-    per_atom_rules: list[list[InverseRule]] = []
-    for atom in query.body:
-        matches = rule_index.get(atom.predicate, [])
+    body = query.body
+    per_atom_rules: list[tuple[InverseRule, ...]] = []
+    for occurrence, atom in enumerate(body):
+        matches = plan.renamed_candidates(atom.predicate, occurrence)
         if not matches:
             return  # Some atom has no view covering it: no rewriting.
         per_atom_rules.append(matches)
-    produced = 0
-    for combination in itertools.product(*per_atom_rules):
-        renamed = [
-            _rename_rule(rule, f"_{occurrence}")
-            for occurrence, rule in enumerate(combination)
-        ]
-        substitution: dict[Variable, Term] | None = {}
-        for atom, rule in zip(query.body, renamed):
-            substitution = unify_atoms(atom, rule.head, substitution)
-            if substitution is None:
+
+    query_variables = query.variables()
+    query_var_set = set(query_variables)
+    count = len(body)
+
+    # Required-table subtree pruning. A subtree whose chosen rules plus
+    # every rule still choosable downstream cannot mention some required
+    # table only produces candidates ``finish`` would mark ``_FILTERED``.
+    # Skipping them is only exact when the ``limit`` window provably
+    # cannot bind — filtered candidates count toward ``produced`` — so
+    # the mode is enabled iff the total number of rule combinations is
+    # at most ``limit``: then enumeration always runs to completion and
+    # the count is irrelevant.
+    suffix_tables: tuple[frozenset[str], ...] | None = None
+    if required_bare:
+        product = 1
+        for matches in per_atom_rules:
+            product *= len(matches)
+            if product > limit:
                 break
-        if substitution is None:
-            continue
-        head_terms = [
-            substitute_term(term, substitution) for term in query.head_terms
-        ]
+        if product <= limit:
+            accumulated: frozenset[str] = frozenset()
+            suffixes = [accumulated]
+            for matches in reversed(per_atom_rules):
+                accumulated = accumulated | frozenset(
+                    rule.body.bare_predicate for rule in matches
+                )
+                suffixes.append(accumulated)
+            suffixes.reverse()  # suffixes[d]: tables reachable from depth d
+            suffix_tables = tuple(suffixes)
+    table_counts: dict[str, int] = {}
+
+    def finish(
+        chosen: list[InverseRule], substitution: dict[Variable, Term]
+    ) -> ConjunctiveQuery | object | None:
+        # The substitution is fixed for the whole combination and join
+        # variables recur across atoms, so chase each distinct term's
+        # binding chain once.
+        resolved: dict[Term, Term] = {}
+
+        def lookup(term: Term) -> Term:
+            image = resolved.get(term)
+            if image is None:
+                image = substitute_term(term, substitution)
+                resolved[term] = image
+            return image
+
+        head_terms = [lookup(term) for term in query.head_terms]
         if any(contains_skolem(term) for term in head_terms):
-            continue
+            return None
         body_atoms = [
-            substitute_atom(rule.body, substitution) for rule in renamed
+            Atom(rule.body.predicate, [lookup(t) for t in rule.body.terms])
+            for rule in chosen
         ]
         if any(
             contains_skolem(term) for atom in body_atoms for term in atom.terms
         ):
-            continue
+            return None
+        # From here the candidate is countable. Candidates missing a
+        # required table are dropped without paying for renaming and
+        # query construction — chase and minimization only remove atoms,
+        # so they could never regain the table downstream.
+        if required_bare and not required_bare <= {
+            rule.body.bare_predicate for rule in chosen
+        }:
+            return _FILTERED
         # Prefer the query's own variable names over the renamed-apart view
         # variables they unified with, for readable output.
         rename: dict[Variable, Term] = {}
-        query_vars = set(query.variables())
-        for query_var in query.variables():
-            image = substitute_term(query_var, substitution)
+        for query_var in query_variables:
+            image = lookup(query_var)
             if (
                 isinstance(image, Variable)
                 and image != query_var
-                and image not in query_vars
+                and image not in query_var_set
                 and image not in rename
             ):
                 rename[image] = query_var
-        head_terms = [substitute_term(term, rename) for term in head_terms]
-        body_atoms = [substitute_atom(atom, rename) for atom in body_atoms]
-        yield ConjunctiveQuery(head_terms, body_atoms, query.name)
-        produced += 1
-        if produced >= limit:
+        if rename:
+            head_terms = [
+                substitute_term(term, rename) for term in head_terms
+            ]
+            body_atoms = [
+                substitute_atom(atom, rename) for atom in body_atoms
+            ]
+        # Safe by construction: every non-Skolem head image also occurs
+        # in the image of the view body it unified with.
+        return ConjunctiveQuery(
+            head_terms, body_atoms, query.name, check_safety=False
+        )
+
+    # Depth-first over rule choices, in exactly ``itertools.product``'s
+    # enumeration order, but sharing the unification work of common
+    # prefixes: a prefix that fails to unify prunes its whole subtree
+    # (those combinations would each have failed at the same atom).
+    # The substitution lives in a single dict with a trail (undo log)
+    # instead of being copied at every extension.
+    #
+    # The plan's subtree memo sits on top: surviving partial
+    # unifications are recorded per body prefix (in DFS order), and a
+    # later query sharing a prefix resumes from those states instead of
+    # re-unifying it. States are only stored when the walk ran to
+    # completion — aborting at ``limit`` leaves the per-depth lists
+    # partial — so a resumed enumeration replays the exact scratch
+    # order, limit window included.
+    produced = 0
+    chosen: list[InverseRule] = []
+    substitution: dict[Variable, Term] = {}
+    trail: list[Variable] = []
+    # Shallowest depth at which required-table pruning fired: captured
+    # state lists deeper than this are incomplete and must not be
+    # stored in the subtree memo (states are required-set independent).
+    shallowest_prune = count + 1
+
+    memo = plan.prefix_states if perf_config.enabled() else None
+    bound: int | None = None
+    if memo is not None:
+        bound = perf_config.cache_size("subtree")
+        if bound == 0:
+            memo = None
+
+    start_depth = 0
+    resume_states = None
+    if memo is not None and count > 1:
+        for depth in range(min(count - 1, _SUBTREE_MAX_DEPTH), 0, -1):
+            entry = memo.get(body[:depth])
+            if entry is not None:
+                start_depth = depth
+                resume_states = entry
+                perf_counters.record("subtree_cache_hits")
+                break
+        else:
+            perf_counters.record("subtree_cache_misses")
+
+    captured: dict[int, list] | None = None
+    if memo is not None and count > 1:
+        captured = {
+            depth: []
+            for depth in range(
+                start_depth + 1, min(count, _SUBTREE_MAX_DEPTH + 1)
+            )
+        }
+        if not captured:
+            captured = None
+
+    def walk(depth: int) -> Iterator[ConjunctiveQuery]:
+        nonlocal produced, shallowest_prune
+        if depth == count:
+            result = finish(chosen, substitution)
+            if result is not None:
+                produced += 1
+                if result is not _FILTERED:
+                    yield result
             return
+        if captured is not None:
+            states = captured.get(depth)
+            if states is not None:
+                if len(states) >= _SUBTREE_MAX_STATES:
+                    # Too bushy to be worth replaying: stop capturing
+                    # this depth (the entry will simply not be stored).
+                    del captured[depth]
+                else:
+                    states.append(
+                        (
+                            tuple(chosen),
+                            tuple(
+                                (var, substitution[var]) for var in trail
+                            ),
+                        )
+                    )
+        # The capture above must precede this check: memo states are
+        # required-set independent, and a pruned subtree skips the
+        # deeper captures (hence ``shallowest_prune`` gates the store).
+        if suffix_tables is not None:
+            reachable = suffix_tables[depth]
+            for table in required_bare:
+                if table not in reachable and not table_counts.get(table):
+                    shallowest_prune = min(shallowest_prune, depth)
+                    perf_counters.record("required_subtree_prunes")
+                    return
+        pattern = body[depth]
+        for rule in per_atom_rules[depth]:
+            mark = len(trail)
+            if unify_atoms_inplace(pattern, rule.head, substitution, trail):
+                chosen.append(rule)
+                if suffix_tables is not None:
+                    bare = rule.body.bare_predicate
+                    table_counts[bare] = table_counts.get(bare, 0) + 1
+                yield from walk(depth + 1)
+                chosen.pop()
+                if suffix_tables is not None:
+                    table_counts[bare] -= 1
+            while len(trail) > mark:
+                del substitution[trail.pop()]
+            if produced >= limit:
+                return
+
+    if resume_states is None:
+        yield from walk(0)
+    else:
+        for state_rules, state_bindings in resume_states:
+            if produced >= limit:
+                break
+            chosen[:] = state_rules
+            substitution.clear()
+            substitution.update(state_bindings)
+            trail[:] = [var for var, _ in state_bindings]
+            if suffix_tables is not None:
+                table_counts.clear()
+                for rule in state_rules:
+                    bare = rule.body.bare_predicate
+                    table_counts[bare] = table_counts.get(bare, 0) + 1
+            yield from walk(start_depth)
+    if captured is not None and produced < limit:
+        for depth, states in captured.items():
+            if depth > shallowest_prune:
+                continue  # Incomplete: a pruned subtree skipped captures.
+            key = body[:depth]
+            if key not in memo:
+                if bound is not None and len(memo) >= bound:
+                    memo.clear()
+                memo[key] = tuple(states)
 
 
 def rewrite_query(
@@ -229,9 +489,10 @@ def rewrite_query(
             raise RewritingError(
                 f"rewrite_query expects O: atoms, got {atom.predicate!r}"
             )
-    rule_index = _rules_by_predicate(views)
+    plan = _plan_for(tuple(views))
+    required = frozenset(required_tables)
     candidates = []
-    for candidate in _candidate_rewritings(query, rule_index, limit):
+    for candidate in _candidate_rewritings(query, plan, limit, required):
         if key_positions:
             # Collapse same-key atoms (egd chase), dropping rewritings
             # that become unsatisfiable.
@@ -240,7 +501,6 @@ def rewrite_query(
                 continue
             candidate = chased
         candidates.append(minimize(candidate))
-    required = set(required_tables)
     if required:
         candidates = [
             candidate
@@ -250,4 +510,8 @@ def rewrite_query(
         ]
     # Deterministic order: larger bodies (more faithful) first, then text.
     candidates.sort(key=lambda cq: (-len(cq.body), str(cq)))
+    # Drop exact duplicates (equal head and body set) before the O(n²)
+    # containment sweep: duplicates are mutually equivalent, so
+    # keep_maximal would keep only the earliest anyway.
+    candidates = list(dict.fromkeys(candidates))
     return keep_maximal(candidates)

@@ -34,6 +34,13 @@ Counter vocabulary (all exported with the ``repro_service_`` prefix):
     each completed job's ``stage_cache_hit_<stage>`` /
     ``stage_cache_miss_<stage>`` stats (see
     :func:`repro.service.jobs.observe_run_stats`).
+
+The algorithmic counters ride along under ``repro_perf_`` — including
+the distance-oracle vocabulary (``oracle_sweeps``,
+``astar_expansions``, ``bound_prunes``, ``lossy_prefix_skips``,
+``required_subtree_prunes``, ``subtree_cache_*``; see
+:mod:`repro.perf.counters`) — so a scrape sees search-guidance
+effectiveness next to request health.
 """
 
 from __future__ import annotations

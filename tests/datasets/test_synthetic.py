@@ -1,0 +1,45 @@
+"""Synthetic scale-family generators: sizes, determinism, coverage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import synthetic
+from repro.discovery.mapper import SemanticMapper
+
+
+def test_class_counts_match_formulas():
+    assert synthetic.class_count(synthetic.chain_model("m", 4)) == 10
+    assert (
+        synthetic.class_count(synthetic.isa_fan_model("m", 3, 4))
+        == 4 * 5
+    )
+    assert synthetic.class_count(synthetic.reified_web_model("m", 4)) == 9
+
+
+def test_scale_point_respects_budget():
+    for family in synthetic.FAMILY_NAMES:
+        for budget in (10, 40, 120):
+            actual, _ = synthetic.scale_point(family, budget)
+            assert actual <= budget, (family, budget, actual)
+
+
+def test_generators_are_deterministic():
+    for family in synthetic.FAMILY_NAMES:
+        _, (source, _, correspondences) = synthetic.scale_point(family, 12)
+        _, (again, _, same_correspondences) = synthetic.scale_point(
+            family, 12
+        )
+        assert [str(v) for v in source.views()] == [
+            str(v) for v in again.views()
+        ]
+        assert [str(c) for c in correspondences] == [
+            str(c) for c in same_correspondences
+        ]
+
+
+@pytest.mark.parametrize("family", synthetic.FAMILY_NAMES)
+def test_smallest_point_discovers_a_candidate(family):
+    _, (source, target, correspondences) = synthetic.scale_point(family, 10)
+    result = SemanticMapper(source, target, correspondences).discover()
+    assert len(result) >= 1

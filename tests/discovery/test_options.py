@@ -82,6 +82,8 @@ class TestSerialisation:
             "profile_cache_size": None,
             "translation_cache_size": None,
             "stage_cache_size": None,
+            "distance_oracle": True,
+            "subtree_cache_size": None,
         }
 
     def test_wants_trace(self):

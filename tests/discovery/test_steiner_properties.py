@@ -137,3 +137,63 @@ def test_lossy_paths_share_minimal_score(data):
             cost_model.path_cost(path),
         )
         assert candidate >= best
+
+
+# ----------------------------------------------------------------------
+# Oracle-guided search must be indistinguishable from blind search.
+# ----------------------------------------------------------------------
+def _fresh(graph):
+    """Drop shared indexes so each mode starts cold on this graph."""
+    from repro.perf.index import GraphIndex
+
+    GraphIndex.clear_registry()
+    return graph
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=st.data())
+def test_oracle_matches_blind_functional_trees(data):
+    from repro.perf import config as perf_config
+
+    graph, names = data.draw(cm_graphs())
+    root = data.draw(st.sampled_from(names))
+    targets = set(
+        data.draw(st.lists(st.sampled_from(names), min_size=1, max_size=3))
+    )
+    guided = list(functional_trees_from_root(_fresh(graph), root, targets))
+    with perf_config.distance_oracle(False):
+        blind = list(functional_trees_from_root(_fresh(graph), root, targets))
+    assert [(t.edges, c, s) for t, c, s in guided] == [
+        (t.edges, c, s) for t, c, s in blind
+    ]
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=st.data())
+def test_oracle_matches_blind_minimal_trees(data):
+    from repro.perf import config as perf_config
+
+    graph, names = data.draw(cm_graphs())
+    targets = set(
+        data.draw(st.lists(st.sampled_from(names), min_size=1, max_size=3))
+    )
+    guided = minimal_functional_trees(_fresh(graph), targets)
+    with perf_config.distance_oracle(False):
+        blind = minimal_functional_trees(_fresh(graph), targets)
+    assert [t.edges for t in guided] == [t.edges for t in blind]
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=st.data())
+def test_oracle_matches_blind_lossy_paths(data):
+    from repro.perf import config as perf_config
+
+    graph, names = data.draw(cm_graphs())
+    start = data.draw(st.sampled_from(names))
+    end = data.draw(st.sampled_from(names))
+    if start == end:
+        return
+    guided = minimally_lossy_paths(_fresh(graph), start, end, max_edges=4)
+    with perf_config.distance_oracle(False):
+        blind = minimally_lossy_paths(_fresh(graph), start, end, max_edges=4)
+    assert guided == blind

@@ -1,0 +1,510 @@
+"""Load benchmark: persistent-cache cold starts + pre-fork throughput.
+
+Not a paper exhibit — this gates the production posture of PR 7:
+
+**Disk-warm cold start.** A fresh process runs every registered dataset
+case (the full 34-scenario batch) against a persistent cache directory
+(``DiscoveryOptions(cache_dir=...)``), twice: once with the directory
+empty (cold — every stage computed and written through) and once in a
+*new* process with the directory populated (disk-warm — every run is a
+full hit on its ``rank`` artifact). Each run happens in a subprocess
+(``--child-batch``) because a genuine cold start is the claim: no
+in-memory cache, no warm indexes, only the directory survives. Gates:
+the two runs' candidate output must be byte-identical (same serialized
+candidates, case by case), and the disk-warm batch must be at least
+:data:`DISK_WARM_SPEEDUP_FLOOR` times faster.
+
+**Pre-fork service under load.** A single-process server and a pre-fork
+pool (``repro.service.pool``), each with its own empty cache directory,
+take the identical workload: ``--clients`` concurrent client threads
+(1000 in the full run) sending a case mix in which a configurable
+fraction (``--cold-fraction``) of requests carries a never-seen
+``max_path_edges`` value — a *forced* cold miss, since that option is
+part of the scenario and stage fingerprints. Gates: every request
+returns 200, both servers exit cleanly on SIGINT, and the pool sustains
+at least :data:`POOL_SINGLE_CORE_FLOOR` x the single-process throughput
+(strictly *more* when the machine has >= 2 cores — on a single core the
+pool cannot win on CPU, it must merely not collapse under the extra
+process scheduling).
+
+Results merge into ``BENCH_service.json`` under ``disk_warm_batch`` and
+``load`` (preserving ``benchmark_service.py``'s sections). ``--smoke``
+shrinks the client count and relaxes the timing gates for CI; the
+correctness gates (byte-identity, all-200, clean shutdown) never relax.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+REPORT_PATH = REPO_ROOT / "BENCH_service.json"
+
+#: Disk-warm batch must beat the cold batch by at least this factor
+#: (full run; the smoke gate only requires it not to be slower).
+DISK_WARM_SPEEDUP_FLOOR = 3.0
+
+#: On a single-core machine the pool cannot beat one process on CPU;
+#: it must still sustain this fraction of the single-process rate.
+POOL_SINGLE_CORE_FLOOR = 0.7
+
+#: The case mix (one case per dataset family, as in benchmark_service).
+CASES = [
+    {"dataset": "DBLP", "case": "dblp-article-in-journal"},
+    {"dataset": "DBLP", "case": "dblp-book-publisher"},
+    {"dataset": "Mondial", "case": "mondial-city-in-country"},
+    {"dataset": "Amalgam", "case": "amalgam-author-of-article"},
+    {"dataset": "Hotel", "case": "hotel-room-of-hotel"},
+    {"dataset": "UT", "case": "ut-professor-teaches-course"},
+    {"dataset": "Network", "case": "network-interface-of-device"},
+]
+
+#: ``max_path_edges`` values start here for forced cold misses (must
+#: clear every default so the option lands in the scenario fingerprint).
+COLD_EDGE_BASE = 10
+
+
+# ---------------------------------------------------------------------------
+# Part 1: disk-warm cold-start batch (the --child-batch subprocess body)
+# ---------------------------------------------------------------------------
+def run_child_batch(cache_dir: str) -> int:
+    """Run every registered dataset case once against ``cache_dir``.
+
+    Prints a JSON document with the timed discovery wall clock and a
+    digest of the serialized candidates — the parent compares digests
+    across the cold and disk-warm runs for byte-identity.
+    """
+    from repro.datasets.registry import dataset_names, load_dataset
+    from repro.discovery.mapper import SemanticMapper
+    from repro.discovery.options import DiscoveryOptions
+    from repro.mappings.serialize import candidate_to_dict
+
+    options = DiscoveryOptions(cache_dir=cache_dir)
+    pairs = [load_dataset(name) for name in dataset_names()]
+    outputs: dict[str, list] = {}
+    scenarios = 0
+    started = time.perf_counter()
+    for pair in pairs:
+        for case in pair.cases:
+            result = SemanticMapper(
+                pair.source,
+                pair.target,
+                case.correspondences,
+                options=options,
+            ).discover()
+            outputs[f"{pair.name}/{case.case_id}"] = [
+                candidate_to_dict(c) for c in result.candidates
+            ]
+            scenarios += 1
+    elapsed = time.perf_counter() - started
+    digest = hashlib.sha256(
+        json.dumps(outputs, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    print(
+        json.dumps(
+            {
+                "elapsed_seconds": round(elapsed, 4),
+                "digest": digest,
+                "scenarios": scenarios,
+            }
+        )
+    )
+    return 0
+
+
+def _child_env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    env.pop("REPRO_CACHE_DIR", None)
+    return env
+
+
+def measure_disk_warm(smoke: bool) -> tuple[dict, list[str]]:
+    """Cold vs disk-warm 34-scenario batch in fresh subprocesses."""
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache:
+
+        def batch() -> dict:
+            proc = subprocess.run(
+                [
+                    sys.executable,
+                    str(pathlib.Path(__file__).resolve()),
+                    "--child-batch",
+                    "--cache-dir",
+                    cache,
+                ],
+                capture_output=True,
+                text=True,
+                env=_child_env(),
+                timeout=1800,
+            )
+            if proc.returncode != 0:
+                raise RuntimeError(
+                    f"child batch failed ({proc.returncode}): "
+                    f"{proc.stderr[-2000:]}"
+                )
+            return json.loads(proc.stdout.strip().splitlines()[-1])
+
+        cold = batch()
+        warm = batch()
+    speedup = cold["elapsed_seconds"] / max(warm["elapsed_seconds"], 1e-9)
+    identical = cold["digest"] == warm["digest"]
+    if not identical:
+        failures.append(
+            "disk-warm batch output differs from cold "
+            f"({cold['digest'][:12]} vs {warm['digest'][:12]})"
+        )
+    floor = 1.0 if smoke else DISK_WARM_SPEEDUP_FLOOR
+    if speedup < floor:
+        failures.append(
+            f"disk-warm speedup {speedup:.2f}x below the {floor}x floor"
+        )
+    report = {
+        "scenarios": cold["scenarios"],
+        "cold_seconds": cold["elapsed_seconds"],
+        "disk_warm_seconds": warm["elapsed_seconds"],
+        "speedup": round(speedup, 2),
+        "speedup_floor": floor,
+        "byte_identical": identical,
+    }
+    return report, failures
+
+
+# ---------------------------------------------------------------------------
+# Part 2: concurrent load against single-process and pre-fork servers
+# ---------------------------------------------------------------------------
+def _build_workload(
+    clients: int, per_client: int, cold_fraction: float
+) -> list[list[dict]]:
+    """Identical request lists for both servers, cold misses included.
+
+    A "cold" request swaps in a globally unique ``max_path_edges`` —
+    part of the scenario and stage fingerprints, so neither the result
+    cache nor the stage cache can have seen it: the server must run the
+    discovery pipeline for real.
+    """
+    period = int(round(1 / cold_fraction)) if cold_fraction > 0 else 0
+    workload: list[list[dict]] = []
+    serial = 0
+    for client in range(clients):
+        requests: list[dict] = []
+        for i in range(per_client):
+            spec = dict(CASES[(client + i) % len(CASES)])
+            if period and serial % period == 0:
+                spec["options"] = {
+                    "max_path_edges": COLD_EDGE_BASE + serial
+                }
+            serial += 1
+            requests.append(spec)
+        workload.append(requests)
+    return workload
+
+
+def _drive(url: str, requests: list[dict]) -> list[tuple[float, int]]:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(url)
+    out: list[tuple[float, int]] = []
+    for spec in requests:
+        started = time.perf_counter()
+        try:
+            status, _ = client.request(
+                "POST", "/discover", {"scenario": spec}
+            )
+        except Exception:
+            status = 0
+        out.append((time.perf_counter() - started, status))
+    return out
+
+
+def _quantile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _sum_series(metrics: dict[str, float], name: str) -> float:
+    """Sum one metric across label sets (pool workers carry labels)."""
+    total = 0.0
+    for series, value in metrics.items():
+        base = series.split("{", 1)[0]
+        if base == name:
+            total += value
+    return total
+
+
+def _start_server(processes: int, cache_dir: str, queue: int):
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--processes",
+            str(processes),
+            "--workers",
+            "2",
+            "--queue-size",
+            str(queue),
+            "--cache-dir",
+            cache_dir,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=_child_env(),
+    )
+    banner = proc.stdout.readline()
+    if "listening on " not in banner:
+        proc.kill()
+        raise RuntimeError(f"server failed to start: {banner!r}")
+    url = banner.split("listening on ", 1)[1].split(" ", 1)[0]
+    return proc, url
+
+
+def _run_load_phase(
+    processes: int,
+    workload: list[list[dict]],
+    cache_dir: str,
+) -> dict:
+    """One server, the whole workload, a metrics scrape, clean SIGINT."""
+    from repro.service.client import ServiceClient
+
+    total_requests = sum(len(reqs) for reqs in workload)
+    proc, url = _start_server(
+        processes, cache_dir, queue=max(64, total_requests)
+    )
+    try:
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=len(workload)) as pool:
+            outcomes = list(
+                pool.map(lambda reqs: _drive(url, reqs), workload)
+            )
+        elapsed = time.perf_counter() - started
+        # Scrape twice with a pause: in pool mode each worker also
+        # publishes a periodic snapshot, so the second scrape sees
+        # every sibling's post-load numbers.
+        client = ServiceClient(url)
+        client.metrics_text()
+        if processes > 1:
+            time.sleep(1.5)
+        metrics = client.metrics_values()
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            exit_code = proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            exit_code = -9
+    latencies = [lat for out in outcomes for lat, _ in out]
+    statuses = [st for out in outcomes for _, st in out]
+    ok = sum(1 for st in statuses if st == 200)
+    hits = _sum_series(metrics, "repro_service_cache_hits_total")
+    misses = _sum_series(metrics, "repro_service_cache_misses_total")
+    observed = hits + misses
+    return {
+        "processes": processes,
+        "clients": len(workload),
+        "requests": total_requests,
+        "ok": ok,
+        "wall_seconds": round(elapsed, 4),
+        "throughput_rps": round(total_requests / elapsed, 2),
+        "p50_seconds": round(_quantile(latencies, 0.5), 6),
+        "p95_seconds": round(_quantile(latencies, 0.95), 6),
+        "cache_hit_rate": round(hits / observed, 4) if observed else None,
+        "discovery_invocations": _sum_series(
+            metrics, "repro_service_discovery_invocations_total"
+        ),
+        "clean_exit": exit_code == 0,
+    }
+
+
+def measure_load(
+    clients: int, per_client: int, cold_fraction: float, processes: int
+) -> tuple[dict, list[str]]:
+    failures: list[str] = []
+    workload = _build_workload(clients, per_client, cold_fraction)
+    phases: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-load-") as root:
+        for label, count in (("single", 1), ("pool", processes)):
+            cache_dir = os.path.join(root, label)
+            phases[label] = _run_load_phase(count, workload, cache_dir)
+    for label, phase in phases.items():
+        if phase["ok"] != phase["requests"]:
+            failures.append(
+                f"{label}: {phase['requests'] - phase['ok']} of "
+                f"{phase['requests']} requests failed"
+            )
+        if not phase["clean_exit"]:
+            failures.append(f"{label}: server did not exit cleanly")
+    single_rps = phases["single"]["throughput_rps"]
+    pool_rps = phases["pool"]["throughput_rps"]
+    cores = os.cpu_count() or 1
+    if cores >= 2:
+        gate, floor = pool_rps > single_rps, single_rps
+        description = "pool > single (multi-core)"
+    else:
+        floor = POOL_SINGLE_CORE_FLOOR * single_rps
+        gate = pool_rps >= floor
+        description = (
+            f"pool >= {POOL_SINGLE_CORE_FLOOR} x single (single core: "
+            f"the pool cannot win on CPU, it must not collapse)"
+        )
+    if not gate:
+        failures.append(
+            f"pool throughput {pool_rps} rps below gate "
+            f"{round(floor, 2)} rps ({description})"
+        )
+    report = {
+        "clients": clients,
+        "requests_per_client": per_client,
+        "cold_miss_fraction": cold_fraction,
+        "pool_processes": processes,
+        "cpu_cores": cores,
+        "throughput_gate": description,
+        "single": phases["single"],
+        "pool": phases["pool"],
+    }
+    return report, failures
+
+
+# ---------------------------------------------------------------------------
+# Report merging + entry point
+# ---------------------------------------------------------------------------
+def merge_report(sections: dict) -> None:
+    """Update ``BENCH_service.json`` in place, preserving other keys."""
+    existing: dict = {}
+    if REPORT_PATH.exists():
+        try:
+            existing = json.loads(REPORT_PATH.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            existing = {}
+    existing.update(sections)
+    REPORT_PATH.write_text(
+        json.dumps(existing, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: small client count, timing gates relaxed "
+        "(correctness gates unchanged)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=None, help="concurrent clients"
+    )
+    parser.add_argument(
+        "--requests-per-client", type=int, default=2, metavar="N"
+    )
+    parser.add_argument(
+        "--cold-fraction",
+        type=float,
+        default=0.05,
+        help="fraction of requests forced to miss every cache",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=2,
+        help="pre-fork pool size for the comparison phase",
+    )
+    parser.add_argument(
+        "--skip-batch",
+        action="store_true",
+        help="skip the disk-warm batch phase (load only)",
+    )
+    parser.add_argument(
+        "--skip-load",
+        action="store_true",
+        help="skip the load phase (disk-warm batch only)",
+    )
+    parser.add_argument(
+        "--child-batch",
+        action="store_true",
+        help=argparse.SUPPRESS,  # internal: the subprocess body
+    )
+    parser.add_argument("--cache-dir", default=None, help=argparse.SUPPRESS)
+    options = parser.parse_args(argv)
+
+    if options.child_batch:
+        if not options.cache_dir:
+            parser.error("--child-batch requires --cache-dir")
+        return run_child_batch(options.cache_dir)
+
+    clients = options.clients
+    if clients is None:
+        clients = 40 if options.smoke else 1000
+
+    sections: dict = {}
+    failures: list[str] = []
+    if not options.skip_batch:
+        print("disk-warm batch: cold run ...", flush=True)
+        batch_report, batch_failures = measure_disk_warm(options.smoke)
+        sections["disk_warm_batch"] = batch_report
+        failures.extend(batch_failures)
+        print(
+            f"  cold {batch_report['cold_seconds']}s, disk-warm "
+            f"{batch_report['disk_warm_seconds']}s -> "
+            f"{batch_report['speedup']}x "
+            f"(identical={batch_report['byte_identical']})",
+            flush=True,
+        )
+    if not options.skip_load:
+        print(
+            f"load: {clients} clients x {options.requests_per_client} "
+            f"requests, cold fraction {options.cold_fraction} ...",
+            flush=True,
+        )
+        load_report, load_failures = measure_load(
+            clients,
+            options.requests_per_client,
+            options.cold_fraction,
+            options.processes,
+        )
+        sections["load"] = load_report
+        failures.extend(load_failures)
+        for label in ("single", "pool"):
+            phase = load_report[label]
+            print(
+                f"  {label}: {phase['throughput_rps']} rps, "
+                f"p50 {phase['p50_seconds']}s, "
+                f"p95 {phase['p95_seconds']}s, "
+                f"hit rate {phase['cache_hit_rate']}, "
+                f"clean exit {phase['clean_exit']}",
+                flush=True,
+            )
+    sections["load_gates"] = {
+        "passed": not failures,
+        "failures": failures,
+        "smoke": options.smoke,
+    }
+    merge_report(sections)
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(f"all gates passed; report merged into {REPORT_PATH.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    raise SystemExit(main())

@@ -149,8 +149,18 @@ def service_report():
             "cache_entries": health["cache"]["entries"],
         },
     }
+    # Merge-preserve: benchmark_load.py owns other sections of the same
+    # report file (disk_warm_batch / load / load_gates).
+    existing: dict = {}
+    if REPORT_PATH.exists():
+        try:
+            existing = json.loads(REPORT_PATH.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            existing = {}
+    existing.update(report)
     REPORT_PATH.write_text(
-        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        json.dumps(existing, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
     )
     return report
 

@@ -183,6 +183,8 @@ def _cmd_map(args: argparse.Namespace) -> int:
     rediscovery = None
     if args.method == "semantic":
         options = _options_from_args(args)
+        if args.cache_dir:
+            options = options.replace(cache_dir=args.cache_dir)
         if args.reuse_from:
             from repro.discovery import Scenario, rediscover
 
@@ -294,12 +296,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         request_timeout_seconds=args.request_timeout,
         job_timeout_seconds=args.job_timeout,
         quiet=not args.verbose,
+        cache_dir=args.cache_dir,
     )
+    extra = (
+        f", cache dir {config.cache_dir}" if config.cache_dir else ""
+    )
+    if args.processes > 1:
+        from repro.service.pool import PreForkSupervisor
+
+        supervisor = PreForkSupervisor(config, processes=args.processes)
+        supervisor.start()
+        print(
+            f"repro service listening on {supervisor.url} "
+            f"({args.processes} process(es) x {config.workers} worker(s), "
+            f"queue {config.queue_capacity}, "
+            f"cache {config.cache_entries} entries{extra}); "
+            f"Ctrl-C to stop",
+            flush=True,
+        )
+        supervisor.serve_forever()
+        return 0
     server = ReproServer(config)
     print(
         f"repro service listening on {server.url} "
         f"({config.workers} worker(s), queue {config.queue_capacity}, "
-        f"cache {config.cache_entries} entries); Ctrl-C to stop",
+        f"cache {config.cache_entries} entries{extra}); Ctrl-C to stop",
         flush=True,
     )
     server.serve_forever()
@@ -437,6 +458,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print perf counters and per-phase wall time",
     )
+    run_map.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent stage-artifact cache directory (shared across "
+        "runs and processes; see docs/performance.md)",
+    )
     _add_option_flags(run_map)
     run_map.set_defaults(handler=_cmd_map)
 
@@ -532,6 +560,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="per-scenario wall-clock limit (degrades to a warning on "
         "worker threads; see docs/robustness.md)",
+    )
+    serve.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="pre-fork worker processes sharing the listening socket "
+        "(1 = single-process; pair with --cache-dir so workers share "
+        "computed artifacts)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent cache directory for stage artifacts and "
+        "results (the coherence point between pre-fork workers and "
+        "across restarts)",
     )
     serve.add_argument(
         "--verbose",

@@ -27,6 +27,15 @@ from repro.discovery.engine.cache import (
     clear_stage_cache,
     stage_cache,
 )
+from repro.discovery.engine.persist import (
+    STORE_VERSION,
+    PersistentStageStore,
+    active_store,
+    cache_dir_override,
+    clear_active_store,
+    configure as configure_persistence,
+    store_for,
+)
 from repro.discovery.engine.stages import (
     CLIO_STAGE_NAMES,
     STAGE_NAMES,
@@ -40,10 +49,12 @@ __all__ = [
     "CLIO_STAGE_NAMES",
     "STAGE_NAMES",
     "STAGE_OPTION_FIELDS",
+    "STORE_VERSION",
     "CompatiblePairs",
     "EngineOutcome",
     "LiftedCorrespondences",
     "PairRecord",
+    "PersistentStageStore",
     "RankedResult",
     "SemanticEngine",
     "SourceCSGSet",
@@ -51,7 +62,12 @@ __all__ = [
     "StageCache",
     "TargetCSGSet",
     "TranslatedCandidates",
+    "active_store",
+    "cache_dir_override",
+    "clear_active_store",
     "clear_stage_cache",
+    "configure_persistence",
     "stage_cache",
+    "store_for",
     "time_stat_key",
 ]

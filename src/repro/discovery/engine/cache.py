@@ -17,6 +17,19 @@ counters (``stage_cache_hits`` / ``stage_cache_misses`` plus per-stage
 ``stage_cache_hit_<stage>`` breakdowns), and ``perf.clear_caches()``
 drops it alongside the other process-wide caches.
 
+When a cache directory is active (``DiscoveryOptions(cache_dir=...)``,
+``persist.configure``, or ``REPRO_CACHE_DIR`` — see
+:mod:`repro.discovery.engine.persist`), the cache gains a disk tier: a
+memory miss falls through to the content-addressed store (a disk hit is
+promoted into memory and counted as ``stage_cache_disk_hit_<stage>``),
+and every ``put`` writes through so other processes — CLI runs, batch
+workers, pre-fork service siblings — can start warm.
+
+The per-run entry bound is enforced on ``get`` as well as ``put``: a run
+that shrinks ``stage_cache_size`` via ``perf.cache_size_overrides``
+immediately drops entries above its bound instead of reading (and
+pinning) artifacts an earlier, larger bound admitted.
+
 Thread-safety: a single lock guards the ordered map. Artifacts are
 frozen dataclasses of immutable payloads, so returning a shared
 reference is safe.
@@ -28,6 +41,7 @@ import threading
 from collections import OrderedDict
 from typing import Any
 
+from repro.discovery.engine import persist
 from repro.perf import config as perf_config
 from repro.perf import counters as perf_counters
 
@@ -45,20 +59,48 @@ class StageCache:
             return self._capacity
         return perf_config.cache_size("stage")
 
+    def _shrink_to(self, bound: int) -> None:
+        """Evict LRU entries down to ``bound`` (caller holds the lock)."""
+        while len(self._entries) > max(bound, 0):
+            self._entries.popitem(last=False)
+
     def get(self, stage: str, fingerprint: str) -> Any | None:
-        """The cached artifact, or ``None``; counts hit/miss traffic."""
+        """The cached artifact, or ``None``; counts hit/miss traffic.
+
+        Enforces the *current* entry bound before looking up: a shrunk
+        per-run ``stage_cache_size`` override takes effect immediately,
+        so the run can never read or hold entries above its bound.
+        On a memory miss, the persistent disk tier (when active) is
+        consulted; a disk hit is promoted into memory.
+        """
+        bound = self._bound()
         key = (stage, fingerprint)
         with self._lock:
+            if bound is not None and len(self._entries) > bound:
+                self._shrink_to(bound)
             artifact = self._entries.get(key)
             if artifact is not None:
                 self._entries.move_to_end(key)
-        if artifact is None:
-            perf_counters.record("stage_cache_misses")
-            perf_counters.record(f"stage_cache_miss_{stage}")
-            return None
-        perf_counters.record("stage_cache_hits")
-        perf_counters.record(f"stage_cache_hit_{stage}")
-        return artifact
+        if artifact is not None:
+            perf_counters.record("stage_cache_hits")
+            perf_counters.record(f"stage_cache_hit_{stage}")
+            return artifact
+        store = persist.active_store()
+        if store is not None and (bound is None or bound > 0):
+            artifact = store.get(stage, fingerprint)
+            if artifact is not None:
+                with self._lock:
+                    self._entries[key] = artifact
+                    self._entries.move_to_end(key)
+                    if bound is not None:
+                        self._shrink_to(bound)
+                perf_counters.record("stage_cache_disk_hits")
+                perf_counters.record(f"stage_cache_disk_hit_{stage}")
+                return artifact
+            perf_counters.record("stage_cache_disk_misses")
+        perf_counters.record("stage_cache_misses")
+        perf_counters.record(f"stage_cache_miss_{stage}")
+        return None
 
     def put(self, stage: str, fingerprint: str, artifact: Any) -> None:
         bound = self._bound()
@@ -69,8 +111,10 @@ class StageCache:
             self._entries[key] = artifact
             self._entries.move_to_end(key)
             if bound is not None:
-                while len(self._entries) > bound:
-                    self._entries.popitem(last=False)
+                self._shrink_to(bound)
+        store = persist.active_store()
+        if store is not None:
+            store.put(stage, fingerprint, artifact)
 
     def clear(self) -> None:
         with self._lock:

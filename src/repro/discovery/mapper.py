@@ -49,6 +49,7 @@ from typing import Any
 from repro import trace as tracing
 from repro.cm.reasoner import CMReasoner
 from repro.correspondences import Correspondence, CorrespondenceSet
+from repro.discovery.engine import persist
 from repro.discovery.engine.clio import run_clio
 from repro.discovery.engine.stages import EngineOutcome, SemanticEngine
 from repro.discovery.options import DiscoveryOptions, merge_legacy_kwargs
@@ -211,8 +212,14 @@ class SemanticMapper:
             if not self.options.distance_oracle
             else nullcontext()
         )
+        persistence = (
+            persist.cache_dir_override(self.options.cache_dir)
+            if self.options.cache_dir is not None
+            else nullcontext()
+        )
         try:
-            with activation, sizing, oracle, perf_counters.scope() as frame:
+            with activation, sizing, oracle, persistence, \
+                    perf_counters.scope() as frame:
                 with self._tracer.span("discover"):
                     outcome = self._run_engine(notes)
         finally:

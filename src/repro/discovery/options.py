@@ -77,6 +77,14 @@ class DiscoveryOptions:
         Per-run override for the rewrite prefix-state memo bound
         (``None`` keeps the module default; ``0`` disables the memo).
         Output-neutral like the other cache bounds.
+    cache_dir:
+        Directory of the persistent, cross-process stage-artifact store
+        (see :mod:`repro.discovery.engine.persist`). ``None`` (the
+        default) keeps whatever the process configured
+        (``persist.configure`` / ``REPRO_CACHE_DIR``); a path activates
+        the disk tier for this run. Deployment-local and output-neutral:
+        it never appears in content fingerprints or :meth:`to_pairs`,
+        so the same scenario keys identically with or without it.
     """
 
     max_path_edges: int = 6
@@ -91,6 +99,7 @@ class DiscoveryOptions:
     stage_cache_size: int | None = None
     distance_oracle: bool = True
     subtree_cache_size: int | None = None
+    cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.max_path_edges, int) or isinstance(
@@ -140,6 +149,13 @@ class DiscoveryOptions:
                 raise ValueError(
                     f"{name} must be >= {minimum}, got {value}"
                 )
+        if self.cache_dir is not None and (
+            not isinstance(self.cache_dir, str) or not self.cache_dir
+        ):
+            raise ValueError(
+                f"cache_dir must be a non-empty string or None, got "
+                f"{self.cache_dir!r}"
+            )
 
     # -- construction ----------------------------------------------------
     def replace(self, **changes: Any) -> "DiscoveryOptions":
@@ -177,14 +193,18 @@ class DiscoveryOptions:
         Default options serialise to ``()`` — byte-identical to the
         pre-``DiscoveryOptions`` empty ``mapper_options`` tuple, so
         content fingerprints (and the service result cache keyed on
-        them) survive the API migration.
+        them) survive the API migration. ``cache_dir`` is always
+        omitted: it is a deployment-local, output-neutral knob, and a
+        filesystem path must never leak into content fingerprints (two
+        hosts caching in different directories still share results).
         """
         defaults = _DEFAULTS
         return tuple(
             sorted(
                 (field.name, getattr(self, field.name))
                 for field in dataclasses.fields(self)
-                if getattr(self, field.name)
+                if field.name != "cache_dir"
+                and getattr(self, field.name)
                 != getattr(defaults, field.name)
             )
         )

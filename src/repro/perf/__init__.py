@@ -61,14 +61,20 @@ def clear_caches() -> None:
 
     Benchmarks call this between cold runs; the per-object caches
     (reasoner memos, semantics-keyed translation memos) die with their
-    owners and are additionally bypassed under :func:`disabled`.
+    owners and are additionally bypassed under :func:`disabled`. When a
+    persistent cache directory is active
+    (:mod:`repro.discovery.engine.persist`), its entries are cleared
+    too — "clear the caches" must mean all tiers, or a stale disk
+    artifact would silently resurrect what the caller just invalidated.
     """
     GraphIndex.clear_registry()
     from repro.discovery import compatibility, translate
     from repro.discovery.engine.cache import clear_stage_cache
+    from repro.discovery.engine.persist import clear_active_store
     from repro.queries.rewrite import clear_rewrite_caches
 
     compatibility.clear_profile_cache()
     translate.clear_translation_cache()
     clear_stage_cache()
+    clear_active_store()
     clear_rewrite_caches()

@@ -10,8 +10,21 @@ always byte-identical to what a fresh run would have produced.
 
 Entries expire two ways: least-recently-used eviction once
 ``max_entries`` is reached, and a wall-clock TTL (``ttl_seconds``) that
-bounds how long a result can be served after it was computed. All
-operations are thread-safe; the service's handler threads and job
+bounds how long a result can be served after it was computed. Expiry is
+enforced everywhere an entry is observable — ``get``, ``__contains__``,
+and ``stats()["entries"]`` all treat an expired entry as absent — and an
+amortized sweep in ``put`` reclaims expired entries from the cold end of
+the LRU order, so skewed access patterns cannot pin dead payloads in
+memory indefinitely.
+
+With a ``store`` attached (the disk tier of
+:mod:`repro.discovery.engine.persist`), results are written through to a
+shared cache directory and a memory miss falls back to it, so restarts
+and sibling pre-fork worker processes serve each other's computed
+results. Disk entries carry their *epoch* store time, making the TTL
+meaningful across processes (monotonic clocks are process-local).
+
+All operations are thread-safe; the service's handler threads and job
 workers share one instance.
 """
 
@@ -20,7 +33,20 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.discovery.engine.persist import PersistentStageStore
+
+#: The persistent store's "stage" name for service result payloads —
+#: result entries share the cache directory with engine artifacts but
+#: live under their own keyspace.
+RESULT_STAGE = "service.result"
+
+#: How many cold-end entries one ``put`` probes for expiry. Amortized:
+#: hot traffic keeps live entries at the warm end, so expired entries
+#: accumulate exactly where the sweep looks.
+SWEEP_PROBES = 16
 
 
 class ResultCache:
@@ -35,6 +61,14 @@ class ResultCache:
         Maximum age of a served entry; ``None`` disables expiry.
     clock:
         Injectable monotonic clock (tests pass a fake).
+    store:
+        Optional persistent tier (see
+        :class:`repro.discovery.engine.persist.PersistentStageStore`):
+        ``put`` writes through, a memory miss reads through, restarts
+        and sibling processes share the directory.
+    epoch_clock:
+        Injectable wall clock for disk-entry timestamps (defaults to
+        ``time.time``; disk TTLs must be comparable across processes).
     """
 
     def __init__(
@@ -42,6 +76,8 @@ class ResultCache:
         max_entries: int = 256,
         ttl_seconds: float | None = None,
         clock: Callable[[], float] = time.monotonic,
+        store: "PersistentStageStore | None" = None,
+        epoch_clock: Callable[[], float] = time.time,
     ) -> None:
         if max_entries < 0:
             raise ValueError(f"max_entries must be >= 0, got {max_entries}")
@@ -52,12 +88,45 @@ class ResultCache:
         self.max_entries = max_entries
         self.ttl_seconds = ttl_seconds
         self._clock = clock
+        self._epoch_clock = epoch_clock
+        self._store = store
         self._lock = threading.Lock()
         self._entries: OrderedDict[str, tuple[float, Any]] = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._expirations = 0
+        self._disk_hits = 0
+        self._disk_misses = 0
+
+    # ------------------------------------------------------------------
+    # Expiry plumbing
+    # ------------------------------------------------------------------
+    def _expired(self, stored_at: float) -> bool:
+        return (
+            self.ttl_seconds is not None
+            and self._clock() - stored_at > self.ttl_seconds
+        )
+
+    def _sweep_expired(self) -> None:
+        """Drop expired entries from the LRU cold end (lock held).
+
+        Probes at most :data:`SWEEP_PROBES` least-recently-used entries
+        per call — O(1) amortized — and stops at the first live one:
+        anything warmer was touched more recently, and ``get`` already
+        expires entries it touches.
+        """
+        if self.ttl_seconds is None:
+            return
+        for _ in range(min(SWEEP_PROBES, len(self._entries))):
+            key = next(iter(self._entries), None)
+            if key is None:
+                return
+            stored_at, _ = self._entries[key]
+            if not self._expired(stored_at):
+                return
+            del self._entries[key]
+            self._expirations += 1
 
     # ------------------------------------------------------------------
     # Core operations
@@ -66,32 +135,67 @@ class ResultCache:
         """The payload stored under ``key``, or ``None`` (miss/expired)."""
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
-                self._misses += 1
-                return None
-            stored_at, payload = entry
-            if (
-                self.ttl_seconds is not None
-                and self._clock() - stored_at > self.ttl_seconds
-            ):
-                del self._entries[key]
-                self._expirations += 1
-                self._misses += 1
-                return None
+            if entry is not None:
+                stored_at, payload = entry
+                if self._expired(stored_at):
+                    del self._entries[key]
+                    self._expirations += 1
+                else:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    return payload
+            self._misses += 1
+        return self._get_from_store(key)
+
+    def _get_from_store(self, key: str) -> Any | None:
+        """Disk-tier fallback after a memory miss (lock not held)."""
+        if self._store is None or self.max_entries == 0:
+            return None
+        entry = self._store.get(RESULT_STAGE, key)
+        if not isinstance(entry, tuple) or len(entry) != 2:
+            if entry is not None:
+                # Unexpected shape (older layout): treat as a miss.
+                entry = None
+            with self._lock:
+                self._disk_misses += 1
+            return None
+        stored_epoch, payload = entry
+        age = max(0.0, self._epoch_clock() - float(stored_epoch))
+        if self.ttl_seconds is not None and age > self.ttl_seconds:
+            with self._lock:
+                self._disk_misses += 1
+            return None
+        with self._lock:
+            # Promote with the original age so the TTL keeps counting
+            # from when the result was computed, not when it was read.
+            self._entries[key] = (self._clock() - age, payload)
             self._entries.move_to_end(key)
-            self._hits += 1
-            return payload
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            self._disk_hits += 1
+        return payload
 
     def put(self, key: str, payload: Any) -> None:
-        """Store ``payload`` under ``key``, evicting the LRU tail."""
+        """Store ``payload`` under ``key``, evicting the LRU tail.
+
+        Also runs the amortized expiry sweep (TTL-dead entries are
+        reclaimed even if their keys are never ``get``-touched again)
+        and writes through to the persistent store when one is attached.
+        """
         if self.max_entries == 0:
             return
         with self._lock:
+            self._sweep_expired()
             self._entries[key] = (self._clock(), payload)
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+        if self._store is not None:
+            self._store.put(
+                RESULT_STAGE, key, (self._epoch_clock(), payload)
+            )
 
     def clear(self) -> None:
         with self._lock:
@@ -101,15 +205,27 @@ class ResultCache:
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, int | float]:
-        """Counters for the metrics endpoint (store-level hits/misses)."""
+        """Counters for the metrics endpoint (store-level hits/misses).
+
+        ``entries`` counts only TTL-live entries — an expired payload
+        still awaiting its sweep must not inflate the hit-rate math on
+        ``/metrics``.
+        """
         with self._lock:
+            live = sum(
+                1
+                for stored_at, _ in self._entries.values()
+                if not self._expired(stored_at)
+            )
             return {
-                "entries": len(self._entries),
+                "entries": live,
                 "max_entries": self.max_entries,
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
                 "expirations": self._expirations,
+                "disk_hits": self._disk_hits,
+                "disk_misses": self._disk_misses,
             }
 
     def __len__(self) -> int:
@@ -117,5 +233,10 @@ class ResultCache:
             return len(self._entries)
 
     def __contains__(self, key: object) -> bool:
+        """TTL-aware membership: an expired entry is already gone."""
         with self._lock:
-            return key in self._entries
+            entry = self._entries.get(key)  # type: ignore[arg-type]
+            if entry is None:
+                return False
+            stored_at, _ = entry
+            return not self._expired(stored_at)

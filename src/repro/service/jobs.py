@@ -57,6 +57,7 @@ _STOP = object()
 #: as a stage label.
 _STAGE_HIT_PREFIX = "stage_cache_hit_"
 _STAGE_MISS_PREFIX = "stage_cache_miss_"
+_DISK_HIT_PREFIX = "stage_cache_disk_hit_"
 
 
 def observe_run_stats(metrics: ServiceMetrics, stats: dict) -> None:
@@ -68,12 +69,21 @@ def observe_run_stats(metrics: ServiceMetrics, stats: dict) -> None:
     and every ``stage_cache_hit_<stage>`` / ``stage_cache_miss_<stage>``
     counter becomes a ``stage_cache_hits_total`` /
     ``stage_cache_misses_total`` increment labelled with the stage.
+    The disk tier's ``stage_cache_disk_hit_<stage>`` breakdown maps to
+    ``stage_cache_disk_hits_total`` the same way (disk misses carry no
+    per-stage breakdown and ride along as ``repro_perf_`` gauges).
     """
     for key, value in stats.items():
         if not isinstance(value, (int, float)):
             continue
         if key.startswith("time_") and key.endswith("_s"):
             metrics.observe_phase(key[5:-2], float(value))
+        elif key.startswith(_DISK_HIT_PREFIX):
+            metrics.inc(
+                "stage_cache_disk_hits_total",
+                int(value),
+                stage=key[len(_DISK_HIT_PREFIX):],
+            )
         elif key.startswith(_STAGE_HIT_PREFIX):
             metrics.inc(
                 "stage_cache_hits_total",

@@ -45,6 +45,8 @@ effectiveness next to request health.
 
 from __future__ import annotations
 
+import os
+import tempfile
 import threading
 from collections import Counter, deque
 from typing import Iterable, Mapping
@@ -256,6 +258,84 @@ class ServiceMetrics:
             else:
                 lines.append(f"{full} {value}")
         return "\n".join(lines) + "\n"
+
+
+def label_series(text: str, **labels: str) -> str:
+    """Inject ``labels`` into every series line of an exposition document.
+
+    Pre-fork workers use this to stamp their whole ``/metrics`` output
+    with ``worker="N"`` before aggregation — series from different
+    workers must stay distinguishable (summing two workers'
+    ``requests_total`` into one unlabeled series would double-count on
+    the scraping side's own aggregation).
+    """
+    if not labels:
+        return text
+    suffix = ",".join(
+        f'{name}="{value}"' for name, value in sorted(labels.items())
+    )
+    out: list[str] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            out.append(line)
+            continue
+        series, space, value = stripped.rpartition(" ")
+        if not space:
+            out.append(line)
+            continue
+        if series.endswith("}"):
+            series = series[:-1] + "," + suffix + "}"
+        else:
+            series = series + "{" + suffix + "}"
+        out.append(f"{series} {value}")
+    return "\n".join(out) + ("\n" if text.endswith("\n") else "")
+
+
+def write_snapshot_file(path: str, text: str) -> bool:
+    """Atomically publish one worker's exposition text at ``path``.
+
+    Same tempfile-then-``os.replace`` discipline as the persistent
+    store: a sibling reading the file mid-write sees the previous
+    complete snapshot, never a truncated one. Returns ``False`` (never
+    raises) when the write fails — metrics are best-effort.
+    """
+    try:
+        parent = os.path.dirname(path) or "."
+        os.makedirs(parent, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(prefix=".tmp-", dir=parent)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return True
+    except OSError:
+        return False
+
+
+def read_snapshot_series(path: str) -> list[str]:
+    """The raw series lines of a snapshot file (comments dropped).
+
+    Missing or unreadable files yield ``[]`` — an aggregating worker
+    must keep serving its own metrics when a sibling's snapshot is
+    absent (the sibling may simply not have written one yet).
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError:
+        return []
+    return [
+        line.strip()
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    ]
 
 
 def parse_exposition(text: str) -> dict[str, float]:

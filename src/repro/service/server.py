@@ -37,12 +37,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from repro.discovery.batch import BatchPolicy
+from repro.discovery.engine import persist
 from repro.exceptions import (
     QueueFullError,
     ReproError,
     WireFormatError,
 )
 from repro.perf import counters as perf_counters
+from repro.service import metrics as service_metrics
 from repro.service.cache import ResultCache
 from repro.service.jobs import JobQueue
 from repro.service.metrics import ServiceMetrics, perf_gauges
@@ -60,7 +62,17 @@ MAX_BODY_BYTES = 16 * 1024 * 1024
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Tuning knobs of one server instance."""
+    """Tuning knobs of one server instance.
+
+    ``cache_dir`` activates the persistent cross-process cache tier
+    (:mod:`repro.discovery.engine.persist`) for both the stage cache and
+    the result cache — in pre-fork deployments it is the coherence
+    point through which sibling workers share computed artifacts.
+    ``worker_index`` / ``pool_size`` / ``metrics_dir`` are set by the
+    :mod:`repro.service.pool` supervisor on each forked worker so
+    ``/metrics`` can aggregate across the pool; single-process servers
+    leave them at their defaults.
+    """
 
     host: str = "127.0.0.1"
     port: int = 0
@@ -71,12 +83,30 @@ class ServiceConfig:
     request_timeout_seconds: float = 120.0
     job_timeout_seconds: float | None = None
     quiet: bool = True
+    cache_dir: str | None = None
+    worker_index: int | None = None
+    pool_size: int = 0
+    metrics_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.request_timeout_seconds <= 0:
             raise ValueError("request_timeout_seconds must be positive")
+        if self.cache_dir is not None and not self.cache_dir:
+            raise ValueError("cache_dir must be a non-empty path or None")
+        if self.pool_size < 0:
+            raise ValueError(
+                f"pool_size must be >= 0, got {self.pool_size}"
+            )
+        if self.worker_index is not None and (
+            self.worker_index < 0
+            or (self.pool_size and self.worker_index >= self.pool_size)
+        ):
+            raise ValueError(
+                f"worker_index {self.worker_index} out of range for "
+                f"pool_size {self.pool_size}"
+            )
 
 
 def _error_payload(
@@ -107,12 +137,27 @@ def _versioned_handler(fn):
 class MappingService:
     """Transport-independent request handling and shared state."""
 
+    #: Sentinel distinguishing "never touched persistence" from
+    #: "previous configured dir was None".
+    _UNSET = object()
+
     def __init__(self, config: ServiceConfig) -> None:
         self.config = config
         self.metrics = ServiceMetrics()
+        store = None
+        self._previous_cache_dir: Any = self._UNSET
+        if config.cache_dir is not None:
+            # Configure process-wide so every discovery run in this
+            # process (jobs, batch re-runs) hits the same disk tier;
+            # remember the previous setting for close() — tests spin up
+            # many services in one process.
+            self._previous_cache_dir = persist.configured_dir()
+            persist.configure(config.cache_dir)
+            store = persist.store_for(config.cache_dir)
         self.cache = ResultCache(
             max_entries=config.cache_entries,
             ttl_seconds=config.cache_ttl_seconds,
+            store=store,
         )
         policy = None
         if config.job_timeout_seconds is not None:
@@ -270,10 +315,53 @@ class MappingService:
                 perf_counters.global_counters().snapshot().items()
             )
         )
-        return self.metrics.render(gauges)
+        text = self.metrics.render(gauges)
+        if (
+            self.config.worker_index is not None
+            and self.config.metrics_dir is not None
+        ):
+            text = self._pool_metrics(text)
+        return text
+
+    def _pool_metrics(self, own_text: str) -> str:
+        """Aggregate this worker's metrics with its pool siblings'.
+
+        Every series gets a ``worker`` label; the fresh labeled snapshot
+        is published for siblings, then their last-published snapshots
+        are appended, plus a ``pool_worker_up`` gauge per slot. A scrape
+        of *any* worker therefore sees the whole pool — siblings at
+        their last snapshot, this worker live.
+        """
+        from repro.service import pool
+
+        index = self.config.worker_index
+        assert index is not None and self.config.metrics_dir is not None
+        labeled = service_metrics.label_series(own_text, worker=str(index))
+        service_metrics.write_snapshot_file(
+            pool.snapshot_path(self.config.metrics_dir, index), labeled
+        )
+        lines = [labeled.rstrip("\n")]
+        size = self.config.pool_size or (index + 1)
+        for sibling in range(size):
+            up = 1 if sibling == index else 0
+            if sibling != index:
+                series = service_metrics.read_snapshot_series(
+                    pool.snapshot_path(self.config.metrics_dir, sibling)
+                )
+                if series:
+                    up = 1
+                    lines.extend(series)
+            lines.append(
+                f'repro_service_pool_worker_up{{worker="{sibling}"}} {up}'
+            )
+        lines.append(f"repro_service_pool_size {size}")
+        return "\n".join(lines) + "\n"
 
     def close(self) -> None:
         self.jobs.stop()
+        if self._previous_cache_dir is not self._UNSET:
+            persist.configure(self._previous_cache_dir)
+            self._previous_cache_dir = self._UNSET
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -450,8 +538,9 @@ class _HTTPServer(ThreadingHTTPServer):
     # The stock listen backlog of 5 drops (or resets) connections under
     # a burst of a few dozen concurrent clients — the exact traffic this
     # server exists to absorb. Handler threads are cheap; let the kernel
-    # queue the burst instead.
-    request_queue_size = 128
+    # queue the burst instead. Sized for the 1000-client load harness
+    # (the kernel clamps to net.core.somaxconn).
+    request_queue_size = 1024
 
 
 class ReproServer:

@@ -253,10 +253,22 @@ def scenario_from_wire(
 
 
 def discovery_options_from_wire(spec: Any) -> DiscoveryOptions:
-    """Parse one wire ``"options"`` object; bad shapes become 400s."""
+    """Parse one wire ``"options"`` object; bad shapes become 400s.
+
+    A ``cache_dir`` path is refused: the cache directory is a *server*
+    deployment setting (``--cache-dir`` / ``ServiceConfig``), and a
+    client must not be able to point the process at an arbitrary
+    filesystem path. An explicit ``null`` is allowed — it is the
+    default, so full ``DiscoveryOptions.to_dict()`` payloads round-trip.
+    """
     if not isinstance(spec, Mapping):
         raise WireFormatError(
             f"'options' must be an object, got {type(spec).__name__}"
+        )
+    if spec.get("cache_dir") is not None:
+        raise WireFormatError(
+            "'cache_dir' is a server-side setting and cannot be supplied "
+            "in request options; start the service with --cache-dir"
         )
     try:
         return DiscoveryOptions.from_mapping(spec, where="options")

@@ -84,6 +84,7 @@ class TestSerialisation:
             "stage_cache_size": None,
             "distance_oracle": True,
             "subtree_cache_size": None,
+            "cache_dir": None,
         }
 
     def test_wants_trace(self):

@@ -4,8 +4,9 @@ import pytest
 
 from repro.datasets.paper_examples import bookstore_example
 from repro.discovery.batch import Scenario, scenario_fingerprint
+from repro.discovery.engine.persist import PersistentStageStore
 from repro.discovery.options import DiscoveryOptions
-from repro.service.cache import ResultCache
+from repro.service.cache import RESULT_STAGE, SWEEP_PROBES, ResultCache
 
 
 class FakeClock:
@@ -76,6 +77,175 @@ class TestResultCache:
     def test_bad_parameters(self, kwargs):
         with pytest.raises(ValueError):
             ResultCache(**{"max_entries": 4, **kwargs})
+
+
+class TestExpirySweep:
+    """Expired entries must die even if their keys are never touched.
+
+    The original bug: TTL expiry only ran inside ``get(key)``, so an
+    entry whose key never came back stayed in memory forever — a
+    skewed access pattern could fill the cache with dead payloads.
+    ``put`` now sweeps the LRU cold end.
+    """
+
+    def test_put_reclaims_untouched_expired_entries(self):
+        clock = FakeClock()
+        cache = ResultCache(max_entries=64, ttl_seconds=10.0, clock=clock)
+        for i in range(8):
+            cache.put(f"dead-{i}", i)
+        clock.advance(11.0)  # all eight expire; none is ever get()ed
+        cache.put("fresh", "payload")
+        stats = cache.stats()
+        assert stats["expirations"] == 8
+        assert stats["entries"] == 1
+        assert len(cache) == 1  # raw occupancy agrees: they are gone
+        assert cache.get("fresh") == "payload"
+
+    def test_sweep_is_bounded_per_put(self):
+        clock = FakeClock()
+        cache = ResultCache(max_entries=256, ttl_seconds=10.0, clock=clock)
+        count = SWEEP_PROBES + 5
+        for i in range(count):
+            cache.put(f"dead-{i}", i)
+        clock.advance(11.0)
+        cache.put("fresh", 1)
+        # One put probes at most SWEEP_PROBES cold-end entries ...
+        assert cache.stats()["expirations"] == SWEEP_PROBES
+        # ... and the next put finishes the job.
+        cache.put("fresh-2", 2)
+        assert cache.stats()["expirations"] == count
+        assert cache.stats()["entries"] == 2
+
+    def test_sweep_stops_at_the_first_live_entry(self):
+        clock = FakeClock()
+        cache = ResultCache(max_entries=64, ttl_seconds=10.0, clock=clock)
+        cache.put("old", 1)
+        clock.advance(6.0)
+        cache.put("young", 2)
+        clock.advance(5.0)  # "old" expired, "young" (age 5) still live
+        cache.put("fresh", 3)
+        stats = cache.stats()
+        assert stats["expirations"] == 1
+        assert cache.get("young") == 2
+
+    def test_no_ttl_means_no_sweep(self):
+        cache = ResultCache(max_entries=4, ttl_seconds=None)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.stats()["expirations"] == 0
+
+
+class TestTTLAwareIntrospection:
+    """Satellite (c): expired entries are invisible everywhere."""
+
+    def test_contains_is_ttl_aware(self):
+        clock = FakeClock()
+        cache = ResultCache(max_entries=4, ttl_seconds=10.0, clock=clock)
+        cache.put("a", 1)
+        assert "a" in cache
+        clock.advance(11.0)
+        assert "a" not in cache
+        # Membership checks must not mutate: the entry still awaits its
+        # sweep, visible only to raw occupancy.
+        assert len(cache) == 1
+
+    def test_stats_entries_counts_only_live(self):
+        clock = FakeClock()
+        cache = ResultCache(max_entries=8, ttl_seconds=10.0, clock=clock)
+        cache.put("old", 1)
+        clock.advance(6.0)
+        cache.put("young", 2)
+        clock.advance(5.0)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert len(cache) == 2
+
+
+class FakeEpochClock(FakeClock):
+    def __init__(self) -> None:
+        self.now = 1_000_000.0
+
+
+class TestDiskTier:
+    """Write-through + read-through against the persistent store."""
+
+    def _store(self, tmp_path) -> PersistentStageStore:
+        return PersistentStageStore(tmp_path / "cache")
+
+    def test_sibling_cache_reads_the_others_writes(self, tmp_path):
+        store = self._store(tmp_path)
+        writer = ResultCache(max_entries=4, store=store)
+        reader = ResultCache(max_entries=4, store=store)
+        writer.put("key", {"payload": 1})
+        assert reader.get("key") == {"payload": 1}
+        stats = reader.stats()
+        assert stats["disk_hits"] == 1
+        assert stats["misses"] == 1  # the memory miss that fell through
+
+    def test_promotion_serves_from_memory_afterwards(self, tmp_path):
+        store = self._store(tmp_path)
+        writer = ResultCache(max_entries=4, store=store)
+        reader = ResultCache(max_entries=4, store=store)
+        writer.put("key", "payload")
+        assert reader.get("key") == "payload"
+        assert reader.get("key") == "payload"
+        stats = reader.stats()
+        assert stats["disk_hits"] == 1
+        assert stats["hits"] == 1
+
+    def test_disk_entry_past_ttl_is_a_miss(self, tmp_path):
+        store = self._store(tmp_path)
+        epoch = FakeEpochClock()
+        writer = ResultCache(
+            max_entries=4, ttl_seconds=10.0, store=store, epoch_clock=epoch
+        )
+        writer.put("key", "payload")
+        epoch.advance(11.0)
+        reader = ResultCache(
+            max_entries=4, ttl_seconds=10.0, store=store, epoch_clock=epoch
+        )
+        assert reader.get("key") is None
+        assert reader.stats()["disk_misses"] == 1
+
+    def test_promotion_preserves_the_original_age(self, tmp_path):
+        store = self._store(tmp_path)
+        epoch = FakeEpochClock()
+        writer = ResultCache(
+            max_entries=4, ttl_seconds=10.0, store=store, epoch_clock=epoch
+        )
+        writer.put("key", "payload")
+        epoch.advance(6.0)
+        clock = FakeClock()
+        reader = ResultCache(
+            max_entries=4,
+            ttl_seconds=10.0,
+            clock=clock,
+            store=store,
+            epoch_clock=epoch,
+        )
+        assert reader.get("key") == "payload"  # promoted at age 6
+        # Both clocks tick on: total age 11 > TTL. The promoted copy
+        # must expire on its *original* age, not its promotion time,
+        # and the disk entry is equally past TTL.
+        clock.advance(5.0)
+        epoch.advance(5.0)
+        assert reader.get("key") is None
+        assert reader.stats()["expirations"] == 1
+
+    def test_unexpected_disk_shape_is_a_miss(self, tmp_path):
+        store = self._store(tmp_path)
+        store.put(RESULT_STAGE, "key", "not-a-(epoch,payload)-tuple")
+        reader = ResultCache(max_entries=4, store=store)
+        assert reader.get("key") is None
+        assert reader.stats()["disk_misses"] == 1
+
+    def test_disabled_cache_skips_the_store(self, tmp_path):
+        store = self._store(tmp_path)
+        seeded = ResultCache(max_entries=4, store=store)
+        seeded.put("key", "payload")
+        disabled = ResultCache(max_entries=0, store=store)
+        assert disabled.get("key") is None
+        assert disabled.stats()["disk_hits"] == 0
 
 
 class TestScenarioFingerprint:

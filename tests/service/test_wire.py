@@ -188,6 +188,24 @@ class TestDiscoverRequest:
                 }
             )
 
+    @pytest.mark.parametrize("where", ["request", "scenario"])
+    def test_cache_dir_refused_from_clients(self, where):
+        # The cache directory is a server deployment setting; a client
+        # must not be able to point the process at a filesystem path.
+        payload: dict = {
+            "scenario": {
+                "dataset": "DBLP",
+                "case": "dblp-article-in-journal",
+            }
+        }
+        options = {"cache_dir": "/tmp/attacker-controlled"}
+        if where == "request":
+            payload["options"] = options
+        else:
+            payload["scenario"]["options"] = options
+        with pytest.raises(WireFormatError, match="server-side"):
+            discover_request_from_wire(payload)
+
 
 class TestResultPayloads:
     def test_result_to_wire_reuses_mapping_serializer(self):

@@ -1,0 +1,217 @@
+"""Ingestion benchmark: live-SQLite round trip vs the authored path.
+
+Not a paper exhibit — this measures :mod:`repro.ingest`, the
+live-database front end: every registered dataset scenario is
+materialized into an actual SQLite file (schema + generated instance),
+read back through ``PRAGMA`` introspection and semantics recovery, and
+discovered. The claims under test:
+
+* **fidelity** — for every case, the mappings discovered from the
+  ingested scenario are byte-identical (``dump_candidates``) to the
+  authored-semantics path;
+* **clean ingestion** — no dataset schema produces an error-severity
+  diagnostic (warnings are allowed and counted);
+* **bounded overhead** — the whole ingestion front end (materialize +
+  introspect + recover + assemble) costs at most
+  :data:`INGEST_OVERHEAD_RATIO` × the discovery time it fronts, so
+  starting from a live database never dominates the pipeline.
+
+The report is written to ``BENCH_ingest.json`` at the repo root, both
+under pytest and when run directly
+(``python benchmarks/benchmark_ingest.py``, the CI smoke job;
+``--smoke`` restricts to two dataset pairs for CI latency).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+import pytest
+
+from repro.datasets.instances import generate_instance
+from repro.datasets.registry import dataset_names, load_dataset
+from repro.discovery import discover_mappings
+from repro.ingest import ingest_pair, materialize_sqlite
+from repro.mappings.serialize import dump_candidates
+
+REPORT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_ingest.json"
+
+#: Ingestion (materialize + introspect + recover + assemble) may cost at
+#: most this multiple of the discovery work it feeds, summed over the
+#: sweep. Generous on purpose: the gate exists to catch order-of-
+#: magnitude regressions (e.g. re-introspecting per case), not jitter.
+INGEST_OVERHEAD_RATIO = 3.0
+
+#: Rows generated per table for the live instances.
+ROWS_PER_TABLE = 4
+
+SMOKE_DATASETS = ("DBLP", "Hotel")
+
+
+def _materialize(semantics, directory: pathlib.Path, name: str) -> str:
+    """Write one side's schema + generated instance to a SQLite file."""
+    instance = generate_instance(
+        semantics.schema, rows_per_table=ROWS_PER_TABLE
+    )
+    path = str(directory / f"{name}.db")
+    connection = materialize_sqlite(
+        semantics.schema, path, instance=instance
+    )
+    connection.close()
+    return path
+
+
+def run_ingest_benchmark(names=None) -> tuple[dict, list[str]]:
+    """Sweep the registered datasets; returns ``(report, failures)``."""
+    names = list(names) if names is not None else sorted(dataset_names())
+    failures: list[str] = []
+    datasets = []
+    total_cases = identical_cases = 0
+    ingest_seconds = discovery_seconds = 0.0
+    for name in names:
+        pair = load_dataset(name)
+        with tempfile.TemporaryDirectory(prefix="repro-ingest-") as tmp:
+            directory = pathlib.Path(tmp)
+            source_db = _materialize(pair.source, directory, "source")
+            target_db = _materialize(pair.target, directory, "target")
+            started = time.perf_counter()
+            ingested = ingest_pair(
+                source_db,
+                target_db,
+                pair.source.model,
+                pair.target.model,
+                scenario_id=f"bench-{name}",
+                correspondences=pair.cases[0].correspondences,
+            )
+            pair_ingest = time.perf_counter() - started
+            report = ingested.validation()
+            errors = [str(d) for d in report.errors]
+            if errors:
+                failures.append(f"{name}: ingestion errors: {errors}")
+            cases = 0
+            matched = 0
+            pair_discovery = 0.0
+            for case in pair.cases:
+                started = time.perf_counter()
+                live = ingest_pair(
+                    source_db,
+                    target_db,
+                    pair.source.model,
+                    pair.target.model,
+                    scenario_id=case.case_id,
+                    correspondences=case.correspondences,
+                )
+                pair_ingest += time.perf_counter() - started
+                started = time.perf_counter()
+                ingested_result = live.scenario.run()
+                authored_result = discover_mappings(
+                    pair.source, pair.target, case.correspondences
+                )
+                pair_discovery += time.perf_counter() - started
+                cases += 1
+                if dump_candidates(
+                    ingested_result.candidates
+                ) == dump_candidates(authored_result.candidates):
+                    matched += 1
+                else:
+                    failures.append(
+                        f"{name}/{case.case_id}: ingested mappings differ "
+                        f"from the authored path"
+                    )
+        total_cases += cases
+        identical_cases += matched
+        ingest_seconds += pair_ingest
+        discovery_seconds += pair_discovery
+        datasets.append(
+            {
+                "dataset": name,
+                "cases": cases,
+                "identical": matched,
+                "warnings": len(report.warnings),
+                "ingest_seconds": round(pair_ingest, 4),
+                "discovery_seconds": round(pair_discovery, 4),
+            }
+        )
+    overhead = (
+        ingest_seconds / discovery_seconds if discovery_seconds else 0.0
+    )
+    if overhead > INGEST_OVERHEAD_RATIO:
+        failures.append(
+            f"ingestion overhead {overhead:.2f}x exceeds the "
+            f"{INGEST_OVERHEAD_RATIO}x gate"
+        )
+    report_document = {
+        "datasets": datasets,
+        "total_cases": total_cases,
+        "identical_cases": identical_cases,
+        "ingest_seconds": round(ingest_seconds, 4),
+        "discovery_seconds": round(discovery_seconds, 4),
+        "overhead_ratio": round(overhead, 4),
+        "overhead_gate": INGEST_OVERHEAD_RATIO,
+        "rows_per_table": ROWS_PER_TABLE,
+    }
+    return report_document, failures
+
+
+def _write_report(names=None) -> dict:
+    report, failures = run_ingest_benchmark(names)
+    report["failures"] = failures
+    document = {"benchmark": "ingest", **report}
+    REPORT_PATH.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return document
+
+
+@pytest.fixture(scope="module")
+def ingest_report():
+    """One benchmark run per session, persisted like the CI job."""
+    return _write_report(SMOKE_DATASETS)
+
+
+def test_no_failures(ingest_report):
+    assert ingest_report["failures"] == []
+
+
+def test_every_case_byte_identical(ingest_report):
+    assert ingest_report["total_cases"] >= 1
+    assert (
+        ingest_report["identical_cases"] == ingest_report["total_cases"]
+    ), ingest_report
+
+
+def test_overhead_within_gate(ingest_report):
+    assert ingest_report["overhead_ratio"] <= INGEST_OVERHEAD_RATIO
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    names = SMOKE_DATASETS if "--smoke" in argv else None
+    document = _write_report(names)
+    for entry in document["datasets"]:
+        print(
+            f"{entry['dataset']}: {entry['identical']}/{entry['cases']} "
+            f"case(s) byte-identical, {entry['warnings']} warning(s), "
+            f"ingest {entry['ingest_seconds']}s, "
+            f"discovery {entry['discovery_seconds']}s"
+        )
+    print(
+        f"total: {document['identical_cases']}/{document['total_cases']} "
+        f"identical, overhead {document['overhead_ratio']}x "
+        f"(gate {document['overhead_gate']}x)"
+    )
+    print(f"report written to {REPORT_PATH}")
+    if document["failures"]:
+        for failure in document["failures"]:
+            print(f"FAIL: {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -13,6 +13,9 @@ Commands
 ``bench``               run the discovery benchmarks (BENCH_discovery.json)
 ``validate [NAME ...]`` pre-flight-check dataset pairs and their cases
 ``serve``               run the HTTP mapping-discovery service
+``introspect S T``      ingest two live SQLite databases against a CM:
+                        introspect, recover semantics, seed or load
+                        correspondences, optionally discover and verify
 """
 
 from __future__ import annotations
@@ -375,6 +378,101 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_introspect(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.exceptions import IngestError, ReproError
+    from repro.ingest import (
+        ingest_pair,
+        parse_correspondence_lines,
+        resolve_cm_argument,
+    )
+    from repro.mappings.serialize import dump_candidates
+
+    try:
+        source_model, target_model = resolve_cm_argument(args.cm)
+    except IngestError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    correspondences = None
+    if args.correspondences:
+        try:
+            with open(args.correspondences, "r", encoding="utf-8") as handle:
+                correspondences = parse_correspondence_lines(handle)
+        except (OSError, IngestError) as error:
+            print(
+                f"cannot read correspondences {args.correspondences!r}: "
+                f"{error}",
+                file=sys.stderr,
+            )
+            return 2
+    sample_rows = args.sample
+    if args.verify and sample_rows == 0:
+        sample_rows = 100  # --verify needs live rows to check against
+    try:
+        ingested = ingest_pair(
+            args.source_db,
+            args.target_db,
+            source_model,
+            target_model,
+            scenario_id=args.id,
+            correspondences=correspondences,
+            threshold=args.threshold,
+            options=_options_from_args(args),
+            sample_rows=sample_rows,
+            strict=args.strict,
+        )
+    except ReproError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(ingested.describe())
+    report = ingested.validation()
+    rendered = report.render()
+    if rendered:
+        print(rendered)
+    if args.emit_scenario:
+        document = ingested.to_wire()
+        with open(args.emit_scenario, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"scenario spec written to {args.emit_scenario}")
+    if not report.ok:
+        print("ingestion left errors; not discovering", file=sys.stderr)
+        return 1
+    if not (args.discover or args.verify):
+        return 0
+    if len(ingested.correspondences) == 0:
+        print(
+            "no correspondences; nothing to discover", file=sys.stderr
+        )
+        return 1
+    result = ingested.scenario.run()
+    print(
+        f"\n{len(result)} candidate(s) in "
+        f"{result.elapsed_seconds * 1000:.1f} ms"
+    )
+    for index, candidate in enumerate(result, start=1):
+        print(f"  {candidate.to_tgd(f'M{index}')}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(dump_candidates(result.candidates))
+        print(f"mappings written to {args.output}")
+    if args.verify:
+        from repro.mappings.verify import verify_mappings
+
+        tgds = [
+            candidate.to_tgd(f"M{index}")
+            for index, candidate in enumerate(result, start=1)
+        ]
+        verification = verify_mappings(
+            tgds, ingested.source_instance, ingested.target_instance
+        )
+        print(f"\nverification against sampled rows:\n{verification}")
+        if not verification.ok:
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -511,7 +609,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser(
         "serve",
         help="run the HTTP mapping-discovery service "
-        "(POST /discover, POST /validate, GET /jobs/<id>, /health, /metrics)",
+        "(POST /discover, POST /introspect, POST /validate, "
+        "GET /jobs/<id>, /health, /metrics)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
@@ -600,6 +699,82 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("name")
     match.add_argument("--threshold", type=float, default=0.9)
     match.set_defaults(handler=_cmd_match)
+
+    introspect = commands.add_parser(
+        "introspect",
+        help="ingest two live SQLite databases: introspect schemas, "
+        "recover semantics against a CM, seed correspondences, and "
+        "optionally discover + verify mappings (docs/ingestion.md)",
+    )
+    introspect.add_argument(
+        "source_db", help="path to the source SQLite database"
+    )
+    introspect.add_argument(
+        "target_db", help="path to the target SQLite database"
+    )
+    introspect.add_argument(
+        "--cm",
+        required=True,
+        metavar="NAME_OR_FILE",
+        help="conceptual model: a registered dataset name (uses its "
+        "source/target models) or a JSON model file (one model shared "
+        "by both sides, or {'source': ..., 'target': ...})",
+    )
+    introspect.add_argument(
+        "--id",
+        default="ingested",
+        help="scenario id for fingerprints, caches, and reports",
+    )
+    introspect.add_argument(
+        "--correspondences",
+        metavar="FILE",
+        help="explicit correspondence file (one 'table.col <-> "
+        "table.col' per line, '#' comments) replacing matcher output",
+    )
+    introspect.add_argument(
+        "--threshold",
+        type=float,
+        default=0.75,
+        help="matcher score threshold for seeded correspondences",
+    )
+    introspect.add_argument(
+        "--emit-scenario",
+        metavar="FILE",
+        help="write the assembled scenario as an inline wire spec "
+        "(replayable via POST /discover or stored as a fixture)",
+    )
+    introspect.add_argument(
+        "--discover",
+        action="store_true",
+        help="also run discovery and print the candidate mappings",
+    )
+    introspect.add_argument(
+        "--output",
+        metavar="FILE",
+        help="with --discover: write the candidate set as JSON "
+        "(dump_candidates format)",
+    )
+    introspect.add_argument(
+        "--sample",
+        type=int,
+        default=0,
+        metavar="N",
+        help="sample up to N live rows per table into instances",
+    )
+    introspect.add_argument(
+        "--verify",
+        action="store_true",
+        help="discover, then check every mapping against the sampled "
+        "rows (implies --discover; samples 100 rows/table unless "
+        "--sample is given); exits 1 on violations",
+    )
+    introspect.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat uninterpreted tables/columns as hard errors",
+    )
+    _add_option_flags(introspect)
+    introspect.set_defaults(handler=_cmd_introspect)
 
     recover = commands.add_parser(
         "recover", help="recover table semantics from schema + CM"

@@ -71,6 +71,15 @@ class ValidationError(ReproError):
         self.diagnostics = tuple(diagnostics)
 
 
+class IngestError(ReproError):
+    """Live-database ingestion failed (bad database, dump, or CM).
+
+    Raised by :mod:`repro.ingest` when a database cannot be opened, a
+    SQL dump fails to execute, or introspected inputs cannot be turned
+    into a discovery scenario. The message is safe to show to callers.
+    """
+
+
 class ServiceError(ReproError):
     """Base class for errors of the ``repro.service`` HTTP subsystem."""
 

@@ -1,0 +1,68 @@
+"""``repro.ingest``: live-database ingestion — SQLite in, scenarios out.
+
+The paper assumes every legacy table already carries recovered
+semantics; the rest of this library assumed every scenario was
+hand-authored in Python. This package closes the gap: point it at a
+pair of *real* SQLite databases plus a conceptual model and get back a
+ready-to-discover :class:`~repro.discovery.batch.Scenario`:
+
+* :mod:`repro.ingest.introspect` — read ``sqlite_master`` and the
+  ``table_info``/``foreign_key_list``/``index_list`` pragmas into a
+  :class:`~repro.relational.schema.RelationalSchema`, with virt-graph
+  style pattern recognition (edge tables, ``_id`` FK hints, natural-key
+  indexes, soft deletes) surfaced as structured
+  :class:`~repro.ingest.introspect.IngestDiagnostic` records;
+* :mod:`repro.ingest.recover` — run the heuristic semantics recoverer
+  against the CM and fold uninterpreted tables/columns into a
+  :class:`~repro.validation.ValidationReport` (reported, never dropped);
+* :mod:`repro.ingest.correspond` — seed correspondences through the
+  shared CM with the baseline matcher plus a SQLite type-affinity
+  penalty, or accept an explicit correspondence file;
+* :mod:`repro.ingest.scenario` — assemble the content-fingerprinted
+  scenario (the persistent stage cache and service result cache apply
+  unchanged) and optionally sample live rows for TGD verification;
+* :mod:`repro.ingest.fixture` — the inverse direction: forward-engineer
+  library schemas into live SQLite databases, used by the round-trip
+  tests and the CI ``introspect-smoke`` job.
+
+Front doors: ``python -m repro introspect SOURCE.db TARGET.db --cm NAME``
+and the service's ``POST /introspect`` (see ``docs/ingestion.md``).
+"""
+
+from repro.ingest.correspond import (
+    parse_correspondence_lines,
+    seed_correspondences,
+    type_affinity,
+)
+from repro.ingest.fixture import materialize_sqlite, sqlite_ddl
+from repro.ingest.introspect import (
+    IngestDiagnostic,
+    IntrospectionResult,
+    connect_memory_from_sql,
+    introspect_sqlite,
+)
+from repro.ingest.recover import RecoveredSide, recover_introspected
+from repro.ingest.scenario import (
+    IngestedScenario,
+    ingest_pair,
+    resolve_cm_argument,
+    sample_instance,
+)
+
+__all__ = [
+    "IngestDiagnostic",
+    "IntrospectionResult",
+    "IngestedScenario",
+    "RecoveredSide",
+    "connect_memory_from_sql",
+    "ingest_pair",
+    "introspect_sqlite",
+    "materialize_sqlite",
+    "parse_correspondence_lines",
+    "recover_introspected",
+    "resolve_cm_argument",
+    "sample_instance",
+    "seed_correspondences",
+    "sqlite_ddl",
+    "type_affinity",
+]

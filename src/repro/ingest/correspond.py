@@ -1,0 +1,136 @@
+"""Seed attribute correspondences between two introspected schemas.
+
+The paper treats correspondences as an *input* produced by a matching
+tool; ingestion needs them before discovery can run. This module layers
+two policies over the library's baseline matcher
+(:func:`repro.matching.suggest_correspondences`):
+
+* **Semantic matching through the shared CM.** Both sides were
+  recovered against the *same* conceptual model, so rather than only
+  comparing raw column names the matcher sees each column's CM
+  attribute — ``person.pname`` matches ``hasbooksoldat.aname`` when
+  both realize a ``name``-like attribute of the same class family.
+  Suggestions whose lifted source and target attributes disagree about
+  the CM attribute are additionally penalized when SQLite declared
+  types disagree in affinity (a weak signal, but cheap and real).
+* **Explicit override.** A user-supplied correspondence file (one
+  ``table.col <-> table.col`` per line, ``#`` comments) replaces
+  matcher output entirely — matcher suggestions are a bootstrap, not an
+  authority.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.correspondences import Correspondence, CorrespondenceSet
+from repro.exceptions import IngestError
+from repro.matching import (
+    MatchSuggestion,
+    as_correspondence_set,
+    suggest_correspondences,
+)
+from repro.semantics.lav import SchemaSemantics
+
+#: Declared-type → SQLite affinity class, per the SQLite affinity rules
+#: (substring match on the declared type, first rule wins).
+_AFFINITY_RULES = (
+    ("INT", "integer"),
+    ("CHAR", "text"),
+    ("CLOB", "text"),
+    ("TEXT", "text"),
+    ("BLOB", "blob"),
+    ("REAL", "real"),
+    ("FLOA", "real"),
+    ("DOUB", "real"),
+)
+
+#: Score multiplier when both sides declare types with different
+#: affinities (numeric vs text etc.) — a soft penalty, not a veto.
+TYPE_MISMATCH_PENALTY = 0.85
+
+
+def type_affinity(declared: str) -> str:
+    """The SQLite type-affinity class of a declared column type."""
+    upper = declared.upper()
+    for fragment, affinity in _AFFINITY_RULES:
+        if fragment in upper:
+            return affinity
+    return "numeric" if declared.strip() else "blob"
+
+
+def _apply_type_penalty(
+    suggestions: Iterable[MatchSuggestion],
+    source_types: Mapping[str, Mapping[str, str]],
+    target_types: Mapping[str, Mapping[str, str]],
+) -> list[MatchSuggestion]:
+    adjusted = []
+    for suggestion in suggestions:
+        correspondence = suggestion.correspondence
+        source_declared = source_types.get(
+            correspondence.source.table, {}
+        ).get(correspondence.source.name, "")
+        target_declared = target_types.get(
+            correspondence.target.table, {}
+        ).get(correspondence.target.name, "")
+        if (
+            source_declared
+            and target_declared
+            and type_affinity(source_declared)
+            != type_affinity(target_declared)
+        ):
+            suggestion = MatchSuggestion(
+                suggestion.score * TYPE_MISMATCH_PENALTY,
+                correspondence,
+                f"{suggestion.reason}; type affinity mismatch "
+                f"({source_declared} vs {target_declared})",
+            )
+        adjusted.append(suggestion)
+    return sorted(adjusted, key=lambda s: (-s.score, str(s)))
+
+
+def seed_correspondences(
+    source: SchemaSemantics,
+    target: SchemaSemantics,
+    source_types: Mapping[str, Mapping[str, str]] | None = None,
+    target_types: Mapping[str, Mapping[str, str]] | None = None,
+    synonyms: Mapping[str, str] | None = None,
+    threshold: float = 0.75,
+) -> list[MatchSuggestion]:
+    """Scored correspondence suggestions between two recovered sides.
+
+    Matching runs over the :class:`SchemaSemantics` (so CM attribute
+    names participate), then declared-type affinity mismatches are
+    penalized by :data:`TYPE_MISMATCH_PENALTY` and the list re-ranked.
+    Suggestions falling below ``threshold`` after the penalty drop out.
+    """
+    suggestions = suggest_correspondences(
+        source, target, synonyms=synonyms, threshold=threshold
+    )
+    adjusted = _apply_type_penalty(
+        suggestions, source_types or {}, target_types or {}
+    )
+    return [s for s in adjusted if s.score >= threshold]
+
+
+def parse_correspondence_lines(
+    lines: Iterable[str],
+) -> CorrespondenceSet:
+    """Parse an explicit correspondence file's lines.
+
+    One ``source_table.col <-> target_table.col`` per line; blank lines
+    and ``#`` comments are ignored. Malformed lines raise
+    :class:`IngestError` naming the offending line.
+    """
+    correspondences: list[Correspondence] = []
+    for number, raw in enumerate(lines, start=1):
+        text = raw.strip()
+        if not text or text.startswith("#"):
+            continue
+        try:
+            correspondences.append(Correspondence.parse(text))
+        except Exception as error:
+            raise IngestError(
+                f"correspondence file line {number}: {error}"
+            ) from error
+    return CorrespondenceSet(correspondences)

@@ -1,0 +1,582 @@
+"""Live-database introspection: SQLite catalog → :class:`RelationalSchema`.
+
+This is the front half of the ingestion pipeline (``docs/ingestion.md``):
+connect to a real database with nothing but the stdlib ``sqlite3``
+driver, read its catalog — ``sqlite_master`` for the table list,
+``PRAGMA table_info`` for columns and primary keys, ``PRAGMA
+foreign_key_list`` for (possibly composite) foreign keys, ``PRAGMA
+index_list``/``index_info`` for unique indexes — and assemble the same
+:class:`~repro.relational.schema.RelationalSchema` the rest of the
+library consumes.
+
+Everything the introspector *notices* but does not *decide* is surfaced
+as a structured :class:`IngestDiagnostic`, never a guess baked into the
+schema (the virt-graph ontology-discovery convention): two foreign keys
+into the same table suggest an edge/relationship table, an ``_id``
+suffix on an unconstrained column suggests an undeclared foreign key,
+a unique non-key index is a natural-key candidate, a missing primary
+key is worth a warning. Downstream consumers (the CLI report, the
+``POST /introspect`` response) render these for human review.
+
+Untrusted SQL (the service accepts schema dumps over the wire) is
+executed through :func:`connect_memory_from_sql`, which pins the
+database in memory and denies ``ATTACH`` via an authorizer so a dump
+cannot touch the server's filesystem.
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.exceptions import IngestError
+from repro.relational.constraints import ReferentialConstraint
+from repro.relational.schema import RelationalSchema, Table
+
+#: Diagnostic severities, mild to fatal (mirrors :mod:`repro.validation`).
+INFO = "info"
+WARNING = "warning"
+ERROR = "error"
+
+_IDENTIFIER_FIX_RE = re.compile(r"[\s.]+")
+_ID_SUFFIX_RE = re.compile(r"(.+?)_?id$", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class IngestDiagnostic:
+    """One structured introspection finding.
+
+    ``code`` is a stable dotted identifier (``"pattern.edge-table"``,
+    ``"table.no-primary-key"``, ...) for programmatic filtering;
+    ``location`` is ``"table"`` or ``"table.column"``.
+    """
+
+    severity: str
+    code: str
+    message: str
+    location: str = ""
+
+    def __str__(self) -> str:
+        where = f" [{self.location}]" if self.location else ""
+        return f"{self.severity}: {self.code}{where}: {self.message}"
+
+    def to_wire(self) -> dict[str, str]:
+        return {
+            "severity": self.severity,
+            "code": self.code,
+            "message": self.message,
+            "location": self.location,
+        }
+
+
+@dataclass
+class IntrospectionResult:
+    """A live database read back as a schema plus structured findings."""
+
+    schema: RelationalSchema
+    diagnostics: tuple[IngestDiagnostic, ...] = ()
+    #: Declared column types, ``{table: {column: type text}}`` (may be "").
+    column_types: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: Unique non-primary-key indexes: ``{table: ((col, ...), ...)}``.
+    natural_keys: dict[str, tuple[tuple[str, ...], ...]] = field(
+        default_factory=dict
+    )
+    #: Sanitized table name → the database's original table name.
+    original_tables: dict[str, str] = field(default_factory=dict)
+    #: Sanitized column → original column name, per sanitized table.
+    original_columns: dict[str, dict[str, str]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def errors(self) -> tuple[IngestDiagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == ERROR)
+
+    @property
+    def warnings(self) -> tuple[IngestDiagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == WARNING)
+
+    def findings(self, code_prefix: str) -> tuple[IngestDiagnostic, ...]:
+        """Diagnostics whose code starts with ``code_prefix``."""
+        return tuple(
+            d for d in self.diagnostics if d.code.startswith(code_prefix)
+        )
+
+    def describe(self) -> str:
+        """Human-readable report: the schema, then every finding."""
+        lines = [self.schema.describe()]
+        for diagnostic in self.diagnostics:
+            lines.append(f"  {diagnostic}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Connections
+# ---------------------------------------------------------------------------
+def _deny_attach(action: int, *_args: object) -> int:
+    if action in (sqlite3.SQLITE_ATTACH, sqlite3.SQLITE_DETACH):
+        return sqlite3.SQLITE_DENY
+    return sqlite3.SQLITE_OK
+
+
+def connect_memory_from_sql(sql: str) -> sqlite3.Connection:
+    """Execute an untrusted SQL dump into a fresh in-memory database.
+
+    The statements run under an authorizer that denies ``ATTACH`` and
+    ``DETACH``, so a dump shipped over the wire cannot open, create, or
+    write files on the host — the database lives and dies in memory.
+    Malformed SQL raises :class:`IngestError` with the driver's message.
+    """
+    connection = sqlite3.connect(":memory:")
+    connection.set_authorizer(_deny_attach)
+    try:
+        connection.executescript(sql)
+    except sqlite3.Error as error:
+        connection.close()
+        raise IngestError(f"SQL dump failed to execute: {error}") from error
+    finally:
+        try:
+            connection.set_authorizer(None)
+        except sqlite3.ProgrammingError:  # pragma: no cover - closed above
+            pass
+    return connection
+
+
+def open_database(database: str | sqlite3.Connection) -> tuple[
+    sqlite3.Connection, bool
+]:
+    """``(connection, owned)`` for a path or an existing connection."""
+    if isinstance(database, sqlite3.Connection):
+        return database, False
+    try:
+        # ``mode=ro`` keeps introspection read-only and refuses to
+        # *create* the file when the path does not exist (plain
+        # ``connect`` would silently hand back an empty database).
+        connection = sqlite3.connect(
+            f"file:{database}?mode=ro", uri=True
+        )
+    except sqlite3.Error as error:
+        raise IngestError(
+            f"cannot open SQLite database {database!r}: {error}"
+        ) from error
+    return connection, True
+
+
+# ---------------------------------------------------------------------------
+# Catalog reads
+# ---------------------------------------------------------------------------
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _table_names(connection: sqlite3.Connection) -> list[str]:
+    """User tables in creation order (views and internals excluded)."""
+    rows = connection.execute(
+        "SELECT name FROM sqlite_master "
+        "WHERE type = 'table' AND name NOT LIKE 'sqlite_%' "
+        "ORDER BY rowid"
+    ).fetchall()
+    return [row[0] for row in rows]
+
+
+def _table_info(
+    connection: sqlite3.Connection, table: str
+) -> list[tuple[str, str, int]]:
+    """``(column, declared type, pk ordinal)`` in declaration order."""
+    rows = connection.execute(
+        f"PRAGMA table_info({_quote(table)})"
+    ).fetchall()
+    return [(row[1], row[2] or "", row[5]) for row in rows]
+
+
+def _foreign_keys(
+    connection: sqlite3.Connection, table: str
+) -> list[tuple[str, list[tuple[str, str | None]]]]:
+    """FK groups ``(parent table, [(child col, parent col), ...])``.
+
+    ``PRAGMA foreign_key_list`` reports constraints in *reverse*
+    declaration order (highest ``id`` first is the first declared);
+    groups are re-sorted by descending id so the returned list matches
+    the DDL's declaration order, with columns in ``seq`` order inside
+    each group. A parent column of ``None`` means the constraint
+    references the parent's implicit primary key.
+    """
+    rows = connection.execute(
+        f"PRAGMA foreign_key_list({_quote(table)})"
+    ).fetchall()
+    groups: dict[int, tuple[str, list[tuple[int, str, str | None]]]] = {}
+    for row in rows:
+        fk_id, seq, parent, child_col, parent_col = (
+            row[0], row[1], row[2], row[3], row[4],
+        )
+        groups.setdefault(fk_id, (parent, []))[1].append(
+            (seq, child_col, parent_col)
+        )
+    ordered = []
+    for fk_id in sorted(groups, reverse=True):
+        parent, cols = groups[fk_id]
+        cols.sort()
+        ordered.append((parent, [(c, p) for _, c, p in cols]))
+    return ordered
+
+
+def _unique_indexes(
+    connection: sqlite3.Connection, table: str
+) -> list[tuple[str, ...]]:
+    """Column tuples of unique non-primary-key indexes, list order."""
+    result: list[tuple[str, ...]] = []
+    for row in connection.execute(
+        f"PRAGMA index_list({_quote(table)})"
+    ).fetchall():
+        name, unique, origin = row[1], row[2], row[3]
+        if not unique or origin == "pk":
+            continue
+        columns = tuple(
+            info[2]
+            for info in connection.execute(
+                f"PRAGMA index_info({_quote(name)})"
+            ).fetchall()
+            if info[2] is not None  # expression index members are NULL
+        )
+        if columns:
+            result.append(columns)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# The introspector
+# ---------------------------------------------------------------------------
+class SQLiteIntrospector:
+    """Reads one SQLite database into an :class:`IntrospectionResult`."""
+
+    def __init__(
+        self, connection: sqlite3.Connection, schema_name: str = "db"
+    ) -> None:
+        self.connection = connection
+        self.schema_name = schema_name
+        self.diagnostics: list[IngestDiagnostic] = []
+        #: original name → sanitized name, per table.
+        self._renames: dict[str, dict[str, str]] = {}
+        self._original_tables: dict[str, str] = {}
+        self._original_columns: dict[str, dict[str, str]] = {}
+
+    # -- diagnostics -----------------------------------------------------
+    def _diag(
+        self, severity: str, code: str, message: str, location: str = ""
+    ) -> None:
+        self.diagnostics.append(
+            IngestDiagnostic(severity, code, message, location)
+        )
+
+    # -- identifiers -----------------------------------------------------
+    def _sanitize(self, name: str, kind: str, location: str) -> str | None:
+        """A library-legal identifier for ``name``, or ``None``.
+
+        SQLite quoted identifiers may contain whitespace and dots, which
+        :class:`RelationalSchema` forbids; such names are rewritten with
+        underscores and reported, never silently altered.
+        """
+        fixed = _IDENTIFIER_FIX_RE.sub("_", name.strip())
+        if not fixed:
+            self._diag(
+                ERROR,
+                "identifier.unusable",
+                f"{kind} name {name!r} cannot be made a legal identifier",
+                location,
+            )
+            return None
+        if fixed != name:
+            self._diag(
+                WARNING,
+                "identifier.renamed",
+                f"{kind} {name!r} introspected as {fixed!r} "
+                f"(whitespace/dots are not legal identifier characters)",
+                location,
+            )
+        return fixed
+
+    # -- entry point -----------------------------------------------------
+    def introspect(self) -> IntrospectionResult:
+        schema = RelationalSchema(self.schema_name)
+        column_types: dict[str, dict[str, str]] = {}
+        natural_keys: dict[str, tuple[tuple[str, ...], ...]] = {}
+        table_names = _table_names(self.connection)
+        if not table_names:
+            self._diag(
+                ERROR,
+                "database.empty",
+                "the database contains no user tables: nothing to "
+                "introspect",
+                self.schema_name,
+            )
+        for original in table_names:
+            self._read_table(original, schema, column_types, natural_keys)
+        for original in table_names:
+            self._read_foreign_keys(original, schema)
+        self._recognize_patterns(schema, column_types)
+        return IntrospectionResult(
+            schema,
+            tuple(self.diagnostics),
+            column_types,
+            natural_keys,
+            dict(self._original_tables),
+            dict(self._original_columns),
+        )
+
+    # -- tables ----------------------------------------------------------
+    def _read_table(
+        self,
+        original: str,
+        schema: RelationalSchema,
+        column_types: dict[str, dict[str, str]],
+        natural_keys: dict[str, tuple[tuple[str, ...], ...]],
+    ) -> None:
+        table_name = self._sanitize(original, "table", original)
+        if table_name is None or schema.has_table(table_name):
+            if table_name is not None:
+                self._diag(
+                    ERROR,
+                    "table.duplicate",
+                    f"sanitized name {table_name!r} collides with an "
+                    f"already-introspected table; {original!r} skipped",
+                    original,
+                )
+            return
+        renames: dict[str, str] = {}
+        columns: list[str] = []
+        types: dict[str, str] = {}
+        pk_positions: list[tuple[int, str]] = []
+        for column, declared_type, pk_ordinal in _table_info(
+            self.connection, original
+        ):
+            fixed = self._sanitize(
+                column, "column", f"{original}.{column}"
+            )
+            if fixed is None or fixed in columns:
+                if fixed is not None:
+                    self._diag(
+                        ERROR,
+                        "column.duplicate",
+                        f"sanitized column {fixed!r} collides inside "
+                        f"{original!r}; column {column!r} dropped",
+                        f"{original}.{column}",
+                    )
+                continue
+            renames[column] = fixed
+            columns.append(fixed)
+            types[fixed] = declared_type
+            if pk_ordinal:
+                pk_positions.append((pk_ordinal, fixed))
+        if not columns:
+            self._diag(
+                ERROR,
+                "table.empty",
+                f"table {original!r} has no usable columns; skipped",
+                original,
+            )
+            return
+        primary_key = [column for _, column in sorted(pk_positions)]
+        if not primary_key:
+            self._diag(
+                WARNING,
+                "table.no-primary-key",
+                f"table {original!r} declares no primary key (a rowid "
+                f"table); keys treated as unknown",
+                original,
+            )
+        schema.add_table(Table(table_name, columns, primary_key))
+        column_types[table_name] = types
+        self._renames[original] = renames
+        self._original_tables[table_name] = original
+        self._original_columns[table_name] = {
+            fixed: source for source, fixed in renames.items()
+        }
+        uniques = []
+        for index_columns in _unique_indexes(self.connection, original):
+            mapped = tuple(
+                renames.get(column, column) for column in index_columns
+            )
+            if all(column in columns for column in mapped):
+                uniques.append(mapped)
+                self._diag(
+                    INFO,
+                    "pattern.natural-key",
+                    f"unique index on ({', '.join(mapped)}) is a "
+                    f"natural-key candidate",
+                    table_name,
+                )
+        if uniques:
+            natural_keys[table_name] = tuple(uniques)
+
+    # -- foreign keys ----------------------------------------------------
+    def _read_foreign_keys(
+        self, original: str, schema: RelationalSchema
+    ) -> None:
+        if original not in self._renames:
+            return  # table was skipped
+        table_name = _IDENTIFIER_FIX_RE.sub("_", original.strip())
+        renames = self._renames[original]
+        for parent_original, column_pairs in _foreign_keys(
+            self.connection, original
+        ):
+            parent_name = _IDENTIFIER_FIX_RE.sub(
+                "_", parent_original.strip()
+            )
+            if not schema.has_table(parent_name):
+                self._diag(
+                    WARNING,
+                    "constraint.dangling",
+                    f"foreign key of {original!r} references missing "
+                    f"table {parent_original!r}; constraint dropped",
+                    original,
+                )
+                continue
+            parent_table = schema.table(parent_name)
+            parent_renames = self._renames.get(parent_original, {})
+            child_columns = [
+                renames.get(child, child) for child, _ in column_pairs
+            ]
+            if any(parent is None for _, parent in column_pairs):
+                # References the parent's implicit PRIMARY KEY.
+                if len(parent_table.primary_key) != len(column_pairs):
+                    self._diag(
+                        WARNING,
+                        "constraint.unresolvable",
+                        f"foreign key of {original!r} references the "
+                        f"implicit key of {parent_original!r}, which has "
+                        f"{len(parent_table.primary_key)} column(s) for "
+                        f"{len(column_pairs)} referencing column(s); "
+                        f"constraint dropped",
+                        original,
+                    )
+                    continue
+                parent_columns = list(parent_table.primary_key)
+            else:
+                parent_columns = [
+                    parent_renames.get(parent, parent)
+                    for _, parent in column_pairs
+                ]
+            missing = [
+                column
+                for column in parent_columns
+                if column not in parent_table.columns
+            ]
+            if missing:
+                self._diag(
+                    WARNING,
+                    "constraint.dangling",
+                    f"foreign key of {original!r} references unknown "
+                    f"column(s) {missing} of {parent_original!r}; "
+                    f"constraint dropped",
+                    original,
+                )
+                continue
+            schema.add_ric(
+                ReferentialConstraint(
+                    table_name, child_columns, parent_name, parent_columns
+                )
+            )
+
+    # -- pattern recognition --------------------------------------------
+    def _recognize_patterns(
+        self,
+        schema: RelationalSchema,
+        column_types: Mapping[str, Mapping[str, str]],
+    ) -> None:
+        table_by_norm = {
+            _pattern_norm(name): name for name in schema.table_names()
+        }
+        for table in schema:
+            rics = schema.rics_from(table.name)
+            fk_columns = {
+                column for ric in rics for column in ric.child_columns
+            }
+            parents = [ric.parent_table for ric in rics]
+            for parent in sorted(
+                {p for p in parents if parents.count(p) >= 2}
+            ):
+                kind = (
+                    "a self-referential edge"
+                    if parent == table.name
+                    else "an edge/relationship"
+                )
+                self._diag(
+                    INFO,
+                    "pattern.edge-table",
+                    f"{parents.count(parent)} foreign keys into "
+                    f"{parent!r} suggest {kind} table",
+                    table.name,
+                )
+            if len(parents) >= 2 and set(table.columns) == fk_columns:
+                self._diag(
+                    INFO,
+                    "pattern.pure-join-table",
+                    f"every column belongs to a foreign key "
+                    f"({', '.join(sorted(set(parents)))}); the table "
+                    f"carries no attributes of its own",
+                    table.name,
+                )
+            for column in table.columns:
+                if column in fk_columns or column in table.primary_key:
+                    continue
+                match = _ID_SUFFIX_RE.match(column)
+                if match is None or not match.group(1):
+                    continue
+                stem = _pattern_norm(match.group(1))
+                guess = table_by_norm.get(stem) or table_by_norm.get(
+                    stem + "s"
+                )
+                hint = (
+                    f"; {guess!r} looks like the referenced table"
+                    if guess is not None and guess != table.name
+                    else ""
+                )
+                self._diag(
+                    INFO,
+                    "pattern.fk-hint",
+                    f"column {column!r} has an id suffix but no declared "
+                    f"foreign key{hint}",
+                    f"{table.name}.{column}",
+                )
+            for column in table.columns:
+                if _pattern_norm(column) in ("deletedat", "isdeleted"):
+                    self._diag(
+                        INFO,
+                        "pattern.soft-delete",
+                        f"column {column!r} suggests soft-deleted rows; "
+                        f"sampled data may include tombstones",
+                        f"{table.name}.{column}",
+                    )
+
+
+def _pattern_norm(name: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "", name.lower())
+
+
+def introspect_sqlite(
+    database: str | sqlite3.Connection, schema_name: str = "db"
+) -> IntrospectionResult:
+    """Introspect a SQLite database (path or open connection).
+
+    >>> import sqlite3
+    >>> conn = sqlite3.connect(":memory:")
+    >>> _ = conn.executescript(
+    ...     "CREATE TABLE person (pname TEXT PRIMARY KEY);"
+    ...     "CREATE TABLE writes (pname TEXT, bid TEXT,"
+    ...     " PRIMARY KEY (pname, bid),"
+    ...     " FOREIGN KEY (pname) REFERENCES person (pname));"
+    ... )
+    >>> result = introspect_sqlite(conn, "src")
+    >>> sorted(result.schema.table_names())
+    ['person', 'writes']
+    >>> [str(ric) for ric in result.schema.rics]
+    ['writes.pname -> person.pname']
+    """
+    connection, owned = open_database(database)
+    try:
+        return SQLiteIntrospector(connection, schema_name).introspect()
+    finally:
+        if owned:
+            connection.close()

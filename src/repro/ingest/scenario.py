@@ -1,0 +1,297 @@
+"""Assemble introspected databases into ready-to-discover scenarios.
+
+The last stage of ingestion: take two live SQLite databases (paths,
+connections, or untrusted SQL dumps) plus conceptual models, and produce
+a batch :class:`~repro.discovery.batch.Scenario` — introspect
+(:mod:`repro.ingest.introspect`), recover semantics
+(:mod:`repro.ingest.recover`), seed or accept correspondences
+(:mod:`repro.ingest.correspond`), and optionally sample live rows into
+:class:`~repro.relational.instance.Instance` objects so discovered TGDs
+can be verified against real data (:mod:`repro.mappings.verify`).
+
+The assembled scenario goes through :meth:`Scenario.create`, so it is
+content-fingerprinted exactly like hand-authored ones: the persistent
+stage cache and the service result cache apply to ingested scenarios
+unchanged.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.cm.model import ConceptualModel
+from repro.correspondences import CorrespondenceSet
+from repro.discovery.batch import Scenario
+from repro.discovery.options import DiscoveryOptions
+from repro.exceptions import IngestError
+from repro.matching import MatchSuggestion
+from repro.relational.instance import Instance
+from repro.relational.schema import RelationalSchema
+from repro.validation import ValidationReport
+
+from repro.ingest.correspond import (
+    as_correspondence_set,
+    seed_correspondences,
+)
+from repro.ingest.introspect import (
+    IntrospectionResult,
+    introspect_sqlite,
+    open_database,
+)
+from repro.ingest.recover import RecoveredSide, recover_introspected
+
+#: Default number of rows sampled per table by ``sample_rows``.
+DEFAULT_SAMPLE_ROWS = 100
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+def sample_instance(
+    database: str | sqlite3.Connection,
+    introspection: IntrospectionResult,
+    rows_per_table: int = DEFAULT_SAMPLE_ROWS,
+) -> Instance:
+    """Sample up to ``rows_per_table`` live rows per introspected table.
+
+    Rows are read in a deterministic order (the table's introspected
+    columns, rows sorted by them) so repeated sampling of the same
+    database yields the same instance. Sampling selects the *original*
+    column names recorded during introspection, so tables whose
+    identifiers were sanitized still read correctly.
+    """
+    if rows_per_table <= 0:
+        raise IngestError(
+            f"rows_per_table must be positive, got {rows_per_table}"
+        )
+    connection, owned = open_database(database)
+    schema = introspection.schema
+    instance = Instance(schema)
+    try:
+        for table in schema:
+            original_table = introspection.original_tables.get(
+                table.name, table.name
+            )
+            originals = introspection.original_columns.get(table.name, {})
+            select_list = ", ".join(
+                _quote(originals.get(column, column))
+                for column in table.columns
+            )
+            try:
+                rows = connection.execute(
+                    f"SELECT {select_list} FROM {_quote(original_table)} "
+                    f"ORDER BY {select_list} LIMIT ?",
+                    (rows_per_table,),
+                ).fetchall()
+            except sqlite3.Error as error:
+                raise IngestError(
+                    f"sampling table {original_table!r} failed: {error}"
+                ) from error
+            instance.add_all(table.name, [tuple(row) for row in rows])
+    finally:
+        if owned:
+            connection.close()
+    return instance
+
+
+@dataclass
+class IngestedScenario:
+    """Everything ingestion produced for one database pair.
+
+    ``scenario`` is ready for :meth:`~repro.discovery.batch.Scenario.run`
+    (or ``discover_many``, or the service job queue); the rest is the
+    provenance a caller needs to audit how it was built.
+    """
+
+    scenario: Scenario
+    source: RecoveredSide
+    target: RecoveredSide
+    #: Matcher suggestions behind the correspondences (empty when an
+    #: explicit correspondence set was supplied).
+    suggestions: tuple[MatchSuggestion, ...] = ()
+    source_instance: Instance | None = None
+    target_instance: Instance | None = None
+
+    @property
+    def correspondences(self) -> CorrespondenceSet:
+        return self.scenario.correspondences
+
+    def validation(self) -> ValidationReport:
+        """Both sides' ingestion diagnostics in one report."""
+        report = ValidationReport()
+        report.extend(self.source.validation)
+        report.extend(self.target.validation)
+        if len(self.scenario.correspondences) == 0:
+            report.warning(
+                "ingest.correspondences.empty",
+                "no correspondences seeded or supplied: discovery has "
+                "nothing to interpret (lower the matching threshold or "
+                "pass an explicit correspondence file)",
+                self.scenario.scenario_id,
+            )
+        return report
+
+    def to_wire(self) -> dict[str, Any]:
+        """The inline scenario spec (``docs/service.md`` wire shape).
+
+        The emitted document is exactly what ``POST /discover`` accepts
+        as ``"scenario"`` — so ``--emit-scenario`` output can be
+        replayed against a server or stored as a fixture.
+        """
+        # Imported lazily: repro.ingest must stay importable without
+        # pulling in the whole service package (which imports back into
+        # ingest for POST /introspect).
+        from repro.service.wire import semantics_to_wire
+
+        return {
+            "id": self.scenario.scenario_id,
+            "source": semantics_to_wire(self.source.semantics),
+            "target": semantics_to_wire(self.target.semantics),
+            "correspondences": [
+                f"{c.source} <-> {c.target}"
+                for c in self.scenario.correspondences
+            ],
+        }
+
+    def describe(self) -> str:
+        """Human-readable ingestion report for both sides."""
+        lines = [f"scenario {self.scenario.scenario_id}:"]
+        for side in (self.source, self.target):
+            lines.extend(
+                f"  {line}" for line in side.describe().splitlines()
+            )
+        lines.append(
+            f"  correspondences: {len(self.scenario.correspondences)}"
+        )
+        for suggestion in self.suggestions:
+            lines.append(f"    {suggestion}")
+        return "\n".join(lines)
+
+
+def ingest_pair(
+    source_db: str | sqlite3.Connection,
+    target_db: str | sqlite3.Connection,
+    source_model: ConceptualModel,
+    target_model: ConceptualModel | None = None,
+    *,
+    scenario_id: str = "ingested",
+    source_name: str = "source",
+    target_name: str = "target",
+    correspondences: CorrespondenceSet | None = None,
+    synonyms: Mapping[str, str] | None = None,
+    threshold: float = 0.75,
+    options: DiscoveryOptions | None = None,
+    sample_rows: int = 0,
+    strict: bool = False,
+) -> IngestedScenario:
+    """Turn two live SQLite databases + CM(s) into a discovery scenario.
+
+    ``target_model`` defaults to ``source_model`` (the paper's setting:
+    both legacy schemas interpreted against one shared CM). When
+    ``correspondences`` is given, the matcher is skipped entirely;
+    otherwise :func:`seed_correspondences` bootstraps them through the
+    shared CM. ``sample_rows > 0`` additionally samples that many live
+    rows per table into ``source_instance``/``target_instance`` for
+    post-discovery TGD verification. ``strict`` turns uninterpreted
+    tables/columns into hard :class:`IngestError` failures.
+    """
+    source_side = recover_introspected(
+        introspect_sqlite(source_db, source_name),
+        source_model,
+        strict=strict,
+    )
+    target_side = recover_introspected(
+        introspect_sqlite(target_db, target_name),
+        target_model if target_model is not None else source_model,
+        strict=strict,
+    )
+    suggestions: tuple[MatchSuggestion, ...] = ()
+    if correspondences is None:
+        suggested = seed_correspondences(
+            source_side.semantics,
+            target_side.semantics,
+            source_types=source_side.introspection.column_types,
+            target_types=target_side.introspection.column_types,
+            synonyms=synonyms,
+            threshold=threshold,
+        )
+        suggestions = tuple(suggested)
+        correspondences = as_correspondence_set(suggested)
+    scenario = Scenario.create(
+        scenario_id,
+        source_side.semantics,
+        target_side.semantics,
+        correspondences,
+        options=options,
+    )
+    ingested = IngestedScenario(
+        scenario, source_side, target_side, suggestions
+    )
+    if sample_rows > 0:
+        ingested.source_instance = sample_instance(
+            source_db, source_side.introspection, sample_rows
+        )
+        ingested.target_instance = sample_instance(
+            target_db, target_side.introspection, sample_rows
+        )
+    return ingested
+
+
+# ---------------------------------------------------------------------------
+# CM argument resolution (CLI layer)
+# ---------------------------------------------------------------------------
+def resolve_cm_argument(
+    text: str,
+) -> tuple[ConceptualModel, ConceptualModel]:
+    """Resolve a ``--cm`` argument to ``(source model, target model)``.
+
+    Accepted forms:
+
+    * a registered dataset name (``DBLP`` ...) — uses that dataset's
+      source and target models for the respective sides;
+    * a path to a JSON file holding either one
+      :func:`repro.cm.serialize.model_to_dict` document (shared by both
+      sides) or ``{"source": {...}, "target": {...}}``.
+
+    This helper reads files, so it is CLI-only; the service resolves CMs
+    from inline request payloads instead (paths are refused over the
+    wire).
+    """
+    import json
+    import os
+
+    from repro.cm.serialize import model_from_dict
+    from repro.datasets.registry import dataset_names, load_dataset
+
+    if text in dataset_names():
+        pair = load_dataset(text)
+        return pair.source.model, pair.target.model
+    if not os.path.exists(text):
+        raise IngestError(
+            f"--cm {text!r} is neither a registered dataset "
+            f"({sorted(dataset_names())}) nor an existing JSON file"
+        )
+    try:
+        with open(text, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise IngestError(f"cannot read CM file {text!r}: {error}") from error
+    try:
+        if (
+            isinstance(document, dict)
+            and "source" in document
+            and "target" in document
+        ):
+            return (
+                model_from_dict(document["source"]),
+                model_from_dict(document["target"]),
+            )
+        model = model_from_dict(document)
+        return model, model
+    except Exception as error:
+        raise IngestError(
+            f"CM file {text!r} is not a valid model document: {error}"
+        ) from error

@@ -38,10 +38,29 @@ from repro.semantics.lav import SchemaSemantics
 from repro.semantics.stree import SemanticTree
 
 _NORM_RE = re.compile(r"[^a-z0-9]+")
+_ID_SUFFIX_RE = re.compile(r"(.+?)id$")
 
 
 def _norm(name: str) -> str:
     return _NORM_RE.sub("", name.lower())
+
+
+def _singular_norms(normalized: str) -> tuple[str, ...]:
+    """Singular candidates for a plural normalized name.
+
+    Real-world tables are often pluralized (``employees``,
+    ``categories``, ``addresses``) while CM classes are singular; the
+    anchor search tries these reduced forms when the exact form finds
+    nothing.
+    """
+    candidates = []
+    if normalized.endswith("ies") and len(normalized) > 3:
+        candidates.append(normalized[:-3] + "y")
+    if normalized.endswith("es") and len(normalized) > 2:
+        candidates.append(normalized[:-2])
+    if normalized.endswith("s") and len(normalized) > 1:
+        candidates.append(normalized[:-1])
+    return tuple(candidates)
 
 
 @dataclass
@@ -105,17 +124,21 @@ class SemanticsRecoverer:
     # ------------------------------------------------------------------
     def _find_anchor(self, table: Table) -> str | None:
         normalized = _norm(table.name)
-        # (a) class name match — entity and reified tables.
-        for class_name in self.model.class_names():
-            if _norm(class_name) == normalized:
-                return class_name
+        name_forms = (normalized,) + _singular_norms(normalized)
+        # (a) class name match — entity and reified tables. Exact form
+        # first; singular fallbacks only when nothing matches exactly.
+        for form in name_forms:
+            for class_name in self.model.class_names():
+                if _norm(class_name) == form:
+                    return class_name
         # (b) relationship name match — relationship tables anchor at the
         # relationship's domain (the er2rel convention).
-        for rel_name, relationship in self.model.relationships.items():
-            if relationship.is_role:
-                continue
-            if _norm(rel_name) == normalized:
-                return relationship.domain
+        for form in name_forms:
+            for rel_name, relationship in self.model.relationships.items():
+                if relationship.is_role:
+                    continue
+                if _norm(rel_name) == form:
+                    return relationship.domain
         # (c) key-attribute match.
         pk = {_norm(column) for column in table.primary_key}
         if pk:
@@ -167,7 +190,7 @@ class SemanticsRecoverer:
         for column in table.columns:
             if column in fk_columns:
                 continue
-            owner = self._attribute_owner(anchor, column)
+            owner = self._attribute_owner(anchor, column, _norm(table.name))
             if owner is None:
                 missing.append(column)
                 continue
@@ -192,14 +215,18 @@ class SemanticsRecoverer:
         range_key = effective_key(self.model, relationship.range)
         remaining = list(table.columns)
         for attribute in domain_key:
-            column = self._pop_matching(remaining, attribute)
+            column = self._pop_matching(
+                remaining, attribute, relationship.domain
+            )
             if column is None:
                 missing.append(attribute)
                 continue
             node = self._key_node(builder, builder.root, relationship.domain)
             builder.map_column(column, node, attribute)
         for attribute in range_key:
-            column = self._pop_matching(remaining, attribute)
+            column = self._pop_matching(
+                remaining, attribute, relationship.range
+            )
             if column is None:
                 missing.append(attribute)
                 continue
@@ -216,7 +243,7 @@ class SemanticsRecoverer:
             participant_key = effective_key(self.model, role.range)
             child = builder.add_edge(builder.root, role.name, role.range)
             for attribute in participant_key:
-                column = self._pop_matching(remaining, attribute)
+                column = self._pop_matching(remaining, attribute, role.range)
                 if column is None:
                     missing.append(attribute)
                     continue
@@ -245,22 +272,53 @@ class SemanticsRecoverer:
         return result
 
     def _attribute_owner(
-        self, anchor: str, column: str
+        self, anchor: str, column: str, table_norm: str = ""
     ) -> tuple[str, str] | None:
-        """The class (anchor or ancestor) owning an attribute ≈ ``column``."""
+        """The class (anchor or ancestor) owning an attribute ≈ ``column``.
+
+        Exact normalized matches win over everything; only when the
+        whole ISA chain has no exact match does the search retry with
+        entity prefixes stripped, so ``employee_name`` (or camelCase
+        ``employeeName``) on an ``Employee``-anchored table still finds
+        the ``name`` attribute.
+        """
         normalized = _norm(column)
+        chain = self._isa_chain(anchor)
+        for class_name in chain:
+            for attribute in self.model.cm_class(class_name).attributes:
+                if _norm(attribute) == normalized:
+                    return class_name, attribute
+        # Prefix fallback: real-world schemas qualify columns with the
+        # entity (class or table) name.
+        prefixes = {table_norm, _norm(anchor)} | {
+            _norm(class_name) for class_name in chain
+        }
+        for prefix in sorted(prefixes, key=len, reverse=True):
+            if not prefix or not normalized.startswith(prefix):
+                continue
+            stripped = normalized[len(prefix):]
+            if not stripped:
+                continue
+            for class_name in chain:
+                attributes = self.model.cm_class(class_name).attributes
+                for attribute in attributes:
+                    if _norm(attribute) == stripped:
+                        return class_name, attribute
+        return None
+
+    def _isa_chain(self, anchor: str) -> list[str]:
+        """``anchor`` plus its ancestors, breadth-first, deduplicated."""
+        chain: list[str] = []
         frontier = [anchor]
-        seen = set()
+        seen: set[str] = set()
         while frontier:
             class_name = frontier.pop(0)
             if class_name in seen:
                 continue
             seen.add(class_name)
-            for attribute in self.model.cm_class(class_name).attributes:
-                if _norm(attribute) == normalized:
-                    return class_name, attribute
+            chain.append(class_name)
             frontier.extend(self.model.direct_superclasses(class_name))
-        return None
+        return chain
 
     def _ensure_isa_node(self, builder, node_of_class, anchor, owner):
         if owner in node_of_class:
@@ -326,13 +384,24 @@ class SemanticsRecoverer:
         return path
 
     @staticmethod
-    def _pop_matching(columns: list[str], attribute: str) -> str | None:
+    def _pop_matching(
+        columns: list[str], attribute: str, class_name: str | None = None
+    ) -> str | None:
         normalized = _norm(attribute)
         for column in columns:
             column_norm = _norm(column)
             if column_norm == normalized or column_norm.endswith(normalized):
                 columns.remove(column)
                 return column
+        if class_name is not None:
+            # ``employee_id`` names the participant class, not its key
+            # attribute — accept when the stem identifies the class.
+            class_norm = _norm(class_name)
+            for column in columns:
+                id_match = _ID_SUFFIX_RE.match(_norm(column))
+                if id_match and class_norm.startswith(id_match.group(1)):
+                    columns.remove(column)
+                    return column
         return None
 
     def _place_foreign_key(
@@ -366,6 +435,21 @@ class SemanticsRecoverer:
             target_key = effective_key(self.model, target_class)
             if target_key and normalized_column.endswith(_norm(target_key[0])):
                 chosen = candidates[0]
+        if chosen is None:
+            # Real-world ``_id``-suffix style: ``dept_id`` / ``deptId``
+            # names the *referenced entity* (often abbreviated), not its
+            # key attribute. The RIC already pins the referenced table,
+            # so the suffix alone decides when only one relationship
+            # leads there; the stem disambiguates parallel ones.
+            id_match = _ID_SUFFIX_RE.match(normalized_column)
+            if id_match:
+                stem = id_match.group(1)
+                for rel in candidates:
+                    if _norm(rel.name).startswith(stem):
+                        chosen = rel
+                        break
+                if chosen is None and len(candidates) == 1:
+                    chosen = candidates[0]
         if chosen is None:
             return False
         child = builder.add_edge(builder.root, chosen.name, chosen.range)

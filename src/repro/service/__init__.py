@@ -15,8 +15,8 @@ serves discovery over HTTP/JSON:
 * :mod:`repro.service.metrics` — request/latency/cache counters layered
   on :mod:`repro.perf`, exposed Prometheus-style at ``GET /metrics``;
 * :mod:`repro.service.server` — the endpoints (``POST /discover``,
-  ``POST /validate``, ``GET /jobs/<id>``, ``GET /health``,
-  ``GET /metrics``) behind ``python -m repro serve``;
+  ``POST /introspect``, ``POST /validate``, ``GET /jobs/<id>``,
+  ``GET /health``, ``GET /metrics``) behind ``python -m repro serve``;
 * :mod:`repro.service.client` — a thin urllib client.
 
 See ``docs/service.md`` for the API reference, capacity/backpressure
@@ -30,9 +30,11 @@ from repro.service.metrics import ServiceMetrics, parse_exposition
 from repro.service.server import MappingService, ReproServer, ServiceConfig
 from repro.service.wire import (
     DiscoverOptions,
+    IngestRequest,
     diagnostics_to_wire,
     discover_request_from_wire,
     failure_to_wire,
+    introspect_request_from_wire,
     resolve_dataset,
     result_to_wire,
     scenario_from_wire,
@@ -41,6 +43,8 @@ from repro.service.wire import (
 )
 
 __all__ = [
+    "IngestRequest",
+    "introspect_request_from_wire",
     "ResultCache",
     "ServiceClient",
     "Job",

@@ -114,6 +114,48 @@ class ServiceClient:
             "POST", "/discover", payload, accept=(200, 202)
         )
 
+    def introspect(
+        self,
+        source_sql: str,
+        target_sql: str,
+        cm: str | Mapping[str, Any],
+        scenario_id: str | None = None,
+        correspondences: list[str] | None = None,
+        threshold: float | None = None,
+        sample_rows: int | None = None,
+        verify: bool = False,
+        mode: str = "sync",
+        use_cache: bool = True,
+        **extra: Any,
+    ) -> dict[str, Any]:
+        """``POST /introspect``: SQL dumps + CM in, mappings out.
+
+        ``cm`` is a registered dataset name or an inline model document
+        — the server refuses filesystem paths, so callers with database
+        *files* must dump them to SQL first (``sqlite3 db .dump``).
+        """
+        payload: dict[str, Any] = {
+            "source_db": {"sql": source_sql},
+            "target_db": {"sql": target_sql},
+            "cm": cm if isinstance(cm, str) else dict(cm),
+            "mode": mode,
+            "use_cache": use_cache,
+            **extra,
+        }
+        if scenario_id is not None:
+            payload["id"] = scenario_id
+        if correspondences is not None:
+            payload["correspondences"] = list(correspondences)
+        if threshold is not None:
+            payload["threshold"] = threshold
+        if sample_rows is not None:
+            payload["sample_rows"] = sample_rows
+        if verify:
+            payload["verify"] = True
+        return self._checked(
+            "POST", "/introspect", payload, accept=(200, 202)
+        )
+
     def validate(self, scenario: Mapping[str, Any]) -> dict[str, Any]:
         """``POST /validate``; 200 whether the scenario is clean or not."""
         return self._checked("POST", "/validate", {"scenario": dict(scenario)})

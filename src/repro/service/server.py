@@ -7,6 +7,13 @@ Endpoints
     ``{"mode": "async"}`` returns 202 with a job id for polling.
     Malformed requests get 400 with structured diagnostics *before*
     anything is queued; a full queue gets 429 with ``Retry-After``.
+``POST /introspect``
+    Live-database ingestion in one call: two SQLite SQL dumps + a CM in,
+    mappings out. Dumps execute into in-memory databases (paths are
+    refused with 400; ``ATTACH`` is denied), schemas are introspected,
+    semantics recovered, correspondences seeded or accepted, and the
+    assembled scenario discovered through the same queue/cache as
+    ``/discover``. See ``docs/ingestion.md``.
 ``POST /validate``
     Pre-flight a scenario through :mod:`repro.validation` without
     running it; always 200 with the diagnostic list (400 only for
@@ -52,6 +59,7 @@ from repro.service.wire import (
     WIRE_VERSION,
     diagnostics_to_wire,
     discover_request_from_wire,
+    introspect_request_from_wire,
     scenario_from_wire,
 )
 from repro.validation import validate_scenario
@@ -115,6 +123,52 @@ def _error_payload(
     payload = {"type": error_type, "message": message}
     payload.update(extra)
     return payload
+
+
+def _side_to_wire(side: Any) -> dict[str, Any]:
+    """One ingested side's provenance for the ``/introspect`` response."""
+    semantics = side.recovery.semantics
+    return {
+        "schema": semantics.schema.name,
+        "tables": len(semantics.schema),
+        "recovered": len(semantics.tables_with_semantics()),
+        "coverage": round(side.recovery.coverage(), 4),
+        "introspection": [
+            d.to_wire() for d in side.introspection.diagnostics
+        ],
+    }
+
+
+def _verify_result(result: Any, ingested: Any) -> dict[str, Any]:
+    """Check a finished job's mappings against the sampled instances.
+
+    The job payload is the wire document (possibly replayed from the
+    result cache), so candidates are reconstructed from their serialized
+    form rather than assuming an in-memory ``DiscoveryResult`` exists.
+    """
+    from repro.mappings.serialize import candidate_from_dict
+    from repro.mappings.verify import verify_mappings
+
+    candidates = [
+        candidate_from_dict(entry)
+        for entry in result["mapping"]["candidates"]
+    ]
+    tgds = [
+        candidate.to_tgd(f"M{index}")
+        for index, candidate in enumerate(candidates, start=1)
+    ]
+    verification = verify_mappings(
+        tgds, ingested.source_instance, ingested.target_instance
+    )
+    return {
+        "ok": verification.ok,
+        "satisfied": list(verification.satisfied),
+        "violations": [str(v) for v in verification.violated],
+        "sampled_rows": {
+            "source": ingested.source_instance.size(),
+            "target": ingested.target_instance.size(),
+        },
+    }
 
 
 def _versioned(payload: dict[str, Any]) -> dict[str, Any]:
@@ -245,6 +299,136 @@ class MappingService:
             "cached": from_cache,
             "result": job.result,
         }
+
+    # ------------------------------------------------------------------
+    # POST /introspect
+    # ------------------------------------------------------------------
+    @_versioned_handler
+    def handle_introspect(self, payload: Any) -> tuple[int, dict[str, Any]]:
+        """Ingest two SQL dumps end to end: introspect → recover →
+        correspond → validate → discover, in one call.
+
+        The databases arrive as SQL text executed into in-memory
+        connections under an ``ATTACH``-denying authorizer — requests
+        naming filesystem paths never get past the wire layer (400).
+        Discovery itself goes through the same job queue and result
+        cache as ``POST /discover``, so an ingested scenario whose
+        content fingerprint matches a previous run is served warm.
+        """
+        from repro.exceptions import IngestError
+        from repro.ingest import connect_memory_from_sql, ingest_pair
+
+        try:
+            request = introspect_request_from_wire(payload)
+        except WireFormatError as error:
+            return 400, {
+                "status": "bad-request",
+                "error": _error_payload("WireFormatError", str(error)),
+            }
+        connections = []
+        try:
+            source_conn = connect_memory_from_sql(request.source_sql)
+            connections.append(source_conn)
+            target_conn = connect_memory_from_sql(request.target_sql)
+            connections.append(target_conn)
+            ingested = ingest_pair(
+                source_conn,
+                target_conn,
+                request.source_model,
+                request.target_model,
+                scenario_id=request.scenario_id,
+                correspondences=request.correspondences,
+                threshold=request.threshold,
+                options=request.options.discovery,
+                sample_rows=request.sample_rows,
+                strict=request.strict,
+            )
+        except IngestError as error:
+            self.metrics.inc("ingest_failures_total")
+            return 400, {
+                "status": "bad-request",
+                "error": _error_payload("IngestError", str(error)),
+            }
+        finally:
+            for connection in connections:
+                connection.close()
+        report = ingested.validation()
+        report.extend(validate_scenario(ingested.scenario))
+        ingest_summary = {
+            "source": _side_to_wire(ingested.source),
+            "target": _side_to_wire(ingested.target),
+            "correspondences": [
+                f"{c.source} <-> {c.target}"
+                for c in ingested.correspondences
+            ],
+            "suggestions": [str(s) for s in ingested.suggestions],
+            "diagnostics": diagnostics_to_wire(report),
+        }
+        if report.errors:
+            self.metrics.inc("validation_failures_total")
+            return 400, {
+                "status": "invalid",
+                "scenario_id": request.scenario_id,
+                "ingest": ingest_summary,
+                "error": _error_payload(
+                    "ValidationError",
+                    f"{len(report.errors)} error(s) ingesting the pair; "
+                    f"see ingest.diagnostics",
+                ),
+            }
+        try:
+            job, from_cache = self.jobs.submit(
+                ingested.scenario, use_cache=request.options.use_cache
+            )
+        except QueueFullError as error:
+            return 429, {
+                "status": "rejected",
+                "scenario_id": request.scenario_id,
+                "error": _error_payload("QueueFullError", str(error)),
+            }
+        if request.options.mode == "async":
+            return 202, {
+                "status": "accepted",
+                **job.to_wire(),
+                "scenario_id": request.scenario_id,
+                "ingest": ingest_summary,
+            }
+        timeout = (
+            request.options.timeout_seconds
+            if request.options.timeout_seconds is not None
+            else self.config.request_timeout_seconds
+        )
+        if not job.wait(timeout):
+            return 202, {
+                "status": "pending",
+                "detail": (
+                    f"job not finished after {timeout}s; poll "
+                    f"GET /jobs/{job.job_id}"
+                ),
+                **job.to_wire(),
+                "ingest": ingest_summary,
+            }
+        if job.state == "error":
+            return 500, {
+                "status": "error",
+                "job_id": job.job_id,
+                "scenario_id": job.scenario_id,
+                "ingest": ingest_summary,
+                "error": job.error,
+            }
+        response = {
+            "status": "ok",
+            "job_id": job.job_id,
+            "scenario_id": request.scenario_id,
+            "cached": from_cache,
+            "ingest": ingest_summary,
+            "result": job.result,
+        }
+        if request.verify:
+            response["verification"] = _verify_result(
+                job.result, ingested
+            )
+        return 200, response
 
     # ------------------------------------------------------------------
     # POST /validate
@@ -432,6 +616,7 @@ class _Handler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0].rstrip("/")
         routes = {
             "/discover": ("discover", self.service.handle_discover),
+            "/introspect": ("introspect", self.service.handle_introspect),
             "/validate": ("validate", self.service.handle_validate),
         }
         if path not in routes:

@@ -384,6 +384,183 @@ def discover_request_from_wire(
 
 
 # ---------------------------------------------------------------------------
+# Ingestion requests (POST /introspect)
+# ---------------------------------------------------------------------------
+#: Keys in a wire database spec that smell like filesystem/network
+#: references — refused outright, mirroring the ``cache_dir`` policy.
+_PATHLIKE_DB_KEYS = frozenset(
+    {"path", "file", "filename", "url", "uri", "database", "dsn"}
+)
+
+
+@dataclass(frozen=True)
+class IngestRequest:
+    """A parsed ``POST /introspect`` body (see ``docs/ingestion.md``).
+
+    Both databases arrive as *SQL dumps* executed into in-memory
+    connections — never as paths; models arrive as registered dataset
+    names or inline documents — never as files.
+    """
+
+    source_sql: str
+    target_sql: str
+    source_model: Any
+    target_model: Any
+    scenario_id: str
+    correspondences: CorrespondenceSet | None
+    threshold: float
+    sample_rows: int
+    verify: bool
+    strict: bool
+    options: DiscoverOptions
+
+
+def _database_sql(spec: Any, side: str) -> str:
+    """Extract the SQL dump of one wire database spec; refuse paths.
+
+    The server must never open a filesystem path a client named: a
+    request like ``{"path": "/etc/..."}`` is rejected with a message
+    explaining the policy, exactly like ``cache_dir`` in options.
+    """
+    if not isinstance(spec, Mapping):
+        raise WireFormatError(
+            f"'{side}' must be an object with an 'sql' dump, got "
+            f"{type(spec).__name__}"
+        )
+    pathlike = sorted(_PATHLIKE_DB_KEYS & set(spec))
+    if pathlike:
+        raise WireFormatError(
+            f"'{side}' carries filesystem/network reference(s) "
+            f"{pathlike}: the server never opens paths named by a "
+            f"client; ship the database as {{'sql': <dump>}} (use "
+            f"'python -m repro introspect' locally for file access)"
+        )
+    unknown = sorted(set(spec) - {"sql"})
+    if unknown:
+        raise WireFormatError(
+            f"'{side}' has unknown key(s) {unknown}; expected 'sql'"
+        )
+    sql = spec.get("sql")
+    if not isinstance(sql, str) or not sql.strip():
+        raise WireFormatError(
+            f"'{side}.sql' must be a non-empty SQL dump string"
+        )
+    return sql
+
+
+def _cm_models(spec: Any) -> tuple[Any, Any]:
+    """Resolve the wire ``"cm"`` field to ``(source, target)`` models."""
+    if isinstance(spec, str):
+        if spec in dataset_names():
+            pair = resolve_dataset(spec)
+            return pair.source.model, pair.target.model
+        raise WireFormatError(
+            f"'cm' {spec!r} is not a registered dataset "
+            f"({sorted(dataset_names())}); file paths cannot be "
+            f"supplied over the wire — inline the model document "
+            f"instead"
+        )
+    if isinstance(spec, Mapping):
+        try:
+            if "source" in spec and "target" in spec:
+                return (
+                    model_from_dict(spec["source"]),
+                    model_from_dict(spec["target"]),
+                )
+            model = model_from_dict(spec)
+            return model, model
+        except (ReproError, KeyError, TypeError, ValueError) as error:
+            raise WireFormatError(
+                f"bad 'cm' model document: {error}"
+            ) from error
+    raise WireFormatError(
+        f"'cm' must be a dataset name or an inline model document, got "
+        f"{type(spec).__name__}"
+    )
+
+
+def introspect_request_from_wire(payload: Mapping[str, Any]) -> IngestRequest:
+    """Parse a full ``POST /introspect`` body; bad shapes become 400s."""
+    if not isinstance(payload, Mapping):
+        raise WireFormatError("request body must be a JSON object")
+    check_wire_version(payload)
+    for key in ("source_db", "target_db", "cm"):
+        if key not in payload:
+            raise WireFormatError(f"request body needs {key!r}")
+    source_sql = _database_sql(payload["source_db"], "source_db")
+    target_sql = _database_sql(payload["target_db"], "target_db")
+    source_model, target_model = _cm_models(payload["cm"])
+    correspondences = None
+    if "correspondences" in payload:
+        correspondences = _parse_correspondences(payload["correspondences"])
+    threshold = payload.get("threshold", 0.75)
+    if (
+        not isinstance(threshold, (int, float))
+        or isinstance(threshold, bool)
+        or not 0.0 < threshold <= 1.0
+    ):
+        raise WireFormatError(
+            "'threshold' must be a number in (0, 1]"
+        )
+    strict = payload.get("strict", False)
+    if not isinstance(strict, bool):
+        raise WireFormatError("'strict' must be a boolean")
+    verify = payload.get("verify", False)
+    if not isinstance(verify, bool):
+        raise WireFormatError("'verify' must be a boolean")
+    sample_rows = payload.get("sample_rows", 100 if verify else 0)
+    if (
+        not isinstance(sample_rows, int)
+        or isinstance(sample_rows, bool)
+        or sample_rows < 0
+    ):
+        raise WireFormatError(
+            "'sample_rows' must be a non-negative integer"
+        )
+    if verify and sample_rows == 0:
+        raise WireFormatError(
+            "'verify' needs sampled rows; leave 'sample_rows' unset or "
+            "make it positive"
+        )
+    discovery = DiscoveryOptions()
+    if "options" in payload:
+        discovery = discovery_options_from_wire(payload["options"])
+    mode = payload.get("mode", "sync")
+    if mode not in ("sync", "async"):
+        raise WireFormatError(
+            f"'mode' must be 'sync' or 'async', got {mode!r}"
+        )
+    if verify and mode == "async":
+        raise WireFormatError(
+            "'verify' is synchronous (it checks mappings against the "
+            "sampled rows before responding); use mode 'sync'"
+        )
+    use_cache = payload.get("use_cache", True)
+    if not isinstance(use_cache, bool):
+        raise WireFormatError("'use_cache' must be a boolean")
+    timeout = payload.get("timeout_seconds")
+    if timeout is not None:
+        if not isinstance(timeout, (int, float)) or timeout <= 0:
+            raise WireFormatError(
+                "'timeout_seconds' must be a positive number"
+            )
+        timeout = float(timeout)
+    return IngestRequest(
+        source_sql=source_sql,
+        target_sql=target_sql,
+        source_model=source_model,
+        target_model=target_model,
+        scenario_id=str(payload.get("id", "introspected")),
+        correspondences=correspondences,
+        threshold=float(threshold),
+        sample_rows=sample_rows,
+        verify=verify,
+        strict=strict,
+        options=DiscoverOptions(mode, use_cache, timeout, discovery),
+    )
+
+
+# ---------------------------------------------------------------------------
 # Results / failures / diagnostics -> wire
 # ---------------------------------------------------------------------------
 def result_to_wire(result: DiscoveryResult) -> dict[str, Any]:

@@ -1,0 +1,127 @@
+"""Unit tests for correspondence seeding and type affinity."""
+
+import pytest
+
+from repro.exceptions import IngestError
+from repro.ingest import (
+    parse_correspondence_lines,
+    seed_correspondences,
+    type_affinity,
+)
+from repro.ingest.correspond import TYPE_MISMATCH_PENALTY
+
+
+class TestTypeAffinity:
+    @pytest.mark.parametrize(
+        "declared, affinity",
+        [
+            ("INTEGER", "integer"),
+            ("int", "integer"),
+            ("BIGINT", "integer"),
+            ("VARCHAR(80)", "text"),
+            ("TEXT", "text"),
+            ("CLOB", "text"),
+            ("BLOB", "blob"),
+            ("REAL", "real"),
+            ("DOUBLE PRECISION", "real"),
+            ("FLOAT", "real"),
+            ("DECIMAL(10,2)", "numeric"),
+            ("DATE", "numeric"),
+            ("", "blob"),
+        ],
+    )
+    def test_sqlite_affinity_rules(self, declared, affinity):
+        assert type_affinity(declared) == affinity
+
+    def test_first_rule_wins(self):
+        # "CHARINT" contains both INT and CHAR; INT is checked first.
+        assert type_affinity("CHARINT") == "integer"
+
+
+class TestSeeding:
+    def _sides(self):
+        from repro.datasets.registry import load_dataset
+
+        pair = load_dataset("DBLP")
+        return pair.source, pair.target
+
+    def test_suggestions_carry_scores_and_reasons(self):
+        source, target = self._sides()
+        suggestions = seed_correspondences(source, target, threshold=0.75)
+        assert suggestions
+        for suggestion in suggestions:
+            assert suggestion.score >= 0.75
+            assert suggestion.reason
+
+    def test_type_mismatch_penalty_demotes(self):
+        source, target = self._sides()
+        baseline = seed_correspondences(source, target, threshold=0.0)
+        chosen = baseline[0].correspondence
+        source_types = {
+            chosen.source.table: {chosen.source.name: "INTEGER"}
+        }
+        target_types = {
+            chosen.target.table: {chosen.target.name: "VARCHAR(80)"}
+        }
+        penalized = seed_correspondences(
+            source,
+            target,
+            source_types=source_types,
+            target_types=target_types,
+            threshold=0.0,
+        )
+        by_corr = {
+            str(s.correspondence): s.score for s in penalized
+        }
+        assert by_corr[str(chosen)] == pytest.approx(
+            baseline[0].score * TYPE_MISMATCH_PENALTY
+        )
+        assert "affinity mismatch" in next(
+            s.reason
+            for s in penalized
+            if str(s.correspondence) == str(chosen)
+        )
+
+    def test_threshold_applies_after_penalty(self):
+        source, target = self._sides()
+        baseline = seed_correspondences(source, target, threshold=0.0)
+        chosen = baseline[0]
+        threshold = chosen.score * 0.9  # above the penalized score
+        penalized = seed_correspondences(
+            source,
+            target,
+            source_types={
+                chosen.correspondence.source.table: {
+                    chosen.correspondence.source.name: "INTEGER"
+                }
+            },
+            target_types={
+                chosen.correspondence.target.table: {
+                    chosen.correspondence.target.name: "TEXT"
+                }
+            },
+            threshold=threshold,
+        )
+        assert str(chosen.correspondence) not in {
+            str(s.correspondence) for s in penalized
+        }
+
+
+class TestCorrespondenceFile:
+    def test_parse_with_comments_and_blanks(self):
+        parsed = parse_correspondence_lines(
+            [
+                "# authored by hand",
+                "",
+                "person.pname <-> author.aname",
+                "  book.bid <-> pub.pid  ",
+            ]
+        )
+        assert len(parsed) == 2
+        assert str(parsed[0]) == "person.pname ↔ author.aname"
+
+    def test_malformed_line_names_line_number(self):
+        with pytest.raises(IngestError, match="line 3"):
+            parse_correspondence_lines(
+                ["# ok", "a.b <-> c.d", "not a correspondence"]
+            )

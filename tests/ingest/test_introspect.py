@@ -1,0 +1,191 @@
+"""Unit tests for SQLite catalog introspection."""
+
+import sqlite3
+
+import pytest
+
+from repro.exceptions import IngestError
+from repro.ingest import connect_memory_from_sql, introspect_sqlite
+from repro.ingest.introspect import open_database
+
+
+def _introspect(sql: str):
+    connection = connect_memory_from_sql(sql)
+    try:
+        return introspect_sqlite(connection)
+    finally:
+        connection.close()
+
+
+class TestCatalogReading:
+    def test_tables_columns_keys(self):
+        result = _introspect(
+            "CREATE TABLE person (pname TEXT PRIMARY KEY, age INTEGER);"
+            "CREATE TABLE book (bid TEXT PRIMARY KEY);"
+        )
+        schema = result.schema
+        assert schema.table_names() == ("person", "book")
+        assert schema.table("person").columns == ("pname", "age")
+        assert schema.table("person").primary_key == ("pname",)
+        assert result.column_types["person"]["age"] == "INTEGER"
+
+    def test_composite_pk_ordinal_order(self):
+        result = _introspect(
+            "CREATE TABLE t (b TEXT, a TEXT, PRIMARY KEY (a, b));"
+        )
+        assert result.schema.table("t").primary_key == ("a", "b")
+
+    def test_foreign_keys_in_declaration_order(self):
+        result = _introspect(
+            "CREATE TABLE p (x TEXT PRIMARY KEY);"
+            "CREATE TABLE q (y TEXT PRIMARY KEY);"
+            "CREATE TABLE c (x TEXT REFERENCES p (x),"
+            "                y TEXT REFERENCES q (y), PRIMARY KEY (x, y));"
+        )
+        assert [str(r) for r in result.schema.rics] == [
+            "c.x -> p.x",
+            "c.y -> q.y",
+        ]
+
+    def test_implicit_parent_pk_resolved(self):
+        # REFERENCES p (no column list) means p's primary key.
+        result = _introspect(
+            "CREATE TABLE p (x TEXT PRIMARY KEY);"
+            "CREATE TABLE c (r TEXT REFERENCES p, PRIMARY KEY (r));"
+        )
+        assert [str(r) for r in result.schema.rics] == ["c.r -> p.x"]
+
+    def test_internal_sqlite_tables_skipped(self):
+        result = _introspect(
+            "CREATE TABLE t (a TEXT PRIMARY KEY);"
+            "CREATE TABLE u (b INTEGER PRIMARY KEY AUTOINCREMENT);"
+        )
+        # AUTOINCREMENT creates sqlite_sequence; it must not surface.
+        assert result.schema.table_names() == ("t", "u")
+
+    def test_unique_index_becomes_natural_key_finding(self):
+        result = _introspect(
+            "CREATE TABLE t (a TEXT PRIMARY KEY, email TEXT);"
+            "CREATE UNIQUE INDEX t_email ON t (email);"
+        )
+        assert result.natural_keys["t"] == (("email",),)
+        assert result.findings("pattern.natural-key")
+
+
+class TestDiagnostics:
+    def test_no_primary_key_warning(self):
+        result = _introspect("CREATE TABLE log (entry TEXT);")
+        codes = {d.code for d in result.warnings}
+        assert "table.no-primary-key" in codes
+
+    def test_edge_table_and_pure_join_table(self):
+        result = _introspect(
+            "CREATE TABLE person (p TEXT PRIMARY KEY);"
+            "CREATE TABLE knows (a TEXT REFERENCES person (p),"
+            "                    b TEXT REFERENCES person (p),"
+            "                    PRIMARY KEY (a, b));"
+        )
+        assert result.findings("pattern.edge-table")
+        assert result.findings("pattern.pure-join-table")
+
+    def test_fk_hint_on_undeclared_id_column(self):
+        result = _introspect(
+            "CREATE TABLE t (k TEXT PRIMARY KEY, owner_id TEXT);"
+        )
+        (hint,) = result.findings("pattern.fk-hint")
+        assert hint.location == "t.owner_id"
+
+    def test_fk_hint_skips_declared_fks_and_own_pk(self):
+        result = _introspect(
+            "CREATE TABLE p (pid TEXT PRIMARY KEY);"
+            "CREATE TABLE c (cid TEXT PRIMARY KEY,"
+            "                pid TEXT REFERENCES p (pid));"
+        )
+        assert result.findings("pattern.fk-hint") == ()
+
+    def test_soft_delete_finding(self):
+        result = _introspect(
+            "CREATE TABLE t (k TEXT PRIMARY KEY, deleted_at TEXT);"
+        )
+        assert result.findings("pattern.soft-delete")
+
+    def test_dangling_fk_dropped_with_diagnostic(self):
+        # PRAGMA foreign_keys defaults OFF, so SQLite happily stores a
+        # reference to a table that does not exist.
+        result = _introspect(
+            "CREATE TABLE c (x TEXT PRIMARY KEY REFERENCES ghost (y));"
+        )
+        assert result.schema.rics == ()
+        assert result.findings("constraint.dangling")
+
+    def test_identifier_sanitization_reported_and_mapped(self):
+        result = _introspect(
+            'CREATE TABLE "line items" ("unit price" TEXT PRIMARY KEY);'
+        )
+        assert result.schema.table_names() == ("line_items",)
+        assert result.schema.table("line_items").columns == ("unit_price",)
+        assert result.findings("identifier.renamed")
+        assert result.original_tables["line_items"] == "line items"
+        assert (
+            result.original_columns["line_items"]["unit_price"]
+            == "unit price"
+        )
+
+    def test_empty_table_list_is_error(self):
+        result = _introspect("")
+        assert result.errors
+        assert result.schema.table_names() == ()
+
+
+class TestUntrustedSql:
+    def test_attach_denied(self):
+        with pytest.raises(IngestError, match="not authorized"):
+            connect_memory_from_sql(
+                "ATTACH DATABASE '/tmp/evil.db' AS evil;"
+            )
+
+    def test_malformed_sql_raises_ingest_error(self):
+        with pytest.raises(IngestError):
+            connect_memory_from_sql("CREATE TABLE (((")
+
+    def test_authorizer_removed_after_load(self):
+        connection = connect_memory_from_sql(
+            "CREATE TABLE t (a TEXT PRIMARY KEY);"
+        )
+        try:
+            # Post-load reads work normally (authorizer is cleared).
+            rows = connection.execute("SELECT * FROM t").fetchall()
+            assert rows == []
+        finally:
+            connection.close()
+
+
+class TestOpenDatabase:
+    def test_missing_file_refused_not_created(self, tmp_path):
+        ghost = tmp_path / "nope.db"
+        with pytest.raises(IngestError):
+            open_database(str(ghost))
+        assert not ghost.exists()
+
+    def test_file_opened_read_only(self, tmp_path):
+        path = tmp_path / "live.db"
+        seed = sqlite3.connect(str(path))
+        seed.execute("CREATE TABLE t (a TEXT PRIMARY KEY)")
+        seed.commit()
+        seed.close()
+        connection, owned = open_database(str(path))
+        assert owned
+        try:
+            with pytest.raises(sqlite3.OperationalError):
+                connection.execute("INSERT INTO t VALUES ('x')")
+        finally:
+            connection.close()
+
+    def test_existing_connection_passed_through(self):
+        connection = sqlite3.connect(":memory:")
+        try:
+            same, owned = open_database(connection)
+            assert same is connection
+            assert not owned
+        finally:
+            connection.close()

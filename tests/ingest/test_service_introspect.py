@@ -1,0 +1,210 @@
+"""HTTP-level tests for ``POST /introspect``."""
+
+import pytest
+
+from repro.datasets.instances import generate_instance
+from repro.datasets.registry import load_dataset
+from repro.exceptions import ServiceCallError
+from repro.ingest import materialize_sqlite
+from repro.service.client import ServiceClient
+from repro.service.server import ReproServer, ServiceConfig
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ReproServer(ServiceConfig(workers=2)) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServiceClient(server.url)
+
+
+@pytest.fixture(scope="module")
+def dblp_dumps():
+    """The DBLP pair as SQL dump text (the only wire-legal shape)."""
+    pair = load_dataset("DBLP")
+    dumps = {}
+    for name, side in (("source", pair.source), ("target", pair.target)):
+        instance = generate_instance(side.schema, rows_per_table=3)
+        connection = materialize_sqlite(side.schema, instance=instance)
+        try:
+            dumps[name] = "\n".join(connection.iterdump())
+        finally:
+            connection.close()
+    return pair, dumps
+
+
+class TestIntrospectEndpoint:
+    def test_sync_byte_identical_to_discover(self, client, dblp_dumps):
+        pair, dumps = dblp_dumps
+        case = pair.cases[0]
+        corrs = [
+            f"{c.source} <-> {c.target}" for c in case.correspondences
+        ]
+        introspected = client.introspect(
+            dumps["source"],
+            dumps["target"],
+            "DBLP",
+            scenario_id=case.case_id,
+            correspondences=corrs,
+        )
+        assert introspected["status"] == "ok", introspected
+        ingest = introspected["ingest"]
+        assert ingest["source"]["coverage"] == 1.0
+        assert ingest["target"]["coverage"] == 1.0
+        discovered = client.discover(
+            {
+                "dataset": "DBLP",
+                "id": case.case_id,
+                "correspondences": corrs,
+            }
+        )
+        assert (
+            introspected["result"]["mapping"]
+            == discovered["result"]["mapping"]
+        )
+
+    def test_repeat_request_serves_from_cache(self, client, dblp_dumps):
+        pair, dumps = dblp_dumps
+        case = pair.cases[1]
+        corrs = [
+            f"{c.source} <-> {c.target}" for c in case.correspondences
+        ]
+        kwargs = dict(scenario_id=case.case_id, correspondences=corrs)
+        first = client.introspect(
+            dumps["source"], dumps["target"], "DBLP", **kwargs
+        )
+        assert first["status"] == "ok"
+        repeat = client.introspect(
+            dumps["source"], dumps["target"], "DBLP", **kwargs
+        )
+        assert repeat["cached"] is True, repeat
+
+    def test_verify_section_with_sampled_rows(self, client, dblp_dumps):
+        pair, dumps = dblp_dumps
+        case = pair.cases[0]
+        corrs = [
+            f"{c.source} <-> {c.target}" for c in case.correspondences
+        ]
+        payload = client.introspect(
+            dumps["source"],
+            dumps["target"],
+            "DBLP",
+            scenario_id=f"{case.case_id}-verified",
+            correspondences=corrs,
+            verify=True,
+        )
+        assert payload["status"] == "ok"
+        verification = payload["verification"]
+        assert set(verification) >= {"ok", "satisfied", "violations"}
+        assert verification["sampled_rows"]["source"] > 0
+
+    def test_async_mode_polls_to_done(self, client, dblp_dumps):
+        pair, dumps = dblp_dumps
+        case = pair.cases[2]
+        corrs = [
+            f"{c.source} <-> {c.target}" for c in case.correspondences
+        ]
+        accepted = client.introspect(
+            dumps["source"],
+            dumps["target"],
+            "DBLP",
+            scenario_id=f"{case.case_id}-async",
+            correspondences=corrs,
+            mode="async",
+        )
+        assert "ingest" in accepted
+        finished = client.wait_for_job(accepted["job_id"])
+        assert finished["state"] == "done"
+
+
+class TestWireRefusals:
+    def _post(self, client, payload):
+        return client.request("POST", "/introspect", payload)
+
+    def test_pathlike_database_spec_400(self, client):
+        for key in ("path", "file", "filename", "url", "uri", "dsn"):
+            status, body = self._post(
+                client,
+                {
+                    "source_db": {key: "/etc/passwd"},
+                    "target_db": {"sql": "CREATE TABLE t (a TEXT);"},
+                    "cm": "DBLP",
+                },
+            )
+            assert status == 400, (key, body)
+            assert "sql" in body["error"]["message"]
+
+    def test_cm_path_refused(self, client):
+        status, body = self._post(
+            client,
+            {
+                "source_db": {"sql": "CREATE TABLE t (a TEXT);"},
+                "target_db": {"sql": "CREATE TABLE t (a TEXT);"},
+                "cm": "/etc/cm.json",
+            },
+        )
+        assert status == 400
+        assert "inline" in body["error"]["message"]
+
+    def test_attach_in_dump_refused(self, client):
+        status, body = self._post(
+            client,
+            {
+                "source_db": {
+                    "sql": "ATTACH DATABASE '/tmp/x.db' AS other;"
+                },
+                "target_db": {"sql": "CREATE TABLE t (a TEXT);"},
+                "cm": "DBLP",
+            },
+        )
+        assert status == 400, body
+
+    def test_verify_with_async_refused(self, client, dblp_dumps):
+        _, dumps = dblp_dumps
+        status, body = self._post(
+            client,
+            {
+                "source_db": {"sql": dumps["source"]},
+                "target_db": {"sql": dumps["target"]},
+                "cm": "DBLP",
+                "verify": True,
+                "mode": "async",
+            },
+        )
+        assert status == 400
+
+    def test_cache_dir_over_wire_refused(self, client, dblp_dumps):
+        _, dumps = dblp_dumps
+        status, body = self._post(
+            client,
+            {
+                "source_db": {"sql": dumps["source"]},
+                "target_db": {"sql": dumps["target"]},
+                "cm": "DBLP",
+                "options": {"cache_dir": "/tmp/cache"},
+            },
+        )
+        assert status == 400
+
+    def test_ingest_errors_return_400_with_diagnostics(self, client):
+        # Empty databases ingest to error diagnostics, not discovery.
+        status, body = self._post(
+            client,
+            {
+                "source_db": {"sql": "CREATE TABLE x (a TEXT); DROP TABLE x;"},
+                "target_db": {"sql": "CREATE TABLE t (a TEXT PRIMARY KEY);"},
+                "cm": "DBLP",
+            },
+        )
+        assert status == 400, body
+        assert body["status"] == "invalid"
+        codes = {d["code"] for d in body["ingest"]["diagnostics"]}
+        assert "database.empty" in codes
+
+    def test_client_raises_with_status(self, client):
+        with pytest.raises(ServiceCallError) as caught:
+            client.introspect("", "", "DBLP")
+        assert caught.value.status == 400

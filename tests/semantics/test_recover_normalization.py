@@ -1,0 +1,128 @@
+"""Regression tests: recovery against real-world naming styles.
+
+er2rel output names columns exactly after CM attributes; live databases
+do not. These tests pin the normalization fallbacks — plural table
+names, camelCase, class-prefixed attribute columns, and ``_id``-suffix
+foreign keys that name the referenced *entity* rather than its key —
+and drive one case through the SQLite introspection fixture to prove
+the fallbacks hold on schemas read back from a live database.
+"""
+
+import pytest
+
+from repro.cm import ConceptualModel
+from repro.relational import ReferentialConstraint, RelationalSchema, Table
+from repro.semantics.recover import recover_semantics
+
+
+@pytest.fixture
+def hr_model() -> ConceptualModel:
+    cm = ConceptualModel("hr")
+    cm.add_class("Department", attributes=["dno", "budget"], key=["dno"])
+    cm.add_class(
+        "Employee", attributes=["eno", "name", "salary"], key=["eno"]
+    )
+    cm.add_relationship("worksIn", "Employee", "Department", "1..1", "0..*")
+    return cm
+
+
+def _real_world_schema() -> RelationalSchema:
+    schema = RelationalSchema("legacy")
+    schema.add_table(Table("departments", ["dno", "budget"], ["dno"]))
+    schema.add_table(
+        Table(
+            "employees",
+            ["eno", "employeeName", "salary", "dept_id"],
+            ["eno"],
+        )
+    )
+    schema.add_ric(
+        ReferentialConstraint(
+            "employees", ["dept_id"], "departments", ["dno"]
+        )
+    )
+    return schema
+
+
+class TestRealWorldStyles:
+    def test_plural_tables_anchor_singular_classes(self, hr_model):
+        report = recover_semantics(_real_world_schema(), hr_model)
+        assert report.skipped_tables == []
+        semantics = report.semantics
+        assert semantics.tree("departments").anchor.cm_node == "Department"
+        assert semantics.tree("employees").anchor.cm_node == "Employee"
+
+    def test_class_prefixed_camel_case_column_maps(self, hr_model):
+        report = recover_semantics(_real_world_schema(), hr_model)
+        tree = report.semantics.tree("employees")
+        node, attribute = tree.columns["employeeName"]
+        assert (node.cm_node, attribute) == ("Employee", "name")
+        assert "employees.employeeName" not in report.unmapped_columns
+
+    def test_id_suffix_fk_binds_relationship(self, hr_model):
+        report = recover_semantics(_real_world_schema(), hr_model)
+        tree = report.semantics.tree("employees")
+        node, attribute = tree.columns["dept_id"]
+        assert (node.cm_node, attribute) == ("Department", "dno")
+        edge = tree.parent_edge(node)
+        assert edge is not None and edge.cm_edge.label == "worksIn"
+
+    def test_exact_matches_still_win_over_prefix_stripping(self, hr_model):
+        # A column exactly matching an attribute must not be rerouted by
+        # the prefix fallback even when a stripped form also matches.
+        schema = RelationalSchema("s")
+        schema.add_table(Table("employee", ["eno", "name"], ["eno"]))
+        report = recover_semantics(schema, hr_model)
+        tree = report.semantics.tree("employee")
+        assert tree.columns["name"][1] == "name"
+        assert report.unmapped_columns == []
+
+    def test_relationship_table_with_id_suffix_keys(self):
+        cm = ConceptualModel("proj")
+        cm.add_class("Employee", attributes=["eno"], key=["eno"])
+        cm.add_class("Project", attributes=["pno"], key=["pno"])
+        cm.add_relationship("assignedTo", "Employee", "Project")
+        schema = RelationalSchema("s")
+        schema.add_table(Table("employee", ["eno"], ["eno"]))
+        schema.add_table(Table("project", ["pno"], ["pno"]))
+        schema.add_table(
+            Table(
+                "assignedTo",
+                ["employee_id", "project_id"],
+                ["employee_id", "project_id"],
+            )
+        )
+        report = recover_semantics(schema, cm)
+        assert report.skipped_tables == []
+        tree = report.semantics.tree("assignedTo")
+        mapped = {
+            column: (node.cm_node, attribute)
+            for column, (node, attribute) in tree.columns.items()
+        }
+        assert mapped == {
+            "employee_id": ("Employee", "eno"),
+            "project_id": ("Project", "pno"),
+        }
+
+
+class TestIntrospectedFixtureRoundTrip:
+    def test_live_database_styles_survive_introspection(self, hr_model):
+        """The same legacy schema, materialized to SQLite and read back
+        via PRAGMA introspection, must still recover fully."""
+        from repro.ingest import (
+            introspect_sqlite,
+            materialize_sqlite,
+            recover_introspected,
+        )
+
+        connection = materialize_sqlite(_real_world_schema())
+        try:
+            introspection = introspect_sqlite(connection)
+        finally:
+            connection.close()
+        side = recover_introspected(introspection, hr_model)
+        assert side.ok
+        assert side.recovery.coverage() == 1.0
+        tree = side.semantics.tree("employees")
+        assert tree.anchor.cm_node == "Employee"
+        assert tree.columns["dept_id"][0].cm_node == "Department"

@@ -159,3 +159,107 @@ class TestValidateCommand:
     def test_conflicting_evaluate_modes_rejected(self):
         with pytest.raises(SystemExit):
             main(["evaluate", "--fail-fast", "--keep-going"])
+
+
+class TestIntrospectCommand:
+    @pytest.fixture
+    def hotel_files(self, tmp_path):
+        from repro.datasets.instances import generate_instance
+        from repro.datasets.registry import load_dataset
+        from repro.ingest import materialize_sqlite
+
+        pair = load_dataset("Hotel")
+        paths = {}
+        for name, side in (
+            ("source", pair.source),
+            ("target", pair.target),
+        ):
+            instance = generate_instance(side.schema, rows_per_table=3)
+            path = str(tmp_path / f"{name}.db")
+            materialize_sqlite(side.schema, path, instance=instance).close()
+            paths[name] = path
+        case = pair.cases[0]
+        corrs = tmp_path / "corrs.txt"
+        corrs.write_text(
+            "".join(
+                f"{c.source} <-> {c.target}\n"
+                for c in case.correspondences
+            ),
+            encoding="utf-8",
+        )
+        return paths, str(corrs)
+
+    def test_introspect_and_discover(self, capsys, hotel_files):
+        paths, corrs = hotel_files
+        assert (
+            main(
+                [
+                    "introspect",
+                    paths["source"],
+                    paths["target"],
+                    "--cm",
+                    "Hotel",
+                    "--correspondences",
+                    corrs,
+                    "--discover",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "tables recovered (100% coverage)" in out
+        assert "candidate(s)" in out
+
+    def test_emit_scenario_spec(self, capsys, hotel_files, tmp_path):
+        import json
+
+        paths, corrs = hotel_files
+        spec_path = tmp_path / "scenario.json"
+        assert (
+            main(
+                [
+                    "introspect",
+                    paths["source"],
+                    paths["target"],
+                    "--cm",
+                    "Hotel",
+                    "--correspondences",
+                    corrs,
+                    "--emit-scenario",
+                    str(spec_path),
+                ]
+            )
+            == 0
+        )
+        document = json.loads(spec_path.read_text(encoding="utf-8"))
+        assert set(document) >= {"id", "source", "target", "correspondences"}
+
+    def test_missing_database_fails(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "introspect",
+                    str(tmp_path / "ghost.db"),
+                    str(tmp_path / "ghost2.db"),
+                    "--cm",
+                    "Hotel",
+                ]
+            )
+            == 2
+        )
+        assert "ghost" in capsys.readouterr().err
+
+    def test_unknown_cm_fails(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "introspect",
+                    str(tmp_path / "a.db"),
+                    str(tmp_path / "b.db"),
+                    "--cm",
+                    "NoSuchModel",
+                ]
+            )
+            == 2
+        )
+        assert "NoSuchModel" in capsys.readouterr().err

@@ -1,0 +1,289 @@
+"""Evolution benchmark: composition of per-hop mappings vs direct discovery.
+
+Not a paper exhibit — this validates the mapping lifecycle algebra
+(:mod:`repro.mappings.algebra`) on synthetic schema-evolution chains
+(:func:`repro.datasets.synthetic.evolution_chain`): every version in a
+chain ``V0 → V1 → ... → Vn`` exposes the same tables, each hop's mapping
+is discovered independently (incrementally, via
+:func:`repro.discovery.rediscover`, reporting churn between hops), and
+the per-hop mappings are composed into a direct ``V0 → Vn`` set. The
+claims under test:
+
+* **semantic fidelity** — for every chain, the composed mapping is
+  logically equivalent to discovering ``V0 → Vn`` directly, *and* data
+  exchanged through the composed tgds has the same certain answers as
+  data exchanged through the direct ones (over a generated instance);
+* **dedup safety** — semantic deduplication of the unpruned composed
+  set never drops a candidate that is not logically equivalent to a
+  kept one (the correctness contract of
+  :func:`repro.mappings.expression.deduplicate_candidates`);
+* **zero churn** — re-discovering a structurally identical hop reports
+  an empty semantic diff (:func:`repro.mappings.diff.diff_candidates`).
+
+The report is written to ``BENCH_evolution.json`` at the repo root, both
+under pytest and when run directly
+(``python benchmarks/benchmark_evolution.py``, the CI smoke job;
+``--smoke`` restricts the sweep for CI latency).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+import pytest
+
+from repro.datasets.instances import generate_instance
+from repro.datasets.synthetic import evolution_chain
+from repro.discovery import Scenario, rediscover
+from repro.mappings import certain_rows, compose, equivalent, exchange
+from repro.mappings.diff import diff_candidates
+from repro.mappings.expression import deduplicate_candidates
+
+REPORT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_evolution.json"
+
+#: Rows generated per table for the certain-answer equivalence check.
+ROWS_PER_TABLE = 3
+
+#: The full sweep: (family, length, span, hops). Spans stay small so
+#: per-hop discovery is cheap; ≥10 chains across both evolution
+#: families, including 3-hop chains (compose folds left-to-right).
+SWEEP = (
+    ("chain", 2, 2, 2),
+    ("chain", 3, 2, 2),
+    ("chain", 3, 3, 2),
+    ("chain", 4, 3, 2),
+    ("chain", 5, 4, 2),
+    ("chain", 2, 2, 3),
+    ("isa_fan", 2, 2, 2),
+    ("isa_fan", 3, 2, 2),
+    ("isa_fan", 3, 3, 2),
+    ("isa_fan", 4, 3, 2),
+    ("isa_fan", 2, 2, 3),
+)
+
+SMOKE_SWEEP = (
+    ("chain", 3, 2, 2),
+    ("chain", 2, 2, 3),
+    ("isa_fan", 2, 2, 2),
+    ("isa_fan", 3, 2, 2),
+)
+
+
+def _certain_answers_equal(chain, composed, direct) -> bool:
+    instance = generate_instance(
+        chain.versions[0].schema, rows_per_table=ROWS_PER_TABLE
+    )
+    final_schema = chain.versions[-1].schema
+    via_composed = exchange(composed.to_tgds("C"), instance, final_schema)
+    via_direct = exchange(
+        direct.mappings.to_tgds("D"), instance, final_schema
+    )
+    return all(
+        certain_rows(via_composed, table) == certain_rows(via_direct, table)
+        for table in final_schema.tables
+    )
+
+
+def _dedup_is_safe(raw_candidates) -> bool:
+    """Every candidate dedup drops must be equivalent to a kept one."""
+    kept = deduplicate_candidates(list(raw_candidates))
+    for candidate in raw_candidates:
+        if candidate in kept:
+            continue
+        if not any(
+            set(candidate.covered) == set(survivor.covered)
+            and equivalent(survivor, candidate)
+            for survivor in kept
+        ):
+            return False
+    return True
+
+
+def run_evolution_benchmark(sweep=SWEEP) -> tuple[dict, list[str]]:
+    """Run the chain sweep; returns ``(report, failures)``."""
+    failures: list[str] = []
+    chains = []
+    for family, length, span, hops in sweep:
+        chain = evolution_chain(family, length, hops=hops, span=span)
+        previous = None
+        hop_results = []
+        churn_clean = True
+        discovery_seconds = 0.0
+        reuse_hits = 0
+        for index in range(chain.hops):
+            source, target, correspondences = chain.hop(index)
+            scenario = Scenario.create(
+                f"{chain.chain_id}/hop{index}",
+                source,
+                target,
+                correspondences,
+            )
+            started = time.perf_counter()
+            outcome = rediscover(previous, scenario)
+            discovery_seconds += time.perf_counter() - started
+            reuse_hits += outcome.report()["stage_cache_hits"]
+            result = outcome.result
+            if previous is not None:
+                diff = diff_candidates(
+                    previous.candidates, result.candidates
+                )
+                if not diff.is_empty:
+                    churn_clean = False
+                    failures.append(
+                        f"{chain.chain_id}: hop {index} churned against "
+                        f"hop {index - 1}: {diff.summary()}"
+                    )
+            hop_results.append(result)
+            previous = result
+
+        started = time.perf_counter()
+        raw = hop_results[0].mappings
+        for result in hop_results[1:]:
+            raw = compose(raw, result.mappings, prune=False)
+        composed = compose(
+            hop_results[0].mappings, hop_results[1].mappings
+        )
+        for result in hop_results[2:]:
+            composed = compose(composed, result.mappings)
+        compose_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        source, target, correspondences = chain.direct()
+        direct = Scenario.create(
+            f"{chain.chain_id}/direct", source, target, correspondences
+        ).run()
+        discovery_seconds += time.perf_counter() - started
+
+        equivalent_to_direct = bool(composed) and equivalent(
+            composed, direct.candidates
+        )
+        if not equivalent_to_direct:
+            failures.append(
+                f"{chain.chain_id}: composed mapping is not equivalent "
+                f"to direct discovery "
+                f"({len(composed)} vs {len(direct.candidates)} "
+                f"candidate(s))"
+            )
+        certain_equal = _certain_answers_equal(chain, composed, direct)
+        if not certain_equal:
+            failures.append(
+                f"{chain.chain_id}: certain answers via the composed "
+                f"mapping differ from the direct ones"
+            )
+        dedup_safe = _dedup_is_safe(list(raw))
+        if not dedup_safe:
+            failures.append(
+                f"{chain.chain_id}: semantic dedup dropped a "
+                f"non-equivalent composed candidate"
+            )
+        chains.append(
+            {
+                "chain": chain.chain_id,
+                "family": chain.family,
+                "hops": chain.hops,
+                "hop_candidates": [len(r.candidates) for r in hop_results],
+                "raw_composed": len(raw),
+                "composed": len(composed),
+                "direct": len(direct.candidates),
+                "equivalent_to_direct": equivalent_to_direct,
+                "certain_answers_equal": certain_equal,
+                "dedup_safe": dedup_safe,
+                "churn_free": churn_clean,
+                "stage_cache_hits": reuse_hits,
+                "discovery_seconds": round(discovery_seconds, 4),
+                "compose_seconds": round(compose_seconds, 4),
+            }
+        )
+    report = {
+        "chains": chains,
+        "total_chains": len(chains),
+        "equivalent_chains": sum(
+            1 for c in chains if c["equivalent_to_direct"]
+        ),
+        "certain_equal_chains": sum(
+            1 for c in chains if c["certain_answers_equal"]
+        ),
+        "dedup_safe_chains": sum(1 for c in chains if c["dedup_safe"]),
+        "rows_per_table": ROWS_PER_TABLE,
+    }
+    return report, failures
+
+
+def _write_report(sweep=SWEEP) -> dict:
+    report, failures = run_evolution_benchmark(sweep)
+    report["failures"] = failures
+    document = {"benchmark": "evolution", **report}
+    REPORT_PATH.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return document
+
+
+@pytest.fixture(scope="module")
+def evolution_report():
+    """One benchmark run per session, persisted like the CI job."""
+    return _write_report(SMOKE_SWEEP)
+
+
+def test_no_failures(evolution_report):
+    assert evolution_report["failures"] == []
+
+
+def test_every_chain_composes_to_direct(evolution_report):
+    assert evolution_report["total_chains"] >= 1
+    assert (
+        evolution_report["equivalent_chains"]
+        == evolution_report["total_chains"]
+    ), evolution_report
+
+
+def test_certain_answers_preserved(evolution_report):
+    assert (
+        evolution_report["certain_equal_chains"]
+        == evolution_report["total_chains"]
+    ), evolution_report
+
+
+def test_dedup_never_unsafe(evolution_report):
+    assert (
+        evolution_report["dedup_safe_chains"]
+        == evolution_report["total_chains"]
+    ), evolution_report
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    sweep = SMOKE_SWEEP if "--smoke" in argv else SWEEP
+    document = _write_report(sweep)
+    for entry in document["chains"]:
+        print(
+            f"{entry['chain']}: hops {entry['hop_candidates']} → "
+            f"composed {entry['composed']} (raw {entry['raw_composed']}), "
+            f"direct {entry['direct']}; "
+            f"equivalent={entry['equivalent_to_direct']} "
+            f"certain={entry['certain_answers_equal']} "
+            f"dedup_safe={entry['dedup_safe']} "
+            f"churn_free={entry['churn_free']}; "
+            f"discovery {entry['discovery_seconds']}s, "
+            f"compose {entry['compose_seconds']}s"
+        )
+    print(
+        f"total: {document['equivalent_chains']}/"
+        f"{document['total_chains']} equivalent, "
+        f"{document['certain_equal_chains']} certain-equal, "
+        f"{document['dedup_safe_chains']} dedup-safe"
+    )
+    print(f"report written to {REPORT_PATH}")
+    if document["failures"]:
+        for failure in document["failures"]:
+            print(f"FAIL: {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

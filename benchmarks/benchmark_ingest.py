@@ -7,7 +7,7 @@ read back through ``PRAGMA`` introspection and semantics recovery, and
 discovered. The claims under test:
 
 * **fidelity** — for every case, the mappings discovered from the
-  ingested scenario are byte-identical (``dump_candidates``) to the
+  ingested scenario are byte-identical (``dump_mapping_set``) to the
   authored-semantics path;
 * **clean ingestion** — no dataset schema produces an error-severity
   diagnostic (warnings are allowed and counted);
@@ -36,7 +36,7 @@ from repro.datasets.instances import generate_instance
 from repro.datasets.registry import dataset_names, load_dataset
 from repro.discovery import discover_mappings
 from repro.ingest import ingest_pair, materialize_sqlite
-from repro.mappings.serialize import dump_candidates
+from repro.mappings.serialize import dump_mapping_set
 
 REPORT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_ingest.json"
 
@@ -113,9 +113,9 @@ def run_ingest_benchmark(names=None) -> tuple[dict, list[str]]:
                 )
                 pair_discovery += time.perf_counter() - started
                 cases += 1
-                if dump_candidates(
+                if dump_mapping_set(
                     ingested_result.candidates
-                ) == dump_candidates(authored_result.candidates):
+                ) == dump_mapping_set(authored_result.candidates):
                     matched += 1
                 else:
                     failures.append(

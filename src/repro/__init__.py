@@ -68,9 +68,16 @@ from repro.discovery import (
 from repro.trace import Tracer
 from repro.exceptions import ReproError
 from repro.mappings import (
+    InversionResult,
     MappingCandidate,
+    MappingSet,
     SourceToTargetTGD,
+    compose,
+    contains,
+    equivalent,
     exchange,
+    implies,
+    invert,
     query_to_algebra,
 )
 from repro.relational import (
@@ -161,7 +168,15 @@ __all__ = [
     "discover_ric_mappings",
     # Mappings
     "MappingCandidate",
+    "MappingSet",
     "SourceToTargetTGD",
     "exchange",
     "query_to_algebra",
+    # Lifecycle algebra
+    "InversionResult",
+    "compose",
+    "contains",
+    "equivalent",
+    "implies",
+    "invert",
 ]

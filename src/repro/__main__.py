@@ -16,6 +16,11 @@ Commands
 ``introspect S T``      ingest two live SQLite databases against a CM:
                         introspect, recover semantics, seed or load
                         correspondences, optionally discover and verify
+``compose A B``         compose two mapping-set documents (S→T ∘ T→U)
+                        into a direct S→U mapping set
+``evolve``              run a synthetic schema-evolution chain: per-hop
+                        discovery, composition, equivalence against the
+                        direct mapping, and a churn report
 """
 
 from __future__ import annotations
@@ -387,7 +392,7 @@ def _cmd_introspect(args: argparse.Namespace) -> int:
         parse_correspondence_lines,
         resolve_cm_argument,
     )
-    from repro.mappings.serialize import dump_candidates
+    from repro.mappings.serialize import dump_mapping_set
 
     try:
         source_model, target_model = resolve_cm_argument(args.cm)
@@ -455,7 +460,7 @@ def _cmd_introspect(args: argparse.Namespace) -> int:
         print(f"  {candidate.to_tgd(f'M{index}')}")
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(dump_candidates(result.candidates))
+            handle.write(dump_mapping_set(result.candidates))
         print(f"mappings written to {args.output}")
     if args.verify:
         from repro.mappings.verify import verify_mappings
@@ -471,6 +476,125 @@ def _cmd_introspect(args: argparse.Namespace) -> int:
         if not verification.ok:
             return 1
     return 0
+
+
+def _cmd_compose(args: argparse.Namespace) -> int:
+    from repro.exceptions import ReproError
+    from repro.mappings import compose, invert
+    from repro.mappings.serialize import dump_mapping_set, load_mapping_set
+
+    sets = []
+    for path in (args.first, args.second):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                sets.append(load_mapping_set(handle.read()))
+        except (OSError, ReproError) as error:
+            print(f"cannot load {path!r}: {error}", file=sys.stderr)
+            return 2
+    first, second = sets
+    composed = compose(
+        first,
+        second,
+        max_solutions_per_candidate=args.max_solutions,
+        prune=not args.no_prune,
+    )
+    print(
+        f"composed {len(first)} ∘ {len(second)} candidate(s) → "
+        f"{len(composed)}"
+    )
+    for index, candidate in enumerate(composed, start=1):
+        print(f"  {candidate.to_tgd(f'C{index}')}")
+        if candidate.notes:
+            print(f"    [{candidate.notes}]")
+    if args.invert:
+        inversion = invert(composed)
+        print("\ninversion:")
+        print(inversion.render())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(dump_mapping_set(composed))
+        print(f"composed mapping set written to {args.output}")
+    return 0
+
+
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    from repro.datasets.instances import generate_instance
+    from repro.datasets.synthetic import evolution_chain
+    from repro.discovery import Scenario, rediscover
+    from repro.mappings import certain_rows, compose, equivalent, exchange
+    from repro.mappings.diff import diff_candidates
+    from repro.mappings.serialize import dump_mapping_set
+
+    try:
+        chain = evolution_chain(
+            args.family, args.length, hops=args.hops, span=args.span
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(f"evolution chain {chain.chain_id}: {chain.hops} hop(s)")
+    previous = None
+    hop_results = []
+    for index in range(chain.hops):
+        source, target, correspondences = chain.hop(index)
+        scenario = Scenario.create(
+            f"{chain.chain_id}/hop{index}",
+            source,
+            target,
+            correspondences,
+        )
+        outcome = rediscover(previous, scenario)
+        result = outcome.result
+        hop_results.append(result)
+        reused = outcome.report()["stage_cache_hits"]
+        print(
+            f"  hop {index} (v{index}→v{index + 1}): "
+            f"{len(result)} candidate(s) in "
+            f"{result.elapsed_seconds * 1000:.1f} ms, "
+            f"{reused} stage-cache hit(s)"
+        )
+        if previous is not None:
+            churn = diff_candidates(previous.candidates, result.candidates)
+            print(f"    churn vs previous hop: {churn.summary()}")
+        previous = result
+    composed = hop_results[0].mappings
+    for result in hop_results[1:]:
+        composed = compose(composed, result.mappings)
+    print(f"composed: {len(composed)} candidate(s)")
+    for index, candidate in enumerate(composed, start=1):
+        print(f"  {candidate.to_tgd(f'C{index}')}")
+    source, target, correspondences = chain.direct()
+    direct = Scenario.create(
+        f"{chain.chain_id}/direct", source, target, correspondences
+    ).run()
+    print(
+        f"direct v0→v{chain.hops}: {len(direct)} candidate(s) in "
+        f"{direct.elapsed_seconds * 1000:.1f} ms"
+    )
+    ok = equivalent(composed, direct.candidates)
+    print(f"composed ≡ direct: {'yes' if ok else 'NO'}")
+    instance = generate_instance(
+        chain.versions[0].schema, rows_per_table=args.rows
+    )
+    via_composed = exchange(
+        composed.to_tgds("C"), instance, chain.versions[-1].schema
+    )
+    via_direct = exchange(
+        direct.mappings.to_tgds("D"), instance, chain.versions[-1].schema
+    )
+    certain_ok = all(
+        certain_rows(via_composed, table) == certain_rows(via_direct, table)
+        for table in chain.versions[-1].schema.tables
+    )
+    print(
+        f"certain answers over {args.rows} row(s)/table: "
+        f"{'equal' if certain_ok else 'DIFFER'}"
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(dump_mapping_set(composed))
+        print(f"composed mapping set written to {args.output}")
+    return 0 if ok and certain_ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -609,8 +733,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser(
         "serve",
         help="run the HTTP mapping-discovery service "
-        "(POST /discover, POST /introspect, POST /validate, "
-        "GET /jobs/<id>, /health, /metrics)",
+        "(POST /discover, POST /introspect, POST /compose, "
+        "POST /validate, GET /jobs/<id>, /health, /metrics)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
@@ -752,7 +876,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         metavar="FILE",
         help="with --discover: write the candidate set as JSON "
-        "(dump_candidates format)",
+        "(repro-mappings/1 format)",
     )
     introspect.add_argument(
         "--sample",
@@ -775,6 +899,82 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_option_flags(introspect)
     introspect.set_defaults(handler=_cmd_introspect)
+
+    compose_cmd = commands.add_parser(
+        "compose",
+        help="compose two mapping-set documents (repro-mappings/1): "
+        "an S→T set with a T→U set, yielding a direct S→U set "
+        "(docs/lifecycle.md)",
+    )
+    compose_cmd.add_argument(
+        "first", help="path to the S→T mapping-set JSON document"
+    )
+    compose_cmd.add_argument(
+        "second", help="path to the T→U mapping-set JSON document"
+    )
+    compose_cmd.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the composed set as JSON (repro-mappings/1 format)",
+    )
+    compose_cmd.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="keep redundant unfoldings (skip semantic dedup and "
+        "logical minimization)",
+    )
+    compose_cmd.add_argument(
+        "--max-solutions",
+        type=int,
+        default=32,
+        metavar="N",
+        help="cap on unfoldings per second-hop candidate",
+    )
+    compose_cmd.add_argument(
+        "--invert",
+        action="store_true",
+        help="also print the (quasi-)inverse of the composed set with "
+        "its loss report",
+    )
+    compose_cmd.set_defaults(handler=_cmd_compose)
+
+    evolve = commands.add_parser(
+        "evolve",
+        help="run a synthetic schema-evolution chain end to end: "
+        "discover each hop (incrementally, reporting churn), compose "
+        "the hop mappings, and check the result against direct "
+        "discovery — logically and on certain answers",
+    )
+    evolve.add_argument(
+        "--family",
+        choices=["chain", "isa_fan"],
+        default="chain",
+        help="synthetic CM family for every version",
+    )
+    evolve.add_argument(
+        "--length", type=int, default=3, help="chain length per version"
+    )
+    evolve.add_argument(
+        "--hops", type=int, default=2, help="number of evolution hops"
+    )
+    evolve.add_argument(
+        "--span",
+        type=int,
+        default=None,
+        help="marked-attribute span (default: min(length, 8))",
+    )
+    evolve.add_argument(
+        "--rows",
+        type=int,
+        default=4,
+        help="generated rows per table for the certain-answer check",
+    )
+    evolve.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the composed set as JSON (repro-mappings/1 format)",
+    )
+    evolve.set_defaults(handler=_cmd_evolve)
 
     recover = commands.add_parser(
         "recover", help="recover table semantics from schema + CM"

@@ -99,7 +99,7 @@ class RICBasedMapper:
             candidate = self._pair(source_lr, target_lr)
             if candidate is not None:
                 candidates.append(candidate)
-        candidates = deduplicate_candidates(candidates)
+        candidates = deduplicate_candidates(candidates, criterion="connection")
         candidates.sort(key=lambda c: (-len(c.covered), str(c)))
         elapsed = time.perf_counter() - start
         return DiscoveryResult(candidates, elapsed)

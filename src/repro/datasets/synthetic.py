@@ -32,6 +32,8 @@ the oracle-on/oracle-off equivalence gate compares like with like.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.cm import ConceptualModel
 from repro.correspondences import CorrespondenceSet
 from repro.semantics import design_schema
@@ -176,6 +178,105 @@ def reified_web_scenario(links: int):
         ["e0.a0 <-> e0.a0", "e2.a2 <-> e2.a2"]
     )
     return source.semantics, target.semantics, correspondences
+
+
+# ----------------------------------------------------------------------
+# Evolution chains (v1 → v2 → ... version sequences for the algebra)
+# ----------------------------------------------------------------------
+#: Families usable as evolution chains: each version must expose the
+#: *same* table and column names, so one correspondence set anchors
+#: every hop and the hop mappings compose without renaming.
+EVOLUTION_FAMILIES = ("chain", "isa_fan")
+
+
+@dataclass(frozen=True)
+class EvolutionChain:
+    """A schema-version sequence ``V0 → V1 → ... → Vn`` plus anchors.
+
+    Every version is a structurally identical forward-engineered schema
+    (same tables, same columns — only the model name differs), so the
+    one :attr:`correspondences` set is valid for every hop *and* for the
+    direct ``V0 → Vn`` scenario. That makes the chain the controlled
+    experiment for :func:`repro.mappings.algebra.compose`: discover each
+    hop, compose the per-hop mappings, and the result must be equivalent
+    to discovering ``V0 → Vn`` directly.
+    """
+
+    chain_id: str
+    family: str
+    length: int
+    span: int
+    versions: tuple
+    correspondences: CorrespondenceSet
+
+    @property
+    def hops(self) -> int:
+        return len(self.versions) - 1
+
+    def hop(self, index: int):
+        """Hop ``index``'s ``(source, target, correspondences)``."""
+        return (
+            self.versions[index],
+            self.versions[index + 1],
+            self.correspondences,
+        )
+
+    def direct(self):
+        """The end-to-end ``(V0, Vn, correspondences)`` scenario."""
+        return self.versions[0], self.versions[-1], self.correspondences
+
+
+def evolution_chain(
+    family: str,
+    length: int,
+    hops: int = 2,
+    span: int | None = None,
+    isa_width: int = 2,
+) -> EvolutionChain:
+    """Build a ``hops + 1``-version evolution chain of one family.
+
+    Deterministic, like everything in this module. ``span`` anchors the
+    marked attributes (defaults to the full ``length``, capped at
+    :data:`MARKED_SPAN`); ``isa_width`` sizes the ``isa_fan`` family's
+    subclass fans.
+    """
+    if hops < 1:
+        raise ValueError(f"hops must be >= 1, got {hops}")
+    span = min(length, MARKED_SPAN if span is None else span)
+    if family == "chain":
+        models = [
+            chain_model(f"evo_chain_v{i}", length) for i in range(hops + 1)
+        ]
+        anchor = "c"
+    elif family == "isa_fan":
+        models = [
+            isa_fan_model(f"evo_fan_v{i}", length, isa_width)
+            for i in range(hops + 1)
+        ]
+        anchor = "r"
+    else:
+        raise ValueError(
+            f"unknown evolution family {family!r}; known: "
+            f"{sorted(EVOLUTION_FAMILIES)}"
+        )
+    versions = tuple(
+        design_schema(model, f"v{i}").semantics
+        for i, model in enumerate(models)
+    )
+    correspondences = CorrespondenceSet.parse(
+        [
+            f"{anchor}0.a0 <-> {anchor}0.a0",
+            f"{anchor}{span}.a{span} <-> {anchor}{span}.a{span}",
+        ]
+    )
+    return EvolutionChain(
+        chain_id=f"{family}-L{length}-S{span}-H{hops}",
+        family=family,
+        length=length,
+        span=span,
+        versions=versions,
+        correspondences=correspondences,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -143,7 +143,9 @@ class Scenario:
                 self.correspondences,
                 **dict(self.mapper_options),
             )
-        return mapper.discover(tracer=tracer)
+        result = mapper.discover(tracer=tracer)
+        result.scenario_id = self.scenario_id
+        return result
 
 
 @dataclass(frozen=True)

@@ -746,7 +746,8 @@ class SemanticEngine:
             scored.sort(key=lambda pair: pair[0].sort_key())
             candidates = trim_redundant_joins(
                 deduplicate_candidates(
-                    [candidate for _, candidate in scored]
+                    [candidate for _, candidate in scored],
+                    criterion="connection",
                 )
             )
             span.set("scored", len(scored))

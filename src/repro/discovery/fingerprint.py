@@ -77,6 +77,30 @@ def semantics_content_key(semantics: "SchemaSemantics") -> str:
     return key
 
 
+def discovery_fingerprint(
+    source: "SchemaSemantics",
+    target: "SchemaSemantics",
+    correspondences,
+    mapper_options: tuple = (),
+) -> str:
+    """The scenario content fingerprint, from its loose components.
+
+    :func:`scenario_fingerprint` delegates here; ``SemanticMapper`` uses
+    this directly to stamp every :class:`DiscoveryResult` (and the
+    :class:`~repro.mappings.expression.MappingSet` it carries) without
+    building a :class:`~repro.discovery.batch.Scenario` first.
+    """
+    spec = repr(
+        (
+            semantics_content_key(source),
+            semantics_content_key(target),
+            tuple(str(c) for c in correspondences),
+            mapper_options,
+        )
+    )
+    return hashlib.sha256(spec.encode("utf-8")).hexdigest()
+
+
 def scenario_fingerprint(scenario) -> str:
     """A stable *content* fingerprint of one discovery scenario.
 
@@ -90,15 +114,12 @@ def scenario_fingerprint(scenario) -> str:
     fingerprint safe as a content-addressed cache key (see
     ``repro.service.cache``).
     """
-    spec = repr(
-        (
-            semantics_content_key(scenario.source),
-            semantics_content_key(scenario.target),
-            tuple(str(c) for c in scenario.correspondences),
-            scenario.mapper_options,
-        )
+    return discovery_fingerprint(
+        scenario.source,
+        scenario.target,
+        scenario.correspondences,
+        scenario.mapper_options,
     )
-    return hashlib.sha256(spec.encode("utf-8")).hexdigest()
 
 
 def csg_content_key(csg: "CSG") -> tuple:

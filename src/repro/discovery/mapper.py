@@ -53,7 +53,7 @@ from repro.discovery.engine import persist
 from repro.discovery.engine.clio import run_clio
 from repro.discovery.engine.stages import EngineOutcome, SemanticEngine
 from repro.discovery.options import DiscoveryOptions, merge_legacy_kwargs
-from repro.mappings.expression import MappingCandidate
+from repro.mappings.expression import MappingCandidate, MappingSet
 from repro.perf import config as perf_config
 from repro.perf import counters as perf_counters
 from repro.semantics.lav import SchemaSemantics
@@ -92,6 +92,28 @@ class DiscoveryResult:
     #: which compares these against a previous run's to report exactly
     #: which stages an edit invalidated.
     stage_fingerprints: dict[str, str] = field(default_factory=dict)
+    #: Content-addressed fingerprint of the whole scenario (see
+    #: :func:`repro.discovery.fingerprint.discovery_fingerprint`) —
+    #: the same key the service result cache uses.
+    fingerprint: str | None = None
+    #: Caller-chosen scenario label, stamped by ``Scenario.run``.
+    scenario_id: str | None = None
+
+    @property
+    def mappings(self) -> MappingSet:
+        """The candidates as a first-class, provenance-stamped set.
+
+        This is the artifact downstream consumers should hold on to:
+        :func:`repro.mappings.algebra.compose` / ``invert`` /
+        ``diff_candidates`` accept it, it serializes via the versioned
+        ``repro-mappings/1`` format, and it carries the scenario
+        fingerprint the result caches key on.
+        """
+        return MappingSet(
+            candidates=tuple(self.candidates),
+            fingerprint=self.fingerprint,
+            scenario_id=self.scenario_id,
+        )
 
     def best(self) -> MappingCandidate | None:
         return self.candidates[0] if self.candidates else None
@@ -231,6 +253,8 @@ class SemanticMapper:
         provenance = (
             list(run_tracer.provenance) if run_tracer.enabled else []
         )
+        from repro.discovery.fingerprint import discovery_fingerprint
+
         return DiscoveryResult(
             outcome.candidates,
             elapsed,
@@ -241,6 +265,12 @@ class SemanticMapper:
             trace=run_tracer.to_dict() if run_tracer.enabled else None,
             rank_provenance=provenance,
             stage_fingerprints=outcome.stage_fingerprints,
+            fingerprint=discovery_fingerprint(
+                self.source_semantics,
+                self.target_semantics,
+                self.correspondences,
+                self.options.to_pairs(),
+            ),
         )
 
     def _run_engine(self, notes: list[str]) -> EngineOutcome:

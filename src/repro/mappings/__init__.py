@@ -1,15 +1,37 @@
-"""Mapping expressions: tgds, candidates, and data exchange."""
+"""Mapping expressions: tgds, candidates, exchange, and the lifecycle algebra."""
 
 from repro.mappings.tgd import SourceToTargetTGD, align_queries
 from repro.mappings.expression import (
     MappingCandidate,
+    MappingSet,
+    candidates_of,
     deduplicate_candidates,
     query_to_algebra,
     trim_redundant_joins,
 )
-from repro.mappings.exchange import certain_rows, exchange
+from repro.mappings.exchange import (
+    certain_rows,
+    exchange,
+    isomorphic_instances,
+    skolem_function,
+)
+from repro.mappings.algebra import (
+    InversionReport,
+    InversionResult,
+    compose,
+    contains,
+    equivalent,
+    implies,
+    invert,
+    minimize_mapping_set,
+)
 from repro.mappings.sql import insert_sql, select_sql
-from repro.mappings.serialize import dump_candidates, load_candidates
+from repro.mappings.serialize import (
+    dump_candidates,
+    dump_mapping_set,
+    load_candidates,
+    load_mapping_set,
+)
 from repro.mappings.coverage import (
     ColumnCoverage,
     ColumnStatus,
@@ -34,21 +56,33 @@ __all__ = [
     "SourceToTargetTGD",
     "align_queries",
     "MappingCandidate",
+    "MappingSet",
+    "candidates_of",
     "deduplicate_candidates",
     "query_to_algebra",
     "trim_redundant_joins",
+    "InversionReport",
+    "InversionResult",
+    "compose",
+    "contains",
+    "equivalent",
+    "implies",
+    "invert",
+    "minimize_mapping_set",
     "optional_classes",
     "optional_tables",
     "outer_join_algebra",
     "insert_sql",
     "dump_candidates",
+    "dump_mapping_set",
+    "load_candidates",
+    "load_mapping_set",
     "ColumnCoverage",
     "ColumnStatus",
     "coverage_summary",
     "target_coverage",
     "MappingDiff",
     "diff_candidates",
-    "load_candidates",
     "VerificationReport",
     "Violation",
     "satisfies",
@@ -57,4 +91,6 @@ __all__ = [
     "select_sql",
     "certain_rows",
     "exchange",
+    "isomorphic_instances",
+    "skolem_function",
 ]

@@ -1,0 +1,649 @@
+"""The mapping lifecycle algebra: compose, invert, containment.
+
+Discovered mappings stop being terminal artifacts here. Three operations
+turn one-shot discovery into continuous mapping maintenance:
+
+* :func:`compose` — collapse a schema-evolution chain S→T→U into a
+  direct S→U mapping by unfolding the second mapping's premise through
+  the Skolemized conclusions of the first (the classical inverse-rules
+  construction; cf. Arenas/Pérez/Reutter/Riveros on mapping composition
+  and evolution, PAPERS.md). Skolem functions use exactly the naming of
+  :func:`repro.mappings.exchange.skolem_function`, so a composed
+  mapping's provenance matches the labeled nulls exchange would create.
+* :func:`invert` — a quasi-inverse in Fagin's sense where the tgds
+  permit one, with a structured :class:`InversionReport` of what is
+  lost (non-exported source attributes, null-joined positions) where
+  they do not.
+* :func:`implies` / :func:`contains` / :func:`equivalent` — logical
+  containment between mappings (Calì–Torlone), decided by the chase:
+  freeze the premise of the candidate to be derived into a canonical
+  instance, chase it with the other mapping, and look for the frozen
+  conclusion among the chased facts via the CQ homomorphism machinery
+  of :mod:`repro.queries.homomorphism`. Because the tgds here are
+  source-to-target (premises over source tables only), a single chase
+  round is complete.
+
+All entry points accept a :class:`~repro.mappings.expression.MappingSet`,
+a bare :class:`~repro.mappings.expression.MappingCandidate`, or any
+iterable of candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.correspondences import Correspondence
+from repro.exceptions import QueryError
+from repro.mappings.exchange import skolem_function
+from repro.mappings.expression import (
+    MappingCandidate,
+    MappingSet,
+    candidates_of,
+)
+from repro.mappings.tgd import SourceToTargetTGD
+from repro.queries.conjunctive import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    SkolemTerm,
+    Term,
+    Variable,
+    substitute_atom,
+    substitute_term,
+    unify_atoms_inplace,
+)
+from repro.queries.homomorphism import (
+    _bucket_atoms,
+    _find_homomorphism,
+    _homomorphisms,
+    _profile,
+    minimize,
+)
+
+MappingLike = "MappingSet | MappingCandidate | list[MappingCandidate]"
+
+
+# ---------------------------------------------------------------------------
+# Containment and equivalence (chase-based implication)
+# ---------------------------------------------------------------------------
+
+
+def _frozen_constant(variable: Variable) -> Constant:
+    """The canonical-instance constant standing for ``variable``."""
+    return Constant(("⊥frozen", variable.name))
+
+
+def _aligned_tgd(candidate: MappingCandidate, name: str) -> SourceToTargetTGD | None:
+    try:
+        return candidate.to_tgd(name)
+    except QueryError:
+        return None
+
+
+def _symbolic_chase(
+    tgds: list[SourceToTargetTGD], source_facts: tuple[Atom, ...]
+) -> tuple[Atom, ...]:
+    """One chase round of s-t tgds over ground source facts.
+
+    Mirrors :func:`repro.mappings.exchange.exchange` symbolically: every
+    homomorphism of a tgd's premise into the source facts fires the
+    conclusion, with existential variables instantiated as
+    :class:`SkolemTerm` applications of the shared
+    :func:`~repro.mappings.exchange.skolem_function` symbols over the
+    exported terms. Source and target facts are kept in separate sets so
+    same-named tables on both sides of an evolution hop cannot feed a
+    premise with chased facts — which also makes the single round
+    complete.
+    """
+    produced: dict[Atom, None] = {}
+    for tgd in tgds:
+        exported_map = list(
+            zip(tgd.source.head_terms, tgd.target.head_terms)
+        )
+        existentials = tgd.existential_variables()
+        ordered = _profile(tgd.source).ordered
+        for hom in _homomorphisms(ordered, source_facts, {}):
+            binding: dict[Variable, Term] = {}
+            export_values: list[Term] = []
+            for source_term, target_term in exported_map:
+                value = substitute_term(source_term, hom)
+                export_values.append(value)
+                if isinstance(target_term, Variable):
+                    binding[target_term] = value
+            for variable in existentials:
+                binding[variable] = SkolemTerm(
+                    skolem_function(tgd.name, variable),
+                    tuple(export_values),
+                )
+            for atom in tgd.target.body:
+                produced.setdefault(substitute_atom(atom, binding))
+    return tuple(produced)
+
+
+def implies(first: MappingLike, second: MappingLike) -> bool:
+    """True when ``first`` logically entails ``second``.
+
+    Every instance pair satisfying all of ``first``'s tgds then satisfies
+    all of ``second``'s. Decided candidate-by-candidate with the chase:
+    freeze the candidate's premise into a canonical source instance,
+    chase it with ``first``, and search for a homomorphic image of the
+    candidate's conclusion — with the shared (exported) variables pinned
+    to their frozen constants — among the chased facts.
+    """
+    premise_tgds = [
+        tgd
+        for index, candidate in enumerate(candidates_of(first), 1)
+        if (tgd := _aligned_tgd(candidate, f"L{index}")) is not None
+    ]
+    for candidate in candidates_of(second):
+        goal = _aligned_tgd(candidate, "G")
+        if goal is None:
+            return False
+        freeze = {
+            variable: _frozen_constant(variable)
+            for variable in goal.source.body_variables()
+        }
+        source_facts = tuple(
+            substitute_atom(atom, freeze) for atom in goal.source.body
+        )
+        chased = _symbolic_chase(premise_tgds, source_facts)
+        pinned: dict[Variable, Term] = {
+            variable: freeze[variable]
+            for variable in goal.target.body_variables()
+            if variable in freeze
+        }
+        if (
+            _find_homomorphism(
+                tuple(goal.target.body), _bucket_atoms(chased), pinned
+            )
+            is None
+        ):
+            return False
+    return True
+
+
+def contains(first: MappingLike, second: MappingLike) -> bool:
+    """``second`` is contained in ``first``: ``first`` entails it."""
+    return implies(first, second)
+
+
+def equivalent(first: MappingLike, second: MappingLike) -> bool:
+    """Logical equivalence: entailment in both directions."""
+    return implies(first, second) and implies(second, first)
+
+
+def minimize_mapping_set(mapping: MappingLike) -> MappingSet:
+    """Drop candidates entailed by the remaining ones.
+
+    The logical minimization of a tgd set: a candidate is redundant when
+    the others already imply it. Keeps the earliest (highest-ranked)
+    witnesses; the surviving set is equivalent to the input.
+    """
+    source = MappingSet.of(mapping)
+    kept = list(source.candidates)
+    index = len(kept) - 1
+    while index >= 0:
+        rest = kept[:index] + kept[index + 1 :]
+        if rest and implies(rest, kept[index]):
+            kept = rest
+        index -= 1
+    return MappingSet(
+        candidates=tuple(kept),
+        fingerprint=source.fingerprint,
+        scenario_id=source.scenario_id,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Composition (S→T ∘ T→U = S→U by CQ unfolding)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Instantiation:
+    """One Skolemized, renamed-apart firing of a first-hop candidate."""
+
+    candidate_index: int
+    source_atoms: tuple[Atom, ...]
+    conclusion_atoms: tuple[Atom, ...]
+
+
+def _instantiate(
+    candidate_index: int,
+    tgd: SourceToTargetTGD,
+    copy_index: int,
+) -> _Instantiation:
+    """Rename a first-hop tgd apart and Skolemize its existentials.
+
+    The Skolem function symbol depends on the candidate and the original
+    variable name only — *not* on the copy index — so two copies whose
+    exports unify collapse onto the same Skolem term, exactly as two
+    exchange firings agreeing on exports share labeled nulls.
+    """
+    suffix = f"·{copy_index}"
+    renaming = {
+        variable: Variable(variable.name + suffix)
+        for variable in {
+            *tgd.source.variables(),
+            *tgd.target.variables(),
+        }
+    }
+    source = tgd.source.substitute(renaming)
+    target = tgd.target.substitute(renaming)
+    skolems: dict[Variable, Term] = {
+        renaming[variable]: SkolemTerm(
+            skolem_function(tgd.name, variable), tuple(source.head_terms)
+        )
+        for variable in tgd.existential_variables()
+    }
+    return _Instantiation(
+        candidate_index=candidate_index,
+        source_atoms=tuple(source.body),
+        conclusion_atoms=tuple(
+            substitute_atom(atom, skolems) for atom in target.body
+        ),
+    )
+
+
+def _undo(
+    subst: dict[Variable, Term], trail: list[Variable], mark: int
+) -> None:
+    while len(trail) > mark:
+        del subst[trail.pop()]
+
+
+def _unfold(
+    premise_atoms: tuple[Atom, ...],
+    first_tgds: list[SourceToTargetTGD],
+    max_solutions: int,
+) -> list[tuple[list[_Instantiation], dict[Variable, Term]]]:
+    """All ways of deriving the premise from Skolemized first-hop firings.
+
+    Each premise atom is unified against a conclusion atom of a *fresh*
+    renamed-apart instantiation; sharing between firings is not guessed
+    but forced by Skolem unification (same function symbol ⇒ unified
+    exports), after which duplicate firings fold away under
+    :func:`~repro.queries.homomorphism.minimize`. The enumeration order
+    is deterministic, so truncation at ``max_solutions`` is stable.
+    """
+    solutions: list[tuple[list[_Instantiation], dict[Variable, Term]]] = []
+    subst: dict[Variable, Term] = {}
+    trail: list[Variable] = []
+    used: list[_Instantiation] = []
+
+    def search(position: int, copy_counter: list[int]) -> None:
+        if len(solutions) >= max_solutions:
+            return
+        if position == len(premise_atoms):
+            solutions.append((list(used), dict(subst)))
+            return
+        atom = premise_atoms[position]
+        for candidate_index, tgd in enumerate(first_tgds):
+            copy_counter[0] += 1
+            instantiation = _instantiate(
+                candidate_index, tgd, copy_counter[0]
+            )
+            used.append(instantiation)
+            for conclusion in instantiation.conclusion_atoms:
+                mark = len(trail)
+                if unify_atoms_inplace(atom, conclusion, subst, trail):
+                    search(position + 1, copy_counter)
+                _undo(subst, trail, mark)
+                if len(solutions) >= max_solutions:
+                    break
+            used.pop()
+
+    search(0, [0])
+    return solutions
+
+
+def _normalize_names(
+    source_query: ConjunctiveQuery, target_query: ConjunctiveQuery
+) -> tuple[ConjunctiveQuery, ConjunctiveQuery]:
+    """Strip renaming suffixes (``x·3`` → ``x``) where unambiguous.
+
+    The unfolding renames every instantiation apart; once a solution is
+    extracted most of those suffixes are noise. Shared variables keep
+    one consistent name across both queries; clashes fall back to
+    numbered names deterministically.
+    """
+    variables: dict[Variable, None] = {}
+    for query in (source_query, target_query):
+        for variable in query.variables():
+            variables.setdefault(variable)
+    renaming: dict[Variable, Variable] = {}
+    taken: set[str] = set()
+    for variable in variables:
+        base = variable.name.split("·", 1)[0]
+        name = base
+        counter = 1
+        while name in taken:
+            counter += 1
+            name = f"{base}_{counter}"
+        taken.add(name)
+        renaming[variable] = Variable(name)
+    return source_query.substitute(renaming), target_query.substitute(
+        renaming
+    )
+
+
+def _replace_skolems(
+    atoms: tuple[Atom, ...], replacements: dict[Term, Variable]
+) -> tuple[Atom, ...]:
+    rebuilt = []
+    for atom in atoms:
+        rebuilt.append(
+            Atom(
+                atom.predicate,
+                [replacements.get(term, term) for term in atom.terms],
+            )
+        )
+    return tuple(rebuilt)
+
+
+def _compose_pair(
+    first_candidates: tuple[MappingCandidate, ...],
+    first_tgds: list[SourceToTargetTGD],
+    second: MappingCandidate,
+    second_index: int,
+    max_solutions: int,
+) -> list[MappingCandidate]:
+    tgd = _aligned_tgd(second, f"R{second_index}")
+    if tgd is None:
+        return []
+    renaming = {
+        variable: Variable(variable.name + "·r")
+        for variable in {*tgd.source.variables(), *tgd.target.variables()}
+    }
+    premise = tgd.source.substitute(renaming)
+    conclusion = tgd.target.substitute(renaming)
+
+    composed: list[MappingCandidate] = []
+    for used, theta in _unfold(
+        tuple(premise.body), first_tgds, max_solutions
+    ):
+        source_body = tuple(
+            substitute_atom(atom, theta)
+            for instantiation in used
+            for atom in instantiation.source_atoms
+        )
+        target_body = tuple(
+            substitute_atom(atom, theta) for atom in conclusion.body
+        )
+        exports = [
+            substitute_term(term, theta) for term in premise.head_terms
+        ]
+        # Surviving Skolem terms are values no source attribute
+        # determines: they become existentials of the composed tgd, and
+        # any export position carrying one is dropped from the head.
+        taken = {
+            variable.name
+            for atom in (*source_body, *target_body)
+            for variable in atom.variables()
+        }
+        fresh: dict[Term, Variable] = {}
+        counter = 0
+        for atom in target_body:
+            for term in atom.terms:
+                if isinstance(term, SkolemTerm) and term not in fresh:
+                    counter += 1
+                    name = f"e{counter}"
+                    while name in taken:
+                        counter += 1
+                        name = f"e{counter}"
+                    taken.add(name)
+                    fresh[term] = Variable(name)
+        target_body = _replace_skolems(target_body, fresh)
+        source_head = []
+        target_head = []
+        dropped = 0
+        for term in exports:
+            if isinstance(term, SkolemTerm):
+                dropped += 1
+                continue
+            source_head.append(term)
+            target_head.append(term)
+        try:
+            source_query = minimize(
+                ConjunctiveQuery(source_head, source_body)
+            )
+            target_query = minimize(
+                ConjunctiveQuery(target_head, target_body)
+            )
+            source_query, target_query = _normalize_names(
+                source_query, target_query
+            )
+        except QueryError:
+            continue
+        used_indices = sorted(
+            {instantiation.candidate_index for instantiation in used}
+        )
+        covered = _join_covered(
+            [first_candidates[index] for index in used_indices], second
+        )
+        notes = (
+            "composed "
+            + "+".join(f"M{index + 1}" for index in used_indices)
+            + f"∘R{second_index}"
+        )
+        if dropped:
+            notes += f" ({dropped} export(s) lost to nulls)"
+        composed.append(
+            MappingCandidate(
+                source_query=source_query,
+                target_query=target_query,
+                covered=covered,
+                method="composed",
+                notes=notes,
+                source_optional_tables=frozenset().union(
+                    *(
+                        first_candidates[index].source_optional_tables
+                        for index in used_indices
+                    )
+                ),
+            )
+        )
+    return composed
+
+
+def _join_covered(
+    firsts: list[MappingCandidate], second: MappingCandidate
+) -> tuple[Correspondence, ...]:
+    """Relational join of covered correspondences on the middle schema."""
+    joined: dict[Correspondence, None] = {}
+    for first in firsts:
+        for left in first.covered:
+            for right in second.covered:
+                if left.target == right.source:
+                    joined.setdefault(
+                        Correspondence(left.source, right.target)
+                    )
+    return tuple(sorted(joined))
+
+
+def compose(
+    first: MappingLike,
+    second: MappingLike,
+    *,
+    max_solutions_per_candidate: int = 32,
+    prune: bool = True,
+) -> MappingSet:
+    """Compose an S→T mapping with a T→U mapping into a direct S→U one.
+
+    For every candidate of ``second``, its premise (a CQ over the middle
+    schema T) is unfolded through the Skolemized conclusions of
+    ``first``'s candidates; each complete unfolding yields one composed
+    candidate whose premise is over S and conclusion over U. Exported
+    values that only a labeled null would carry through T become
+    existentials of the composed tgd (noted on the candidate), matching
+    what :func:`~repro.mappings.exchange.exchange` run twice would
+    preserve. With ``prune`` (default), the result is semantically
+    deduplicated and logically minimized via :func:`minimize_mapping_set`.
+    """
+    first_candidates = candidates_of(first)
+    second_candidates = candidates_of(second)
+    first_tgds = [
+        tgd
+        for index, candidate in enumerate(first_candidates, 1)
+        if (tgd := _aligned_tgd(candidate, f"M{index}")) is not None
+    ]
+    composed: list[MappingCandidate] = []
+    for index, candidate in enumerate(second_candidates, 1):
+        composed.extend(
+            _compose_pair(
+                first_candidates,
+                first_tgds,
+                candidate,
+                index,
+                max_solutions_per_candidate,
+            )
+        )
+    result = MappingSet.of(composed)
+    if prune:
+        result = minimize_mapping_set(result.dedup())
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Inversion (quasi-inverse with a loss report)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InversionReport:
+    """What inverting one candidate preserves — and what it cannot.
+
+    ``exact`` holds when the candidate is lossless: every source
+    attribute is exported and the target side introduces no
+    existentials, so inverse∘mapping is the identity on the exported
+    columns. Otherwise ``lost_source_variables`` lists premise variables
+    the target never sees (the inverse reconstructs them as labeled
+    nulls) and ``null_joined_variables`` lists original target
+    existentials, which the inverse's premise must join on even though
+    exchange only ever fills them with nulls.
+    """
+
+    inverse: MappingCandidate | None
+    exact: bool
+    lost_source_variables: tuple[str, ...] = ()
+    null_joined_variables: tuple[str, ...] = ()
+    reason: str = ""
+
+    def render(self) -> str:
+        if self.inverse is None:
+            return f"not invertible: {self.reason}"
+        lines = ["exact inverse" if self.exact else "quasi-inverse"]
+        if self.lost_source_variables:
+            lines.append(
+                "  lost source attributes (restored as nulls): "
+                + ", ".join(self.lost_source_variables)
+            )
+        if self.null_joined_variables:
+            lines.append(
+                "  null-joined positions (were target existentials): "
+                + ", ".join(self.null_joined_variables)
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class InversionResult:
+    """The outcome of :func:`invert` over a whole mapping."""
+
+    reports: tuple[InversionReport, ...]
+
+    @property
+    def mappings(self) -> MappingSet:
+        """The invertible part, as a target→source :class:`MappingSet`."""
+        return MappingSet.of(
+            report.inverse
+            for report in self.reports
+            if report.inverse is not None
+        )
+
+    @property
+    def exact(self) -> bool:
+        """True when every candidate inverted losslessly."""
+        return bool(self.reports) and all(
+            report.exact and report.inverse is not None
+            for report in self.reports
+        )
+
+    def __iter__(self):
+        return iter(self.reports)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def render(self) -> str:
+        return "\n".join(
+            f"[{index}] {report.render()}"
+            for index, report in enumerate(self.reports, 1)
+        )
+
+
+def invert(mapping: MappingLike) -> InversionResult:
+    """A (quasi-)inverse of the mapping, with a structured loss report.
+
+    Each candidate ⟨E₁, E₂, 𝓛⟩ flips to ⟨E₂, E₁, 𝓛⁻¹⟩: the target query
+    becomes the premise, the source query the conclusion, and every
+    covered correspondence reverses. Where the original tgd was lossy —
+    non-exported premise variables, or target existentials — the report
+    says exactly which attributes come back as nulls rather than
+    silently pretending a Fagin-style exact inverse exists.
+    """
+    reports: list[InversionReport] = []
+    for index, candidate in enumerate(candidates_of(mapping), 1):
+        tgd = _aligned_tgd(candidate, f"M{index}")
+        if tgd is None:
+            reports.append(
+                InversionReport(
+                    inverse=None,
+                    exact=False,
+                    reason="source and target export different arities",
+                )
+            )
+            continue
+        if not tgd.source.head_terms:
+            reports.append(
+                InversionReport(
+                    inverse=None,
+                    exact=False,
+                    reason="mapping exports nothing; no attribute flows "
+                    "back from the target",
+                )
+            )
+            continue
+        lost = tuple(
+            sorted(
+                variable.name
+                for variable in tgd.source.existential_variables()
+            )
+        )
+        null_joined = tuple(
+            sorted(
+                variable.name for variable in tgd.existential_variables()
+            )
+        )
+        inverse = MappingCandidate(
+            source_query=candidate.target_query,
+            target_query=candidate.source_query,
+            covered=tuple(
+                sorted(
+                    Correspondence(corr.target, corr.source)
+                    for corr in candidate.covered
+                )
+            ),
+            method="inverted",
+            notes=f"inverse of M{index}"
+            + ("" if not (lost or null_joined) else " (quasi)"),
+        )
+        reports.append(
+            InversionReport(
+                inverse=inverse,
+                exact=not lost and not null_joined,
+                lost_source_variables=lost,
+                null_joined_variables=null_joined,
+            )
+        )
+    return InversionResult(reports=tuple(reports))

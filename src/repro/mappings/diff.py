@@ -2,17 +2,42 @@
 
 Mapping sets live next to schemas and get regenerated when either side
 changes; :func:`diff_candidates` reports what changed between two
-generations using the same identity criterion as the evaluation (the
-paper's "same pair of connections"): unchanged, added, and removed
-candidates, with covered-correspondence keys to group near-misses.
+generations: unchanged, added, and removed candidates, grouped under
+covered-correspondence keys so near-misses sit next to each other.
+Matching is *semantic* (chase-based tgd equivalence via
+:func:`repro.mappings.algebra.equivalent`), so a regenerated candidate
+that merely renamed variables or reordered joins does not show up as
+churn. Rendering is byte-stable: groups and lines are sorted, never
+emitted in candidate-set or dict order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
-from repro.mappings.expression import MappingCandidate
+from repro.mappings.expression import MappingCandidate, candidates_of
+
+
+def _covered_key(candidate: MappingCandidate) -> str:
+    covered = ", ".join(sorted(str(c) for c in candidate.covered))
+    return f"{{{covered}}}"
+
+
+def _sorted_lines(
+    candidates: Sequence[MappingCandidate], sign: str
+) -> list[str]:
+    """Stable rendering: group by covered key, sort within each group."""
+    groups: dict[str, list[str]] = {}
+    for candidate in candidates:
+        groups.setdefault(_covered_key(candidate), []).append(
+            str(candidate)
+        )
+    lines: list[str] = []
+    for key in sorted(groups):
+        for text in sorted(groups[key]):
+            lines.append(f"  {sign} {text}")
+    return lines
 
 
 @dataclass(frozen=True)
@@ -35,10 +60,8 @@ class MappingDiff:
 
     def render(self) -> str:
         lines = [self.summary()]
-        for candidate in self.added:
-            lines.append(f"  + {candidate}")
-        for candidate in self.removed:
-            lines.append(f"  - {candidate}")
+        lines.extend(_sorted_lines(self.added, "+"))
+        lines.extend(_sorted_lines(self.removed, "-"))
         return "\n".join(lines)
 
     def __str__(self) -> str:
@@ -46,23 +69,30 @@ class MappingDiff:
 
 
 def diff_candidates(
-    old: Sequence[MappingCandidate],
-    new: Sequence[MappingCandidate],
+    old: "Sequence[MappingCandidate] | Iterable[MappingCandidate]",
+    new: "Sequence[MappingCandidate] | Iterable[MappingCandidate]",
 ) -> MappingDiff:
-    """Compare two candidate sets under mapping identity.
+    """Compare two candidate sets (or :class:`MappingSet`\\ s) semantically.
 
     Matching is greedy one-to-one: each old candidate consumes at most
-    one identical new candidate.
+    one equivalent new candidate. Candidates count as unchanged when
+    their tgds are logically equivalent *and* they cover the same
+    correspondences — the same criterion semantic deduplication uses —
+    so cosmetic regeneration differences never read as churn.
     """
-    remaining = list(new)
+    from repro.mappings.algebra import equivalent
+
+    old_candidates = candidates_of(old)
+    remaining = list(candidates_of(new))
     unchanged: list[MappingCandidate] = []
     removed: list[MappingCandidate] = []
-    for candidate in old:
+    for candidate in old_candidates:
         match_index = next(
             (
                 index
                 for index, other in enumerate(remaining)
-                if candidate.same_mapping_as(other)
+                if set(candidate.covered) == set(other.covered)
+                and equivalent(candidate, other)
             ),
             None,
         )

@@ -26,11 +26,24 @@ from repro.relational.instance import Instance, LabeledNull
 from repro.relational.schema import RelationalSchema
 
 
+def skolem_function(tgd_name: str, variable: Variable) -> str:
+    """The Skolem-function symbol for one tgd existential.
+
+    One naming convention shared by the whole lifecycle: data exchange
+    builds labeled nulls as applications of this symbol to the exported
+    values, and :mod:`repro.mappings.algebra` builds symbolic
+    :class:`~repro.queries.conjunctive.SkolemTerm` applications of the
+    *same* symbol when unfolding or chasing mappings — so a composed
+    mapping's provenance reads like the exchange nulls it stands for.
+    """
+    return f"{tgd_name}:{variable.name}"
+
+
 def _skolem_null(
     tgd_name: str, variable: Variable, exported: tuple[Hashable, ...]
 ) -> LabeledNull:
     values = ",".join(repr(value) for value in exported)
-    return LabeledNull(f"{tgd_name}:{variable.name}({values})")
+    return LabeledNull(f"{skolem_function(tgd_name, variable)}({values})")
 
 
 def exchange(
@@ -106,3 +119,75 @@ def certain_rows(instance: Instance, table_name: str) -> tuple[tuple, ...]:
         for row in instance.rows(table_name)
         if not any(isinstance(value, LabeledNull) for value in row)
     )
+
+
+def isomorphic_instances(first: Instance, second: Instance) -> bool:
+    """True when the instances agree up to a renaming of labeled nulls.
+
+    Constants must match exactly; labeled nulls may differ in label as
+    long as some bijection between the two null sets maps the first
+    instance's rows onto the second's, table by table.  This is the
+    equivalence that matters for canonical universal solutions: two
+    exchange runs are "the same solution" iff they are null-isomorphic.
+    """
+    tables_first = sorted(first.schema.tables)
+    tables_second = sorted(second.schema.tables)
+    if tables_first != tables_second:
+        return False
+    todo: list[tuple[tuple, int, tuple[tuple, ...]]] = []
+    for table_index, name in enumerate(tables_first):
+        rows_a = tuple(first.rows(name))
+        rows_b = tuple(second.rows(name))
+        if len(rows_a) != len(rows_b):
+            return False
+        todo.extend((row, table_index, rows_b) for row in rows_a)
+    return _match_rows(todo, 0, {}, {}, set())
+
+
+def _match_rows(
+    todo: Sequence[tuple[tuple, int, tuple[tuple, ...]]],
+    position: int,
+    forward: dict[LabeledNull, LabeledNull],
+    backward: dict[LabeledNull, LabeledNull],
+    used: set[tuple[int, int]],
+) -> bool:
+    """Backtracking search for a null bijection matching rows onto rows."""
+    if position == len(todo):
+        return True
+    row, table_index, rows_b = todo[position]
+    for candidate_index, candidate in enumerate(rows_b):
+        if (table_index, candidate_index) in used:
+            continue
+        trail: list[LabeledNull] = []
+        if _rows_unify(row, candidate, forward, backward, trail):
+            used.add((table_index, candidate_index))
+            if _match_rows(todo, position + 1, forward, backward, used):
+                return True
+            used.discard((table_index, candidate_index))
+        for null in trail:
+            backward.pop(forward.pop(null), None)
+    return False
+
+
+def _rows_unify(row_a, row_b, forward, backward, trail) -> bool:
+    if len(row_a) != len(row_b):
+        return False
+    for value_a, value_b in zip(row_a, row_b):
+        null_a = isinstance(value_a, LabeledNull)
+        null_b = isinstance(value_b, LabeledNull)
+        if null_a != null_b:
+            return False
+        if not null_a:
+            if value_a != value_b:
+                return False
+            continue
+        if value_a in forward:
+            if forward[value_a] != value_b:
+                return False
+            continue
+        if value_b in backward:
+            return False
+        forward[value_a] = value_b
+        backward[value_b] = value_a
+        trail.append(value_a)
+    return True

@@ -11,7 +11,8 @@ correspondences.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Sequence
 
 from repro.correspondences import Correspondence
 from repro.queries.conjunctive import ConjunctiveQuery, Variable
@@ -79,10 +80,160 @@ def _booleanize(query: ConjunctiveQuery) -> ConjunctiveQuery:
     return ConjunctiveQuery([], query.body, query.name)
 
 
+@dataclass(frozen=True)
+class MappingSet:
+    """The first-class discovery artifact: an immutable set of candidates.
+
+    Wraps the ranked candidate tuple together with the provenance that
+    makes it reusable downstream — the content-addressed fingerprint of
+    the scenario it was discovered from and (when known) the scenario
+    id. ``MappingSet`` is what :func:`repro.discover` hands back, what
+    :mod:`repro.mappings.algebra` composes and inverts, and what the
+    versioned ``repro-mappings/1`` wire format serializes.
+
+    The set iterates in rank order (best candidate first) and compares
+    by value, so two discoveries of the same scenario produce equal
+    sets.
+    """
+
+    candidates: tuple[MappingCandidate, ...] = ()
+    fingerprint: str | None = None
+    scenario_id: str | None = None
+
+    @classmethod
+    def of(
+        cls,
+        candidates: "MappingSet | MappingCandidate | Iterable[MappingCandidate]",
+        *,
+        fingerprint: str | None = None,
+        scenario_id: str | None = None,
+    ) -> "MappingSet":
+        """Coerce candidates (or another set) into a :class:`MappingSet`."""
+        if isinstance(candidates, MappingSet):
+            return replace(
+                candidates,
+                fingerprint=fingerprint or candidates.fingerprint,
+                scenario_id=scenario_id or candidates.scenario_id,
+            )
+        if isinstance(candidates, MappingCandidate):
+            candidates = (candidates,)
+        return cls(
+            candidates=tuple(candidates),
+            fingerprint=fingerprint,
+            scenario_id=scenario_id,
+        )
+
+    def __iter__(self) -> Iterator[MappingCandidate]:
+        return iter(self.candidates)
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def __bool__(self) -> bool:
+        return bool(self.candidates)
+
+    def __getitem__(self, index: int) -> MappingCandidate:
+        return self.candidates[index]
+
+    def best(self) -> MappingCandidate | None:
+        """The top-ranked candidate, or ``None`` when empty."""
+        return self.candidates[0] if self.candidates else None
+
+    def to_tgds(self, prefix: str = "M") -> tuple[SourceToTargetTGD, ...]:
+        """The candidates as named tgds (``M1``, ``M2``, ... by default)."""
+        return tuple(
+            candidate.to_tgd(f"{prefix}{index}")
+            for index, candidate in enumerate(self.candidates, 1)
+        )
+
+    def render(self) -> str:
+        """All candidates in the paper's tgd notation, one per line."""
+        return "\n".join(tgd.render() for tgd in self.to_tgds())
+
+    def dedup(self) -> "MappingSet":
+        """This set with semantically equivalent candidates collapsed."""
+        return replace(
+            self, candidates=tuple(deduplicate_candidates(self.candidates))
+        )
+
+    def dumps(self, indent: int | None = 2) -> str:
+        """Serialize in the versioned ``repro-mappings/1`` format."""
+        from repro.mappings.serialize import dump_mapping_set
+
+        return dump_mapping_set(self, indent=indent)
+
+    @classmethod
+    def loads(cls, text: str) -> "MappingSet":
+        """Parse a ``repro-mappings/1`` document."""
+        from repro.mappings.serialize import load_mapping_set
+
+        return load_mapping_set(text)
+
+
+def candidates_of(
+    mapping: MappingSet | MappingCandidate | Iterable[MappingCandidate],
+) -> tuple[MappingCandidate, ...]:
+    """Normalize any of the accepted mapping shapes to a candidate tuple.
+
+    The algebra and diff entry points accept a :class:`MappingSet`, a
+    bare candidate, or any iterable of candidates; this is the single
+    coercion point.
+    """
+    if isinstance(mapping, MappingSet):
+        return mapping.candidates
+    if isinstance(mapping, MappingCandidate):
+        return (mapping,)
+    return tuple(mapping)
+
+
 def deduplicate_candidates(
-    candidates: list[MappingCandidate],
+    candidates: Sequence[MappingCandidate],
+    *,
+    criterion: str = "semantic",
 ) -> list[MappingCandidate]:
-    """Drop candidates equal (per :meth:`same_mapping_as`) to an earlier one.
+    """Drop candidates equivalent (per ``criterion``) to an earlier one.
+
+    ``criterion="semantic"`` (the default, what :meth:`MappingSet.dedup`
+    and the lifecycle algebra use) is *logical equivalence of the tgds*,
+    checked by chasing (:func:`repro.mappings.algebra.equivalent`) —
+    head-sensitive, so two candidates that wire exports differently
+    (``q(x, y)`` vs ``q(y, x)``) both survive even though their bodies
+    are boolean-equivalent. Candidates are bucketed by
+    covered-correspondence set first: the paper treats the covered set
+    as part of candidate identity, so candidates covering different
+    correspondences are distinct artifacts and skip the (more
+    expensive) chase check.
+
+    ``criterion="connection"`` is the paper's within-one-discovery-run
+    notion (:meth:`~MappingCandidate.same_mapping_as`): same pair of
+    connections covering the same correspondences. Within a run the
+    exports are determined by the correspondences, so alternative LAV
+    rewritings of the same CSG pair — differing only in which
+    corresponded table supplies a shared attribute — are one mapping.
+    This is what the discovery engine's rank stage and the RIC baseline
+    use; it is *not* sound for candidates of mixed provenance, where
+    boolean-equivalent bodies can still wire exports differently.
+    """
+    if criterion == "connection":
+        return _deduplicate_by_connection(candidates)
+    if criterion != "semantic":
+        raise ValueError(f"unknown dedup criterion: {criterion!r}")
+    from repro.mappings.algebra import equivalent
+
+    unique: list[MappingCandidate] = []
+    buckets: dict[frozenset, list[MappingCandidate]] = {}
+    for candidate in candidates:
+        bucket = buckets.setdefault(frozenset(candidate.covered), [])
+        if not any(equivalent(kept, candidate) for kept in bucket):
+            bucket.append(candidate)
+            unique.append(candidate)
+    return unique
+
+
+def _deduplicate_by_connection(
+    candidates: Sequence[MappingCandidate],
+) -> list[MappingCandidate]:
+    """The paper's dedup: bucketed pairwise :meth:`same_mapping_as`.
 
     Candidates are bucketed by (covered set, source predicate set,
     target predicate set) before the pairwise equivalence checks: a

@@ -1,21 +1,29 @@
-"""JSON (de)serialization of mapping candidates and result sets.
+"""JSON (de)serialization of mapping sets in the ``repro-mappings/1`` format.
 
-Discovered mappings are artifacts users keep: this module round-trips
-:class:`MappingCandidate` lists through a stable, human-diffable JSON
-shape, so mapping sets can be versioned next to the schemas they map.
+Discovered mappings are artifacts users keep: this module round-trips a
+:class:`~repro.mappings.expression.MappingSet` through a stable,
+human-diffable JSON shape, so mapping sets can be versioned next to the
+schemas they map. The set's provenance (scenario fingerprint and id) is
+carried as optional top-level keys — documents written before the
+:class:`MappingSet` API, and sets without provenance, serialize
+byte-identically to the original candidate-list format.
 
 Only table-level candidates serialize (variables and constants in the
 queries); Skolem terms never appear in finished candidates.
+
+``dump_candidates``/``load_candidates`` remain as deprecated shims over
+the set-level entry points.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from typing import Any, Sequence
 
 from repro.correspondences import Correspondence
 from repro.exceptions import QueryError
-from repro.mappings.expression import MappingCandidate
+from repro.mappings.expression import MappingCandidate, MappingSet
 from repro.queries.conjunctive import (
     Atom,
     ConjunctiveQuery,
@@ -99,24 +107,74 @@ def candidate_from_dict(data: dict) -> MappingCandidate:
     )
 
 
-def dump_candidates(
-    candidates: Sequence[MappingCandidate], indent: int = 2
-) -> str:
-    """Serialize a candidate list to JSON text."""
-    document = {
+def mapping_set_to_dict(mapping: MappingSet) -> dict:
+    """A :class:`MappingSet` as a JSON-ready ``repro-mappings/1`` document.
+
+    Provenance keys are omitted when unset, so a bare set of candidates
+    produces exactly the pre-``MappingSet`` document shape (and bytes).
+    """
+    document: dict = {
         "format": FORMAT,
-        "candidates": [candidate_to_dict(c) for c in candidates],
+        "candidates": [candidate_to_dict(c) for c in mapping.candidates],
     }
-    return json.dumps(document, indent=indent, sort_keys=True)
+    if mapping.fingerprint is not None:
+        document["fingerprint"] = mapping.fingerprint
+    if mapping.scenario_id is not None:
+        document["scenario_id"] = mapping.scenario_id
+    return document
 
 
-def load_candidates(text: str) -> list[MappingCandidate]:
-    """Parse JSON text produced by :func:`dump_candidates`."""
-    document = json.loads(text)
+def mapping_set_from_dict(document: dict) -> MappingSet:
+    """Parse a ``repro-mappings/1`` document dictionary."""
     if document.get("format") != FORMAT:
         raise QueryError(
             f"unsupported mapping document format: {document.get('format')!r}"
         )
-    return [
-        candidate_from_dict(entry) for entry in document["candidates"]
-    ]
+    return MappingSet(
+        candidates=tuple(
+            candidate_from_dict(entry) for entry in document["candidates"]
+        ),
+        fingerprint=document.get("fingerprint"),
+        scenario_id=document.get("scenario_id"),
+    )
+
+
+def dump_mapping_set(
+    mapping: MappingSet | Sequence[MappingCandidate],
+    indent: int | None = 2,
+) -> str:
+    """Serialize a mapping set to JSON text."""
+    return json.dumps(
+        mapping_set_to_dict(MappingSet.of(mapping)),
+        indent=indent,
+        sort_keys=True,
+    )
+
+
+def load_mapping_set(text: str) -> MappingSet:
+    """Parse JSON text produced by :func:`dump_mapping_set`."""
+    return mapping_set_from_dict(json.loads(text))
+
+
+def dump_candidates(
+    candidates: Sequence[MappingCandidate], indent: int = 2
+) -> str:
+    """Deprecated: use :func:`dump_mapping_set` (same document shape)."""
+    warnings.warn(
+        "dump_candidates is deprecated; use dump_mapping_set (or "
+        "MappingSet.dumps) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return dump_mapping_set(MappingSet.of(candidates), indent=indent)
+
+
+def load_candidates(text: str) -> list[MappingCandidate]:
+    """Deprecated: use :func:`load_mapping_set` (returns a MappingSet)."""
+    warnings.warn(
+        "load_candidates is deprecated; use load_mapping_set (or "
+        "MappingSet.loads) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return list(load_mapping_set(text).candidates)

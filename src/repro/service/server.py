@@ -14,6 +14,11 @@ Endpoints
     semantics recovered, correspondences seeded or accepted, and the
     assembled scenario discovered through the same queue/cache as
     ``/discover``. See ``docs/ingestion.md``.
+``POST /compose``
+    Pure mapping algebra: compose an S→T mapping-set document with a
+    T→U one into a direct S→U set (optionally also inverted). Runs
+    synchronously on the handler thread — no schemas ship and no
+    discovery job is queued. See ``docs/lifecycle.md``.
 ``POST /validate``
     Pre-flight a scenario through :mod:`repro.validation` without
     running it; always 200 with the diagnostic list (400 only for
@@ -57,6 +62,7 @@ from repro.service.jobs import JobQueue
 from repro.service.metrics import ServiceMetrics, perf_gauges
 from repro.service.wire import (
     WIRE_VERSION,
+    compose_request_from_wire,
     diagnostics_to_wire,
     discover_request_from_wire,
     introspect_request_from_wire,
@@ -431,6 +437,62 @@ class MappingService:
         return 200, response
 
     # ------------------------------------------------------------------
+    # POST /compose
+    # ------------------------------------------------------------------
+    @_versioned_handler
+    def handle_compose(self, payload: Any) -> tuple[int, dict[str, Any]]:
+        """Compose two shipped mapping sets; pure algebra, no queueing."""
+        from repro.mappings.algebra import compose, invert
+        from repro.mappings.serialize import mapping_set_to_dict
+
+        try:
+            request = compose_request_from_wire(payload)
+        except WireFormatError as error:
+            return 400, {
+                "status": "bad-request",
+                "error": _error_payload("WireFormatError", str(error)),
+            }
+        composed = compose(
+            request.first,
+            request.second,
+            max_solutions_per_candidate=(
+                request.max_solutions_per_candidate
+            ),
+            prune=request.prune,
+        )
+        self.metrics.inc("compositions_total")
+        response: dict[str, Any] = {
+            "status": "ok",
+            "mapping": mapping_set_to_dict(composed),
+            "composed": len(composed),
+            "inputs": {
+                "first": len(request.first),
+                "second": len(request.second),
+            },
+        }
+        if request.invert:
+            inversion = invert(composed)
+            response["inversion"] = {
+                "exact": inversion.exact,
+                "mapping": mapping_set_to_dict(inversion.mappings),
+                "reports": [
+                    {
+                        "invertible": report.inverse is not None,
+                        "exact": report.exact,
+                        "lost_source_variables": list(
+                            report.lost_source_variables
+                        ),
+                        "null_joined_variables": list(
+                            report.null_joined_variables
+                        ),
+                        "reason": report.reason,
+                    }
+                    for report in inversion.reports
+                ],
+            }
+        return 200, response
+
+    # ------------------------------------------------------------------
     # POST /validate
     # ------------------------------------------------------------------
     @_versioned_handler
@@ -617,6 +679,7 @@ class _Handler(BaseHTTPRequestHandler):
         routes = {
             "/discover": ("discover", self.service.handle_discover),
             "/introspect": ("introspect", self.service.handle_introspect),
+            "/compose": ("compose", self.service.handle_compose),
             "/validate": ("validate", self.service.handle_validate),
         }
         if path not in routes:

@@ -25,7 +25,7 @@ holds per-table s-tree specs accepted by
 
 Result payloads reuse :mod:`repro.mappings.serialize` for the candidate
 documents, so a served mapping set is the same JSON a user would get
-from :func:`~repro.mappings.serialize.dump_candidates` — and the
+from :func:`~repro.mappings.serialize.dump_mapping_set` — and the
 deterministic part (``"mapping"``) is kept separate from per-run
 diagnostics (``"run"``) so cached and fresh responses are byte-identical
 where they must be.
@@ -557,6 +557,71 @@ def introspect_request_from_wire(payload: Mapping[str, Any]) -> IngestRequest:
         verify=verify,
         strict=strict,
         options=DiscoverOptions(mode, use_cache, timeout, discovery),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Composition requests (POST /compose)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ComposeRequest:
+    """A parsed ``POST /compose`` body.
+
+    ``first`` and ``second`` are mapping sets in the same
+    ``repro-mappings/1`` document shape that ``/discover`` responses and
+    :func:`repro.mappings.serialize.dump_mapping_set` emit; the composed
+    S→U set comes back in that shape too. Composition is pure algebra on
+    the documents — no schemas are shipped and no discovery runs.
+    """
+
+    first: Any
+    second: Any
+    prune: bool
+    max_solutions_per_candidate: int
+    invert: bool
+
+
+def compose_request_from_wire(payload: Mapping[str, Any]) -> ComposeRequest:
+    """Parse a full ``POST /compose`` body; bad shapes become 400s."""
+    from repro.mappings.serialize import mapping_set_from_dict
+
+    if not isinstance(payload, Mapping):
+        raise WireFormatError("request body must be a JSON object")
+    check_wire_version(payload)
+    sets = []
+    for key in ("first", "second"):
+        if key not in payload:
+            raise WireFormatError(
+                f"request body needs {key!r}: a {FORMAT} mapping-set "
+                f"document"
+            )
+        try:
+            sets.append(mapping_set_from_dict(payload[key]))
+        except ReproError as error:
+            raise WireFormatError(
+                f"bad {key!r} mapping set: {error}"
+            ) from error
+    prune = payload.get("prune", True)
+    if not isinstance(prune, bool):
+        raise WireFormatError("'prune' must be a boolean")
+    invert = payload.get("invert", False)
+    if not isinstance(invert, bool):
+        raise WireFormatError("'invert' must be a boolean")
+    max_solutions = payload.get("max_solutions_per_candidate", 32)
+    if (
+        not isinstance(max_solutions, int)
+        or isinstance(max_solutions, bool)
+        or max_solutions < 1
+    ):
+        raise WireFormatError(
+            "'max_solutions_per_candidate' must be a positive integer"
+        )
+    return ComposeRequest(
+        first=sets[0],
+        second=sets[1],
+        prune=prune,
+        max_solutions_per_candidate=max_solutions,
+        invert=invert,
     )
 
 

@@ -15,7 +15,7 @@ from repro.ingest import (
     resolve_cm_argument,
     sample_instance,
 )
-from repro.mappings.serialize import dump_candidates
+from repro.mappings.serialize import dump_mapping_set
 
 
 @pytest.fixture(scope="module")
@@ -88,7 +88,7 @@ class TestRoundTripFidelity:
             authored = discover_mappings(
                 pair.source, pair.target, case.correspondences
             )
-            assert dump_candidates(live.candidates) == dump_candidates(
+            assert dump_mapping_set(live.candidates) == dump_mapping_set(
                 authored.candidates
             ), case.case_id
 
@@ -108,7 +108,7 @@ class TestRoundTripFidelity:
         document = json.loads(json.dumps(ingested.to_wire()))
         replayed = scenario_from_wire(document).run()
         direct = ingested.scenario.run()
-        assert dump_candidates(replayed.candidates) == dump_candidates(
+        assert dump_mapping_set(replayed.candidates) == dump_mapping_set(
             direct.candidates
         )
 

@@ -38,6 +38,46 @@ class TestDiff:
         assert len(diff.unchanged) == 1
         assert len(diff.removed) == 1
 
+    def test_semantic_match_ignores_redundant_atoms(self):
+        """A logically equivalent regeneration is not churn."""
+        lean = candidate("ans(x) :- a(x)")
+        padded = candidate("ans(x) :- a(x), a(y)")
+        diff = diff_candidates([lean], [padded])
+        assert diff.is_empty
+
+    def test_mapping_sets_accepted(self):
+        from repro.mappings import MappingSet
+
+        old = MappingSet.of([candidate("ans(x) :- a(x)")])
+        new = MappingSet.of([candidate("ans(x) :- b(x)")])
+        diff = diff_candidates(old, new)
+        assert len(diff.added) == 1 and len(diff.removed) == 1
+
+    def test_render_is_order_independent(self):
+        """Byte-stable output regardless of candidate input order."""
+        candidates = [
+            candidate("ans(x) :- a(x)", covered=("a.x <-> t.u",)),
+            candidate("ans(x) :- b(x)", covered=("b.y <-> t.u",)),
+            candidate("ans(x) :- c(x)", covered=("c.z <-> t.v",)),
+        ]
+        forward = diff_candidates([], candidates)
+        backward = diff_candidates([], list(reversed(candidates)))
+        assert forward.render() == backward.render()
+        removed_f = diff_candidates(candidates, [])
+        removed_b = diff_candidates(list(reversed(candidates)), [])
+        assert removed_f.render() == removed_b.render()
+
+    def test_render_groups_by_covered_key(self):
+        shared = candidate("ans(x) :- b(x)", covered=("a.x <-> t.u",))
+        other = candidate("ans(x) :- c(x)", covered=("c.z <-> t.v",))
+        rendered = diff_candidates(
+            [], [other, shared, candidate("ans(x) :- a(x)")]
+        ).render()
+        lines = rendered.splitlines()[1:]
+        # Both a.x<->t.u candidates render adjacently, before c.z<->t.v.
+        assert "a(x)" in lines[0] and "b(x)" in lines[1]
+        assert "c(x)" in lines[2]
+
     def test_schema_evolution_scenario(self):
         """Toggling the partOf flag changes the candidate set: the diff
         reports exactly the deanOf candidate appearing."""

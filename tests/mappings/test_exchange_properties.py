@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.mappings import exchange
+from repro.mappings import exchange, isomorphic_instances
 from repro.mappings.tgd import SourceToTargetTGD
 from repro.mappings.verify import verify_mappings
 from repro.queries.parser import parse_query
@@ -88,3 +88,37 @@ def test_exchange_idempotent_on_rerun(r_rows, s_rows):
     second = exchange(TGDS, source, target_schema())
     for table in ("u", "w"):
         assert first.rows(table) == second.rows(table)
+
+
+@settings(max_examples=40, deadline=None)
+@given(r_rows=rows2, s_rows=rows2, picks=st.lists(st.integers(0, 3), min_size=1, max_size=4))
+def test_repeated_exchange_yields_isomorphic_nulls(r_rows, s_rows, picks):
+    """Skolem-null identity: re-running exchange — even with the tgds
+    renamed, which relabels every null — produces the same canonical
+    universal solution up to a bijection of labeled nulls."""
+    source = Instance(source_schema())
+    source.add_all("r", r_rows)
+    source.add_all("s", s_rows)
+    tgds = [TGDS[i] for i in sorted(set(picks))]
+    renamed = [
+        SourceToTargetTGD(tgd.source, tgd.target, f"renamed-{tgd.name}")
+        for tgd in tgds
+    ]
+    first = exchange(tgds, source, target_schema())
+    again = exchange(tgds, source, target_schema())
+    relabeled = exchange(renamed, source, target_schema())
+    assert isomorphic_instances(first, again)
+    assert isomorphic_instances(first, relabeled)
+
+
+@settings(max_examples=25, deadline=None)
+@given(r_rows=rows2)
+def test_distinct_solutions_are_not_isomorphic(r_rows):
+    """Sanity direction: dropping a tgd changes the solution whenever
+    that tgd produced any row."""
+    source = Instance(source_schema())
+    source.add_all("r", r_rows)
+    full = exchange([TGDS[0], TGDS[2]], source, target_schema())
+    partial = exchange([TGDS[0]], source, target_schema())
+    if full.size() != partial.size():
+        assert not isomorphic_instances(full, partial)

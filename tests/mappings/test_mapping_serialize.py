@@ -5,25 +5,32 @@ import pytest
 from repro.datasets.paper_examples import bookstore_example, employee_example
 from repro.discovery import discover_mappings
 from repro.exceptions import QueryError
+from repro.mappings.expression import MappingSet
 from repro.mappings.serialize import (
     candidate_from_dict,
     candidate_to_dict,
     dump_candidates,
+    dump_mapping_set,
     load_candidates,
+    load_mapping_set,
 )
 from repro.queries.parser import parse_query
 
 
 class TestRoundTrip:
     @pytest.fixture(scope="class")
-    def candidates(self):
+    def result(self):
         scenario = bookstore_example()
         return discover_mappings(
             scenario.source, scenario.target, scenario.correspondences
-        ).candidates
+        )
+
+    @pytest.fixture(scope="class")
+    def candidates(self, result):
+        return result.candidates
 
     def test_round_trip_preserves_identity(self, candidates):
-        restored = load_candidates(dump_candidates(candidates))
+        restored = load_mapping_set(dump_mapping_set(candidates))
         assert len(restored) == len(candidates)
         for original, back in zip(candidates, restored):
             assert back.same_mapping_as(original)
@@ -35,24 +42,49 @@ class TestRoundTrip:
         candidates = discover_mappings(
             scenario.source, scenario.target, scenario.correspondences
         ).candidates
-        restored = load_candidates(dump_candidates(candidates))
+        restored = load_mapping_set(dump_mapping_set(candidates))
         assert restored[0].source_optional_tables == {
             "engineer",
             "programmer",
         }
 
     def test_output_is_deterministic(self, candidates):
-        assert dump_candidates(candidates) == dump_candidates(candidates)
+        assert dump_mapping_set(candidates) == dump_mapping_set(candidates)
 
     def test_tgd_still_renders_after_round_trip(self, candidates):
-        restored = load_candidates(dump_candidates(candidates))
+        restored = load_mapping_set(dump_mapping_set(candidates))
         assert "→" in restored[0].to_tgd("M").render()
+
+    def test_provenance_round_trips(self, result):
+        mapping = result.mappings
+        assert mapping.fingerprint
+        restored = MappingSet.loads(mapping.dumps())
+        assert restored == mapping
+        assert restored.fingerprint == result.fingerprint
+
+    def test_bare_set_matches_candidate_document_bytes(self, candidates):
+        """Fingerprint-less sets keep the pre-MappingSet document bytes."""
+        bare = MappingSet.of(candidates)
+        with pytest.warns(DeprecationWarning):
+            legacy = dump_candidates(candidates)
+        assert bare.dumps() == legacy
+
+
+class TestDeprecatedShims:
+    def test_dump_candidates_warns(self):
+        with pytest.warns(DeprecationWarning, match="dump_mapping_set"):
+            dump_candidates([])
+
+    def test_load_candidates_warns(self):
+        with pytest.warns(DeprecationWarning, match="load_mapping_set"):
+            text = dump_mapping_set(())
+            assert load_candidates(text) == []
 
 
 class TestErrors:
     def test_bad_format_rejected(self):
         with pytest.raises(QueryError):
-            load_candidates('{"format": "other", "candidates": []}')
+            load_mapping_set('{"format": "other", "candidates": []}')
 
     def test_skolem_terms_unserializable(self):
         from repro.correspondences import Correspondence

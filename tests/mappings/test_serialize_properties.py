@@ -1,17 +1,18 @@
 """Property test: mapping serialization round-trips losslessly.
 
-For any structurally valid candidate list, ``load_candidates``
-applied to ``dump_candidates`` must reproduce the original candidates
-exactly (dataclass equality covers queries, covered correspondences,
-method, notes, and optional tables), and re-serializing the restored
-list must produce the identical document text.
+For any structurally valid :class:`MappingSet`, ``load_mapping_set``
+applied to ``dump_mapping_set`` must reproduce the original set exactly
+(dataclass equality covers queries, covered correspondences, method,
+notes, optional tables, and the set's fingerprint/scenario_id
+provenance), and re-serializing the restored set must produce the
+identical document text.
 """
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.mappings.expression import MappingCandidate
-from repro.mappings.serialize import dump_candidates, load_candidates
+from repro.mappings.expression import MappingCandidate, MappingSet
+from repro.mappings.serialize import dump_mapping_set, load_mapping_set
 from repro.queries.conjunctive import (
     Atom,
     ConjunctiveQuery,
@@ -91,20 +92,34 @@ def candidates(draw):
     )
 
 
+@st.composite
+def mapping_sets(draw):
+    """A MappingSet with optional provenance stamps."""
+    return MappingSet(
+        candidates=tuple(draw(st.lists(candidates(), max_size=4))),
+        fingerprint=draw(
+            st.one_of(st.none(), st.from_regex(r"[0-9a-f]{16}", fullmatch=True))
+        ),
+        scenario_id=draw(st.one_of(st.none(), names)),
+    )
+
+
 class TestSerializeRoundTrip:
     @settings(max_examples=150, deadline=None)
-    @given(st.lists(candidates(), max_size=4))
+    @given(mapping_sets())
     def test_load_after_dump_is_identity(self, original):
-        text = dump_candidates(original)
-        restored = load_candidates(text)
-        assert restored == list(original)
+        text = dump_mapping_set(original)
+        restored = load_mapping_set(text)
+        assert restored == original
         # And the round trip is a fixed point of serialization itself.
-        assert dump_candidates(restored) == text
+        assert dump_mapping_set(restored) == text
 
     @settings(max_examples=50, deadline=None)
     @given(candidates())
     def test_single_candidate_fields_survive(self, candidate):
-        (restored,) = load_candidates(dump_candidates([candidate]))
+        (restored,) = load_mapping_set(
+            dump_mapping_set([candidate])
+        ).candidates
         assert restored.source_query == candidate.source_query
         assert restored.target_query == candidate.target_query
         assert restored.covered == candidate.covered

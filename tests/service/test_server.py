@@ -170,6 +170,101 @@ class TestDiscover:
             service.close()
 
 
+def _mapping_document(source, target, covered):
+    from repro.correspondences import Correspondence
+    from repro.mappings import MappingCandidate, MappingSet
+    from repro.mappings.serialize import mapping_set_to_dict
+    from repro.queries.parser import parse_query
+
+    candidate = MappingCandidate(
+        parse_query(source),
+        parse_query(target),
+        (Correspondence.parse(covered),),
+    )
+    return mapping_set_to_dict(MappingSet.of([candidate]))
+
+
+class TestCompose:
+    FIRST = staticmethod(
+        lambda: _mapping_document(
+            "ans(n) :- person(n)",
+            "ans(n) :- emp(n)",
+            "person.name <-> emp.name",
+        )
+    )
+    SECOND = staticmethod(
+        lambda: _mapping_document(
+            "ans(n) :- emp(n)",
+            "ans(n) :- worker(n)",
+            "emp.name <-> worker.name",
+        )
+    )
+
+    def test_compose_round_trips_mapping_documents(self, client):
+        status, payload = client.request(
+            "POST",
+            "/compose",
+            {"first": self.FIRST(), "second": self.SECOND()},
+        )
+        assert status == 200 and payload["status"] == "ok"
+        assert payload["composed"] == 1
+        assert payload["inputs"] == {"first": 1, "second": 1}
+        assert payload["mapping"]["format"] == "repro-mappings/1"
+        from repro.mappings.serialize import mapping_set_from_dict
+
+        (candidate,) = mapping_set_from_dict(payload["mapping"])
+        assert candidate.method == "composed"
+        assert [str(c) for c in candidate.covered] == [
+            "person.name ↔ worker.name"
+        ]
+
+    def test_compose_with_inversion(self, client):
+        status, payload = client.request(
+            "POST",
+            "/compose",
+            {
+                "first": self.FIRST(),
+                "second": self.SECOND(),
+                "invert": True,
+            },
+        )
+        assert status == 200
+        inversion = payload["inversion"]
+        assert inversion["exact"] is True
+        assert inversion["reports"][0]["invertible"] is True
+        assert inversion["mapping"]["format"] == "repro-mappings/1"
+
+    def test_missing_mapping_set_400(self, client):
+        status, payload = client.request(
+            "POST", "/compose", {"first": self.FIRST()}
+        )
+        assert status == 400
+        assert payload["error"]["type"] == "WireFormatError"
+        assert "second" in payload["error"]["message"]
+
+    def test_malformed_mapping_set_400(self, client):
+        status, payload = client.request(
+            "POST",
+            "/compose",
+            {"first": {"format": "other"}, "second": self.SECOND()},
+        )
+        assert status == 400
+        assert "first" in payload["error"]["message"]
+
+    def test_bad_option_types_400(self, client):
+        status, payload = client.request(
+            "POST",
+            "/compose",
+            {
+                "first": self.FIRST(),
+                "second": self.SECOND(),
+                "prune": "yes",
+            },
+        )
+        assert status == 400
+        assert "prune" in payload["error"]["message"]
+
+
 class TestHandlerErrorGuards:
     def test_get_handler_exception_returns_500_json(self):
         """Regression: exceptions inside GET dispatch escaped the

@@ -58,9 +58,17 @@ EXPECTED_ALL = {
     "discover_ric_mappings",
     # Mappings
     "MappingCandidate",
+    "MappingSet",
     "SourceToTargetTGD",
     "exchange",
     "query_to_algebra",
+    # Lifecycle algebra
+    "InversionResult",
+    "compose",
+    "contains",
+    "equivalent",
+    "implies",
+    "invert",
 }
 
 

@@ -1,31 +1,38 @@
-"""Ingestion benchmark: live-SQLite round trip vs the authored path.
+"""Ingestion benchmark: the backend matrix and the incremental gate.
 
 Not a paper exhibit — this measures :mod:`repro.ingest`, the
-live-database front end: every registered dataset scenario is
-materialized into an actual SQLite file (schema + generated instance),
-read back through ``PRAGMA`` introspection and semantics recovery, and
+database front end, across every catalog backend. Each registered
+dataset scenario is forward-engineered twice — into an actual SQLite
+file and into a Postgres-style SQL dump — read back through the
+matching :class:`~repro.ingest.backends.CatalogBackend`, and
 discovered. The claims under test:
 
-* **fidelity** — for every case, the mappings discovered from the
-  ingested scenario are byte-identical (``dump_mapping_set``) to the
-  authored-semantics path;
+* **fidelity** — for every case and every backend, the mappings
+  discovered from the ingested scenario are byte-identical
+  (``dump_mapping_set``) to the authored-semantics path;
 * **clean ingestion** — no dataset schema produces an error-severity
-  diagnostic (warnings are allowed and counted);
-* **bounded overhead** — the whole ingestion front end (materialize +
-  introspect + recover + assemble) costs at most
-  :data:`INGEST_OVERHEAD_RATIO` × the discovery time it fronts, so
-  starting from a live database never dominates the pipeline.
+  diagnostic on any backend (warnings are allowed and counted);
+* **bounded overhead** — per backend, the ingestion front end
+  (materialize + introspect + recover + assemble) costs at most
+  :data:`INGEST_OVERHEAD_RATIO` × the discovery time it fronts;
+* **incremental re-ingestion** — after a catalog-only drift (a unique
+  index appears on one table), :func:`~repro.ingest.reingest_pair`
+  re-recovers only the drifted table and its FK dependents, and the
+  incremental discovery engine replays every stage (the drift never
+  enters the recovered semantics), leaving the mapping diff empty.
 
 The report is written to ``BENCH_ingest.json`` at the repo root, both
 under pytest and when run directly
-(``python benchmarks/benchmark_ingest.py``, the CI smoke job;
-``--smoke`` restricts to two dataset pairs for CI latency).
+(``python benchmarks/benchmark_ingest.py``, the CI smoke jobs;
+``--smoke`` restricts to two dataset pairs for CI latency,
+``--backend`` restricts the matrix to one backend).
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import sqlite3
 import sys
 import tempfile
 import time
@@ -35,15 +42,21 @@ import pytest
 from repro.datasets.instances import generate_instance
 from repro.datasets.registry import dataset_names, load_dataset
 from repro.discovery import discover_mappings
-from repro.ingest import ingest_pair, materialize_sqlite
+from repro.ingest import (
+    ingest_pair,
+    materialize_sqlite,
+    pgdump_ddl,
+    reingest_pair,
+)
 from repro.mappings.serialize import dump_mapping_set
 
 REPORT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_ingest.json"
 
-#: Ingestion (materialize + introspect + recover + assemble) may cost at
-#: most this multiple of the discovery work it feeds, summed over the
-#: sweep. Generous on purpose: the gate exists to catch order-of-
-#: magnitude regressions (e.g. re-introspecting per case), not jitter.
+#: Per backend, ingestion (materialize + introspect + recover +
+#: assemble) may cost at most this multiple of the discovery work it
+#: feeds, summed over the sweep. Generous on purpose: the gate exists
+#: to catch order-of-magnitude regressions (e.g. re-introspecting per
+#: case), not jitter.
 INGEST_OVERHEAD_RATIO = 3.0
 
 #: Rows generated per table for the live instances.
@@ -51,23 +64,39 @@ ROWS_PER_TABLE = 4
 
 SMOKE_DATASETS = ("DBLP", "Hotel")
 
+BACKENDS = ("sqlite", "pgdump")
 
-def _materialize(semantics, directory: pathlib.Path, name: str) -> str:
-    """Write one side's schema + generated instance to a SQLite file."""
+#: The incremental gate's scenario: which dataset is drifted, which
+#: table gains a unique index, and which dependent re-derives with it.
+INCREMENTAL_DATASET = "Hotel"
+INCREMENTAL_TABLE = "guest"
+#: Composite over the primary key so generated instances always
+#: satisfy it — the point is the *catalog* change, not the data.
+INCREMENTAL_INDEX = (
+    'CREATE UNIQUE INDEX bench_drift ON "guest" ("gid", "gname")'
+)
+
+
+def _materialize(semantics, directory: pathlib.Path, name: str, backend: str):
+    """One side's schema + generated instance, in ``backend``'s format."""
     instance = generate_instance(
         semantics.schema, rows_per_table=ROWS_PER_TABLE
     )
-    path = str(directory / f"{name}.db")
-    connection = materialize_sqlite(
-        semantics.schema, path, instance=instance
+    if backend == "sqlite":
+        path = str(directory / f"{name}.db")
+        materialize_sqlite(
+            semantics.schema, path, instance=instance
+        ).close()
+        return path
+    path = directory / f"{name}.sql"
+    path.write_text(
+        pgdump_ddl(semantics.schema, instance=instance), encoding="utf-8"
     )
-    connection.close()
-    return path
+    return str(path)
 
 
-def run_ingest_benchmark(names=None) -> tuple[dict, list[str]]:
-    """Sweep the registered datasets; returns ``(report, failures)``."""
-    names = list(names) if names is not None else sorted(dataset_names())
+def _sweep_backend(names, backend: str) -> tuple[dict, list[str]]:
+    """Run every dataset case through one backend; report + failures."""
     failures: list[str] = []
     datasets = []
     total_cases = identical_cases = 0
@@ -76,22 +105,29 @@ def run_ingest_benchmark(names=None) -> tuple[dict, list[str]]:
         pair = load_dataset(name)
         with tempfile.TemporaryDirectory(prefix="repro-ingest-") as tmp:
             directory = pathlib.Path(tmp)
-            source_db = _materialize(pair.source, directory, "source")
-            target_db = _materialize(pair.target, directory, "target")
+            source_db = _materialize(
+                pair.source, directory, "source", backend
+            )
+            target_db = _materialize(
+                pair.target, directory, "target", backend
+            )
             started = time.perf_counter()
             ingested = ingest_pair(
                 source_db,
                 target_db,
                 pair.source.model,
                 pair.target.model,
-                scenario_id=f"bench-{name}",
+                scenario_id=f"bench-{name}-{backend}",
                 correspondences=pair.cases[0].correspondences,
+                backend=backend,
             )
             pair_ingest = time.perf_counter() - started
             report = ingested.validation()
             errors = [str(d) for d in report.errors]
             if errors:
-                failures.append(f"{name}: ingestion errors: {errors}")
+                failures.append(
+                    f"{backend}/{name}: ingestion errors: {errors}"
+                )
             cases = 0
             matched = 0
             pair_discovery = 0.0
@@ -104,6 +140,7 @@ def run_ingest_benchmark(names=None) -> tuple[dict, list[str]]:
                     pair.target.model,
                     scenario_id=case.case_id,
                     correspondences=case.correspondences,
+                    backend=backend,
                 )
                 pair_ingest += time.perf_counter() - started
                 started = time.perf_counter()
@@ -119,8 +156,8 @@ def run_ingest_benchmark(names=None) -> tuple[dict, list[str]]:
                     matched += 1
                 else:
                     failures.append(
-                        f"{name}/{case.case_id}: ingested mappings differ "
-                        f"from the authored path"
+                        f"{backend}/{name}/{case.case_id}: ingested "
+                        f"mappings differ from the authored path"
                     )
         total_cases += cases
         identical_cases += matched
@@ -136,29 +173,140 @@ def run_ingest_benchmark(names=None) -> tuple[dict, list[str]]:
                 "discovery_seconds": round(pair_discovery, 4),
             }
         )
-    overhead = (
-        ingest_seconds / discovery_seconds if discovery_seconds else 0.0
-    )
-    if overhead > INGEST_OVERHEAD_RATIO:
-        failures.append(
-            f"ingestion overhead {overhead:.2f}x exceeds the "
-            f"{INGEST_OVERHEAD_RATIO}x gate"
-        )
-    report_document = {
+    backend_document = {
+        "backend": backend,
         "datasets": datasets,
         "total_cases": total_cases,
         "identical_cases": identical_cases,
         "ingest_seconds": round(ingest_seconds, 4),
         "discovery_seconds": round(discovery_seconds, 4),
-        "overhead_ratio": round(overhead, 4),
+    }
+    return backend_document, failures
+
+
+def _incremental_gate() -> tuple[dict, list[str]]:
+    """Cold-ingest, drift one table, re-ingest; gate the reuse."""
+    failures: list[str] = []
+    pair = load_dataset(INCREMENTAL_DATASET)
+    with tempfile.TemporaryDirectory(prefix="repro-reingest-") as tmp:
+        directory = pathlib.Path(tmp)
+        source_db = _materialize(pair.source, directory, "source", "sqlite")
+        target_db = _materialize(pair.target, directory, "target", "sqlite")
+        cold = ingest_pair(
+            source_db,
+            target_db,
+            pair.source.model,
+            pair.target.model,
+            scenario_id="bench-incremental",
+            correspondences=pair.cases[0].correspondences,
+        )
+        previous_result = cold.scenario.run()
+        connection = sqlite3.connect(source_db)
+        connection.execute(INCREMENTAL_INDEX)
+        connection.commit()
+        connection.close()
+        started = time.perf_counter()
+        report = reingest_pair(
+            cold,
+            source_db,
+            target_db,
+            pair.source.model,
+            pair.target.model,
+            previous_result=previous_result,
+        )
+        reingest_time = time.perf_counter() - started
+    drift = report.source_drift
+    if drift.changed != (INCREMENTAL_TABLE,):
+        failures.append(
+            f"incremental: expected only {INCREMENTAL_TABLE!r} to "
+            f"change, got {list(drift.changed)}"
+        )
+    recoverable = set(drift.changed) | set(drift.dependents)
+    if set(drift.dirty) - recoverable:
+        failures.append(
+            f"incremental: re-recovered beyond the drifted table and "
+            f"its dependents: {list(drift.dirty)}"
+        )
+    if report.target_drift.dirty:
+        failures.append(
+            f"incremental: the untouched side re-recovered "
+            f"{list(report.target_drift.dirty)}"
+        )
+    rediscovery = report.rediscovery
+    unchanged = len(rediscovery.unchanged_stages)
+    invalidated = len(rediscovery.invalidated_stages)
+    # A unique index never enters the recovered semantics, so every
+    # stage must replay — reuse at least matches the unchanged stages.
+    if not rediscovery.full_reuse:
+        failures.append(
+            f"incremental: catalog-only drift invalidated "
+            f"{invalidated} discovery stage(s)"
+        )
+    if not report.mapping_diff.is_empty:
+        failures.append(
+            f"incremental: mappings churned on a catalog-only drift: "
+            f"{report.mapping_diff.summary()}"
+        )
+    document = {
+        "dataset": INCREMENTAL_DATASET,
+        "drifted_table": INCREMENTAL_TABLE,
+        "changed": list(drift.changed),
+        "dependents": list(drift.dependents),
+        "re_recovered": list(drift.dirty),
+        "reused_tables": report.reused_tables,
+        "recovered_tables": report.recovered_tables,
+        "stages_unchanged": unchanged,
+        "stages_invalidated": invalidated,
+        "full_stage_reuse": rediscovery.full_reuse,
+        "mapping_churn": report.mapping_diff.summary(),
+        "reingest_seconds": round(reingest_time, 4),
+    }
+    return document, failures
+
+
+def run_ingest_benchmark(
+    names=None, backends=BACKENDS
+) -> tuple[dict, list[str]]:
+    """Sweep datasets × backends; returns ``(report, failures)``."""
+    names = list(names) if names is not None else sorted(dataset_names())
+    failures: list[str] = []
+    matrix = []
+    for backend in backends:
+        backend_document, backend_failures = _sweep_backend(names, backend)
+        matrix.append(backend_document)
+        failures.extend(backend_failures)
+    # Later sweeps re-discover the same scenarios against warm caches,
+    # so each backend's ingest cost is gated against the *slowest*
+    # (cold) discovery pass — the shared baseline every backend fronts.
+    baseline = max(b["discovery_seconds"] for b in matrix)
+    for backend_document in matrix:
+        overhead = (
+            backend_document["ingest_seconds"] / baseline
+            if baseline
+            else 0.0
+        )
+        backend_document["overhead_ratio"] = round(overhead, 4)
+        if overhead > INGEST_OVERHEAD_RATIO:
+            failures.append(
+                f"{backend_document['backend']}: ingestion overhead "
+                f"{overhead:.2f}x exceeds the "
+                f"{INGEST_OVERHEAD_RATIO}x gate"
+            )
+    incremental, incremental_failures = _incremental_gate()
+    failures.extend(incremental_failures)
+    report_document = {
+        "backends": matrix,
+        "incremental": incremental,
+        "total_cases": sum(b["total_cases"] for b in matrix),
+        "identical_cases": sum(b["identical_cases"] for b in matrix),
         "overhead_gate": INGEST_OVERHEAD_RATIO,
         "rows_per_table": ROWS_PER_TABLE,
     }
     return report_document, failures
 
 
-def _write_report(names=None) -> dict:
-    report, failures = run_ingest_benchmark(names)
+def _write_report(names=None, backends=BACKENDS) -> dict:
+    report, failures = run_ingest_benchmark(names, backends)
     report["failures"] = failures
     document = {"benchmark": "ingest", **report}
     REPORT_PATH.write_text(
@@ -178,32 +326,59 @@ def test_no_failures(ingest_report):
     assert ingest_report["failures"] == []
 
 
-def test_every_case_byte_identical(ingest_report):
-    assert ingest_report["total_cases"] >= 1
-    assert (
-        ingest_report["identical_cases"] == ingest_report["total_cases"]
-    ), ingest_report
+def test_every_case_byte_identical_per_backend(ingest_report):
+    for backend in ingest_report["backends"]:
+        assert backend["total_cases"] >= 1, backend
+        assert (
+            backend["identical_cases"] == backend["total_cases"]
+        ), backend
 
 
-def test_overhead_within_gate(ingest_report):
-    assert ingest_report["overhead_ratio"] <= INGEST_OVERHEAD_RATIO
+def test_overhead_within_gate_per_backend(ingest_report):
+    for backend in ingest_report["backends"]:
+        assert (
+            backend["overhead_ratio"] <= INGEST_OVERHEAD_RATIO
+        ), backend
+
+
+def test_incremental_reuse_gated(ingest_report):
+    incremental = ingest_report["incremental"]
+    assert incremental["changed"] == [INCREMENTAL_TABLE]
+    assert incremental["full_stage_reuse"] is True
+    assert incremental["stages_invalidated"] == 0
+    assert incremental["reused_tables"] >= incremental["recovered_tables"]
 
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     names = SMOKE_DATASETS if "--smoke" in argv else None
-    document = _write_report(names)
-    for entry in document["datasets"]:
+    backends = BACKENDS
+    if "--backend" in argv:
+        backends = (argv[argv.index("--backend") + 1],)
+    document = _write_report(names, backends)
+    for backend in document["backends"]:
+        for entry in backend["datasets"]:
+            print(
+                f"{backend['backend']}/{entry['dataset']}: "
+                f"{entry['identical']}/{entry['cases']} case(s) "
+                f"byte-identical, {entry['warnings']} warning(s), "
+                f"ingest {entry['ingest_seconds']}s, "
+                f"discovery {entry['discovery_seconds']}s"
+            )
         print(
-            f"{entry['dataset']}: {entry['identical']}/{entry['cases']} "
-            f"case(s) byte-identical, {entry['warnings']} warning(s), "
-            f"ingest {entry['ingest_seconds']}s, "
-            f"discovery {entry['discovery_seconds']}s"
+            f"{backend['backend']}: "
+            f"{backend['identical_cases']}/{backend['total_cases']} "
+            f"identical, overhead {backend['overhead_ratio']}x "
+            f"(gate {document['overhead_gate']}x)"
         )
+    incremental = document["incremental"]
     print(
-        f"total: {document['identical_cases']}/{document['total_cases']} "
-        f"identical, overhead {document['overhead_ratio']}x "
-        f"(gate {document['overhead_gate']}x)"
+        f"incremental: {incremental['dataset']} drifted on "
+        f"{incremental['drifted_table']!r}; re-recovered "
+        f"{incremental['re_recovered']} "
+        f"({incremental['reused_tables']} table(s) reused), "
+        f"{incremental['stages_unchanged']} stage(s) replayed, "
+        f"churn: {incremental['mapping_churn']}"
     )
     print(f"report written to {REPORT_PATH}")
     if document["failures"]:

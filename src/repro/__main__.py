@@ -13,7 +13,8 @@ Commands
 ``bench``               run the discovery benchmarks (BENCH_discovery.json)
 ``validate [NAME ...]`` pre-flight-check dataset pairs and their cases
 ``serve``               run the HTTP mapping-discovery service
-``introspect S T``      ingest two live SQLite databases against a CM:
+``introspect S T``      ingest two databases (live SQLite, or SQL dumps
+                        via ``--backend pgdump/auto``) against a CM:
                         introspect, recover semantics, seed or load
                         correspondences, optionally discover and verify
 ``compose A B``         compose two mapping-set documents (S→T ∘ T→U)
@@ -426,6 +427,7 @@ def _cmd_introspect(args: argparse.Namespace) -> int:
             options=_options_from_args(args),
             sample_rows=sample_rows,
             strict=args.strict,
+            backend=args.backend,
         )
     except ReproError as error:
         print(str(error), file=sys.stderr)
@@ -826,15 +828,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     introspect = commands.add_parser(
         "introspect",
-        help="ingest two live SQLite databases: introspect schemas, "
-        "recover semantics against a CM, seed correspondences, and "
-        "optionally discover + verify mappings (docs/ingestion.md)",
+        help="ingest two databases (live SQLite or Postgres/MySQL SQL "
+        "dumps): introspect schemas, recover semantics against a CM, "
+        "seed correspondences, and optionally discover + verify "
+        "mappings (docs/ingestion.md)",
     )
     introspect.add_argument(
-        "source_db", help="path to the source SQLite database"
+        "source_db",
+        help="path to the source database (SQLite file, or a "
+        "pg_dump/mysqldump SQL file with --backend pgdump/auto)",
     )
     introspect.add_argument(
-        "target_db", help="path to the target SQLite database"
+        "target_db",
+        help="path to the target database (SQLite file or SQL dump)",
+    )
+    introspect.add_argument(
+        "--backend",
+        choices=("sqlite", "pgdump", "auto"),
+        default="sqlite",
+        help="catalog backend: 'sqlite' opens live databases, 'pgdump' "
+        "parses Postgres/MySQL SQL dump files without executing them, "
+        "'auto' sniffs each input (SQLite magic header vs dump text)",
     )
     introspect.add_argument(
         "--cm",

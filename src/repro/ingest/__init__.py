@@ -1,68 +1,114 @@
-"""``repro.ingest``: live-database ingestion — SQLite in, scenarios out.
+"""``repro.ingest``: database ingestion — real catalogs in, scenarios out.
 
 The paper assumes every legacy table already carries recovered
 semantics; the rest of this library assumed every scenario was
 hand-authored in Python. This package closes the gap: point it at a
-pair of *real* SQLite databases plus a conceptual model and get back a
+pair of *real* database catalogs plus a conceptual model and get back a
 ready-to-discover :class:`~repro.discovery.batch.Scenario`:
 
-* :mod:`repro.ingest.introspect` — read ``sqlite_master`` and the
-  ``table_info``/``foreign_key_list``/``index_list`` pragmas into a
-  :class:`~repro.relational.schema.RelationalSchema`, with virt-graph
-  style pattern recognition (edge tables, ``_id`` FK hints, natural-key
-  indexes, soft deletes) surfaced as structured
+* :mod:`repro.ingest.backends` — the dialect layer: a
+  :class:`~repro.ingest.backends.CatalogBackend` protocol answering
+  every catalog question (tables, columns, keys, samples, type
+  categories, per-table fingerprints), implemented for live SQLite
+  databases and for parsed (never executed) ``pg_dump``/``mysqldump``
+  SQL text;
+* :mod:`repro.ingest.introspect` — the dialect-agnostic core: read any
+  backend into a :class:`~repro.relational.schema.RelationalSchema`,
+  with virt-graph style pattern recognition (edge tables, ``_id`` FK
+  hints, natural-key indexes, soft deletes) surfaced as structured
   :class:`~repro.ingest.introspect.IngestDiagnostic` records;
 * :mod:`repro.ingest.recover` — run the heuristic semantics recoverer
   against the CM and fold uninterpreted tables/columns into a
   :class:`~repro.validation.ValidationReport` (reported, never dropped);
 * :mod:`repro.ingest.correspond` — seed correspondences through the
-  shared CM with the baseline matcher plus a SQLite type-affinity
-  penalty, or accept an explicit correspondence file;
+  shared CM with the baseline matcher plus a backend type-category
+  penalty and a value-overlap signal over sampled rows, or accept an
+  explicit correspondence file;
 * :mod:`repro.ingest.scenario` — assemble the content-fingerprinted
   scenario (the persistent stage cache and service result cache apply
-  unchanged) and optionally sample live rows for TGD verification;
+  unchanged) and optionally sample rows for TGD verification;
+* :mod:`repro.ingest.reingest` — incremental re-ingestion: per-table
+  catalog fingerprints decide which tables to re-recover after drift,
+  feeding :func:`~repro.discovery.incremental.rediscover` and a
+  semantic mapping diff;
 * :mod:`repro.ingest.fixture` — the inverse direction: forward-engineer
-  library schemas into live SQLite databases, used by the round-trip
-  tests and the CI ``introspect-smoke`` job.
+  library schemas into live SQLite databases or Postgres-style dumps,
+  used by the round-trip tests and the CI smoke jobs.
 
-Front doors: ``python -m repro introspect SOURCE.db TARGET.db --cm NAME``
-and the service's ``POST /introspect`` (see ``docs/ingestion.md``).
+Front doors: ``python -m repro introspect SOURCE TARGET --cm NAME
+--backend {sqlite,pgdump,auto}`` and the service's ``POST /introspect``
+(see ``docs/ingestion.md``).
 """
 
+from repro.ingest.backends import (
+    BACKEND_CHOICES,
+    CatalogBackend,
+    ColumnDef,
+    DumpBackend,
+    ForeignKeyDef,
+    SQLiteBackend,
+    TYPE_CATEGORIES,
+    backend_for,
+    detect_backend,
+)
 from repro.ingest.correspond import (
     parse_correspondence_lines,
     seed_correspondences,
     type_affinity,
+    value_jaccard,
 )
-from repro.ingest.fixture import materialize_sqlite, sqlite_ddl
+from repro.ingest.fixture import materialize_sqlite, pgdump_ddl, sqlite_ddl
 from repro.ingest.introspect import (
+    CatalogIntrospector,
     IngestDiagnostic,
     IntrospectionResult,
     connect_memory_from_sql,
+    introspect_backend,
     introspect_sqlite,
 )
 from repro.ingest.recover import RecoveredSide, recover_introspected
+from repro.ingest.reingest import ReingestReport, TableDrift, reingest_pair
 from repro.ingest.scenario import (
     IngestedScenario,
     ingest_pair,
+    instance_values,
     resolve_cm_argument,
     sample_instance,
+    sample_instance_from_backend,
 )
 
 __all__ = [
+    "BACKEND_CHOICES",
+    "CatalogBackend",
+    "CatalogIntrospector",
+    "ColumnDef",
+    "DumpBackend",
+    "ForeignKeyDef",
     "IngestDiagnostic",
     "IntrospectionResult",
     "IngestedScenario",
     "RecoveredSide",
+    "ReingestReport",
+    "SQLiteBackend",
+    "TYPE_CATEGORIES",
+    "TableDrift",
+    "backend_for",
     "connect_memory_from_sql",
+    "detect_backend",
     "ingest_pair",
+    "instance_values",
+    "introspect_backend",
     "introspect_sqlite",
     "materialize_sqlite",
     "parse_correspondence_lines",
+    "pgdump_ddl",
     "recover_introspected",
+    "reingest_pair",
     "resolve_cm_argument",
     "sample_instance",
+    "sample_instance_from_backend",
     "seed_correspondences",
     "sqlite_ddl",
     "type_affinity",
+    "value_jaccard",
 ]

@@ -1,0 +1,202 @@
+"""The SQLite catalog backend: live databases via the stdlib driver.
+
+Re-homes every SQLite-specific assumption of the original ingestion
+front end behind :class:`~repro.ingest.backends.base.CatalogBackend`:
+``sqlite_master`` for the table list, ``PRAGMA table_info`` for columns
+and primary keys, ``PRAGMA foreign_key_list`` for (possibly composite)
+foreign keys, ``PRAGMA index_list``/``index_info`` for unique indexes,
+and the SQLite type-affinity rules as the backend's type categories.
+
+Untrusted SQL (the service accepts schema dumps over the wire) is
+executed through :func:`connect_memory_from_sql`, which pins the
+database in memory and denies ``ATTACH`` via an authorizer so a dump
+cannot touch the server's filesystem. Local files open read-only
+(``file:...?mode=ro``).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from repro.exceptions import IngestError
+from repro.ingest.backends.base import (
+    CatalogBackend,
+    ColumnDef,
+    ForeignKeyDef,
+)
+
+#: Declared-type → SQLite affinity class, per the SQLite affinity rules
+#: (substring match on the declared type, first rule wins).
+_AFFINITY_RULES = (
+    ("INT", "integer"),
+    ("CHAR", "text"),
+    ("CLOB", "text"),
+    ("TEXT", "text"),
+    ("BLOB", "blob"),
+    ("REAL", "real"),
+    ("FLOA", "real"),
+    ("DOUB", "real"),
+)
+
+
+def type_affinity(declared: str) -> str:
+    """The SQLite type-affinity class of a declared column type."""
+    upper = declared.upper()
+    for fragment, affinity in _AFFINITY_RULES:
+        if fragment in upper:
+            return affinity
+    return "numeric" if declared.strip() else "blob"
+
+
+# ---------------------------------------------------------------------------
+# Connections
+# ---------------------------------------------------------------------------
+def _deny_attach(action: int, *_args: object) -> int:
+    if action in (sqlite3.SQLITE_ATTACH, sqlite3.SQLITE_DETACH):
+        return sqlite3.SQLITE_DENY
+    return sqlite3.SQLITE_OK
+
+
+def connect_memory_from_sql(sql: str) -> sqlite3.Connection:
+    """Execute an untrusted SQL dump into a fresh in-memory database.
+
+    The statements run under an authorizer that denies ``ATTACH`` and
+    ``DETACH``, so a dump shipped over the wire cannot open, create, or
+    write files on the host — the database lives and dies in memory.
+    Malformed SQL raises :class:`IngestError` with the driver's message.
+    """
+    connection = sqlite3.connect(":memory:")
+    connection.set_authorizer(_deny_attach)
+    try:
+        connection.executescript(sql)
+    except sqlite3.Error as error:
+        connection.close()
+        raise IngestError(f"SQL dump failed to execute: {error}") from error
+    finally:
+        try:
+            connection.set_authorizer(None)
+        except sqlite3.ProgrammingError:  # pragma: no cover - closed above
+            pass
+    return connection
+
+
+def open_database(database: str | sqlite3.Connection) -> tuple[
+    sqlite3.Connection, bool
+]:
+    """``(connection, owned)`` for a path or an existing connection."""
+    if isinstance(database, sqlite3.Connection):
+        return database, False
+    try:
+        # ``mode=ro`` keeps introspection read-only and refuses to
+        # *create* the file when the path does not exist (plain
+        # ``connect`` would silently hand back an empty database).
+        connection = sqlite3.connect(
+            f"file:{database}?mode=ro", uri=True
+        )
+    except sqlite3.Error as error:
+        raise IngestError(
+            f"cannot open SQLite database {database!r}: {error}"
+        ) from error
+    return connection, True
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+class SQLiteBackend(CatalogBackend):
+    """Reads one open SQLite connection's catalog."""
+
+    name = "sqlite"
+
+    def __init__(self, connection: sqlite3.Connection) -> None:
+        self.connection = connection
+
+    # -- catalog reads ---------------------------------------------------
+    def list_tables(self) -> tuple[str, ...]:
+        """User tables in creation order (views and internals excluded)."""
+        rows = self.connection.execute(
+            "SELECT name FROM sqlite_master "
+            "WHERE type = 'table' AND name NOT LIKE 'sqlite_%' "
+            "ORDER BY rowid"
+        ).fetchall()
+        return tuple(row[0] for row in rows)
+
+    def columns(self, table: str) -> tuple[ColumnDef, ...]:
+        rows = self.connection.execute(
+            f"PRAGMA table_info({_quote(table)})"
+        ).fetchall()
+        return tuple(
+            ColumnDef(row[1], row[2] or "", row[5]) for row in rows
+        )
+
+    def foreign_keys(self, table: str) -> tuple[ForeignKeyDef, ...]:
+        """FK groups in DDL declaration order.
+
+        ``PRAGMA foreign_key_list`` reports constraints in *reverse*
+        declaration order (highest ``id`` first is the first declared);
+        groups are re-sorted by descending id so the returned list
+        matches the DDL's declaration order, with columns in ``seq``
+        order inside each group.
+        """
+        rows = self.connection.execute(
+            f"PRAGMA foreign_key_list({_quote(table)})"
+        ).fetchall()
+        groups: dict[int, tuple[str, list[tuple[int, str, str | None]]]] = {}
+        for row in rows:
+            fk_id, seq, parent, child_col, parent_col = (
+                row[0], row[1], row[2], row[3], row[4],
+            )
+            groups.setdefault(fk_id, (parent, []))[1].append(
+                (seq, child_col, parent_col)
+            )
+        ordered = []
+        for fk_id in sorted(groups, reverse=True):
+            parent, cols = groups[fk_id]
+            cols.sort()
+            ordered.append(
+                ForeignKeyDef(
+                    parent, tuple((c, p) for _, c, p in cols)
+                )
+            )
+        return tuple(ordered)
+
+    def unique_indexes(self, table: str) -> tuple[tuple[str, ...], ...]:
+        """Column tuples of unique non-primary-key indexes, list order."""
+        result: list[tuple[str, ...]] = []
+        for row in self.connection.execute(
+            f"PRAGMA index_list({_quote(table)})"
+        ).fetchall():
+            name, unique, origin = row[1], row[2], row[3]
+            if not unique or origin == "pk":
+                continue
+            columns = tuple(
+                info[2]
+                for info in self.connection.execute(
+                    f"PRAGMA index_info({_quote(name)})"
+                ).fetchall()
+                if info[2] is not None  # expression index members are NULL
+            )
+            if columns:
+                result.append(columns)
+        return tuple(result)
+
+    def sample_rows(
+        self, table: str, columns: tuple[str, ...], limit: int
+    ) -> tuple[tuple, ...]:
+        """Rows sorted by the selected columns — deterministic reread."""
+        select_list = ", ".join(_quote(column) for column in columns)
+        try:
+            rows = self.connection.execute(
+                f"SELECT {select_list} FROM {_quote(table)} "
+                f"ORDER BY {select_list} LIMIT ?",
+                (limit,),
+            ).fetchall()
+        except sqlite3.Error as error:
+            raise IngestError(
+                f"sampling table {table!r} failed: {error}"
+            ) from error
+        return tuple(tuple(row) for row in rows)
+
+    def type_category(self, declared_type: str) -> str:
+        return type_affinity(declared_type)

@@ -1,18 +1,21 @@
-"""Forward-engineer library schemas into live SQLite databases.
+"""Forward-engineer library schemas into live databases or dumps.
 
 The inverse of :mod:`repro.ingest.introspect`, used to build test and
 benchmark fixtures: take a :class:`RelationalSchema` (hand-authored, or
 produced by ``er2rel`` from a CM) plus an optional
-:class:`~repro.relational.instance.Instance`, and materialize a real
-SQLite database. Introspecting that database back must reproduce the
-schema — the round-trip property the ingestion tests and the CI
-``introspect-smoke`` job assert.
+:class:`~repro.relational.instance.Instance`, and materialize either a
+real SQLite database or a Postgres-style SQL dump
+(:func:`pgdump_ddl`). Introspecting the result back — through the
+matching backend — must reproduce the schema: the round-trip property
+the ingestion tests and the CI ``introspect-smoke``/``pgdump-smoke``
+jobs assert.
 
 Unlike :func:`repro.relational.ddl.emit_ddl` (which targets the
 library's own portable ``.sql`` dialect), the DDL emitted here is
-SQLite-specific: every identifier is double-quoted so names that are
+dialect-specific: every identifier is double-quoted so names that are
 SQL keywords survive, and foreign keys always list explicit parent
-columns so ``PRAGMA foreign_key_list`` reports them unambiguously.
+columns so both ``PRAGMA foreign_key_list`` and the dump parser report
+them unambiguously.
 """
 
 from __future__ import annotations
@@ -78,6 +81,84 @@ def sqlite_ddl(
         sqlite_table_ddl(table, schema, per_table.get(table.name))
         for table in schema
     ]
+    return "\n\n".join(statements) + "\n"
+
+
+def _pg_literal(value: object) -> str:
+    """A Postgres SQL literal for one sampled value."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, LabeledNull):
+        value = value.label
+    return "'" + str(value).replace("'", "''") + "'"
+
+
+def pgdump_ddl(
+    schema: RelationalSchema,
+    instance: Instance | None = None,
+    column_types: Mapping[str, Mapping[str, str]] | None = None,
+    schema_qualifier: str = "public",
+) -> str:
+    """The schema (and optional rows) as a ``pg_dump``-style SQL dump.
+
+    Mimics the shape real ``pg_dump`` output takes: a ``SET`` preamble,
+    schema-qualified ``CREATE TABLE`` statements carrying only column
+    definitions, ``INSERT`` data, and every key declared afterwards via
+    ``ALTER TABLE ONLY ... ADD CONSTRAINT``. Feeding the result to the
+    ``pgdump`` backend must introspect back to ``schema`` — the
+    round-trip the ``pgdump-smoke`` CI job and the backend-matrix
+    benchmark assert. Column types default to ``text``.
+    """
+    per_table = column_types or {}
+    qualify = (
+        (lambda name: f"{schema_qualifier}.{_quote(name)}")
+        if schema_qualifier
+        else _quote
+    )
+    statements = [
+        "SET statement_timeout = 0;",
+        "SET client_encoding = 'UTF8';",
+    ]
+    for table in schema:
+        types = per_table.get(table.name, {})
+        body = ",\n".join(
+            f"    {_quote(column)} {types.get(column, 'text')}"
+            for column in table.columns
+        )
+        statements.append(
+            f"CREATE TABLE {qualify(table.name)} (\n{body}\n);"
+        )
+    if instance is not None:
+        for table in schema:
+            for row in instance.rows(table.name):
+                values = ", ".join(_pg_literal(value) for value in row)
+                statements.append(
+                    f"INSERT INTO {qualify(table.name)} "
+                    f"VALUES ({values});"
+                )
+    for table in schema:
+        if table.primary_key:
+            quoted = ", ".join(_quote(c) for c in table.primary_key)
+            statements.append(
+                f"ALTER TABLE ONLY {qualify(table.name)}\n"
+                f"    ADD CONSTRAINT {_quote(table.name + '_pkey')} "
+                f"PRIMARY KEY ({quoted});"
+            )
+    for table in schema:
+        for number, ric in enumerate(schema.rics_from(table.name), 1):
+            child = ", ".join(_quote(c) for c in ric.child_columns)
+            parent = ", ".join(_quote(c) for c in ric.parent_columns)
+            statements.append(
+                f"ALTER TABLE ONLY {qualify(table.name)}\n"
+                f"    ADD CONSTRAINT "
+                f"{_quote(f'{table.name}_fkey{number}')} "
+                f"FOREIGN KEY ({child}) REFERENCES "
+                f"{qualify(ric.parent_table)} ({parent});"
+            )
     return "\n\n".join(statements) + "\n"
 
 

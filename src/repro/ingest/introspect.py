@@ -1,13 +1,14 @@
-"""Live-database introspection: SQLite catalog → :class:`RelationalSchema`.
+"""Database introspection: a catalog backend → :class:`RelationalSchema`.
 
-This is the front half of the ingestion pipeline (``docs/ingestion.md``):
-connect to a real database with nothing but the stdlib ``sqlite3``
-driver, read its catalog — ``sqlite_master`` for the table list,
-``PRAGMA table_info`` for columns and primary keys, ``PRAGMA
-foreign_key_list`` for (possibly composite) foreign keys, ``PRAGMA
-index_list``/``index_info`` for unique indexes — and assemble the same
+This is the front half of the ingestion pipeline (``docs/ingestion.md``).
+A :class:`~repro.ingest.backends.CatalogBackend` answers the dialect's
+catalog questions — tables, columns, primary keys, foreign keys, unique
+indexes — and the :class:`CatalogIntrospector` here assembles them,
+identically for every backend, into the same
 :class:`~repro.relational.schema.RelationalSchema` the rest of the
-library consumes.
+library consumes. Two backends ship: live SQLite databases
+(:mod:`repro.ingest.backends.sqlite`) and parsed ``pg_dump`` /
+``mysqldump`` SQL text (:mod:`repro.ingest.backends.pgdump`).
 
 Everything the introspector *notices* but does not *decide* is surfaced
 as a structured :class:`IngestDiagnostic`, never a guess baked into the
@@ -19,9 +20,10 @@ key is worth a warning. Downstream consumers (the CLI report, the
 ``POST /introspect`` response) render these for human review.
 
 Untrusted SQL (the service accepts schema dumps over the wire) is
-executed through :func:`connect_memory_from_sql`, which pins the
-database in memory and denies ``ATTACH`` via an authorizer so a dump
-cannot touch the server's filesystem.
+either *parsed* without execution (the pgdump backend) or executed
+through :func:`connect_memory_from_sql`, which pins the database in
+memory and denies ``ATTACH`` via an authorizer so a dump cannot touch
+the server's filesystem.
 """
 
 from __future__ import annotations
@@ -29,11 +31,26 @@ from __future__ import annotations
 import re
 import sqlite3
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping
+from typing import Mapping
 
-from repro.exceptions import IngestError
+from repro.ingest.backends import (
+    CatalogBackend,
+    SQLiteBackend,
+    connect_memory_from_sql,
+    open_database,
+)
 from repro.relational.constraints import ReferentialConstraint
 from repro.relational.schema import RelationalSchema, Table
+
+__all__ = [
+    "CatalogIntrospector",
+    "IngestDiagnostic",
+    "IntrospectionResult",
+    "connect_memory_from_sql",
+    "introspect_backend",
+    "introspect_sqlite",
+    "open_database",
+]
 
 #: Diagnostic severities, mild to fatal (mirrors :mod:`repro.validation`).
 INFO = "info"
@@ -73,7 +90,7 @@ class IngestDiagnostic:
 
 @dataclass
 class IntrospectionResult:
-    """A live database read back as a schema plus structured findings."""
+    """A database catalog read back as a schema plus structured findings."""
 
     schema: RelationalSchema
     diagnostics: tuple[IngestDiagnostic, ...] = ()
@@ -89,6 +106,19 @@ class IntrospectionResult:
     original_columns: dict[str, dict[str, str]] = field(
         default_factory=dict
     )
+    #: Which backend produced this result (``"sqlite"``, ``"pgdump"``).
+    backend: str = "sqlite"
+    #: Backend type categories, ``{table: {column: category}}`` — the
+    #: dialect's declared types mapped into the shared lattice the
+    #: correspondence matcher's type penalty compares.
+    type_categories: dict[str, dict[str, str]] = field(
+        default_factory=dict
+    )
+    #: Per-table catalog fingerprints (sanitized table name → hash);
+    #: drives :mod:`repro.ingest.reingest` change detection.
+    table_fingerprints: dict[str, str] = field(default_factory=dict)
+    #: Fingerprint of the whole catalog (order-independent).
+    catalog_fingerprint: str = ""
 
     @property
     def errors(self) -> tuple[IngestDiagnostic, ...]:
@@ -113,148 +143,21 @@ class IntrospectionResult:
 
 
 # ---------------------------------------------------------------------------
-# Connections
-# ---------------------------------------------------------------------------
-def _deny_attach(action: int, *_args: object) -> int:
-    if action in (sqlite3.SQLITE_ATTACH, sqlite3.SQLITE_DETACH):
-        return sqlite3.SQLITE_DENY
-    return sqlite3.SQLITE_OK
-
-
-def connect_memory_from_sql(sql: str) -> sqlite3.Connection:
-    """Execute an untrusted SQL dump into a fresh in-memory database.
-
-    The statements run under an authorizer that denies ``ATTACH`` and
-    ``DETACH``, so a dump shipped over the wire cannot open, create, or
-    write files on the host — the database lives and dies in memory.
-    Malformed SQL raises :class:`IngestError` with the driver's message.
-    """
-    connection = sqlite3.connect(":memory:")
-    connection.set_authorizer(_deny_attach)
-    try:
-        connection.executescript(sql)
-    except sqlite3.Error as error:
-        connection.close()
-        raise IngestError(f"SQL dump failed to execute: {error}") from error
-    finally:
-        try:
-            connection.set_authorizer(None)
-        except sqlite3.ProgrammingError:  # pragma: no cover - closed above
-            pass
-    return connection
-
-
-def open_database(database: str | sqlite3.Connection) -> tuple[
-    sqlite3.Connection, bool
-]:
-    """``(connection, owned)`` for a path or an existing connection."""
-    if isinstance(database, sqlite3.Connection):
-        return database, False
-    try:
-        # ``mode=ro`` keeps introspection read-only and refuses to
-        # *create* the file when the path does not exist (plain
-        # ``connect`` would silently hand back an empty database).
-        connection = sqlite3.connect(
-            f"file:{database}?mode=ro", uri=True
-        )
-    except sqlite3.Error as error:
-        raise IngestError(
-            f"cannot open SQLite database {database!r}: {error}"
-        ) from error
-    return connection, True
-
-
-# ---------------------------------------------------------------------------
-# Catalog reads
-# ---------------------------------------------------------------------------
-def _quote(name: str) -> str:
-    return '"' + name.replace('"', '""') + '"'
-
-
-def _table_names(connection: sqlite3.Connection) -> list[str]:
-    """User tables in creation order (views and internals excluded)."""
-    rows = connection.execute(
-        "SELECT name FROM sqlite_master "
-        "WHERE type = 'table' AND name NOT LIKE 'sqlite_%' "
-        "ORDER BY rowid"
-    ).fetchall()
-    return [row[0] for row in rows]
-
-
-def _table_info(
-    connection: sqlite3.Connection, table: str
-) -> list[tuple[str, str, int]]:
-    """``(column, declared type, pk ordinal)`` in declaration order."""
-    rows = connection.execute(
-        f"PRAGMA table_info({_quote(table)})"
-    ).fetchall()
-    return [(row[1], row[2] or "", row[5]) for row in rows]
-
-
-def _foreign_keys(
-    connection: sqlite3.Connection, table: str
-) -> list[tuple[str, list[tuple[str, str | None]]]]:
-    """FK groups ``(parent table, [(child col, parent col), ...])``.
-
-    ``PRAGMA foreign_key_list`` reports constraints in *reverse*
-    declaration order (highest ``id`` first is the first declared);
-    groups are re-sorted by descending id so the returned list matches
-    the DDL's declaration order, with columns in ``seq`` order inside
-    each group. A parent column of ``None`` means the constraint
-    references the parent's implicit primary key.
-    """
-    rows = connection.execute(
-        f"PRAGMA foreign_key_list({_quote(table)})"
-    ).fetchall()
-    groups: dict[int, tuple[str, list[tuple[int, str, str | None]]]] = {}
-    for row in rows:
-        fk_id, seq, parent, child_col, parent_col = (
-            row[0], row[1], row[2], row[3], row[4],
-        )
-        groups.setdefault(fk_id, (parent, []))[1].append(
-            (seq, child_col, parent_col)
-        )
-    ordered = []
-    for fk_id in sorted(groups, reverse=True):
-        parent, cols = groups[fk_id]
-        cols.sort()
-        ordered.append((parent, [(c, p) for _, c, p in cols]))
-    return ordered
-
-
-def _unique_indexes(
-    connection: sqlite3.Connection, table: str
-) -> list[tuple[str, ...]]:
-    """Column tuples of unique non-primary-key indexes, list order."""
-    result: list[tuple[str, ...]] = []
-    for row in connection.execute(
-        f"PRAGMA index_list({_quote(table)})"
-    ).fetchall():
-        name, unique, origin = row[1], row[2], row[3]
-        if not unique or origin == "pk":
-            continue
-        columns = tuple(
-            info[2]
-            for info in connection.execute(
-                f"PRAGMA index_info({_quote(name)})"
-            ).fetchall()
-            if info[2] is not None  # expression index members are NULL
-        )
-        if columns:
-            result.append(columns)
-    return result
-
-
-# ---------------------------------------------------------------------------
 # The introspector
 # ---------------------------------------------------------------------------
-class SQLiteIntrospector:
-    """Reads one SQLite database into an :class:`IntrospectionResult`."""
+class CatalogIntrospector:
+    """Reads one catalog backend into an :class:`IntrospectionResult`.
+
+    Dialect-agnostic: every catalog question goes through the
+    :class:`~repro.ingest.backends.CatalogBackend` protocol, so the
+    sanitization, diagnostic, and pattern-recognition behavior is
+    byte-identical across backends reading equivalent catalogs.
+    """
 
     def __init__(
-        self, connection: sqlite3.Connection, schema_name: str = "db"
+        self, backend: CatalogBackend, schema_name: str = "db"
     ) -> None:
-        self.connection = connection
+        self.backend = backend
         self.schema_name = schema_name
         self.diagnostics: list[IngestDiagnostic] = []
         #: original name → sanitized name, per table.
@@ -274,9 +177,9 @@ class SQLiteIntrospector:
     def _sanitize(self, name: str, kind: str, location: str) -> str | None:
         """A library-legal identifier for ``name``, or ``None``.
 
-        SQLite quoted identifiers may contain whitespace and dots, which
-        :class:`RelationalSchema` forbids; such names are rewritten with
-        underscores and reported, never silently altered.
+        Quoted catalog identifiers may contain whitespace and dots,
+        which :class:`RelationalSchema` forbids; such names are
+        rewritten with underscores and reported, never silently altered.
         """
         fixed = _IDENTIFIER_FIX_RE.sub("_", name.strip())
         if not fixed:
@@ -302,7 +205,9 @@ class SQLiteIntrospector:
         schema = RelationalSchema(self.schema_name)
         column_types: dict[str, dict[str, str]] = {}
         natural_keys: dict[str, tuple[tuple[str, ...], ...]] = {}
-        table_names = _table_names(self.connection)
+        for severity, code, message, location in self.backend.diagnostics():
+            self._diag(severity, code, message, location)
+        table_names = list(self.backend.list_tables())
         if not table_names:
             self._diag(
                 ERROR,
@@ -316,6 +221,20 @@ class SQLiteIntrospector:
         for original in table_names:
             self._read_foreign_keys(original, schema)
         self._recognize_patterns(schema, column_types)
+        type_categories = {
+            table: {
+                column: self.backend.type_category(declared)
+                for column, declared in types.items()
+            }
+            for table, types in column_types.items()
+        }
+        table_fingerprints = {
+            self._renames_key(original): self.backend.catalog_fingerprint(
+                original
+            )
+            for original in table_names
+            if self._renames_key(original) is not None
+        }
         return IntrospectionResult(
             schema,
             tuple(self.diagnostics),
@@ -323,7 +242,17 @@ class SQLiteIntrospector:
             natural_keys,
             dict(self._original_tables),
             dict(self._original_columns),
+            self.backend.name,
+            type_categories,
+            table_fingerprints,
+            self.backend.catalog_fingerprint(),
         )
+
+    def _renames_key(self, original: str) -> str | None:
+        """The sanitized name of an introspected table, else ``None``."""
+        if original not in self._renames:
+            return None
+        return _IDENTIFIER_FIX_RE.sub("_", original.strip())
 
     # -- tables ----------------------------------------------------------
     def _read_table(
@@ -348,9 +277,8 @@ class SQLiteIntrospector:
         columns: list[str] = []
         types: dict[str, str] = {}
         pk_positions: list[tuple[int, str]] = []
-        for column, declared_type, pk_ordinal in _table_info(
-            self.connection, original
-        ):
+        for column_def in self.backend.columns(original):
+            column = column_def.name
             fixed = self._sanitize(
                 column, "column", f"{original}.{column}"
             )
@@ -366,9 +294,9 @@ class SQLiteIntrospector:
                 continue
             renames[column] = fixed
             columns.append(fixed)
-            types[fixed] = declared_type
-            if pk_ordinal:
-                pk_positions.append((pk_ordinal, fixed))
+            types[fixed] = column_def.declared_type
+            if column_def.pk_ordinal:
+                pk_positions.append((column_def.pk_ordinal, fixed))
         if not columns:
             self._diag(
                 ERROR,
@@ -394,7 +322,7 @@ class SQLiteIntrospector:
             fixed: source for source, fixed in renames.items()
         }
         uniques = []
-        for index_columns in _unique_indexes(self.connection, original):
+        for index_columns in self.backend.unique_indexes(original):
             mapped = tuple(
                 renames.get(column, column) for column in index_columns
             )
@@ -418,9 +346,9 @@ class SQLiteIntrospector:
             return  # table was skipped
         table_name = _IDENTIFIER_FIX_RE.sub("_", original.strip())
         renames = self._renames[original]
-        for parent_original, column_pairs in _foreign_keys(
-            self.connection, original
-        ):
+        for foreign_key in self.backend.foreign_keys(original):
+            parent_original = foreign_key.parent_table
+            column_pairs = foreign_key.column_pairs
             parent_name = _IDENTIFIER_FIX_RE.sub(
                 "_", parent_original.strip()
             )
@@ -555,6 +483,13 @@ def _pattern_norm(name: str) -> str:
     return re.sub(r"[^a-z0-9]+", "", name.lower())
 
 
+def introspect_backend(
+    backend: CatalogBackend, schema_name: str = "db"
+) -> IntrospectionResult:
+    """Introspect any catalog backend into an :class:`IntrospectionResult`."""
+    return CatalogIntrospector(backend, schema_name).introspect()
+
+
 def introspect_sqlite(
     database: str | sqlite3.Connection, schema_name: str = "db"
 ) -> IntrospectionResult:
@@ -576,7 +511,7 @@ def introspect_sqlite(
     """
     connection, owned = open_database(database)
     try:
-        return SQLiteIntrospector(connection, schema_name).introspect()
+        return introspect_backend(SQLiteBackend(connection), schema_name)
     finally:
         if owned:
             connection.close()

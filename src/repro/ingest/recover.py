@@ -13,11 +13,13 @@ they are fatal is the caller's policy (``strict``).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 from repro.cm.model import ConceptualModel
 from repro.exceptions import IngestError
 from repro.semantics.lav import SchemaSemantics
 from repro.semantics.recover import RecoveryReport, recover_semantics
+from repro.semantics.stree import SemanticTree
 from repro.validation import ValidationReport, validate_semantics
 
 from repro.ingest.introspect import IntrospectionResult
@@ -60,6 +62,7 @@ def recover_introspected(
     introspection: IntrospectionResult,
     model: ConceptualModel,
     strict: bool = False,
+    reuse: Mapping[str, SemanticTree] | None = None,
 ) -> RecoveredSide:
     """Recover s-trees for an introspected schema against ``model``.
 
@@ -70,10 +73,12 @@ def recover_introspected(
     :class:`IngestError`). The recovered semantics themselves are run
     through :func:`repro.validation.validate_semantics`, so a recovery
     bug that produced a malformed s-tree surfaces here rather than deep
-    inside discovery.
+    inside discovery. ``reuse`` offers unchanged tables' previous
+    s-trees (incremental re-ingestion) — adopted verbatim when they
+    still fit the schema.
     """
     schema = introspection.schema
-    recovery = recover_semantics(schema, model)
+    recovery = recover_semantics(schema, model, reuse)
     report = ValidationReport()
     # Error-severity introspection findings (empty database, unusable
     # identifiers, ...) must reach the discovery gate; informational

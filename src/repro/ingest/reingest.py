@@ -1,0 +1,306 @@
+"""Incremental re-ingestion: continuous mapping maintenance.
+
+A production database drifts — a column gains an index, a table is
+added, a type changes. Re-pointing ingestion at the drifted catalog
+should not pay for a cold re-derivation of everything: per-table
+catalog fingerprints (:meth:`CatalogBackend.catalog_fingerprint`) say
+exactly which tables changed, so semantics recovery re-derives only
+those (plus their foreign-key dependents, whose trees resolve through
+them) and adopts every other table's previous s-tree verbatim. The
+re-ingested scenario then feeds the incremental discovery engine
+(:func:`repro.discovery.incremental.rediscover`), whose stage cache
+replays whatever the drift did not invalidate, and the resulting
+candidates are compared against the previous generation with PR 9's
+semantic :func:`repro.mappings.diff.diff_candidates` — so one call
+answers both "what did ingestion redo?" and "which mappings churned?".
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.cm.model import ConceptualModel
+from repro.correspondences import CorrespondenceSet
+from repro.discovery.incremental import Rediscovery, rediscover
+from repro.discovery.mapper import DiscoveryResult
+from repro.discovery.options import DiscoveryOptions
+from repro.mappings.diff import MappingDiff, diff_candidates
+from repro.semantics.stree import SemanticTree
+
+from repro.ingest.backends import backend_for
+from repro.ingest.introspect import IntrospectionResult, introspect_backend
+from repro.ingest.scenario import IngestedScenario, ingest_pair
+
+
+@dataclass(frozen=True)
+class TableDrift:
+    """How one side's catalog moved between two ingestions."""
+
+    #: Tables present in both generations with different fingerprints.
+    changed: tuple[str, ...]
+    #: Tables the new catalog has and the old one did not.
+    added: tuple[str, ...]
+    #: Tables the old catalog had and the new one does not.
+    removed: tuple[str, ...]
+    #: Unchanged tables whose s-tree must still be re-derived because a
+    #: foreign key resolves through a drifted table.
+    dependents: tuple[str, ...]
+    #: Tables whose previous s-tree was adopted verbatim.
+    reused: tuple[str, ...]
+
+    @property
+    def dirty(self) -> tuple[str, ...]:
+        """Every table that had to be re-recovered."""
+        return tuple(
+            sorted(set(self.changed) | set(self.added) | set(self.dependents))
+        )
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "changed": list(self.changed),
+            "added": list(self.added),
+            "removed": list(self.removed),
+            "dependents": list(self.dependents),
+            "reused": list(self.reused),
+        }
+
+
+def _drift(
+    old: IntrospectionResult, new: IntrospectionResult
+) -> tuple[set[str], TableDrift]:
+    """The dirty set and drift report for one side.
+
+    ``dirty`` is which tables must be re-recovered: the changed and
+    added tables, plus (one level of) tables whose foreign keys point
+    into them — their trees resolve relationship edges through the
+    drifted table's anchor, so a changed parent can change the child's
+    tree even when the child's own catalog is untouched.
+    """
+    old_fp = old.table_fingerprints
+    new_fp = new.table_fingerprints
+    changed = {
+        table
+        for table, fingerprint in new_fp.items()
+        if table in old_fp and old_fp[table] != fingerprint
+    }
+    added = set(new_fp) - set(old_fp)
+    removed = set(old_fp) - set(new_fp)
+    dirty = changed | added
+    dependents = {
+        ric.child_table
+        for ric in new.schema.rics
+        if ric.parent_table in (dirty | removed)
+        and ric.child_table not in dirty
+    }
+    drift = TableDrift(
+        tuple(sorted(changed)),
+        tuple(sorted(added)),
+        tuple(sorted(removed)),
+        tuple(sorted(dependents)),
+        (),  # reused is filled in after recovery ran
+    )
+    return dirty | dependents, drift
+
+
+def _reuse_offer(
+    previous_trees: Mapping[str, SemanticTree],
+    new_tables: Mapping[str, str],
+    dirty: set[str],
+) -> dict[str, SemanticTree]:
+    return {
+        table: tree
+        for table, tree in previous_trees.items()
+        if table in new_tables and table not in dirty
+    }
+
+
+@dataclass
+class ReingestReport:
+    """One incremental re-ingestion: the new scenario plus what it reused.
+
+    ``rediscovery``/``mapping_diff`` are populated when the caller asked
+    :func:`reingest_pair` to also re-run discovery (``previous_result``
+    given or ``run=True``).
+    """
+
+    ingested: IngestedScenario
+    source_drift: TableDrift
+    target_drift: TableDrift
+    rediscovery: Rediscovery | None = None
+    mapping_diff: MappingDiff | None = None
+
+    @property
+    def reused_tables(self) -> int:
+        return len(self.source_drift.reused) + len(self.target_drift.reused)
+
+    @property
+    def recovered_tables(self) -> int:
+        return len(self.source_drift.dirty) + len(self.target_drift.dirty)
+
+    def to_wire(self) -> dict[str, Any]:
+        document: dict[str, Any] = {
+            "source": self.source_drift.to_wire(),
+            "target": self.target_drift.to_wire(),
+            "reused_tables": self.reused_tables,
+            "recovered_tables": self.recovered_tables,
+        }
+        if self.rediscovery is not None:
+            document["rediscovery"] = self.rediscovery.report()
+        if self.mapping_diff is not None:
+            document["mapping_churn"] = {
+                "unchanged": len(self.mapping_diff.unchanged),
+                "added": len(self.mapping_diff.added),
+                "removed": len(self.mapping_diff.removed),
+                "summary": self.mapping_diff.summary(),
+            }
+        return document
+
+    def describe(self) -> str:
+        lines = ["incremental re-ingestion:"]
+        for label, drift in (
+            ("source", self.source_drift),
+            ("target", self.target_drift),
+        ):
+            lines.append(
+                f"  {label}: {len(drift.reused)} table(s) reused, "
+                f"{len(drift.dirty)} re-recovered "
+                f"(changed: {list(drift.changed)}, added: "
+                f"{list(drift.added)}, removed: {list(drift.removed)}, "
+                f"dependents: {list(drift.dependents)})"
+            )
+        if self.rediscovery is not None:
+            lines.append(
+                f"  rediscovery: "
+                f"{len(self.rediscovery.unchanged_stages)} stage(s) "
+                f"unchanged, {len(self.rediscovery.invalidated_stages)} "
+                f"invalidated, {self.rediscovery.unit_cache_hits} "
+                f"search unit(s) replayed"
+            )
+        if self.mapping_diff is not None:
+            lines.append(f"  mapping churn: {self.mapping_diff.summary()}")
+        return "\n".join(lines)
+
+
+def reingest_pair(
+    previous: IngestedScenario,
+    source_db: str | sqlite3.Connection,
+    target_db: str | sqlite3.Connection,
+    source_model: ConceptualModel,
+    target_model: ConceptualModel | None = None,
+    *,
+    backend: str = "sqlite",
+    previous_result: DiscoveryResult | None = None,
+    run: bool = False,
+    scenario_id: str | None = None,
+    correspondences: CorrespondenceSet | None = None,
+    synonyms: Mapping[str, str] | None = None,
+    threshold: float = 0.75,
+    options: DiscoveryOptions | None = None,
+    sample_rows: int = 0,
+    strict: bool = False,
+) -> ReingestReport:
+    """Re-ingest a (possibly drifted) database pair against a previous run.
+
+    The drifted catalogs are introspected once to compare per-table
+    fingerprints with ``previous``; unchanged tables offer their
+    previous s-trees for verbatim adoption, and only drifted tables
+    (plus their FK dependents) are re-derived. When ``correspondences``
+    is omitted, the previous scenario's correspondences are carried
+    forward — re-running the matcher against a drifted catalog is a
+    *policy* decision the caller makes by passing fresh ones.
+
+    With ``previous_result`` (or ``run=True``), discovery is re-run
+    through :func:`~repro.discovery.incremental.rediscover` — the stage
+    cache replays what the drift left intact — and the new candidates
+    are diffed against ``previous_result``'s semantically.
+    """
+    source_probe, source_owned = backend_for(source_db, backend)
+    target_probe, target_owned = backend_for(target_db, backend)
+    try:
+        new_source = introspect_backend(
+            source_probe, previous.source.introspection.schema.name
+        )
+        new_target = introspect_backend(
+            target_probe, previous.target.introspection.schema.name
+        )
+    finally:
+        if source_owned is not None:
+            source_owned.close()
+        if target_owned is not None:
+            target_owned.close()
+    source_dirty, source_drift = _drift(
+        previous.source.introspection, new_source
+    )
+    target_dirty, target_drift = _drift(
+        previous.target.introspection, new_target
+    )
+    previous_source_trees = {
+        table: previous.source.semantics.tree(table)
+        for table in previous.source.semantics.tables_with_semantics()
+    }
+    previous_target_trees = {
+        table: previous.target.semantics.tree(table)
+        for table in previous.target.semantics.tables_with_semantics()
+    }
+    source_reuse = _reuse_offer(
+        previous_source_trees, new_source.table_fingerprints, source_dirty
+    )
+    target_reuse = _reuse_offer(
+        previous_target_trees, new_target.table_fingerprints, target_dirty
+    )
+    if correspondences is None:
+        correspondences = previous.scenario.correspondences
+    ingested = ingest_pair(
+        source_db,
+        target_db,
+        source_model,
+        target_model,
+        scenario_id=(
+            scenario_id
+            if scenario_id is not None
+            else previous.scenario.scenario_id
+        ),
+        source_name=previous.source.introspection.schema.name,
+        target_name=previous.target.introspection.schema.name,
+        correspondences=correspondences,
+        synonyms=synonyms,
+        threshold=threshold,
+        options=options,
+        sample_rows=sample_rows,
+        strict=strict,
+        backend=backend,
+        source_reuse=source_reuse,
+        target_reuse=target_reuse,
+    )
+    source_drift = TableDrift(
+        source_drift.changed,
+        source_drift.added,
+        source_drift.removed,
+        source_drift.dependents,
+        tuple(sorted(ingested.source.recovery.reused_tables)),
+    )
+    target_drift = TableDrift(
+        target_drift.changed,
+        target_drift.added,
+        target_drift.removed,
+        target_drift.dependents,
+        tuple(sorted(ingested.target.recovery.reused_tables)),
+    )
+    report = ReingestReport(ingested, source_drift, target_drift)
+    if previous_result is not None or run:
+        report.rediscovery = rediscover(previous_result, ingested.scenario)
+        if previous_result is not None:
+            report.mapping_diff = diff_candidates(
+                previous_result.candidates,
+                report.rediscovery.result.candidates,
+            )
+    return report
+
+
+__all__ = [
+    "ReingestReport",
+    "TableDrift",
+    "reingest_pair",
+]

@@ -1,13 +1,17 @@
 """Assemble introspected databases into ready-to-discover scenarios.
 
-The last stage of ingestion: take two live SQLite databases (paths,
-connections, or untrusted SQL dumps) plus conceptual models, and produce
-a batch :class:`~repro.discovery.batch.Scenario` — introspect
+The last stage of ingestion: take two database catalogs — live SQLite
+(paths, connections, or untrusted SQL dumps) or parsed ``pg_dump`` /
+``mysqldump`` text, selected per :mod:`repro.ingest.backends` — plus
+conceptual models, and produce a batch
+:class:`~repro.discovery.batch.Scenario` — introspect
 (:mod:`repro.ingest.introspect`), recover semantics
 (:mod:`repro.ingest.recover`), seed or accept correspondences
-(:mod:`repro.ingest.correspond`), and optionally sample live rows into
+(:mod:`repro.ingest.correspond`), and optionally sample rows into
 :class:`~repro.relational.instance.Instance` objects so discovered TGDs
-can be verified against real data (:mod:`repro.mappings.verify`).
+can be verified against real data (:mod:`repro.mappings.verify`). When
+rows are sampled *and* the matcher seeds the correspondences, the
+sampled values feed the matcher's value-overlap signal.
 
 The assembled scenario goes through :meth:`Scenario.create`, so it is
 content-fingerprinted exactly like hand-authored ones: the persistent
@@ -28,17 +32,21 @@ from repro.discovery.options import DiscoveryOptions
 from repro.exceptions import IngestError
 from repro.matching import MatchSuggestion
 from repro.relational.instance import Instance
-from repro.relational.schema import RelationalSchema
 from repro.validation import ValidationReport
 
+from repro.ingest.backends import (
+    CatalogBackend,
+    SQLiteBackend,
+    backend_for,
+    open_database,
+)
 from repro.ingest.correspond import (
     as_correspondence_set,
     seed_correspondences,
 )
 from repro.ingest.introspect import (
     IntrospectionResult,
-    introspect_sqlite,
-    open_database,
+    introspect_backend,
 )
 from repro.ingest.recover import RecoveredSide, recover_introspected
 
@@ -46,20 +54,16 @@ from repro.ingest.recover import RecoveredSide, recover_introspected
 DEFAULT_SAMPLE_ROWS = 100
 
 
-def _quote(name: str) -> str:
-    return '"' + name.replace('"', '""') + '"'
-
-
-def sample_instance(
-    database: str | sqlite3.Connection,
+def sample_instance_from_backend(
+    backend: CatalogBackend,
     introspection: IntrospectionResult,
     rows_per_table: int = DEFAULT_SAMPLE_ROWS,
 ) -> Instance:
-    """Sample up to ``rows_per_table`` live rows per introspected table.
+    """Sample up to ``rows_per_table`` rows per introspected table.
 
     Rows are read in a deterministic order (the table's introspected
     columns, rows sorted by them) so repeated sampling of the same
-    database yields the same instance. Sampling selects the *original*
+    catalog yields the same instance. Sampling selects the *original*
     column names recorded during introspection, so tables whose
     identifiers were sanitized still read correctly.
     """
@@ -67,34 +71,55 @@ def sample_instance(
         raise IngestError(
             f"rows_per_table must be positive, got {rows_per_table}"
         )
-    connection, owned = open_database(database)
     schema = introspection.schema
     instance = Instance(schema)
+    for table in schema:
+        original_table = introspection.original_tables.get(
+            table.name, table.name
+        )
+        originals = introspection.original_columns.get(table.name, {})
+        selected = tuple(
+            originals.get(column, column) for column in table.columns
+        )
+        rows = backend.sample_rows(original_table, selected, rows_per_table)
+        instance.add_all(table.name, [tuple(row) for row in rows])
+    return instance
+
+
+def sample_instance(
+    database: str | sqlite3.Connection,
+    introspection: IntrospectionResult,
+    rows_per_table: int = DEFAULT_SAMPLE_ROWS,
+) -> Instance:
+    """Sample rows from a SQLite database (path or open connection)."""
+    if rows_per_table <= 0:
+        raise IngestError(
+            f"rows_per_table must be positive, got {rows_per_table}"
+        )
+    connection, owned = open_database(database)
     try:
-        for table in schema:
-            original_table = introspection.original_tables.get(
-                table.name, table.name
-            )
-            originals = introspection.original_columns.get(table.name, {})
-            select_list = ", ".join(
-                _quote(originals.get(column, column))
-                for column in table.columns
-            )
-            try:
-                rows = connection.execute(
-                    f"SELECT {select_list} FROM {_quote(original_table)} "
-                    f"ORDER BY {select_list} LIMIT ?",
-                    (rows_per_table,),
-                ).fetchall()
-            except sqlite3.Error as error:
-                raise IngestError(
-                    f"sampling table {original_table!r} failed: {error}"
-                ) from error
-            instance.add_all(table.name, [tuple(row) for row in rows])
+        return sample_instance_from_backend(
+            SQLiteBackend(connection), introspection, rows_per_table
+        )
     finally:
         if owned:
             connection.close()
-    return instance
+
+
+def instance_values(
+    instance: Instance,
+) -> dict[str, dict[str, tuple[Any, ...]]]:
+    """``{table: {column: sampled values}}`` for the matcher's overlap."""
+    values: dict[str, dict[str, tuple[Any, ...]]] = {}
+    for table in instance.schema:
+        rows = instance.rows(table.name)
+        if not rows:
+            continue
+        values[table.name] = {
+            column: tuple(row[index] for row in rows)
+            for index, column in enumerate(table.columns)
+        }
+    return values
 
 
 @dataclass
@@ -186,58 +211,96 @@ def ingest_pair(
     options: DiscoveryOptions | None = None,
     sample_rows: int = 0,
     strict: bool = False,
+    backend: str = "sqlite",
+    source_reuse: Mapping[str, Any] | None = None,
+    target_reuse: Mapping[str, Any] | None = None,
 ) -> IngestedScenario:
-    """Turn two live SQLite databases + CM(s) into a discovery scenario.
+    """Turn two database catalogs + CM(s) into a discovery scenario.
 
+    ``backend`` selects how the inputs are read: ``"sqlite"`` (live
+    databases — paths, connections, or SQL text executed in memory
+    under the authorizer), ``"pgdump"`` (``pg_dump``/``mysqldump`` text
+    parsed without execution), or ``"auto"`` (sniffed per input).
     ``target_model`` defaults to ``source_model`` (the paper's setting:
     both legacy schemas interpreted against one shared CM). When
     ``correspondences`` is given, the matcher is skipped entirely;
     otherwise :func:`seed_correspondences` bootstraps them through the
-    shared CM. ``sample_rows > 0`` additionally samples that many live
-    rows per table into ``source_instance``/``target_instance`` for
-    post-discovery TGD verification. ``strict`` turns uninterpreted
-    tables/columns into hard :class:`IngestError` failures.
+    shared CM — with the backends' type categories, and, when
+    ``sample_rows > 0``, the sampled values' overlap as an extra
+    signal. ``sample_rows > 0`` also keeps the samples on
+    ``source_instance``/``target_instance`` for post-discovery TGD
+    verification. ``strict`` turns uninterpreted tables/columns into
+    hard :class:`IngestError` failures. ``source_reuse``/
+    ``target_reuse`` offer previous s-trees by table name for
+    incremental re-ingestion (:mod:`repro.ingest.reingest`).
     """
-    source_side = recover_introspected(
-        introspect_sqlite(source_db, source_name),
-        source_model,
-        strict=strict,
-    )
-    target_side = recover_introspected(
-        introspect_sqlite(target_db, target_name),
-        target_model if target_model is not None else source_model,
-        strict=strict,
-    )
-    suggestions: tuple[MatchSuggestion, ...] = ()
-    if correspondences is None:
-        suggested = seed_correspondences(
+    source_backend, source_owned = backend_for(source_db, backend)
+    target_backend, target_owned = backend_for(target_db, backend)
+    try:
+        source_side = recover_introspected(
+            introspect_backend(source_backend, source_name),
+            source_model,
+            strict=strict,
+            reuse=source_reuse,
+        )
+        target_side = recover_introspected(
+            introspect_backend(target_backend, target_name),
+            target_model if target_model is not None else source_model,
+            strict=strict,
+            reuse=target_reuse,
+        )
+        source_instance = target_instance = None
+        if sample_rows > 0:
+            source_instance = sample_instance_from_backend(
+                source_backend, source_side.introspection, sample_rows
+            )
+            target_instance = sample_instance_from_backend(
+                target_backend, target_side.introspection, sample_rows
+            )
+        suggestions: tuple[MatchSuggestion, ...] = ()
+        if correspondences is None:
+            suggested = seed_correspondences(
+                source_side.semantics,
+                target_side.semantics,
+                source_types=source_side.introspection.column_types,
+                target_types=target_side.introspection.column_types,
+                synonyms=synonyms,
+                threshold=threshold,
+                source_categories=source_side.introspection.type_categories,
+                target_categories=target_side.introspection.type_categories,
+                source_values=(
+                    instance_values(source_instance)
+                    if source_instance is not None
+                    else None
+                ),
+                target_values=(
+                    instance_values(target_instance)
+                    if target_instance is not None
+                    else None
+                ),
+            )
+            suggestions = tuple(suggested)
+            correspondences = as_correspondence_set(suggested)
+        scenario = Scenario.create(
+            scenario_id,
             source_side.semantics,
             target_side.semantics,
-            source_types=source_side.introspection.column_types,
-            target_types=target_side.introspection.column_types,
-            synonyms=synonyms,
-            threshold=threshold,
+            correspondences,
+            options=options,
         )
-        suggestions = tuple(suggested)
-        correspondences = as_correspondence_set(suggested)
-    scenario = Scenario.create(
-        scenario_id,
-        source_side.semantics,
-        target_side.semantics,
-        correspondences,
-        options=options,
-    )
-    ingested = IngestedScenario(
-        scenario, source_side, target_side, suggestions
-    )
-    if sample_rows > 0:
-        ingested.source_instance = sample_instance(
-            source_db, source_side.introspection, sample_rows
+        return IngestedScenario(
+            scenario,
+            source_side,
+            target_side,
+            suggestions,
+            source_instance,
+            target_instance,
         )
-        ingested.target_instance = sample_instance(
-            target_db, target_side.introspection, sample_rows
-        )
-    return ingested
+    finally:
+        if source_owned is not None:
+            source_owned.close()
+        if target_owned is not None:
+            target_owned.close()
 
 
 # ---------------------------------------------------------------------------

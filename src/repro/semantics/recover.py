@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.cm.graph import CMGraph
 from repro.cm.model import ConceptualModel
@@ -70,6 +71,10 @@ class RecoveryReport:
     semantics: SchemaSemantics
     skipped_tables: list[str] = field(default_factory=list)
     unmapped_columns: list[str] = field(default_factory=list)
+    #: Tables whose s-tree was adopted from a previous recovery instead
+    #: of re-derived (incremental re-ingestion; see
+    #: :mod:`repro.ingest.reingest`).
+    reused_tables: list[str] = field(default_factory=list)
 
     def coverage(self) -> float:
         """Fraction of tables that received semantics."""
@@ -82,11 +87,32 @@ class RecoveryReport:
 class SemanticsRecoverer:
     """Infers an s-tree per table of ``schema`` against ``model``."""
 
-    def __init__(self, schema: RelationalSchema, model: ConceptualModel) -> None:
+    def __init__(
+        self,
+        schema: RelationalSchema,
+        model: ConceptualModel,
+        reuse: Mapping[str, SemanticTree] | None = None,
+    ) -> None:
         self.schema = schema
         self.model = model
         self.graph = CMGraph(model)
+        self.reuse = dict(reuse or {})
         self._anchors: dict[str, str] = {}
+
+    def _reusable_tree(self, table: Table) -> SemanticTree | None:
+        """The previous s-tree for ``table`` when it still fits.
+
+        A reused tree must only map columns the current table still has
+        — the caller (incremental re-ingestion) only offers trees for
+        tables whose catalog fingerprint is unchanged, but the check
+        keeps a stale offer from corrupting the semantics.
+        """
+        tree = self.reuse.get(table.name)
+        if tree is None:
+            return None
+        if not set(tree.columns) <= set(table.columns):
+            return None
+        return tree
 
     # ------------------------------------------------------------------
     # Entry point
@@ -95,13 +121,29 @@ class SemanticsRecoverer:
         trees: dict[str, SemanticTree] = {}
         skipped: list[str] = []
         unmapped: list[str] = []
-        # Pass 1: anchor every table we can.
+        reused: list[str] = []
+        # Pass 1: anchor every table we can. Reused trees pin their
+        # root class so FK resolution from rebuilt tables still works.
         for table in self.schema:
+            reusable = self._reusable_tree(table)
+            if reusable is not None:
+                self._anchors[table.name] = reusable.root.cm_node
+                continue
             anchor = self._find_anchor(table)
             if anchor is not None:
                 self._anchors[table.name] = anchor
         # Pass 2: build trees using anchors for FK resolution.
         for table in self.schema:
+            reusable = self._reusable_tree(table)
+            if reusable is not None:
+                trees[table.name] = reusable
+                reused.append(table.name)
+                unmapped.extend(
+                    f"{table.name}.{column}"
+                    for column in table.columns
+                    if column not in reusable.columns
+                )
+                continue
             anchor = self._anchors.get(table.name)
             if anchor is None:
                 skipped.append(f"{table.name}: no anchor class found")
@@ -117,6 +159,7 @@ class SemanticsRecoverer:
             SchemaSemantics(self.schema, self.graph, trees),
             skipped,
             unmapped,
+            reused,
         )
 
     # ------------------------------------------------------------------
@@ -467,7 +510,14 @@ class SemanticsRecoverer:
 
 
 def recover_semantics(
-    schema: RelationalSchema, model: ConceptualModel
+    schema: RelationalSchema,
+    model: ConceptualModel,
+    reuse: Mapping[str, SemanticTree] | None = None,
 ) -> RecoveryReport:
-    """One-shot convenience wrapper around :class:`SemanticsRecoverer`."""
-    return SemanticsRecoverer(schema, model).recover()
+    """One-shot convenience wrapper around :class:`SemanticsRecoverer`.
+
+    ``reuse`` offers previously recovered s-trees by table name; a table
+    whose offered tree still fits the schema adopts it verbatim instead
+    of re-deriving (and is listed in ``reused_tables``).
+    """
+    return SemanticsRecoverer(schema, model, reuse).recover()

@@ -314,15 +314,18 @@ class MappingService:
         """Ingest two SQL dumps end to end: introspect → recover →
         correspond → validate → discover, in one call.
 
-        The databases arrive as SQL text executed into in-memory
-        connections under an ``ATTACH``-denying authorizer — requests
-        naming filesystem paths never get past the wire layer (400).
-        Discovery itself goes through the same job queue and result
-        cache as ``POST /discover``, so an ingested scenario whose
-        content fingerprint matches a previous run is served warm.
+        The databases arrive as SQL text — requests naming filesystem
+        paths never get past the wire layer (400). With the default
+        ``sqlite`` backend the text is executed into in-memory
+        connections under an ``ATTACH``-denying authorizer; with
+        ``pgdump`` it is *parsed*, never executed; ``auto`` sniffs each
+        dump's dialect. Discovery itself goes through the same job
+        queue and result cache as ``POST /discover``, so an ingested
+        scenario whose content fingerprint matches a previous run is
+        served warm.
         """
         from repro.exceptions import IngestError
-        from repro.ingest import connect_memory_from_sql, ingest_pair
+        from repro.ingest import ingest_pair
 
         try:
             request = introspect_request_from_wire(payload)
@@ -331,15 +334,10 @@ class MappingService:
                 "status": "bad-request",
                 "error": _error_payload("WireFormatError", str(error)),
             }
-        connections = []
         try:
-            source_conn = connect_memory_from_sql(request.source_sql)
-            connections.append(source_conn)
-            target_conn = connect_memory_from_sql(request.target_sql)
-            connections.append(target_conn)
             ingested = ingest_pair(
-                source_conn,
-                target_conn,
+                request.source_sql,
+                request.target_sql,
                 request.source_model,
                 request.target_model,
                 scenario_id=request.scenario_id,
@@ -348,6 +346,7 @@ class MappingService:
                 options=request.options.discovery,
                 sample_rows=request.sample_rows,
                 strict=request.strict,
+                backend=request.backend,
             )
         except IngestError as error:
             self.metrics.inc("ingest_failures_total")
@@ -355,9 +354,6 @@ class MappingService:
                 "status": "bad-request",
                 "error": _error_payload("IngestError", str(error)),
             }
-        finally:
-            for connection in connections:
-                connection.close()
         report = ingested.validation()
         report.extend(validate_scenario(ingested.scenario))
         ingest_summary = {

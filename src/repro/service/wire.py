@@ -397,9 +397,12 @@ _PATHLIKE_DB_KEYS = frozenset(
 class IngestRequest:
     """A parsed ``POST /introspect`` body (see ``docs/ingestion.md``).
 
-    Both databases arrive as *SQL dumps* executed into in-memory
-    connections — never as paths; models arrive as registered dataset
-    names or inline documents — never as files.
+    Both databases arrive as *SQL dumps* — never as paths; models
+    arrive as registered dataset names or inline documents — never as
+    files. ``backend`` picks how the dumps are read: ``"sqlite"``
+    executes them into in-memory connections under the ATTACH-denying
+    authorizer, ``"pgdump"`` parses Postgres/MySQL dump text without
+    executing anything, ``"auto"`` sniffs each dump's dialect.
     """
 
     source_sql: str
@@ -413,6 +416,7 @@ class IngestRequest:
     verify: bool
     strict: bool
     options: DiscoverOptions
+    backend: str = "sqlite"
 
 
 def _database_sql(spec: Any, side: str) -> str:
@@ -489,6 +493,12 @@ def introspect_request_from_wire(payload: Mapping[str, Any]) -> IngestRequest:
             raise WireFormatError(f"request body needs {key!r}")
     source_sql = _database_sql(payload["source_db"], "source_db")
     target_sql = _database_sql(payload["target_db"], "target_db")
+    backend = payload.get("backend", "sqlite")
+    if backend not in ("sqlite", "pgdump", "auto"):
+        raise WireFormatError(
+            f"'backend' must be 'sqlite', 'pgdump', or 'auto', got "
+            f"{backend!r}"
+        )
     source_model, target_model = _cm_models(payload["cm"])
     correspondences = None
     if "correspondences" in payload:
@@ -557,6 +567,7 @@ def introspect_request_from_wire(payload: Mapping[str, Any]) -> IngestRequest:
         verify=verify,
         strict=strict,
         options=DiscoverOptions(mode, use_cache, timeout, discovery),
+        backend=backend,
     )
 
 

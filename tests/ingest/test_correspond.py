@@ -1,4 +1,4 @@
-"""Unit tests for correspondence seeding and type affinity."""
+"""Unit tests for correspondence seeding, type categories, value overlap."""
 
 import pytest
 
@@ -7,8 +7,14 @@ from repro.ingest import (
     parse_correspondence_lines,
     seed_correspondences,
     type_affinity,
+    value_jaccard,
 )
-from repro.ingest.correspond import TYPE_MISMATCH_PENALTY
+from repro.ingest.backends import dump_type_category
+from repro.ingest.correspond import (
+    MIN_VALUE_SAMPLE,
+    TYPE_MISMATCH_PENALTY,
+    VALUE_OVERLAP_WEIGHT,
+)
 
 
 class TestTypeAffinity:
@@ -76,7 +82,7 @@ class TestSeeding:
         assert by_corr[str(chosen)] == pytest.approx(
             baseline[0].score * TYPE_MISMATCH_PENALTY
         )
-        assert "affinity mismatch" in next(
+        assert "type category mismatch" in next(
             s.reason
             for s in penalized
             if str(s.correspondence) == str(chosen)
@@ -105,6 +111,161 @@ class TestSeeding:
         assert str(chosen.correspondence) not in {
             str(s.correspondence) for s in penalized
         }
+
+
+class TestCategoryMatrix:
+    """The penalty keys on *categories*, so it must agree across the
+    SQLite and dump backends' dialect vocabularies."""
+
+    # (sqlite declared, dump declared, same category?)
+    MATRIX = [
+        ("INTEGER", "bigint", True),
+        ("INTEGER", "serial", True),
+        ("VARCHAR(80)", "character varying(80)", True),
+        ("TEXT", "uuid", True),
+        ("REAL", "double precision", True),
+        ("BLOB", "bytea", True),
+        ("INTEGER", "text", False),
+        ("TEXT", "numeric(10,2)", False),
+        ("REAL", "bytea", False),
+    ]
+
+    @pytest.mark.parametrize("sqlite_type, dump_type, same", MATRIX)
+    def test_cross_backend_categories(self, sqlite_type, dump_type, same):
+        assert (
+            type_affinity(sqlite_type) == dump_type_category(dump_type)
+        ) is same
+
+    def _seed_with_types(self, source_kwargs):
+        from repro.datasets.registry import load_dataset
+
+        pair = load_dataset("DBLP")
+        baseline = seed_correspondences(
+            pair.source, pair.target, threshold=0.0
+        )
+        chosen = baseline[0].correspondence
+        penalized = seed_correspondences(
+            pair.source, pair.target, threshold=0.0, **source_kwargs(chosen)
+        )
+        score = next(
+            s.score
+            for s in penalized
+            if str(s.correspondence) == str(chosen)
+        )
+        return baseline[0].score, score
+
+    @pytest.mark.parametrize(
+        "source_type, target_type, penalized",
+        [
+            # categories agree across dialect spellings: no penalty
+            ("INTEGER", "bigint", False),
+            ("VARCHAR(80)", "character varying(80)", False),
+            # categories disagree: penalty
+            ("INTEGER", "character varying(80)", True),
+            ("REAL", "text", True),
+        ],
+    )
+    def test_penalty_tracks_categories(
+        self, source_type, target_type, penalized
+    ):
+        base, score = self._seed_with_types(
+            lambda chosen: {
+                "source_types": {
+                    chosen.source.table: {chosen.source.name: source_type}
+                },
+                "target_types": {
+                    chosen.target.table: {chosen.target.name: target_type}
+                },
+            }
+        )
+        expected = base * TYPE_MISMATCH_PENALTY if penalized else base
+        assert score == pytest.approx(expected)
+
+    def test_backend_category_map_overrides_affinity(self):
+        # "interval" would hit SQLite's INT affinity rule; the dump
+        # backend's category map says temporal, and when it is passed
+        # through the penalty must fire against an integer column.
+        assert type_affinity("interval") == "integer"
+        assert dump_type_category("interval") == "temporal"
+        base, score = self._seed_with_types(
+            lambda chosen: {
+                "source_types": {
+                    chosen.source.table: {chosen.source.name: "INTEGER"}
+                },
+                "target_types": {
+                    chosen.target.table: {chosen.target.name: "interval"}
+                },
+                "target_categories": {
+                    chosen.target.table: {chosen.target.name: "temporal"}
+                },
+            }
+        )
+        assert score == pytest.approx(base * TYPE_MISMATCH_PENALTY)
+
+
+class TestValueOverlap:
+    def test_jaccard_basics(self):
+        assert value_jaccard(["a", "b"], ["a", "b"]) == 1.0
+        assert value_jaccard(["a", "b"], ["c", "d"]) == 0.0
+        assert value_jaccard(["a", "b", "c"], ["b", "c", "d"]) == 0.5
+        assert value_jaccard([], []) == 0.0
+
+    def test_jaccard_normalizes_across_backends(self):
+        # SQLite returns typed values; the dump parser returns what it
+        # coerced — 1 and 1.0 and case variants must collide.
+        assert value_jaccard([1, 2], [1.0, 2.0]) == 1.0
+        assert value_jaccard(["Alice"], ["alice "]) == 1.0
+
+    def test_jaccard_ignores_nulls(self):
+        assert value_jaccard(["a", None], ["a", None, None]) == 1.0
+
+    def _seed_with_values(self, source_vals, target_vals):
+        from repro.datasets.registry import load_dataset
+
+        pair = load_dataset("DBLP")
+        baseline = seed_correspondences(
+            pair.source, pair.target, threshold=0.0
+        )
+        chosen = baseline[0].correspondence
+        adjusted = seed_correspondences(
+            pair.source,
+            pair.target,
+            threshold=0.0,
+            source_values={
+                chosen.source.table: {chosen.source.name: source_vals}
+            },
+            target_values={
+                chosen.target.table: {chosen.target.name: target_vals}
+            },
+        )
+        suggestion = next(
+            s
+            for s in adjusted
+            if str(s.correspondence) == str(chosen)
+        )
+        return baseline[0], suggestion
+
+    def test_disjoint_values_penalize(self):
+        base, adjusted = self._seed_with_values(
+            ["a", "b", "c"], ["x", "y", "z"]
+        )
+        assert adjusted.score == pytest.approx(
+            base.score * (1.0 - VALUE_OVERLAP_WEIGHT)
+        )
+        assert "value overlap 0.00" in adjusted.reason
+
+    def test_identical_values_cost_nothing(self):
+        base, adjusted = self._seed_with_values(
+            ["a", "b", "c"], ["a", "b", "c"]
+        )
+        assert adjusted.score == pytest.approx(base.score)
+        assert "value overlap 1.00" in adjusted.reason
+
+    def test_small_samples_say_nothing(self):
+        values = ["a"] * (MIN_VALUE_SAMPLE - 1)
+        base, adjusted = self._seed_with_values(values, ["x", "y", "z"])
+        assert adjusted.score == pytest.approx(base.score)
+        assert "value overlap" not in adjusted.reason
 
 
 class TestCorrespondenceFile:

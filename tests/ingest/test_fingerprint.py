@@ -1,0 +1,242 @@
+"""Property tests for per-table and whole-catalog fingerprints.
+
+The incremental re-ingestion layer trusts
+:meth:`CatalogBackend.catalog_fingerprint` for drift detection, so the
+fingerprint must be *canonical*: invariant under presentation details
+(table listing order, column order, type spelling within a category)
+and sensitive to every semantic catalog change (columns, categories,
+keys, unique indexes).
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ingest.backends import CatalogBackend, ColumnDef, ForeignKeyDef
+from repro.ingest.backends.pgdump import dump_type_category
+
+
+class StaticBackend(CatalogBackend):
+    """A catalog held in plain data structures, for property tests.
+
+    ``tables`` maps table name to a dict with ``columns`` (list of
+    ``(name, declared_type)``), optional ``pk`` (ordered column names),
+    ``fks`` (list of ``(parent, [(child_col, parent_col), ...])``), and
+    ``uniques`` (list of column-name lists).
+    """
+
+    name = "static"
+
+    def __init__(self, tables):
+        self._tables = tables
+
+    def list_tables(self):
+        return tuple(self._tables)
+
+    def columns(self, table):
+        spec = self._tables[table]
+        pk = {name: i + 1 for i, name in enumerate(spec.get("pk", ()))}
+        return tuple(
+            ColumnDef(name, declared, pk.get(name, 0))
+            for name, declared in spec["columns"]
+        )
+
+    def foreign_keys(self, table):
+        return tuple(
+            ForeignKeyDef(parent, tuple(tuple(p) for p in pairs))
+            for parent, pairs in self._tables[table].get("fks", ())
+        )
+
+    def unique_indexes(self, table):
+        return tuple(
+            tuple(index) for index in self._tables[table].get("uniques", ())
+        )
+
+    def sample_rows(self, table, columns, limit):
+        return []
+
+    def type_category(self, declared_type):
+        return dump_type_category(declared_type)
+
+
+# Several spellings per category: the fingerprint must hash the
+# *category*, not the raw declared type.
+SPELLINGS = {
+    "integer": ["int", "INTEGER", "bigint"],
+    "text": ["text", "varchar(80)", "character varying"],
+    "real": ["real", "double precision", "FLOAT"],
+    "boolean": ["bool", "boolean"],
+}
+
+identifiers = st.text(
+    alphabet="abcdefgh", min_size=1, max_size=6
+).map(lambda s: "c_" + s)
+
+category = st.sampled_from(sorted(SPELLINGS))
+
+
+@st.composite
+def catalogs(draw):
+    n_tables = draw(st.integers(min_value=1, max_value=3))
+    tables = {}
+    for t in range(n_tables):
+        names = draw(
+            st.lists(
+                identifiers, min_size=1, max_size=4, unique=True
+            )
+        )
+        columns = [
+            (name, draw(category)) for name in names
+        ]  # store the *category*; spellings are drawn per-backend
+        pk_size = draw(st.integers(min_value=0, max_value=len(names)))
+        tables[f"t{t}"] = {
+            "columns": columns,
+            "pk": names[:pk_size],
+            "uniques": [[names[-1]]] if draw(st.booleans()) else [],
+        }
+    return tables
+
+
+def _spell(draw, tables):
+    """Materialize a catalog spec with concrete type spellings."""
+    return {
+        name: {
+            **spec,
+            "columns": [
+                (column, draw(st.sampled_from(SPELLINGS[cat])))
+                for column, cat in spec["columns"]
+            ],
+        }
+        for name, spec in tables.items()
+    }
+
+
+@st.composite
+def spelled_pairs(draw):
+    """Two backends over the same semantic catalog, presented differently:
+
+    independent type spellings, shuffled table order, shuffled column
+    order.
+    """
+    tables = draw(catalogs())
+    first = _spell(draw, tables)
+    second = _spell(draw, tables)
+    table_order = draw(st.permutations(sorted(second)))
+    shuffled = {}
+    for name in table_order:
+        spec = second[name]
+        shuffled[name] = {
+            **spec,
+            "columns": draw(st.permutations(spec["columns"])),
+            "uniques": [
+                draw(st.permutations(index)) for index in spec["uniques"]
+            ],
+        }
+    return first, shuffled
+
+
+class TestCanonical:
+    @settings(max_examples=60, deadline=None)
+    @given(spelled_pairs())
+    def test_stable_under_presentation(self, pair):
+        first, second = pair
+        a, b = StaticBackend(first), StaticBackend(second)
+        assert a.catalog_fingerprint() == b.catalog_fingerprint()
+        for table in first:
+            assert a.catalog_fingerprint(table) == b.catalog_fingerprint(
+                table
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(catalogs(), st.randoms())
+    def test_changes_on_semantic_mutation(self, tables, rng):
+        spec = {
+            name: {
+                **t,
+                "columns": [
+                    (c, SPELLINGS[cat][0]) for c, cat in t["columns"]
+                ],
+            }
+            for name, t in tables.items()
+        }
+        baseline = StaticBackend(spec).catalog_fingerprint()
+        victim = rng.choice(sorted(spec))
+        mutated = {n: dict(t) for n, t in spec.items()}
+        columns = list(mutated[victim]["columns"])
+        mutation = rng.choice(["add", "rename", "retype", "unique"])
+        if mutation == "add":
+            columns.append(("c_zz_new", "int"))
+            mutated[victim]["columns"] = columns
+        elif mutation == "rename":
+            name, declared = columns[0]
+            columns[0] = (name + "_renamed", declared)
+            mutated[victim]["columns"] = columns
+            # keep the pk consistent if it named the renamed column
+            mutated[victim]["pk"] = [
+                c + "_renamed" if c == name else c
+                for c in mutated[victim].get("pk", [])
+            ]
+        elif mutation == "retype":
+            name, declared = columns[0]
+            new_cat = (
+                "text" if dump_type_category(declared) != "text" else "integer"
+            )
+            columns[0] = (name, SPELLINGS[new_cat][0])
+            mutated[victim]["columns"] = columns
+        else:
+            mutated[victim]["uniques"] = list(
+                mutated[victim].get("uniques", [])
+            ) + [[c for c, _ in columns]]
+        assert StaticBackend(mutated).catalog_fingerprint() != baseline
+        assert (
+            StaticBackend(mutated).catalog_fingerprint(victim)
+            != StaticBackend(spec).catalog_fingerprint(victim)
+        )
+
+
+class TestCrossBackendExamples:
+    def test_sqlite_and_dump_agree_on_equivalent_catalogs(self):
+        """The same logical schema read through both backends
+        fingerprints identically — categories, not dialect spellings,
+        enter the hash."""
+        from repro.ingest import DumpBackend, connect_memory_from_sql
+        from repro.ingest.backends import SQLiteBackend
+
+        connection = connect_memory_from_sql(
+            "CREATE TABLE t (a INTEGER PRIMARY KEY, b TEXT);"
+        )
+        try:
+            via_sqlite = SQLiteBackend(connection).catalog_fingerprint()
+        finally:
+            connection.close()
+        dump = DumpBackend.from_text(
+            "CREATE TABLE public.t (a int, b varchar(80));\n"
+            "ALTER TABLE ONLY public.t\n"
+            "    ADD CONSTRAINT t_pkey PRIMARY KEY (a);\n"
+        )
+        assert dump.catalog_fingerprint() == via_sqlite
+
+    def test_pk_order_matters(self):
+        base = {"t": {"columns": [("a", "int"), ("b", "int")]}}
+        ab = {"t": {**base["t"], "pk": ["a", "b"]}}
+        ba = {"t": {**base["t"], "pk": ["b", "a"]}}
+        assert (
+            StaticBackend(ab).catalog_fingerprint("t")
+            != StaticBackend(ba).catalog_fingerprint("t")
+        )
+
+    def test_foreign_keys_enter_fingerprint(self):
+        plain = {
+            "p": {"columns": [("x", "int")], "pk": ["x"]},
+            "c": {"columns": [("x", "int")]},
+        }
+        linked = {
+            "p": plain["p"],
+            "c": {**plain["c"], "fks": [("p", [("x", "x")])]},
+        }
+        assert (
+            StaticBackend(plain).catalog_fingerprint("c")
+            != StaticBackend(linked).catalog_fingerprint("c")
+        )

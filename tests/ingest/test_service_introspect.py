@@ -120,6 +120,84 @@ class TestIntrospectEndpoint:
         assert finished["state"] == "done"
 
 
+class TestBackendSelection:
+    @pytest.fixture(scope="class")
+    def dblp_pg_dumps(self):
+        from repro.ingest import pgdump_ddl
+
+        pair = load_dataset("DBLP")
+        dumps = {}
+        for name, side in (
+            ("source", pair.source),
+            ("target", pair.target),
+        ):
+            instance = generate_instance(side.schema, rows_per_table=3)
+            dumps[name] = pgdump_ddl(side.schema, instance=instance)
+        return pair, dumps
+
+    def test_pgdump_backend_mapping_matches_sqlite(
+        self, client, dblp_dumps, dblp_pg_dumps
+    ):
+        pair, sqlite_dumps = dblp_dumps
+        _, pg_dumps = dblp_pg_dumps
+        case = pair.cases[0]
+        corrs = [
+            f"{c.source} <-> {c.target}" for c in case.correspondences
+        ]
+        via_sqlite = client.introspect(
+            sqlite_dumps["source"],
+            sqlite_dumps["target"],
+            "DBLP",
+            scenario_id=f"{case.case_id}-wire-sqlite",
+            correspondences=corrs,
+        )
+        assert via_sqlite["status"] == "ok", via_sqlite
+        via_pgdump = client.introspect(
+            pg_dumps["source"],
+            pg_dumps["target"],
+            "DBLP",
+            scenario_id=f"{case.case_id}-wire-pgdump",
+            correspondences=corrs,
+            backend="pgdump",
+        )
+        assert via_pgdump["status"] == "ok", via_pgdump
+        assert (
+            via_pgdump["result"]["mapping"]
+            == via_sqlite["result"]["mapping"]
+        )
+
+    def test_auto_backend_sniffs_dump_text(self, client, dblp_pg_dumps):
+        pair, pg_dumps = dblp_pg_dumps
+        case = pair.cases[1]
+        corrs = [
+            f"{c.source} <-> {c.target}" for c in case.correspondences
+        ]
+        payload = client.introspect(
+            pg_dumps["source"],
+            pg_dumps["target"],
+            "DBLP",
+            scenario_id=f"{case.case_id}-wire-auto",
+            correspondences=corrs,
+            backend="auto",
+        )
+        assert payload["status"] == "ok", payload
+
+    def test_unknown_backend_400(self, client, dblp_dumps):
+        _, dumps = dblp_dumps
+        status, body = client.request(
+            "POST",
+            "/introspect",
+            {
+                "source_db": {"sql": dumps["source"]},
+                "target_db": {"sql": dumps["target"]},
+                "cm": "DBLP",
+                "backend": "oracle",
+            },
+        )
+        assert status == 400
+        assert "backend" in body["error"]["message"]
+
+
 class TestWireRefusals:
     def _post(self, client, payload):
         return client.request("POST", "/introspect", payload)

@@ -263,3 +263,154 @@ class TestIntrospectCommand:
             == 2
         )
         assert "NoSuchModel" in capsys.readouterr().err
+
+
+class TestIntrospectBackends:
+    @pytest.fixture
+    def hotel_dumps(self, tmp_path):
+        from repro.datasets.instances import generate_instance
+        from repro.datasets.registry import load_dataset
+        from repro.ingest import pgdump_ddl
+
+        pair = load_dataset("Hotel")
+        paths = {}
+        for name, side in (
+            ("source", pair.source),
+            ("target", pair.target),
+        ):
+            instance = generate_instance(side.schema, rows_per_table=3)
+            path = tmp_path / f"{name}.sql"
+            path.write_text(
+                pgdump_ddl(side.schema, instance=instance),
+                encoding="utf-8",
+            )
+            paths[name] = str(path)
+        case = pair.cases[0]
+        corrs = tmp_path / "corrs.txt"
+        corrs.write_text(
+            "".join(
+                f"{c.source} <-> {c.target}\n"
+                for c in case.correspondences
+            ),
+            encoding="utf-8",
+        )
+        return paths, str(corrs)
+
+    def test_pgdump_backend_discovers(self, capsys, hotel_dumps):
+        paths, corrs = hotel_dumps
+        assert (
+            main(
+                [
+                    "introspect",
+                    paths["source"],
+                    paths["target"],
+                    "--cm",
+                    "Hotel",
+                    "--backend",
+                    "pgdump",
+                    "--correspondences",
+                    corrs,
+                    "--discover",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "tables recovered (100% coverage)" in out
+        assert "candidate(s)" in out
+
+    def test_auto_backend_detects_dump(self, capsys, hotel_dumps):
+        paths, corrs = hotel_dumps
+        assert (
+            main(
+                [
+                    "introspect",
+                    paths["source"],
+                    paths["target"],
+                    "--cm",
+                    "Hotel",
+                    "--backend",
+                    "auto",
+                    "--correspondences",
+                    corrs,
+                ]
+            )
+            == 0
+        )
+
+    def test_unreadable_dump_is_structured_not_traceback(
+        self, capsys, tmp_path
+    ):
+        assert (
+            main(
+                [
+                    "introspect",
+                    str(tmp_path / "ghost.sql"),
+                    str(tmp_path / "ghost2.sql"),
+                    "--cm",
+                    "Hotel",
+                    "--backend",
+                    "pgdump",
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "dump.unreadable" in err
+        assert "ghost" in err
+        assert "Traceback" not in err
+
+    def test_empty_dump_is_structured_not_traceback(
+        self, capsys, tmp_path
+    ):
+        empty = tmp_path / "empty.sql"
+        empty.write_text("   \n", encoding="utf-8")
+        other = tmp_path / "other.sql"
+        other.write_text("CREATE TABLE t (a integer);\n", encoding="utf-8")
+        assert (
+            main(
+                [
+                    "introspect",
+                    str(empty),
+                    str(other),
+                    "--cm",
+                    "Hotel",
+                    "--backend",
+                    "pgdump",
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "dump.empty" in err
+        assert "Traceback" not in err
+
+    def test_binary_dump_is_structured_not_traceback(
+        self, capsys, tmp_path
+    ):
+        import sqlite3
+
+        db = tmp_path / "real.db"
+        conn = sqlite3.connect(str(db))
+        conn.execute("CREATE TABLE t (a TEXT)")
+        conn.commit()
+        conn.close()
+        other = tmp_path / "other.sql"
+        other.write_text("CREATE TABLE t (a integer);\n", encoding="utf-8")
+        assert (
+            main(
+                [
+                    "introspect",
+                    str(db),
+                    str(other),
+                    "--cm",
+                    "Hotel",
+                    "--backend",
+                    "pgdump",
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "dump." in err
+        assert "Traceback" not in err
